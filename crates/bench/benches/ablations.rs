@@ -1,0 +1,85 @@
+//! Extension ablations beyond the paper's figures.
+//!
+//! Two design claims the paper makes in prose, quantified:
+//!
+//! 1. **NVM capacity (§IV-A)** — "our method is feasible even with only a
+//!    small amount of NVM because flushing can be finished even before the
+//!    next I/O request arrives." Sweep the per-group ring size down until
+//!    the synchronous-flush fallback kicks in and watch IOPS and stalls.
+//! 2. **Context-switch cost (§III-B)** — the thread-pool baseline hops
+//!    threads several times per request; the proposed pipeline mostly does
+//!    not. Sweeping the per-switch cost shows who pays for it.
+
+use rablock::sim::SimDuration;
+use rablock::PipelineMode;
+use rablock_bench::*;
+use rablock_workload::{fmt_iops, fmt_latency, Table};
+
+fn nvm_capacity_sweep() {
+    println!("\n--- ablation A: NVM ring capacity per group (Proposed) ---");
+    let conns = 12;
+    let dataset = Dataset::default_for(conns);
+    let (warmup, measure) = windows();
+    let mut table = Table::new(["ring bytes/group", "IOPS", "mean lat", "p99 lat", "NVM-full stalls"]);
+    let mut csv = Table::new(["ring_bytes", "iops", "lat_ns", "stalls"]);
+    for ring in [16u64 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10] {
+        let mut cfg = paper_cluster(PipelineMode::Dop);
+        cfg.osd.ring_bytes = ring;
+        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        table.row([
+            format!("{} KiB", ring >> 10),
+            fmt_iops(report.write_iops),
+            fmt_latency(report.write_lat[0].as_nanos()),
+            fmt_latency(report.write_lat[3].as_nanos()),
+            report.nvm_full_stalls.to_string(),
+        ]);
+        csv.row([
+            ring.to_string(),
+            format!("{:.0}", report.write_iops),
+            report.write_lat[0].as_nanos().to_string(),
+            report.nvm_full_stalls.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected shape: throughput holds with surprisingly small rings (the");
+    println!("bottom half keeps up); only the smallest rings trigger synchronous-");
+    println!("flush stalls, and the p99 pays first — the paper's §IV-A claim.");
+    write_csv("ablation_nvm_capacity", &csv.to_csv());
+}
+
+fn ctx_switch_sweep() {
+    println!("\n--- ablation B: context-switch cost sensitivity ---");
+    let conns = 12;
+    let dataset = Dataset::default_for(conns);
+    let (warmup, measure) = windows();
+    let mut table = Table::new(["switch cost", "Original IOPS", "Proposed IOPS", "Original ctx/op", "Proposed ctx/op"]);
+    let mut csv = Table::new(["switch_ns", "orig_iops", "prop_iops"]);
+    for cost_ns in [0u64, 1_200, 3_000, 6_000] {
+        let mut cells = vec![format!("{:.1} us", cost_ns as f64 / 1000.0)];
+        let mut csv_cells = vec![cost_ns.to_string()];
+        let mut per_op = Vec::new();
+        for mode in [PipelineMode::Original, PipelineMode::Dop] {
+            let mut cfg = paper_cluster(mode);
+            cfg.ctx_switch = SimDuration::nanos(cost_ns);
+            let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+            cells.push(fmt_iops(report.write_iops));
+            csv_cells.push(format!("{:.0}", report.write_iops));
+            per_op.push(report.context_switches as f64 / report.writes_done.max(1) as f64);
+        }
+        cells.push(format!("{:.1}", per_op[0]));
+        cells.push(format!("{:.1}", per_op[1]));
+        table.row(cells);
+        csv.row(csv_cells);
+    }
+    println!("{}", table.render());
+    println!("expected shape: the thread-pool baseline performs several switches per");
+    println!("request and degrades as switches get pricier; the prioritized pipeline");
+    println!("performs far fewer and barely moves — §III-B quantified.");
+    write_csv("ablation_ctx_switch", &csv.to_csv());
+}
+
+fn main() {
+    banner("ablations", "extension ablations: NVM capacity pressure; context-switch cost");
+    nvm_capacity_sweep();
+    ctx_switch_sweep();
+}

@@ -1,0 +1,68 @@
+//! Figure 12 — worst-case (95th percentile) latency vs flush threshold.
+//!
+//! Reproduces §V-G: a mixed random workload (80% write / 20% read) offered
+//! at a constant rate, sweeping the operation-log flush threshold. The
+//! paper's point: Proposed's asynchronous flush has a tail-latency cost —
+//! a read of an object with pending log entries forces a flush of the
+//! whole batch, so the 95th-percentile latency grows with the number of
+//! entries allowed to accumulate.
+
+use rablock::sim::SimDuration;
+use rablock::PipelineMode;
+use rablock_bench::*;
+use rablock_workload::{AccessPattern, FioJob, Table};
+
+fn main() {
+    banner("fig12_tail", "95p latency vs op-log flush threshold (80:20 write:read, fixed rate)");
+
+    let conns = 12;
+    // Small working set so reads regularly hit objects with pending log
+    // entries — those are the reads that must wait for a batch flush.
+    let dataset = Dataset { images: conns as u64, image_bytes: 2 << 20 };
+    let (warmup, measure) = windows();
+
+    let mut table = Table::new(["flush threshold", "write p95", "read p95", "write p99", "offered ops/s"]);
+    let mut csv = Table::new(["threshold", "write_p95_ns", "read_p95_ns", "write_p99_ns"]);
+
+    for threshold in [4usize, 8, 16, 32, 64] {
+        let mut cfg = paper_cluster(PipelineMode::Dop);
+        cfg.osd.flush_threshold = threshold;
+        // Open loop at a constant offered rate below saturation (the paper
+        // holds 300 K/s on its testbed).
+        cfg.pacing = Some(SimDuration::micros(300));
+        // Larger rings so deep thresholds do not hit the NVM-full path,
+        // and a long sweep period so the threshold (not the timeout)
+        // governs how many entries accumulate.
+        cfg.osd.ring_bytes = 512 << 10;
+        cfg.flush_sweep = SimDuration::millis(40);
+        let workloads = (0..conns)
+            .map(|c| {
+                let job = FioJob::new(
+                    AccessPattern::RandRw { read_pct: 20 },
+                    4096,
+                    dataset.image_bytes,
+                );
+                Box::new(FioConn::new(dataset, c as u64, job)) as Box<dyn rablock::sim::ConnWorkload>
+            })
+            .collect();
+        let report = run_sim(cfg, dataset, workloads, warmup, measure);
+        let offered = (report.writes_done + report.reads_done) as f64 / report.duration.as_secs_f64();
+        table.row([
+            threshold.to_string(),
+            rablock_workload::fmt_latency(report.write_lat[2].as_nanos()),
+            rablock_workload::fmt_latency(report.read_lat[2].as_nanos()),
+            rablock_workload::fmt_latency(report.write_lat[3].as_nanos()),
+            format!("{offered:.0}"),
+        ]);
+        csv.row([
+            threshold.to_string(),
+            report.write_lat[2].as_nanos().to_string(),
+            report.read_lat[2].as_nanos().to_string(),
+            report.write_lat[3].as_nanos().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper reference: 95p latency grows considerably with the number of");
+    println!("entries allowed in the operation log (batch flushes block reads).");
+    write_csv("fig12_tail", &csv.to_csv());
+}

@@ -1,0 +1,75 @@
+//! Figure 7 — small random I/O: Original vs Proposed vs Ideal.
+//!
+//! Reproduces §V-B: 4 KiB random writes (a) and reads (b) against the full
+//! cluster, reporting IOPS, latency, per-node CPU and its breakdown by
+//! thread class. The paper's claims to reproduce:
+//!
+//! * Proposed ≈3–4.5× Original's write IOPS at lower latency
+//!   (181 K @ 4.3 ms → 820 K @ 1.11 ms on their testbed).
+//! * Original's CPU is dominated by storage processing and the
+//!   compaction/maintenance threads (MT ≈800 % of 3700 %).
+//! * Proposed sits between Original and Ideal; the gap to Ideal is the
+//!   logical-group lock on the operation log.
+//! * Random reads also favor Proposed (locality-aware processing).
+
+use rablock::PipelineMode;
+use rablock_bench::*;
+use rablock_workload::{fmt_iops, fmt_latency, Table};
+
+fn main() {
+    banner("fig7_small_random", "4 KiB random write (a) and read (b): Original / Proposed / Ideal");
+
+    let conns = 16;
+    let dataset = Dataset::default_for(conns);
+    let (warmup, measure) = windows();
+
+    for (part, is_write) in [("(a) random write", true), ("(b) random read", false)] {
+        println!("\n--- {part} ---");
+        let mut table = Table::new([
+            "system", "IOPS", "mean lat", "p95 lat", "CPU%/node", "class breakdown",
+        ]);
+        let mut csv = Table::new(["system", "iops", "lat_ns", "cpu_pct"]);
+        for mode in [PipelineMode::Original, PipelineMode::Dop, PipelineMode::Ideal] {
+            let cfg = paper_cluster(mode);
+            let workloads = if is_write {
+                randwrite_conns(dataset, conns)
+            } else {
+                randread_conns(dataset, conns)
+            };
+            let report = run_sim(cfg, dataset, workloads, warmup, measure);
+            let (iops, lat) = if is_write {
+                (report.write_iops, report.write_lat)
+            } else {
+                (report.read_iops, report.read_lat)
+            };
+            let classes: Vec<String> = report
+                .class_cpu_pct
+                .iter()
+                .filter(|(k, v)| **k != "client" && **v > 0.5)
+                .map(|(k, v)| format!("{k}={v:.0}%"))
+                .collect();
+            table.row([
+                mode_name(mode).to_string(),
+                fmt_iops(iops),
+                fmt_latency(lat[0].as_nanos()),
+                fmt_latency(lat[2].as_nanos()),
+                format!("{:.0}%", report.mean_node_cpu()),
+                classes.join(" "),
+            ]);
+            csv.row([
+                format!("{}-{}", mode_name(mode), if is_write { "write" } else { "read" }),
+                format!("{iops:.0}"),
+                lat[0].as_nanos().to_string(),
+                format!("{:.1}", report.mean_node_cpu()),
+            ]);
+        }
+        println!("{}", table.render());
+        write_csv(
+            if is_write { "fig7a_small_random_write" } else { "fig7b_small_random_read" },
+            &csv.to_csv(),
+        );
+    }
+
+    println!("paper reference: write — Original 181K @ 4.3ms (3700%/node, MT≈800%),");
+    println!("Proposed 820K @ 1.11ms, Ideal above Proposed; reads also favor Proposed.");
+}

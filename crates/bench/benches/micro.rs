@@ -1,0 +1,139 @@
+//! Criterion microbenchmarks for the core data structures.
+//!
+//! These quantify the per-operation costs behind the paper's CPU argument:
+//! the LSM submit path vs the COS in-place path, the NVM operation-log
+//! append, the free-extent B+tree, and the onode radix tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rablock_cos::{CosObjectStore, CosOptions, ExtentBTree, RadixTree};
+use rablock_lsm::{LsmObjectStore, LsmOptions};
+use rablock_oplog::GroupLog;
+use rablock_storage::{
+    GroupId, MemDisk, NvmRegion, ObjectId, ObjectStore, Op, Transaction,
+};
+
+fn write_txn(seq: u64, oid: ObjectId, block: u64) -> Transaction {
+    Transaction::new(
+        oid.group(),
+        seq,
+        vec![Op::Write { oid, offset: block * 4096, data: vec![seq as u8; 4096] }],
+    )
+}
+
+fn bench_store_submit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_submit_4k");
+
+    let mut lsm = LsmObjectStore::open(MemDisk::new(256 << 20), LsmOptions::default()).unwrap();
+    let oid = ObjectId::new(GroupId(0), 1);
+    let mut seq = 0u64;
+    group.bench_function("lsm", |b| {
+        b.iter(|| {
+            seq += 1;
+            lsm.submit(write_txn(seq, oid, seq % 256)).unwrap();
+            let _ = lsm.take_trace();
+            while lsm.needs_maintenance() {
+                lsm.maintenance();
+                let _ = lsm.take_trace();
+            }
+        })
+    });
+
+    let mut cos = CosObjectStore::format(MemDisk::new(256 << 20), CosOptions::default()).unwrap();
+    cos.submit(Transaction::new(GroupId(0), 1, vec![Op::Create { oid, size: 4 << 20 }])).unwrap();
+    let mut seq = 1u64;
+    group.bench_function("cos", |b| {
+        b.iter(|| {
+            seq += 1;
+            cos.submit(write_txn(seq, oid, seq % 256)).unwrap();
+            let _ = cos.take_trace();
+        })
+    });
+    group.finish();
+}
+
+fn bench_store_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_read_4k");
+    let oid = ObjectId::new(GroupId(0), 1);
+
+    let mut lsm = LsmObjectStore::open(MemDisk::new(256 << 20), LsmOptions::default()).unwrap();
+    for s in 0..256u64 {
+        lsm.submit(write_txn(s + 1, oid, s)).unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("lsm", |b| {
+        b.iter(|| {
+            i += 1;
+            lsm.read(oid, (i % 256) * 4096, 4096).unwrap()
+        })
+    });
+
+    let mut cos = CosObjectStore::format(MemDisk::new(256 << 20), CosOptions::default()).unwrap();
+    cos.submit(Transaction::new(GroupId(0), 1, vec![Op::Create { oid, size: 4 << 20 }])).unwrap();
+    for s in 0..256u64 {
+        cos.submit(write_txn(s + 1, oid, s)).unwrap();
+    }
+    let mut i = 0u64;
+    group.bench_function("cos", |b| {
+        b.iter(|| {
+            i += 1;
+            cos.read(oid, (i % 256) * 4096, 4096).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_oplog_append(c: &mut Criterion) {
+    let mut nvm = NvmRegion::new(64 << 20);
+    let mut log = GroupLog::format(&mut nvm, GroupId(0), 0, 64 << 20, usize::MAX).unwrap();
+    let oid = ObjectId::new(GroupId(0), 1);
+    let mut seq = 0u64;
+    c.bench_function("oplog_append_4k", |b| {
+        b.iter(|| {
+            seq += 1;
+            log.append(&mut nvm, write_txn(seq, oid, seq % 256)).unwrap();
+            if log.pending() >= 64 {
+                log.drain_for_flush(&mut nvm, 64).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_extent_btree(c: &mut Criterion) {
+    c.bench_function("extent_btree_alloc_free", |b| {
+        let mut tree = ExtentBTree::new_free(0, 1 << 24);
+        let mut held: Vec<(u64, u64)> = Vec::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if held.len() < 512 {
+                let len = 1 + i % 64;
+                let start = tree.alloc(len).unwrap();
+                held.push((start, len));
+            } else {
+                let (s, l) = held.swap_remove((i % 512) as usize);
+                tree.free(s, l).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut tree = RadixTree::new();
+    for k in 0..100_000u64 {
+        tree.insert(k * 7 % (1 << 30), (k % 4096) as u32);
+    }
+    let mut i = 0u64;
+    c.bench_function("radix_lookup_100k", |b| {
+        b.iter(|| {
+            i += 1;
+            tree.get((i * 7) % (1 << 30))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_store_submit, bench_store_read, bench_oplog_append, bench_extent_btree, bench_radix
+}
+criterion_main!(benches);

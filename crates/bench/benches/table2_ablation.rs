@@ -1,0 +1,59 @@
+//! Table II — per-technique ablation: Original → COS → PTC → DOP.
+//!
+//! Reproduces §V-B's Table II: applying the three techniques cumulatively
+//! under 4 KiB random writes. The paper's ladder (testbed scale):
+//!
+//! | system  | K IOPS | latency |
+//! |---------|--------|---------|
+//! | Original| 181    | 4.3 ms  |
+//! | COS     | 471    | 3.1 ms  |
+//! | PTC     | 641    | 2.2 ms  |
+//! | DOP     | 820    | 1.11 ms |
+//!
+//! The reproduction target is the ordering and the monotone latency drop.
+
+use rablock::PipelineMode;
+use rablock_bench::*;
+use rablock_workload::{fmt_iops, fmt_latency, Table};
+
+fn main() {
+    banner("table2_ablation", "cumulative technique ablation (4 KiB random write)");
+
+    let conns = 16;
+    let dataset = Dataset::default_for(conns);
+    let (warmup, measure) = windows();
+
+    let paper = [("Original", 181, 4.3), ("COS", 471, 3.1), ("PTC", 641, 2.2), ("DOP (Proposed)", 820, 1.11)];
+    let mut table = Table::new([
+        "system", "paper K IOPS", "paper lat", "measured IOPS", "measured lat", "vs Original",
+    ]);
+    let mut csv = Table::new(["system", "iops", "lat_ns"]);
+
+    let mut base_iops = 0.0;
+    for (i, mode) in [PipelineMode::Original, PipelineMode::Cos, PipelineMode::Ptc, PipelineMode::Dop]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = paper_cluster(mode);
+        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        if i == 0 {
+            base_iops = report.write_iops;
+        }
+        let (pname, piops, plat) = paper[i];
+        table.row([
+            pname.to_string(),
+            piops.to_string(),
+            format!("{plat} ms"),
+            fmt_iops(report.write_iops),
+            fmt_latency(report.write_lat[0].as_nanos()),
+            format!("{:.2}x", report.write_iops / base_iops),
+        ]);
+        csv.row([
+            mode_name(mode).to_string(),
+            format!("{:.0}", report.write_iops),
+            report.write_lat[0].as_nanos().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("table2_ablation", &csv.to_csv());
+}

@@ -1,0 +1,431 @@
+//! Real-thread cluster runtime.
+//!
+//! The same sans-io OSD state machines that run under the deterministic
+//! simulation also run here, on real OS threads connected by channels: one
+//! event-loop thread per OSD, synchronous device completion (the in-memory
+//! backends are durable the moment they return), and blocking clients.
+//!
+//! This driver exists to demonstrate that the protocol core is a real
+//! concurrent system, to back the runnable examples, and to cross-check the
+//! simulation: any behavioral divergence between the two drivers is a bug
+//! in one of them, not in the protocol.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use rablock_storage::{ObjectId, StoreError};
+
+use crate::msg::{ClientId, ClientReply, ClientReq, OpId};
+use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput};
+use crate::placement::{OsdId, OsdMap};
+
+enum LiveMsg {
+    Input(OsdInput),
+    Shutdown,
+}
+
+type ClientTxs = Arc<Mutex<HashMap<u32, Sender<ClientReply>>>>;
+
+/// A running cluster of real OSD threads.
+pub struct LiveCluster {
+    map: Arc<RwLock<OsdMap>>,
+    osd_txs: Vec<Sender<LiveMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    client_txs: ClientTxs,
+    next_client: AtomicU64,
+}
+
+impl LiveCluster {
+    /// Spawns one event-loop thread per OSD of `map`, all configured from
+    /// the `cfg` template.
+    pub fn start(map: OsdMap, cfg: OsdConfig) -> Self {
+        let client_txs: ClientTxs = Arc::new(Mutex::new(HashMap::new()));
+        let mut osd_txs = Vec::new();
+        let mut osd_rxs: Vec<Receiver<LiveMsg>> = Vec::new();
+        for _ in &map.osds {
+            let (tx, rx) = unbounded();
+            osd_txs.push(tx);
+            osd_rxs.push(rx);
+        }
+        let mut handles = Vec::new();
+        for (i, rx) in osd_rxs.into_iter().enumerate() {
+            let mut osd = Osd::new(OsdId(i as u32), cfg.clone(), map.clone());
+            let peers = osd_txs.clone();
+            let clients = client_txs.clone();
+            handles.push(std::thread::spawn(move || {
+                osd_event_loop(&mut osd, rx, &peers, &clients);
+            }));
+        }
+        LiveCluster {
+            map: Arc::new(RwLock::new(map)),
+            osd_txs,
+            handles,
+            client_txs,
+            next_client: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the current cluster map.
+    pub fn map(&self) -> OsdMap {
+        self.map.read().clone()
+    }
+
+    /// Fails an OSD (§IV-A-4): its thread stops, the map epoch bumps, every
+    /// survivor receives the update (triggering flush-but-keep and the
+    /// replacement's log pull), and clients re-route/retry automatically.
+    pub fn fail_osd(&self, osd: OsdId) {
+        {
+            let mut map = self.map.write();
+            if !map.osd(osd).up {
+                return;
+            }
+            map.mark_down(osd);
+        }
+        let _ = self.osd_txs[osd.0 as usize].send(LiveMsg::Shutdown);
+        let map = self.map.read().clone();
+        for (i, tx) in self.osd_txs.iter().enumerate() {
+            if i != osd.0 as usize {
+                let _ = tx.send(LiveMsg::Input(OsdInput::MapUpdate(map.clone())));
+            }
+        }
+    }
+
+    /// Opens a new blocking client handle. Clients are cheap; open one per
+    /// worker thread.
+    pub fn client(&self) -> LiveClient {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed) as u32);
+        let (tx, rx) = unbounded();
+        self.client_txs.lock().insert(id.0, tx);
+        LiveClient {
+            id,
+            map: Arc::clone(&self.map),
+            osd_txs: self.osd_txs.clone(),
+            rx,
+            next_op: AtomicU64::new(1),
+        }
+    }
+
+    /// Stops every OSD thread and waits for them to exit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an OSD thread itself panicked.
+    pub fn shutdown(self) {
+        for tx in &self.osd_txs {
+            let _ = tx.send(LiveMsg::Shutdown);
+        }
+        for h in self.handles {
+            h.join().expect("osd thread exited cleanly");
+        }
+    }
+}
+
+fn osd_event_loop(
+    osd: &mut Osd,
+    rx: Receiver<LiveMsg>,
+    peers: &[Sender<LiveMsg>],
+    clients: &ClientTxs,
+) {
+    while let Ok(msg) = rx.recv() {
+        let input = match msg {
+            LiveMsg::Input(input) => input,
+            LiveMsg::Shutdown => return,
+        };
+        // Process the input and chase synchronous completions: the live
+        // backends are durable on return, so StoreIo effects complete
+        // immediately.
+        let mut work = vec![input];
+        while let Some(input) = work.pop() {
+            for effect in osd.handle(input) {
+                match effect {
+                    OsdEffect::SendPeer { to, msg } => {
+                        let from = osd.id;
+                        let _ = peers[to.0 as usize]
+                            .send(LiveMsg::Input(OsdInput::Peer { from, msg }));
+                    }
+                    OsdEffect::Reply { to, msg } => {
+                        let guard = clients.lock();
+                        if let Some(tx) = guard.get(&to.0) {
+                            let _ = tx.send(msg);
+                        }
+                    }
+                    OsdEffect::StoreIo { token, wait, .. } => {
+                        if wait {
+                            work.push(OsdInput::StoreDurable { token });
+                        }
+                    }
+                    OsdEffect::WakeFlush { group } => {
+                        work.push(OsdInput::FlushGroup { group });
+                    }
+                    OsdEffect::WakeRead { token } => {
+                        work.push(OsdInput::ReadFromStore { token });
+                    }
+                    OsdEffect::WakeSubmit { token } => {
+                        work.push(OsdInput::SubmitDeferred { token });
+                    }
+                    OsdEffect::WakeMaintenance => {
+                        work.push(OsdInput::MaintStep);
+                    }
+                    OsdEffect::NvmWritten { .. } | OsdEffect::Maintained { .. } => {}
+                }
+            }
+        }
+    }
+}
+
+/// A blocking client handle onto a [`LiveCluster`].
+///
+/// Serialize operations per handle (one in flight at a time); open one
+/// client per worker thread. On an OSD failure, in-flight operations are
+/// retried against the new primary — safe because the write path is
+/// idempotent (in-place overwrites; duplicate log records flush to the
+/// same bytes).
+pub struct LiveClient {
+    id: ClientId,
+    map: Arc<RwLock<OsdMap>>,
+    osd_txs: Vec<Sender<LiveMsg>>,
+    rx: Receiver<ClientReply>,
+    next_op: AtomicU64,
+}
+
+impl LiveClient {
+    fn submit(&self, req: ClientReq) -> ClientReply {
+        let want = req.op();
+        loop {
+            let primary = self.map.read().primary(req.oid().group());
+            let _ = self.osd_txs[primary.0 as usize]
+                .send(LiveMsg::Input(OsdInput::Client { from: self.id, req: req.clone() }));
+            // Wait with a timeout: if the primary died mid-operation, the
+            // reply never comes and we retry against the new map.
+            match self.rx.recv_timeout(std::time::Duration::from_millis(200)) {
+                Ok(reply) if reply.op() == want => return reply,
+                Ok(_) => continue, // stale reply from an abandoned attempt
+                Err(_) => continue, // timeout: re-route and retry
+            }
+        }
+    }
+
+    fn op(&self) -> OpId {
+        OpId(self.next_op.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Pre-creates an object of `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn create(&self, oid: ObjectId, size: u64) -> Result<(), StoreError> {
+        match self.submit(ClientReq::Create { op: self.op(), oid, size }) {
+            ClientReply::Done { .. } => Ok(()),
+            ClientReply::Error { error, .. } => Err(error),
+            ClientReply::Data { .. } => unreachable!("create never returns data"),
+        }
+    }
+
+    /// Writes `data` at `offset`, replicated and durable on return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn write(&self, oid: ObjectId, offset: u64, data: Vec<u8>) -> Result<(), StoreError> {
+        match self.submit(ClientReq::Write { op: self.op(), oid, offset, data }) {
+            ClientReply::Done { .. } => Ok(()),
+            ClientReply::Error { error, .. } => Err(error),
+            ClientReply::Data { .. } => unreachable!("write never returns data"),
+        }
+    }
+
+    /// Reads `len` bytes at `offset` with strong consistency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors ([`StoreError::NotFound`], bounds).
+    pub fn read(&self, oid: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        match self.submit(ClientReq::Read { op: self.op(), oid, offset, len }) {
+            ClientReply::Data { data, .. } => Ok(data),
+            ClientReply::Error { error, .. } => Err(error),
+            ClientReply::Done { .. } => unreachable!("read always returns data"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osd::PipelineMode;
+    use rablock_cos::CosOptions;
+    use rablock_lsm::LsmOptions;
+    use rablock_storage::GroupId;
+
+    fn cfg(mode: PipelineMode) -> OsdConfig {
+        OsdConfig {
+            mode,
+            device_bytes: 48 << 20,
+            nvm_bytes: 8 << 20,
+            ring_bytes: 256 << 10,
+            flush_threshold: 8,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+        }
+    }
+
+    fn cluster(mode: PipelineMode) -> LiveCluster {
+        LiveCluster::start(OsdMap::new(2, 1, 8, 2), cfg(mode))
+    }
+
+    #[test]
+    fn live_write_read_round_trip_dop() {
+        let c = cluster(PipelineMode::Dop);
+        let client = c.client();
+        let oid = ObjectId::new(GroupId(3), 7);
+        client.create(oid, 1 << 20).unwrap();
+        client.write(oid, 4096, vec![0xEE; 8192]).unwrap();
+        assert_eq!(client.read(oid, 4096, 8192).unwrap(), vec![0xEE; 8192]);
+        c.shutdown();
+    }
+
+    #[test]
+    fn live_write_read_round_trip_original() {
+        let c = cluster(PipelineMode::Original);
+        let client = c.client();
+        let oid = ObjectId::new(GroupId(2), 9);
+        client.write(oid, 0, vec![0x42; 4096]).unwrap();
+        assert_eq!(client.read(oid, 0, 4096).unwrap(), vec![0x42; 4096]);
+        c.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_corrupt() {
+        let c = cluster(PipelineMode::Dop);
+        let mut joins = Vec::new();
+        for w in 0..4u8 {
+            let client = c.client();
+            joins.push(std::thread::spawn(move || {
+                let oid = ObjectId::new(GroupId(w as u32 % 8), 100 + w as u64);
+                client.create(oid, 1 << 20).unwrap();
+                for i in 0..50u64 {
+                    let fill = w.wrapping_mul(31).wrapping_add(i as u8);
+                    client.write(oid, (i % 16) * 4096, vec![fill; 4096]).unwrap();
+                    let got = client.read(oid, (i % 16) * 4096, 4096).unwrap();
+                    assert_eq!(got, vec![fill; 4096], "worker {w} op {i}");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn flush_threshold_crossing_keeps_reads_consistent() {
+        let c = cluster(PipelineMode::Dop);
+        let client = c.client();
+        let oid = ObjectId::new(GroupId(1), 1);
+        client.create(oid, 1 << 20).unwrap();
+        // Push well past the flush threshold; every read must see the
+        // latest write regardless of whether it is in the log or the store.
+        for i in 0..64u64 {
+            client.write(oid, (i % 8) * 4096, vec![i as u8; 4096]).unwrap();
+            let got = client.read(oid, (i % 8) * 4096, 4096).unwrap();
+            assert_eq!(got, vec![i as u8; 4096], "op {i}");
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn missing_object_reports_not_found() {
+        let c = cluster(PipelineMode::Dop);
+        let client = c.client();
+        let oid = ObjectId::new(GroupId(5), 12345);
+        assert_eq!(client.read(oid, 0, 64), Err(StoreError::NotFound));
+        c.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod failover_tests {
+    use super::*;
+    use crate::osd::PipelineMode;
+    use rablock_cos::CosOptions;
+    use rablock_lsm::LsmOptions;
+    use rablock_storage::GroupId;
+
+    #[test]
+    fn writes_survive_replica_failure_live() {
+        // Three nodes: replication 2 survives one failure.
+        let cfg = OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 48 << 20,
+            nvm_bytes: 8 << 20,
+            ring_bytes: 256 << 10,
+            flush_threshold: 8,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+        };
+        let c = LiveCluster::start(OsdMap::new(3, 1, 8, 2), cfg);
+        let client = c.client();
+        let group = GroupId(0);
+        let oid = ObjectId::new(group, 5);
+        client.create(oid, 1 << 20).unwrap();
+        for i in 0..20u64 {
+            client.write(oid, (i % 8) * 4096, vec![i as u8; 4096]).unwrap();
+        }
+        // Kill the group's secondary mid-stream.
+        let secondary = c.map().acting_set(group)[1];
+        c.fail_osd(secondary);
+        // Writes and reads keep working against the new acting set.
+        for i in 20..40u64 {
+            client.write(oid, (i % 8) * 4096, vec![i as u8; 4096]).unwrap();
+        }
+        for block in 0..8u64 {
+            let newest = (0..40u64).rev().find(|i| i % 8 == block).unwrap();
+            assert_eq!(
+                client.read(oid, block * 4096, 4096).unwrap(),
+                vec![newest as u8; 4096],
+                "block {block}"
+            );
+        }
+        let new_set = c.map().acting_set(group);
+        assert!(!new_set.contains(&secondary));
+        c.shutdown();
+    }
+
+    #[test]
+    fn primary_failure_promotes_and_recovers_acknowledged_writes() {
+        let cfg = OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 48 << 20,
+            nvm_bytes: 8 << 20,
+            ring_bytes: 256 << 10,
+            flush_threshold: 64, // keep data in the op log to stress recovery
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+        };
+        let c = LiveCluster::start(OsdMap::new(3, 1, 8, 2), cfg);
+        let client = c.client();
+        let group = GroupId(1);
+        let oid = ObjectId::new(group, 9);
+        client.create(oid, 1 << 20).unwrap();
+        for i in 0..16u64 {
+            client.write(oid, (i % 4) * 4096, vec![(i + 1) as u8; 4096]).unwrap();
+        }
+        // Kill the PRIMARY: the secondary (which logged every write in its
+        // NVM) is promoted and must serve the latest acknowledged data.
+        let primary = c.map().acting_set(group)[0];
+        c.fail_osd(primary);
+        for block in 0..4u64 {
+            let newest = (0..16u64).rev().find(|i| i % 4 == block).unwrap();
+            assert_eq!(
+                client.read(oid, block * 4096, 4096).unwrap(),
+                vec![(newest + 1) as u8; 4096],
+                "block {block} after primary failover"
+            );
+        }
+        c.shutdown();
+    }
+}

@@ -1,0 +1,237 @@
+//! Cluster message types.
+//!
+//! Everything that crosses the wire between clients, OSDs and the monitor.
+//! Messages carry real payloads (reads return the bytes that were written),
+//! and each knows its approximate wire size so network serialization and
+//! per-message CPU can be charged faithfully.
+
+use rablock_storage::{GroupId, ObjectId, StoreError, Transaction};
+
+use crate::placement::{OsdId, OsdMap};
+
+/// Identifies one client connection.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ClientId(pub u32);
+
+/// Client-assigned id for one outstanding operation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct OpId(pub u64);
+
+/// Fixed per-message header overhead on the wire (Ceph msgr-like).
+pub const MSG_HEADER_BYTES: u64 = 192;
+
+/// A client request to an OSD.
+#[derive(Clone, Debug)]
+pub enum ClientReq {
+    /// Write `data` at `offset` of `oid`.
+    Write {
+        /// Operation id (echoed in the reply).
+        op: OpId,
+        /// Target object.
+        oid: ObjectId,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Read `len` bytes at `offset` of `oid`.
+    Read {
+        /// Operation id (echoed in the reply).
+        op: OpId,
+        /// Target object.
+        oid: ObjectId,
+        /// Byte offset within the object.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Pre-create an object (RBD image provisioning).
+    Create {
+        /// Operation id (echoed in the reply).
+        op: OpId,
+        /// Target object.
+        oid: ObjectId,
+        /// Object size in bytes.
+        size: u64,
+    },
+}
+
+impl ClientReq {
+    /// The operation id.
+    pub fn op(&self) -> OpId {
+        match self {
+            ClientReq::Write { op, .. } | ClientReq::Read { op, .. } | ClientReq::Create { op, .. } => *op,
+        }
+    }
+
+    /// Target object.
+    pub fn oid(&self) -> ObjectId {
+        match self {
+            ClientReq::Write { oid, .. } | ClientReq::Read { oid, .. } | ClientReq::Create { oid, .. } => *oid,
+        }
+    }
+
+    /// Approximate wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        MSG_HEADER_BYTES
+            + match self {
+                ClientReq::Write { data, .. } => data.len() as u64,
+                _ => 0,
+            }
+    }
+}
+
+/// An OSD's reply to a client.
+#[derive(Clone, Debug)]
+pub enum ClientReply {
+    /// Write/create completed.
+    Done {
+        /// Echoed operation id.
+        op: OpId,
+    },
+    /// Read completed with data.
+    Data {
+        /// Echoed operation id.
+        op: OpId,
+        /// The bytes read.
+        data: Vec<u8>,
+    },
+    /// The operation failed.
+    Error {
+        /// Echoed operation id.
+        op: OpId,
+        /// Why.
+        error: StoreError,
+    },
+}
+
+impl ClientReply {
+    /// The echoed operation id.
+    pub fn op(&self) -> OpId {
+        match self {
+            ClientReply::Done { op } | ClientReply::Data { op, .. } | ClientReply::Error { op, .. } => *op,
+        }
+    }
+
+    /// Approximate wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        MSG_HEADER_BYTES
+            + match self {
+                ClientReply::Data { data, .. } => data.len() as u64,
+                _ => 0,
+            }
+    }
+}
+
+/// OSD-to-OSD messages.
+#[derive(Clone, Debug)]
+pub enum PeerMsg {
+    /// Primary-backup replication of a transaction; the replica persists to
+    /// its backend store before acking (stock path).
+    Repop {
+        /// Group the transaction belongs to.
+        group: GroupId,
+        /// Primary-assigned sequence.
+        seq: u64,
+        /// The transaction to apply.
+        txn: Transaction,
+    },
+    /// Decoupled replication (§IV-A): the replica logs to NVM and acks
+    /// immediately.
+    RepopNvm {
+        /// Group the transaction belongs to.
+        group: GroupId,
+        /// Primary-assigned sequence.
+        seq: u64,
+        /// The transaction to log.
+        txn: Transaction,
+    },
+    /// Replica acknowledgment.
+    RepAck {
+        /// Group.
+        group: GroupId,
+        /// Acked sequence.
+        seq: u64,
+        /// Which replica acks.
+        from: OsdId,
+    },
+    /// Peer recovery: request the pending operation-log records of a group
+    /// (§IV-A-4 synchronization).
+    PullLog {
+        /// Group to synchronize.
+        group: GroupId,
+        /// Requesting OSD.
+        from: OsdId,
+    },
+    /// Peer recovery: the pending records of a group, encoded.
+    LogRecords {
+        /// Group being synchronized.
+        group: GroupId,
+        /// Encoded [`rablock_oplog::LogRecord`]s.
+        records: Vec<Vec<u8>>,
+    },
+}
+
+impl PeerMsg {
+    /// Approximate wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        MSG_HEADER_BYTES
+            + match self {
+                PeerMsg::Repop { txn, .. } | PeerMsg::RepopNvm { txn, .. } => txn.user_bytes() + 256,
+                PeerMsg::RepAck { .. } => 0,
+                PeerMsg::PullLog { .. } => 0,
+                PeerMsg::LogRecords { records, .. } => {
+                    records.iter().map(|r| r.len() as u64).sum()
+                }
+            }
+    }
+}
+
+/// Monitor messages (cluster-map distribution).
+#[derive(Clone, Debug)]
+pub enum MonMsg {
+    /// An OSD (or the driver) reports a failure.
+    ReportFailure {
+        /// The OSD believed dead.
+        osd: OsdId,
+    },
+    /// A new map epoch, broadcast to everyone.
+    MapUpdate {
+        /// The new map.
+        map: OsdMap,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rablock_storage::{GroupId, Op};
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let oid = ObjectId::new(GroupId(0), 1);
+        let w = ClientReq::Write { op: OpId(1), oid, offset: 0, data: vec![0; 4096] };
+        let r = ClientReq::Read { op: OpId(2), oid, offset: 0, len: 4096 };
+        assert_eq!(w.wire_bytes(), MSG_HEADER_BYTES + 4096);
+        assert_eq!(r.wire_bytes(), MSG_HEADER_BYTES);
+        let reply = ClientReply::Data { op: OpId(2), data: vec![0; 4096] };
+        assert_eq!(reply.wire_bytes(), MSG_HEADER_BYTES + 4096);
+    }
+
+    #[test]
+    fn repop_wire_includes_payload_and_metadata() {
+        let oid = ObjectId::new(GroupId(0), 1);
+        let txn = Transaction::new(GroupId(0), 9, vec![Op::Write { oid, offset: 0, data: vec![1; 4096] }]);
+        let m = PeerMsg::Repop { group: GroupId(0), seq: 9, txn };
+        assert!(m.wire_bytes() > MSG_HEADER_BYTES + 4096);
+    }
+
+    #[test]
+    fn ids_echo_through_accessors() {
+        let oid = ObjectId::new(GroupId(7), 3);
+        let req = ClientReq::Create { op: OpId(42), oid, size: 1 };
+        assert_eq!(req.op(), OpId(42));
+        assert_eq!(req.oid(), oid);
+        assert_eq!(ClientReply::Done { op: OpId(42) }.op(), OpId(42));
+    }
+}

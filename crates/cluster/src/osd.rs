@@ -1,0 +1,1337 @@
+//! The OSD daemon as a sans-io state machine.
+//!
+//! All protocol logic — primary-backup replication, the decoupled NVM
+//! operation-log path, flushes, reads with strong consistency, peer log
+//! recovery — lives here, independent of any execution substrate. Inputs
+//! ([`OsdInput`]) are delivered by a driver (the deterministic simulation in
+//! [`crate::sim_driver`] or the real-thread runtime in
+//! [`crate::live_driver`]); outputs ([`OsdEffect`]) tell the driver what to
+//! send, reply, persist, or schedule. The state machine never blocks and
+//! never looks at a clock.
+//!
+//! The [`PipelineMode`] selects which of the paper's systems this OSD is:
+//! stock Ceph (`Original`), the roofline variants (`RtcV1..V3`), the
+//! ablations (`Cos`, `Ptc`), the full proposed system (`Dop`), or the
+//! no-storage-processing upper bound (`Ideal`).
+
+use std::collections::HashMap;
+
+use rablock_cos::{CosObjectStore, CosOptions};
+use rablock_lsm::{LsmObjectStore, LsmOptions};
+use rablock_oplog::{GroupLog, LogRecord, ReadPath};
+use rablock_storage::{
+    GroupId, MemDisk, NvmRegion, ObjectId, ObjectStore, Op, StoreError, StoreStats, TraceIo,
+    Transaction,
+};
+
+use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg};
+use crate::placement::{OsdId, OsdMap};
+
+/// Which of the paper's systems an OSD runs as.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum PipelineMode {
+    /// Stock Ceph: thread-pool messenger + PG threads, BlueStore-like LSM
+    /// backend.
+    Original,
+    /// Run-to-completion roofline variant: full path (MP+RP+TP+OS+MT) on
+    /// one thread per connection.
+    RtcV1,
+    /// RTC without object store (MP+RP+TP): store returns instantly.
+    RtcV2,
+    /// RTC without transaction or store (MP+RP only).
+    RtcV3,
+    /// Ablation: stock threading, CPU-efficient object store backend.
+    Cos,
+    /// Ablation: COS + prioritized thread control (no NVM decoupling:
+    /// replication still waits for the backend store).
+    Ptc,
+    /// The full proposed system: decoupled operation processing + PTC + COS.
+    Dop,
+    /// Upper bound: proposed threading with zero storage processing.
+    Ideal,
+}
+
+impl PipelineMode {
+    /// True for modes using the NVM operation log (top/bottom-half split).
+    pub fn decoupled(self) -> bool {
+        matches!(self, PipelineMode::Dop)
+    }
+
+    /// True for modes with priority/non-priority thread control.
+    pub fn prioritized(self) -> bool {
+        matches!(self, PipelineMode::Ptc | PipelineMode::Dop | PipelineMode::Ideal)
+    }
+
+    /// True for the roofline run-to-completion variants.
+    pub fn run_to_completion(self) -> bool {
+        matches!(self, PipelineMode::RtcV1 | PipelineMode::RtcV2 | PipelineMode::RtcV3)
+    }
+
+    /// True when transaction processing is skipped entirely (MP+RP only).
+    pub fn null_transaction(self) -> bool {
+        matches!(self, PipelineMode::RtcV3 | PipelineMode::Ideal)
+    }
+
+    /// True when the backend store is a no-op (but TP still runs).
+    pub fn null_store(self) -> bool {
+        matches!(self, PipelineMode::RtcV2)
+    }
+
+    /// True for modes backed by the LSM (BlueStore-like) store.
+    pub fn lsm_backend(self) -> bool {
+        matches!(self, PipelineMode::Original | PipelineMode::RtcV1)
+    }
+
+    /// True for modes backed by the CPU-efficient object store.
+    pub fn cos_backend(self) -> bool {
+        matches!(self, PipelineMode::Cos | PipelineMode::Ptc | PipelineMode::Dop)
+    }
+}
+
+/// Static configuration of one OSD.
+#[derive(Debug, Clone)]
+pub struct OsdConfig {
+    /// Pipeline variant.
+    pub mode: PipelineMode,
+    /// Backend device capacity in bytes.
+    pub device_bytes: u64,
+    /// NVM capacity for operation logs.
+    pub nvm_bytes: u64,
+    /// NVM ring bytes per logical group.
+    pub ring_bytes: u64,
+    /// Flush threshold (paper default 16 entries per group).
+    pub flush_threshold: usize,
+    /// LSM backend options (LSM modes).
+    pub lsm: LsmOptions,
+    /// COS backend options (COS modes).
+    pub cos: CosOptions,
+}
+
+impl Default for OsdConfig {
+    fn default() -> Self {
+        OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 96 << 20,
+            nvm_bytes: 16 << 20,
+            ring_bytes: 256 << 10,
+            flush_threshold: 16,
+            lsm: LsmOptions::default(),
+            cos: CosOptions::default(),
+        }
+    }
+}
+
+/// The backend store behind one OSD.
+pub enum Backend {
+    /// BlueStore-like LSM store.
+    Lsm(LsmObjectStore<MemDisk>),
+    /// CPU-efficient object store.
+    Cos(CosObjectStore<MemDisk>),
+    /// No-op store (roofline variants / Ideal).
+    Null,
+}
+
+impl Backend {
+    fn submit(&mut self, txn: Transaction) -> Result<(), StoreError> {
+        match self {
+            Backend::Lsm(s) => s.submit(txn),
+            Backend::Cos(s) => s.submit(txn),
+            Backend::Null => Ok(()),
+        }
+    }
+
+    fn read(&mut self, oid: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        match self {
+            Backend::Lsm(s) => s.read(oid, offset, len),
+            Backend::Cos(s) => s.read(oid, offset, len),
+            Backend::Null => Ok(vec![0; len as usize]),
+        }
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceIo> {
+        match self {
+            Backend::Lsm(s) => s.take_trace(),
+            Backend::Cos(s) => s.take_trace(),
+            Backend::Null => Vec::new(),
+        }
+    }
+
+    fn needs_maintenance(&self) -> bool {
+        match self {
+            Backend::Lsm(s) => s.needs_maintenance(),
+            Backend::Cos(s) => s.needs_maintenance(),
+            Backend::Null => false,
+        }
+    }
+
+    fn maintenance(&mut self) -> rablock_storage::MaintenanceReport {
+        match self {
+            Backend::Lsm(s) => s.maintenance(),
+            Backend::Cos(s) => s.maintenance(),
+            Backend::Null => rablock_storage::MaintenanceReport::default(),
+        }
+    }
+
+    /// Store traffic statistics (WAF measurements).
+    pub fn stats(&self) -> StoreStats {
+        match self {
+            Backend::Lsm(s) => s.stats(),
+            Backend::Cos(s) => s.stats(),
+            Backend::Null => StoreStats::default(),
+        }
+    }
+
+    /// Resets store statistics.
+    pub fn reset_stats(&mut self) {
+        match self {
+            Backend::Lsm(s) => s.reset_stats(),
+            Backend::Cos(s) => s.reset_stats(),
+            Backend::Null => {}
+        }
+    }
+}
+
+/// Events delivered to the OSD by its driver.
+#[derive(Debug)]
+pub enum OsdInput {
+    /// A client request arrived.
+    Client {
+        /// The connection it came from.
+        from: ClientId,
+        /// The request.
+        req: ClientReq,
+    },
+    /// A peer OSD message arrived.
+    Peer {
+        /// Sending OSD.
+        from: OsdId,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// All device I/Os of a prior [`OsdEffect::StoreIo`] completed.
+    StoreDurable {
+        /// Token from the effect.
+        token: u64,
+    },
+    /// A non-priority thread picked up a flush request for a group.
+    FlushGroup {
+        /// The group to flush.
+        group: GroupId,
+    },
+    /// A non-priority thread picked up a store-read request.
+    ReadFromStore {
+        /// Token registered when the read was deferred.
+        token: u64,
+    },
+    /// A non-priority thread picked up a deferred store submit (PTC mode:
+    /// storage processing runs on non-priority threads).
+    SubmitDeferred {
+        /// Token registered when the submit was deferred.
+        token: u64,
+    },
+    /// The maintenance thread ticked.
+    MaintStep,
+    /// A new cluster map arrived.
+    MapUpdate(OsdMap),
+}
+
+/// Instructions the OSD hands back to its driver.
+#[derive(Debug)]
+pub enum OsdEffect {
+    /// Send a message to a peer OSD.
+    SendPeer {
+        /// Destination.
+        to: OsdId,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// Reply to a client.
+    Reply {
+        /// Destination connection.
+        to: ClientId,
+        /// The reply.
+        msg: ClientReply,
+    },
+    /// Replay these device I/Os; if `wait`, deliver
+    /// [`OsdInput::StoreDurable`] with `token` when they all complete.
+    StoreIo {
+        /// Completion token.
+        token: u64,
+        /// The device I/Os the store performed.
+        trace: Vec<TraceIo>,
+        /// Whether completion must be reported.
+        wait: bool,
+    },
+    /// Bytes appended to the NVM operation log (for cost accounting).
+    NvmWritten {
+        /// Record bytes.
+        bytes: u64,
+    },
+    /// Wake a non-priority thread to flush `group`.
+    WakeFlush {
+        /// The group over its threshold.
+        group: GroupId,
+    },
+    /// Wake a non-priority thread to serve a deferred store read.
+    WakeRead {
+        /// Token to hand back via [`OsdInput::ReadFromStore`].
+        token: u64,
+    },
+    /// Wake a non-priority thread to run a deferred store submit.
+    WakeSubmit {
+        /// Token to hand back via [`OsdInput::SubmitDeferred`].
+        token: u64,
+    },
+    /// Wake the maintenance thread.
+    WakeMaintenance,
+    /// One maintenance step moved this many bytes (for MT cost accounting).
+    Maintained {
+        /// Bytes read + written by the step.
+        bytes: u64,
+        /// More maintenance is pending.
+        more: bool,
+    },
+}
+
+struct WriteOp {
+    client: ClientId,
+    op: OpId,
+    waiting_acks: Vec<OsdId>,
+    local_done: bool,
+}
+
+enum StoreCtx {
+    /// Local persist of a primary write.
+    WriteLocal { seq: u64 },
+    /// Replica persist; ack `seq` to `primary` when durable.
+    ReplicaPersist { primary: OsdId, group: GroupId, seq: u64 },
+    /// A read waiting for its device I/O.
+    Read { client: ClientId, op: OpId, data: Vec<u8> },
+    /// A batch flush of `group`; drain `records` log records when durable.
+    Flush { group: GroupId, records: usize, keep: bool },
+    /// Background I/O nobody waits for.
+    Background,
+}
+
+struct DeferredSubmit {
+    txn: Transaction,
+    ctx: StoreCtx,
+}
+
+struct DeferredRead {
+    client: ClientId,
+    op: OpId,
+    oid: ObjectId,
+    offset: u64,
+    len: u64,
+}
+
+#[derive(Default)]
+struct GroupRuntime {
+    flushing: bool,
+    /// Reads waiting for the in-flight flush to become durable.
+    waiting_reads: Vec<DeferredRead>,
+}
+
+/// One OSD daemon (sans-io core).
+pub struct Osd {
+    /// This OSD's identity.
+    pub id: OsdId,
+    cfg: OsdConfig,
+    backend: Backend,
+    nvm: NvmRegion,
+    nvm_next: u64,
+    logs: HashMap<GroupId, GroupLog>,
+    group_rt: HashMap<GroupId, GroupRuntime>,
+    map: OsdMap,
+    seq: u64,
+    next_token: u64,
+    inflight: HashMap<u64, WriteOp>,
+    pending_store: HashMap<u64, StoreCtx>,
+    deferred_reads: HashMap<u64, DeferredRead>,
+    deferred_submits: HashMap<u64, DeferredSubmit>,
+    maint_scheduled: bool,
+    /// Forced synchronous flushes because NVM filled up (paper §IV-A).
+    pub nvm_full_stalls: u64,
+}
+
+impl Osd {
+    /// Creates an OSD with a freshly formatted backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot be formatted with the given config —
+    /// that is a configuration error worth failing loudly on.
+    pub fn new(id: OsdId, cfg: OsdConfig, map: OsdMap) -> Self {
+        let backend = if cfg.mode.lsm_backend() {
+            Backend::Lsm(
+                LsmObjectStore::open(MemDisk::new(cfg.device_bytes), cfg.lsm.clone())
+                    .expect("LSM backend formats"),
+            )
+        } else if cfg.mode.cos_backend() {
+            Backend::Cos(
+                CosObjectStore::format(MemDisk::new(cfg.device_bytes), cfg.cos.clone())
+                    .expect("COS backend formats"),
+            )
+        } else {
+            Backend::Null
+        };
+        Osd {
+            id,
+            nvm: NvmRegion::new(cfg.nvm_bytes),
+            nvm_next: 0,
+            cfg,
+            backend,
+            logs: HashMap::new(),
+            group_rt: HashMap::new(),
+            map,
+            seq: 0,
+            next_token: 1,
+            inflight: HashMap::new(),
+            pending_store: HashMap::new(),
+            deferred_reads: HashMap::new(),
+            deferred_submits: HashMap::new(),
+            maint_scheduled: false,
+            nvm_full_stalls: 0,
+        }
+    }
+
+    /// The pipeline mode this OSD runs as.
+    pub fn mode(&self) -> PipelineMode {
+        self.cfg.mode
+    }
+
+    /// The backend store (statistics access).
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Mutable backend access (reset stats after warm-up).
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
+    }
+
+    /// NVM bytes written so far (operation-log accounting).
+    pub fn nvm_bytes_written(&self) -> u64 {
+        self.nvm.bytes_written()
+    }
+
+    /// Pending operation-log entries of one group (Fig. 12 diagnostics).
+    pub fn log_pending(&self, group: GroupId) -> usize {
+        self.logs.get(&group).map_or(0, GroupLog::pending)
+    }
+
+    /// Groups with pending log entries, sorted (timeout-flush sweeps).
+    pub fn pending_groups(&self) -> Vec<GroupId> {
+        let mut v: Vec<GroupId> = self
+            .logs
+            .iter()
+            .filter(|(g, l)| l.pending() > 0 && !self.group_rt.get(g).is_some_and(|r| r.flushing))
+            .map(|(g, _)| *g)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Instantly provisions an object in the backend, bypassing the
+    /// protocol (image-creation prefill before a measured run).
+    pub fn bootstrap_object(&mut self, oid: ObjectId, size: u64) {
+        self.seq += 1;
+        let txn = Transaction::new(oid.group(), self.seq, vec![Op::Create { oid, size }]);
+        self.backend.submit(txn).expect("bootstrap create");
+        let _ = self.backend.take_trace();
+        while self.backend.needs_maintenance() {
+            self.backend.maintenance();
+            let _ = self.backend.take_trace();
+        }
+    }
+
+    /// The current cluster map as this OSD knows it.
+    pub fn map(&self) -> &OsdMap {
+        &self.map
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn replicas_of(&self, group: GroupId) -> Vec<OsdId> {
+        self.map
+            .acting_set(group)
+            .into_iter()
+            .filter(|&o| o != self.id)
+            .collect()
+    }
+
+    fn log_for(&mut self, group: GroupId) -> &mut GroupLog {
+        if !self.logs.contains_key(&group) {
+            let base = self.nvm_next;
+            assert!(
+                base + self.cfg.ring_bytes <= self.nvm.capacity(),
+                "{}: NVM exhausted allocating ring for {group}",
+                self.id
+            );
+            self.nvm_next += self.cfg.ring_bytes;
+            let log = GroupLog::format(&mut self.nvm, group, base, self.cfg.ring_bytes, self.cfg.flush_threshold)
+                .expect("ring formats in fresh NVM");
+            self.logs.insert(group, log);
+        }
+        self.logs.get_mut(&group).expect("just inserted")
+    }
+
+    /// Builds the backend transaction for a client write, including the
+    /// metadata records Ceph attaches to every request (`object_info_t`
+    /// xattr, pg-log entry) — the "many key-value writes" of §V-B.
+    fn build_write_txn(&mut self, group: GroupId, seq: u64, oid: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
+        let pglog_key = format!("pglog.{}.{seq}", group.0).into_bytes();
+        Transaction::new(
+            group,
+            seq,
+            vec![
+                Op::Write { oid, offset, data },
+                Op::SetXattr { oid, key: "oi".into(), value: vec![0xA5; 64] },
+                Op::MetaPut { key: pglog_key, value: vec![0x5A; 180] },
+            ],
+        )
+    }
+
+    /// Handles one input, returning the effects for the driver.
+    pub fn handle(&mut self, input: OsdInput) -> Vec<OsdEffect> {
+        let mut fx = Vec::new();
+        match input {
+            OsdInput::Client { from, req } => self.on_client(from, req, &mut fx),
+            OsdInput::Peer { from, msg } => self.on_peer(from, msg, &mut fx),
+            OsdInput::StoreDurable { token } => self.on_store_durable(token, &mut fx),
+            OsdInput::FlushGroup { group } => self.on_flush_group(group, &mut fx),
+            OsdInput::ReadFromStore { token } => self.on_read_from_store(token, &mut fx),
+            OsdInput::SubmitDeferred { token } => self.on_submit_deferred(token, &mut fx),
+            OsdInput::MaintStep => self.on_maint_step(&mut fx),
+            OsdInput::MapUpdate(map) => self.on_map_update(map, &mut fx),
+        }
+        fx
+    }
+
+    fn on_client(&mut self, from: ClientId, req: ClientReq, fx: &mut Vec<OsdEffect>) {
+        match req {
+            ClientReq::Write { op, oid, offset, data } => {
+                self.seq += 1;
+                let seq = self.seq;
+                let group = oid.group();
+                let txn = self.build_write_txn(group, seq, oid, offset, data);
+                if self.cfg.mode.decoupled() {
+                    self.write_decoupled(from, op, group, seq, txn, fx);
+                } else {
+                    self.write_coupled(from, op, group, seq, txn, fx);
+                }
+            }
+            ClientReq::Create { op, oid, size } => {
+                self.seq += 1;
+                let seq = self.seq;
+                let group = oid.group();
+                let txn = Transaction::new(group, seq, vec![Op::Create { oid, size }]);
+                if self.cfg.mode.decoupled() {
+                    self.write_decoupled(from, op, group, seq, txn, fx);
+                } else {
+                    self.write_coupled(from, op, group, seq, txn, fx);
+                }
+            }
+            ClientReq::Read { op, oid, offset, len } => {
+                self.on_client_read(from, op, oid, offset, len, fx);
+            }
+        }
+    }
+
+    /// Stock write path: replicate and persist before acking (Fig. 3-a).
+    fn write_coupled(
+        &mut self,
+        from: ClientId,
+        op: OpId,
+        group: GroupId,
+        seq: u64,
+        txn: Transaction,
+        fx: &mut Vec<OsdEffect>,
+    ) {
+        let replicas = self.replicas_of(group);
+        for &r in &replicas {
+            fx.push(OsdEffect::SendPeer { to: r, msg: PeerMsg::Repop { group, seq, txn: txn.clone() } });
+        }
+        let local_done = self.cfg.mode.null_transaction() || self.cfg.mode.null_store();
+        self.inflight.insert(seq, WriteOp { client: from, op, waiting_acks: replicas, local_done });
+        if local_done {
+            self.try_complete_write(seq, fx);
+            return;
+        }
+        if self.cfg.mode.prioritized() {
+            // PTC: the priority thread never does storage processing; hand
+            // the transaction to a non-priority thread (§IV-B).
+            let token = self.token();
+            self.deferred_submits.insert(token, DeferredSubmit { txn, ctx: StoreCtx::WriteLocal { seq } });
+            fx.push(OsdEffect::WakeSubmit { token });
+            return;
+        }
+        if let Err(error) = self.backend.submit(txn) {
+            self.inflight.remove(&seq);
+            fx.push(OsdEffect::Reply { to: from, msg: ClientReply::Error { op, error } });
+            return;
+        }
+        let token = self.token();
+        let trace = self.backend.take_trace();
+        self.pending_store.insert(token, StoreCtx::WriteLocal { seq });
+        fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+        self.kick_maintenance(fx);
+    }
+
+    /// Decoupled write path (Fig. 3-b): log to NVM, replicate, ack; flush
+    /// later in batches.
+    fn write_decoupled(
+        &mut self,
+        from: ClientId,
+        op: OpId,
+        group: GroupId,
+        seq: u64,
+        txn: Transaction,
+        fx: &mut Vec<OsdEffect>,
+    ) {
+        let replicas = self.replicas_of(group);
+        for &r in &replicas {
+            fx.push(OsdEffect::SendPeer {
+                to: r,
+                msg: PeerMsg::RepopNvm { group, seq, txn: txn.clone() },
+            });
+        }
+        let (bytes, stall) = self.log_append_with_fallback(group, txn, fx);
+        fx.push(OsdEffect::NvmWritten { bytes });
+        let local_done = match stall {
+            None => true,
+            Some(token) => {
+                // Synchronous-flush backpressure: the ack waits until the
+                // forced flush is durable.
+                self.pending_store.insert(token, StoreCtx::WriteLocal { seq });
+                false
+            }
+        };
+        self.inflight.insert(seq, WriteOp { client: from, op, waiting_acks: replicas, local_done });
+        let needs_flush = {
+            let log = self.log_for(group);
+            log.pending() >= log.flush_threshold
+        };
+        if needs_flush && !self.rt(group).flushing {
+            fx.push(OsdEffect::WakeFlush { group });
+        }
+        self.try_complete_write(seq, fx);
+    }
+
+    /// Appends to the group log; when NVM is full, forces a synchronous
+    /// flush first (the paper's degenerate full-NVM case: "flushing needs
+    /// to be synchronously done before handling I/O operations"). Returns
+    /// the NVM bytes written plus, on a stall, the store token the caller
+    /// must wait on before acknowledging — that wait is the backpressure
+    /// that keeps a log-ahead system device-bound under sustained load.
+    fn log_append_with_fallback(
+        &mut self,
+        group: GroupId,
+        txn: Transaction,
+        fx: &mut Vec<OsdEffect>,
+    ) -> (u64, Option<u64>) {
+        // Oversized writes bypass the log entirely: a record that cannot
+        // fit the ring is persisted synchronously to the backend (real
+        // journals cap entry sizes the same way).
+        let estimated = txn.user_bytes() + 2048;
+        if estimated + 64 >= self.cfg.ring_bytes {
+            self.backend.submit(txn).expect("oversized bypass submit");
+            let token = self.token();
+            let trace = self.backend.take_trace();
+            self.pending_store.insert(token, StoreCtx::Background);
+            fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+            self.kick_maintenance(fx);
+            return (0, Some(token));
+        }
+        // Take the log out to satisfy the borrow checker across the
+        // flush-retry path.
+        self.log_for(group);
+        let mut log = self.logs.remove(&group).expect("ensured above");
+        let mut stall_token = None;
+        let bytes = match log.append(&mut self.nvm, txn.clone()) {
+            Ok(outcome) => outcome.nvm_bytes,
+            Err(StoreError::NoSpace) => {
+                self.nvm_full_stalls += 1;
+                let txns = log
+                    .drain_for_flush(&mut self.nvm, usize::MAX)
+                    .expect("drain succeeds");
+                for t in txns {
+                    self.backend.submit(t).expect("flush submit");
+                }
+                let token = self.token();
+                let trace = self.backend.take_trace();
+                self.pending_store.insert(token, StoreCtx::Background);
+                fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                stall_token = Some(token);
+                log.append(&mut self.nvm, txn)
+                    .expect("append succeeds after full drain")
+                    .nvm_bytes
+            }
+            Err(e) => panic!("{}: unexpected op-log error: {e}", self.id),
+        };
+        self.logs.insert(group, log);
+        (bytes, stall_token)
+    }
+
+    fn rt(&mut self, group: GroupId) -> &mut GroupRuntime {
+        self.group_rt.entry(group).or_default()
+    }
+
+    fn on_client_read(
+        &mut self,
+        from: ClientId,
+        op: OpId,
+        oid: ObjectId,
+        offset: u64,
+        len: u64,
+        fx: &mut Vec<OsdEffect>,
+    ) {
+        if self.cfg.mode.null_transaction() {
+            // No storage processing: answer immediately (Ideal / RTC-v3).
+            fx.push(OsdEffect::Reply { to: from, msg: ClientReply::Data { op, data: vec![0; len as usize] } });
+            return;
+        }
+        if self.cfg.mode.decoupled() {
+            let group = oid.group();
+            let path = self
+                .logs
+                .get(&group)
+                .map_or(ReadPath::Store, |log| log.read_path(oid, offset, len));
+            match path {
+                ReadPath::FromLog(data) => {
+                    fx.push(OsdEffect::Reply { to: from, msg: ClientReply::Data { op, data } });
+                }
+                ReadPath::Store => {
+                    let token = self.token();
+                    self.deferred_reads.insert(token, DeferredRead { client: from, op, oid, offset, len });
+                    fx.push(OsdEffect::WakeRead { token });
+                }
+                ReadPath::FlushThenStore => {
+                    let dr = DeferredRead { client: from, op, oid, offset, len };
+                    self.rt(group).waiting_reads.push(dr);
+                    if !self.rt(group).flushing {
+                        fx.push(OsdEffect::WakeFlush { group });
+                    }
+                }
+            }
+            return;
+        }
+        if self.cfg.mode.prioritized() {
+            // PTC: store reads happen on non-priority threads too.
+            let token = self.token();
+            self.deferred_reads.insert(token, DeferredRead { client: from, op, oid, offset, len });
+            fx.push(OsdEffect::WakeRead { token });
+            return;
+        }
+        // Stock thread-pool / RTC modes: read the backend inline.
+        self.read_store_now(DeferredRead { client: from, op, oid, offset, len }, fx);
+    }
+
+    fn read_store_now(&mut self, dr: DeferredRead, fx: &mut Vec<OsdEffect>) {
+        match self.backend.read(dr.oid, dr.offset, dr.len) {
+            Ok(data) => {
+                let trace = self.backend.take_trace();
+                if trace.iter().any(|t| matches!(t.kind, rablock_storage::TraceKind::Read)) {
+                    let token = self.token();
+                    self.pending_store.insert(token, StoreCtx::Read { client: dr.client, op: dr.op, data });
+                    fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                } else {
+                    fx.push(OsdEffect::Reply { to: dr.client, msg: ClientReply::Data { op: dr.op, data } });
+                }
+            }
+            Err(error) => {
+                fx.push(OsdEffect::Reply { to: dr.client, msg: ClientReply::Error { op: dr.op, error } });
+            }
+        }
+    }
+
+    fn on_peer(&mut self, from: OsdId, msg: PeerMsg, fx: &mut Vec<OsdEffect>) {
+        match msg {
+            PeerMsg::Repop { group, seq, txn } => {
+                if self.cfg.mode.null_transaction() || self.cfg.mode.null_store() {
+                    fx.push(OsdEffect::SendPeer { to: from, msg: PeerMsg::RepAck { group, seq, from: self.id } });
+                    return;
+                }
+                let ctx = StoreCtx::ReplicaPersist { primary: from, group, seq };
+                if self.cfg.mode.prioritized() {
+                    let token = self.token();
+                    self.deferred_submits.insert(token, DeferredSubmit { txn, ctx });
+                    fx.push(OsdEffect::WakeSubmit { token });
+                    return;
+                }
+                match self.backend.submit(txn) {
+                    Ok(()) => {
+                        let token = self.token();
+                        let trace = self.backend.take_trace();
+                        self.pending_store.insert(token, ctx);
+                        fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                        self.kick_maintenance(fx);
+                    }
+                    Err(e) => panic!("{}: replica apply failed: {e}", self.id),
+                }
+            }
+            PeerMsg::RepopNvm { group, seq, txn } => {
+                let (bytes, stall) = self.log_append_with_fallback(group, txn, fx);
+                fx.push(OsdEffect::NvmWritten { bytes });
+                match stall {
+                    None => fx.push(OsdEffect::SendPeer {
+                        to: from,
+                        msg: PeerMsg::RepAck { group, seq, from: self.id },
+                    }),
+                    Some(token) => {
+                        // Backpressure on the replica too: ack only after
+                        // the forced flush lands.
+                        self.pending_store
+                            .insert(token, StoreCtx::ReplicaPersist { primary: from, group, seq });
+                    }
+                }
+                let needs_flush = {
+                    let log = self.log_for(group);
+                    log.pending() >= log.flush_threshold
+                };
+                if needs_flush && !self.rt(group).flushing {
+                    fx.push(OsdEffect::WakeFlush { group });
+                }
+            }
+            PeerMsg::RepAck { seq, from: replica, .. } => {
+                if let Some(wop) = self.inflight.get_mut(&seq) {
+                    wop.waiting_acks.retain(|&o| o != replica);
+                }
+                self.try_complete_write(seq, fx);
+            }
+            PeerMsg::PullLog { group, from: requester } => {
+                let records: Vec<Vec<u8>> = self
+                    .logs
+                    .get(&group)
+                    .map(|l| l.export_records().iter().map(LogRecord::encode).collect())
+                    .unwrap_or_default();
+                fx.push(OsdEffect::SendPeer { to: requester, msg: PeerMsg::LogRecords { group, records } });
+            }
+            PeerMsg::LogRecords { group, records } => {
+                let decoded: Vec<LogRecord> = records
+                    .iter()
+                    .map(|raw| LogRecord::decode(raw).expect("peer sends valid records").0)
+                    .collect();
+                let total: u64 = records.iter().map(|r| r.len() as u64).sum();
+                self.log_for(group);
+                let mut log = self.logs.remove(&group).expect("ensured");
+                if log.pending() == 0 {
+                    log.import_records(&mut self.nvm, decoded).expect("import into empty log");
+                }
+                self.logs.insert(group, log);
+                fx.push(OsdEffect::NvmWritten { bytes: total });
+            }
+        }
+    }
+
+    fn try_complete_write(&mut self, seq: u64, fx: &mut Vec<OsdEffect>) {
+        let done = self
+            .inflight
+            .get(&seq)
+            .is_some_and(|w| w.local_done && w.waiting_acks.is_empty());
+        if done {
+            let w = self.inflight.remove(&seq).expect("checked above");
+            fx.push(OsdEffect::Reply { to: w.client, msg: ClientReply::Done { op: w.op } });
+        }
+    }
+
+    fn on_store_durable(&mut self, token: u64, fx: &mut Vec<OsdEffect>) {
+        let Some(ctx) = self.pending_store.remove(&token) else {
+            return;
+        };
+        match ctx {
+            StoreCtx::WriteLocal { seq } => {
+                if let Some(w) = self.inflight.get_mut(&seq) {
+                    w.local_done = true;
+                }
+                self.try_complete_write(seq, fx);
+            }
+            StoreCtx::ReplicaPersist { primary, group, seq } => {
+                fx.push(OsdEffect::SendPeer { to: primary, msg: PeerMsg::RepAck { group, seq, from: self.id } });
+            }
+            StoreCtx::Read { client, op, data } => {
+                fx.push(OsdEffect::Reply { to: client, msg: ClientReply::Data { op, data } });
+            }
+            StoreCtx::Flush { group, records, keep } => {
+                if !keep {
+                    self.log_for(group);
+                    let mut log = self.logs.remove(&group).expect("ensured");
+                    log.drain_for_flush(&mut self.nvm, records).expect("drain flushed records");
+                    self.logs.insert(group, log);
+                }
+                self.rt(group).flushing = false;
+                // Serve reads that were blocked behind the flush.
+                let waiting = std::mem::take(&mut self.rt(group).waiting_reads);
+                for dr in waiting {
+                    self.read_store_now(dr, fx);
+                }
+                // Re-arm if the log refilled while flushing.
+                let refilled = self
+                    .logs
+                    .get(&group)
+                    .is_some_and(|l| l.pending() >= l.flush_threshold);
+                if refilled {
+                    fx.push(OsdEffect::WakeFlush { group });
+                }
+            }
+            StoreCtx::Background => {}
+        }
+    }
+
+    fn on_flush_group(&mut self, group: GroupId, fx: &mut Vec<OsdEffect>) {
+        if self.rt(group).flushing {
+            return;
+        }
+        let Some(log) = self.logs.get(&group) else {
+            return;
+        };
+        let records = log.pending();
+        if records == 0 {
+            // Nothing to flush; still serve any queued reads.
+            let waiting = std::mem::take(&mut self.rt(group).waiting_reads);
+            for dr in waiting {
+                self.read_store_now(dr, fx);
+            }
+            return;
+        }
+        // Submit the batch to the backend; the log entries are drained only
+        // once the store writes are durable (§IV-A-3: remove after flush).
+        let txns: Vec<Transaction> = self.logs[&group]
+            .export_records()
+            .into_iter()
+            .map(|r| r.txn)
+            .collect();
+        for txn in txns {
+            self.backend.submit(txn).expect("flush submit");
+        }
+        let token = self.token();
+        let trace = self.backend.take_trace();
+        self.pending_store.insert(token, StoreCtx::Flush { group, records, keep: false });
+        self.rt(group).flushing = true;
+        fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+        self.kick_maintenance(fx);
+    }
+
+    fn on_submit_deferred(&mut self, token: u64, fx: &mut Vec<OsdEffect>) {
+        let Some(DeferredSubmit { txn, ctx }) = self.deferred_submits.remove(&token) else {
+            return;
+        };
+        self.backend.submit(txn).expect("deferred submit");
+        let io_token = self.token();
+        let trace = self.backend.take_trace();
+        self.pending_store.insert(io_token, ctx);
+        fx.push(OsdEffect::StoreIo { token: io_token, trace, wait: true });
+        self.kick_maintenance(fx);
+    }
+
+    fn on_read_from_store(&mut self, token: u64, fx: &mut Vec<OsdEffect>) {
+        if let Some(dr) = self.deferred_reads.remove(&token) {
+            self.read_store_now(dr, fx);
+        }
+    }
+
+    fn kick_maintenance(&mut self, fx: &mut Vec<OsdEffect>) {
+        if !self.maint_scheduled && self.backend.needs_maintenance() {
+            self.maint_scheduled = true;
+            fx.push(OsdEffect::WakeMaintenance);
+        }
+    }
+
+    fn on_maint_step(&mut self, fx: &mut Vec<OsdEffect>) {
+        self.maint_scheduled = false;
+        if !self.backend.needs_maintenance() {
+            return;
+        }
+        let report = self.backend.maintenance();
+        let token = self.token();
+        let trace = self.backend.take_trace();
+        self.pending_store.insert(token, StoreCtx::Background);
+        fx.push(OsdEffect::StoreIo { token, trace, wait: false });
+        let more = self.backend.needs_maintenance();
+        fx.push(OsdEffect::Maintained { bytes: report.bytes_read + report.bytes_written, more });
+        if more {
+            self.maint_scheduled = true;
+            fx.push(OsdEffect::WakeMaintenance);
+        }
+    }
+
+    /// §IV-A-4 failure handling: on a map change, surviving members flush
+    /// their logs *without* removing entries (step ④), and a newly joined
+    /// member pulls the log from the surviving primary (steps ⑥–⑦).
+    fn on_map_update(&mut self, map: OsdMap, fx: &mut Vec<OsdEffect>) {
+        if map.epoch <= self.map.epoch {
+            return;
+        }
+        let old = std::mem::replace(&mut self.map, map);
+        if !self.cfg.mode.decoupled() {
+            return;
+        }
+        let mut groups: Vec<GroupId> = self.logs.keys().copied().collect();
+        groups.sort();
+        for group in groups {
+            let new_set = self.map.acting_set(group);
+            if !new_set.contains(&self.id) {
+                continue;
+            }
+            let old_set = old.acting_set(group);
+            if old_set.contains(&self.id) {
+                // Survivor: persist pending data but keep the log so the
+                // replacement can synchronize from it.
+                let txns: Vec<Transaction> = self.logs[&group]
+                    .export_records()
+                    .into_iter()
+                    .map(|r| r.txn)
+                    .collect();
+                if txns.is_empty() {
+                    continue;
+                }
+                for txn in txns {
+                    self.backend.submit(txn).expect("recovery flush");
+                }
+                let records = self.logs[&group].pending();
+                let token = self.token();
+                let trace = self.backend.take_trace();
+                self.pending_store.insert(token, StoreCtx::Flush { group, records, keep: true });
+                fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+            }
+        }
+        // Newly responsible groups: pull logs from the surviving primary.
+        let my_groups: Vec<GroupId> = (0..self.map.pg_count).map(GroupId).collect();
+        for group in my_groups {
+            let new_set = self.map.acting_set(group);
+            if !new_set.contains(&self.id) {
+                continue;
+            }
+            if old.osds.get(self.id.0 as usize).map(|o| o.up) == Some(true)
+                && old.acting_set(group).contains(&self.id)
+            {
+                continue; // already a member
+            }
+            let peer = new_set.into_iter().find(|&o| o != self.id);
+            if let Some(peer) = peer {
+                fx.push(OsdEffect::SendPeer { to: peer, msg: PeerMsg::PullLog { group, from: self.id } });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Osd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Osd")
+            .field("id", &self.id)
+            .field("mode", &self.cfg.mode)
+            .field("inflight", &self.inflight.len())
+            .field("groups", &self.logs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> OsdMap {
+        OsdMap::new(2, 1, 8, 2)
+    }
+
+    fn osd(mode: PipelineMode, id: u32) -> Osd {
+        let cfg = OsdConfig {
+            mode,
+            device_bytes: 32 << 20,
+            nvm_bytes: 4 << 20,
+            ring_bytes: 128 << 10,
+            flush_threshold: 4,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+            ..OsdConfig::default()
+        };
+        Osd::new(OsdId(id), cfg, map())
+    }
+
+    fn a_group_with_primary(o: &Osd) -> GroupId {
+        (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) == o.id)
+            .expect("some group has this primary")
+    }
+
+    fn oid_in(group: GroupId, i: u64) -> ObjectId {
+        ObjectId::new(group, i)
+    }
+
+    fn write_req(op: u64, oid: ObjectId) -> ClientReq {
+        ClientReq::Write { op: OpId(op), oid, offset: 0, data: vec![7; 4096] }
+    }
+
+    fn tokens_of(fx: &[OsdEffect]) -> Vec<u64> {
+        fx.iter()
+            .filter_map(|e| match e {
+                OsdEffect::StoreIo { token, wait: true, .. } => Some(*token),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coupled_write_completes_after_local_persist_and_ack() {
+        let mut o = osd(PipelineMode::Original, 0);
+        let g = a_group_with_primary(&o);
+        let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid_in(g, 1)) });
+        // Repop sent, local store submitted, no reply yet.
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::Repop { .. }, .. })));
+        assert!(!fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
+        let toks = tokens_of(&fx);
+        assert_eq!(toks.len(), 1);
+        // Local durable alone: still waiting for the replica.
+        let fx = o.handle(OsdInput::StoreDurable { token: toks[0] });
+        assert!(!fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
+        // Replica ack: now the client gets its reply.
+        let replica = o.map().acting_set(g)[1];
+        let fx = o.handle(OsdInput::Peer { from: replica, msg: PeerMsg::RepAck { group: g, seq: 1, from: replica } });
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::Reply { msg: ClientReply::Done { .. }, .. })));
+    }
+
+    #[test]
+    fn replica_acks_only_after_durable() {
+        let mut o = osd(PipelineMode::Original, 1);
+        let g = (0..8).map(GroupId).find(|&g| o.map().primary(g) != o.id).unwrap();
+        let oid = oid_in(g, 1);
+        let txn = Transaction::new(g, 5, vec![Op::Write { oid, offset: 0, data: vec![1; 4096] }]);
+        let fx = o.handle(OsdInput::Peer { from: OsdId(0), msg: PeerMsg::Repop { group: g, seq: 5, txn } });
+        assert!(!fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::RepAck { .. }, .. })));
+        let toks = tokens_of(&fx);
+        let fx = o.handle(OsdInput::StoreDurable { token: toks[0] });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::SendPeer { msg: PeerMsg::RepAck { seq: 5, .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn decoupled_write_acks_without_store() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid_in(g, 1)) });
+        // NVM logged + RepopNvm sent; no store I/O on the write path.
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::NvmWritten { .. })));
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::RepopNvm { .. }, .. })));
+        assert!(tokens_of(&fx).is_empty());
+        // One replica ack completes the op.
+        let replica = o.map().acting_set(g)[1];
+        let fx = o.handle(OsdInput::Peer { from: replica, msg: PeerMsg::RepAck { group: g, seq: 1, from: replica } });
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::Reply { msg: ClientReply::Done { .. }, .. })));
+    }
+
+    #[test]
+    fn decoupled_replica_acks_immediately_from_nvm() {
+        let mut o = osd(PipelineMode::Dop, 1);
+        let g = (0..8).map(GroupId).find(|&g| o.map().primary(g) != o.id).unwrap();
+        let oid = oid_in(g, 1);
+        let txn = Transaction::new(g, 5, vec![Op::Write { oid, offset: 0, data: vec![1; 4096] }]);
+        let fx = o.handle(OsdInput::Peer { from: OsdId(0), msg: PeerMsg::RepopNvm { group: g, seq: 5, txn } });
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::RepAck { .. }, .. })));
+        assert_eq!(o.log_pending(g), 1);
+    }
+
+    #[test]
+    fn flush_cycle_drains_log_after_durable() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        let mut wake = None;
+        for i in 0..4 {
+            let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i)) });
+            for e in fx {
+                if let OsdEffect::WakeFlush { group } = e {
+                    wake = Some(group);
+                }
+            }
+        }
+        assert_eq!(wake, Some(g), "threshold of 4 reached");
+        assert_eq!(o.log_pending(g), 4);
+        let fx = o.handle(OsdInput::FlushGroup { group: g });
+        let toks = tokens_of(&fx);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(o.log_pending(g), 4, "entries stay until durable");
+        o.handle(OsdInput::StoreDurable { token: toks[0] });
+        assert_eq!(o.log_pending(g), 0, "drained after durable");
+    }
+
+    #[test]
+    fn decoupled_read_served_from_log() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        let oid = oid_in(g, 1);
+        o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid) });
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: ClientReq::Read { op: OpId(2), oid, offset: 100, len: 200 },
+        });
+        let reply = fx.iter().find_map(|e| match e {
+            OsdEffect::Reply { msg: ClientReply::Data { data, .. }, .. } => Some(data.clone()),
+            _ => None,
+        });
+        assert_eq!(reply, Some(vec![7u8; 200]), "read served from the operation log");
+    }
+
+    #[test]
+    fn decoupled_read_of_cold_object_defers_to_store() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        let oid = oid_in(g, 9);
+        // Write then flush so the log is empty, store has the data.
+        o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid) });
+        let fx = o.handle(OsdInput::FlushGroup { group: g });
+        for t in tokens_of(&fx) {
+            o.handle(OsdInput::StoreDurable { token: t });
+        }
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: ClientReq::Read { op: OpId(2), oid, offset: 0, len: 4096 },
+        });
+        let token = fx.iter().find_map(|e| match e {
+            OsdEffect::WakeRead { token } => Some(*token),
+            _ => None,
+        });
+        let token = token.expect("cold read goes via non-priority thread");
+        let fx = o.handle(OsdInput::ReadFromStore { token });
+        let toks = tokens_of(&fx);
+        let fx = if toks.is_empty() { fx } else { o.handle(OsdInput::StoreDurable { token: toks[0] }) };
+        let reply = fx.iter().find_map(|e| match e {
+            OsdEffect::Reply { msg: ClientReply::Data { data, .. }, .. } => Some(data.clone()),
+            _ => None,
+        });
+        assert_eq!(reply, Some(vec![7u8; 4096]));
+    }
+
+    #[test]
+    fn rtc_v3_skips_storage_entirely() {
+        let mut o = osd(PipelineMode::RtcV3, 0);
+        let g = a_group_with_primary(&o);
+        let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid_in(g, 1)) });
+        assert!(tokens_of(&fx).is_empty(), "no store I/O in RTC-v3");
+        let replica = o.map().acting_set(g)[1];
+        let fx = o.handle(OsdInput::Peer { from: replica, msg: PeerMsg::RepAck { group: g, seq: 1, from: replica } });
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
+    }
+
+    #[test]
+    fn maintenance_reschedules_until_clean() {
+        let mut o = osd(PipelineMode::Original, 0);
+        let g = a_group_with_primary(&o);
+        // Pump enough writes to trigger LSM maintenance.
+        let mut woke = false;
+        for i in 0..200 {
+            let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i % 4)) });
+            woke |= fx.iter().any(|e| matches!(e, OsdEffect::WakeMaintenance));
+            for t in tokens_of(&fx) {
+                o.handle(OsdInput::StoreDurable { token: t });
+            }
+        }
+        assert!(woke, "LSM backend requested maintenance");
+        let mut steps = 0;
+        loop {
+            let fx = o.handle(OsdInput::MaintStep);
+            steps += 1;
+            let more = fx.iter().any(|e| matches!(e, OsdEffect::Maintained { more: true, .. }));
+            if !more || steps > 100 {
+                break;
+            }
+        }
+        assert!(steps >= 1, "maintenance ran");
+        assert!(!o.backend().needs_maintenance(), "backend eventually clean");
+    }
+
+    #[test]
+    fn nvm_exhaustion_forces_synchronous_flush() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        // Huge flush threshold so nothing drains; tiny ring fills up.
+        for (_, log) in o.logs.iter_mut() {
+            log.flush_threshold = usize::MAX;
+        }
+        let mut i = 0;
+        while o.nvm_full_stalls == 0 && i < 200 {
+            let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i)) });
+            // Raise the threshold on the lazily created log too.
+            if let Some(log) = o.logs.get_mut(&g) {
+                log.flush_threshold = usize::MAX;
+            }
+            for t in tokens_of(&fx) {
+                o.handle(OsdInput::StoreDurable { token: t });
+            }
+            i += 1;
+        }
+        assert!(o.nvm_full_stalls > 0, "ring filled and forced a stall flush");
+        assert!(o.log_pending(g) <= 1, "stall drained the log");
+    }
+
+    #[test]
+    fn survivor_keeps_log_and_new_member_pulls_it() {
+        // Three nodes so replication 2 survives one failure.
+        let map3 = OsdMap::new(3, 1, 8, 2);
+        let cfg = OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 32 << 20,
+            nvm_bytes: 4 << 20,
+            ring_bytes: 128 << 10,
+            flush_threshold: 16,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+        };
+        // Find a group and its acting set.
+        let g = GroupId(0);
+        let set = map3.acting_set(g);
+        let (primary, secondary) = (set[0], set[1]);
+        let spare = (0..3).map(OsdId).find(|o| !set.contains(o)).unwrap();
+        let mut prim = Osd::new(primary, cfg.clone(), map3.clone());
+        // Log a few writes at the primary.
+        for i in 0..3 {
+            prim.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i)) });
+        }
+        assert_eq!(prim.log_pending(g), 3);
+        // Secondary dies; map moves the group to include the spare.
+        let mut new_map = map3.clone();
+        new_map.mark_down(secondary);
+        let new_set = new_map.acting_set(g);
+        assert!(new_set.contains(&spare), "spare takes over");
+        let fx = prim.handle(OsdInput::MapUpdate(new_map.clone()));
+        // Survivor flushed-but-kept its log.
+        assert_eq!(prim.log_pending(g), 3, "entries kept for peer sync");
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::StoreIo { wait: true, .. })));
+        // Spare joins: pulls the log.
+        let mut joiner = Osd::new(spare, cfg, map3.clone());
+        let fx = joiner.handle(OsdInput::MapUpdate(new_map));
+        let pull = fx.iter().find_map(|e| match e {
+            OsdEffect::SendPeer { to, msg: PeerMsg::PullLog { group, .. } } => Some((*to, *group)),
+            _ => None,
+        });
+        let (peer, group) = pull.expect("joiner pulls the log");
+        assert_eq!(group, g);
+        // Route the pull to the survivor and the records back.
+        let fx = prim.handle(OsdInput::Peer { from: peer, msg: PeerMsg::PullLog { group: g, from: spare } });
+        let records = fx
+            .into_iter()
+            .find_map(|e| match e {
+                OsdEffect::SendPeer { msg: PeerMsg::LogRecords { records, .. }, .. } => Some(records),
+                _ => None,
+            })
+            .expect("survivor exports records");
+        assert_eq!(records.len(), 3);
+        joiner.handle(OsdInput::Peer { from: primary, msg: PeerMsg::LogRecords { group: g, records } });
+        assert_eq!(joiner.log_pending(g), 3, "log replicated to the replacement");
+        // The joiner can now serve a strongly consistent read from its log.
+        let fx = joiner.handle(OsdInput::Client {
+            from: ClientId(9),
+            req: ClientReq::Read { op: OpId(99), oid: oid_in(g, 2), offset: 0, len: 4096 },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::Reply { msg: ClientReply::Data { .. }, .. }
+        )));
+    }
+}

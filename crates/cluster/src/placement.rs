@@ -1,0 +1,237 @@
+//! Cluster map and placement: logical groups → OSDs.
+//!
+//! Stands in for Ceph's CRUSH + monitor-maintained osdmap (§II-B): a
+//! versioned map of OSDs and a deterministic, failure-stable mapping from
+//! each logical group to its acting set via rendezvous (highest-random-
+//! weight) hashing. When an OSD goes down only the groups it served move —
+//! the property CRUSH provides that simple modulo hashing does not.
+
+use crate::msg::MonMsg;
+
+/// Identifies one OSD daemon in the cluster.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OsdId(pub u32);
+
+impl std::fmt::Display for OsdId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "osd.{}", self.0)
+    }
+}
+
+/// Identifies a storage node (failure domain).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One OSD's entry in the map.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct OsdInfo {
+    /// The OSD.
+    pub id: OsdId,
+    /// The node hosting it (replicas avoid sharing a node).
+    pub node: NodeId,
+    /// Whether the monitor believes it is alive.
+    pub up: bool,
+}
+
+/// The versioned cluster map.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OsdMap {
+    /// Monotonic epoch; bumped by the monitor on every change.
+    pub epoch: u64,
+    /// All OSDs ever registered.
+    pub osds: Vec<OsdInfo>,
+    /// Number of logical groups (placement groups).
+    pub pg_count: u32,
+    /// Replication factor (2 in the paper's evaluation).
+    pub replication: usize,
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl OsdMap {
+    /// A fresh map with `nodes × osds_per_node` OSDs, all up.
+    pub fn new(nodes: u32, osds_per_node: u32, pg_count: u32, replication: usize) -> Self {
+        let mut osds = Vec::new();
+        for n in 0..nodes {
+            for i in 0..osds_per_node {
+                osds.push(OsdInfo { id: OsdId(n * osds_per_node + i), node: NodeId(n), up: true });
+            }
+        }
+        OsdMap { epoch: 1, osds, pg_count, replication }
+    }
+
+    /// Info for one OSD.
+    pub fn osd(&self, id: OsdId) -> &OsdInfo {
+        &self.osds[id.0 as usize]
+    }
+
+    /// All currently-up OSDs.
+    pub fn up_osds(&self) -> impl Iterator<Item = &OsdInfo> {
+        self.osds.iter().filter(|o| o.up)
+    }
+
+    /// The acting set of a group: `replication` up OSDs ranked by
+    /// rendezvous hash, at most one per node. The first entry is primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer distinct up nodes exist than the replication factor —
+    /// the cluster cannot place data safely at that point.
+    pub fn acting_set(&self, group: rablock_storage::GroupId) -> Vec<OsdId> {
+        let mut ranked: Vec<(u64, OsdId, NodeId)> = self
+            .up_osds()
+            .map(|o| (mix((group.0 as u64) << 32 | o.id.0 as u64), o.id, o.node))
+            .collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut set = Vec::with_capacity(self.replication);
+        let mut used_nodes = Vec::new();
+        for (_, id, node) in ranked {
+            if used_nodes.contains(&node) {
+                continue;
+            }
+            used_nodes.push(node);
+            set.push(id);
+            if set.len() == self.replication {
+                return set;
+            }
+        }
+        panic!(
+            "cannot place {group}: only {} distinct up nodes for replication {}",
+            used_nodes.len(),
+            self.replication
+        );
+    }
+
+    /// The primary OSD of a group.
+    pub fn primary(&self, group: rablock_storage::GroupId) -> OsdId {
+        self.acting_set(group)[0]
+    }
+
+    /// Marks an OSD down and bumps the epoch.
+    pub fn mark_down(&mut self, id: OsdId) {
+        self.osds[id.0 as usize].up = false;
+        self.epoch += 1;
+    }
+
+    /// Marks an OSD up (replacement joined) and bumps the epoch.
+    pub fn mark_up(&mut self, id: OsdId) {
+        self.osds[id.0 as usize].up = true;
+        self.epoch += 1;
+    }
+}
+
+/// The monitor: owns the authoritative map, reacts to failure reports.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    map: OsdMap,
+}
+
+impl Monitor {
+    /// Creates a monitor owning `map`.
+    pub fn new(map: OsdMap) -> Self {
+        Monitor { map }
+    }
+
+    /// The current map.
+    pub fn map(&self) -> &OsdMap {
+        &self.map
+    }
+
+    /// Handles a monitor message; returns the broadcast to send (if any).
+    pub fn handle(&mut self, msg: MonMsg) -> Option<MonMsg> {
+        match msg {
+            MonMsg::ReportFailure { osd } => {
+                if !self.map.osd(osd).up {
+                    return None; // already known
+                }
+                self.map.mark_down(osd);
+                Some(MonMsg::MapUpdate { map: self.map.clone() })
+            }
+            MonMsg::MapUpdate { map } => {
+                if map.epoch > self.map.epoch {
+                    self.map = map;
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rablock_storage::GroupId;
+
+    fn map() -> OsdMap {
+        OsdMap::new(4, 2, 64, 2)
+    }
+
+    #[test]
+    fn acting_sets_are_deterministic_and_sized() {
+        let m = map();
+        for pg in 0..64 {
+            let a = m.acting_set(GroupId(pg));
+            let b = m.acting_set(GroupId(pg));
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 2);
+            assert_ne!(m.osd(a[0]).node, m.osd(a[1]).node, "replicas span nodes");
+        }
+    }
+
+    #[test]
+    fn groups_spread_across_osds() {
+        let m = map();
+        let mut counts = vec![0usize; 8];
+        for pg in 0..256 {
+            for id in m.acting_set(GroupId(pg)) {
+                counts[id.0 as usize] += 1;
+            }
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0, "every OSD serves groups: {counts:?}");
+        assert!(max < min * 3, "reasonable balance: {counts:?}");
+    }
+
+    #[test]
+    fn failure_moves_only_affected_groups() {
+        let mut m = map();
+        let before: Vec<_> = (0..256).map(|pg| m.acting_set(GroupId(pg))).collect();
+        m.mark_down(OsdId(3));
+        let mut moved = 0;
+        for (pg, old) in before.iter().enumerate() {
+            let new = m.acting_set(GroupId(pg as u32));
+            if old.contains(&OsdId(3)) {
+                assert!(!new.contains(&OsdId(3)), "pg{pg} must leave the dead osd");
+            } else if *old != new {
+                moved += 1;
+            }
+        }
+        // Rendezvous hashing: groups not touching the failed OSD stay put.
+        assert_eq!(moved, 0, "unaffected groups must not move");
+    }
+
+    #[test]
+    fn monitor_bumps_epoch_once_per_failure() {
+        let mut mon = Monitor::new(map());
+        let e0 = mon.map().epoch;
+        let update = mon.handle(MonMsg::ReportFailure { osd: OsdId(1) });
+        assert!(matches!(update, Some(MonMsg::MapUpdate { .. })));
+        assert_eq!(mon.map().epoch, e0 + 1);
+        assert!(mon.handle(MonMsg::ReportFailure { osd: OsdId(1) }).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn under_replication_panics() {
+        let mut m = OsdMap::new(2, 1, 8, 2);
+        m.mark_down(OsdId(0));
+        let _ = m.acting_set(GroupId(0));
+    }
+}

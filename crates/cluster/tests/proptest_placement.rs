@@ -1,0 +1,47 @@
+//! Property tests for placement stability under failures.
+
+use proptest::prelude::*;
+use rablock_cluster::placement::{OsdId, OsdMap};
+use rablock_storage::GroupId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Acting sets are always the right size, span distinct nodes, contain
+    /// only up OSDs, and failures move only affected groups — under any
+    /// sequence of failures that leaves enough nodes.
+    #[test]
+    fn placement_invariants_under_failures(
+        nodes in 3u32..8,
+        osds_per_node in 1u32..4,
+        kills in proptest::collection::vec(any::<u32>(), 0..4),
+    ) {
+        let mut map = OsdMap::new(nodes, osds_per_node, 32, 2);
+        for k in kills {
+            // Keep at least two distinct up nodes.
+            let up_nodes: std::collections::HashSet<_> =
+                map.up_osds().map(|o| o.node).collect();
+            if up_nodes.len() <= 2 {
+                break;
+            }
+            let candidates: Vec<OsdId> = map.up_osds().map(|o| o.id).collect();
+            let victim = candidates[(k as usize) % candidates.len()];
+            let before: Vec<_> = (0..32).map(|g| map.acting_set(GroupId(g))).collect();
+            map.mark_down(victim);
+            for (g, old) in before.iter().enumerate() {
+                let new = map.acting_set(GroupId(g as u32));
+                prop_assert_eq!(new.len(), 2);
+                // Distinct nodes.
+                prop_assert_ne!(map.osd(new[0]).node, map.osd(new[1]).node);
+                // Only live members.
+                for &o in &new {
+                    prop_assert!(map.osd(o).up);
+                }
+                // Minimal movement: untouched groups stay put.
+                if !old.contains(&victim) {
+                    prop_assert_eq!(&new, old, "group {} moved needlessly", g);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Cluster construction.
+//!
+//! [`ClusterBuilder`] assembles a cluster in either execution substrate:
+//! a [`LiveCluster`] of real OS threads for applications and examples, or a
+//! [`ClusterSimConfig`] for the deterministic simulation used by the
+//! benchmark harnesses.
+
+use rablock_cluster::live_driver::LiveCluster;
+use rablock_cluster::osd::{OsdConfig, PipelineMode};
+use rablock_cluster::placement::OsdMap;
+use rablock_cluster::sim_driver::ClusterSimConfig;
+use rablock_cos::CosOptions;
+use rablock_lsm::LsmOptions;
+
+/// Builds `rablock` clusters.
+///
+/// ```
+/// use rablock::{ClusterBuilder, PipelineMode};
+///
+/// let cluster = ClusterBuilder::new(PipelineMode::Dop)
+///     .nodes(2)
+///     .osds_per_node(1)
+///     .pg_count(16)
+///     .start_live();
+/// cluster.shutdown();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    mode: PipelineMode,
+    nodes: u32,
+    osds_per_node: u32,
+    pg_count: u32,
+    replication: usize,
+    device_bytes: u64,
+    nvm_bytes: u64,
+    flush_threshold: usize,
+    partitions: usize,
+    pre_allocate: bool,
+    metadata_cache: bool,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for the given pipeline mode.
+    pub fn new(mode: PipelineMode) -> Self {
+        ClusterBuilder {
+            mode,
+            nodes: 4,
+            osds_per_node: 2,
+            pg_count: 32,
+            replication: 2,
+            device_bytes: 96 << 20,
+            nvm_bytes: 16 << 20,
+            flush_threshold: 16,
+            partitions: 4,
+            pre_allocate: true,
+            metadata_cache: true,
+        }
+    }
+
+    /// Number of storage nodes (failure domains).
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// OSD daemons per node.
+    pub fn osds_per_node(mut self, n: u32) -> Self {
+        self.osds_per_node = n;
+        self
+    }
+
+    /// Number of logical groups (placement groups).
+    pub fn pg_count(mut self, n: u32) -> Self {
+        self.pg_count = n;
+        self
+    }
+
+    /// Replication factor (the paper evaluates 2).
+    pub fn replication(mut self, n: usize) -> Self {
+        self.replication = n;
+        self
+    }
+
+    /// Backend device capacity per OSD.
+    pub fn device_bytes(mut self, n: u64) -> Self {
+        self.device_bytes = n;
+        self
+    }
+
+    /// NVM capacity per OSD for operation logs.
+    pub fn nvm_bytes(mut self, n: u64) -> Self {
+        self.nvm_bytes = n;
+        self
+    }
+
+    /// Operation-log flush threshold (paper default 16).
+    pub fn flush_threshold(mut self, n: usize) -> Self {
+        self.flush_threshold = n;
+        self
+    }
+
+    /// Sharded partitions per COS backend (Fig. 11 sweeps this).
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Toggle COS pre-allocation (Fig. 8 ablation).
+    pub fn pre_allocate(mut self, on: bool) -> Self {
+        self.pre_allocate = on;
+        self
+    }
+
+    /// Toggle the COS NVM metadata cache (Fig. 8 ablation).
+    pub fn metadata_cache(mut self, on: bool) -> Self {
+        self.metadata_cache = on;
+        self
+    }
+
+    /// The per-OSD configuration this builder describes.
+    pub fn osd_config(&self) -> OsdConfig {
+        OsdConfig {
+            mode: self.mode,
+            device_bytes: self.device_bytes,
+            nvm_bytes: self.nvm_bytes,
+            ring_bytes: (self.nvm_bytes / self.pg_count as u64).min(512 << 10).max(64 << 10),
+            flush_threshold: self.flush_threshold,
+            lsm: LsmOptions::default(),
+            cos: CosOptions {
+                partitions: self.partitions,
+                pre_allocate: self.pre_allocate,
+                metadata_cache: self.metadata_cache,
+                ..CosOptions::default()
+            },
+        }
+    }
+
+    /// The cluster map this builder describes.
+    pub fn map(&self) -> OsdMap {
+        OsdMap::new(self.nodes, self.osds_per_node, self.pg_count, self.replication)
+    }
+
+    /// Starts a live cluster of real OSD threads.
+    pub fn start_live(&self) -> LiveCluster {
+        LiveCluster::start(self.map(), self.osd_config())
+    }
+
+    /// Produces a simulation configuration with the same shape (benchmark
+    /// harnesses add workloads and cost/threading overrides on top).
+    pub fn sim_config(&self) -> ClusterSimConfig {
+        let mut cfg = ClusterSimConfig::defaults(self.mode);
+        cfg.nodes = self.nodes;
+        cfg.osds_per_node = self.osds_per_node;
+        cfg.pg_count = self.pg_count;
+        cfg.replication = self.replication;
+        cfg.osd = self.osd_config();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_into_configs() {
+        let b = ClusterBuilder::new(PipelineMode::Dop)
+            .nodes(3)
+            .osds_per_node(2)
+            .pg_count(24)
+            .partitions(8)
+            .flush_threshold(32);
+        let osd = b.osd_config();
+        assert_eq!(osd.flush_threshold, 32);
+        assert_eq!(osd.cos.partitions, 8);
+        let map = b.map();
+        assert_eq!(map.osds.len(), 6);
+        assert_eq!(map.pg_count, 24);
+        let sim = b.sim_config();
+        assert_eq!(sim.nodes, 3);
+        assert_eq!(sim.osd.cos.partitions, 8);
+    }
+
+    #[test]
+    fn ring_bytes_fit_in_nvm() {
+        let b = ClusterBuilder::new(PipelineMode::Dop).pg_count(64).nvm_bytes(8 << 20);
+        let osd = b.osd_config();
+        assert!(osd.ring_bytes * 64 <= osd.nvm_bytes);
+    }
+}

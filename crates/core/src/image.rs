@@ -1,0 +1,172 @@
+//! Block images: virtual block devices striped over fixed-size objects.
+//!
+//! Like Ceph RBD (§II-B), a block image is a linear byte range striped over
+//! fixed-size objects (4 MiB by default). Fixed object sizes are what make
+//! the paper's pre-allocation technique possible: every object of an image
+//! can be created (and its blocks allocated) at image-creation time, so
+//! writes never update allocation metadata.
+
+use rablock_storage::{GroupId, ObjectId};
+
+/// Default object size for images (Ceph RBD's default).
+pub const DEFAULT_OBJECT_BYTES: u64 = 4 << 20;
+
+/// Description of one block image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImageSpec {
+    /// Image id (unique per cluster; at most 255 images).
+    pub id: u8,
+    /// Image size in bytes.
+    pub size: u64,
+    /// Object size (fixed; must divide nothing in particular but writes
+    /// spanning objects are split).
+    pub object_bytes: u64,
+    /// Number of logical groups objects are hashed over.
+    pub pg_count: u32,
+}
+
+impl ImageSpec {
+    /// Creates an image spec with the default 4 MiB object size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `pg_count` is zero.
+    pub fn new(id: u8, size: u64, pg_count: u32) -> Self {
+        ImageSpec::with_object_size(id, size, pg_count, DEFAULT_OBJECT_BYTES)
+    }
+
+    /// Creates an image spec with an explicit object size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes or a zero group count.
+    pub fn with_object_size(id: u8, size: u64, pg_count: u32, object_bytes: u64) -> Self {
+        assert!(size > 0, "zero-sized image");
+        assert!(object_bytes > 0, "zero object size");
+        assert!(pg_count > 0, "zero groups");
+        ImageSpec { id, size, object_bytes, pg_count }
+    }
+
+    /// Number of objects backing this image.
+    pub fn object_count(&self) -> u64 {
+        self.size.div_ceil(self.object_bytes)
+    }
+
+    /// The object backing image-relative object index `idx`.
+    ///
+    /// The group is derived by hashing `(image, index)` so one image's
+    /// objects spread over all groups, as CRUSH would.
+    pub fn object(&self, idx: u64) -> ObjectId {
+        assert!(idx < self.object_count(), "object index {idx} out of range");
+        // splitmix64 over (image, idx) for group spread.
+        let mut x = ((self.id as u64) << 40) ^ idx;
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let group = GroupId((x ^ (x >> 31)) as u32 % self.pg_count);
+        // Object index stays unique across images: image in the high byte.
+        let index = ((self.id as u64) << 24) | idx;
+        ObjectId::new(group, index)
+    }
+
+    /// Splits an image byte range into per-object extents:
+    /// `(object, offset_within_object, length)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the image size or is empty.
+    pub fn extents(&self, offset: u64, len: u64) -> Vec<(ObjectId, u64, u64)> {
+        assert!(len > 0, "empty range");
+        assert!(
+            offset + len <= self.size,
+            "range [{offset}, {}) exceeds image size {}",
+            offset + len,
+            self.size
+        );
+        let mut out = Vec::new();
+        let mut at = offset;
+        let end = offset + len;
+        while at < end {
+            let idx = at / self.object_bytes;
+            let within = at % self.object_bytes;
+            let chunk = (self.object_bytes - within).min(end - at);
+            out.push((self.object(idx), within, chunk));
+            at += chunk;
+        }
+        out
+    }
+
+    /// All objects of the image with their fixed size (provisioning).
+    pub fn all_objects(&self) -> Vec<(ObjectId, u64)> {
+        (0..self.object_count()).map(|i| (self.object(i), self.object_bytes)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ImageSpec {
+        ImageSpec::with_object_size(1, 64 << 20, 32, 4 << 20)
+    }
+
+    #[test]
+    fn object_count_rounds_up() {
+        let s = ImageSpec::with_object_size(0, (4 << 20) * 3 + 1, 8, 4 << 20);
+        assert_eq!(s.object_count(), 4);
+    }
+
+    #[test]
+    fn extents_within_one_object() {
+        let s = spec();
+        let e = s.extents(4096, 8192);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].1, 4096);
+        assert_eq!(e[0].2, 8192);
+        assert_eq!(e[0].0, s.object(0));
+    }
+
+    #[test]
+    fn extents_split_at_object_boundary() {
+        let s = spec();
+        let obj = s.object_bytes;
+        let e = s.extents(obj - 1000, 3000);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0], (s.object(0), obj - 1000, 1000));
+        assert_eq!(e[1], (s.object(1), 0, 2000));
+    }
+
+    #[test]
+    fn extents_cover_exactly() {
+        let s = spec();
+        for (offset, len) in [(0u64, 1u64), (123, 10 << 20), (s.size - 5, 5)] {
+            let e = s.extents(offset, len);
+            let total: u64 = e.iter().map(|x| x.2).sum();
+            assert_eq!(total, len, "offset {offset} len {len}");
+        }
+    }
+
+    #[test]
+    fn objects_spread_over_groups() {
+        let s = spec();
+        let mut groups: Vec<u32> = (0..s.object_count()).map(|i| s.object(i).group().0).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        assert!(groups.len() > 4, "16 objects spread over >4 of 32 groups: {groups:?}");
+    }
+
+    #[test]
+    fn distinct_images_use_distinct_objects() {
+        let a = ImageSpec::new(1, 8 << 20, 8);
+        let b = ImageSpec::new(2, 8 << 20, 8);
+        assert_ne!(a.object(0), b.object(0));
+        assert_ne!(a.object(1).index(), b.object(1).index());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds image size")]
+    fn out_of_range_rejected() {
+        let s = spec();
+        let _ = s.extents(s.size - 10, 11);
+    }
+}

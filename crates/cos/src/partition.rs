@@ -1,0 +1,697 @@
+//! One sharded partition: onodes, free tree, data blocks.
+//!
+//! Each partition is an independent in-place-update object store owned by a
+//! single non-priority thread (§IV-C): no cross-partition locks, no
+//! compaction, no host-side garbage collection. Writes overwrite data blocks
+//! in place; metadata updates either hit the onode slot directly or park in
+//! the NVM metadata cache; deletes are deferred ("delayed deallocation") to
+//! the maintenance path.
+
+use std::collections::HashMap;
+
+use rablock_storage::{
+    BlockDevice, IoCategory, MaintenanceReport, ObjectId, StoreError, TraceIo, TraceKind,
+};
+
+use crate::btree::ExtentBTree;
+use crate::layout::{CosOptions, PartGeometry, BLOCK_BYTES};
+use crate::metacache::MetaCache;
+use crate::onode::{Extent, Onode, ONODE_BYTES};
+use crate::radix::RadixTree;
+
+/// Radix key: group in the high 16 bits, object index in the low 32.
+///
+/// # Panics
+///
+/// Panics if the object index exceeds 32 bits (a block image would need
+/// billions of objects to get there).
+pub(crate) fn radix_key(oid: ObjectId) -> u64 {
+    let index = oid.index();
+    assert!(index < (1 << 32), "object index exceeds 32 bits");
+    ((oid.group().0 as u64) << 32) | index
+}
+
+/// A single sharded partition of the CPU-efficient object store.
+#[derive(Debug)]
+pub struct Partition {
+    geom: PartGeometry,
+    radix: RadixTree,
+    onodes: HashMap<u32, Onode>,
+    /// Spill run (first physical block, block count) per slot, when the
+    /// extent map overflows the onode's inline area.
+    spills: HashMap<u32, (u64, u64)>,
+    slot_used: Vec<bool>,
+    slot_cursor: u32,
+    free: ExtentBTree,
+    cache: MetaCache,
+    /// Onode slots marked deleted and awaiting deallocation.
+    pending_dealloc: Vec<u32>,
+    /// Allocator state changed since the last checkpoint.
+    freetree_dirty: bool,
+    /// Rotating slot for fixed-size allocator-delta journal records.
+    alloc_journal_cursor: u64,
+}
+
+impl Partition {
+    /// A freshly formatted partition (everything free, no objects).
+    pub fn format(geom: PartGeometry, opts: &CosOptions) -> Self {
+        Partition {
+            radix: RadixTree::new(),
+            onodes: HashMap::new(),
+            spills: HashMap::new(),
+            slot_used: vec![false; geom.onode_slots as usize],
+            slot_cursor: 0,
+            free: ExtentBTree::new_free(0, geom.data_blocks),
+            cache: MetaCache::new(opts.meta_cache_entries),
+            pending_dealloc: Vec::new(),
+            freetree_dirty: false,
+            alloc_journal_cursor: 0,
+            geom,
+        }
+    }
+
+    /// Mounts a partition by scanning its onode table and rebuilding the
+    /// radix tree and free tree (crash recovery never trusts the free-tree
+    /// checkpoint; the onodes are the ground truth, and REDO of data comes
+    /// from the operation log one layer up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors and onode corruption.
+    pub fn mount<D: BlockDevice>(
+        dev: &mut D,
+        geom: PartGeometry,
+        opts: &CosOptions,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<Self, StoreError> {
+        let mut p = Partition::format(geom, opts);
+        p.free = ExtentBTree::new_free(0, geom.data_blocks);
+        let table_bytes = geom.onode_slots as u64 * ONODE_BYTES as u64;
+        let mut table = vec![0u8; table_bytes as usize];
+        dev.read_at(geom.onode_off(0), &mut table)?;
+        trace.push(TraceIo { kind: TraceKind::Read, bytes: table_bytes, category: IoCategory::Metadata });
+        for slot in 0..geom.onode_slots {
+            let rec = &table[slot as usize * ONODE_BYTES..(slot as usize + 1) * ONODE_BYTES];
+            let Some((mut onode, spill, total_extents)) = Onode::decode(rec)? else {
+                continue;
+            };
+            if spill != 0 {
+                let spill_count = total_extents as usize - crate::onode::INLINE_EXTENTS;
+                let nblocks = spill_blocks_for(spill_count);
+                let mut raw = vec![0u8; (nblocks * BLOCK_BYTES) as usize];
+                dev.read_at(geom.block_off(spill), &mut raw)?;
+                trace.push(TraceIo {
+                    kind: TraceKind::Read,
+                    bytes: nblocks * BLOCK_BYTES,
+                    category: IoCategory::Metadata,
+                });
+                let spilled = decode_spill(&raw, total_extents as usize)?;
+                for e in spilled {
+                    onode.extents.insert(e);
+                }
+                p.free.alloc_specific(spill, nblocks)?;
+                p.spills.insert(slot, (spill, nblocks));
+            }
+            for e in onode.extents.entries() {
+                p.free.alloc_specific(e.phys, e.count as u64)?;
+            }
+            p.slot_used[slot as usize] = true;
+            let oid = ObjectId::from_raw(onode.oid_raw);
+            p.radix.insert(radix_key(oid), slot);
+            if onode.deleted {
+                p.pending_dealloc.push(slot);
+            }
+            p.onodes.insert(slot, onode);
+        }
+        Ok(p)
+    }
+
+    /// Objects currently live in this partition.
+    pub fn object_count(&self) -> usize {
+        self.onodes.len() - self.pending_dealloc.len()
+    }
+
+    /// Free data blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.free.free_blocks()
+    }
+
+    /// Bytes of onode updates absorbed by the NVM metadata cache.
+    pub fn nvm_meta_bytes(&self) -> u64 {
+        self.cache.nvm_bytes_written()
+    }
+
+    fn alloc_slot(&mut self) -> Result<u32, StoreError> {
+        let n = self.slot_used.len();
+        for probe in 0..n {
+            let slot = (self.slot_cursor as usize + probe) % n;
+            if !self.slot_used[slot] {
+                self.slot_used[slot] = true;
+                self.slot_cursor = (slot as u32 + 1) % n as u32;
+                return Ok(slot as u32);
+            }
+        }
+        Err(StoreError::NoSpace)
+    }
+
+    fn slot_of(&self, oid: ObjectId) -> Option<u32> {
+        self.radix.get(radix_key(oid))
+    }
+
+    /// Allocates `blocks` data blocks as few extents as possible.
+    fn alloc_blocks(&mut self, mut blocks: u64) -> Result<Vec<(u64, u64)>, StoreError> {
+        let mut runs = Vec::new();
+        while blocks > 0 {
+            let chunk = blocks.min(self.free.largest_extent());
+            if chunk == 0 {
+                // Roll back partial allocation.
+                for &(s, l) in &runs {
+                    self.free.free(s, l).expect("just allocated");
+                }
+                return Err(StoreError::NoSpace);
+            }
+            let start = self.free.alloc(chunk)?;
+            runs.push((start, chunk));
+            blocks -= chunk;
+        }
+        self.freetree_dirty = true;
+        Ok(runs)
+    }
+
+    fn persist_onode<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        slot: u32,
+        opts: &CosOptions,
+        alloc_changed: bool,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        if opts.metadata_cache {
+            // The update lands in NVM; the device sees nothing unless the
+            // cache is over capacity.
+            for victim in self.cache.touch(slot) {
+                self.write_onode_slot(dev, victim, trace)?;
+            }
+            return Ok(());
+        }
+        self.write_onode_slot(dev, slot, trace)?;
+        if alloc_changed {
+            // Without the NVM cache, an allocator change costs one extra
+            // free-tree info write (§VI "Metadata Overhead": up to two
+            // extra writes per object write without pre-allocation). Real
+            // allocators journal a fixed-size delta, not the whole tree;
+            // the full tree is checkpointed by maintenance.
+            self.journal_alloc_delta(dev, trace)?;
+        }
+        Ok(())
+    }
+
+    fn write_onode_slot<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        slot: u32,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        let onode = self.onodes.get(&slot).expect("persisting a live onode");
+        let spill_count = onode.extents.len().saturating_sub(crate::onode::INLINE_EXTENTS);
+        let spill_block = if spill_count > 0 {
+            let need = spill_blocks_for(spill_count);
+            match self.spills.get(&slot).copied() {
+                Some((b, have)) if have >= need => b,
+                prev => {
+                    // Grow the spill run: release the old one, take a new
+                    // contiguous run with headroom.
+                    if let Some((old, old_n)) = prev {
+                        self.free.free(old, old_n)?;
+                    }
+                    let take = need.next_power_of_two();
+                    let b = self.free.alloc(take)?;
+                    self.freetree_dirty = true;
+                    self.spills.insert(slot, (b, take));
+                    b
+                }
+            }
+        } else {
+            0
+        };
+        let onode = self.onodes.get(&slot).expect("still live");
+        let (rec, spilled) = onode.encode(spill_block)?;
+        if !spilled.is_empty() {
+            let raw = encode_spill(&spilled);
+            dev.write_at(self.geom.block_off(spill_block), &raw)?;
+            trace.push(TraceIo {
+                kind: TraceKind::Write,
+                bytes: raw.len() as u64,
+                category: IoCategory::Metadata,
+            });
+        }
+        dev.write_at(self.geom.onode_off(slot), &rec)?;
+        dev.flush()?;
+        trace.push(TraceIo {
+            kind: TraceKind::Write,
+            bytes: ONODE_BYTES as u64,
+            category: IoCategory::Metadata,
+        });
+        Ok(())
+    }
+
+    /// Appends a fixed-size allocator-delta record to the free-tree area
+    /// (rotating slot; mount rebuilds from onodes, so only the write cost
+    /// matters for fidelity).
+    fn journal_alloc_delta<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        let slots = (self.geom.freetree_bytes / BLOCK_BYTES).max(1);
+        let slot = self.alloc_journal_cursor % slots;
+        self.alloc_journal_cursor += 1;
+        let record = vec![0u8; BLOCK_BYTES as usize];
+        dev.write_at(self.geom.freetree_off() + slot * BLOCK_BYTES, &record)?;
+        dev.flush()?;
+        trace.push(TraceIo { kind: TraceKind::Write, bytes: BLOCK_BYTES, category: IoCategory::Metadata });
+        Ok(())
+    }
+
+    fn checkpoint_freetree<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        // Serialize as many extents as fit; mount rebuilds from onodes, so a
+        // truncated checkpoint only costs recovery time, never correctness.
+        let extents = self.free.iter();
+        let max = ((self.geom.freetree_bytes - 8) / 16) as usize;
+        let mut raw = Vec::with_capacity(self.geom.freetree_bytes as usize);
+        raw.extend_from_slice(&(extents.len().min(max) as u32).to_le_bytes());
+        raw.extend_from_slice(&(self.free.free_blocks()).to_le_bytes()[..4]);
+        for (s, l) in extents.into_iter().take(max) {
+            raw.extend_from_slice(&s.to_le_bytes());
+            raw.extend_from_slice(&l.to_le_bytes());
+        }
+        dev.write_at(self.geom.freetree_off(), &raw)?;
+        dev.flush()?;
+        trace.push(TraceIo { kind: TraceKind::Write, bytes: raw.len() as u64, category: IoCategory::Metadata });
+        self.freetree_dirty = false;
+        Ok(())
+    }
+
+    /// Pre-creates an object of `size` bytes, allocating its data blocks
+    /// up front when pre-allocation is enabled. Idempotent for existing
+    /// objects (size may only grow).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSpace`] when slots or blocks run out.
+    pub fn create<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        oid: ObjectId,
+        size: u64,
+        seq: u64,
+        opts: &CosOptions,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        let slot = match self.slot_of(oid) {
+            Some(slot) => slot,
+            None => {
+                let slot = self.alloc_slot()?;
+                self.radix.insert(radix_key(oid), slot);
+                self.onodes.insert(slot, Onode::new(oid.raw()));
+                slot
+            }
+        };
+        let mut alloc_changed = false;
+        {
+            let onode = self.onodes.get_mut(&slot).expect("just ensured");
+            onode.size = onode.size.max(size);
+            onode.version += 1;
+            onode.mtime = seq;
+        }
+        if opts.pre_allocate {
+            let want_blocks = size.div_ceil(BLOCK_BYTES);
+            let have_blocks: u64 =
+                self.onodes[&slot].extents.entries().iter().map(|e| e.count as u64).sum();
+            if want_blocks > have_blocks {
+                let runs = self.alloc_blocks(want_blocks - have_blocks)?;
+                let onode = self.onodes.get_mut(&slot).expect("live");
+                let mut logical = have_blocks;
+                for (start, len) in runs {
+                    onode.extents.insert(Extent { logical, phys: start, count: len as u32 });
+                    logical += len;
+                }
+                alloc_changed = true;
+            }
+        }
+        self.persist_onode(dev, slot, opts, alloc_changed, trace)
+    }
+
+    /// Writes `data` at byte `offset` of the object, in place.
+    ///
+    /// Unaligned edges are read-modified-written at block granularity, as
+    /// the paper observes for its YCSB runs (§V-E).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSpace`] if block allocation fails (non-pre-allocated
+    /// objects only).
+    pub fn write<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        oid: ObjectId,
+        offset: u64,
+        data: &[u8],
+        seq: u64,
+        opts: &CosOptions,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        if data.is_empty() {
+            return Err(StoreError::InvalidArgument("zero-length write".into()));
+        }
+        let slot = match self.slot_of(oid) {
+            Some(s) => s,
+            None => {
+                // Implicit create (objects are normally pre-created by the
+                // block layer; bare object writes still work).
+                self.create(dev, oid, 0, seq, &CosOptions { pre_allocate: false, ..opts.clone() }, trace)?;
+                self.slot_of(oid).expect("created above")
+            }
+        };
+        if self.onodes[&slot].deleted {
+            // Reuse after delete: finish the deferred deallocation for this
+            // object now and start clean.
+            self.dealloc_slot(dev, slot, trace)?;
+            self.create(dev, oid, 0, seq, &CosOptions { pre_allocate: false, ..opts.clone() }, trace)?;
+        }
+        let slot = self.slot_of(oid).expect("live object");
+        let end = offset + data.len() as u64;
+        let first_block = offset / BLOCK_BYTES;
+        let last_block = (end - 1) / BLOCK_BYTES;
+
+        // Ensure every covered block is mapped; remember which are fresh.
+        let mut fresh = Vec::new();
+        let mut alloc_changed = false;
+        for block in first_block..=last_block {
+            if self.onodes[&slot].extents.map(block).is_none() {
+                let runs = self.alloc_blocks(1)?;
+                let onode = self.onodes.get_mut(&slot).expect("live");
+                onode.extents.insert(Extent { logical: block, phys: runs[0].0, count: 1 });
+                fresh.push(block);
+                alloc_changed = true;
+            }
+        }
+
+        // Issue device writes per physically contiguous run, with RMW at
+        // unaligned edges of pre-existing blocks.
+        let mut block = first_block;
+        while block <= last_block {
+            let phys = self.onodes[&slot].extents.map(block).expect("mapped above");
+            // Extend the run while physically contiguous.
+            let mut run_len = 1u64;
+            while block + run_len <= last_block
+                && self.onodes[&slot].extents.map(block + run_len) == Some(phys + run_len)
+            {
+                run_len += 1;
+            }
+            let run_start_byte = (block * BLOCK_BYTES).max(offset);
+            let run_end_byte = ((block + run_len) * BLOCK_BYTES).min(end);
+            let last_run_block = block + run_len - 1;
+            let mut buf = vec![0u8; (run_len * BLOCK_BYTES) as usize];
+            // RMW at partial edges of blocks that existed before this write
+            // (fresh blocks read as zeroes by definition).
+            let head_partial = run_start_byte % BLOCK_BYTES != 0;
+            let tail_partial = run_end_byte % BLOCK_BYTES != 0;
+            let read_block = |b: u64, buf: &mut [u8], dev: &mut D, trace: &mut Vec<TraceIo>| -> Result<(), StoreError> {
+                let off_in_buf = ((b - block) * BLOCK_BYTES) as usize;
+                dev.read_at(
+                    self.geom.block_off(phys + (b - block)),
+                    &mut buf[off_in_buf..off_in_buf + BLOCK_BYTES as usize],
+                )?;
+                trace.push(TraceIo { kind: TraceKind::Read, bytes: BLOCK_BYTES, category: IoCategory::Data });
+                Ok(())
+            };
+            if head_partial && !fresh.contains(&block) {
+                read_block(block, &mut buf, dev, trace)?;
+            }
+            if tail_partial
+                && !fresh.contains(&last_run_block)
+                && !(last_run_block == block && head_partial)
+            {
+                read_block(last_run_block, &mut buf, dev, trace)?;
+            }
+            let src_from = (run_start_byte - offset) as usize;
+            let src_to = (run_end_byte - offset) as usize;
+            let dst_from = (run_start_byte - block * BLOCK_BYTES) as usize;
+            buf[dst_from..dst_from + (src_to - src_from)].copy_from_slice(&data[src_from..src_to]);
+            // In-place overwrite of the whole touched block range.
+            dev.write_at(self.geom.block_off(phys), &buf)?;
+            trace.push(TraceIo {
+                kind: TraceKind::Write,
+                bytes: run_len * BLOCK_BYTES,
+                category: IoCategory::Data,
+            });
+            block += run_len;
+        }
+        dev.flush()?;
+
+        let onode = self.onodes.get_mut(&slot).expect("live");
+        onode.size = onode.size.max(end);
+        onode.version += 1;
+        onode.mtime = seq;
+        self.persist_onode(dev, slot, opts, alloc_changed, trace)
+    }
+
+    /// Reads `len` bytes at `offset`. Unmapped holes read as zeroes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for missing/deleted objects,
+    /// [`StoreError::OutOfBounds`] past the object size.
+    pub fn read<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        oid: ObjectId,
+        offset: u64,
+        len: u64,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<Vec<u8>, StoreError> {
+        let slot = self.slot_of(oid).ok_or(StoreError::NotFound)?;
+        let onode = self.onodes.get(&slot).expect("radix maps to live slot");
+        if onode.deleted {
+            return Err(StoreError::NotFound);
+        }
+        if offset + len > onode.size {
+            return Err(StoreError::OutOfBounds { offset, len, capacity: onode.size });
+        }
+        let mut out = vec![0u8; len as usize];
+        if len == 0 {
+            return Ok(out);
+        }
+        let end = offset + len;
+        let first_block = offset / BLOCK_BYTES;
+        let last_block = (end - 1) / BLOCK_BYTES;
+        let mut block = first_block;
+        while block <= last_block {
+            let Some(phys) = onode.extents.map(block) else {
+                block += 1;
+                continue;
+            };
+            let mut run_len = 1u64;
+            while block + run_len <= last_block
+                && onode.extents.map(block + run_len) == Some(phys + run_len)
+            {
+                run_len += 1;
+            }
+            let from = (block * BLOCK_BYTES).max(offset);
+            let to = ((block + run_len) * BLOCK_BYTES).min(end);
+            let dev_off = self.geom.block_off(phys) + (from - block * BLOCK_BYTES);
+            dev.read_at(dev_off, &mut out[(from - offset) as usize..(to - offset) as usize])?;
+            trace.push(TraceIo { kind: TraceKind::Read, bytes: to - from, category: IoCategory::Data });
+            block += run_len;
+        }
+        Ok(out)
+    }
+
+    /// Sets an xattr; persists through the metadata path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for missing objects; oversized xattrs are
+    /// [`StoreError::InvalidArgument`].
+    pub fn set_xattr<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        oid: ObjectId,
+        key: &str,
+        value: Vec<u8>,
+        seq: u64,
+        opts: &CosOptions,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        let slot = self.slot_of(oid).ok_or(StoreError::NotFound)?;
+        let onode = self.onodes.get_mut(&slot).expect("live");
+        onode.set_xattr(key, value);
+        onode.version += 1;
+        onode.mtime = seq;
+        self.persist_onode(dev, slot, opts, false, trace)
+    }
+
+    /// Stat (size/version/mtime) of a live object.
+    pub fn stat(&self, oid: ObjectId) -> Option<(u64, u64, u64)> {
+        let slot = self.slot_of(oid)?;
+        let o = self.onodes.get(&slot)?;
+        (!o.deleted).then_some((o.size, o.version, o.mtime))
+    }
+
+    /// Reads back an xattr of a live object.
+    #[allow(dead_code)] // symmetric API to set_xattr; exercised via the store
+    pub fn xattr(&self, oid: ObjectId, key: &str) -> Option<Vec<u8>> {
+        let slot = self.slot_of(oid)?;
+        self.onodes.get(&slot).and_then(|o| o.xattr(key)).map(<[u8]>::to_vec)
+    }
+
+    /// Marks the object deleted; blocks are deallocated later by
+    /// [`Partition::maintenance`] (delayed deallocation, §IV-C-5).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the object does not exist.
+    pub fn delete<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        oid: ObjectId,
+        seq: u64,
+        opts: &CosOptions,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        let slot = self.slot_of(oid).ok_or(StoreError::NotFound)?;
+        let onode = self.onodes.get_mut(&slot).expect("live");
+        if onode.deleted {
+            return Err(StoreError::NotFound);
+        }
+        onode.deleted = true;
+        onode.version += 1;
+        onode.mtime = seq;
+        self.pending_dealloc.push(slot);
+        self.persist_onode(dev, slot, opts, false, trace)
+    }
+
+    fn dealloc_slot<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        slot: u32,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<(), StoreError> {
+        let Some(mut onode) = self.onodes.remove(&slot) else {
+            return Ok(());
+        };
+        for e in onode.extents.take_all() {
+            self.free.free(e.phys, e.count as u64)?;
+        }
+        if let Some((spill, nblocks)) = self.spills.remove(&slot) {
+            self.free.free(spill, nblocks)?;
+        }
+        self.freetree_dirty = true;
+        self.radix.remove(radix_key(ObjectId::from_raw(onode.oid_raw)));
+        self.cache.forget(slot);
+        self.slot_used[slot as usize] = false;
+        self.pending_dealloc.retain(|&s| s != slot);
+        // Zero the slot on disk so mount does not resurrect it.
+        dev.write_at(self.geom.onode_off(slot), &[0u8; ONODE_BYTES])?;
+        dev.flush()?;
+        trace.push(TraceIo { kind: TraceKind::Write, bytes: ONODE_BYTES as u64, category: IoCategory::Metadata });
+        Ok(())
+    }
+
+    /// True if deferred work is queued (deallocations, dirty metadata, or a
+    /// stale free-tree checkpoint).
+    pub fn needs_maintenance(&self) -> bool {
+        !self.pending_dealloc.is_empty()
+            || self.cache.dirty_count() > self.cache_high_water()
+            || self.freetree_dirty
+    }
+
+    fn cache_high_water(&self) -> usize {
+        // Flush when more than half the cache capacity is dirty.
+        usize::max(1, self.cache.capacity() / 2)
+    }
+
+    /// One bounded maintenance step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn maintenance<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        trace: &mut Vec<TraceIo>,
+    ) -> Result<MaintenanceReport, StoreError> {
+        let before = trace.len();
+        let mut did_work = false;
+        while let Some(slot) = self.pending_dealloc.pop() {
+            self.dealloc_slot(dev, slot, trace)?;
+            did_work = true;
+        }
+        if self.cache.dirty_count() > self.cache_high_water() {
+            for slot in self.cache.drain_oldest(self.cache_high_water()) {
+                if self.onodes.contains_key(&slot) {
+                    self.write_onode_slot(dev, slot, trace)?;
+                }
+            }
+            did_work = true;
+        }
+        if self.freetree_dirty {
+            self.checkpoint_freetree(dev, trace)?;
+            did_work = true;
+        }
+        let (mut br, mut bw) = (0, 0);
+        for io in &trace[before..] {
+            match io.kind {
+                TraceKind::Read => br += io.bytes,
+                TraceKind::Write => bw += io.bytes,
+                TraceKind::Flush => {}
+            }
+        }
+        Ok(MaintenanceReport { bytes_read: br, bytes_written: bw, did_work })
+    }
+}
+
+/// Blocks needed to hold `n` spilled extents (20 bytes each + header).
+fn spill_blocks_for(n: usize) -> u64 {
+    ((4 + n * 20) as u64).div_ceil(BLOCK_BYTES)
+}
+
+fn encode_spill(extents: &[Extent]) -> Vec<u8> {
+    let nblocks = spill_blocks_for(extents.len());
+    let mut raw = vec![0u8; (nblocks * BLOCK_BYTES) as usize];
+    raw[..4].copy_from_slice(&(extents.len() as u32).to_le_bytes());
+    let mut w = 4;
+    for e in extents {
+        raw[w..w + 8].copy_from_slice(&e.logical.to_le_bytes());
+        raw[w + 8..w + 16].copy_from_slice(&e.phys.to_le_bytes());
+        raw[w + 16..w + 20].copy_from_slice(&e.count.to_le_bytes());
+        w += 20;
+    }
+    raw
+}
+
+fn decode_spill(raw: &[u8], total_extents: usize) -> Result<Vec<Extent>, StoreError> {
+    let count = u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) as usize;
+    let expected = total_extents.saturating_sub(crate::onode::INLINE_EXTENTS);
+    if count != expected {
+        return Err(StoreError::Corrupt(format!(
+            "spill block holds {count} extents, onode expects {expected}"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut r = 4;
+    for _ in 0..count {
+        out.push(Extent {
+            logical: u64::from_le_bytes(raw[r..r + 8].try_into().expect("8 bytes")),
+            phys: u64::from_le_bytes(raw[r + 8..r + 16].try_into().expect("8 bytes")),
+            count: u32::from_le_bytes(raw[r + 16..r + 20].try_into().expect("4 bytes")),
+        });
+        r += 20;
+    }
+    Ok(out)
+}

@@ -1,0 +1,229 @@
+//! Radix tree for onode lookup.
+//!
+//! The paper's object store locates onodes with a radix tree keyed by the
+//! object id (§IV-C-1): a few leftmost bits pick the sharded partition, the
+//! rest index within it. This is a 16-way (nibble-at-a-time) radix tree over
+//! the 48-bit object index, mapping to the onode's slot number in the
+//! partition's onode table. Lookup cost is bounded by key width, not
+//! population — no rebalancing, no comparisons, cheap CPU.
+
+/// Number of children per node (one hex nibble).
+const FANOUT: usize = 16;
+/// Nibbles in a 48-bit object index.
+const DEPTH: usize = 12;
+
+#[derive(Debug, Clone)]
+struct RadixNode {
+    children: [Option<Box<RadixNode>>; FANOUT],
+    value: Option<u32>,
+    /// Number of values stored in this subtree (enables cheap pruning).
+    population: usize,
+}
+
+impl RadixNode {
+    fn new() -> Self {
+        RadixNode { children: Default::default(), value: None, population: 0 }
+    }
+}
+
+/// A radix tree from 48-bit object indexes to onode slot ids.
+///
+/// ```
+/// use rablock_cos::RadixTree;
+/// let mut t = RadixTree::new();
+/// t.insert(42, 7);
+/// assert_eq!(t.get(42), Some(7));
+/// assert_eq!(t.get(43), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RadixTree {
+    root: Option<Box<RadixNode>>,
+    len: usize,
+}
+
+fn nibble(key: u64, level: usize) -> usize {
+    ((key >> ((DEPTH - 1 - level) * 4)) & 0xF) as usize
+}
+
+impl RadixTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        RadixTree::default()
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or replaces the slot for `key`; returns the previous slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` exceeds 48 bits (object indexes never do).
+    pub fn insert(&mut self, key: u64, slot: u32) -> Option<u32> {
+        assert!(key < (1 << 48), "key exceeds 48 bits");
+        fn rec(node: &mut RadixNode, key: u64, level: usize, slot: u32) -> Option<u32> {
+            let prev = if level == DEPTH {
+                node.value.replace(slot)
+            } else {
+                let idx = nibble(key, level);
+                let child = node.children[idx].get_or_insert_with(|| Box::new(RadixNode::new()));
+                rec(child, key, level + 1, slot)
+            };
+            if prev.is_none() {
+                node.population += 1;
+            }
+            prev
+        }
+        let root = self.root.get_or_insert_with(|| Box::new(RadixNode::new()));
+        let prev = rec(root, key, 0, slot);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Looks up the slot for `key`.
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let mut node = self.root.as_deref()?;
+        for level in 0..DEPTH {
+            node = node.children[nibble(key, level)].as_deref()?;
+        }
+        node.value
+    }
+
+    /// Removes the mapping for `key`; returns the removed slot.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        fn rec(node: &mut RadixNode, key: u64, level: usize) -> Option<u32> {
+            let removed = if level == DEPTH {
+                node.value.take()
+            } else {
+                let idx = nibble(key, level);
+                let child = node.children[idx].as_mut()?;
+                let removed = rec(child, key, level + 1)?;
+                if child.population == 0 {
+                    node.children[idx] = None;
+                }
+                Some(removed)
+            };
+            if removed.is_some() {
+                node.population -= 1;
+            }
+            removed
+        }
+        let root = self.root.as_mut()?;
+        let removed = rec(root, key, 0)?;
+        if root.population == 0 {
+            self.root = None;
+        }
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Iterates `(key, slot)` pairs in key order.
+    pub fn iter(&self) -> Vec<(u64, u32)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn rec(node: &RadixNode, prefix: u64, level: usize, out: &mut Vec<(u64, u32)>) {
+            if level == DEPTH {
+                if let Some(v) = node.value {
+                    out.push((prefix, v));
+                }
+                return;
+            }
+            for (i, child) in node.children.iter().enumerate() {
+                if let Some(c) = child {
+                    rec(c, (prefix << 4) | i as u64, level + 1, out);
+                }
+            }
+        }
+        if let Some(root) = &self.root {
+            rec(root, 0, 0, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = RadixTree::new();
+        assert_eq!(t.insert(100, 1), None);
+        assert_eq!(t.insert(100, 2), Some(1));
+        assert_eq!(t.get(100), Some(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(100), Some(2));
+        assert_eq!(t.get(100), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn near_miss_keys_do_not_collide() {
+        let mut t = RadixTree::new();
+        t.insert(0xABCDEF, 1);
+        assert_eq!(t.get(0xABCDEE), None);
+        assert_eq!(t.get(0xABCDE), None);
+        assert_eq!(t.get(0xABCDEF0), None);
+    }
+
+    #[test]
+    fn removal_prunes_empty_paths() {
+        let mut t = RadixTree::new();
+        t.insert(1, 1);
+        t.insert((1 << 47) | 1, 2);
+        t.remove(1);
+        assert_eq!(t.get((1 << 47) | 1), Some(2));
+        t.remove((1 << 47) | 1);
+        assert!(t.root.is_none(), "tree fully pruned");
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut t = RadixTree::new();
+        for (i, k) in [500u64, 3, 0xFFFF_FFFF, 42, 0].iter().enumerate() {
+            t.insert(*k, i as u32);
+        }
+        let keys: Vec<u64> = t.iter().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![0, 3, 42, 500, 0xFFFF_FFFF]);
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn oversized_key_rejected() {
+        RadixTree::new().insert(1 << 48, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap_model(ops in proptest::collection::vec(
+            (0u8..3, 0u64..(1 << 20), 0u32..1000), 1..300)) {
+            let mut tree = RadixTree::new();
+            let mut model = std::collections::BTreeMap::new();
+            for (kind, key, slot) in ops {
+                match kind {
+                    0 => {
+                        prop_assert_eq!(tree.insert(key, slot), model.insert(key, slot));
+                    }
+                    1 => {
+                        prop_assert_eq!(tree.remove(key), model.remove(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(tree.get(key), model.get(&key).copied());
+                    }
+                }
+                prop_assert_eq!(tree.len(), model.len());
+            }
+            let entries: Vec<(u64, u32)> = model.into_iter().collect();
+            prop_assert_eq!(tree.iter(), entries);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The CPU-efficient object store: sharded partitions behind one device.
+//!
+//! [`CosObjectStore`] implements the workspace-wide
+//! [`ObjectStore`](rablock_storage::ObjectStore) contract over
+//! [`Partition`]s. Logical groups map to partitions by simple modulo
+//! (§IV-C-2 "I/O Distribution"), so one non-priority thread can own each
+//! partition without cross-thread locking. Store-level key/value records
+//! (Ceph's `object_info_t`, pg log) are kept in memory and riding the NVM
+//! operation log for durability, never costing device I/O — one of the two
+//! big CPU/WAF savings over the LSM backend.
+
+use std::collections::HashMap;
+
+use rablock_storage::{
+    BlockDevice, GroupId, MaintenanceReport, ObjectId, ObjectInfo, ObjectStore, Op, StoreError,
+    StoreStats, TraceIo, Transaction,
+};
+
+use crate::layout::{CosOptions, PartGeometry, SUPERBLOCK_BYTES};
+use crate::partition::Partition;
+
+const SB_MAGIC: u32 = 0x434F_5331; // "COS1"
+
+/// The paper's CPU-efficient object store backend.
+///
+/// ```
+/// use rablock_cos::{CosObjectStore, CosOptions};
+/// use rablock_storage::{MemDisk, ObjectStore, ObjectId, GroupId, Op, Transaction};
+/// # fn main() -> Result<(), rablock_storage::StoreError> {
+/// let mut store = CosObjectStore::format(MemDisk::new(64 << 20), CosOptions::tiny())?;
+/// let oid = ObjectId::new(GroupId(0), 1);
+/// store.submit(Transaction::new(GroupId(0), 1, vec![
+///     Op::Create { oid, size: 4 << 20 },
+///     Op::Write { oid, offset: 0, data: b"hello".to_vec() },
+/// ]))?;
+/// assert_eq!(store.read(oid, 0, 5)?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+pub struct CosObjectStore<D: BlockDevice> {
+    dev: D,
+    opts: CosOptions,
+    partitions: Vec<Partition>,
+    /// Store-level KV records (pg log, object_info_t). Durability comes from
+    /// the NVM operation log above this layer, so they cost no device I/O.
+    meta_kv: HashMap<Vec<u8>, Vec<u8>>,
+    trace: Vec<TraceIo>,
+    stats: StoreStats,
+}
+
+impl<D: BlockDevice> CosObjectStore<D> {
+    /// Formats a fresh store on `dev`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidArgument`] if the device cannot hold the
+    /// configured partitions.
+    pub fn format(mut dev: D, opts: CosOptions) -> Result<Self, StoreError> {
+        let mut partitions = Vec::with_capacity(opts.partitions);
+        for i in 0..opts.partitions {
+            let geom = PartGeometry::compute(dev.capacity(), i, &opts)?;
+            partitions.push(Partition::format(geom, &opts));
+        }
+        let mut sb = vec![0u8; SUPERBLOCK_BYTES as usize];
+        sb[..4].copy_from_slice(&SB_MAGIC.to_le_bytes());
+        sb[4..8].copy_from_slice(&(opts.partitions as u32).to_le_bytes());
+        sb[8..12].copy_from_slice(&opts.onode_slots.to_le_bytes());
+        dev.write_at(0, &sb)?;
+        dev.flush()?;
+        Ok(CosObjectStore {
+            dev,
+            opts,
+            partitions,
+            meta_kv: HashMap::new(),
+            trace: Vec::new(),
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Mounts an existing store, rebuilding in-memory state from the onode
+    /// tables (crash recovery; data REDO is the operation log's job).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on a bad superblock or onode corruption.
+    pub fn mount(mut dev: D, opts: CosOptions) -> Result<Self, StoreError> {
+        let mut sb = vec![0u8; SUPERBLOCK_BYTES as usize];
+        dev.read_at(0, &mut sb)?;
+        if u32::from_le_bytes(sb[..4].try_into().expect("4 bytes")) != SB_MAGIC {
+            return Err(StoreError::Corrupt("bad store superblock magic".into()));
+        }
+        let parts = u32::from_le_bytes(sb[4..8].try_into().expect("4 bytes")) as usize;
+        let slots = u32::from_le_bytes(sb[8..12].try_into().expect("4 bytes"));
+        if parts != opts.partitions || slots != opts.onode_slots {
+            return Err(StoreError::Corrupt(format!(
+                "superblock geometry ({parts} partitions, {slots} slots) does not match options"
+            )));
+        }
+        let mut trace = Vec::new();
+        let mut partitions = Vec::with_capacity(parts);
+        for i in 0..parts {
+            let geom = PartGeometry::compute(dev.capacity(), i, &opts)?;
+            partitions.push(Partition::mount(&mut dev, geom, &opts, &mut trace)?);
+        }
+        let mut stats = StoreStats::default();
+        for io in &trace {
+            stats.record(*io);
+        }
+        Ok(CosObjectStore { dev, opts, partitions, meta_kv: HashMap::new(), trace, stats })
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &CosOptions {
+        &self.opts
+    }
+
+    /// Immutable access to the device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Consumes the store, returning the device.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// Partition index serving `group`.
+    pub fn partition_of(&self, group: GroupId) -> usize {
+        group.0 as usize % self.partitions.len()
+    }
+
+    /// Bytes of onode updates absorbed by the NVM metadata cache, across
+    /// all partitions.
+    pub fn nvm_meta_bytes(&self) -> u64 {
+        self.partitions.iter().map(Partition::nvm_meta_bytes).sum()
+    }
+
+    /// Free data blocks per partition (scalability diagnostics).
+    pub fn free_blocks_per_partition(&self) -> Vec<u64> {
+        self.partitions.iter().map(Partition::free_blocks).collect()
+    }
+
+    fn part_for(&mut self, oid: ObjectId) -> &mut Partition {
+        let idx = oid.group().0 as usize % self.partitions.len();
+        &mut self.partitions[idx]
+    }
+
+    fn absorb(&mut self, tmp: Vec<TraceIo>) {
+        for io in tmp {
+            self.stats.record(io);
+            self.trace.push(io);
+        }
+    }
+}
+
+impl<D: BlockDevice> ObjectStore for CosObjectStore<D> {
+    fn submit(&mut self, txn: Transaction) -> Result<(), StoreError> {
+        let mut tmp = Vec::new();
+        let seq = txn.seq;
+        let opts = self.opts.clone();
+        for op in &txn.ops {
+            match op {
+                Op::Create { oid, size } => {
+                    let idx = self.partition_of(oid.group());
+                    let (dev, part) = (&mut self.dev, &mut self.partitions[idx]);
+                    part.create(dev, *oid, *size, seq, &opts, &mut tmp)?;
+                }
+                Op::Write { oid, offset, data } => {
+                    let idx = self.partition_of(oid.group());
+                    let (dev, part) = (&mut self.dev, &mut self.partitions[idx]);
+                    part.write(dev, *oid, *offset, data, seq, &opts, &mut tmp)?;
+                    self.stats.user_bytes += data.len() as u64;
+                }
+                Op::SetXattr { oid, key, value } => {
+                    let idx = self.partition_of(oid.group());
+                    let (dev, part) = (&mut self.dev, &mut self.partitions[idx]);
+                    part.set_xattr(dev, *oid, key, value.clone(), seq, &opts, &mut tmp)?;
+                }
+                Op::MetaPut { key, value } => {
+                    self.meta_kv.insert(key.clone(), value.clone());
+                }
+                Op::MetaDelete { key } => {
+                    self.meta_kv.remove(key);
+                }
+                Op::Delete { oid } => {
+                    let idx = self.partition_of(oid.group());
+                    let (dev, part) = (&mut self.dev, &mut self.partitions[idx]);
+                    part.delete(dev, *oid, seq, &opts, &mut tmp)?;
+                }
+            }
+        }
+        self.stats.transactions += 1;
+        self.absorb(tmp);
+        Ok(())
+    }
+
+    fn read(&mut self, oid: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let idx = self.partition_of(oid.group());
+        let mut tmp = Vec::new();
+        let (dev, part) = (&mut self.dev, &mut self.partitions[idx]);
+        let out = part.read(dev, oid, offset, len, &mut tmp)?;
+        self.absorb(tmp);
+        Ok(out)
+    }
+
+    fn stat(&mut self, oid: ObjectId) -> Option<ObjectInfo> {
+        let part = self.part_for(oid);
+        part.stat(oid).map(|(size, version, mtime)| ObjectInfo { size, version, mtime })
+    }
+
+    fn get_meta(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.meta_kv.get(key).cloned()
+    }
+
+    fn needs_maintenance(&self) -> bool {
+        self.partitions.iter().any(Partition::needs_maintenance)
+    }
+
+    fn maintenance(&mut self) -> MaintenanceReport {
+        let mut total = MaintenanceReport::default();
+        let mut tmp = Vec::new();
+        for part in &mut self.partitions {
+            if part.needs_maintenance() {
+                if let Ok(r) = part.maintenance(&mut self.dev, &mut tmp) {
+                    total.bytes_read += r.bytes_read;
+                    total.bytes_written += r.bytes_written;
+                    total.did_work |= r.did_work;
+                }
+            }
+        }
+        self.absorb(tmp);
+        total
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceIo> {
+        std::mem::take(&mut self.trace)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+
+    fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+}
+
+impl<D: BlockDevice> std::fmt::Debug for CosObjectStore<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CosObjectStore")
+            .field("partitions", &self.partitions.len())
+            .field("objects", &self.partitions.iter().map(Partition::object_count).sum::<usize>())
+            .field("transactions", &self.stats.transactions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rablock_storage::MemDisk;
+
+    fn oid(group: u32, i: u64) -> ObjectId {
+        ObjectId::new(GroupId(group), i)
+    }
+
+    fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
+        Transaction::new(o.group(), seq, vec![Op::Write { oid: o, offset, data }])
+    }
+
+    fn fresh(opts: CosOptions) -> CosObjectStore<MemDisk> {
+        CosObjectStore::format(MemDisk::new(64 << 20), opts).unwrap()
+    }
+
+    #[test]
+    fn aligned_write_read_round_trip() {
+        let mut s = fresh(CosOptions::tiny());
+        let o = oid(0, 1);
+        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 64 << 10 }])).unwrap();
+        s.submit(write_txn(2, o, 8192, vec![0xAB; 4096])).unwrap();
+        assert_eq!(s.read(o, 8192, 4096).unwrap(), vec![0xAB; 4096]);
+        assert_eq!(s.read(o, 0, 4096).unwrap(), vec![0u8; 4096], "untouched blocks read zero");
+    }
+
+    #[test]
+    fn unaligned_write_preserves_neighbours() {
+        let mut s = fresh(CosOptions::tiny());
+        let o = oid(0, 2);
+        s.submit(write_txn(1, o, 0, vec![1u8; 8192])).unwrap();
+        s.submit(write_txn(2, o, 1000, vec![2u8; 5000])).unwrap();
+        let got = s.read(o, 0, 8192).unwrap();
+        assert_eq!(&got[..1000], &vec![1u8; 1000][..]);
+        assert_eq!(&got[1000..6000], &vec![2u8; 5000][..]);
+        assert_eq!(&got[6000..], &vec![1u8; 2192][..]);
+    }
+
+    #[test]
+    fn preallocated_object_is_single_extent_and_stable_waf() {
+        let mut s = fresh(CosOptions { metadata_cache: false, ..CosOptions::tiny() });
+        let o = oid(0, 3);
+        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 1 << 20 }])).unwrap();
+        s.reset_stats();
+        // Overwrite random 4 KiB blocks; with pre-allocation there is no
+        // allocator churn, only the data write plus the onode write.
+        for seq in 0..200u64 {
+            let block = (seq * 37) % 256;
+            s.submit(write_txn(seq + 2, o, block * 4096, vec![seq as u8; 4096])).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.user_bytes, 200 * 4096);
+        assert_eq!(st.data_bytes, 200 * 4096, "in-place: exactly one data write per write");
+        let waf = st.waf();
+        assert!(waf > 1.0 && waf < 1.5, "pre-alloc no-cache waf = {waf}");
+    }
+
+    #[test]
+    fn metadata_cache_pushes_waf_to_one() {
+        let mut s = fresh(CosOptions { metadata_cache: true, meta_cache_entries: 4096, ..CosOptions::tiny() });
+        let o = oid(0, 4);
+        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 1 << 20 }])).unwrap();
+        s.reset_stats();
+        for seq in 0..200u64 {
+            let block = (seq * 37) % 256;
+            s.submit(write_txn(seq + 2, o, block * 4096, vec![seq as u8; 4096])).unwrap();
+        }
+        let waf = s.stats().waf();
+        assert!((waf - 1.0).abs() < 0.05, "metadata-cache waf = {waf}");
+        assert!(s.nvm_meta_bytes() > 0, "onode updates went to NVM");
+    }
+
+    #[test]
+    fn no_preallocation_costs_extra_metadata_writes() {
+        let mut s = fresh(CosOptions { pre_allocate: false, metadata_cache: false, ..CosOptions::tiny() });
+        let o = oid(0, 5);
+        s.reset_stats();
+        for seq in 0..50u64 {
+            s.submit(write_txn(seq + 1, o, seq * 4096, vec![7u8; 4096])).unwrap();
+        }
+        let st = s.stats();
+        // Every write allocated fresh blocks: onode + free-tree info writes
+        // on top of the data (§VI "Metadata Overhead").
+        assert!(st.metadata_bytes > 50 * 512, "allocator metadata written");
+        assert!(st.waf() > 1.1, "no-prealloc waf = {}", st.waf());
+    }
+
+    #[test]
+    fn delete_then_maintenance_reclaims_blocks() {
+        let mut s = fresh(CosOptions::tiny());
+        let o = oid(0, 6);
+        let free_before: u64 = s.free_blocks_per_partition().iter().sum();
+        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 256 << 10 }])).unwrap();
+        let free_mid: u64 = s.free_blocks_per_partition().iter().sum();
+        assert!(free_mid < free_before);
+        s.submit(Transaction::new(o.group(), 2, vec![Op::Delete { oid: o }])).unwrap();
+        // Delayed deallocation: blocks come back only after maintenance.
+        let free_after_delete: u64 = s.free_blocks_per_partition().iter().sum();
+        assert_eq!(free_after_delete, free_mid);
+        assert!(s.needs_maintenance());
+        s.maintenance();
+        let free_final: u64 = s.free_blocks_per_partition().iter().sum();
+        assert_eq!(free_final, free_before);
+        assert_eq!(s.read(o, 0, 1), Err(StoreError::NotFound));
+    }
+
+    #[test]
+    fn groups_shard_across_partitions() {
+        let s = fresh(CosOptions { partitions: 2, ..CosOptions::tiny() });
+        assert_eq!(s.partition_of(GroupId(0)), 0);
+        assert_eq!(s.partition_of(GroupId(1)), 1);
+        assert_eq!(s.partition_of(GroupId(2)), 0);
+        assert_eq!(ObjectStore::partitions(&s), 2);
+    }
+
+    #[test]
+    fn mount_recovers_objects_and_allocator() {
+        let opts = CosOptions { metadata_cache: false, ..CosOptions::tiny() };
+        let mut s = fresh(opts.clone());
+        let a = oid(0, 10);
+        let b = oid(1, 11);
+        s.submit(Transaction::new(a.group(), 1, vec![Op::Create { oid: a, size: 64 << 10 }])).unwrap();
+        s.submit(write_txn(2, a, 4096, vec![0x5A; 4096])).unwrap();
+        s.submit(write_txn(3, b, 0, vec![0x66; 100])).unwrap();
+        s.submit(Transaction::new(
+            a.group(),
+            4,
+            vec![Op::SetXattr { oid: a, key: "oi".into(), value: vec![9, 9] }],
+        )).unwrap();
+        let free_before: Vec<u64> = s.free_blocks_per_partition();
+        let dev = s.into_device();
+        let mut s2 = CosObjectStore::mount(dev, opts).unwrap();
+        assert_eq!(s2.read(a, 4096, 4096).unwrap(), vec![0x5A; 4096]);
+        assert_eq!(s2.read(b, 0, 100).unwrap(), vec![0x66; 100]);
+        assert_eq!(s2.stat(a).unwrap().size, 64 << 10);
+        assert_eq!(s2.free_blocks_per_partition(), free_before, "allocator rebuilt exactly");
+    }
+
+    #[test]
+    fn mount_rejects_mismatched_geometry() {
+        let s = fresh(CosOptions::tiny());
+        let dev = s.into_device();
+        let wrong = CosOptions { partitions: 4, ..CosOptions::tiny() };
+        assert!(matches!(CosObjectStore::mount(dev, wrong), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fragmented_object_survives_mount_via_spill() {
+        // Force fragmentation: no pre-allocation, interleaved writes to two
+        // objects so neither gets contiguous blocks.
+        let opts = CosOptions { pre_allocate: false, metadata_cache: false, ..CosOptions::tiny() };
+        let mut s = fresh(opts.clone());
+        let a = oid(0, 20);
+        let b = oid(0, 21);
+        for i in 0..40u64 {
+            s.submit(write_txn(i * 2 + 1, a, i * 8192, vec![1u8; 100])).unwrap();
+            s.submit(write_txn(i * 2 + 2, b, i * 8192, vec![2u8; 100])).unwrap();
+        }
+        let dev = s.into_device();
+        let mut s2 = CosObjectStore::mount(dev, opts).unwrap();
+        for i in 0..40u64 {
+            assert_eq!(s2.read(a, i * 8192, 100).unwrap(), vec![1u8; 100], "a block {i}");
+            assert_eq!(s2.read(b, i * 8192, 100).unwrap(), vec![2u8; 100], "b block {i}");
+        }
+    }
+
+    #[test]
+    fn meta_kv_lives_in_memory_not_on_device() {
+        let mut s = fresh(CosOptions::tiny());
+        let written_before = s.device().counters().bytes_written;
+        s.submit(Transaction::new(GroupId(0), 1, vec![
+            Op::MetaPut { key: b"pglog.1".to_vec(), value: vec![3; 100] },
+        ])).unwrap();
+        assert_eq!(s.get_meta(b"pglog.1"), Some(vec![3; 100]));
+        assert_eq!(s.device().counters().bytes_written, written_before,
+            "pg log rides the NVM op log, not the device");
+    }
+
+    #[test]
+    fn large_write_coalesces_into_few_device_ios() {
+        let mut s = fresh(CosOptions::tiny());
+        let o = oid(0, 30);
+        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 1 << 20 }])).unwrap();
+        s.take_trace();
+        s.submit(write_txn(2, o, 0, vec![9u8; 128 << 10])).unwrap();
+        let trace = s.take_trace();
+        let data_writes: Vec<_> = trace
+            .iter()
+            .filter(|t| matches!(t.kind, rablock_storage::TraceKind::Write) && t.category == rablock_storage::IoCategory::Data)
+            .collect();
+        assert_eq!(data_writes.len(), 1, "contiguous pre-allocated run = one 128 KiB write");
+        assert_eq!(data_writes[0].bytes, 128 << 10);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-based property tests: the CPU-efficient object store against a
+//! byte-array model, including mount-recovery equivalence.
+
+use proptest::prelude::*;
+use rablock_cos::{CosObjectStore, CosOptions};
+use rablock_storage::{GroupId, MemDisk, ObjectId, ObjectStore, Op, Transaction};
+
+const OBJ_BYTES: u64 = 64 << 10;
+const OBJECTS: u64 = 4;
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Write { obj: u64, offset: u64, len: u64, fill: u8 },
+    Read { obj: u64, offset: u64, len: u64 },
+    Delete { obj: u64 },
+    Maintain,
+}
+
+fn ops() -> impl Strategy<Value = Vec<StoreOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..OBJECTS, 0..OBJ_BYTES - 1, 1u64..16_000, any::<u8>()).prop_map(
+                |(obj, offset, len, fill)| {
+                    let len = len.min(OBJ_BYTES - offset);
+                    StoreOp::Write { obj, offset, len, fill }
+                }
+            ),
+            3 => (0..OBJECTS, 0..OBJ_BYTES - 1, 1u64..16_000).prop_map(|(obj, offset, len)| {
+                let len = len.min(OBJ_BYTES - offset);
+                StoreOp::Read { obj, offset, len }
+            }),
+            1 => (0..OBJECTS).prop_map(|obj| StoreOp::Delete { obj }),
+            1 => Just(StoreOp::Maintain),
+        ],
+        1..80,
+    )
+}
+
+fn oid(i: u64) -> ObjectId {
+    ObjectId::new(GroupId((i % 2) as u32), i)
+}
+
+/// Model entry: `(logical_size, bytes)`; `None` = deleted.
+type ModelObj = Option<(u64, Vec<u8>)>;
+
+fn run_script(
+    opts: CosOptions,
+    script: Vec<StoreOp>,
+) -> (CosObjectStore<MemDisk>, Vec<ModelObj>) {
+    let mut store = CosObjectStore::format(MemDisk::new(32 << 20), opts).unwrap();
+    let mut model: Vec<ModelObj> =
+        (0..OBJECTS).map(|_| Some((OBJ_BYTES, vec![0u8; OBJ_BYTES as usize]))).collect();
+    let mut seq = 0u64;
+    for i in 0..OBJECTS {
+        seq += 1;
+        store
+            .submit(Transaction::new(oid(i).group(), seq, vec![Op::Create { oid: oid(i), size: OBJ_BYTES }]))
+            .unwrap();
+    }
+    for op in script {
+        seq += 1;
+        match op {
+            StoreOp::Write { obj, offset, len, fill } => {
+                let txn = Transaction::new(
+                    oid(obj).group(),
+                    seq,
+                    vec![Op::Write { oid: oid(obj), offset, data: vec![fill; len as usize] }],
+                );
+                if model[obj as usize].is_none() {
+                    // A write to a deleted object recreates it from zeroes,
+                    // sized by the write's extent.
+                    model[obj as usize] = Some((0, vec![0u8; OBJ_BYTES as usize]));
+                }
+                store.submit(txn).unwrap();
+                let m = model[obj as usize].as_mut().unwrap();
+                m.0 = m.0.max(offset + len);
+                m.1[offset as usize..(offset + len) as usize].fill(fill);
+            }
+            StoreOp::Read { obj, offset, len } => {
+                let got = store.read(oid(obj), offset, len);
+                match &model[obj as usize] {
+                    Some((size, bytes)) if offset + len <= *size => {
+                        assert_eq!(got.unwrap(), bytes[offset as usize..(offset + len) as usize].to_vec());
+                    }
+                    _ => assert!(got.is_err(), "read past size / of deleted object must fail"),
+                }
+            }
+            StoreOp::Delete { obj } => {
+                let txn = Transaction::new(oid(obj).group(), seq, vec![Op::Delete { oid: oid(obj) }]);
+                match &model[obj as usize] {
+                    Some(_) => {
+                        store.submit(txn).unwrap();
+                        model[obj as usize] = None;
+                    }
+                    None => assert!(store.submit(txn).is_err()),
+                }
+            }
+            StoreOp::Maintain => {
+                if store.needs_maintenance() {
+                    store.maintenance();
+                }
+            }
+        }
+    }
+    (store, model)
+}
+
+fn check_all(store: &mut CosObjectStore<MemDisk>, model: &[ModelObj]) {
+    for (i, m) in model.iter().enumerate() {
+        match m {
+            Some((size, bytes)) => {
+                if *size > 0 {
+                    let got = store.read(oid(i as u64), 0, *size).unwrap();
+                    assert_eq!(&got, &bytes[..*size as usize], "object {i}");
+                }
+            }
+            None => assert!(store.read(oid(i as u64), 0, 1).is_err(), "object {i} deleted"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random writes/reads/deletes agree with a byte-array model, under
+    /// each metadata-path configuration.
+    #[test]
+    fn store_matches_model(script in ops(), cache in any::<bool>(), prealloc in any::<bool>()) {
+        let opts = CosOptions { metadata_cache: cache, pre_allocate: prealloc, ..CosOptions::tiny() };
+        let (mut store, model) = run_script(opts, script);
+        check_all(&mut store, &model);
+    }
+
+    /// After any script + full flush, unmounting and remounting the device
+    /// reproduces the same state (allocator + radix rebuild from onodes).
+    #[test]
+    fn mount_round_trips_state(script in ops()) {
+        let opts = CosOptions { metadata_cache: false, ..CosOptions::tiny() };
+        let (mut store, model) = run_script(opts.clone(), script);
+        while store.needs_maintenance() {
+            store.maintenance();
+        }
+        let dev = store.into_device();
+        let mut store2 = CosObjectStore::mount(dev, opts).unwrap();
+        check_all(&mut store2, &model);
+    }
+}

@@ -1,0 +1,155 @@
+//! LRU block cache for the BlueStore-like store.
+//!
+//! BlueStore keeps recently accessed object data in an in-memory cache; the
+//! paper leans on it when analyzing YCSB ("most of the reads hit the cache
+//! in the object store", §V-E). This is that cache: an LRU over data-block
+//! keys with a byte-capacity bound, write-through on updates.
+
+use std::collections::HashMap;
+
+/// A byte-bounded LRU cache from block keys to block contents.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    map: HashMap<Vec<u8>, (Vec<u8>, u64)>,
+    /// LRU ordering by a monotone tick (simple and allocation-free; scans
+    /// only on eviction, which is rare relative to hits).
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// A cache holding at most `capacity_bytes` of block data. A zero
+    /// capacity disables caching entirely.
+    pub fn new(capacity_bytes: usize) -> Self {
+        BlockCache {
+            capacity_bytes,
+            used_bytes: 0,
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a block, refreshing its recency.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((value, at)) => {
+                *at = tick;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts or replaces a block (write-through from the store).
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        if self.capacity_bytes == 0 || value.len() > self.capacity_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, at)) = self.map.get_mut(&key) {
+            self.used_bytes = self.used_bytes - old.len() + value.len();
+            *old = value;
+            *at = self.tick;
+        } else {
+            self.used_bytes += value.len() + key.len();
+            self.map.insert(key, (value, self.tick));
+        }
+        while self.used_bytes > self.capacity_bytes {
+            self.evict_oldest();
+        }
+    }
+
+    /// Drops a block (the backing data was invalidated).
+    pub fn invalidate(&mut self, key: &[u8]) {
+        if let Some((value, _)) = self.map.remove(key) {
+            self.used_bytes -= value.len() + key.len();
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .min_by_key(|(_, (_, at))| *at)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = victim {
+            self.invalidate(&k);
+        } else {
+            self.used_bytes = 0;
+        }
+    }
+
+    /// Resident bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// `(hits, misses)` since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = BlockCache::new(1 << 20);
+        c.put(b"k".to_vec(), vec![7; 100]);
+        assert_eq!(c.get(b"k"), Some(vec![7; 100]));
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn eviction_is_lru_and_respects_capacity() {
+        let mut c = BlockCache::new(350);
+        c.put(b"a".to_vec(), vec![1; 100]);
+        c.put(b"b".to_vec(), vec![2; 100]);
+        c.put(b"c".to_vec(), vec![3; 100]);
+        // Touch "a" so "b" is now the oldest.
+        assert!(c.get(b"a").is_some());
+        c.put(b"d".to_vec(), vec![4; 100]);
+        assert!(c.get(b"b").is_none(), "oldest evicted");
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"d").is_some());
+        assert!(c.used_bytes() <= 350);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = BlockCache::new(1 << 10);
+        c.put(b"k".to_vec(), vec![1; 64]);
+        c.invalidate(b"k");
+        assert_eq!(c.get(b"k"), None);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = BlockCache::new(0);
+        c.put(b"k".to_vec(), vec![1; 8]);
+        assert_eq!(c.get(b"k"), None);
+    }
+
+    #[test]
+    fn overwrite_updates_value_and_size() {
+        let mut c = BlockCache::new(1 << 10);
+        c.put(b"k".to_vec(), vec![1; 100]);
+        c.put(b"k".to_vec(), vec![2; 10]);
+        assert_eq!(c.get(b"k"), Some(vec![2; 10]));
+        assert!(c.used_bytes() < 100);
+    }
+}

@@ -1,0 +1,100 @@
+//! Tuning knobs for the LSM store.
+
+/// Configuration of a [`Db`](crate::Db).
+///
+/// Defaults approximate a RocksDB instance embedded in BlueStore, scaled to
+/// simulation-sized devices. Tests shrink everything to force frequent
+/// flushes and compactions.
+#[derive(Debug, Clone)]
+pub struct LsmOptions {
+    /// Seal the active memtable once it holds this many bytes.
+    pub memtable_bytes: usize,
+    /// Maximum sealed-but-unflushed memtables before writers stall.
+    pub max_immutables: usize,
+    /// Compact L0 into L1 once L0 holds this many sorted runs.
+    pub l0_trigger: usize,
+    /// Target size of L1; level `n` targets `level_base_bytes * level_multiplier^(n-1)`.
+    pub level_base_bytes: u64,
+    /// Growth factor between levels.
+    pub level_multiplier: u64,
+    /// Number of levels (including L0).
+    pub levels: usize,
+    /// Allocation unit for SST storage on the device.
+    pub segment_bytes: u64,
+    /// Size of the write-ahead-log region.
+    pub wal_bytes: u64,
+    /// Size of one manifest slot (two slots are kept for atomic checkpoints).
+    pub manifest_slot_bytes: u64,
+    /// Target uncompressed size of one SST data block.
+    pub block_bytes: usize,
+    /// Maximum size of a single SST emitted by flush/compaction.
+    pub sst_max_bytes: u64,
+    /// Byte capacity of the object-data block cache (BlueStore cache);
+    /// zero disables it.
+    pub block_cache_bytes: usize,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        LsmOptions {
+            memtable_bytes: 4 << 20,
+            max_immutables: 2,
+            l0_trigger: 4,
+            level_base_bytes: 32 << 20,
+            level_multiplier: 8,
+            levels: 7,
+            segment_bytes: 256 << 10,
+            wal_bytes: 16 << 20,
+            manifest_slot_bytes: 1 << 20,
+            block_bytes: 16 << 10,
+            sst_max_bytes: 8 << 20,
+            block_cache_bytes: 16 << 20,
+        }
+    }
+}
+
+impl LsmOptions {
+    /// A configuration small enough to exercise flush and compaction in
+    /// unit tests within a few megabytes.
+    pub fn tiny() -> Self {
+        LsmOptions {
+            memtable_bytes: 32 << 10,
+            max_immutables: 2,
+            l0_trigger: 3,
+            level_base_bytes: 128 << 10,
+            level_multiplier: 4,
+            levels: 5,
+            segment_bytes: 16 << 10,
+            wal_bytes: 256 << 10,
+            manifest_slot_bytes: 64 << 10,
+            block_bytes: 4 << 10,
+            sst_max_bytes: 64 << 10,
+            block_cache_bytes: 64 << 10,
+        }
+    }
+
+    /// Target byte size of level `n` (1-based; L0 is run-count triggered).
+    pub fn level_target(&self, level: usize) -> u64 {
+        assert!(level >= 1, "L0 is count-triggered, not size-triggered");
+        self.level_base_bytes * self.level_multiplier.pow(level as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_geometrically() {
+        let o = LsmOptions::default();
+        assert_eq!(o.level_target(1), 32 << 20);
+        assert_eq!(o.level_target(2), (32 << 20) * 8);
+        assert_eq!(o.level_target(3), (32 << 20) * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "count-triggered")]
+    fn level_zero_has_no_size_target() {
+        let _ = LsmOptions::default().level_target(0);
+    }
+}

@@ -1,0 +1,505 @@
+//! Sorted-string-table files over the segment area.
+//!
+//! An SST is an immutable sorted run: data blocks of whole records, a block
+//! index, and a CRC-protected footer. Files live on an ordered list of
+//! fixed-size segments; logical file offsets are translated per segment, so
+//! a file never needs contiguous device space.
+//!
+//! Format (logical offsets):
+//!
+//! ```text
+//! [block 0][block 1]…[index block][footer]
+//! block:   repeated records: u8 flag (0=put,1=del), key bytes, value bytes
+//! index:   u32 count, then per block: first_key bytes, u64 offset, u32 len
+//! footer:  u64 index_off, u32 index_len, u64 entries, u32 index_crc, u32 magic
+//! ```
+
+use rablock_storage::{BlockDevice, IoCategory, StoreError, TraceIo, TraceKind};
+
+use crate::alloc::SegAlloc;
+use crate::bloom::Bloom;
+use crate::util::{crc32, put_bytes, put_u32, put_u64, Cursor};
+
+const MAGIC: u32 = 0x5353_5442; // "SSTB"
+/// index_off u64, index_len u32, bloom_len u32, entries u64, crc u32, magic u32.
+const FOOTER_BYTES: u64 = 8 + 4 + 4 + 8 + 4 + 4;
+
+/// One sparse-index entry: the first key of a data block and its extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// First key stored in the block.
+    pub first_key: Vec<u8>,
+    /// Logical file offset of the block.
+    pub offset: u64,
+    /// Block length in bytes.
+    pub len: u32,
+}
+
+/// Metadata of one SST, including its in-memory block index.
+#[derive(Debug, Clone)]
+pub struct Sst {
+    /// Unique, monotonically assigned id (larger = newer).
+    pub id: u64,
+    /// Segments holding the file, in file order.
+    pub segments: Vec<u32>,
+    /// Logical file length in bytes.
+    pub len: u64,
+    /// Smallest key in the file.
+    pub min_key: Vec<u8>,
+    /// Largest key in the file.
+    pub max_key: Vec<u8>,
+    /// Number of records (tombstones included).
+    pub entries: u64,
+    /// Block index (always resident; reloaded from the footer on open).
+    pub index: Vec<IndexEntry>,
+    /// Per-file Bloom filter (reloaded from the footer on open).
+    pub bloom: Bloom,
+}
+
+impl Sst {
+    /// True if `key` could be inside this file's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        self.min_key.as_slice() <= key && key <= self.max_key.as_slice()
+    }
+
+    /// True if this file's range overlaps `[min, max]`.
+    pub fn overlaps(&self, min: &[u8], max: &[u8]) -> bool {
+        !(self.max_key.as_slice() < min || max < self.min_key.as_slice())
+    }
+}
+
+/// Geometry needed to translate logical file offsets to device offsets.
+#[derive(Debug, Clone, Copy)]
+pub struct SegGeometry {
+    /// Device offset where segment 0 starts.
+    pub region_off: u64,
+    /// Bytes per segment.
+    pub segment_bytes: u64,
+}
+
+impl SegGeometry {
+    fn device_offset(&self, segments: &[u32], logical: u64) -> u64 {
+        let seg_idx = (logical / self.segment_bytes) as usize;
+        let within = logical % self.segment_bytes;
+        self.region_off + segments[seg_idx] as u64 * self.segment_bytes + within
+    }
+
+    /// Reads `len` logical bytes at `logical`, splitting at segment bounds.
+    fn read_range<D: BlockDevice>(
+        &self,
+        dev: &mut D,
+        segments: &[u32],
+        logical: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        let mut out = vec![0u8; len as usize];
+        let mut done = 0u64;
+        while done < len {
+            let pos = logical + done;
+            let within = pos % self.segment_bytes;
+            let chunk = (self.segment_bytes - within).min(len - done);
+            let dev_off = self.device_offset(segments, pos);
+            dev.read_at(dev_off, &mut out[done as usize..(done + chunk) as usize])?;
+            done += chunk;
+        }
+        Ok(out)
+    }
+
+    /// Writes `data` at logical offset `logical`, splitting at segment bounds.
+    fn write_range<D: BlockDevice>(
+        &self,
+        dev: &mut D,
+        segments: &[u32],
+        logical: u64,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
+        let mut done = 0u64;
+        let len = data.len() as u64;
+        while done < len {
+            let pos = logical + done;
+            let within = pos % self.segment_bytes;
+            let chunk = (self.segment_bytes - within).min(len - done);
+            let dev_off = self.device_offset(segments, pos);
+            dev.write_at(dev_off, &data[done as usize..(done + chunk) as usize])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes sorted `(key, value-or-tombstone)` records into the on-disk
+/// file image plus its index. Internal to the builder and tests.
+fn encode_file(
+    records: &[(Vec<u8>, Option<Vec<u8>>)],
+    block_bytes: usize,
+) -> (Vec<u8>, Vec<IndexEntry>, u64) {
+    let mut file = Vec::new();
+    let mut index = Vec::new();
+    let mut block_start = 0usize;
+    let mut block_first: Option<Vec<u8>> = None;
+    let mut entries = 0u64;
+
+    let close_block = |file: &mut Vec<u8>, start: usize, first: Option<Vec<u8>>, index: &mut Vec<IndexEntry>| {
+        if let Some(first_key) = first {
+            index.push(IndexEntry {
+                first_key,
+                offset: start as u64,
+                len: (file.len() - start) as u32,
+            });
+        }
+    };
+
+    for (key, value) in records {
+        if block_first.is_none() {
+            block_first = Some(key.clone());
+            block_start = file.len();
+        }
+        match value {
+            Some(v) => {
+                file.push(0);
+                put_bytes(&mut file, key);
+                put_bytes(&mut file, v);
+            }
+            None => {
+                file.push(1);
+                put_bytes(&mut file, key);
+            }
+        }
+        entries += 1;
+        if file.len() - block_start >= block_bytes {
+            close_block(&mut file, block_start, block_first.take(), &mut index);
+        }
+    }
+    close_block(&mut file, block_start, block_first.take(), &mut index);
+    (file, index, entries)
+}
+
+fn decode_block(block: &[u8]) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+    let mut out = Vec::new();
+    let mut cur = Cursor::new(block);
+    while cur.remaining() > 0 {
+        let flag = {
+            let b = cur.get_bytes_raw(1);
+            match b {
+                Some(s) => s[0],
+                None => break,
+            }
+        };
+        let Some(key) = cur.get_bytes() else { break };
+        if flag == 0 {
+            let Some(value) = cur.get_bytes() else { break };
+            out.push((key.to_vec(), Some(value.to_vec())));
+        } else {
+            out.push((key.to_vec(), None));
+        }
+    }
+    out
+}
+
+/// Builds and persists an SST from sorted records.
+///
+/// Allocates segments, writes data + index + footer, and flushes. The trace
+/// receives one write per segment-sized chunk (category `category`).
+///
+/// # Errors
+///
+/// [`StoreError::NoSpace`] if the segment area cannot hold the file.
+///
+/// # Panics
+///
+/// Panics if `records` is empty or not sorted by key (caller bug).
+#[allow(clippy::too_many_arguments)]
+pub fn build_sst<D: BlockDevice>(
+    dev: &mut D,
+    alloc: &mut SegAlloc,
+    geom: SegGeometry,
+    id: u64,
+    records: &[(Vec<u8>, Option<Vec<u8>>)],
+    block_bytes: usize,
+    category: IoCategory,
+    trace: &mut Vec<TraceIo>,
+) -> Result<Sst, StoreError> {
+    assert!(!records.is_empty(), "building an empty SST");
+    debug_assert!(records.windows(2).all(|w| w[0].0 < w[1].0), "records must be strictly sorted");
+
+    let (mut file, index, entries) = encode_file(records, block_bytes);
+    let bloom = Bloom::build(records.iter().map(|(k, _)| k.as_slice()), records.len(), 10);
+
+    // Index block + bloom block + footer.
+    let index_off = file.len() as u64;
+    let mut index_block = Vec::new();
+    put_u32(&mut index_block, index.len() as u32);
+    for e in &index {
+        put_bytes(&mut index_block, &e.first_key);
+        put_u64(&mut index_block, e.offset);
+        put_u32(&mut index_block, e.len);
+    }
+    let bloom_block = bloom.encode();
+    let mut meta = index_block.clone();
+    meta.extend_from_slice(&bloom_block);
+    let meta_crc = crc32(&meta);
+    file.extend_from_slice(&meta);
+    put_u64(&mut file, index_off);
+    put_u32(&mut file, index_block.len() as u32);
+    put_u32(&mut file, bloom_block.len() as u32);
+    put_u64(&mut file, entries);
+    put_u32(&mut file, meta_crc);
+    put_u32(&mut file, MAGIC);
+
+    let len = file.len() as u64;
+    let nsegs = len.div_ceil(geom.segment_bytes);
+    let mut segments = Vec::with_capacity(nsegs as usize);
+    for _ in 0..nsegs {
+        match alloc.alloc() {
+            Ok(s) => segments.push(s),
+            Err(e) => {
+                for s in segments {
+                    alloc.free(s);
+                }
+                return Err(e);
+            }
+        }
+    }
+    geom.write_range(dev, &segments, 0, &file)?;
+    dev.flush()?;
+    // Trace per segment-sized chunk so the device model sees realistic I/Os.
+    let mut remaining = len;
+    while remaining > 0 {
+        let chunk = remaining.min(geom.segment_bytes);
+        trace.push(TraceIo { kind: TraceKind::Write, bytes: chunk, category });
+        remaining -= chunk;
+    }
+    trace.push(TraceIo { kind: TraceKind::Flush, bytes: 0, category });
+
+    Ok(Sst {
+        id,
+        segments,
+        len,
+        min_key: records[0].0.clone(),
+        max_key: records[records.len() - 1].0.clone(),
+        entries,
+        index,
+        bloom,
+    })
+}
+
+/// Point lookup in one SST. `Ok(None)` means "key not in this file";
+/// `Ok(Some(None))` means "deleted here".
+///
+/// # Errors
+///
+/// Propagates device errors; a corrupt block yields [`StoreError::Corrupt`].
+pub fn sst_get<D: BlockDevice>(
+    dev: &mut D,
+    geom: SegGeometry,
+    sst: &Sst,
+    key: &[u8],
+    trace: &mut Vec<TraceIo>,
+) -> Result<Option<Option<Vec<u8>>>, StoreError> {
+    if !sst.covers(key) || !sst.bloom.may_contain(key) {
+        return Ok(None);
+    }
+    // Last block whose first key <= key.
+    let block_idx = match sst.index.partition_point(|e| e.first_key.as_slice() <= key) {
+        0 => return Ok(None),
+        n => n - 1,
+    };
+    let entry = &sst.index[block_idx];
+    let block = geom.read_range(dev, &sst.segments, entry.offset, entry.len as u64)?;
+    trace.push(TraceIo { kind: TraceKind::Read, bytes: entry.len as u64, category: IoCategory::Data });
+    for (k, v) in decode_block(&block) {
+        if k == key {
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
+}
+
+/// Reads every record of an SST in key order (compaction input).
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn sst_scan<D: BlockDevice>(
+    dev: &mut D,
+    geom: SegGeometry,
+    sst: &Sst,
+    trace: &mut Vec<TraceIo>,
+) -> Result<Vec<(Vec<u8>, Option<Vec<u8>>)>, StoreError> {
+    let data_len: u64 = sst.index.iter().map(|e| e.len as u64).sum();
+    let raw = geom.read_range(dev, &sst.segments, 0, data_len)?;
+    let mut remaining = data_len;
+    while remaining > 0 {
+        let chunk = remaining.min(geom.segment_bytes);
+        trace.push(TraceIo { kind: TraceKind::Read, bytes: chunk, category: IoCategory::Compaction });
+        remaining -= chunk;
+    }
+    Ok(decode_block(&raw))
+}
+
+/// Reloads the block index of an SST whose footer is on disk (recovery).
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] on bad magic or CRC mismatch.
+pub fn load_index<D: BlockDevice>(
+    dev: &mut D,
+    geom: SegGeometry,
+    sst: &mut Sst,
+) -> Result<(), StoreError> {
+    if sst.len < FOOTER_BYTES {
+        return Err(StoreError::Corrupt(format!("sst {} shorter than footer", sst.id)));
+    }
+    let footer = geom.read_range(dev, &sst.segments, sst.len - FOOTER_BYTES, FOOTER_BYTES)?;
+    let mut cur = Cursor::new(&footer);
+    let index_off = cur.get_u64().expect("footer sized");
+    let index_len = cur.get_u32().expect("footer sized");
+    let bloom_len = cur.get_u32().expect("footer sized");
+    let entries = cur.get_u64().expect("footer sized");
+    let stored_crc = cur.get_u32().expect("footer sized");
+    let magic = cur.get_u32().expect("footer sized");
+    if magic != MAGIC {
+        return Err(StoreError::Corrupt(format!("sst {} bad magic {magic:#x}", sst.id)));
+    }
+    let meta = geom.read_range(dev, &sst.segments, index_off, (index_len + bloom_len) as u64)?;
+    if crc32(&meta) != stored_crc {
+        return Err(StoreError::Corrupt(format!("sst {} metadata crc mismatch", sst.id)));
+    }
+    let index_block = &meta[..index_len as usize];
+    sst.bloom = Bloom::decode(&meta[index_len as usize..])
+        .ok_or_else(|| StoreError::Corrupt(format!("sst {} malformed bloom filter", sst.id)))?;
+    let mut cur = Cursor::new(index_block);
+    let count = cur
+        .get_u32()
+        .ok_or_else(|| StoreError::Corrupt("truncated index".into()))?;
+    let mut index = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let first_key = cur
+            .get_bytes()
+            .ok_or_else(|| StoreError::Corrupt("truncated index entry".into()))?
+            .to_vec();
+        let offset = cur
+            .get_u64()
+            .ok_or_else(|| StoreError::Corrupt("truncated index entry".into()))?;
+        let len = cur
+            .get_u32()
+            .ok_or_else(|| StoreError::Corrupt("truncated index entry".into()))?;
+        index.push(IndexEntry { first_key, offset, len });
+    }
+    sst.entries = entries;
+    sst.index = index;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rablock_storage::MemDisk;
+
+    fn geom() -> SegGeometry {
+        SegGeometry { region_off: 0, segment_bytes: 4096 }
+    }
+
+    fn records(n: u64) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let k = format!("key{i:06}").into_bytes();
+                if i % 7 == 3 {
+                    (k, None)
+                } else {
+                    (k, Some(format!("value-{i}").repeat(4).into_bytes()))
+                }
+            })
+            .collect()
+    }
+
+    fn build(n: u64) -> (MemDisk, SegAlloc, Sst, Vec<TraceIo>) {
+        let mut dev = MemDisk::new(1 << 22);
+        let mut alloc = SegAlloc::new(1 << 10);
+        let mut trace = Vec::new();
+        let recs = records(n);
+        let sst = build_sst(&mut dev, &mut alloc, geom(), 1, &recs, 512, IoCategory::MemtableFlush, &mut trace)
+            .unwrap();
+        (dev, alloc, sst, trace)
+    }
+
+    #[test]
+    fn build_then_get_every_key() {
+        let (mut dev, _a, sst, _t) = build(200);
+        let mut trace = Vec::new();
+        for (k, v) in records(200) {
+            let got = sst_get(&mut dev, geom(), &sst, &k, &mut trace).unwrap();
+            assert_eq!(got, Some(v), "key {}", String::from_utf8_lossy(&k));
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let (mut dev, _a, sst, _t) = build(50);
+        let mut trace = Vec::new();
+        assert_eq!(sst_get(&mut dev, geom(), &sst, b"aaa", &mut trace).unwrap(), None);
+        assert_eq!(sst_get(&mut dev, geom(), &sst, b"zzz", &mut trace).unwrap(), None);
+        assert_eq!(sst_get(&mut dev, geom(), &sst, b"key000000x", &mut trace).unwrap(), None);
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let (mut dev, _a, sst, _t) = build(300);
+        let mut trace = Vec::new();
+        let all = sst_scan(&mut dev, geom(), &sst, &mut trace).unwrap();
+        assert_eq!(all, records(300));
+    }
+
+    #[test]
+    fn index_reload_matches_built_index() {
+        let (mut dev, _a, sst, _t) = build(120);
+        let mut reloaded = Sst { index: Vec::new(), entries: 0, ..sst.clone() };
+        load_index(&mut dev, geom(), &mut reloaded).unwrap();
+        assert_eq!(reloaded.index, sst.index);
+        assert_eq!(reloaded.entries, sst.entries);
+    }
+
+    #[test]
+    fn corrupt_footer_detected() {
+        let (mut dev, _a, sst, _t) = build(10);
+        // Smash the last byte (magic).
+        let geom = geom();
+        let dev_off = geom.device_offset(&sst.segments, sst.len - 1);
+        dev.write_at(dev_off, &[0x00]).unwrap();
+        let mut reloaded = Sst { index: Vec::new(), ..sst };
+        assert!(matches!(load_index(&mut dev, geom, &mut reloaded), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trace_reports_segment_sized_writes() {
+        let (_dev, _a, sst, trace) = build(400);
+        let written: u64 = trace
+            .iter()
+            .filter(|t| matches!(t.kind, TraceKind::Write))
+            .map(|t| t.bytes)
+            .sum();
+        assert_eq!(written, sst.len);
+        assert!(trace.iter().all(|t| t.bytes <= 4096));
+    }
+
+    #[test]
+    fn allocation_failure_releases_segments() {
+        let mut dev = MemDisk::new(1 << 20);
+        let mut alloc = SegAlloc::new(2); // deliberately too small
+        let mut trace = Vec::new();
+        let recs = records(2000);
+        let err = build_sst(&mut dev, &mut alloc, geom(), 1, &recs, 512, IoCategory::MemtableFlush, &mut trace);
+        assert_eq!(err.err(), Some(StoreError::NoSpace));
+        assert_eq!(alloc.free_segments(), 2, "partial allocation must roll back");
+    }
+
+    #[test]
+    fn overlap_predicates() {
+        let (_d, _a, sst, _t) = build(10);
+        assert!(sst.overlaps(b"key000003", b"key000005"));
+        assert!(sst.overlaps(b"a", b"z"));
+        assert!(!sst.overlaps(b"z", b"zz"));
+        assert!(sst.covers(b"key000000"));
+        assert!(!sst.covers(b"zzz"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Encoding helpers: CRC32 and little-endian record framing.
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+///
+/// Used to detect torn or partial records in the WAL and SST footers.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte slice (`u32` length).
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+/// A cursor for decoding the formats written by the `put_*` helpers.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Current position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a `u32`; `None` if truncated.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        let end = self.pos.checked_add(4)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let v = u32::from_le_bytes(self.data[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Some(v)
+    }
+
+    /// Reads a `u64`; `None` if truncated.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let v = u64::from_le_bytes(self.data[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Some(v)
+    }
+
+    /// Reads `n` raw bytes (no length prefix); `None` if truncated.
+    pub fn get_bytes_raw(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads a length-prefixed byte slice; `None` if truncated.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        let end = self.pos.checked_add(len)?;
+        if end > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_bit_flip() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cursor_round_trips() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_bytes(&mut buf, b"payload");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.get_u32(), Some(7));
+        assert_eq!(c.get_u64(), Some(u64::MAX - 3));
+        assert_eq!(c.get_bytes(), Some(&b"payload"[..]));
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_handles_truncation() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"abcdef");
+        let mut c = Cursor::new(&buf[..buf.len() - 2]);
+        assert_eq!(c.get_bytes(), None);
+        let mut c2 = Cursor::new(&buf[..2]);
+        assert_eq!(c2.get_u32(), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Write-ahead log over a fixed device region.
+//!
+//! Records are framed as `[len u32][crc u32][epoch u64][payload]`, with the
+//! CRC covering epoch and payload. The *epoch* is the generation of the
+//! memtable the record belongs to; it makes the log self-delimiting without
+//! erase cycles: after the region is reset, stale tail records still carry
+//! their old epoch, and recovery stops at the first record whose epoch
+//! precedes the manifest's `base_epoch`.
+
+use rablock_storage::{BlockDevice, StoreError};
+
+use crate::util::{crc32, Cursor};
+
+/// Frame header: length + CRC + epoch.
+const HEADER_BYTES: u64 = 4 + 4 + 8;
+
+/// The write-ahead log region manager.
+///
+/// Owns only positions — the device is borrowed per call so the embedding
+/// [`Db`](crate::Db) can hold a single device for all components.
+#[derive(Debug, Clone)]
+pub struct Wal {
+    region_off: u64,
+    region_len: u64,
+    /// Next append offset, relative to the region start.
+    head: u64,
+    /// All records with epoch >= `base_epoch` belong to the current cycle.
+    pub base_epoch: u64,
+    /// Epoch stamped on new appends (= active memtable generation).
+    pub current_epoch: u64,
+}
+
+impl Wal {
+    /// Creates a WAL manager over `[region_off, region_off+region_len)`.
+    pub fn new(region_off: u64, region_len: u64, base_epoch: u64) -> Self {
+        Wal { region_off, region_len, head: 0, base_epoch, current_epoch: base_epoch }
+    }
+
+    /// Bytes already appended in this cycle.
+    #[allow(dead_code)] // diagnostics API
+    pub fn used(&self) -> u64 {
+        self.head
+    }
+
+    /// Bytes still available in this cycle.
+    #[allow(dead_code)] // diagnostics API
+    pub fn available(&self) -> u64 {
+        self.region_len - self.head
+    }
+
+    /// Appends one durable record with the current epoch.
+    ///
+    /// Returns the number of device bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSpace`] if the region cannot hold the record; the
+    /// caller must flush all memtables and [`Wal::reset`].
+    pub fn append<D: BlockDevice>(&mut self, dev: &mut D, payload: &[u8]) -> Result<u64, StoreError> {
+        let total = HEADER_BYTES + payload.len() as u64;
+        if self.head + total > self.region_len {
+            return Err(StoreError::NoSpace);
+        }
+        let mut rec = Vec::with_capacity(total as usize);
+        let mut body = Vec::with_capacity(8 + payload.len());
+        body.extend_from_slice(&self.current_epoch.to_le_bytes());
+        body.extend_from_slice(payload);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&body).to_le_bytes());
+        rec.extend_from_slice(&body);
+        dev.write_at(self.region_off + self.head, &rec)?;
+        dev.flush()?;
+        self.head += total;
+        Ok(total)
+    }
+
+    /// Advances to the next epoch (called when the active memtable seals).
+    pub fn advance_epoch(&mut self) {
+        self.current_epoch += 1;
+    }
+
+    /// Resets the region after *all* logged data has been flushed to SSTs.
+    /// Appends restart at offset zero under a fresh epoch.
+    pub fn reset(&mut self) {
+        self.head = 0;
+        self.current_epoch += 1;
+        self.base_epoch = self.current_epoch;
+    }
+
+    /// Scans the region and returns `(epoch, payload)` for every valid
+    /// record of the current cycle, in append order.
+    ///
+    /// # Errors
+    ///
+    /// Only device errors propagate; malformed/stale records terminate the
+    /// scan silently (they are the expected crash residue).
+    pub fn scan<D: BlockDevice>(&self, dev: &mut D) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let mut raw = vec![0u8; self.region_len as usize];
+        dev.read_at(self.region_off, &mut raw)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let mut cur = Cursor::new(&raw[pos..]);
+            let Some(len) = cur.get_u32() else { break };
+            let Some(stored_crc) = cur.get_u32() else { break };
+            let body_len = 8 + len as usize;
+            if body_len > cur.remaining() {
+                break;
+            }
+            let body_start = pos + cur.position();
+            let body = &raw[body_start..body_start + body_len];
+            if crc32(body) != stored_crc {
+                break;
+            }
+            let epoch = u64::from_le_bytes(body[..8].try_into().expect("epoch bytes"));
+            if epoch < self.base_epoch {
+                break; // stale tail from a previous cycle
+            }
+            out.push((epoch, body[8..].to_vec()));
+            pos = body_start + body_len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rablock_storage::{CrashDisk, CrashPlan, MemDisk};
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let mut dev = MemDisk::new(1 << 16);
+        let mut wal = Wal::new(0, 1 << 16, 1);
+        wal.append(&mut dev, b"first").unwrap();
+        wal.append(&mut dev, b"second").unwrap();
+        let recs = wal.scan(&mut dev).unwrap();
+        assert_eq!(recs, vec![(1, b"first".to_vec()), (2 - 1, b"second".to_vec())]);
+    }
+
+    #[test]
+    fn epoch_advances_with_seals() {
+        let mut dev = MemDisk::new(1 << 16);
+        let mut wal = Wal::new(0, 1 << 16, 5);
+        wal.append(&mut dev, b"a").unwrap();
+        wal.advance_epoch();
+        wal.append(&mut dev, b"b").unwrap();
+        let recs = wal.scan(&mut dev).unwrap();
+        assert_eq!(recs, vec![(5, b"a".to_vec()), (6, b"b".to_vec())]);
+    }
+
+    #[test]
+    fn stale_tail_ignored_after_reset() {
+        let mut dev = MemDisk::new(1 << 16);
+        let mut wal = Wal::new(0, 1 << 16, 1);
+        wal.append(&mut dev, b"old-record-one").unwrap();
+        wal.append(&mut dev, b"old-record-two").unwrap();
+        wal.reset();
+        wal.append(&mut dev, b"new").unwrap();
+        let recs = wal.scan(&mut dev).unwrap();
+        // The new record overwrote the start; the stale remainder of
+        // "old-record-two" has an old epoch or bad crc and is dropped.
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0], (2, b"new".to_vec()));
+    }
+
+    #[test]
+    fn full_region_reports_no_space() {
+        let mut dev = MemDisk::new(64);
+        let mut wal = Wal::new(0, 64, 1);
+        assert!(wal.append(&mut dev, &[0u8; 40]).is_ok());
+        assert_eq!(wal.append(&mut dev, &[0u8; 40]), Err(StoreError::NoSpace));
+    }
+
+    #[test]
+    fn torn_final_record_dropped_but_prefix_survives() {
+        let mut dev = CrashDisk::new(1 << 16);
+        let mut wal = Wal::new(0, 1 << 16, 1);
+        wal.append(&mut dev, b"committed").unwrap();
+        // Flush covers the first record (append() flushes), now tear the next.
+        wal.append(&mut dev, b"torn-record-payload").unwrap();
+        // Simulate the tear: last flushed... CrashDisk flushes on every
+        // append here, so instead corrupt the second record's crc directly.
+        let mut byte = [0u8; 1];
+        dev.read_at(30, &mut byte).unwrap();
+        dev.write_at(30, &[byte[0] ^ 0xFF]).unwrap();
+        dev.flush().unwrap();
+        dev.crash_with(CrashPlan::lose_all());
+        let recs = wal.scan(&mut dev).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, b"committed");
+    }
+}

@@ -1,0 +1,29 @@
+//! # rablock-oplog — decoupled operation processing via an NVM operation log
+//!
+//! The paper's first design ingredient (§IV-A): split I/O into a
+//! latency-critical *top half* that logs the operation in NVM, replicates,
+//! and acks the client, and a best-effort *bottom half* that batch-flushes
+//! logged operations to the backend object store.
+//!
+//! * [`GroupLog`] — per-logical-group operation log + index cache. Appends
+//!   are W1/W2 of the paper's write path; [`GroupLog::read_path`] is the
+//!   R1/R2/R3 read decision; [`GroupLog::drain_for_flush`] is the
+//!   non-priority thread's batch.
+//! * [`NvmRing`] — the persistent ring buffer under each log, with a
+//!   CRC-protected header so a crashed node recovers its log from NVM.
+//! * [`LogRecord`] — CRC-framed record carrying (group, version, sequence,
+//!   transaction).
+//!
+//! Strong consistency falls out of the structure: a read either finds a
+//! single covering write in the index cache (served straight from NVM), or
+//! forces a flush before touching the store — never a stale value.
+
+#![warn(missing_docs)]
+
+mod entry;
+mod group;
+mod ring;
+
+pub use entry::LogRecord;
+pub use group::{AppendOutcome, GroupLog, IndexEntry, IndexKind, ReadPath};
+pub use ring::NvmRing;

@@ -1,0 +1,204 @@
+//! NVM ring buffer backing one group's operation log.
+//!
+//! Records append at the head and are consumed (flushed to the backend
+//! store) from the tail, exactly the producer/consumer structure of §IV-A:
+//! priority threads produce, non-priority threads consume. Head and tail are
+//! monotone byte counters persisted in a small CRC-protected header, so a
+//! crashed node recovers its log by scanning `[tail, head)`.
+
+use rablock_storage::{NvmRegion, StoreError};
+
+use crate::entry::crc32;
+
+const HEADER_BYTES: u64 = 48;
+const MAGIC: u32 = 0x4F_504C_47; // "OPLG"
+/// A persistent ring of encoded log records inside an [`NvmRegion`] slice.
+#[derive(Debug, Clone)]
+pub struct NvmRing {
+    base: u64,
+    data_cap: u64,
+    /// Monotone byte counter of the next append position.
+    head: u64,
+    /// Monotone byte counter of the oldest un-flushed byte.
+    tail: u64,
+}
+
+impl NvmRing {
+    /// Creates a fresh ring over `[base, base+len)` of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is too small to hold the header plus one record.
+    pub fn format(nvm: &mut NvmRegion, base: u64, len: u64) -> Result<Self, StoreError> {
+        assert!(len > HEADER_BYTES + 64, "ring of {len} bytes is too small");
+        let ring = NvmRing { base, data_cap: len - HEADER_BYTES, head: 0, tail: 0 };
+        ring.write_header(nvm)?;
+        Ok(ring)
+    }
+
+    /// Reopens a ring after a reboot, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on bad magic/CRC.
+    pub fn open(nvm: &mut NvmRegion, base: u64, len: u64) -> Result<Self, StoreError> {
+        let raw = nvm.read(base, HEADER_BYTES)?;
+        let stored_crc = u32::from_le_bytes(raw[36..40].try_into().expect("4 bytes"));
+        if crc32(&raw[..36]) != stored_crc {
+            return Err(StoreError::Corrupt("operation-log header crc mismatch".into()));
+        }
+        if u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) != MAGIC {
+            return Err(StoreError::Corrupt("operation-log header bad magic".into()));
+        }
+        let data_cap = u64::from_le_bytes(raw[4..12].try_into().expect("8 bytes"));
+        if data_cap != len - HEADER_BYTES {
+            return Err(StoreError::Corrupt("operation-log geometry changed".into()));
+        }
+        let head = u64::from_le_bytes(raw[12..20].try_into().expect("8 bytes"));
+        let tail = u64::from_le_bytes(raw[20..28].try_into().expect("8 bytes"));
+        Ok(NvmRing { base, data_cap, head, tail })
+    }
+
+    fn write_header(&self, nvm: &mut NvmRegion) -> Result<(), StoreError> {
+        let mut raw = [0u8; HEADER_BYTES as usize];
+        raw[..4].copy_from_slice(&MAGIC.to_le_bytes());
+        raw[4..12].copy_from_slice(&self.data_cap.to_le_bytes());
+        raw[12..20].copy_from_slice(&self.head.to_le_bytes());
+        raw[20..28].copy_from_slice(&self.tail.to_le_bytes());
+        let crc = crc32(&raw[..36]);
+        raw[36..40].copy_from_slice(&crc.to_le_bytes());
+        nvm.write(self.base, &raw)
+    }
+
+    /// Bytes currently queued.
+    pub fn used(&self) -> u64 {
+        self.head - self.tail
+    }
+
+    /// Bytes available for appends.
+    pub fn available(&self) -> u64 {
+        self.data_cap - self.used()
+    }
+
+    /// Appends one encoded record. Records may wrap around the region end
+    /// (split into two physical writes); the logical stream stays
+    /// contiguous.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSpace`] when the ring cannot take the record — the
+    /// caller must flush synchronously first (paper §IV-A: when NVM is full
+    /// the logging degenerates to synchronous flushing).
+    pub fn append(&mut self, nvm: &mut NvmRegion, record: &[u8]) -> Result<(), StoreError> {
+        let len = record.len() as u64;
+        assert!(len < self.data_cap, "record larger than the whole ring");
+        if len > self.available() {
+            return Err(StoreError::NoSpace);
+        }
+        let mut written = 0u64;
+        while written < len {
+            let pos = (self.head + written) % self.data_cap;
+            let chunk = (self.data_cap - pos).min(len - written);
+            nvm.write(
+                self.base + HEADER_BYTES + pos,
+                &record[written as usize..(written + chunk) as usize],
+            )?;
+            written += chunk;
+        }
+        self.head += len;
+        self.write_header(nvm)
+    }
+
+    /// Consumes `len` bytes from the tail (a record was flushed).
+    pub fn consume(&mut self, nvm: &mut NvmRegion, len: u64) -> Result<(), StoreError> {
+        debug_assert!(self.tail + len <= self.head, "consuming past the head");
+        self.tail += len;
+        self.write_header(nvm)
+    }
+
+    /// Reads the queued bytes `[tail, head)` in order (recovery scan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM access errors.
+    pub fn queued_bytes(&self, nvm: &mut NvmRegion) -> Result<Vec<u8>, StoreError> {
+        let mut out = Vec::with_capacity(self.used() as usize);
+        let mut at = self.tail;
+        while at < self.head {
+            let pos = at % self.data_cap;
+            let chunk = (self.data_cap - pos).min(self.head - at);
+            out.extend_from_slice(&nvm.read(self.base + HEADER_BYTES + pos, chunk)?);
+            at += chunk;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(cap: u64) -> (NvmRegion, NvmRing) {
+        let mut nvm = NvmRegion::new(cap + HEADER_BYTES);
+        let ring = NvmRing::format(&mut nvm, 0, cap + HEADER_BYTES).unwrap();
+        (nvm, ring)
+    }
+
+    #[test]
+    fn append_consume_cycle() {
+        let (mut nvm, mut r) = ring(256);
+        r.append(&mut nvm, &[1u8; 64]).unwrap();
+        r.append(&mut nvm, &[2u8; 64]).unwrap();
+        assert_eq!(r.used(), 128);
+        let q = r.queued_bytes(&mut nvm).unwrap();
+        assert_eq!(&q[..64], &[1u8; 64][..]);
+        assert_eq!(&q[64..], &[2u8; 64][..]);
+        r.consume(&mut nvm, 64).unwrap();
+        assert_eq!(r.used(), 64);
+        assert_eq!(r.queued_bytes(&mut nvm).unwrap(), vec![2u8; 64]);
+    }
+
+    #[test]
+    fn fills_up_and_reports_no_space() {
+        let (mut nvm, mut r) = ring(128);
+        r.append(&mut nvm, &[0u8; 100]).unwrap();
+        assert_eq!(r.append(&mut nvm, &[0u8; 100]), Err(StoreError::NoSpace));
+        r.consume(&mut nvm, 100).unwrap();
+        r.append(&mut nvm, &[0u8; 100]).unwrap();
+    }
+
+    #[test]
+    fn wraps_across_the_region_end() {
+        let (mut nvm, mut r) = ring(256);
+        r.append(&mut nvm, &[1u8; 200]).unwrap();
+        r.consume(&mut nvm, 200).unwrap();
+        // Next append would cross the end: wraps to physical 0.
+        r.append(&mut nvm, &[2u8; 100]).unwrap();
+        assert_eq!(r.queued_bytes(&mut nvm).unwrap(), vec![2u8; 100]);
+        r.consume(&mut nvm, 100).unwrap();
+        assert_eq!(r.used(), 0);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let mut nvm = NvmRegion::new(512);
+        let mut r = NvmRing::format(&mut nvm, 0, 512).unwrap();
+        r.append(&mut nvm, b"alpha-record").unwrap();
+        r.append(&mut nvm, b"beta-record!").unwrap();
+        r.consume(&mut nvm, 12).unwrap();
+        nvm.reboot();
+        let r2 = NvmRing::open(&mut nvm, 0, 512).unwrap();
+        assert_eq!(r2.used(), r.used());
+        assert_eq!(r2.queued_bytes(&mut nvm).unwrap(), b"beta-record!");
+    }
+
+    #[test]
+    fn corrupted_header_rejected() {
+        let mut nvm = NvmRegion::new(512);
+        let _ = NvmRing::format(&mut nvm, 0, 512).unwrap();
+        let mut raw = nvm.read(0, 4).unwrap();
+        raw[0] ^= 0xFF;
+        nvm.write(0, &raw).unwrap();
+        assert!(matches!(NvmRing::open(&mut nvm, 0, 512), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,112 @@
+//! Model-based property tests for the NVM operation log.
+
+use proptest::prelude::*;
+use rablock_oplog::GroupLog;
+use rablock_storage::{GroupId, NvmRegion, ObjectId, Op, StoreError, Transaction};
+
+#[derive(Debug, Clone)]
+enum LogOp {
+    Append { obj: u64, offset: u64, len: u16, fill: u8 },
+    Drain(u8),
+    Reboot,
+}
+
+fn script() -> impl Strategy<Value = Vec<LogOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => (0u64..8, 0u64..32_768, 1u16..2048, any::<u8>())
+                .prop_map(|(obj, offset, len, fill)| LogOp::Append { obj, offset, len, fill }),
+            2 => (1u8..8).prop_map(LogOp::Drain),
+            1 => Just(LogOp::Reboot),
+        ],
+        1..60,
+    )
+}
+
+fn oid(i: u64) -> ObjectId {
+    ObjectId::new(GroupId(3), i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The log is an exact FIFO of acknowledged transactions, across
+    /// arbitrary drain points and reboots (NVM recovery).
+    #[test]
+    fn log_is_a_durable_fifo(ops in script()) {
+        let mut nvm = NvmRegion::new(1 << 20);
+        let mut log = GroupLog::format(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX).unwrap();
+        // Model: the sequence of not-yet-drained transactions.
+        let mut pending: Vec<Transaction> = Vec::new();
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                LogOp::Append { obj, offset, len, fill } => {
+                    seq += 1;
+                    let txn = Transaction::new(
+                        GroupId(3),
+                        seq,
+                        vec![Op::Write { oid: oid(obj), offset, data: vec![fill; len as usize] }],
+                    );
+                    match log.append(&mut nvm, txn.clone()) {
+                        Ok(_) => pending.push(txn),
+                        Err(StoreError::NoSpace) => {
+                            // Model the synchronous-flush fallback: drain all.
+                            let drained = log.drain_for_flush(&mut nvm, usize::MAX).unwrap();
+                            prop_assert_eq!(&drained, &pending);
+                            pending.clear();
+                            log.append(&mut nvm, txn.clone()).unwrap();
+                            pending.push(txn);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                LogOp::Drain(n) => {
+                    let drained = log.drain_for_flush(&mut nvm, n as usize).unwrap();
+                    let expect: Vec<Transaction> = pending.drain(..drained.len()).collect();
+                    prop_assert_eq!(drained, expect);
+                }
+                LogOp::Reboot => {
+                    nvm.reboot();
+                    log = GroupLog::recover(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX).unwrap();
+                }
+            }
+            prop_assert_eq!(log.pending(), pending.len());
+        }
+        // Final recovery must reproduce exactly the pending suffix.
+        nvm.reboot();
+        let recovered = GroupLog::recover(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX).unwrap();
+        let txns: Vec<Transaction> = recovered.export_records().into_iter().map(|r| r.txn).collect();
+        prop_assert_eq!(txns, pending);
+    }
+
+    /// read_path never returns stale data: a covering FromLog answer always
+    /// matches the newest pending write for that range.
+    #[test]
+    fn read_path_returns_newest(writes in proptest::collection::vec(
+        (0u64..4, 0u64..8192, 1u16..1024, any::<u8>()), 1..24)) {
+        let mut nvm = NvmRegion::new(1 << 20);
+        let mut log = GroupLog::format(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX).unwrap();
+        let mut newest: std::collections::HashMap<u64, (u64, u64, u8)> = Default::default();
+        for (i, (obj, offset, len, fill)) in writes.iter().enumerate() {
+            let txn = Transaction::new(
+                GroupId(3),
+                i as u64 + 1,
+                vec![Op::Write { oid: oid(*obj), offset: *offset, data: vec![*fill; *len as usize] }],
+            );
+            log.append(&mut nvm, txn).unwrap();
+            newest.insert(*obj, (*offset, *len as u64, *fill));
+        }
+        for (obj, (offset, len, fill)) in newest {
+            match log.read_path(oid(obj), offset, len) {
+                rablock_oplog::ReadPath::FromLog(data) => {
+                    prop_assert_eq!(data, vec![fill; len as usize]);
+                }
+                rablock_oplog::ReadPath::FlushThenStore => {} // conservative is fine
+                rablock_oplog::ReadPath::Store => {
+                    return Err(TestCaseError::fail("pending write invisible to read path"));
+                }
+            }
+        }
+    }
+}

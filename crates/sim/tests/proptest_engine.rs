@@ -1,0 +1,91 @@
+//! Property tests for the simulation kernel's scheduling invariants.
+
+use proptest::prelude::*;
+use rablock_sim::{Ctx, Priority, SimDuration, SimTime, Simulation, ThreadCfg};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every delivered message is processed exactly once, regardless of
+    /// thread/core topology and arrival pattern.
+    #[test]
+    fn no_message_is_lost_or_duplicated(
+        cores in 1usize..5,
+        threads in 1usize..7,
+        msgs in proptest::collection::vec((0u64..1000, 0u64..5000), 1..80),
+    ) {
+        let mut sim: Simulation<u64> = Simulation::new(1);
+        let core_ids: Vec<_> = sim.add_cores(cores).collect();
+        let tids: Vec<_> = (0..threads)
+            .map(|i| {
+                let prio = match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                };
+                // Mixed affinities: some pinned, some pooled.
+                let aff = if i % 2 == 0 {
+                    vec![core_ids[i % cores]]
+                } else {
+                    core_ids.clone()
+                };
+                sim.add_thread(ThreadCfg::new(format!("t{i}"), aff, prio))
+            })
+            .collect();
+        let mut expected = std::collections::HashMap::new();
+        for (i, (at, jitter)) in msgs.iter().enumerate() {
+            let t = tids[i % tids.len()];
+            let id = i as u64;
+            sim.schedule(SimTime::from_nanos(at * 100 + jitter), t, id);
+            expected.insert(id, 1i64);
+        }
+        let mut seen = std::collections::HashMap::new();
+        sim.run_to_completion(&mut |_t: usize, m: u64, ctx: &mut Ctx<'_, u64>| {
+            ctx.spend("w", SimDuration::nanos(500 + m % 700));
+            *seen.entry(m).or_insert(0i64) += 1;
+        });
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// Per-thread FIFO: messages delivered to one thread at strictly
+    /// increasing times are processed in order.
+    #[test]
+    fn per_thread_order_is_fifo(n in 2u64..60) {
+        let mut sim: Simulation<u64> = Simulation::new(2);
+        let cores: Vec<_> = sim.add_cores(2).collect();
+        let t = sim.add_thread(ThreadCfg::new("t", cores, Priority::Normal));
+        for i in 0..n {
+            sim.schedule(SimTime::from_nanos(i * 10), t, i);
+        }
+        let mut order = Vec::new();
+        sim.run_to_completion(&mut |_t: usize, m: u64, ctx: &mut Ctx<'_, u64>| {
+            ctx.spend("w", SimDuration::micros(3));
+            order.push(m);
+        });
+        let want: Vec<u64> = (0..n).collect();
+        prop_assert_eq!(order, want);
+    }
+
+    /// Busy time never exceeds cores × wall time (no phantom CPU).
+    #[test]
+    fn cpu_accounting_is_conservative(
+        cores in 1usize..4,
+        work in proptest::collection::vec(1u64..50, 1..60),
+    ) {
+        let mut sim: Simulation<u64> = Simulation::new(3);
+        let core_ids: Vec<_> = sim.add_cores(cores).collect();
+        let t0 = sim.add_thread(ThreadCfg::new("a", core_ids.clone(), Priority::Normal));
+        let t1 = sim.add_thread(ThreadCfg::new("b", core_ids, Priority::Normal));
+        for (i, w) in work.iter().enumerate() {
+            sim.schedule(SimTime::ZERO, if i % 2 == 0 { t0 } else { t1 }, *w);
+        }
+        let end = sim.run_to_completion(&mut |_t: usize, m: u64, ctx: &mut Ctx<'_, u64>| {
+            ctx.spend("w", SimDuration::micros(m));
+        });
+        let busy: u64 = (0..cores).map(|c| sim.metrics().core_busy(c)).sum();
+        prop_assert!(busy <= end.nanos() * cores as u64 + 1);
+        // And all charged work is accounted.
+        let charged: u64 = work.iter().map(|w| w * 1000).sum();
+        prop_assert!(busy >= charged, "busy {} < charged {}", busy, charged);
+    }
+}

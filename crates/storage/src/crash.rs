@@ -1,0 +1,209 @@
+//! Crash-injection block device for consistency testing.
+//!
+//! [`CrashDisk`] distinguishes the *volatile* view (what the running store
+//! reads back — includes every completed write) from the *persistent* image
+//! (what survives power loss — only writes covered by a flush barrier).
+//! `crash_with(...)` simulates power loss: the volatile view is reset to the
+//! persistent image plus a caller-chosen prefix of the unflushed writes,
+//! optionally with the last surviving write torn in half — the classic
+//! failure modes a write-ahead log must tolerate.
+
+use crate::blockdev::{BlockDevice, DevCounters, MemDisk};
+use crate::error::StoreError;
+
+/// How much of the unflushed write stream survives a simulated crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Number of unflushed writes (in submission order) that reached the
+    /// media before power loss. Clamped to the pending count.
+    pub surviving_writes: usize,
+    /// If true, the last surviving write is torn: only its first half lands.
+    pub tear_last: bool,
+}
+
+impl CrashPlan {
+    /// Everything unflushed is lost (the harshest plan a flush-correct store
+    /// must survive).
+    pub fn lose_all() -> Self {
+        CrashPlan { surviving_writes: 0, tear_last: false }
+    }
+
+    /// A prefix of `n` unflushed writes survives.
+    pub fn keep(n: usize) -> Self {
+        CrashPlan { surviving_writes: n, tear_last: false }
+    }
+
+    /// A prefix of `n` unflushed writes survives and the `n`-th is torn.
+    pub fn keep_torn(n: usize) -> Self {
+        CrashPlan { surviving_writes: n, tear_last: true }
+    }
+}
+
+/// A block device that tracks unflushed writes and can simulate power loss.
+///
+/// ```
+/// use rablock_storage::{BlockDevice, CrashDisk, CrashPlan};
+/// # fn main() -> Result<(), rablock_storage::StoreError> {
+/// let mut disk = CrashDisk::new(4096);
+/// disk.write_at(0, b"durable")?;
+/// disk.flush()?;
+/// disk.write_at(0, b"doomed!")?;
+/// disk.crash_with(CrashPlan::lose_all());
+/// let mut buf = [0u8; 7];
+/// disk.read_at(0, &mut buf)?;
+/// assert_eq!(&buf, b"durable");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashDisk {
+    /// What a reader sees now (all completed writes applied).
+    volatile: MemDisk,
+    /// What survives power loss (writes up to the last flush).
+    persistent: Vec<u8>,
+    /// Writes since the last flush, in submission order.
+    pending: Vec<(u64, Vec<u8>)>,
+    crashes: u64,
+}
+
+impl CrashDisk {
+    /// Creates a zero-filled crash-injectable device.
+    pub fn new(capacity: u64) -> Self {
+        CrashDisk {
+            volatile: MemDisk::new(capacity),
+            persistent: vec![0; capacity as usize],
+            pending: Vec::new(),
+            crashes: 0,
+        }
+    }
+
+    /// Number of writes not yet covered by a flush.
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of crashes injected so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Simulates power loss per `plan`, resetting the volatile view to what
+    /// the media would actually hold. Pending writes are discarded.
+    pub fn crash_with(&mut self, plan: CrashPlan) {
+        let keep = plan.surviving_writes.min(self.pending.len());
+        for (i, (offset, data)) in self.pending.iter().take(keep).enumerate() {
+            let effective: &[u8] = if plan.tear_last && i + 1 == keep {
+                &data[..data.len() / 2]
+            } else {
+                data
+            };
+            let start = *offset as usize;
+            self.persistent[start..start + effective.len()].copy_from_slice(effective);
+        }
+        self.pending.clear();
+        let counters_before = self.volatile.counters();
+        self.volatile = MemDisk::new(self.persistent.len() as u64);
+        // Restore the media image into the fresh volatile view.
+        self.volatile.write_at(0, &self.persistent.clone()).expect("image fits");
+        self.volatile.reset_counters();
+        // Keep cumulative counters monotonic across the crash.
+        let _ = counters_before;
+        self.crashes += 1;
+    }
+}
+
+impl BlockDevice for CrashDisk {
+    fn capacity(&self) -> u64 {
+        self.volatile.capacity()
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.volatile.read_at(offset, buf)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        self.volatile.write_at(offset, data)?;
+        self.pending.push((offset, data.to_vec()));
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        for (offset, data) in self.pending.drain(..) {
+            let start = offset as usize;
+            self.persistent[start..start + data.len()].copy_from_slice(&data);
+        }
+        self.volatile.flush()
+    }
+
+    fn counters(&self) -> DevCounters {
+        self.volatile.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.volatile.reset_counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(d: &mut CrashDisk, offset: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0; len];
+        d.read_at(offset, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn flushed_writes_survive_crash() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"abc").unwrap();
+        d.flush().unwrap();
+        d.crash_with(CrashPlan::lose_all());
+        assert_eq!(read(&mut d, 0, 3), b"abc");
+    }
+
+    #[test]
+    fn unflushed_writes_vanish() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"abc").unwrap();
+        d.crash_with(CrashPlan::lose_all());
+        assert_eq!(read(&mut d, 0, 3), vec![0, 0, 0]);
+        assert_eq!(d.crashes(), 1);
+    }
+
+    #[test]
+    fn prefix_of_pending_survives_in_order() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"a").unwrap();
+        d.write_at(1, b"b").unwrap();
+        d.write_at(2, b"c").unwrap();
+        d.crash_with(CrashPlan::keep(2));
+        assert_eq!(read(&mut d, 0, 3), b"ab\0");
+    }
+
+    #[test]
+    fn torn_write_applies_half() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"ABCDEFGH").unwrap();
+        d.crash_with(CrashPlan::keep_torn(1));
+        assert_eq!(read(&mut d, 0, 8), b"ABCD\0\0\0\0");
+    }
+
+    #[test]
+    fn volatile_view_sees_pending_before_crash() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"xyz").unwrap();
+        assert_eq!(read(&mut d, 0, 3), b"xyz");
+        assert_eq!(d.pending_writes(), 1);
+    }
+
+    #[test]
+    fn overlapping_pending_writes_replay_in_order() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"1111").unwrap();
+        d.write_at(2, b"22").unwrap();
+        d.crash_with(CrashPlan::keep(2));
+        assert_eq!(read(&mut d, 0, 4), b"1122");
+    }
+}

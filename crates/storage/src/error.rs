@@ -1,0 +1,74 @@
+//! Error type shared by all storage backends.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by block devices and object stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An access past the end of the device / object.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Capacity of the target.
+        capacity: u64,
+    },
+    /// No free space left to satisfy an allocation.
+    NoSpace,
+    /// The requested object does not exist.
+    NotFound,
+    /// The object already exists (e.g. duplicate create).
+    AlreadyExists,
+    /// Persistent state failed a consistency check.
+    Corrupt(String),
+    /// The caller passed an argument that violates a documented invariant.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "access of {len} bytes at offset {offset} exceeds capacity {capacity}"
+            ),
+            StoreError::NoSpace => write!(f, "no free space"),
+            StoreError::NotFound => write!(f, "object not found"),
+            StoreError::AlreadyExists => write!(f, "object already exists"),
+            StoreError::Corrupt(why) => write!(f, "corrupt on-disk state: {why}"),
+            StoreError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_period() {
+        let msgs = [
+            StoreError::OutOfBounds { offset: 1, len: 2, capacity: 3 }.to_string(),
+            StoreError::NoSpace.to_string(),
+            StoreError::NotFound.to_string(),
+            StoreError::AlreadyExists.to_string(),
+            StoreError::Corrupt("bad magic".into()).to_string(),
+            StoreError::InvalidArgument("zero length".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("access"), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<StoreError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! # rablock-storage — storage substrates and the backend object-store contract
+//!
+//! The foundation layer of the `rablock` workspace:
+//!
+//! * [`BlockDevice`] + [`MemDisk`] — raw byte-addressable devices with
+//!   traffic counters (the source of all write-amplification measurements).
+//! * [`CrashDisk`] / [`CrashPlan`] — power-loss injection for crash-recovery
+//!   tests (lost, partial, and torn writes).
+//! * [`NvmRegion`] — byte-addressable non-volatile memory, as the paper's
+//!   ramdisk-emulated NVM.
+//! * [`ObjectStore`] / [`Transaction`] — the transactional contract
+//!   implemented by both the BlueStore-like LSM backend (`rablock-lsm`) and
+//!   the paper's CPU-efficient object store (`rablock-cos`).
+//!
+//! ```
+//! use rablock_storage::{BlockDevice, MemDisk};
+//! # fn main() -> Result<(), rablock_storage::StoreError> {
+//! let mut disk = MemDisk::new(1 << 20);
+//! disk.write_at(0, b"superblock")?;
+//! assert_eq!(disk.counters().bytes_written, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod blockdev;
+mod crash;
+mod error;
+mod nvm;
+mod objectstore;
+
+pub use blockdev::{BlockDevice, DevCounters, MemDisk};
+pub use crash::{CrashDisk, CrashPlan};
+pub use error::StoreError;
+pub use nvm::NvmRegion;
+pub use objectstore::{
+    GroupId, IoCategory, MaintenanceReport, ObjectId, ObjectInfo, ObjectStore, Op, StoreStats,
+    TraceIo, TraceKind, Transaction,
+};

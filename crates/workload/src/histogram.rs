@@ -1,0 +1,221 @@
+//! Log-bucketed latency histogram.
+//!
+//! Constant-memory percentile tracking in the spirit of HDR histograms:
+//! buckets grow geometrically (16 sub-buckets per power of two), giving
+//! ≤ ~6% relative error from nanoseconds to minutes — plenty for latency
+//! reporting while staying allocation-free on the hot path.
+
+/// Sub-buckets per power of two (higher = finer resolution).
+const SUBBUCKETS: usize = 16;
+/// Covers 2^0 .. 2^40 ns (≈ 18 minutes).
+const POWERS: usize = 40;
+
+/// A histogram of nanosecond values with geometric buckets.
+#[derive(Clone)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; POWERS * SUBBUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUBBUCKETS as u64 {
+            return value as usize;
+        }
+        let pow = 63 - value.leading_zeros() as usize;
+        let shift = pow.saturating_sub(SUBBUCKETS.trailing_zeros() as usize);
+        let sub = (value >> shift) as usize - SUBBUCKETS;
+        let idx = (pow - SUBBUCKETS.trailing_zeros() as usize) * SUBBUCKETS + sub + SUBBUCKETS;
+        idx.min(POWERS * SUBBUCKETS - 1)
+    }
+
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx < SUBBUCKETS {
+            return idx as u64;
+        }
+        let pow = (idx - SUBBUCKETS) / SUBBUCKETS + SUBBUCKETS.trailing_zeros() as usize;
+        let sub = (idx - SUBBUCKETS) % SUBBUCKETS;
+        ((SUBBUCKETS + sub) as u64 + 1) << (pow - SUBBUCKETS.trailing_zeros() as usize)
+    }
+
+    /// Records one value (nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The value at quantile `p` in `[0, 1]` (upper bucket bound, ≤ ~6%
+    /// relative error). Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(0.5))
+            .field("p95", &self.percentile(0.95))
+            .field("p99", &self.percentile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.mean(), (0..16u64).sum::<u64>() / 16);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut h = LogHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max());
+        // ~6% relative accuracy.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07, "p50={p50}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07, "p99={p99}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.mean(), c.mean());
+        assert_eq!(a.percentile(0.9), c.percentile(0.9));
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_error_is_bounded(values in proptest::collection::vec(1u64..1_000_000_000, 1..500)) {
+            let mut h = LogHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &p in &[0.5, 0.9, 0.99] {
+                let exact = sorted[(((sorted.len() as f64) * p).ceil() as usize - 1).min(sorted.len() - 1)];
+                let approx = h.percentile(p);
+                let err = (approx as f64 - exact as f64).abs() / exact as f64;
+                prop_assert!(err < 0.07, "p{p}: approx {approx} vs exact {exact}");
+            }
+        }
+    }
+}

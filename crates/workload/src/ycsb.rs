@@ -1,0 +1,235 @@
+//! YCSB core workloads A–F.
+//!
+//! The paper evaluates workloads A (50/50 update/read), B (95/5 read),
+//! C (read-only), D (read-latest), and F (read-modify-write) over a block
+//! device (§V-E), with small, *unaligned* records — which is what forces the
+//! read-modify-write behaviour the paper highlights. Records are laid out
+//! back-to-back over a linear byte space; record sizes default to 1000 bytes
+//! so records straddle 4 KiB block boundaries exactly as in YCSB.
+
+use rand::Rng;
+
+use crate::fio::{WlKind, WlOp};
+use crate::zipf::{Latest, Zipfian};
+
+/// Which YCSB core workload to run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum YcsbKind {
+    /// 50% update / 50% read, Zipfian.
+    A,
+    /// 5% update / 95% read, Zipfian.
+    B,
+    /// 100% read, Zipfian.
+    C,
+    /// 5% insert / 95% read, latest distribution.
+    D,
+    /// 50% read-modify-write / 50% read, Zipfian.
+    F,
+}
+
+impl YcsbKind {
+    /// All kinds the paper evaluates.
+    pub const ALL: [YcsbKind; 5] = [YcsbKind::A, YcsbKind::B, YcsbKind::C, YcsbKind::D, YcsbKind::F];
+}
+
+impl std::fmt::Display for YcsbKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// What one YCSB step does (RMW expands to two [`WlOp`]s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct YcsbOp {
+    /// The device-level operations, in order.
+    pub ops: Vec<WlOp>,
+    /// True if this step was an insert (workload D grows the dataset).
+    pub insert: bool,
+}
+
+/// A YCSB workload generator over a linear byte space.
+#[derive(Debug, Clone)]
+pub struct YcsbWorkload {
+    kind: YcsbKind,
+    record_bytes: u64,
+    record_count: u64,
+    capacity_records: u64,
+    zipf: Zipfian,
+    latest: Latest,
+}
+
+impl YcsbWorkload {
+    /// A workload over `record_count` records of `record_bytes` each, with
+    /// head-room up to `capacity_records` for workload D inserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero record size/count or capacity below the count.
+    pub fn new(kind: YcsbKind, record_count: u64, record_bytes: u64, capacity_records: u64) -> Self {
+        assert!(record_bytes > 0 && record_count > 0, "empty dataset");
+        assert!(capacity_records >= record_count, "capacity below record count");
+        YcsbWorkload {
+            kind,
+            record_bytes,
+            record_count,
+            capacity_records,
+            zipf: Zipfian::new(record_count),
+            latest: Latest::new(record_count),
+        }
+    }
+
+    /// Total bytes the workload may touch (provisioning size).
+    pub fn span_bytes(&self) -> u64 {
+        self.capacity_records * self.record_bytes
+    }
+
+    /// Current record count (grows under workload D).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    fn record_op(&self, key: u64, kind: WlKind) -> WlOp {
+        WlOp { kind, offset: key * self.record_bytes, len: self.record_bytes }
+    }
+
+    /// Generates the next step.
+    pub fn next(&mut self, rng: &mut impl Rng) -> YcsbOp {
+        match self.kind {
+            YcsbKind::A => {
+                let key = self.zipf.next(rng);
+                if rng.gen_range(0..100u8) < 50 {
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Write)], insert: false }
+                } else {
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                }
+            }
+            YcsbKind::B => {
+                let key = self.zipf.next(rng);
+                if rng.gen_range(0..100u8) < 5 {
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Write)], insert: false }
+                } else {
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                }
+            }
+            YcsbKind::C => {
+                let key = self.zipf.next(rng);
+                YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+            }
+            YcsbKind::D => {
+                if rng.gen_range(0..100u8) < 5 && self.record_count < self.capacity_records {
+                    let key = self.record_count;
+                    self.record_count += 1;
+                    self.latest.inserted();
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Write)], insert: true }
+                } else {
+                    let key = self.latest.next(rng).min(self.record_count - 1);
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                }
+            }
+            YcsbKind::F => {
+                let key = self.zipf.next(rng);
+                if rng.gen_range(0..100u8) < 50 {
+                    // Read-modify-write: read the record, then write it back.
+                    YcsbOp {
+                        ops: vec![
+                            self.record_op(key, WlKind::Read),
+                            self.record_op(key, WlKind::Write),
+                        ],
+                        insert: false,
+                    }
+                } else {
+                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn counts(kind: YcsbKind, n: usize) -> (usize, usize, usize) {
+        let mut wl = YcsbWorkload::new(kind, 10_000, 1000, 20_000);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (mut reads, mut writes, mut rmw) = (0, 0, 0);
+        for _ in 0..n {
+            let step = wl.next(&mut rng);
+            if step.ops.len() == 2 {
+                rmw += 1;
+            } else if step.ops[0].kind == WlKind::Read {
+                reads += 1;
+            } else {
+                writes += 1;
+            }
+        }
+        (reads, writes, rmw)
+    }
+
+    #[test]
+    fn workload_a_is_half_updates() {
+        let (reads, writes, _) = counts(YcsbKind::A, 10_000);
+        let ratio = writes as f64 / (reads + writes) as f64;
+        assert!((0.47..0.53).contains(&ratio), "update ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_b_is_mostly_reads() {
+        let (reads, writes, _) = counts(YcsbKind::B, 10_000);
+        let ratio = reads as f64 / (reads + writes) as f64;
+        assert!((0.93..0.97).contains(&ratio), "read ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let (_, writes, rmw) = counts(YcsbKind::C, 5_000);
+        assert_eq!(writes + rmw, 0);
+    }
+
+    #[test]
+    fn workload_f_emits_rmw_pairs() {
+        let (_, _, rmw) = counts(YcsbKind::F, 10_000);
+        assert!(rmw > 4_000, "rmw count {rmw}");
+        let mut wl = YcsbWorkload::new(YcsbKind::F, 100, 1000, 100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        loop {
+            let step = wl.next(&mut rng);
+            if step.ops.len() == 2 {
+                assert_eq!(step.ops[0].kind, WlKind::Read);
+                assert_eq!(step.ops[1].kind, WlKind::Write);
+                assert_eq!(step.ops[0].offset, step.ops[1].offset);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn workload_d_grows_dataset_and_reads_recent() {
+        let mut wl = YcsbWorkload::new(YcsbKind::D, 1_000, 1000, 2_000);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut inserts = 0;
+        for _ in 0..5_000 {
+            let step = wl.next(&mut rng);
+            if step.insert {
+                inserts += 1;
+            }
+            for op in &step.ops {
+                assert!(op.offset + op.len <= wl.span_bytes());
+            }
+        }
+        assert!(inserts > 150, "inserts {inserts}");
+        assert_eq!(wl.record_count(), 1_000 + inserts);
+    }
+
+    #[test]
+    fn records_are_unaligned_to_blocks() {
+        let wl = YcsbWorkload::new(YcsbKind::A, 100, 1000, 100);
+        // Record 5 starts at byte 5000 — not 4 KiB aligned (the paper's
+        // unaligned-I/O point).
+        let op = wl.record_op(5, WlKind::Write);
+        assert_eq!(op.offset, 5000);
+        assert_ne!(op.offset % 4096, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Walkthrough of the paper's failure-recovery protocol (§IV-A-4).
+//!
+//! Drives the sans-io OSD state machines directly through the seven steps
+//! the paper describes: replicated NVM logging, a node failure, the
+//! survivors' flush-but-keep, the map update, and the replacement node
+//! synchronizing the operation log — ending with a strongly consistent
+//! read served by the new member.
+//!
+//! ```sh
+//! cargo run --example failure_recovery
+//! ```
+
+use rablock_cluster::msg::{ClientId, ClientReply, ClientReq, OpId};
+use rablock_cluster::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PipelineMode};
+use rablock_cluster::placement::{Monitor, OsdId, OsdMap};
+use rablock_cluster::msg::MonMsg;
+use rablock_cos::CosOptions;
+use rablock_lsm::LsmOptions;
+use rablock_storage::{GroupId, ObjectId};
+
+/// Routes effects between OSDs synchronously (a miniature bus).
+fn pump(osds: &mut [Osd], from: usize, effects: Vec<OsdEffect>) -> Vec<ClientReply> {
+    let mut replies = Vec::new();
+    let mut queue: Vec<(usize, Vec<OsdEffect>)> = vec![(from, effects)];
+    while let Some((at, fx)) = queue.pop() {
+        for effect in fx {
+            match effect {
+                OsdEffect::SendPeer { to, msg } => {
+                    let sender = osds[at].id;
+                    let out = osds[to.0 as usize].handle(OsdInput::Peer { from: sender, msg });
+                    queue.push((to.0 as usize, out));
+                }
+                OsdEffect::Reply { msg, .. } => replies.push(msg),
+                OsdEffect::StoreIo { token, wait: true, .. } => {
+                    let out = osds[at].handle(OsdInput::StoreDurable { token });
+                    queue.push((at, out));
+                }
+                OsdEffect::WakeFlush { group } => {
+                    let out = osds[at].handle(OsdInput::FlushGroup { group });
+                    queue.push((at, out));
+                }
+                OsdEffect::WakeRead { token } => {
+                    let out = osds[at].handle(OsdInput::ReadFromStore { token });
+                    queue.push((at, out));
+                }
+                OsdEffect::WakeSubmit { token } => {
+                    let out = osds[at].handle(OsdInput::SubmitDeferred { token });
+                    queue.push((at, out));
+                }
+                _ => {}
+            }
+        }
+    }
+    replies
+}
+
+fn main() {
+    let map = OsdMap::new(3, 1, 8, 2);
+    let cfg = OsdConfig {
+        mode: PipelineMode::Dop,
+        device_bytes: 48 << 20,
+        nvm_bytes: 8 << 20,
+        ring_bytes: 256 << 10,
+        flush_threshold: 16,
+        lsm: LsmOptions::tiny(),
+        cos: CosOptions::tiny(),
+    };
+    let mut osds: Vec<Osd> =
+        (0..3).map(|i| Osd::new(OsdId(i), cfg.clone(), map.clone())).collect();
+    let mut monitor = Monitor::new(map.clone());
+
+    let group = GroupId(0);
+    let set = map.acting_set(group);
+    let (primary, secondary) = (set[0], set[1]);
+    let spare = (0..3).map(OsdId).find(|o| !set.contains(o)).expect("one spare node");
+    println!("pg0 acting set: primary={primary}, secondary={secondary}; spare={spare}\n");
+
+    // ① Writes are replicated to the replicas' operation logs in NVM.
+    println!("① client writes three 4 KiB blocks (logged in NVM on both replicas)…");
+    let oid = ObjectId::new(group, 7);
+    for i in 0..3u64 {
+        let p = primary.0 as usize;
+        let fx = osds[p].handle(OsdInput::Client {
+            from: ClientId(1),
+            req: ClientReq::Write {
+                op: OpId(i),
+                oid,
+                offset: i * 4096,
+                data: vec![i as u8 + 1; 4096],
+            },
+        });
+        let replies = pump(&mut osds, p, fx);
+        assert!(matches!(replies[..], [ClientReply::Done { .. }]));
+    }
+    println!("   primary log: {} pending entries", osds[primary.0 as usize].log_pending(group));
+    println!("   secondary log: {} pending entries\n", osds[secondary.0 as usize].log_pending(group));
+
+    // ② One of the storage nodes crashes. ③ The failure is reported.
+    println!("② {secondary} crashes; ③ failure reported to the monitor…");
+    let update = monitor
+        .handle(MonMsg::ReportFailure { osd: secondary })
+        .expect("monitor publishes a new map");
+    let MonMsg::MapUpdate { map: new_map } = update else { unreachable!() };
+    println!("   new map epoch {} (was {})", new_map.epoch, map.epoch);
+    let new_set = new_map.acting_set(group);
+    println!("   pg0 acting set is now {:?}\n", new_set);
+    assert!(new_set.contains(&spare));
+
+    // ④ Survivors flush to persist the latest data WITHOUT dropping log
+    //    entries. ⑤ The map update reaches every node.
+    println!("④+⑤ survivors flush-but-keep their logs; map update distributed…");
+    for i in [primary.0 as usize, spare.0 as usize] {
+        let fx = osds[i].handle(OsdInput::MapUpdate(new_map.clone()));
+        pump(&mut osds, i, fx);
+    }
+    assert_eq!(
+        osds[primary.0 as usize].log_pending(group),
+        3,
+        "survivor kept its log for peer sync"
+    );
+    println!("   primary still holds {} log entries for synchronization\n",
+        osds[primary.0 as usize].log_pending(group));
+
+    // ⑥ The replacement node was assigned; ⑦ it synchronized the log
+    //    (the MapUpdate handler emitted the PullLog; pump routed the
+    //    records back).
+    println!("⑥+⑦ {spare} pulled the operation log from {primary}…");
+    assert_eq!(osds[spare.0 as usize].log_pending(group), 3, "log replicated to the spare");
+    println!("   spare log: {} pending entries\n", osds[spare.0 as usize].log_pending(group));
+
+    // Strong consistency survives: the new member serves the latest data.
+    println!("reading all three blocks from the new acting set…");
+    let reader = new_set[0].0 as usize;
+    for i in 0..3u64 {
+        let fx = osds[reader].handle(OsdInput::Client {
+            from: ClientId(2),
+            req: ClientReq::Read { op: OpId(100 + i), oid, offset: i * 4096, len: 4096 },
+        });
+        let replies = pump(&mut osds, reader, fx);
+        match &replies[..] {
+            [ClientReply::Data { data, .. }] => {
+                assert_eq!(data, &vec![i as u8 + 1; 4096], "block {i} is the latest write");
+                println!("   block {i}: OK ({} bytes, fill 0x{:02X})", data.len(), i + 1);
+            }
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+    println!("\nrecovery complete — no acknowledged write was lost.");
+}

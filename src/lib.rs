@@ -1,0 +1,4 @@
+//! Umbrella package hosting the workspace-level examples and integration tests.
+//!
+//! See the individual `rablock-*` crates for the system itself.
+pub use rablock;
