@@ -20,12 +20,24 @@ fn nvm_capacity_sweep() {
     let conns = 12;
     let dataset = Dataset::default_for(conns);
     let (warmup, measure) = windows();
-    let mut table = Table::new(["ring bytes/group", "IOPS", "mean lat", "p99 lat", "NVM-full stalls"]);
+    let mut table = Table::new([
+        "ring bytes/group",
+        "IOPS",
+        "mean lat",
+        "p99 lat",
+        "NVM-full stalls",
+    ]);
     let mut csv = Table::new(["ring_bytes", "iops", "lat_ns", "stalls"]);
     for ring in [16u64 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10] {
         let mut cfg = paper_cluster(PipelineMode::Dop);
         cfg.osd.ring_bytes = ring;
-        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        let report = run_sim(
+            cfg,
+            dataset,
+            randwrite_conns(dataset, conns),
+            warmup,
+            measure,
+        );
         table.row([
             format!("{} KiB", ring >> 10),
             fmt_iops(report.write_iops),
@@ -52,7 +64,13 @@ fn ctx_switch_sweep() {
     let conns = 12;
     let dataset = Dataset::default_for(conns);
     let (warmup, measure) = windows();
-    let mut table = Table::new(["switch cost", "Original IOPS", "Proposed IOPS", "Original ctx/op", "Proposed ctx/op"]);
+    let mut table = Table::new([
+        "switch cost",
+        "Original IOPS",
+        "Proposed IOPS",
+        "Original ctx/op",
+        "Proposed ctx/op",
+    ]);
     let mut csv = Table::new(["switch_ns", "orig_iops", "prop_iops"]);
     for cost_ns in [0u64, 1_200, 3_000, 6_000] {
         let mut cells = vec![format!("{:.1} us", cost_ns as f64 / 1000.0)];
@@ -61,7 +79,13 @@ fn ctx_switch_sweep() {
         for mode in [PipelineMode::Original, PipelineMode::Dop] {
             let mut cfg = paper_cluster(mode);
             cfg.ctx_switch = SimDuration::nanos(cost_ns);
-            let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+            let report = run_sim(
+                cfg,
+                dataset,
+                randwrite_conns(dataset, conns),
+                warmup,
+                measure,
+            );
             cells.push(fmt_iops(report.write_iops));
             csv_cells.push(format!("{:.0}", report.write_iops));
             per_op.push(report.context_switches as f64 / report.writes_done.max(1) as f64);
@@ -79,7 +103,10 @@ fn ctx_switch_sweep() {
 }
 
 fn main() {
-    banner("ablations", "extension ablations: NVM capacity pressure; context-switch cost");
+    banner(
+        "ablations",
+        "extension ablations: NVM capacity pressure; context-switch cost",
+    );
     nvm_capacity_sweep();
     ctx_switch_sweep();
 }

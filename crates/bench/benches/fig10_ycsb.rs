@@ -18,19 +18,29 @@ use rablock_bench::*;
 use rablock_workload::{fmt_iops, fmt_latency, Table, YcsbKind, YcsbWorkload};
 
 fn main() {
-    banner("fig10_ycsb", "YCSB A/B/C/D/F with 1000-byte unaligned records: Original vs Proposed");
+    banner(
+        "fig10_ycsb",
+        "YCSB A/B/C/D/F with 1000-byte unaligned records: Original vs Proposed",
+    );
 
     let conns = 8;
     let records_per_image = 12_000u64;
     let record_bytes = 1_000u64;
     let capacity = 16_000u64;
-    let dataset = Dataset { images: conns as u64, image_bytes: capacity * record_bytes };
+    let dataset = Dataset {
+        images: conns as u64,
+        image_bytes: capacity * record_bytes,
+    };
     let (warmup, measure) = windows();
 
-    let mut table = Table::new([
-        "workload", "system", "throughput", "read lat", "update lat",
+    let mut table = Table::new(["workload", "system", "throughput", "read lat", "update lat"]);
+    let mut csv = Table::new([
+        "workload",
+        "system",
+        "ops_per_s",
+        "read_lat_ns",
+        "update_lat_ns",
     ]);
-    let mut csv = Table::new(["workload", "system", "ops_per_s", "read_lat_ns", "update_lat_ns"]);
 
     for kind in YcsbKind::ALL {
         for mode in [PipelineMode::Original, PipelineMode::Dop] {
@@ -43,8 +53,8 @@ fn main() {
                 })
                 .collect();
             let report = run_sim(cfg, dataset, workloads, warmup, measure);
-            let throughput = (report.writes_done + report.reads_done) as f64
-                / report.duration.as_secs_f64();
+            let throughput =
+                (report.writes_done + report.reads_done) as f64 / report.duration.as_secs_f64();
             table.row([
                 kind.to_string(),
                 mode_name(mode).to_string(),

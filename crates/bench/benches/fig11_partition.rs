@@ -12,7 +12,10 @@ use rablock_bench::*;
 use rablock_workload::{fmt_iops, fmt_latency, Table};
 
 fn main() {
-    banner("fig11_partition", "IOPS vs sharded partitions per OSD (Proposed, 4 KiB random write)");
+    banner(
+        "fig11_partition",
+        "IOPS vs sharded partitions per OSD (Proposed, 4 KiB random write)",
+    );
 
     let (warmup, measure) = windows();
     let mut table = Table::new(["partitions", "connections", "IOPS", "mean lat"]);
@@ -27,7 +30,13 @@ fn main() {
         // Non-priority threads track partitions 1:1 (§IV-C: one thread owns
         // one partition).
         cfg.non_priority_threads = partitions;
-        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        let report = run_sim(
+            cfg,
+            dataset,
+            randwrite_conns(dataset, conns),
+            warmup,
+            measure,
+        );
         table.row([
             partitions.to_string(),
             conns.to_string(),

@@ -13,15 +13,27 @@ use rablock_bench::*;
 use rablock_workload::{AccessPattern, FioJob, Table};
 
 fn main() {
-    banner("fig12_tail", "95p latency vs op-log flush threshold (80:20 write:read, fixed rate)");
+    banner(
+        "fig12_tail",
+        "95p latency vs op-log flush threshold (80:20 write:read, fixed rate)",
+    );
 
     let conns = 12;
     // Small working set so reads regularly hit objects with pending log
     // entries — those are the reads that must wait for a batch flush.
-    let dataset = Dataset { images: conns as u64, image_bytes: 2 << 20 };
+    let dataset = Dataset {
+        images: conns as u64,
+        image_bytes: 2 << 20,
+    };
     let (warmup, measure) = windows();
 
-    let mut table = Table::new(["flush threshold", "write p95", "read p95", "write p99", "offered ops/s"]);
+    let mut table = Table::new([
+        "flush threshold",
+        "write p95",
+        "read p95",
+        "write p99",
+        "offered ops/s",
+    ]);
     let mut csv = Table::new(["threshold", "write_p95_ns", "read_p95_ns", "write_p99_ns"]);
 
     for threshold in [4usize, 8, 16, 32, 64] {
@@ -42,11 +54,13 @@ fn main() {
                     4096,
                     dataset.image_bytes,
                 );
-                Box::new(FioConn::new(dataset, c as u64, job)) as Box<dyn rablock::sim::ConnWorkload>
+                Box::new(FioConn::new(dataset, c as u64, job))
+                    as Box<dyn rablock::sim::ConnWorkload>
             })
             .collect();
         let report = run_sim(cfg, dataset, workloads, warmup, measure);
-        let offered = (report.writes_done + report.reads_done) as f64 / report.duration.as_secs_f64();
+        let offered =
+            (report.writes_done + report.reads_done) as f64 / report.duration.as_secs_f64();
         table.row([
             threshold.to_string(),
             rablock_workload::fmt_latency(report.write_lat[2].as_nanos()),

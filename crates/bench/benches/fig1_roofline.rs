@@ -17,16 +17,29 @@ use rablock_bench::*;
 use rablock_workload::{fmt_iops, fmt_latency, Table};
 
 fn main() {
-    banner("fig1_roofline", "latency and CPU of Original vs RTC variants (4 cores/node)");
+    banner(
+        "fig1_roofline",
+        "latency and CPU of Original vs RTC variants (4 cores/node)",
+    );
 
     let conns = 12;
     let dataset = Dataset::default_for(conns);
     let (warmup, measure) = windows();
 
     let mut table = Table::new([
-        "variant", "IOPS", "mean lat", "p95 lat", "CPU%/node", "MP+RP%", "TP+OS%", "MT%", "ctx switches",
+        "variant",
+        "IOPS",
+        "mean lat",
+        "p95 lat",
+        "CPU%/node",
+        "MP+RP%",
+        "TP+OS%",
+        "MT%",
+        "ctx switches",
     ]);
-    let mut csv = Table::new(["variant", "iops", "lat_ns", "cpu_pct", "np_pct", "sp_pct", "mt_pct"]);
+    let mut csv = Table::new([
+        "variant", "iops", "lat_ns", "cpu_pct", "np_pct", "sp_pct", "mt_pct",
+    ]);
 
     for mode in [
         PipelineMode::Original,
@@ -41,7 +54,13 @@ fn main() {
         cfg.messenger_threads = 2;
         cfg.pg_threads = 2;
         cfg.rtc_threads = 4;
-        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        let report = run_sim(
+            cfg,
+            dataset,
+            randwrite_conns(dataset, conns),
+            warmup,
+            measure,
+        );
 
         let np = report.tag_cpu_pct.get("MP").unwrap_or(&0.0)
             + report.tag_cpu_pct.get("RP").unwrap_or(&0.0);

@@ -17,7 +17,10 @@ use rablock_bench::*;
 use rablock_workload::{fmt_iops, fmt_latency, Table};
 
 fn main() {
-    banner("fig7_small_random", "4 KiB random write (a) and read (b): Original / Proposed / Ideal");
+    banner(
+        "fig7_small_random",
+        "4 KiB random write (a) and read (b): Original / Proposed / Ideal",
+    );
 
     let conns = 16;
     let dataset = Dataset::default_for(conns);
@@ -26,10 +29,19 @@ fn main() {
     for (part, is_write) in [("(a) random write", true), ("(b) random read", false)] {
         println!("\n--- {part} ---");
         let mut table = Table::new([
-            "system", "IOPS", "mean lat", "p95 lat", "CPU%/node", "class breakdown",
+            "system",
+            "IOPS",
+            "mean lat",
+            "p95 lat",
+            "CPU%/node",
+            "class breakdown",
         ]);
         let mut csv = Table::new(["system", "iops", "lat_ns", "cpu_pct"]);
-        for mode in [PipelineMode::Original, PipelineMode::Dop, PipelineMode::Ideal] {
+        for mode in [
+            PipelineMode::Original,
+            PipelineMode::Dop,
+            PipelineMode::Ideal,
+        ] {
             let cfg = paper_cluster(mode);
             let workloads = if is_write {
                 randwrite_conns(dataset, conns)
@@ -57,7 +69,11 @@ fn main() {
                 classes.join(" "),
             ]);
             csv.row([
-                format!("{}-{}", mode_name(mode), if is_write { "write" } else { "read" }),
+                format!(
+                    "{}-{}",
+                    mode_name(mode),
+                    if is_write { "write" } else { "read" }
+                ),
                 format!("{iops:.0}"),
                 lat[0].as_nanos().to_string(),
                 format!("{:.1}", report.mean_node_cpu()),
@@ -65,7 +81,11 @@ fn main() {
         }
         println!("{}", table.render());
         write_csv(
-            if is_write { "fig7a_small_random_write" } else { "fig7b_small_random_read" },
+            if is_write {
+                "fig7a_small_random_write"
+            } else {
+                "fig7b_small_random_read"
+            },
             &csv.to_csv(),
         );
     }

@@ -17,7 +17,10 @@ use rablock_bench::*;
 use rablock_workload::{fmt_bytes, Table};
 
 fn main() {
-    banner("fig8_waf", "write amplification: Original vs Proposed (±pre-allocation, ±metadata cache)");
+    banner(
+        "fig8_waf",
+        "write amplification: Original vs Proposed (±pre-allocation, ±metadata cache)",
+    );
 
     let conns = 8;
     let dataset = Dataset::default_for(conns);
@@ -32,20 +35,56 @@ fn main() {
         paper: &'static str,
     }
     let cases = [
-        Case { name: "Original (LSM)", mode: PipelineMode::Original, pre_allocate: true, metadata_cache: false, paper: "~2.9x" },
-        Case { name: "Proposed, prealloc, no meta-cache", mode: PipelineMode::Dop, pre_allocate: true, metadata_cache: false, paper: "~1.4x" },
-        Case { name: "Proposed, prealloc + meta-cache", mode: PipelineMode::Dop, pre_allocate: true, metadata_cache: true, paper: "~1.0x" },
-        Case { name: "Proposed, NO prealloc (ext.)", mode: PipelineMode::Dop, pre_allocate: false, metadata_cache: false, paper: ">1.4x" },
+        Case {
+            name: "Original (LSM)",
+            mode: PipelineMode::Original,
+            pre_allocate: true,
+            metadata_cache: false,
+            paper: "~2.9x",
+        },
+        Case {
+            name: "Proposed, prealloc, no meta-cache",
+            mode: PipelineMode::Dop,
+            pre_allocate: true,
+            metadata_cache: false,
+            paper: "~1.4x",
+        },
+        Case {
+            name: "Proposed, prealloc + meta-cache",
+            mode: PipelineMode::Dop,
+            pre_allocate: true,
+            metadata_cache: true,
+            paper: "~1.0x",
+        },
+        Case {
+            name: "Proposed, NO prealloc (ext.)",
+            mode: PipelineMode::Dop,
+            pre_allocate: false,
+            metadata_cache: false,
+            paper: ">1.4x",
+        },
     ];
 
-    let mut table = Table::new(["configuration", "user bytes", "device bytes", "WAF", "paper WAF"]);
+    let mut table = Table::new([
+        "configuration",
+        "user bytes",
+        "device bytes",
+        "WAF",
+        "paper WAF",
+    ]);
     let mut csv = Table::new(["configuration", "user_bytes", "device_bytes", "waf"]);
 
     for case in cases {
         let mut cfg = paper_cluster(case.mode);
         cfg.osd.cos.pre_allocate = case.pre_allocate;
         cfg.osd.cos.metadata_cache = case.metadata_cache;
-        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        let report = run_sim(
+            cfg,
+            dataset,
+            randwrite_conns(dataset, conns),
+            warmup,
+            measure,
+        );
         // User bytes including replication, as iostat sees them.
         let user = report.store.user_bytes;
         let device = report.device.bytes_written;

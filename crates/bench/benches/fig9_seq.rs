@@ -37,7 +37,11 @@ impl ConnWorkload for WriteThenRead {
             (WlKind::Read, (self.cursor - phase_writes) % blocks)
         };
         self.cursor += 1;
-        let op = WlOp { kind, offset: block * (128 << 10), len: 128 << 10 };
+        let op = WlOp {
+            kind,
+            offset: block * (128 << 10),
+            len: 128 << 10,
+        };
         let mut items = self.dataset.work_items(self.image, op);
         items.reverse();
         let first = items.pop()?;
@@ -47,12 +51,27 @@ impl ConnWorkload for WriteThenRead {
 }
 
 fn main() {
-    banner("fig9_seq", "128 KiB sequential read/write throughput vs client threads");
+    banner(
+        "fig9_seq",
+        "128 KiB sequential read/write throughput vs client threads",
+    );
 
     let warmup = rablock::sim::SimDuration::millis(80);
     let measure = rablock::sim::SimDuration::millis(120);
-    let mut table = Table::new(["threads", "Original write GB/s", "Proposed write GB/s", "Original read GB/s", "Proposed read GB/s"]);
-    let mut csv = Table::new(["threads", "orig_write_gbps", "prop_write_gbps", "orig_read_gbps", "prop_read_gbps"]);
+    let mut table = Table::new([
+        "threads",
+        "Original write GB/s",
+        "Proposed write GB/s",
+        "Original read GB/s",
+        "Proposed read GB/s",
+    ]);
+    let mut csv = Table::new([
+        "threads",
+        "orig_write_gbps",
+        "prop_write_gbps",
+        "orig_read_gbps",
+        "prop_read_gbps",
+    ]);
 
     for threads in [1usize, 2, 4, 8, 16] {
         let mut cells = vec![threads.to_string()];
@@ -62,7 +81,10 @@ fn main() {
                 let mut cfg = paper_cluster(mode);
                 cfg.queue_depth = 8;
                 // Sequential I/O moves big payloads; keep the live set small.
-                let dataset = Dataset { images: threads as u64, image_bytes: 8 << 20 };
+                let dataset = Dataset {
+                    images: threads as u64,
+                    image_bytes: 8 << 20,
+                };
                 let workloads: Vec<Box<dyn ConnWorkload>> = (0..threads)
                     .map(|c| {
                         if matches!(pattern, AccessPattern::SeqRead) {
@@ -84,9 +106,8 @@ fn main() {
                 } else {
                     (report.reads_done, report.read_lat)
                 };
-                let gbps = done as f64 * (128u64 << 10) as f64
-                    / report.duration.as_secs_f64()
-                    / 1e9;
+                let gbps =
+                    done as f64 * (128u64 << 10) as f64 / report.duration.as_secs_f64() / 1e9;
                 cells.push(format!("{gbps:.2}"));
                 csv_cells.push(format!("{gbps:.3}"));
             }

@@ -8,15 +8,17 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rablock_cos::{CosObjectStore, CosOptions, ExtentBTree, RadixTree};
 use rablock_lsm::{LsmObjectStore, LsmOptions};
 use rablock_oplog::GroupLog;
-use rablock_storage::{
-    GroupId, MemDisk, NvmRegion, ObjectId, ObjectStore, Op, Transaction,
-};
+use rablock_storage::{GroupId, MemDisk, NvmRegion, ObjectId, ObjectStore, Op, Transaction};
 
 fn write_txn(seq: u64, oid: ObjectId, block: u64) -> Transaction {
     Transaction::new(
         oid.group(),
         seq,
-        vec![Op::Write { oid, offset: block * 4096, data: vec![seq as u8; 4096] }],
+        vec![Op::Write {
+            oid,
+            offset: block * 4096,
+            data: vec![seq as u8; 4096],
+        }],
     )
 }
 
@@ -39,7 +41,12 @@ fn bench_store_submit(c: &mut Criterion) {
     });
 
     let mut cos = CosObjectStore::format(MemDisk::new(256 << 20), CosOptions::default()).unwrap();
-    cos.submit(Transaction::new(GroupId(0), 1, vec![Op::Create { oid, size: 4 << 20 }])).unwrap();
+    cos.submit(Transaction::new(
+        GroupId(0),
+        1,
+        vec![Op::Create { oid, size: 4 << 20 }],
+    ))
+    .unwrap();
     let mut seq = 1u64;
     group.bench_function("cos", |b| {
         b.iter(|| {
@@ -68,7 +75,12 @@ fn bench_store_read(c: &mut Criterion) {
     });
 
     let mut cos = CosObjectStore::format(MemDisk::new(256 << 20), CosOptions::default()).unwrap();
-    cos.submit(Transaction::new(GroupId(0), 1, vec![Op::Create { oid, size: 4 << 20 }])).unwrap();
+    cos.submit(Transaction::new(
+        GroupId(0),
+        1,
+        vec![Op::Create { oid, size: 4 << 20 }],
+    ))
+    .unwrap();
     for s in 0..256u64 {
         cos.submit(write_txn(s + 1, oid, s)).unwrap();
     }
@@ -90,7 +102,8 @@ fn bench_oplog_append(c: &mut Criterion) {
     c.bench_function("oplog_append_4k", |b| {
         b.iter(|| {
             seq += 1;
-            log.append(&mut nvm, write_txn(seq, oid, seq % 256)).unwrap();
+            log.append(&mut nvm, write_txn(seq, oid, seq % 256))
+                .unwrap();
             if log.pending() >= 64 {
                 log.drain_for_flush(&mut nvm, 64).unwrap();
             }

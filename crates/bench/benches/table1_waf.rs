@@ -12,7 +12,10 @@ use rablock_bench::*;
 use rablock_workload::{fmt_bytes, Table};
 
 fn main() {
-    banner("table1_waf", "host-side write amplification of Original (4 KiB random write)");
+    banner(
+        "table1_waf",
+        "host-side write amplification of Original (4 KiB random write)",
+    );
 
     let conns = 8;
     let dataset = Dataset::default_for(conns);
@@ -25,7 +28,13 @@ fn main() {
     // Longer window than the default: compaction needs time to reach its
     // steady cadence.
     let measure = rablock::sim::SimDuration::millis(900);
-    let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+    let report = run_sim(
+        cfg,
+        dataset,
+        randwrite_conns(dataset, conns),
+        warmup,
+        measure,
+    );
 
     let user = report.store.user_bytes / 2; // backend sees user × replication
     let data = report.store.user_bytes;
@@ -50,7 +59,8 @@ fn main() {
         format!("{:.2}x", total as f64 / data as f64),
     ]);
     println!("{}", table.render());
-    println!("breakdown of Misc (measured): wal={} flush={} compaction={} manifests={}",
+    println!(
+        "breakdown of Misc (measured): wal={} flush={} compaction={} manifests={}",
         fmt_bytes(report.store.wal_bytes),
         fmt_bytes(report.store.flush_bytes),
         fmt_bytes(report.store.compaction_bytes),

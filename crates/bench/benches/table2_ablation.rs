@@ -17,25 +17,49 @@ use rablock_bench::*;
 use rablock_workload::{fmt_iops, fmt_latency, Table};
 
 fn main() {
-    banner("table2_ablation", "cumulative technique ablation (4 KiB random write)");
+    banner(
+        "table2_ablation",
+        "cumulative technique ablation (4 KiB random write)",
+    );
 
     let conns = 16;
     let dataset = Dataset::default_for(conns);
     let (warmup, measure) = windows();
 
-    let paper = [("Original", 181, 4.3), ("COS", 471, 3.1), ("PTC", 641, 2.2), ("DOP (Proposed)", 820, 1.11)];
+    let paper = [
+        ("Original", 181, 4.3),
+        ("COS", 471, 3.1),
+        ("PTC", 641, 2.2),
+        ("DOP (Proposed)", 820, 1.11),
+    ];
     let mut table = Table::new([
-        "system", "paper K IOPS", "paper lat", "measured IOPS", "measured lat", "vs Original",
+        "system",
+        "paper K IOPS",
+        "paper lat",
+        "measured IOPS",
+        "measured lat",
+        "vs Original",
     ]);
     let mut csv = Table::new(["system", "iops", "lat_ns"]);
 
     let mut base_iops = 0.0;
-    for (i, mode) in [PipelineMode::Original, PipelineMode::Cos, PipelineMode::Ptc, PipelineMode::Dop]
-        .into_iter()
-        .enumerate()
+    for (i, mode) in [
+        PipelineMode::Original,
+        PipelineMode::Cos,
+        PipelineMode::Ptc,
+        PipelineMode::Dop,
+    ]
+    .into_iter()
+    .enumerate()
     {
         let cfg = paper_cluster(mode);
-        let report = run_sim(cfg, dataset, randwrite_conns(dataset, conns), warmup, measure);
+        let report = run_sim(
+            cfg,
+            dataset,
+            randwrite_conns(dataset, conns),
+            warmup,
+            measure,
+        );
         if i == 0 {
             base_iops = report.write_iops;
         }

@@ -46,8 +46,17 @@ pub fn paper_cluster(mode: PipelineMode) -> ClusterSimConfig {
         nvm_bytes: 64 << 20,
         ring_bytes: 256 << 10,
         flush_threshold: 16,
-        lsm: LsmOptions { memtable_bytes: 2 << 20, segment_bytes: 64 << 10, ..LsmOptions::default() },
-        cos: CosOptions { partitions: 4, onode_slots: 4096, ..CosOptions::default() },
+        lsm: LsmOptions {
+            memtable_bytes: 2 << 20,
+            segment_bytes: 64 << 10,
+            ..LsmOptions::default()
+        },
+        cos: CosOptions {
+            partitions: 4,
+            onode_slots: 4096,
+            ..CosOptions::default()
+        },
+        ..OsdConfig::default()
     };
     cfg.messenger_threads = 3;
     cfg.pg_threads = 6;
@@ -71,7 +80,10 @@ pub struct Dataset {
 impl Dataset {
     /// Default dataset: scaled from the paper's 30 GB images.
     pub fn default_for(conns: usize) -> Dataset {
-        Dataset { images: conns as u64, image_bytes: 16 << 20 }
+        Dataset {
+            images: conns as u64,
+            image_bytes: 16 << 20,
+        }
     }
 
     /// Objects per image.
@@ -121,7 +133,11 @@ impl Dataset {
                     len: chunk,
                     fill: (at % 251) as u8,
                 },
-                WlKind::Read => WorkItem::Read { oid, offset: within, len: chunk },
+                WlKind::Read => WorkItem::Read {
+                    oid,
+                    offset: within,
+                    len: chunk,
+                },
             });
             at += chunk;
         }
@@ -140,7 +156,12 @@ pub struct FioConn {
 impl FioConn {
     /// A connection driving `job` against `image` of `dataset`.
     pub fn new(dataset: Dataset, image: u64, job: FioJob) -> Self {
-        FioConn { dataset, image, job, queue: Vec::new() }
+        FioConn {
+            dataset,
+            image,
+            job,
+            queue: Vec::new(),
+        }
     }
 }
 
@@ -171,7 +192,14 @@ pub struct YcsbConn {
 impl YcsbConn {
     /// A connection driving `wl` against `image` of `dataset`.
     pub fn new(dataset: Dataset, image: u64, wl: YcsbWorkload) -> Self {
-        YcsbConn { dataset, image, wl, queue: Vec::new(), op_limit: None, issued: 0 }
+        YcsbConn {
+            dataset,
+            image,
+            wl,
+            queue: Vec::new(),
+            op_limit: None,
+            issued: 0,
+        }
     }
 
     /// Caps the number of YCSB steps.
@@ -287,14 +315,24 @@ mod tests {
 
     #[test]
     fn dataset_objects_cover_images() {
-        let d = Dataset { images: 2, image_bytes: 3 << 20 };
+        let d = Dataset {
+            images: 2,
+            image_bytes: 3 << 20,
+        };
         assert_eq!(d.all_objects().len(), 6);
     }
 
     #[test]
     fn work_items_split_at_object_boundary() {
-        let d = Dataset { images: 1, image_bytes: 4 << 20 };
-        let op = WlOp { kind: WlKind::Write, offset: OBJECT_BYTES - 100, len: 300 };
+        let d = Dataset {
+            images: 1,
+            image_bytes: 4 << 20,
+        };
+        let op = WlOp {
+            kind: WlKind::Write,
+            offset: OBJECT_BYTES - 100,
+            len: 300,
+        };
         let items = d.work_items(0, op);
         assert_eq!(items.len(), 2);
     }

@@ -101,13 +101,21 @@ impl CostModel {
     /// CPU for a message of `bytes` through the messenger, receive side.
     /// `lean` selects the event-driven messenger of the proposed system.
     pub fn recv(&self, bytes: u64, lean: bool) -> SimDuration {
-        let base = if lean { self.mp_recv_lean } else { self.mp_recv };
+        let base = if lean {
+            self.mp_recv_lean
+        } else {
+            self.mp_recv
+        };
         base + self.mp_per_byte * bytes
     }
 
     /// CPU for a message of `bytes` through the messenger, send side.
     pub fn send(&self, bytes: u64, lean: bool) -> SimDuration {
-        let base = if lean { self.mp_send_lean } else { self.mp_send };
+        let base = if lean {
+            self.mp_send_lean
+        } else {
+            self.mp_send
+        };
         base + self.mp_per_byte * bytes
     }
 
@@ -124,10 +132,19 @@ mod tests {
     #[test]
     fn defaults_are_nonzero_and_ordered() {
         let c = CostModel::default();
-        assert!(c.os_cos_submit < c.os_lsm_submit, "COS must be cheaper per submit");
-        assert!(c.nvm_append < c.tp, "NVM logging beats full transaction processing");
+        assert!(
+            c.os_cos_submit < c.os_lsm_submit,
+            "COS must be cheaper per submit"
+        );
+        assert!(
+            c.nvm_append < c.tp,
+            "NVM logging beats full transaction processing"
+        );
         assert!(c.recv(4096, false) >= c.mp_recv);
-        assert!(c.recv(4096, true) < c.recv(4096, false), "lean messenger is cheaper");
+        assert!(
+            c.recv(4096, true) < c.recv(4096, false),
+            "lean messenger is cheaper"
+        );
     }
 
     #[test]

@@ -17,12 +17,16 @@
 //! * [`live_driver`] — the same protocol on real OS threads and channels.
 //! * [`costs::CostModel`] — the per-stage CPU cost model (calibrated once
 //!   against Fig. 1).
+//! * [`invariants::HistoryChecker`] + [`retry::RetryPolicy`] — safety
+//!   checking and the exactly-once client path for fault-injection runs.
 
 #![warn(missing_docs)]
 
 pub mod costs;
+pub mod invariants;
 pub mod live_driver;
 pub mod msg;
 pub mod osd;
 pub mod placement;
+pub mod retry;
 pub mod sim_driver;

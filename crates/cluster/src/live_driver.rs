@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -22,6 +23,7 @@ use rablock_storage::{ObjectId, StoreError};
 use crate::msg::{ClientId, ClientReply, ClientReq, OpId};
 use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput};
 use crate::placement::{OsdId, OsdMap};
+use crate::retry::RetryPolicy;
 
 enum LiveMsg {
     Input(OsdInput),
@@ -94,9 +96,21 @@ impl LiveCluster {
         }
     }
 
-    /// Opens a new blocking client handle. Clients are cheap; open one per
-    /// worker thread.
+    /// Opens a new blocking client handle with a default retry policy
+    /// (200 ms timeout, exponential backoff with jitter, 10 attempts).
+    /// Clients are cheap; open one per worker thread.
     pub fn client(&self) -> LiveClient {
+        self.client_with_retry(RetryPolicy {
+            timeout_nanos: 200_000_000,
+            backoff_base_nanos: 5_000_000,
+            backoff_multiplier: 2.0,
+            jitter_frac: 0.2,
+            max_attempts: 10,
+        })
+    }
+
+    /// Opens a new blocking client handle with an explicit retry policy.
+    pub fn client_with_retry(&self, retry: RetryPolicy) -> LiveClient {
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed) as u32);
         let (tx, rx) = unbounded();
         self.client_txs.lock().insert(id.0, tx);
@@ -106,6 +120,7 @@ impl LiveCluster {
             osd_txs: self.osd_txs.clone(),
             rx,
             next_op: AtomicU64::new(1),
+            retry,
         }
     }
 
@@ -144,8 +159,8 @@ fn osd_event_loop(
                 match effect {
                     OsdEffect::SendPeer { to, msg } => {
                         let from = osd.id;
-                        let _ = peers[to.0 as usize]
-                            .send(LiveMsg::Input(OsdInput::Peer { from, msg }));
+                        let _ =
+                            peers[to.0 as usize].send(LiveMsg::Input(OsdInput::Peer { from, msg }));
                     }
                     OsdEffect::Reply { to, msg } => {
                         let guard = clients.lock();
@@ -170,6 +185,10 @@ fn osd_event_loop(
                     OsdEffect::WakeMaintenance => {
                         work.push(OsdInput::MaintStep);
                     }
+                    // Liveness in the live driver is driven directly by
+                    // `LiveCluster::fail_osd`; heartbeat beacons only feed
+                    // the simulated monitor.
+                    OsdEffect::Heartbeat => {}
                     OsdEffect::NvmWritten { .. } | OsdEffect::Maintained { .. } => {}
                 }
             }
@@ -181,31 +200,57 @@ fn osd_event_loop(
 ///
 /// Serialize operations per handle (one in flight at a time); open one
 /// client per worker thread. On an OSD failure, in-flight operations are
-/// retried against the new primary — safe because the write path is
-/// idempotent (in-place overwrites; duplicate log records flush to the
-/// same bytes).
+/// retried against the new primary under the handle's [`RetryPolicy`] —
+/// safe because primaries deduplicate retried `(client, op)` pairs, so a
+/// retry of an already-applied write re-acks without re-applying. When the
+/// retry budget runs out the operation surfaces [`StoreError::Timeout`]
+/// instead of spinning forever.
 pub struct LiveClient {
     id: ClientId,
     map: Arc<RwLock<OsdMap>>,
     osd_txs: Vec<Sender<LiveMsg>>,
     rx: Receiver<ClientReply>,
     next_op: AtomicU64,
+    retry: RetryPolicy,
 }
 
 impl LiveClient {
     fn submit(&self, req: ClientReq) -> ClientReply {
         let want = req.op();
+        let mut attempt = 0u32;
         loop {
+            attempt += 1;
             let primary = self.map.read().primary(req.oid().group());
-            let _ = self.osd_txs[primary.0 as usize]
-                .send(LiveMsg::Input(OsdInput::Client { from: self.id, req: req.clone() }));
-            // Wait with a timeout: if the primary died mid-operation, the
-            // reply never comes and we retry against the new map.
-            match self.rx.recv_timeout(std::time::Duration::from_millis(200)) {
-                Ok(reply) if reply.op() == want => return reply,
-                Ok(_) => continue, // stale reply from an abandoned attempt
-                Err(_) => continue, // timeout: re-route and retry
+            let _ = self.osd_txs[primary.0 as usize].send(LiveMsg::Input(OsdInput::Client {
+                from: self.id,
+                req: req.clone(),
+            }));
+            // Wait out this attempt's timeout window. Replies for other op
+            // ids (duplicates of an earlier attempt, or replies that beat a
+            // previous timeout) are drained and ignored without burning the
+            // attempt budget.
+            let deadline = Instant::now() + Duration::from_nanos(self.retry.timeout_nanos);
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.rx.recv_timeout(left) {
+                    Ok(reply) if reply.op() == want => return reply,
+                    Ok(_) => continue, // stale or duplicate reply: ignore
+                    Err(_) => break,   // this attempt timed out
+                }
             }
+            if !self.retry.should_retry(attempt) {
+                return ClientReply::Error {
+                    op: want,
+                    error: StoreError::Timeout,
+                };
+            }
+            // Deterministic jitter (no RNG dependency): spread retries by
+            // hashing the op id and attempt counter.
+            let h = (want.0 ^ (attempt as u64) << 32).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let jitter = (h >> 11) as f64 / (1u64 << 53) as f64;
+            std::thread::sleep(Duration::from_nanos(
+                self.retry.backoff_nanos(attempt, jitter),
+            ));
         }
     }
 
@@ -219,7 +264,11 @@ impl LiveClient {
     ///
     /// Propagates backend errors.
     pub fn create(&self, oid: ObjectId, size: u64) -> Result<(), StoreError> {
-        match self.submit(ClientReq::Create { op: self.op(), oid, size }) {
+        match self.submit(ClientReq::Create {
+            op: self.op(),
+            oid,
+            size,
+        }) {
             ClientReply::Done { .. } => Ok(()),
             ClientReply::Error { error, .. } => Err(error),
             ClientReply::Data { .. } => unreachable!("create never returns data"),
@@ -232,7 +281,12 @@ impl LiveClient {
     ///
     /// Propagates backend errors.
     pub fn write(&self, oid: ObjectId, offset: u64, data: Vec<u8>) -> Result<(), StoreError> {
-        match self.submit(ClientReq::Write { op: self.op(), oid, offset, data }) {
+        match self.submit(ClientReq::Write {
+            op: self.op(),
+            oid,
+            offset,
+            data,
+        }) {
             ClientReply::Done { .. } => Ok(()),
             ClientReply::Error { error, .. } => Err(error),
             ClientReply::Data { .. } => unreachable!("write never returns data"),
@@ -245,7 +299,12 @@ impl LiveClient {
     ///
     /// Propagates backend errors ([`StoreError::NotFound`], bounds).
     pub fn read(&self, oid: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
-        match self.submit(ClientReq::Read { op: self.op(), oid, offset, len }) {
+        match self.submit(ClientReq::Read {
+            op: self.op(),
+            oid,
+            offset,
+            len,
+        }) {
             ClientReply::Data { data, .. } => Ok(data),
             ClientReply::Error { error, .. } => Err(error),
             ClientReply::Done { .. } => unreachable!("read always returns data"),
@@ -270,6 +329,7 @@ mod tests {
             flush_threshold: 8,
             lsm: LsmOptions::tiny(),
             cos: CosOptions::tiny(),
+            ..OsdConfig::default()
         }
     }
 
@@ -309,7 +369,9 @@ mod tests {
                 client.create(oid, 1 << 20).unwrap();
                 for i in 0..50u64 {
                     let fill = w.wrapping_mul(31).wrapping_add(i as u8);
-                    client.write(oid, (i % 16) * 4096, vec![fill; 4096]).unwrap();
+                    client
+                        .write(oid, (i % 16) * 4096, vec![fill; 4096])
+                        .unwrap();
                     let got = client.read(oid, (i % 16) * 4096, 4096).unwrap();
                     assert_eq!(got, vec![fill; 4096], "worker {w} op {i}");
                 }
@@ -330,7 +392,9 @@ mod tests {
         // Push well past the flush threshold; every read must see the
         // latest write regardless of whether it is in the log or the store.
         for i in 0..64u64 {
-            client.write(oid, (i % 8) * 4096, vec![i as u8; 4096]).unwrap();
+            client
+                .write(oid, (i % 8) * 4096, vec![i as u8; 4096])
+                .unwrap();
             let got = client.read(oid, (i % 8) * 4096, 4096).unwrap();
             assert_eq!(got, vec![i as u8; 4096], "op {i}");
         }
@@ -366,6 +430,7 @@ mod failover_tests {
             flush_threshold: 8,
             lsm: LsmOptions::tiny(),
             cos: CosOptions::tiny(),
+            ..OsdConfig::default()
         };
         let c = LiveCluster::start(OsdMap::new(3, 1, 8, 2), cfg);
         let client = c.client();
@@ -373,14 +438,18 @@ mod failover_tests {
         let oid = ObjectId::new(group, 5);
         client.create(oid, 1 << 20).unwrap();
         for i in 0..20u64 {
-            client.write(oid, (i % 8) * 4096, vec![i as u8; 4096]).unwrap();
+            client
+                .write(oid, (i % 8) * 4096, vec![i as u8; 4096])
+                .unwrap();
         }
         // Kill the group's secondary mid-stream.
         let secondary = c.map().acting_set(group)[1];
         c.fail_osd(secondary);
         // Writes and reads keep working against the new acting set.
         for i in 20..40u64 {
-            client.write(oid, (i % 8) * 4096, vec![i as u8; 4096]).unwrap();
+            client
+                .write(oid, (i % 8) * 4096, vec![i as u8; 4096])
+                .unwrap();
         }
         for block in 0..8u64 {
             let newest = (0..40u64).rev().find(|i| i % 8 == block).unwrap();
@@ -405,6 +474,7 @@ mod failover_tests {
             flush_threshold: 64, // keep data in the op log to stress recovery
             lsm: LsmOptions::tiny(),
             cos: CosOptions::tiny(),
+            ..OsdConfig::default()
         };
         let c = LiveCluster::start(OsdMap::new(3, 1, 8, 2), cfg);
         let client = c.client();
@@ -412,7 +482,9 @@ mod failover_tests {
         let oid = ObjectId::new(group, 9);
         client.create(oid, 1 << 20).unwrap();
         for i in 0..16u64 {
-            client.write(oid, (i % 4) * 4096, vec![(i + 1) as u8; 4096]).unwrap();
+            client
+                .write(oid, (i % 4) * 4096, vec![(i + 1) as u8; 4096])
+                .unwrap();
         }
         // Kill the PRIMARY: the secondary (which logged every write in its
         // NVM) is promoted and must serve the latest acknowledged data.

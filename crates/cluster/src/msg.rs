@@ -60,14 +60,18 @@ impl ClientReq {
     /// The operation id.
     pub fn op(&self) -> OpId {
         match self {
-            ClientReq::Write { op, .. } | ClientReq::Read { op, .. } | ClientReq::Create { op, .. } => *op,
+            ClientReq::Write { op, .. }
+            | ClientReq::Read { op, .. }
+            | ClientReq::Create { op, .. } => *op,
         }
     }
 
     /// Target object.
     pub fn oid(&self) -> ObjectId {
         match self {
-            ClientReq::Write { oid, .. } | ClientReq::Read { oid, .. } | ClientReq::Create { oid, .. } => *oid,
+            ClientReq::Write { oid, .. }
+            | ClientReq::Read { oid, .. }
+            | ClientReq::Create { oid, .. } => *oid,
         }
     }
 
@@ -109,7 +113,9 @@ impl ClientReply {
     /// The echoed operation id.
     pub fn op(&self) -> OpId {
         match self {
-            ClientReply::Done { op } | ClientReply::Data { op, .. } | ClientReply::Error { op, .. } => *op,
+            ClientReply::Done { op }
+            | ClientReply::Data { op, .. }
+            | ClientReply::Error { op, .. } => *op,
         }
     }
 
@@ -170,6 +176,15 @@ pub enum PeerMsg {
         /// Encoded [`rablock_oplog::LogRecord`]s.
         records: Vec<Vec<u8>>,
     },
+    /// Peer recovery: flushed object contents of a group, so a joiner whose
+    /// backend missed flushes while it was out of the acting set catches up
+    /// (the log transfer alone only covers still-pending operations).
+    Backfill {
+        /// Group being synchronized.
+        group: GroupId,
+        /// `(object, full content)` pairs read from the sender's backend.
+        objects: Vec<(ObjectId, Vec<u8>)>,
+    },
 }
 
 impl PeerMsg {
@@ -177,17 +192,20 @@ impl PeerMsg {
     pub fn wire_bytes(&self) -> u64 {
         MSG_HEADER_BYTES
             + match self {
-                PeerMsg::Repop { txn, .. } | PeerMsg::RepopNvm { txn, .. } => txn.user_bytes() + 256,
+                PeerMsg::Repop { txn, .. } | PeerMsg::RepopNvm { txn, .. } => {
+                    txn.user_bytes() + 256
+                }
                 PeerMsg::RepAck { .. } => 0,
                 PeerMsg::PullLog { .. } => 0,
-                PeerMsg::LogRecords { records, .. } => {
-                    records.iter().map(|r| r.len() as u64).sum()
+                PeerMsg::LogRecords { records, .. } => records.iter().map(|r| r.len() as u64).sum(),
+                PeerMsg::Backfill { objects, .. } => {
+                    objects.iter().map(|(_, data)| 16 + data.len() as u64).sum()
                 }
             }
     }
 }
 
-/// Monitor messages (cluster-map distribution).
+/// Monitor messages (cluster-map distribution and liveness).
 #[derive(Clone, Debug)]
 pub enum MonMsg {
     /// An OSD (or the driver) reports a failure.
@@ -195,11 +213,29 @@ pub enum MonMsg {
         /// The OSD believed dead.
         osd: OsdId,
     },
+    /// A periodic liveness beacon from an OSD; the monitor marks the sender
+    /// down after a configurable window of missed heartbeats.
+    Heartbeat {
+        /// The OSD reporting in.
+        osd: OsdId,
+    },
     /// A new map epoch, broadcast to everyone.
     MapUpdate {
         /// The new map.
         map: OsdMap,
     },
+}
+
+impl MonMsg {
+    /// Approximate wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        MSG_HEADER_BYTES
+            + match self {
+                MonMsg::ReportFailure { .. } | MonMsg::Heartbeat { .. } => 0,
+                // Per-OSD entries dominate an encoded map.
+                MonMsg::MapUpdate { map } => 16 * map.osds.len() as u64,
+            }
+    }
 }
 
 #[cfg(test)]
@@ -210,26 +246,55 @@ mod tests {
     #[test]
     fn wire_sizes_scale_with_payload() {
         let oid = ObjectId::new(GroupId(0), 1);
-        let w = ClientReq::Write { op: OpId(1), oid, offset: 0, data: vec![0; 4096] };
-        let r = ClientReq::Read { op: OpId(2), oid, offset: 0, len: 4096 };
+        let w = ClientReq::Write {
+            op: OpId(1),
+            oid,
+            offset: 0,
+            data: vec![0; 4096],
+        };
+        let r = ClientReq::Read {
+            op: OpId(2),
+            oid,
+            offset: 0,
+            len: 4096,
+        };
         assert_eq!(w.wire_bytes(), MSG_HEADER_BYTES + 4096);
         assert_eq!(r.wire_bytes(), MSG_HEADER_BYTES);
-        let reply = ClientReply::Data { op: OpId(2), data: vec![0; 4096] };
+        let reply = ClientReply::Data {
+            op: OpId(2),
+            data: vec![0; 4096],
+        };
         assert_eq!(reply.wire_bytes(), MSG_HEADER_BYTES + 4096);
     }
 
     #[test]
     fn repop_wire_includes_payload_and_metadata() {
         let oid = ObjectId::new(GroupId(0), 1);
-        let txn = Transaction::new(GroupId(0), 9, vec![Op::Write { oid, offset: 0, data: vec![1; 4096] }]);
-        let m = PeerMsg::Repop { group: GroupId(0), seq: 9, txn };
+        let txn = Transaction::new(
+            GroupId(0),
+            9,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![1; 4096],
+            }],
+        );
+        let m = PeerMsg::Repop {
+            group: GroupId(0),
+            seq: 9,
+            txn,
+        };
         assert!(m.wire_bytes() > MSG_HEADER_BYTES + 4096);
     }
 
     #[test]
     fn ids_echo_through_accessors() {
         let oid = ObjectId::new(GroupId(7), 3);
-        let req = ClientReq::Create { op: OpId(42), oid, size: 1 };
+        let req = ClientReq::Create {
+            op: OpId(42),
+            oid,
+            size: 1,
+        };
         assert_eq!(req.op(), OpId(42));
         assert_eq!(req.oid(), oid);
         assert_eq!(ClientReply::Done { op: OpId(42) }.op(), OpId(42));

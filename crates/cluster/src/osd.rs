@@ -14,7 +14,7 @@
 //! ablations (`Cos`, `Ptc`), the full proposed system (`Dop`), or the
 //! no-storage-processing upper bound (`Ideal`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use rablock_cos::{CosObjectStore, CosOptions};
 use rablock_lsm::{LsmObjectStore, LsmOptions};
@@ -59,12 +59,18 @@ impl PipelineMode {
 
     /// True for modes with priority/non-priority thread control.
     pub fn prioritized(self) -> bool {
-        matches!(self, PipelineMode::Ptc | PipelineMode::Dop | PipelineMode::Ideal)
+        matches!(
+            self,
+            PipelineMode::Ptc | PipelineMode::Dop | PipelineMode::Ideal
+        )
     }
 
     /// True for the roofline run-to-completion variants.
     pub fn run_to_completion(self) -> bool {
-        matches!(self, PipelineMode::RtcV1 | PipelineMode::RtcV2 | PipelineMode::RtcV3)
+        matches!(
+            self,
+            PipelineMode::RtcV1 | PipelineMode::RtcV2 | PipelineMode::RtcV3
+        )
     }
 
     /// True when transaction processing is skipped entirely (MP+RP only).
@@ -84,7 +90,10 @@ impl PipelineMode {
 
     /// True for modes backed by the CPU-efficient object store.
     pub fn cos_backend(self) -> bool {
-        matches!(self, PipelineMode::Cos | PipelineMode::Ptc | PipelineMode::Dop)
+        matches!(
+            self,
+            PipelineMode::Cos | PipelineMode::Ptc | PipelineMode::Dop
+        )
     }
 }
 
@@ -101,6 +110,10 @@ pub struct OsdConfig {
     pub ring_bytes: u64,
     /// Flush threshold (paper default 16 entries per group).
     pub flush_threshold: usize,
+    /// Completed-write ids remembered per client for duplicate suppression:
+    /// a retried write whose original already completed re-acks without
+    /// re-applying (exactly-once under client retries).
+    pub dedup_window: usize,
     /// LSM backend options (LSM modes).
     pub lsm: LsmOptions,
     /// COS backend options (COS modes).
@@ -115,6 +128,7 @@ impl Default for OsdConfig {
             nvm_bytes: 16 << 20,
             ring_bytes: 256 << 10,
             flush_threshold: 16,
+            dedup_window: 128,
             lsm: LsmOptions::default(),
             cos: CosOptions::default(),
         }
@@ -122,6 +136,7 @@ impl Default for OsdConfig {
 }
 
 /// The backend store behind one OSD.
+#[allow(clippy::large_enum_variant)]
 pub enum Backend {
     /// BlueStore-like LSM store.
     Lsm(LsmObjectStore<MemDisk>),
@@ -231,6 +246,8 @@ pub enum OsdInput {
     },
     /// The maintenance thread ticked.
     MaintStep,
+    /// The heartbeat timer fired: emit a liveness beacon to the monitor.
+    HeartbeatTick,
     /// A new cluster map arrived.
     MapUpdate(OsdMap),
 }
@@ -284,6 +301,9 @@ pub enum OsdEffect {
     },
     /// Wake the maintenance thread.
     WakeMaintenance,
+    /// Send a heartbeat to the monitor (driver routes it and stamps the
+    /// time; the state machine never looks at a clock).
+    Heartbeat,
     /// One maintenance step moved this many bytes (for MT cost accounting).
     Maintained {
         /// Bytes read + written by the step.
@@ -304,11 +324,23 @@ enum StoreCtx {
     /// Local persist of a primary write.
     WriteLocal { seq: u64 },
     /// Replica persist; ack `seq` to `primary` when durable.
-    ReplicaPersist { primary: OsdId, group: GroupId, seq: u64 },
+    ReplicaPersist {
+        primary: OsdId,
+        group: GroupId,
+        seq: u64,
+    },
     /// A read waiting for its device I/O.
-    Read { client: ClientId, op: OpId, data: Vec<u8> },
+    Read {
+        client: ClientId,
+        op: OpId,
+        data: Vec<u8>,
+    },
     /// A batch flush of `group`; drain `records` log records when durable.
-    Flush { group: GroupId, records: usize, keep: bool },
+    Flush {
+        group: GroupId,
+        records: usize,
+        keep: bool,
+    },
     /// Background I/O nobody waits for.
     Background,
 }
@@ -347,6 +379,25 @@ pub struct Osd {
     seq: u64,
     next_token: u64,
     inflight: HashMap<u64, WriteOp>,
+    /// `(client, op) -> seq` for in-flight writes, so a client retry can be
+    /// matched to its original operation instead of being applied again.
+    inflight_ops: HashMap<(ClientId, OpId), u64>,
+    /// Recently completed write ops per client (bounded by
+    /// `cfg.dedup_window`): a retry of one of these re-acks immediately.
+    completed: HashMap<ClientId, VecDeque<u64>>,
+    /// Recently applied replication seqs per group (bounded by
+    /// `cfg.dedup_window`): a duplicate `Repop`/`RepopNvm` re-acks without
+    /// re-applying.
+    replica_applied: HashMap<GroupId, VecDeque<u64>>,
+    /// Largest byte extent ever written per object, per group. Lets a
+    /// surviving member ship full object contents to a joiner (backfill) —
+    /// the operation log alone only covers still-pending writes.
+    group_extents: HashMap<GroupId, HashMap<ObjectId, u64>>,
+    /// Groups whose pulled log records have not arrived yet.
+    awaiting_log: BTreeSet<GroupId>,
+    /// Groups whose backfill has not arrived yet: flushes and cold store
+    /// reads are held back so a late backfill cannot clobber newer data.
+    awaiting_backfill: BTreeSet<GroupId>,
     pending_store: HashMap<u64, StoreCtx>,
     deferred_reads: HashMap<u64, DeferredRead>,
     deferred_submits: HashMap<u64, DeferredSubmit>,
@@ -388,6 +439,12 @@ impl Osd {
             seq: 0,
             next_token: 1,
             inflight: HashMap::new(),
+            inflight_ops: HashMap::new(),
+            completed: HashMap::new(),
+            replica_applied: HashMap::new(),
+            group_extents: HashMap::new(),
+            awaiting_log: BTreeSet::new(),
+            awaiting_backfill: BTreeSet::new(),
             pending_store: HashMap::new(),
             deferred_reads: HashMap::new(),
             deferred_submits: HashMap::new(),
@@ -438,6 +495,7 @@ impl Osd {
     pub fn bootstrap_object(&mut self, oid: ObjectId, size: u64) {
         self.seq += 1;
         let txn = Transaction::new(oid.group(), self.seq, vec![Op::Create { oid, size }]);
+        self.note_txn(&txn);
         self.backend.submit(txn).expect("bootstrap create");
         let _ = self.backend.take_trace();
         while self.backend.needs_maintenance() {
@@ -474,8 +532,14 @@ impl Osd {
                 self.id
             );
             self.nvm_next += self.cfg.ring_bytes;
-            let log = GroupLog::format(&mut self.nvm, group, base, self.cfg.ring_bytes, self.cfg.flush_threshold)
-                .expect("ring formats in fresh NVM");
+            let log = GroupLog::format(
+                &mut self.nvm,
+                group,
+                base,
+                self.cfg.ring_bytes,
+                self.cfg.flush_threshold,
+            )
+            .expect("ring formats in fresh NVM");
             self.logs.insert(group, log);
         }
         self.logs.get_mut(&group).expect("just inserted")
@@ -484,17 +548,128 @@ impl Osd {
     /// Builds the backend transaction for a client write, including the
     /// metadata records Ceph attaches to every request (`object_info_t`
     /// xattr, pg-log entry) — the "many key-value writes" of §V-B.
-    fn build_write_txn(&mut self, group: GroupId, seq: u64, oid: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
+    fn build_write_txn(
+        &mut self,
+        group: GroupId,
+        seq: u64,
+        oid: ObjectId,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Transaction {
         let pglog_key = format!("pglog.{}.{seq}", group.0).into_bytes();
         Transaction::new(
             group,
             seq,
             vec![
                 Op::Write { oid, offset, data },
-                Op::SetXattr { oid, key: "oi".into(), value: vec![0xA5; 64] },
-                Op::MetaPut { key: pglog_key, value: vec![0x5A; 180] },
+                Op::SetXattr {
+                    oid,
+                    key: "oi".into(),
+                    value: vec![0xA5; 64],
+                },
+                Op::MetaPut {
+                    key: pglog_key,
+                    value: vec![0x5A; 180],
+                },
             ],
         )
+    }
+
+    fn already_completed(&self, client: ClientId, op: OpId) -> bool {
+        self.completed
+            .get(&client)
+            .is_some_and(|w| w.contains(&op.0))
+    }
+
+    fn inflight_seq(&self, client: ClientId, op: OpId) -> Option<u64> {
+        self.inflight_ops.get(&(client, op)).copied()
+    }
+
+    /// Re-sends the replication message for an in-flight write to every
+    /// replica that has not acked yet. Nothing is re-applied locally; the
+    /// client will be answered by the original operation when it completes.
+    fn retransmit_pending(
+        &mut self,
+        seq: u64,
+        group: GroupId,
+        txn: Transaction,
+        fx: &mut Vec<OsdEffect>,
+    ) {
+        let Some(w) = self.inflight.get(&seq) else {
+            return;
+        };
+        let decoupled = self.cfg.mode.decoupled();
+        for &r in &w.waiting_acks {
+            let msg = if decoupled {
+                PeerMsg::RepopNvm {
+                    group,
+                    seq,
+                    txn: txn.clone(),
+                }
+            } else {
+                PeerMsg::Repop {
+                    group,
+                    seq,
+                    txn: txn.clone(),
+                }
+            };
+            fx.push(OsdEffect::SendPeer { to: r, msg });
+        }
+    }
+
+    fn replica_already_applied(&self, group: GroupId, seq: u64) -> bool {
+        self.replica_applied
+            .get(&group)
+            .is_some_and(|w| w.contains(&seq))
+    }
+
+    fn note_replica_applied(&mut self, group: GroupId, seq: u64) {
+        let win = self.replica_applied.entry(group).or_default();
+        win.push_back(seq);
+        while win.len() > self.cfg.dedup_window {
+            win.pop_front();
+        }
+    }
+
+    /// Records the byte extents a transaction touches, so this OSD can later
+    /// backfill full object contents to a joining peer.
+    fn note_txn(&mut self, txn: &Transaction) {
+        let extents = self.group_extents.entry(txn.group).or_default();
+        for op in &txn.ops {
+            let (oid, end) = match op {
+                Op::Create { oid, size } => (*oid, *size),
+                Op::Write { oid, offset, data } => (*oid, offset + data.len() as u64),
+                _ => continue,
+            };
+            let e = extents.entry(oid).or_insert(0);
+            *e = (*e).max(end);
+        }
+    }
+
+    /// Re-sends `PullLog` for every group whose pulled records or backfill
+    /// have not arrived (the originals may have been dropped or cut off by a
+    /// partition). Driven by the heartbeat timer.
+    fn retry_pulls(&mut self, fx: &mut Vec<OsdEffect>) {
+        let mut groups: Vec<GroupId> = self.awaiting_log.iter().copied().collect();
+        groups.extend(self.awaiting_backfill.iter().copied());
+        groups.sort();
+        groups.dedup();
+        for group in groups {
+            let peer = self
+                .map
+                .acting_set(group)
+                .into_iter()
+                .find(|&o| o != self.id);
+            if let Some(peer) = peer {
+                fx.push(OsdEffect::SendPeer {
+                    to: peer,
+                    msg: PeerMsg::PullLog {
+                        group,
+                        from: self.id,
+                    },
+                });
+            }
+        }
     }
 
     /// Handles one input, returning the effects for the driver.
@@ -508,6 +683,13 @@ impl Osd {
             OsdInput::ReadFromStore { token } => self.on_read_from_store(token, &mut fx),
             OsdInput::SubmitDeferred { token } => self.on_submit_deferred(token, &mut fx),
             OsdInput::MaintStep => self.on_maint_step(&mut fx),
+            OsdInput::HeartbeatTick => {
+                fx.push(OsdEffect::Heartbeat);
+                // Piggy-back peer-recovery retries on the liveness timer: a
+                // lost PullLog/LogRecords/Backfill would otherwise wedge the
+                // join forever.
+                self.retry_pulls(&mut fx);
+            }
             OsdInput::MapUpdate(map) => self.on_map_update(map, &mut fx),
         }
         fx
@@ -515,11 +697,32 @@ impl Osd {
 
     fn on_client(&mut self, from: ClientId, req: ClientReq, fx: &mut Vec<OsdEffect>) {
         match req {
-            ClientReq::Write { op, oid, offset, data } => {
+            ClientReq::Write {
+                op,
+                oid,
+                offset,
+                data,
+            } => {
+                let group = oid.group();
+                if self.already_completed(from, op) {
+                    fx.push(OsdEffect::Reply {
+                        to: from,
+                        msg: ClientReply::Done { op },
+                    });
+                    return;
+                }
+                if let Some(seq) = self.inflight_seq(from, op) {
+                    // Retry of an op still replicating: the original peer
+                    // message may have been lost, so rebuild the identical
+                    // transaction and retransmit to laggard replicas only.
+                    let txn = self.build_write_txn(group, seq, oid, offset, data);
+                    self.retransmit_pending(seq, group, txn, fx);
+                    return;
+                }
                 self.seq += 1;
                 let seq = self.seq;
-                let group = oid.group();
                 let txn = self.build_write_txn(group, seq, oid, offset, data);
+                self.note_txn(&txn);
                 if self.cfg.mode.decoupled() {
                     self.write_decoupled(from, op, group, seq, txn, fx);
                 } else {
@@ -527,17 +730,35 @@ impl Osd {
                 }
             }
             ClientReq::Create { op, oid, size } => {
+                let group = oid.group();
+                if self.already_completed(from, op) {
+                    fx.push(OsdEffect::Reply {
+                        to: from,
+                        msg: ClientReply::Done { op },
+                    });
+                    return;
+                }
+                if let Some(seq) = self.inflight_seq(from, op) {
+                    let txn = Transaction::new(group, seq, vec![Op::Create { oid, size }]);
+                    self.retransmit_pending(seq, group, txn, fx);
+                    return;
+                }
                 self.seq += 1;
                 let seq = self.seq;
-                let group = oid.group();
                 let txn = Transaction::new(group, seq, vec![Op::Create { oid, size }]);
+                self.note_txn(&txn);
                 if self.cfg.mode.decoupled() {
                     self.write_decoupled(from, op, group, seq, txn, fx);
                 } else {
                     self.write_coupled(from, op, group, seq, txn, fx);
                 }
             }
-            ClientReq::Read { op, oid, offset, len } => {
+            ClientReq::Read {
+                op,
+                oid,
+                offset,
+                len,
+            } => {
                 self.on_client_read(from, op, oid, offset, len, fx);
             }
         }
@@ -555,10 +776,26 @@ impl Osd {
     ) {
         let replicas = self.replicas_of(group);
         for &r in &replicas {
-            fx.push(OsdEffect::SendPeer { to: r, msg: PeerMsg::Repop { group, seq, txn: txn.clone() } });
+            fx.push(OsdEffect::SendPeer {
+                to: r,
+                msg: PeerMsg::Repop {
+                    group,
+                    seq,
+                    txn: txn.clone(),
+                },
+            });
         }
         let local_done = self.cfg.mode.null_transaction() || self.cfg.mode.null_store();
-        self.inflight.insert(seq, WriteOp { client: from, op, waiting_acks: replicas, local_done });
+        self.inflight.insert(
+            seq,
+            WriteOp {
+                client: from,
+                op,
+                waiting_acks: replicas,
+                local_done,
+            },
+        );
+        self.inflight_ops.insert((from, op), seq);
         if local_done {
             self.try_complete_write(seq, fx);
             return;
@@ -567,19 +804,34 @@ impl Osd {
             // PTC: the priority thread never does storage processing; hand
             // the transaction to a non-priority thread (§IV-B).
             let token = self.token();
-            self.deferred_submits.insert(token, DeferredSubmit { txn, ctx: StoreCtx::WriteLocal { seq } });
+            self.deferred_submits.insert(
+                token,
+                DeferredSubmit {
+                    txn,
+                    ctx: StoreCtx::WriteLocal { seq },
+                },
+            );
             fx.push(OsdEffect::WakeSubmit { token });
             return;
         }
         if let Err(error) = self.backend.submit(txn) {
             self.inflight.remove(&seq);
-            fx.push(OsdEffect::Reply { to: from, msg: ClientReply::Error { op, error } });
+            self.inflight_ops.remove(&(from, op));
+            fx.push(OsdEffect::Reply {
+                to: from,
+                msg: ClientReply::Error { op, error },
+            });
             return;
         }
         let token = self.token();
         let trace = self.backend.take_trace();
-        self.pending_store.insert(token, StoreCtx::WriteLocal { seq });
-        fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+        self.pending_store
+            .insert(token, StoreCtx::WriteLocal { seq });
+        fx.push(OsdEffect::StoreIo {
+            token,
+            trace,
+            wait: true,
+        });
         self.kick_maintenance(fx);
     }
 
@@ -598,7 +850,11 @@ impl Osd {
         for &r in &replicas {
             fx.push(OsdEffect::SendPeer {
                 to: r,
-                msg: PeerMsg::RepopNvm { group, seq, txn: txn.clone() },
+                msg: PeerMsg::RepopNvm {
+                    group,
+                    seq,
+                    txn: txn.clone(),
+                },
             });
         }
         let (bytes, stall) = self.log_append_with_fallback(group, txn, fx);
@@ -608,11 +864,21 @@ impl Osd {
             Some(token) => {
                 // Synchronous-flush backpressure: the ack waits until the
                 // forced flush is durable.
-                self.pending_store.insert(token, StoreCtx::WriteLocal { seq });
+                self.pending_store
+                    .insert(token, StoreCtx::WriteLocal { seq });
                 false
             }
         };
-        self.inflight.insert(seq, WriteOp { client: from, op, waiting_acks: replicas, local_done });
+        self.inflight.insert(
+            seq,
+            WriteOp {
+                client: from,
+                op,
+                waiting_acks: replicas,
+                local_done,
+            },
+        );
+        self.inflight_ops.insert((from, op), seq);
         let needs_flush = {
             let log = self.log_for(group);
             log.pending() >= log.flush_threshold
@@ -644,7 +910,11 @@ impl Osd {
             let token = self.token();
             let trace = self.backend.take_trace();
             self.pending_store.insert(token, StoreCtx::Background);
-            fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+            fx.push(OsdEffect::StoreIo {
+                token,
+                trace,
+                wait: true,
+            });
             self.kick_maintenance(fx);
             return (0, Some(token));
         }
@@ -666,7 +936,11 @@ impl Osd {
                 let token = self.token();
                 let trace = self.backend.take_trace();
                 self.pending_store.insert(token, StoreCtx::Background);
-                fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                fx.push(OsdEffect::StoreIo {
+                    token,
+                    trace,
+                    wait: true,
+                });
                 stall_token = Some(token);
                 log.append(&mut self.nvm, txn)
                     .expect("append succeeds after full drain")
@@ -693,7 +967,13 @@ impl Osd {
     ) {
         if self.cfg.mode.null_transaction() {
             // No storage processing: answer immediately (Ideal / RTC-v3).
-            fx.push(OsdEffect::Reply { to: from, msg: ClientReply::Data { op, data: vec![0; len as usize] } });
+            fx.push(OsdEffect::Reply {
+                to: from,
+                msg: ClientReply::Data {
+                    op,
+                    data: vec![0; len as usize],
+                },
+            });
             return;
         }
         if self.cfg.mode.decoupled() {
@@ -704,15 +984,46 @@ impl Osd {
                 .map_or(ReadPath::Store, |log| log.read_path(oid, offset, len));
             match path {
                 ReadPath::FromLog(data) => {
-                    fx.push(OsdEffect::Reply { to: from, msg: ClientReply::Data { op, data } });
+                    fx.push(OsdEffect::Reply {
+                        to: from,
+                        msg: ClientReply::Data { op, data },
+                    });
                 }
                 ReadPath::Store => {
+                    if self.awaiting_backfill.contains(&group) {
+                        // The backend may still miss data the backfill will
+                        // bring; park the read until it arrives.
+                        let dr = DeferredRead {
+                            client: from,
+                            op,
+                            oid,
+                            offset,
+                            len,
+                        };
+                        self.rt(group).waiting_reads.push(dr);
+                        return;
+                    }
                     let token = self.token();
-                    self.deferred_reads.insert(token, DeferredRead { client: from, op, oid, offset, len });
+                    self.deferred_reads.insert(
+                        token,
+                        DeferredRead {
+                            client: from,
+                            op,
+                            oid,
+                            offset,
+                            len,
+                        },
+                    );
                     fx.push(OsdEffect::WakeRead { token });
                 }
                 ReadPath::FlushThenStore => {
-                    let dr = DeferredRead { client: from, op, oid, offset, len };
+                    let dr = DeferredRead {
+                        client: from,
+                        op,
+                        oid,
+                        offset,
+                        len,
+                    };
                     self.rt(group).waiting_reads.push(dr);
                     if !self.rt(group).flushing {
                         fx.push(OsdEffect::WakeFlush { group });
@@ -724,28 +1035,66 @@ impl Osd {
         if self.cfg.mode.prioritized() {
             // PTC: store reads happen on non-priority threads too.
             let token = self.token();
-            self.deferred_reads.insert(token, DeferredRead { client: from, op, oid, offset, len });
+            self.deferred_reads.insert(
+                token,
+                DeferredRead {
+                    client: from,
+                    op,
+                    oid,
+                    offset,
+                    len,
+                },
+            );
             fx.push(OsdEffect::WakeRead { token });
             return;
         }
         // Stock thread-pool / RTC modes: read the backend inline.
-        self.read_store_now(DeferredRead { client: from, op, oid, offset, len }, fx);
+        self.read_store_now(
+            DeferredRead {
+                client: from,
+                op,
+                oid,
+                offset,
+                len,
+            },
+            fx,
+        );
     }
 
     fn read_store_now(&mut self, dr: DeferredRead, fx: &mut Vec<OsdEffect>) {
         match self.backend.read(dr.oid, dr.offset, dr.len) {
             Ok(data) => {
                 let trace = self.backend.take_trace();
-                if trace.iter().any(|t| matches!(t.kind, rablock_storage::TraceKind::Read)) {
+                if trace
+                    .iter()
+                    .any(|t| matches!(t.kind, rablock_storage::TraceKind::Read))
+                {
                     let token = self.token();
-                    self.pending_store.insert(token, StoreCtx::Read { client: dr.client, op: dr.op, data });
-                    fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                    self.pending_store.insert(
+                        token,
+                        StoreCtx::Read {
+                            client: dr.client,
+                            op: dr.op,
+                            data,
+                        },
+                    );
+                    fx.push(OsdEffect::StoreIo {
+                        token,
+                        trace,
+                        wait: true,
+                    });
                 } else {
-                    fx.push(OsdEffect::Reply { to: dr.client, msg: ClientReply::Data { op: dr.op, data } });
+                    fx.push(OsdEffect::Reply {
+                        to: dr.client,
+                        msg: ClientReply::Data { op: dr.op, data },
+                    });
                 }
             }
             Err(error) => {
-                fx.push(OsdEffect::Reply { to: dr.client, msg: ClientReply::Error { op: dr.op, error } });
+                fx.push(OsdEffect::Reply {
+                    to: dr.client,
+                    msg: ClientReply::Error { op: dr.op, error },
+                });
             }
         }
     }
@@ -753,14 +1102,40 @@ impl Osd {
     fn on_peer(&mut self, from: OsdId, msg: PeerMsg, fx: &mut Vec<OsdEffect>) {
         match msg {
             PeerMsg::Repop { group, seq, txn } => {
-                if self.cfg.mode.null_transaction() || self.cfg.mode.null_store() {
-                    fx.push(OsdEffect::SendPeer { to: from, msg: PeerMsg::RepAck { group, seq, from: self.id } });
+                if self.replica_already_applied(group, seq) {
+                    // Primary retransmit after a lost ack: re-ack only.
+                    fx.push(OsdEffect::SendPeer {
+                        to: from,
+                        msg: PeerMsg::RepAck {
+                            group,
+                            seq,
+                            from: self.id,
+                        },
+                    });
                     return;
                 }
-                let ctx = StoreCtx::ReplicaPersist { primary: from, group, seq };
+                self.note_replica_applied(group, seq);
+                if self.cfg.mode.null_transaction() || self.cfg.mode.null_store() {
+                    fx.push(OsdEffect::SendPeer {
+                        to: from,
+                        msg: PeerMsg::RepAck {
+                            group,
+                            seq,
+                            from: self.id,
+                        },
+                    });
+                    return;
+                }
+                self.note_txn(&txn);
+                let ctx = StoreCtx::ReplicaPersist {
+                    primary: from,
+                    group,
+                    seq,
+                };
                 if self.cfg.mode.prioritized() {
                     let token = self.token();
-                    self.deferred_submits.insert(token, DeferredSubmit { txn, ctx });
+                    self.deferred_submits
+                        .insert(token, DeferredSubmit { txn, ctx });
                     fx.push(OsdEffect::WakeSubmit { token });
                     return;
                 }
@@ -769,25 +1144,52 @@ impl Osd {
                         let token = self.token();
                         let trace = self.backend.take_trace();
                         self.pending_store.insert(token, ctx);
-                        fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                        fx.push(OsdEffect::StoreIo {
+                            token,
+                            trace,
+                            wait: true,
+                        });
                         self.kick_maintenance(fx);
                     }
                     Err(e) => panic!("{}: replica apply failed: {e}", self.id),
                 }
             }
             PeerMsg::RepopNvm { group, seq, txn } => {
+                if self.replica_already_applied(group, seq) {
+                    fx.push(OsdEffect::SendPeer {
+                        to: from,
+                        msg: PeerMsg::RepAck {
+                            group,
+                            seq,
+                            from: self.id,
+                        },
+                    });
+                    return;
+                }
+                self.note_replica_applied(group, seq);
+                self.note_txn(&txn);
                 let (bytes, stall) = self.log_append_with_fallback(group, txn, fx);
                 fx.push(OsdEffect::NvmWritten { bytes });
                 match stall {
                     None => fx.push(OsdEffect::SendPeer {
                         to: from,
-                        msg: PeerMsg::RepAck { group, seq, from: self.id },
+                        msg: PeerMsg::RepAck {
+                            group,
+                            seq,
+                            from: self.id,
+                        },
                     }),
                     Some(token) => {
                         // Backpressure on the replica too: ack only after
                         // the forced flush lands.
-                        self.pending_store
-                            .insert(token, StoreCtx::ReplicaPersist { primary: from, group, seq });
+                        self.pending_store.insert(
+                            token,
+                            StoreCtx::ReplicaPersist {
+                                primary: from,
+                                group,
+                                seq,
+                            },
+                        );
                     }
                 }
                 let needs_flush = {
@@ -798,33 +1200,143 @@ impl Osd {
                     fx.push(OsdEffect::WakeFlush { group });
                 }
             }
-            PeerMsg::RepAck { seq, from: replica, .. } => {
+            PeerMsg::RepAck {
+                seq, from: replica, ..
+            } => {
                 if let Some(wop) = self.inflight.get_mut(&seq) {
                     wop.waiting_acks.retain(|&o| o != replica);
                 }
                 self.try_complete_write(seq, fx);
             }
-            PeerMsg::PullLog { group, from: requester } => {
+            PeerMsg::PullLog {
+                group,
+                from: requester,
+            } => {
+                // Backfill first: full object contents from the backend, so
+                // the joiner catches up on everything flushed before the
+                // failure. The joiner applies these before importing the
+                // (newer) pending records below.
+                let mut extents: Vec<(ObjectId, u64)> = self
+                    .group_extents
+                    .get(&group)
+                    .map(|m| m.iter().map(|(o, l)| (*o, *l)).collect())
+                    .unwrap_or_default();
+                extents.sort_by_key(|(o, _)| o.raw());
+                let mut objects = Vec::new();
+                for (oid, len) in extents {
+                    if let Ok(data) = self.backend.read(oid, 0, len) {
+                        objects.push((oid, data));
+                    }
+                }
+                let trace = self.backend.take_trace();
+                if !trace.is_empty() {
+                    let token = self.token();
+                    self.pending_store.insert(token, StoreCtx::Background);
+                    fx.push(OsdEffect::StoreIo {
+                        token,
+                        trace,
+                        wait: false,
+                    });
+                }
+                fx.push(OsdEffect::SendPeer {
+                    to: requester,
+                    msg: PeerMsg::Backfill { group, objects },
+                });
                 let records: Vec<Vec<u8>> = self
                     .logs
                     .get(&group)
                     .map(|l| l.export_records().iter().map(LogRecord::encode).collect())
                     .unwrap_or_default();
-                fx.push(OsdEffect::SendPeer { to: requester, msg: PeerMsg::LogRecords { group, records } });
+                fx.push(OsdEffect::SendPeer {
+                    to: requester,
+                    msg: PeerMsg::LogRecords { group, records },
+                });
             }
             PeerMsg::LogRecords { group, records } => {
+                if !self.awaiting_log.remove(&group) {
+                    // Duplicate or unsolicited response: the first import
+                    // won; re-importing could resurrect stale data.
+                    return;
+                }
                 let decoded: Vec<LogRecord> = records
                     .iter()
                     .map(|raw| LogRecord::decode(raw).expect("peer sends valid records").0)
                     .collect();
+                for r in &decoded {
+                    self.note_txn(&r.txn);
+                }
                 let total: u64 = records.iter().map(|r| r.len() as u64).sum();
                 self.log_for(group);
                 let mut log = self.logs.remove(&group).expect("ensured");
                 if log.pending() == 0 {
-                    log.import_records(&mut self.nvm, decoded).expect("import into empty log");
+                    log.import_records(&mut self.nvm, decoded)
+                        .expect("import into empty log");
+                    fx.push(OsdEffect::NvmWritten { bytes: total });
+                } else {
+                    // Writes already landed here before the pulled records
+                    // arrived, so the log holds newer data. Apply the pulled
+                    // (older) records straight to the backend: reads prefer
+                    // the log, and the eventual flush overwrites with the
+                    // newer bytes.
+                    for r in decoded {
+                        self.backend.submit(r.txn).expect("pulled-record apply");
+                    }
+                    let trace = self.backend.take_trace();
+                    if !trace.is_empty() {
+                        let token = self.token();
+                        self.pending_store.insert(token, StoreCtx::Background);
+                        fx.push(OsdEffect::StoreIo {
+                            token,
+                            trace,
+                            wait: false,
+                        });
+                    }
                 }
                 self.logs.insert(group, log);
-                fx.push(OsdEffect::NvmWritten { bytes: total });
+            }
+            PeerMsg::Backfill { group, objects } => {
+                if !self.awaiting_backfill.remove(&group) {
+                    return; // duplicate or unsolicited
+                }
+                for (oid, data) in objects {
+                    self.seq += 1;
+                    let size = data.len() as u64;
+                    let txn = Transaction::new(
+                        group,
+                        self.seq,
+                        vec![
+                            Op::Create { oid, size },
+                            Op::Write {
+                                oid,
+                                offset: 0,
+                                data,
+                            },
+                        ],
+                    );
+                    self.note_txn(&txn);
+                    self.backend.submit(txn).expect("backfill apply");
+                }
+                let trace = self.backend.take_trace();
+                if !trace.is_empty() {
+                    let token = self.token();
+                    self.pending_store.insert(token, StoreCtx::Background);
+                    fx.push(OsdEffect::StoreIo {
+                        token,
+                        trace,
+                        wait: false,
+                    });
+                }
+                self.kick_maintenance(fx);
+                // Flushes and cold reads were held back while waiting; let
+                // them go now.
+                let needs_flush = self
+                    .logs
+                    .get(&group)
+                    .is_some_and(|l| l.pending() >= l.flush_threshold);
+                let has_readers = !self.rt(group).waiting_reads.is_empty();
+                if (needs_flush || has_readers) && !self.rt(group).flushing {
+                    fx.push(OsdEffect::WakeFlush { group });
+                }
             }
         }
     }
@@ -836,7 +1348,16 @@ impl Osd {
             .is_some_and(|w| w.local_done && w.waiting_acks.is_empty());
         if done {
             let w = self.inflight.remove(&seq).expect("checked above");
-            fx.push(OsdEffect::Reply { to: w.client, msg: ClientReply::Done { op: w.op } });
+            self.inflight_ops.remove(&(w.client, w.op));
+            let win = self.completed.entry(w.client).or_default();
+            win.push_back(w.op.0);
+            while win.len() > self.cfg.dedup_window {
+                win.pop_front();
+            }
+            fx.push(OsdEffect::Reply {
+                to: w.client,
+                msg: ClientReply::Done { op: w.op },
+            });
         }
     }
 
@@ -851,17 +1372,36 @@ impl Osd {
                 }
                 self.try_complete_write(seq, fx);
             }
-            StoreCtx::ReplicaPersist { primary, group, seq } => {
-                fx.push(OsdEffect::SendPeer { to: primary, msg: PeerMsg::RepAck { group, seq, from: self.id } });
+            StoreCtx::ReplicaPersist {
+                primary,
+                group,
+                seq,
+            } => {
+                fx.push(OsdEffect::SendPeer {
+                    to: primary,
+                    msg: PeerMsg::RepAck {
+                        group,
+                        seq,
+                        from: self.id,
+                    },
+                });
             }
             StoreCtx::Read { client, op, data } => {
-                fx.push(OsdEffect::Reply { to: client, msg: ClientReply::Data { op, data } });
+                fx.push(OsdEffect::Reply {
+                    to: client,
+                    msg: ClientReply::Data { op, data },
+                });
             }
-            StoreCtx::Flush { group, records, keep } => {
+            StoreCtx::Flush {
+                group,
+                records,
+                keep,
+            } => {
                 if !keep {
                     self.log_for(group);
                     let mut log = self.logs.remove(&group).expect("ensured");
-                    log.drain_for_flush(&mut self.nvm, records).expect("drain flushed records");
+                    log.drain_for_flush(&mut self.nvm, records)
+                        .expect("drain flushed records");
                     self.logs.insert(group, log);
                 }
                 self.rt(group).flushing = false;
@@ -885,6 +1425,11 @@ impl Osd {
 
     fn on_flush_group(&mut self, group: GroupId, fx: &mut Vec<OsdEffect>) {
         if self.rt(group).flushing {
+            return;
+        }
+        if self.awaiting_backfill.contains(&group) {
+            // Flushing now could later be clobbered by the in-flight
+            // backfill; hold off — the backfill's arrival re-arms the flush.
             return;
         }
         let Some(log) = self.logs.get(&group) else {
@@ -911,9 +1456,20 @@ impl Osd {
         }
         let token = self.token();
         let trace = self.backend.take_trace();
-        self.pending_store.insert(token, StoreCtx::Flush { group, records, keep: false });
+        self.pending_store.insert(
+            token,
+            StoreCtx::Flush {
+                group,
+                records,
+                keep: false,
+            },
+        );
         self.rt(group).flushing = true;
-        fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+        fx.push(OsdEffect::StoreIo {
+            token,
+            trace,
+            wait: true,
+        });
         self.kick_maintenance(fx);
     }
 
@@ -925,7 +1481,11 @@ impl Osd {
         let io_token = self.token();
         let trace = self.backend.take_trace();
         self.pending_store.insert(io_token, ctx);
-        fx.push(OsdEffect::StoreIo { token: io_token, trace, wait: true });
+        fx.push(OsdEffect::StoreIo {
+            token: io_token,
+            trace,
+            wait: true,
+        });
         self.kick_maintenance(fx);
     }
 
@@ -951,13 +1511,79 @@ impl Osd {
         let token = self.token();
         let trace = self.backend.take_trace();
         self.pending_store.insert(token, StoreCtx::Background);
-        fx.push(OsdEffect::StoreIo { token, trace, wait: false });
+        fx.push(OsdEffect::StoreIo {
+            token,
+            trace,
+            wait: false,
+        });
         let more = self.backend.needs_maintenance();
-        fx.push(OsdEffect::Maintained { bytes: report.bytes_read + report.bytes_written, more });
+        fx.push(OsdEffect::Maintained {
+            bytes: report.bytes_read + report.bytes_written,
+            more,
+        });
         if more {
             self.maint_scheduled = true;
             fx.push(OsdEffect::WakeMaintenance);
         }
+    }
+
+    /// Simulated crash-restart. All volatile state is dropped; the NVM
+    /// region survives (counters reset, contents kept) and each group's
+    /// operation log is recovered by the checksum-validating scan, cutting
+    /// off a torn tail if `torn_tail` corrupted one (safe: a record torn
+    /// mid-append was never acknowledged). Recovered pending records are
+    /// drained into the backend immediately — they predate the crash, and
+    /// leaving them in the log would let stale entries answer reads after
+    /// the node rejoins and newer data exists elsewhere. The backend itself
+    /// models durable storage and survives untouched, as does the extent
+    /// map (reconstructable from the backend in a real system). `seq` is
+    /// also kept: a real OSD recovers it from its log and pg metadata.
+    ///
+    /// Returns the NVM bytes discarded by torn-tail truncation.
+    pub fn restart_after_crash(&mut self, torn_tail: bool) -> u64 {
+        self.inflight.clear();
+        self.inflight_ops.clear();
+        self.completed.clear();
+        self.replica_applied.clear();
+        self.awaiting_log.clear();
+        self.awaiting_backfill.clear();
+        self.pending_store.clear();
+        self.deferred_reads.clear();
+        self.deferred_submits.clear();
+        self.group_rt.clear();
+        self.maint_scheduled = false;
+        self.nvm.reboot();
+        let mut groups: Vec<GroupId> = self.logs.keys().copied().collect();
+        groups.sort();
+        let mut discarded_total = 0;
+        for group in groups {
+            let old = self.logs.remove(&group).expect("listed above");
+            let (base, len) = (old.nvm_base(), old.nvm_region_len());
+            if torn_tail {
+                let _ = old.tear_tail(&mut self.nvm);
+            }
+            let (mut log, discarded) = GroupLog::recover_truncating(
+                &mut self.nvm,
+                group,
+                base,
+                len,
+                self.cfg.flush_threshold,
+            )
+            .expect("log recovers after reboot");
+            discarded_total += discarded;
+            if log.pending() > 0 {
+                let txns = log
+                    .drain_for_flush(&mut self.nvm, usize::MAX)
+                    .expect("restart drain");
+                for txn in txns {
+                    self.note_txn(&txn);
+                    self.backend.submit(txn).expect("restart drain submit");
+                }
+                let _ = self.backend.take_trace();
+            }
+            self.logs.insert(group, log);
+        }
+        discarded_total
     }
 
     /// §IV-A-4 failure handling: on a map change, surviving members flush
@@ -996,8 +1622,19 @@ impl Osd {
                 let records = self.logs[&group].pending();
                 let token = self.token();
                 let trace = self.backend.take_trace();
-                self.pending_store.insert(token, StoreCtx::Flush { group, records, keep: true });
-                fx.push(OsdEffect::StoreIo { token, trace, wait: true });
+                self.pending_store.insert(
+                    token,
+                    StoreCtx::Flush {
+                        group,
+                        records,
+                        keep: true,
+                    },
+                );
+                fx.push(OsdEffect::StoreIo {
+                    token,
+                    trace,
+                    wait: true,
+                });
             }
         }
         // Newly responsible groups: pull logs from the surviving primary.
@@ -1014,7 +1651,15 @@ impl Osd {
             }
             let peer = new_set.into_iter().find(|&o| o != self.id);
             if let Some(peer) = peer {
-                fx.push(OsdEffect::SendPeer { to: peer, msg: PeerMsg::PullLog { group, from: self.id } });
+                self.awaiting_log.insert(group);
+                self.awaiting_backfill.insert(group);
+                fx.push(OsdEffect::SendPeer {
+                    to: peer,
+                    msg: PeerMsg::PullLog {
+                        group,
+                        from: self.id,
+                    },
+                });
             }
         }
     }
@@ -1065,13 +1710,20 @@ mod tests {
     }
 
     fn write_req(op: u64, oid: ObjectId) -> ClientReq {
-        ClientReq::Write { op: OpId(op), oid, offset: 0, data: vec![7; 4096] }
+        ClientReq::Write {
+            op: OpId(op),
+            oid,
+            offset: 0,
+            data: vec![7; 4096],
+        }
     }
 
     fn tokens_of(fx: &[OsdEffect]) -> Vec<u64> {
         fx.iter()
             .filter_map(|e| match e {
-                OsdEffect::StoreIo { token, wait: true, .. } => Some(*token),
+                OsdEffect::StoreIo {
+                    token, wait: true, ..
+                } => Some(*token),
                 _ => None,
             })
             .collect()
@@ -1081,9 +1733,18 @@ mod tests {
     fn coupled_write_completes_after_local_persist_and_ack() {
         let mut o = osd(PipelineMode::Original, 0);
         let g = a_group_with_primary(&o);
-        let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid_in(g, 1)) });
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid_in(g, 1)),
+        });
         // Repop sent, local store submitted, no reply yet.
-        assert!(fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::Repop { .. }, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::SendPeer {
+                msg: PeerMsg::Repop { .. },
+                ..
+            }
+        )));
         assert!(!fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
         let toks = tokens_of(&fx);
         assert_eq!(toks.len(), 1);
@@ -1092,23 +1753,63 @@ mod tests {
         assert!(!fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
         // Replica ack: now the client gets its reply.
         let replica = o.map().acting_set(g)[1];
-        let fx = o.handle(OsdInput::Peer { from: replica, msg: PeerMsg::RepAck { group: g, seq: 1, from: replica } });
-        assert!(fx.iter().any(|e| matches!(e, OsdEffect::Reply { msg: ClientReply::Done { .. }, .. })));
+        let fx = o.handle(OsdInput::Peer {
+            from: replica,
+            msg: PeerMsg::RepAck {
+                group: g,
+                seq: 1,
+                from: replica,
+            },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::Reply {
+                msg: ClientReply::Done { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
     fn replica_acks_only_after_durable() {
         let mut o = osd(PipelineMode::Original, 1);
-        let g = (0..8).map(GroupId).find(|&g| o.map().primary(g) != o.id).unwrap();
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
         let oid = oid_in(g, 1);
-        let txn = Transaction::new(g, 5, vec![Op::Write { oid, offset: 0, data: vec![1; 4096] }]);
-        let fx = o.handle(OsdInput::Peer { from: OsdId(0), msg: PeerMsg::Repop { group: g, seq: 5, txn } });
-        assert!(!fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::RepAck { .. }, .. })));
+        let txn = Transaction::new(
+            g,
+            5,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![1; 4096],
+            }],
+        );
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::Repop {
+                group: g,
+                seq: 5,
+                txn,
+            },
+        });
+        assert!(!fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::SendPeer {
+                msg: PeerMsg::RepAck { .. },
+                ..
+            }
+        )));
         let toks = tokens_of(&fx);
         let fx = o.handle(OsdInput::StoreDurable { token: toks[0] });
         assert!(fx.iter().any(|e| matches!(
             e,
-            OsdEffect::SendPeer { msg: PeerMsg::RepAck { seq: 5, .. }, .. }
+            OsdEffect::SendPeer {
+                msg: PeerMsg::RepAck { seq: 5, .. },
+                ..
+            }
         )));
     }
 
@@ -1116,25 +1817,71 @@ mod tests {
     fn decoupled_write_acks_without_store() {
         let mut o = osd(PipelineMode::Dop, 0);
         let g = a_group_with_primary(&o);
-        let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid_in(g, 1)) });
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid_in(g, 1)),
+        });
         // NVM logged + RepopNvm sent; no store I/O on the write path.
         assert!(fx.iter().any(|e| matches!(e, OsdEffect::NvmWritten { .. })));
-        assert!(fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::RepopNvm { .. }, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::SendPeer {
+                msg: PeerMsg::RepopNvm { .. },
+                ..
+            }
+        )));
         assert!(tokens_of(&fx).is_empty());
         // One replica ack completes the op.
         let replica = o.map().acting_set(g)[1];
-        let fx = o.handle(OsdInput::Peer { from: replica, msg: PeerMsg::RepAck { group: g, seq: 1, from: replica } });
-        assert!(fx.iter().any(|e| matches!(e, OsdEffect::Reply { msg: ClientReply::Done { .. }, .. })));
+        let fx = o.handle(OsdInput::Peer {
+            from: replica,
+            msg: PeerMsg::RepAck {
+                group: g,
+                seq: 1,
+                from: replica,
+            },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::Reply {
+                msg: ClientReply::Done { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
     fn decoupled_replica_acks_immediately_from_nvm() {
         let mut o = osd(PipelineMode::Dop, 1);
-        let g = (0..8).map(GroupId).find(|&g| o.map().primary(g) != o.id).unwrap();
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
         let oid = oid_in(g, 1);
-        let txn = Transaction::new(g, 5, vec![Op::Write { oid, offset: 0, data: vec![1; 4096] }]);
-        let fx = o.handle(OsdInput::Peer { from: OsdId(0), msg: PeerMsg::RepopNvm { group: g, seq: 5, txn } });
-        assert!(fx.iter().any(|e| matches!(e, OsdEffect::SendPeer { msg: PeerMsg::RepAck { .. }, .. })));
+        let txn = Transaction::new(
+            g,
+            5,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![1; 4096],
+            }],
+        );
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::RepopNvm {
+                group: g,
+                seq: 5,
+                txn,
+            },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::SendPeer {
+                msg: PeerMsg::RepAck { .. },
+                ..
+            }
+        )));
         assert_eq!(o.log_pending(g), 1);
     }
 
@@ -1144,7 +1891,10 @@ mod tests {
         let g = a_group_with_primary(&o);
         let mut wake = None;
         for i in 0..4 {
-            let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i)) });
+            let fx = o.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i)),
+            });
             for e in fx {
                 if let OsdEffect::WakeFlush { group } = e {
                     wake = Some(group);
@@ -1166,16 +1916,31 @@ mod tests {
         let mut o = osd(PipelineMode::Dop, 0);
         let g = a_group_with_primary(&o);
         let oid = oid_in(g, 1);
-        o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid) });
+        o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid),
+        });
         let fx = o.handle(OsdInput::Client {
             from: ClientId(1),
-            req: ClientReq::Read { op: OpId(2), oid, offset: 100, len: 200 },
+            req: ClientReq::Read {
+                op: OpId(2),
+                oid,
+                offset: 100,
+                len: 200,
+            },
         });
         let reply = fx.iter().find_map(|e| match e {
-            OsdEffect::Reply { msg: ClientReply::Data { data, .. }, .. } => Some(data.clone()),
+            OsdEffect::Reply {
+                msg: ClientReply::Data { data, .. },
+                ..
+            } => Some(data.clone()),
             _ => None,
         });
-        assert_eq!(reply, Some(vec![7u8; 200]), "read served from the operation log");
+        assert_eq!(
+            reply,
+            Some(vec![7u8; 200]),
+            "read served from the operation log"
+        );
     }
 
     #[test]
@@ -1184,14 +1949,22 @@ mod tests {
         let g = a_group_with_primary(&o);
         let oid = oid_in(g, 9);
         // Write then flush so the log is empty, store has the data.
-        o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid) });
+        o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid),
+        });
         let fx = o.handle(OsdInput::FlushGroup { group: g });
         for t in tokens_of(&fx) {
             o.handle(OsdInput::StoreDurable { token: t });
         }
         let fx = o.handle(OsdInput::Client {
             from: ClientId(1),
-            req: ClientReq::Read { op: OpId(2), oid, offset: 0, len: 4096 },
+            req: ClientReq::Read {
+                op: OpId(2),
+                oid,
+                offset: 0,
+                len: 4096,
+            },
         });
         let token = fx.iter().find_map(|e| match e {
             OsdEffect::WakeRead { token } => Some(*token),
@@ -1200,9 +1973,16 @@ mod tests {
         let token = token.expect("cold read goes via non-priority thread");
         let fx = o.handle(OsdInput::ReadFromStore { token });
         let toks = tokens_of(&fx);
-        let fx = if toks.is_empty() { fx } else { o.handle(OsdInput::StoreDurable { token: toks[0] }) };
+        let fx = if toks.is_empty() {
+            fx
+        } else {
+            o.handle(OsdInput::StoreDurable { token: toks[0] })
+        };
         let reply = fx.iter().find_map(|e| match e {
-            OsdEffect::Reply { msg: ClientReply::Data { data, .. }, .. } => Some(data.clone()),
+            OsdEffect::Reply {
+                msg: ClientReply::Data { data, .. },
+                ..
+            } => Some(data.clone()),
             _ => None,
         });
         assert_eq!(reply, Some(vec![7u8; 4096]));
@@ -1212,10 +1992,20 @@ mod tests {
     fn rtc_v3_skips_storage_entirely() {
         let mut o = osd(PipelineMode::RtcV3, 0);
         let g = a_group_with_primary(&o);
-        let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(1, oid_in(g, 1)) });
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid_in(g, 1)),
+        });
         assert!(tokens_of(&fx).is_empty(), "no store I/O in RTC-v3");
         let replica = o.map().acting_set(g)[1];
-        let fx = o.handle(OsdInput::Peer { from: replica, msg: PeerMsg::RepAck { group: g, seq: 1, from: replica } });
+        let fx = o.handle(OsdInput::Peer {
+            from: replica,
+            msg: PeerMsg::RepAck {
+                group: g,
+                seq: 1,
+                from: replica,
+            },
+        });
         assert!(fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
     }
 
@@ -1226,7 +2016,10 @@ mod tests {
         // Pump enough writes to trigger LSM maintenance.
         let mut woke = false;
         for i in 0..200 {
-            let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i % 4)) });
+            let fx = o.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i % 4)),
+            });
             woke |= fx.iter().any(|e| matches!(e, OsdEffect::WakeMaintenance));
             for t in tokens_of(&fx) {
                 o.handle(OsdInput::StoreDurable { token: t });
@@ -1237,7 +2030,9 @@ mod tests {
         loop {
             let fx = o.handle(OsdInput::MaintStep);
             steps += 1;
-            let more = fx.iter().any(|e| matches!(e, OsdEffect::Maintained { more: true, .. }));
+            let more = fx
+                .iter()
+                .any(|e| matches!(e, OsdEffect::Maintained { more: true, .. }));
             if !more || steps > 100 {
                 break;
             }
@@ -1256,7 +2051,10 @@ mod tests {
         }
         let mut i = 0;
         while o.nvm_full_stalls == 0 && i < 200 {
-            let fx = o.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i)) });
+            let fx = o.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i)),
+            });
             // Raise the threshold on the lazily created log too.
             if let Some(log) = o.logs.get_mut(&g) {
                 log.flush_threshold = usize::MAX;
@@ -1266,8 +2064,186 @@ mod tests {
             }
             i += 1;
         }
-        assert!(o.nvm_full_stalls > 0, "ring filled and forced a stall flush");
+        assert!(
+            o.nvm_full_stalls > 0,
+            "ring filled and forced a stall flush"
+        );
         assert!(o.log_pending(g) <= 1, "stall drained the log");
+    }
+
+    #[test]
+    fn retried_write_applies_exactly_once() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        let oid = oid_in(g, 1);
+        let repops = |fx: &[OsdEffect]| {
+            fx.iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        OsdEffect::SendPeer {
+                            msg: PeerMsg::RepopNvm { .. },
+                            ..
+                        }
+                    )
+                })
+                .count()
+        };
+        // First attempt: logged once, replicated once.
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid),
+        });
+        assert_eq!(repops(&fx), 1);
+        assert_eq!(o.log_pending(g), 1);
+        // Retry while the replica ack is outstanding (the original repop may
+        // have been dropped): retransmit only, no second application.
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid),
+        });
+        assert_eq!(
+            repops(&fx),
+            1,
+            "replication retransmitted to the laggard replica"
+        );
+        assert!(!fx.iter().any(|e| matches!(e, OsdEffect::NvmWritten { .. })));
+        assert!(!fx.iter().any(|e| matches!(e, OsdEffect::Reply { .. })));
+        assert_eq!(o.log_pending(g), 1, "no second log entry");
+        // The ack completes the original op.
+        let replica = o.map().acting_set(g)[1];
+        let fx = o.handle(OsdInput::Peer {
+            from: replica,
+            msg: PeerMsg::RepAck {
+                group: g,
+                seq: 1,
+                from: replica,
+            },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::Reply {
+                msg: ClientReply::Done { .. },
+                ..
+            }
+        )));
+        // A late retry after completion: re-acked from the dedup window.
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid),
+        });
+        assert_eq!(repops(&fx), 0);
+        assert_eq!(o.log_pending(g), 1, "still exactly one application");
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::Reply {
+                msg: ClientReply::Done { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn duplicate_replication_reacks_without_reapplying() {
+        let mut o = osd(PipelineMode::Dop, 1);
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
+        let oid = oid_in(g, 1);
+        let txn = Transaction::new(
+            g,
+            5,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![1; 4096],
+            }],
+        );
+        o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::RepopNvm {
+                group: g,
+                seq: 5,
+                txn: txn.clone(),
+            },
+        });
+        assert_eq!(o.log_pending(g), 1);
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::RepopNvm {
+                group: g,
+                seq: 5,
+                txn,
+            },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::SendPeer {
+                msg: PeerMsg::RepAck { seq: 5, .. },
+                ..
+            }
+        )));
+        assert_eq!(o.log_pending(g), 1, "duplicate not re-logged");
+    }
+
+    #[test]
+    fn restart_truncates_torn_tail_and_drains_log() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        for i in 0..3 {
+            o.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i)),
+            });
+        }
+        assert_eq!(o.log_pending(g), 3);
+        let discarded = o.restart_after_crash(true);
+        assert!(discarded > 0, "torn tail was cut off by the checksum scan");
+        assert_eq!(
+            o.log_pending(g),
+            0,
+            "recovered records drained into the backend"
+        );
+        // A surviving record's data is readable from the backend.
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(2),
+            req: ClientReq::Read {
+                op: OpId(9),
+                oid: oid_in(g, 0),
+                offset: 0,
+                len: 4096,
+            },
+        });
+        let token = fx
+            .iter()
+            .find_map(|e| match e {
+                OsdEffect::WakeRead { token } => Some(*token),
+                _ => None,
+            })
+            .expect("cold read defers to the store");
+        let fx = o.handle(OsdInput::ReadFromStore { token });
+        let toks = tokens_of(&fx);
+        let fx = if toks.is_empty() {
+            fx
+        } else {
+            o.handle(OsdInput::StoreDurable { token: toks[0] })
+        };
+        let reply = fx.iter().find_map(|e| match e {
+            OsdEffect::Reply {
+                msg: ClientReply::Data { data, .. },
+                ..
+            } => Some(data.clone()),
+            _ => None,
+        });
+        assert_eq!(reply, Some(vec![7u8; 4096]));
+    }
+
+    #[test]
+    fn heartbeat_tick_emits_beacon() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let fx = o.handle(OsdInput::HeartbeatTick);
+        assert!(fx.iter().any(|e| matches!(e, OsdEffect::Heartbeat)));
     }
 
     #[test]
@@ -1282,6 +2258,7 @@ mod tests {
             flush_threshold: 16,
             lsm: LsmOptions::tiny(),
             cos: CosOptions::tiny(),
+            ..OsdConfig::default()
         };
         // Find a group and its acting set.
         let g = GroupId(0);
@@ -1291,7 +2268,10 @@ mod tests {
         let mut prim = Osd::new(primary, cfg.clone(), map3.clone());
         // Log a few writes at the primary.
         for i in 0..3 {
-            prim.handle(OsdInput::Client { from: ClientId(1), req: write_req(i, oid_in(g, i)) });
+            prim.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i)),
+            });
         }
         assert_eq!(prim.log_pending(g), 3);
         // Secondary dies; map moves the group to include the spare.
@@ -1302,36 +2282,65 @@ mod tests {
         let fx = prim.handle(OsdInput::MapUpdate(new_map.clone()));
         // Survivor flushed-but-kept its log.
         assert_eq!(prim.log_pending(g), 3, "entries kept for peer sync");
-        assert!(fx.iter().any(|e| matches!(e, OsdEffect::StoreIo { wait: true, .. })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, OsdEffect::StoreIo { wait: true, .. })));
         // Spare joins: pulls the log.
         let mut joiner = Osd::new(spare, cfg, map3.clone());
         let fx = joiner.handle(OsdInput::MapUpdate(new_map));
         let pull = fx.iter().find_map(|e| match e {
-            OsdEffect::SendPeer { to, msg: PeerMsg::PullLog { group, .. } } => Some((*to, *group)),
+            OsdEffect::SendPeer {
+                to,
+                msg: PeerMsg::PullLog { group, .. },
+            } => Some((*to, *group)),
             _ => None,
         });
         let (peer, group) = pull.expect("joiner pulls the log");
         assert_eq!(group, g);
         // Route the pull to the survivor and the records back.
-        let fx = prim.handle(OsdInput::Peer { from: peer, msg: PeerMsg::PullLog { group: g, from: spare } });
+        let fx = prim.handle(OsdInput::Peer {
+            from: peer,
+            msg: PeerMsg::PullLog {
+                group: g,
+                from: spare,
+            },
+        });
         let records = fx
             .into_iter()
             .find_map(|e| match e {
-                OsdEffect::SendPeer { msg: PeerMsg::LogRecords { records, .. }, .. } => Some(records),
+                OsdEffect::SendPeer {
+                    msg: PeerMsg::LogRecords { records, .. },
+                    ..
+                } => Some(records),
                 _ => None,
             })
             .expect("survivor exports records");
         assert_eq!(records.len(), 3);
-        joiner.handle(OsdInput::Peer { from: primary, msg: PeerMsg::LogRecords { group: g, records } });
-        assert_eq!(joiner.log_pending(g), 3, "log replicated to the replacement");
+        joiner.handle(OsdInput::Peer {
+            from: primary,
+            msg: PeerMsg::LogRecords { group: g, records },
+        });
+        assert_eq!(
+            joiner.log_pending(g),
+            3,
+            "log replicated to the replacement"
+        );
         // The joiner can now serve a strongly consistent read from its log.
         let fx = joiner.handle(OsdInput::Client {
             from: ClientId(9),
-            req: ClientReq::Read { op: OpId(99), oid: oid_in(g, 2), offset: 0, len: 4096 },
+            req: ClientReq::Read {
+                op: OpId(99),
+                oid: oid_in(g, 2),
+                offset: 0,
+                len: 4096,
+            },
         });
         assert!(fx.iter().any(|e| matches!(
             e,
-            OsdEffect::Reply { msg: ClientReply::Data { .. }, .. }
+            OsdEffect::Reply {
+                msg: ClientReply::Data { .. },
+                ..
+            }
         )));
     }
 }

@@ -60,10 +60,19 @@ impl OsdMap {
         let mut osds = Vec::new();
         for n in 0..nodes {
             for i in 0..osds_per_node {
-                osds.push(OsdInfo { id: OsdId(n * osds_per_node + i), node: NodeId(n), up: true });
+                osds.push(OsdInfo {
+                    id: OsdId(n * osds_per_node + i),
+                    node: NodeId(n),
+                    up: true,
+                });
             }
         }
-        OsdMap { epoch: 1, osds, pg_count, replication }
+        OsdMap {
+            epoch: 1,
+            osds,
+            pg_count,
+            replication,
+        }
     }
 
     /// Info for one OSD.
@@ -88,7 +97,7 @@ impl OsdMap {
             .up_osds()
             .map(|o| (mix((group.0 as u64) << 32 | o.id.0 as u64), o.id, o.node))
             .collect();
-        ranked.sort_by(|a, b| b.0.cmp(&a.0));
+        ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
         let mut set = Vec::with_capacity(self.replication);
         let mut used_nodes = Vec::new();
         for (_, id, node) in ranked {
@@ -126,16 +135,41 @@ impl OsdMap {
     }
 }
 
-/// The monitor: owns the authoritative map, reacts to failure reports.
+/// The monitor: owns the authoritative map, reacts to failure reports, and
+/// detects failures itself from missed heartbeats.
+///
+/// Time is a plain `u64` nanosecond counter supplied by the caller, so the
+/// same monitor serves the deterministic simulation (simulated nanoseconds)
+/// and the live driver (wall-clock nanoseconds since start).
 #[derive(Debug, Clone)]
 pub struct Monitor {
     map: OsdMap,
+    /// Last heartbeat receipt per OSD, in caller nanoseconds. Every OSD
+    /// starts at 0, i.e. "seen at startup".
+    last_heartbeat: Vec<u64>,
+    /// Declare an OSD down after this long without a heartbeat.
+    grace_nanos: u64,
 }
 
+/// Default heartbeat grace window: generous enough that drivers which never
+/// feed heartbeats (report-only operation) do not spuriously mark OSDs down.
+pub const DEFAULT_HEARTBEAT_GRACE_NANOS: u64 = u64::MAX;
+
 impl Monitor {
-    /// Creates a monitor owning `map`.
+    /// Creates a monitor owning `map`. Heartbeat detection is effectively
+    /// disabled until [`Monitor::set_grace_nanos`] arms it.
     pub fn new(map: OsdMap) -> Self {
-        Monitor { map }
+        let n = map.osds.len();
+        Monitor {
+            map,
+            last_heartbeat: vec![0; n],
+            grace_nanos: DEFAULT_HEARTBEAT_GRACE_NANOS,
+        }
+    }
+
+    /// Sets the missed-heartbeat window after which an OSD is declared down.
+    pub fn set_grace_nanos(&mut self, grace_nanos: u64) {
+        self.grace_nanos = grace_nanos;
     }
 
     /// The current map.
@@ -143,7 +177,42 @@ impl Monitor {
         &self.map
     }
 
+    /// Records a heartbeat from `osd` at `now_nanos`. A heartbeat from an
+    /// OSD currently marked down means it restarted: the monitor marks it up
+    /// and returns the map broadcast announcing the rejoin.
+    pub fn heartbeat(&mut self, osd: OsdId, now_nanos: u64) -> Option<MonMsg> {
+        self.last_heartbeat[osd.0 as usize] = now_nanos;
+        if self.map.osd(osd).up {
+            return None;
+        }
+        self.map.mark_up(osd);
+        Some(MonMsg::MapUpdate {
+            map: self.map.clone(),
+        })
+    }
+
+    /// Sweeps for OSDs whose last heartbeat is older than the grace window,
+    /// marks them down, and returns the map broadcast if anything changed.
+    pub fn check_liveness(&mut self, now_nanos: u64) -> Option<MonMsg> {
+        let mut changed = false;
+        for i in 0..self.map.osds.len() {
+            let stale = now_nanos.saturating_sub(self.last_heartbeat[i]) > self.grace_nanos;
+            if stale && self.map.osds[i].up {
+                self.map.mark_down(OsdId(i as u32));
+                changed = true;
+            }
+        }
+        changed.then(|| MonMsg::MapUpdate {
+            map: self.map.clone(),
+        })
+    }
+
     /// Handles a monitor message; returns the broadcast to send (if any).
+    ///
+    /// `Heartbeat` messages arriving through this entry point only handle
+    /// the rejoin case (no timestamp available); drivers that want liveness
+    /// detection call [`Monitor::heartbeat`] / [`Monitor::check_liveness`]
+    /// with their clock.
     pub fn handle(&mut self, msg: MonMsg) -> Option<MonMsg> {
         match msg {
             MonMsg::ReportFailure { osd } => {
@@ -151,7 +220,18 @@ impl Monitor {
                     return None; // already known
                 }
                 self.map.mark_down(osd);
-                Some(MonMsg::MapUpdate { map: self.map.clone() })
+                Some(MonMsg::MapUpdate {
+                    map: self.map.clone(),
+                })
+            }
+            MonMsg::Heartbeat { osd } => {
+                if self.map.osd(osd).up {
+                    return None;
+                }
+                self.map.mark_up(osd);
+                Some(MonMsg::MapUpdate {
+                    map: self.map.clone(),
+                })
             }
             MonMsg::MapUpdate { map } => {
                 if map.epoch > self.map.epoch {
@@ -224,7 +304,49 @@ mod tests {
         let update = mon.handle(MonMsg::ReportFailure { osd: OsdId(1) });
         assert!(matches!(update, Some(MonMsg::MapUpdate { .. })));
         assert_eq!(mon.map().epoch, e0 + 1);
-        assert!(mon.handle(MonMsg::ReportFailure { osd: OsdId(1) }).is_none());
+        assert!(mon
+            .handle(MonMsg::ReportFailure { osd: OsdId(1) })
+            .is_none());
+    }
+
+    #[test]
+    fn missed_heartbeats_mark_osd_down() {
+        let ms = |n: u64| n * 1_000_000;
+        let mut mon = Monitor::new(map());
+        mon.set_grace_nanos(ms(30));
+        // Everyone reports in at 5 ms except osd.3.
+        for i in [0, 1, 2, 4, 5, 6, 7] {
+            assert!(mon.heartbeat(OsdId(i), ms(5)).is_none());
+        }
+        // Within grace: no change.
+        assert!(mon.check_liveness(ms(20)).is_none());
+        // Past grace for osd.3 only (last seen at 0).
+        let update = mon.check_liveness(ms(35));
+        assert!(matches!(update, Some(MonMsg::MapUpdate { .. })));
+        assert!(!mon.map().osd(OsdId(3)).up);
+        assert!(mon.map().osd(OsdId(0)).up);
+        // Idempotent: re-sweeping at the same instant changes nothing (the
+        // other OSDs' 5 ms heartbeats are still within grace at 35 ms).
+        assert!(mon.check_liveness(ms(35)).is_none());
+    }
+
+    #[test]
+    fn heartbeat_from_down_osd_rejoins_it() {
+        let ms = |n: u64| n * 1_000_000;
+        let mut mon = Monitor::new(map());
+        mon.set_grace_nanos(ms(10));
+        for i in 0..7 {
+            mon.heartbeat(OsdId(i), ms(5));
+        }
+        assert!(mon.check_liveness(ms(20)).is_some());
+        assert!(!mon.map().osd(OsdId(7)).up);
+        let e = mon.map().epoch;
+        let update = mon.heartbeat(OsdId(7), ms(25));
+        assert!(matches!(update, Some(MonMsg::MapUpdate { .. })));
+        assert!(mon.map().osd(OsdId(7)).up);
+        assert_eq!(mon.map().epoch, e + 1);
+        // And it stays up through the next sweep.
+        assert!(mon.check_liveness(ms(30)).is_none());
     }
 
     #[test]

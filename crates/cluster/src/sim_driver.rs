@@ -18,15 +18,23 @@
 use std::collections::{BTreeMap, HashMap};
 
 use rablock_sim::{
-    Ctx, Device, DeviceProfile, DeviceStats, IoRequest, Link, Priority, SimDuration,
-    SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
+    Ctx, Device, DeviceProfile, DeviceStats, FaultEvent, FaultPlan, IoRequest, Link, Priority,
+    SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
 };
 use rablock_storage::{GroupId, ObjectId, StoreStats, TraceKind};
 
 use crate::costs::{CostModel, CLIENT, MP, MT, OS, RP, TP};
-use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg};
+use crate::invariants::HistoryChecker;
+use crate::msg::{ClientId, ClientReply, ClientReq, MonMsg, OpId, PeerMsg};
 use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PipelineMode};
-use crate::placement::{OsdId, OsdMap};
+use crate::placement::{Monitor, OsdId, OsdMap};
+use crate::retry::RetryPolicy;
+
+/// Pseudo-node index of the monitor in fault-plan partition queries: the
+/// monitor runs on no storage node, so plans that want to cut an OSD off
+/// from the monitor (false-positive failure detection) partition the OSD's
+/// node against this index.
+pub const MON_NODE: usize = usize::MAX;
 
 /// One operation a connection wants to issue.
 #[derive(Clone, Debug)]
@@ -107,6 +115,20 @@ pub struct ClusterSimConfig {
     pub flush_sweep: SimDuration,
     /// Cost charged when a core switches between threads.
     pub ctx_switch: SimDuration,
+    /// Deterministic fault-injection plan (drops, dups, partitions, crashes,
+    /// gray devices). Empty by default.
+    pub faults: FaultPlan,
+    /// Client timeout/retry policy. `None` keeps the legacy client that
+    /// waits forever (no fault tolerance, no timer overhead).
+    pub retry: Option<RetryPolicy>,
+    /// Heartbeat emission period. `None` disables heartbeat failure
+    /// detection (the map only changes through direct injection).
+    pub heartbeat_period: Option<SimDuration>,
+    /// Missed-heartbeat window after which the monitor marks an OSD down.
+    pub heartbeat_grace: SimDuration,
+    /// Check the no-lost-acked-write / read-your-writes invariants on every
+    /// completed operation (fault-injection runs).
+    pub check_history: bool,
 }
 
 impl ClusterSimConfig {
@@ -121,7 +143,10 @@ impl ClusterSimConfig {
             ssd_state: SsdState::Steady,
             pg_count: 32,
             replication: 2,
-            osd: OsdConfig { mode, ..OsdConfig::default() },
+            osd: OsdConfig {
+                mode,
+                ..OsdConfig::default()
+            },
             messenger_threads: 2,
             pg_threads: 4,
             rtc_threads: 4,
@@ -134,6 +159,11 @@ impl ClusterSimConfig {
             pacing: None,
             flush_sweep: SimDuration::millis(2),
             ctx_switch: SimDuration::nanos(1_200),
+            faults: FaultPlan::none(),
+            retry: None,
+            heartbeat_period: None,
+            heartbeat_grace: SimDuration::millis(30),
+            check_history: false,
         }
     }
 }
@@ -145,16 +175,32 @@ enum Ev {
     /// (Client thread) a reply arrived for a connection.
     ClientDone { conn: usize, reply: ClientReply },
     /// (Messenger thread) relay an inbound client request (Original/Cos).
-    MsgrClientIn { osd: usize, from: ClientId, req: ClientReq },
+    MsgrClientIn {
+        osd: usize,
+        from: ClientId,
+        req: ClientReq,
+    },
     /// (Messenger thread) relay an inbound peer message (Original/Cos).
-    MsgrPeerIn { osd: usize, from: OsdId, msg: PeerMsg },
+    MsgrPeerIn {
+        osd: usize,
+        from: OsdId,
+        msg: PeerMsg,
+    },
     /// (Messenger thread) relay an outbound reply (Original/Cos).
-    MsgrReplyOut { osd: usize, to: ClientId, reply: ClientReply },
+    MsgrReplyOut {
+        osd: usize,
+        to: ClientId,
+        reply: ClientReply,
+    },
     /// (Messenger thread) relay an outbound peer message (Original/Cos).
     MsgrPeerOut { osd: usize, to: OsdId, msg: PeerMsg },
     /// (Logic thread) process an OSD input; `charge_mp` if the messenger
     /// work happens in the same item (non-relay modes).
-    OsdIn { osd: usize, input: OsdInput, charge_mp: Option<u64> },
+    OsdIn {
+        osd: usize,
+        input: OsdInput,
+        charge_mp: Option<u64>,
+    },
     /// (Any) one device I/O of a store token completed.
     IoDone { osd: usize, token: u64 },
     /// (Flusher thread) periodic timeout flush of pending groups.
@@ -162,10 +208,28 @@ enum Ev {
     /// (Maintenance thread) drip-feed one background I/O to the device —
     /// models the compaction I/O throttling every real LSM applies so
     /// background bursts do not jam the foreground queue.
-    BgIo { osd: usize, ios: Vec<rablock_storage::TraceIo>, pos: usize },
-    /// (Any thread) an OSD fails: the monitor publishes a new map and every
-    /// survivor receives it (§IV-A-4 steps ②–⑤).
-    FailOsd { osd: usize },
+    BgIo {
+        osd: usize,
+        ios: Vec<rablock_storage::TraceIo>,
+        pos: usize,
+    },
+    /// (Any thread) an OSD process dies. Nobody else is told: detection
+    /// happens through missed heartbeats (§IV-A-4 step ② is the monitor's
+    /// own conclusion, not an oracle's).
+    CrashOsd { osd: usize, torn_tail: bool },
+    /// (Any thread) a crashed OSD restarts from its durable state.
+    RestartOsd { osd: usize },
+    /// (Any thread) a gray-failure window edge: scale a device's service
+    /// time without killing anything.
+    GraySet { device: usize, multiplier: f64 },
+    /// (Frontend thread) an OSD's heartbeat timer fired.
+    HeartbeatTick { osd: usize },
+    /// (Monitor thread) a heartbeat beacon arrived at the monitor.
+    MonHeartbeat { osd: usize },
+    /// (Monitor thread) the monitor's periodic liveness sweep.
+    MonSweep,
+    /// (Client thread) the retry timer for an outstanding op fired.
+    ClientTimeout { conn: usize, op: u64, attempt: u32 },
 }
 
 struct OsdThreads {
@@ -218,11 +282,22 @@ struct RtcGate {
     deferred: std::collections::VecDeque<Ev>,
 }
 
+/// One outstanding client operation.
+struct Pending {
+    is_write: bool,
+    issued: SimTime,
+    /// Attempt number of the most recent transmission (1-based). A timeout
+    /// event only acts when its attempt matches, so stale timers are inert.
+    attempt: u32,
+    /// The request itself, kept when retries or history checking need it.
+    req: Option<ClientReq>,
+}
+
 struct ConnState {
     id: ClientId,
     thread: ThreadId,
     workload: Box<dyn ConnWorkload>,
-    outstanding: HashMap<u64, (bool, SimTime, usize)>, // op -> (is_write, issued, target osd)
+    outstanding: HashMap<u64, Pending>,
     next_op: u64,
     exhausted: bool,
 }
@@ -260,6 +335,9 @@ pub struct SimReport {
     pub nvm_bytes: u64,
     /// Forced synchronous flushes because NVM filled up.
     pub nvm_full_stalls: u64,
+    /// Client operations surfaced as errors (retry budget exhausted or an
+    /// error reply under fault injection).
+    pub client_errors: u64,
 }
 
 impl SimReport {
@@ -304,6 +382,19 @@ struct World {
     pacing: Option<SimDuration>,
     flush_sweep: SimDuration,
     pg_count: u32,
+    /// The fault plan for this run (empty = clean run, zero overhead).
+    faults: FaultPlan,
+    /// The monitor: authoritative map plus heartbeat bookkeeping.
+    monitor: Monitor,
+    /// Client retry policy; `None` = legacy wait-forever client.
+    retry: Option<RetryPolicy>,
+    /// Heartbeat emission period, when detection is armed.
+    heartbeat_period: Option<SimDuration>,
+    /// Pending torn-tail flag per crashed OSD, applied at restart.
+    crash_torn: Vec<bool>,
+    /// Safety-invariant checker, when armed.
+    checker: Option<HistoryChecker>,
+    client_errors: u64,
 }
 
 impl World {
@@ -335,8 +426,59 @@ impl World {
         self.links.len() - 1
     }
 
+    /// Pseudo-node index of the client side in partition queries. Equal to
+    /// the client link index (one past the last storage node).
+    fn client_node(&self) -> usize {
+        self.client_link()
+    }
+
+    /// Queries the fault plan for one message's fate. Returns `None` when
+    /// the message is dropped, otherwise `(extra_delay, Some(dup_gap))` when
+    /// a duplicate must also be delivered `dup_gap` after the original.
+    fn fate(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        link: usize,
+        src: usize,
+        dst: usize,
+    ) -> Option<(SimDuration, Option<SimDuration>)> {
+        if self.faults.is_empty() {
+            return Some((SimDuration::ZERO, None));
+        }
+        let f = self
+            .faults
+            .message_fate(link, src, dst, ctx.now(), ctx.rng());
+        if f.dropped {
+            return None;
+        }
+        Some((f.extra_delay, f.duplicated.then_some(f.dup_gap)))
+    }
+
+    /// Publishes a new map: the driver's routing view changes and every
+    /// live OSD receives a `MapUpdate`. Map distribution is the monitor's
+    /// control plane and is modelled as reliable (data-plane faults come
+    /// from the plan's link faults on OSD/client traffic).
+    fn install_map(&mut self, ctx: &mut Ctx<'_, Ev>, map: OsdMap) {
+        self.map = map;
+        for peer in 0..self.osds.len() {
+            if self.dead[peer] {
+                continue;
+            }
+            let t = self.logic_thread(peer, GroupId(0));
+            let input = OsdInput::MapUpdate(self.map.clone());
+            ctx.send(
+                t,
+                Ev::OsdIn {
+                    osd: peer,
+                    input,
+                    charge_mp: None,
+                },
+            );
+        }
+    }
+
     /// Dispatches an input to an OSD's logic thread.
-    fn to_logic(
+    fn dispatch_logic(
         &mut self,
         ctx: &mut Ctx<'_, Ev>,
         osd: usize,
@@ -346,7 +488,15 @@ impl World {
         delay: SimDuration,
     ) {
         let thread = self.logic_thread(osd, group_hint);
-        ctx.send_after(thread, Ev::OsdIn { osd, input, charge_mp }, delay);
+        ctx.send_after(
+            thread,
+            Ev::OsdIn {
+                osd,
+                input,
+                charge_mp,
+            },
+            delay,
+        );
     }
 
     #[allow(dead_code)] // kept: useful for future routing policies
@@ -358,7 +508,8 @@ impl World {
                 | PeerMsg::RepopNvm { group, .. }
                 | PeerMsg::RepAck { group, .. }
                 | PeerMsg::PullLog { group, .. }
-                | PeerMsg::LogRecords { group, .. } => *group,
+                | PeerMsg::LogRecords { group, .. }
+                | PeerMsg::Backfill { group, .. } => *group,
             },
             OsdInput::FlushGroup { group } => *group,
             _ => GroupId(0),
@@ -429,7 +580,9 @@ impl World {
                     ctx.spend(RP, c.nvm_append);
                 }
                 PeerMsg::RepAck { .. } => ctx.spend(RP, c.tp_complete),
-                PeerMsg::PullLog { .. } | PeerMsg::LogRecords { .. } => ctx.spend(TP, c.tp),
+                PeerMsg::PullLog { .. } | PeerMsg::LogRecords { .. } | PeerMsg::Backfill { .. } => {
+                    ctx.spend(TP, c.tp)
+                }
             },
             OsdInput::StoreDurable { .. } => ctx.spend(TP, c.tp_complete),
             OsdInput::FlushGroup { .. } => {
@@ -438,10 +591,15 @@ impl World {
             OsdInput::ReadFromStore { .. } => ctx.spend(OS, c.os_read),
             OsdInput::SubmitDeferred { .. } => {
                 ctx.spend(TP, c.tp);
-                let submit = if self.mode.lsm_backend() { c.os_lsm_submit } else { c.os_cos_submit };
+                let submit = if self.mode.lsm_backend() {
+                    c.os_lsm_submit
+                } else {
+                    c.os_cos_submit
+                };
                 ctx.spend(OS, submit);
             }
             OsdInput::MaintStep => {}
+            OsdInput::HeartbeatTick => ctx.spend(RP, c.wake),
             OsdInput::MapUpdate(_) => ctx.spend(TP, c.tp),
         }
     }
@@ -458,8 +616,8 @@ impl World {
         for effect in effects {
             match effect {
                 OsdEffect::SendPeer { to, msg } => {
-                    let off_priority = self.mode.prioritized()
-                        && !self.threads[osd].msgr.contains(&thread);
+                    let off_priority =
+                        self.mode.prioritized() && !self.threads[osd].msgr.contains(&thread);
                     if self.relay || off_priority {
                         // Hand to a messenger/priority thread for the send
                         // side (§IV-B: sends go through the owning thread).
@@ -467,18 +625,30 @@ impl World {
                         ctx.send(t, Ev::MsgrPeerOut { osd, to, msg });
                     } else {
                         ctx.spend(MP, self.costs.send(msg.wire_bytes(), self.lean));
-                        let delay = self.net_delay(node, ctx.now(), msg.wire_bytes());
                         let dest = to.0 as usize;
+                        let dest_node = self.threads[dest].node;
+                        let Some((extra, dup)) = self.fate(ctx, node, node, dest_node) else {
+                            continue;
+                        };
+                        let bytes = msg.wire_bytes();
+                        let delay = self.net_delay(node, ctx.now(), bytes) + extra;
                         let from = self.osds[osd].id;
                         let group = match &msg {
                             PeerMsg::Repop { group, .. }
                             | PeerMsg::RepopNvm { group, .. }
                             | PeerMsg::RepAck { group, .. }
                             | PeerMsg::PullLog { group, .. }
-                            | PeerMsg::LogRecords { group, .. } => *group,
+                            | PeerMsg::LogRecords { group, .. }
+                            | PeerMsg::Backfill { group, .. } => *group,
                         };
-                        let bytes = msg.wire_bytes();
-                        self.to_logic(
+                        if let Some(gap) = dup {
+                            let input = OsdInput::Peer {
+                                from,
+                                msg: msg.clone(),
+                            };
+                            self.dispatch_logic(ctx, dest, group, input, Some(bytes), delay + gap);
+                        }
+                        self.dispatch_logic(
                             ctx,
                             dest,
                             group,
@@ -497,16 +667,31 @@ impl World {
                             }
                         }
                     }
-                    let off_priority = self.mode.prioritized()
-                        && !self.threads[osd].msgr.contains(&thread);
+                    let off_priority =
+                        self.mode.prioritized() && !self.threads[osd].msgr.contains(&thread);
                     if self.relay || off_priority {
                         let t = self.frontend_thread(osd, to.0 as u64);
-                        ctx.send(t, Ev::MsgrReplyOut { osd, to, reply: msg });
+                        ctx.send(
+                            t,
+                            Ev::MsgrReplyOut {
+                                osd,
+                                to,
+                                reply: msg,
+                            },
+                        );
                     } else {
                         ctx.spend(MP, self.costs.send(msg.wire_bytes(), self.lean));
-                        let delay = self.net_delay(node, ctx.now(), msg.wire_bytes());
+                        let client_node = self.client_node();
+                        let Some((extra, dup)) = self.fate(ctx, node, node, client_node) else {
+                            continue;
+                        };
+                        let delay = self.net_delay(node, ctx.now(), msg.wire_bytes()) + extra;
                         let conn = to.0 as usize;
                         let ct = self.conns[conn].thread;
+                        if let Some(gap) = dup {
+                            let reply = msg.clone();
+                            ctx.send_after(ct, Ev::ClientDone { conn, reply }, delay + gap);
+                        }
                         ctx.send_after(ct, Ev::ClientDone { conn, reply: msg }, delay);
                     }
                 }
@@ -552,21 +737,65 @@ impl World {
                 OsdEffect::WakeFlush { group } => {
                     ctx.spend(RP, self.costs.wake);
                     let t = self.flusher_thread(osd, group.0 as u64);
-                    ctx.send(t, Ev::OsdIn { osd, input: OsdInput::FlushGroup { group }, charge_mp: None });
+                    ctx.send(
+                        t,
+                        Ev::OsdIn {
+                            osd,
+                            input: OsdInput::FlushGroup { group },
+                            charge_mp: None,
+                        },
+                    );
                 }
                 OsdEffect::WakeRead { token } => {
                     ctx.spend(RP, self.costs.wake);
                     let t = self.flusher_thread(osd, token);
-                    ctx.send(t, Ev::OsdIn { osd, input: OsdInput::ReadFromStore { token }, charge_mp: None });
+                    ctx.send(
+                        t,
+                        Ev::OsdIn {
+                            osd,
+                            input: OsdInput::ReadFromStore { token },
+                            charge_mp: None,
+                        },
+                    );
                 }
                 OsdEffect::WakeSubmit { token } => {
                     ctx.spend(RP, self.costs.wake);
                     let t = self.flusher_thread(osd, token);
-                    ctx.send(t, Ev::OsdIn { osd, input: OsdInput::SubmitDeferred { token }, charge_mp: None });
+                    ctx.send(
+                        t,
+                        Ev::OsdIn {
+                            osd,
+                            input: OsdInput::SubmitDeferred { token },
+                            charge_mp: None,
+                        },
+                    );
                 }
                 OsdEffect::WakeMaintenance => {
                     let t = self.threads[osd].maint;
-                    ctx.send(t, Ev::OsdIn { osd, input: OsdInput::MaintStep, charge_mp: None });
+                    ctx.send(
+                        t,
+                        Ev::OsdIn {
+                            osd,
+                            input: OsdInput::MaintStep,
+                            charge_mp: None,
+                        },
+                    );
+                }
+                OsdEffect::Heartbeat => {
+                    let beacon = MonMsg::Heartbeat {
+                        osd: self.osds[osd].id,
+                    };
+                    ctx.spend(MP, self.costs.send(beacon.wire_bytes(), self.lean));
+                    // Heartbeats cross the node's egress link and can be cut
+                    // off from the monitor by a `MON_NODE` partition.
+                    if let Some((extra, dup)) = self.fate(ctx, node, node, MON_NODE) {
+                        let delay = self.net_delay(node, ctx.now(), beacon.wire_bytes()) + extra;
+                        let mt = self.conns[0].thread;
+                        ctx.send_after(mt, Ev::MonHeartbeat { osd }, delay);
+                        if let Some(gap) = dup {
+                            ctx.send_after(mt, Ev::MonHeartbeat { osd }, delay + gap);
+                        }
+                    }
                 }
                 OsdEffect::Maintained { bytes, .. } => {
                     ctx.spend(MT, self.costs.maintenance(bytes));
@@ -581,7 +810,8 @@ impl World {
             let budget = if open_loop {
                 1
             } else {
-                self.queue_depth.saturating_sub(self.conns[conn].outstanding.len())
+                self.queue_depth
+                    .saturating_sub(self.conns[conn].outstanding.len())
             };
             if budget == 0 || self.conns[conn].exhausted {
                 return;
@@ -599,48 +829,133 @@ impl World {
                 let op = OpId(c.next_op);
                 c.next_op += 1;
                 match item {
-                    WorkItem::Write { oid, offset, len, fill } => (
-                        ClientReq::Write { op, oid, offset, data: vec![fill; len as usize] },
+                    WorkItem::Write {
+                        oid,
+                        offset,
+                        len,
+                        fill,
+                    } => (
+                        ClientReq::Write {
+                            op,
+                            oid,
+                            offset,
+                            data: vec![fill; len as usize],
+                        },
                         true,
                     ),
-                    WorkItem::Read { oid, offset, len } => {
-                        (ClientReq::Read { op, oid, offset, len }, false)
-                    }
+                    WorkItem::Read { oid, offset, len } => (
+                        ClientReq::Read {
+                            op,
+                            oid,
+                            offset,
+                            len,
+                        },
+                        false,
+                    ),
                 }
             };
-            let group = req.oid().group();
-            let primary = self.map.primary(group);
-            let osd = primary.0 as usize;
-            let bytes = req.wire_bytes();
-            ctx.spend(CLIENT, SimDuration::micros(2));
-            let client_link = self.client_link();
-            let delay = {
-                let arrive = self.links[client_link].transfer(ctx.now(), bytes);
-                arrive.duration_since(ctx.now())
-            };
-            let from = self.conns[conn].id;
-            self.conns[conn]
-                .outstanding
-                .insert(req.op().0, (is_write, ctx.now(), osd));
-            if self.relay {
-                let t = self.frontend_thread(osd, conn as u64);
-                ctx.send_after(t, Ev::MsgrClientIn { osd, from, req }, delay);
-            } else {
-                // Route by group so replication acks (also routed by group)
-                // return to the thread that owns the operation.
-                let t = self.logic_thread(osd, group);
-                ctx.send_after(
-                    t,
-                    Ev::OsdIn { osd, input: OsdInput::Client { from, req }, charge_mp: Some(bytes) },
-                    delay,
-                );
+            let op_raw = req.op().0;
+            if let Some(checker) = self.checker.as_mut() {
+                if let ClientReq::Write {
+                    oid, offset, data, ..
+                } = &req
+                {
+                    let fill = data.first().copied().unwrap_or(0);
+                    let id = self.conns[conn].id;
+                    checker.write_issued(id, OpId(op_raw), *oid, *offset, data.len() as u64, fill);
+                }
             }
+            let keep_req = self.retry.is_some() || self.checker.is_some();
+            let pending = Pending {
+                is_write,
+                issued: ctx.now(),
+                attempt: 1,
+                req: keep_req.then(|| req.clone()),
+            };
+            self.conns[conn].outstanding.insert(op_raw, pending);
+            if let Some(r) = self.retry {
+                let thread = self.conns[conn].thread;
+                let ev = Ev::ClientTimeout {
+                    conn,
+                    op: op_raw,
+                    attempt: 1,
+                };
+                ctx.send_after(thread, ev, SimDuration::nanos(r.timeout_nanos));
+            }
+            self.send_client_req(ctx, conn, req, SimDuration::ZERO);
             if open_loop {
                 let pace = self.pacing.expect("open loop");
                 let thread = self.conns[conn].thread;
                 ctx.send_after(thread, Ev::ClientKick { conn }, pace);
                 return;
             }
+        }
+    }
+
+    /// Transmits `req` from `conn` toward the group's current primary,
+    /// paying client CPU, link transfer and the plan's message fates.
+    /// `hold` delays the transmission itself (retry backoff). A dropped
+    /// message simply never arrives — the op stays outstanding until its
+    /// retry timer fires (or forever, without a retry policy).
+    fn send_client_req(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        conn: usize,
+        req: ClientReq,
+        hold: SimDuration,
+    ) {
+        let group = req.oid().group();
+        let osd = self.map.primary(group).0 as usize;
+        let bytes = req.wire_bytes();
+        ctx.spend(CLIENT, SimDuration::micros(2));
+        let client_link = self.client_link();
+        let client_node = self.client_node();
+        let dest_node = self.threads[osd].node;
+        let Some((extra, dup)) = self.fate(ctx, client_link, client_node, dest_node) else {
+            return;
+        };
+        let delay = {
+            let arrive = self.links[client_link].transfer(ctx.now(), bytes);
+            arrive.duration_since(ctx.now())
+        } + hold
+            + extra;
+        let from = self.conns[conn].id;
+        if self.relay {
+            let t = self.frontend_thread(osd, conn as u64);
+            if let Some(gap) = dup {
+                let req = req.clone();
+                ctx.send_after(t, Ev::MsgrClientIn { osd, from, req }, delay + gap);
+            }
+            ctx.send_after(t, Ev::MsgrClientIn { osd, from, req }, delay);
+        } else {
+            // Route by group so replication acks (also routed by group)
+            // return to the thread that owns the operation.
+            let t = self.logic_thread(osd, group);
+            if let Some(gap) = dup {
+                let input = OsdInput::Client {
+                    from,
+                    req: req.clone(),
+                };
+                ctx.send_after(
+                    t,
+                    Ev::OsdIn {
+                        osd,
+                        input,
+                        charge_mp: Some(bytes),
+                    },
+                    delay + gap,
+                );
+            }
+            let input = OsdInput::Client { from, req };
+            ctx.send_after(
+                t,
+                Ev::OsdIn {
+                    osd,
+                    input,
+                    charge_mp: Some(bytes),
+                },
+                delay,
+            );
         }
     }
 }
@@ -654,18 +969,47 @@ impl rablock_sim::Handler<Ev> for World {
             Ev::ClientDone { conn, reply } => {
                 ctx.spend(CLIENT, SimDuration::micros(1));
                 let op = reply.op().0;
-                if let Some((is_write, issued, _)) = self.conns[conn].outstanding.remove(&op) {
-                    let lat = ctx.now().duration_since(issued);
-                    if is_write {
-                        self.write_lat.record(lat);
-                        self.writes_done += 1;
-                    } else {
-                        self.read_lat.record(lat);
-                        self.reads_done += 1;
+                // A reply for an op that is no longer outstanding is a
+                // duplicate (retried op acked twice, or a reply that arrived
+                // after the retry budget gave up): ignore it entirely
+                // instead of recording it a second time.
+                let Some(p) = self.conns[conn].outstanding.remove(&op) else {
+                    return;
+                };
+                let id = self.conns[conn].id;
+                match &reply {
+                    ClientReply::Error { error, .. } => {
+                        if self.faults.is_empty() && self.retry.is_none() {
+                            panic!("client observed error: {error}");
+                        }
+                        self.client_errors += 1;
                     }
-                }
-                if let ClientReply::Error { error, .. } = &reply {
-                    panic!("client observed error: {error}");
+                    ok => {
+                        let lat = ctx.now().duration_since(p.issued);
+                        if p.is_write {
+                            self.write_lat.record(lat);
+                            self.writes_done += 1;
+                        } else {
+                            self.read_lat.record(lat);
+                            self.reads_done += 1;
+                        }
+                        if let Some(checker) = self.checker.as_mut() {
+                            match (ok, &p.req) {
+                                (ClientReply::Done { .. }, _) if p.is_write => {
+                                    checker.write_acked(id, OpId(op));
+                                }
+                                (
+                                    ClientReply::Data { data, .. },
+                                    Some(ClientReq::Read {
+                                        oid, offset, len, ..
+                                    }),
+                                ) => {
+                                    checker.read_checked(*oid, *offset, *len, data);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
                 }
                 if self.pacing.is_none() {
                     self.issue_client_ops(ctx, conn);
@@ -674,7 +1018,14 @@ impl rablock_sim::Handler<Ev> for World {
             Ev::MsgrClientIn { osd, from, req } => {
                 ctx.spend(MP, self.costs.recv(req.wire_bytes(), self.lean));
                 let group = req.oid().group();
-                self.to_logic(ctx, osd, group, OsdInput::Client { from, req }, None, SimDuration::ZERO);
+                self.dispatch_logic(
+                    ctx,
+                    osd,
+                    group,
+                    OsdInput::Client { from, req },
+                    None,
+                    SimDuration::ZERO,
+                );
             }
             Ev::MsgrPeerIn { osd, from, msg } => {
                 ctx.spend(MP, self.costs.recv(msg.wire_bytes(), self.lean));
@@ -683,36 +1034,84 @@ impl rablock_sim::Handler<Ev> for World {
                     | PeerMsg::RepopNvm { group, .. }
                     | PeerMsg::RepAck { group, .. }
                     | PeerMsg::PullLog { group, .. }
-                    | PeerMsg::LogRecords { group, .. } => *group,
+                    | PeerMsg::LogRecords { group, .. }
+                    | PeerMsg::Backfill { group, .. } => *group,
                 };
-                self.to_logic(ctx, osd, group, OsdInput::Peer { from, msg }, None, SimDuration::ZERO);
+                self.dispatch_logic(
+                    ctx,
+                    osd,
+                    group,
+                    OsdInput::Peer { from, msg },
+                    None,
+                    SimDuration::ZERO,
+                );
             }
             Ev::MsgrReplyOut { osd, to, reply } => {
                 ctx.spend(MP, self.costs.send(reply.wire_bytes(), self.lean));
                 let node = self.threads[osd].node;
-                let delay = self.net_delay(node, ctx.now(), reply.wire_bytes());
+                let client_node = self.client_node();
+                let Some((extra, dup)) = self.fate(ctx, node, node, client_node) else {
+                    return;
+                };
+                let delay = self.net_delay(node, ctx.now(), reply.wire_bytes()) + extra;
                 let conn = to.0 as usize;
                 let ct = self.conns[conn].thread;
+                if let Some(gap) = dup {
+                    let reply = reply.clone();
+                    ctx.send_after(ct, Ev::ClientDone { conn, reply }, delay + gap);
+                }
                 ctx.send_after(ct, Ev::ClientDone { conn, reply }, delay);
             }
             Ev::MsgrPeerOut { osd, to, msg } => {
                 ctx.spend(MP, self.costs.send(msg.wire_bytes(), self.lean));
                 let node = self.threads[osd].node;
-                let bytes = msg.wire_bytes();
-                let delay = self.net_delay(node, ctx.now(), bytes);
                 let dest = to.0 as usize;
+                let dest_node = self.threads[dest].node;
+                let Some((extra, dup)) = self.fate(ctx, node, node, dest_node) else {
+                    return;
+                };
+                let bytes = msg.wire_bytes();
+                let delay = self.net_delay(node, ctx.now(), bytes) + extra;
                 let t = self.frontend_thread(dest, self.osds[osd].id.0 as u64);
                 let from = self.osds[osd].id;
-                ctx.send_after(t, Ev::MsgrPeerIn { osd: dest, from, msg }, delay);
+                if let Some(gap) = dup {
+                    let msg = msg.clone();
+                    ctx.send_after(
+                        t,
+                        Ev::MsgrPeerIn {
+                            osd: dest,
+                            from,
+                            msg,
+                        },
+                        delay + gap,
+                    );
+                }
+                ctx.send_after(
+                    t,
+                    Ev::MsgrPeerIn {
+                        osd: dest,
+                        from,
+                        msg,
+                    },
+                    delay,
+                );
             }
-            Ev::OsdIn { osd, input, charge_mp } => {
+            Ev::OsdIn {
+                osd,
+                input,
+                charge_mp,
+            } => {
                 if self.dead[osd] {
                     return; // failed OSDs process nothing
                 }
                 if self.mode.run_to_completion() && matches!(input, OsdInput::Client { .. }) {
                     let gate = self.rtc_gate.entry(thread).or_default();
                     if gate.busy {
-                        gate.deferred.push_back(Ev::OsdIn { osd, input, charge_mp });
+                        gate.deferred.push_back(Ev::OsdIn {
+                            osd,
+                            input,
+                            charge_mp,
+                        });
                         return;
                     }
                     gate.busy = true;
@@ -722,28 +1121,109 @@ impl rablock_sim::Handler<Ev> for World {
                 let effects = self.osds[osd].handle(input);
                 self.apply_effects(ctx, thread, osd, effects, flush_batch);
             }
-            Ev::FailOsd { osd } => {
+            Ev::CrashOsd { osd, torn_tail } => {
+                // Process kill only: no oracle tells the monitor. Survivors
+                // and clients find out through missed heartbeats and
+                // timeouts. Pending device completions for the dead process
+                // are forgotten so a post-restart token cannot collide.
                 self.dead[osd] = true;
-                self.map.mark_down(OsdId(osd as u32));
-                // Abandon in-flight ops addressed to the dead OSD (a real
-                // client would time out and retry against the new primary).
-                for conn in 0..self.conns.len() {
-                    let thread = self.conns[conn].thread;
-                    let before = self.conns[conn].outstanding.len();
-                    self.conns[conn].outstanding.retain(|_, (_, _, target)| *target != osd);
-                    if self.conns[conn].outstanding.len() != before {
-                        ctx.send(thread, Ev::ClientKick { conn });
-                    }
+                self.crash_torn[osd] = torn_tail;
+                self.io_wait.retain(|&(o, _), _| o != osd);
+            }
+            Ev::RestartOsd { osd } => {
+                if !self.dead[osd] {
+                    return;
                 }
-                // Broadcast the new map to every survivor's logic threads.
-                for peer in 0..self.osds.len() {
-                    if self.dead[peer] {
-                        continue;
-                    }
-                    let t = self.logic_thread(peer, GroupId(0));
-                    let map = self.map.clone();
-                    ctx.send(t, Ev::OsdIn { osd: peer, input: OsdInput::MapUpdate(map), charge_mp: None });
+                self.dead[osd] = false;
+                let torn = std::mem::replace(&mut self.crash_torn[osd], false);
+                let _ = self.osds[osd].restart_after_crash(torn);
+                // Hand the restarted OSD the monitor's current view — it is
+                // usually marked down in it, so the mark-up broadcast that
+                // follows its first heartbeat triggers its log pull.
+                let t = self.logic_thread(osd, GroupId(0));
+                let input = OsdInput::MapUpdate(self.map.clone());
+                ctx.send(
+                    t,
+                    Ev::OsdIn {
+                        osd,
+                        input,
+                        charge_mp: None,
+                    },
+                );
+            }
+            Ev::GraySet { device, multiplier } => {
+                ctx.set_device_service_multiplier(device, multiplier);
+            }
+            Ev::HeartbeatTick { osd } => {
+                let Some(period) = self.heartbeat_period else {
+                    return;
+                };
+                // Keep ticking even while dead, so a restarted OSD resumes
+                // beaconing (and rejoins) without driver help.
+                ctx.send_after(thread, Ev::HeartbeatTick { osd }, period);
+                if self.dead[osd] {
+                    return;
                 }
+                self.charge_input(ctx, &OsdInput::HeartbeatTick, None);
+                let effects = self.osds[osd].handle(OsdInput::HeartbeatTick);
+                self.apply_effects(ctx, thread, osd, effects, false);
+            }
+            Ev::MonHeartbeat { osd } => {
+                let now = ctx.now().duration_since(SimTime::ZERO).as_nanos();
+                if let Some(MonMsg::MapUpdate { map }) =
+                    self.monitor.heartbeat(OsdId(osd as u32), now)
+                {
+                    self.install_map(ctx, map);
+                }
+            }
+            Ev::MonSweep => {
+                let Some(period) = self.heartbeat_period else {
+                    return;
+                };
+                ctx.send_after(thread, Ev::MonSweep, period);
+                let now = ctx.now().duration_since(SimTime::ZERO).as_nanos();
+                if let Some(MonMsg::MapUpdate { map }) = self.monitor.check_liveness(now) {
+                    self.install_map(ctx, map);
+                }
+            }
+            Ev::ClientTimeout { conn, op, attempt } => {
+                let Some(r) = self.retry else {
+                    return;
+                };
+                // Only the timer of the *current* attempt may act; a reply
+                // or a newer retransmission makes older timers inert.
+                match self.conns[conn].outstanding.get_mut(&op) {
+                    Some(p) if p.attempt == attempt => {
+                        if r.should_retry(attempt) {
+                            p.attempt += 1;
+                        } else {
+                            // Budget exhausted: surface the failure.
+                            self.conns[conn].outstanding.remove(&op);
+                            self.client_errors += 1;
+                            if self.pacing.is_none() {
+                                self.issue_client_ops(ctx, conn);
+                            }
+                            return;
+                        }
+                    }
+                    _ => return,
+                }
+                let p = &self.conns[conn].outstanding[&op];
+                let req = p.req.clone().expect("retrying client stores the request");
+                let next = attempt + 1;
+                let jitter = ctx.rng().unit_f64();
+                let backoff = SimDuration::nanos(r.backoff_nanos(attempt, jitter));
+                // Retransmit after the backoff (re-routed by the map as of
+                // now — a published failover redirects the retry), then arm
+                // the next attempt's timer.
+                self.send_client_req(ctx, conn, req, backoff);
+                let thread = self.conns[conn].thread;
+                let ev = Ev::ClientTimeout {
+                    conn,
+                    op,
+                    attempt: next,
+                };
+                ctx.send_after(thread, ev, backoff + SimDuration::nanos(r.timeout_nanos));
             }
             Ev::IoDone { osd, token } => {
                 if self.dead[osd] {
@@ -763,6 +1243,9 @@ impl rablock_sim::Handler<Ev> for World {
                 }
             }
             Ev::BgIo { osd, ios, pos } => {
+                if self.dead[osd] {
+                    return; // crashed: its queued background work evaporates
+                }
                 let dev = self.threads[osd].device;
                 let io = ios[pos];
                 let req = match io.kind {
@@ -775,16 +1258,29 @@ impl rablock_sim::Handler<Ev> for World {
                 // ~640 MB/s throttle for 64 KiB chunks.
                 let delay = SimDuration::nanos(1 + io.bytes * 100_000 / (64 << 10));
                 if pos + 1 < ios.len() {
-                    ctx.send_after(thread, Ev::BgIo { osd, ios, pos: pos + 1 }, delay);
+                    ctx.send_after(
+                        thread,
+                        Ev::BgIo {
+                            osd,
+                            ios,
+                            pos: pos + 1,
+                        },
+                        delay,
+                    );
                 }
             }
             Ev::FlushSweep { osd } => {
+                // Re-arm first so the sweep survives a crash window and
+                // resumes once the OSD restarts.
+                ctx.send_after(thread, Ev::FlushSweep { osd }, self.flush_sweep);
+                if self.dead[osd] {
+                    return;
+                }
                 let pending = self.osds[osd].pending_groups();
                 for group in pending {
                     let effects = self.osds[osd].handle(OsdInput::FlushGroup { group });
                     self.apply_effects(ctx, thread, osd, effects, true);
                 }
-                ctx.send_after(thread, Ev::FlushSweep { osd }, self.flush_sweep);
             }
         }
     }
@@ -896,7 +1392,10 @@ impl ClusterSim {
             // Non-priority threads share the remaining (non-dedicated) cores
             // plus, at lower priority, the dedicated ones ("leave it to the
             // OS scheduler" in the paper).
-            if matches!(cfg.mode, PipelineMode::Ptc | PipelineMode::Dop | PipelineMode::Ideal) {
+            if matches!(
+                cfg.mode,
+                PipelineMode::Ptc | PipelineMode::Dop | PipelineMode::Ideal
+            ) {
                 let shared: Vec<_> = (next_dedicated..cores.end).collect();
                 assert!(!shared.is_empty(), "no shared cores left on node {node}");
                 for local in 0..cfg.osds_per_node as usize {
@@ -912,7 +1411,10 @@ impl ClusterSim {
                             ))
                         })
                         .collect();
-                    class_threads.entry("non-priority").or_default().extend(&flusher);
+                    class_threads
+                        .entry("non-priority")
+                        .or_default()
+                        .extend(&flusher);
                     threads[osd_idx].flusher = flusher;
                 }
             }
@@ -967,7 +1469,12 @@ impl ClusterSim {
             });
         }
 
-        let links = (0..cfg.nodes as usize + 1).map(|_| cfg.link.clone()).collect();
+        let links = (0..cfg.nodes as usize + 1)
+            .map(|_| cfg.link.clone())
+            .collect();
+
+        let mut monitor = Monitor::new(map.clone());
+        monitor.set_grace_nanos(cfg.heartbeat_grace.as_nanos());
 
         let world = World {
             mode: cfg.mode,
@@ -990,9 +1497,22 @@ impl ClusterSim {
             pacing: cfg.pacing,
             flush_sweep: cfg.flush_sweep,
             pg_count: cfg.pg_count,
+            faults: cfg.faults.clone(),
+            monitor,
+            retry: cfg.retry,
+            heartbeat_period: cfg.heartbeat_period,
+            crash_torn: vec![false; (cfg.nodes * cfg.osds_per_node) as usize],
+            checker: cfg.check_history.then(HistoryChecker::new),
+            client_errors: 0,
         };
 
-        let mut this = ClusterSim { sim, world, node_cores, class_threads, conn_count };
+        let mut this = ClusterSim {
+            sim,
+            world,
+            node_cores,
+            class_threads,
+            conn_count,
+        };
         // Kick every connection at t=0 and start flush sweeps.
         for conn in 0..this.conn_count {
             let t = this.world.conns[conn].thread;
@@ -1004,6 +1524,31 @@ impl ClusterSim {
                 this.sim
                     .schedule(SimTime::ZERO + cfg.flush_sweep, t, Ev::FlushSweep { osd });
             }
+        }
+        // Heartbeat detection: stagger the per-OSD beacons so they do not
+        // synchronize, and sweep liveness on the monitor every period.
+        if let Some(period) = cfg.heartbeat_period {
+            for osd in 0..this.world.osds.len() {
+                let t = this.world.threads[osd].msgr[0];
+                let stagger = SimDuration::nanos(1 + osd as u64 * period.as_nanos() / 7);
+                this.sim
+                    .schedule(SimTime::ZERO + stagger, t, Ev::HeartbeatTick { osd });
+            }
+            let mt = this.world.conns[0].thread;
+            this.sim.schedule(SimTime::ZERO + period, mt, Ev::MonSweep);
+        }
+        // Scheduled (non-probabilistic) faults from the plan's timeline.
+        let driver_thread = this.world.conns[0].thread;
+        for (at, fault) in cfg.faults.timeline() {
+            let ev = match fault {
+                FaultEvent::Crash { process, torn_tail } => Ev::CrashOsd {
+                    osd: process,
+                    torn_tail,
+                },
+                FaultEvent::Restart { process } => Ev::RestartOsd { osd: process },
+                FaultEvent::GraySet { device, multiplier } => Ev::GraySet { device, multiplier },
+            };
+            this.sim.schedule(at, driver_thread, ev);
         }
         this
     }
@@ -1025,15 +1570,33 @@ impl ClusterSim {
         &self.world.map
     }
 
-    /// Schedules an OSD failure at absolute time `at` (§IV-A-4 scenario
-    /// injection). The monitor reaction, map distribution, survivor
-    /// flush-but-keep, and replacement log-pull all run inside the
-    /// simulation.
+    /// Schedules an OSD process kill at absolute time `at` (§IV-A-4
+    /// scenario injection). Nobody is told directly: the monitor concludes
+    /// the failure from missed heartbeats (arm `heartbeat_period`), then
+    /// map distribution, survivor flush-but-keep, and replacement log-pull
+    /// all run inside the simulation.
     pub fn fail_osd(&mut self, at: rablock_sim::SimTime, osd: OsdId) {
         // Deliver on the first client thread — the handler only mutates
-        // driver state and broadcasts.
+        // driver state.
         let t = self.world.conns[0].thread;
-        self.sim.schedule(at, t, Ev::FailOsd { osd: osd.0 as usize });
+        self.sim.schedule(
+            at,
+            t,
+            Ev::CrashOsd {
+                osd: osd.0 as usize,
+                torn_tail: false,
+            },
+        );
+    }
+
+    /// Client operations surfaced as errors so far (fault-injection runs).
+    pub fn client_errors(&self) -> u64 {
+        self.world.client_errors
+    }
+
+    /// The history checker, when `check_history` armed it.
+    pub fn checker(&self) -> Option<&HistoryChecker> {
+        self.world.checker.as_ref()
     }
 
     /// Pending op-log entries of one group on one OSD (recovery tests).
@@ -1067,7 +1630,10 @@ impl ClusterSim {
     fn report(&self, duration: SimDuration) -> SimReport {
         let now = self.sim.now();
         let metrics = self.sim.metrics();
-        let win = now.saturating_since(metrics.window_start()).as_nanos().max(1);
+        let win = now
+            .saturating_since(metrics.window_start())
+            .as_nanos()
+            .max(1);
         let node_cpu_pct = self
             .node_cores
             .iter()
@@ -1133,6 +1699,7 @@ impl ClusterSim {
             device,
             nvm_bytes: w.osds.iter().map(Osd::nvm_bytes_written).sum(),
             nvm_full_stalls: w.osds.iter().map(|o| o.nvm_full_stalls).sum(),
+            client_errors: w.client_errors,
         }
     }
 }
@@ -1173,8 +1740,16 @@ pub(crate) mod tests {
             nvm_bytes: 8 << 20,
             ring_bytes: 256 << 10,
             flush_threshold: 16,
-            lsm: LsmOptions { memtable_bytes: 1 << 20, ..LsmOptions::default() },
-            cos: CosOptions { partitions: 2, onode_slots: 1024, ..CosOptions::default() },
+            lsm: LsmOptions {
+                memtable_bytes: 1 << 20,
+                ..LsmOptions::default()
+            },
+            cos: CosOptions {
+                partitions: 2,
+                onode_slots: 1024,
+                ..CosOptions::default()
+            },
+            ..OsdConfig::default()
         };
         cfg.queue_depth = 8;
         cfg
@@ -1183,13 +1758,17 @@ pub(crate) mod tests {
     fn objects(n: u64) -> Vec<(ObjectId, u64)> {
         // 1 MiB objects: small enough that every OSD can hold every object
         // in these 2-OSD test clusters.
-        (0..n).map(|i| (ObjectId::new(GroupId((i % 24) as u32), i), 1 << 20)).collect()
+        (0..n)
+            .map(|i| (ObjectId::new(GroupId((i % 24) as u32), i), 1 << 20))
+            .collect()
     }
 
     fn randwrite_conn(objs: u64, seed_offset: u64) -> Box<dyn ConnWorkload> {
         let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(seed_offset + 1);
         Box::new(move |_rng: &mut SimRng| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let i = (x >> 16) % objs;
             let block = (x >> 40) % 256; // within the 1 MiB object, 4 KiB blocks
             Some(WorkItem::Write {
@@ -1216,7 +1795,11 @@ pub(crate) mod tests {
         assert!(r.writes_done > 500, "writes done: {}", r.writes_done);
         assert!(r.write_iops > 10_000.0, "iops: {}", r.write_iops);
         assert!(r.nvm_bytes > 0, "NVM log used");
-        assert!(r.mean_node_cpu() > 10.0, "some CPU burned: {}", r.mean_node_cpu());
+        assert!(
+            r.mean_node_cpu() > 10.0,
+            "some CPU burned: {}",
+            r.mean_node_cpu()
+        );
     }
 
     #[test]
@@ -1267,11 +1850,20 @@ pub(crate) mod tests {
             counter += 1;
             let oid = ObjectId::new(GroupId((i / 8 % 24) as u32), i / 8 % 16);
             if i < 64 {
-                Some(WorkItem::Write { oid, offset: (i % 8) * 4096, len: 4096, fill: (i % 251) as u8 })
+                Some(WorkItem::Write {
+                    oid,
+                    offset: (i % 8) * 4096,
+                    len: 4096,
+                    fill: (i % 251) as u8,
+                })
             } else if i < 128 {
                 let j = i - 64;
                 let oid = ObjectId::new(GroupId((j / 8 % 24) as u32), j / 8 % 16);
-                Some(WorkItem::Read { oid, offset: (j % 8) * 4096, len: 4096 })
+                Some(WorkItem::Read {
+                    oid,
+                    offset: (j % 8) * 4096,
+                    len: 4096,
+                })
             } else {
                 None
             }
@@ -1297,7 +1889,12 @@ pub(crate) mod tests {
         let v2 = run_mode(PipelineMode::RtcV2, 6);
         let v3 = run_mode(PipelineMode::RtcV3, 6);
         // v3 strips TP/OS relative to v2: strictly less work, >= IOPS.
-        assert!(v3.write_iops >= v2.write_iops * 0.95, "v3 {} vs v2 {}", v3.write_iops, v2.write_iops);
+        assert!(
+            v3.write_iops >= v2.write_iops * 0.95,
+            "v3 {} vs v2 {}",
+            v3.write_iops,
+            v2.write_iops
+        );
         // Both complete and stay below the Ideal unbounded pipeline.
         assert!(v2.writes_done > 100);
     }
@@ -1319,8 +1916,10 @@ mod debug_tests {
             let mut sim = ClusterSim::new(cfg, workloads);
             sim.prefill(&objects_pub(32));
             let r = sim.run(SimDuration::millis(10), SimDuration::millis(50));
-            println!("== {mode:?} qd1: iops={:.0} lat_mean={} p50={} p95={}",
-                r.write_iops, r.write_lat[0], r.write_lat[1], r.write_lat[2]);
+            println!(
+                "== {mode:?} qd1: iops={:.0} lat_mean={} p50={} p95={}",
+                r.write_iops, r.write_lat[0], r.write_lat[1], r.write_lat[2]
+            );
         }
     }
 
@@ -1329,15 +1928,24 @@ mod debug_tests {
     fn dump_scaling() {
         for conns in [3, 6, 12, 24] {
             let r = run_mode_pub(PipelineMode::Dop, conns);
-            println!("== conns={conns}: iops={:.0} lat={} prio_cpu={:?}", r.write_iops, r.write_lat[0],
-                r.class_cpu_pct.get("priority"));
+            println!(
+                "== conns={conns}: iops={:.0} lat={} prio_cpu={:?}",
+                r.write_iops,
+                r.write_lat[0],
+                r.class_cpu_pct.get("priority")
+            );
         }
     }
 
     #[test]
     #[ignore]
     fn dump_mode_reports() {
-        for mode in [PipelineMode::Original, PipelineMode::Cos, PipelineMode::Ptc, PipelineMode::Dop] {
+        for mode in [
+            PipelineMode::Original,
+            PipelineMode::Cos,
+            PipelineMode::Ptc,
+            PipelineMode::Dop,
+        ] {
             let r = run_mode_pub(mode, 6);
             println!("== {mode:?}: iops={:.0} lat_mean={} p95={} cpu/node={:?} tags={:?} classes={:?} ctx={} dev_writes={} dev_lat={} stalls={}",
                 r.write_iops, r.write_lat[0], r.write_lat[2], r.node_cpu_pct, r.tag_cpu_pct, r.class_cpu_pct, r.context_switches,

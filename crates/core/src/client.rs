@@ -35,7 +35,10 @@ impl BlockImage {
 
     /// Opens an existing image without provisioning.
     pub fn open(cluster: &LiveCluster, spec: ImageSpec) -> Self {
-        BlockImage { spec, client: cluster.client() }
+        BlockImage {
+            spec,
+            client: cluster.client(),
+        }
     }
 
     /// The image description.
@@ -57,7 +60,8 @@ impl BlockImage {
     pub fn write(&self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
         let mut at = 0usize;
         for (oid, obj_off, len) in self.spec.extents(offset, data.len() as u64) {
-            self.client.write(oid, obj_off, data[at..at + len as usize].to_vec())?;
+            self.client
+                .write(oid, obj_off, data[at..at + len as usize].to_vec())?;
             at += len as usize;
         }
         Ok(())
@@ -94,8 +98,15 @@ impl BlockImage {
     /// # Panics
     ///
     /// Panics if `dest` has a different size than this image.
-    pub fn snapshot_to(&self, cluster: &LiveCluster, dest: ImageSpec) -> Result<BlockImage, StoreError> {
-        assert_eq!(dest.size, self.spec.size, "snapshot target must match the image size");
+    pub fn snapshot_to(
+        &self,
+        cluster: &LiveCluster,
+        dest: ImageSpec,
+    ) -> Result<BlockImage, StoreError> {
+        assert_eq!(
+            dest.size, self.spec.size,
+            "snapshot target must match the image size"
+        );
         let snap = BlockImage::create(cluster, dest)?;
         self.copy_into(&snap)?;
         Ok(snap)
@@ -111,7 +122,10 @@ impl BlockImage {
     ///
     /// Panics if the sizes differ.
     pub fn rollback_from(&self, snapshot: &BlockImage) -> Result<(), StoreError> {
-        assert_eq!(snapshot.spec.size, self.spec.size, "snapshot size must match");
+        assert_eq!(
+            snapshot.spec.size, self.spec.size,
+            "snapshot size must match"
+        );
         snapshot.copy_into(self)
     }
 
@@ -130,6 +144,8 @@ impl BlockImage {
 
 impl std::fmt::Debug for BlockImage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BlockImage").field("spec", &self.spec).finish()
+        f.debug_struct("BlockImage")
+            .field("spec", &self.spec)
+            .finish()
     }
 }

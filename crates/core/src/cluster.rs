@@ -123,7 +123,7 @@ impl ClusterBuilder {
             mode: self.mode,
             device_bytes: self.device_bytes,
             nvm_bytes: self.nvm_bytes,
-            ring_bytes: (self.nvm_bytes / self.pg_count as u64).min(512 << 10).max(64 << 10),
+            ring_bytes: (self.nvm_bytes / self.pg_count as u64).clamp(64 << 10, 512 << 10),
             flush_threshold: self.flush_threshold,
             lsm: LsmOptions::default(),
             cos: CosOptions {
@@ -132,12 +132,18 @@ impl ClusterBuilder {
                 metadata_cache: self.metadata_cache,
                 ..CosOptions::default()
             },
+            ..OsdConfig::default()
         }
     }
 
     /// The cluster map this builder describes.
     pub fn map(&self) -> OsdMap {
-        OsdMap::new(self.nodes, self.osds_per_node, self.pg_count, self.replication)
+        OsdMap::new(
+            self.nodes,
+            self.osds_per_node,
+            self.pg_count,
+            self.replication,
+        )
     }
 
     /// Starts a live cluster of real OSD threads.
@@ -183,7 +189,9 @@ mod tests {
 
     #[test]
     fn ring_bytes_fit_in_nvm() {
-        let b = ClusterBuilder::new(PipelineMode::Dop).pg_count(64).nvm_bytes(8 << 20);
+        let b = ClusterBuilder::new(PipelineMode::Dop)
+            .pg_count(64)
+            .nvm_bytes(8 << 20);
         let osd = b.osd_config();
         assert!(osd.ring_bytes * 64 <= osd.nvm_bytes);
     }

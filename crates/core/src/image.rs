@@ -44,7 +44,12 @@ impl ImageSpec {
         assert!(size > 0, "zero-sized image");
         assert!(object_bytes > 0, "zero object size");
         assert!(pg_count > 0, "zero groups");
-        ImageSpec { id, size, object_bytes, pg_count }
+        ImageSpec {
+            id,
+            size,
+            object_bytes,
+            pg_count,
+        }
     }
 
     /// Number of objects backing this image.
@@ -98,7 +103,9 @@ impl ImageSpec {
 
     /// All objects of the image with their fixed size (provisioning).
     pub fn all_objects(&self) -> Vec<(ObjectId, u64)> {
-        (0..self.object_count()).map(|i| (self.object(i), self.object_bytes)).collect()
+        (0..self.object_count())
+            .map(|i| (self.object(i), self.object_bytes))
+            .collect()
     }
 }
 
@@ -149,10 +156,15 @@ mod tests {
     #[test]
     fn objects_spread_over_groups() {
         let s = spec();
-        let mut groups: Vec<u32> = (0..s.object_count()).map(|i| s.object(i).group().0).collect();
+        let mut groups: Vec<u32> = (0..s.object_count())
+            .map(|i| s.object(i).group().0)
+            .collect();
         groups.sort_unstable();
         groups.dedup();
-        assert!(groups.len() > 4, "16 objects spread over >4 of 32 groups: {groups:?}");
+        assert!(
+            groups.len() > 4,
+            "16 objects spread over >4 of 32 groups: {groups:?}"
+        );
     }
 
     #[test]

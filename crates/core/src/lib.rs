@@ -66,8 +66,13 @@ pub use rablock_storage::{GroupId, ObjectId, StoreError};
 /// Deterministic cluster simulation (re-exported from `rablock-cluster`).
 pub mod sim {
     pub use rablock_cluster::costs::CostModel;
+    pub use rablock_cluster::invariants::HistoryChecker;
+    pub use rablock_cluster::retry::RetryPolicy;
     pub use rablock_cluster::sim_driver::{
-        ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem,
+        ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem, MON_NODE,
     };
-    pub use rablock_sim::{SimDuration, SimRng, SimTime, SsdState};
+    pub use rablock_sim::{
+        CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, Partition, SimDuration,
+        SimRng, SimTime, SsdState,
+    };
 }

@@ -21,7 +21,10 @@ impl ModelChecker {
     /// A fresh model for an image of `size` bytes (all zeroes, like a
     /// freshly provisioned image).
     pub fn new(size: u64) -> Self {
-        ModelChecker { model: vec![0; size as usize], ops: 0 }
+        ModelChecker {
+            model: vec![0; size as usize],
+            ops: 0,
+        }
     }
 
     /// Operations executed so far.
@@ -34,7 +37,12 @@ impl ModelChecker {
     /// # Errors
     ///
     /// Propagates image errors.
-    pub fn write(&mut self, image: &BlockImage, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+    pub fn write(
+        &mut self,
+        image: &BlockImage,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
         image.write(offset, data)?;
         self.model[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         self.ops += 1;
@@ -50,11 +58,17 @@ impl ModelChecker {
     /// # Panics
     ///
     /// Panics on any divergence — that is the point.
-    pub fn read_check(&mut self, image: &BlockImage, offset: u64, len: u64) -> Result<(), StoreError> {
+    pub fn read_check(
+        &mut self,
+        image: &BlockImage,
+        offset: u64,
+        len: u64,
+    ) -> Result<(), StoreError> {
         let got = image.read(offset, len)?;
         let want = &self.model[offset as usize..(offset + len) as usize];
         assert_eq!(
-            got, want,
+            got,
+            want,
             "consistency violation at [{offset}, {}) after {} ops",
             offset + len,
             self.ops

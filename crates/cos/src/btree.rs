@@ -77,7 +77,10 @@ impl ExtentBTree {
     /// An empty tree (no free space).
     pub fn new() -> Self {
         ExtentBTree {
-            root: Node::Leaf { starts: Vec::new(), lens: Vec::new() },
+            root: Node::Leaf {
+                starts: Vec::new(),
+                lens: Vec::new(),
+            },
             free_blocks: 0,
             extents: 0,
         }
@@ -340,9 +343,19 @@ impl ExtentBTree {
     fn insert(&mut self, start: u64, len: u64) -> Result<(), StoreError> {
         if let Some(split) = Self::insert_in(&mut self.root, start, len)? {
             let (sep, right) = split;
-            let left = std::mem::replace(&mut self.root, Node::Leaf { starts: vec![], lens: vec![] });
+            let left = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    starts: vec![],
+                    lens: vec![],
+                },
+            );
             let maxs = vec![left.max_len(), right.max_len()];
-            self.root = Node::Internal { seps: vec![sep], children: vec![left, right], maxs };
+            self.root = Node::Internal {
+                seps: vec![sep],
+                children: vec![left, right],
+                maxs,
+            };
         }
         self.free_blocks += len;
         self.extents += 1;
@@ -354,7 +367,9 @@ impl ExtentBTree {
             Node::Leaf { starts, lens } => {
                 let idx = starts.partition_point(|&s| s < start);
                 if starts.get(idx) == Some(&start) {
-                    return Err(StoreError::Corrupt(format!("duplicate free extent at {start}")));
+                    return Err(StoreError::Corrupt(format!(
+                        "duplicate free extent at {start}"
+                    )));
                 }
                 starts.insert(idx, start);
                 lens.insert(idx, len);
@@ -365,9 +380,19 @@ impl ExtentBTree {
                 let right_starts = starts.split_off(mid);
                 let right_lens = lens.split_off(mid);
                 let sep = right_starts[0];
-                Ok(Some((sep, Node::Leaf { starts: right_starts, lens: right_lens })))
+                Ok(Some((
+                    sep,
+                    Node::Leaf {
+                        starts: right_starts,
+                        lens: right_lens,
+                    },
+                )))
             }
-            Node::Internal { seps, children, maxs } => {
+            Node::Internal {
+                seps,
+                children,
+                maxs,
+            } => {
                 let i = seps.partition_point(|&s| s <= start);
                 let split = Self::insert_in(&mut children[i], start, len)?;
                 maxs[i] = children[i].max_len();
@@ -408,7 +433,10 @@ impl ExtentBTree {
         while let Node::Internal { children, .. } = &mut self.root {
             match children.len() {
                 0 => {
-                    self.root = Node::Leaf { starts: Vec::new(), lens: Vec::new() };
+                    self.root = Node::Leaf {
+                        starts: Vec::new(),
+                        lens: Vec::new(),
+                    };
                 }
                 1 => {
                     let only = children.pop().expect("one child");
@@ -427,7 +455,11 @@ impl ExtentBTree {
                 starts.remove(idx);
                 Some(lens.remove(idx))
             }
-            Node::Internal { seps, children, maxs } => {
+            Node::Internal {
+                seps,
+                children,
+                maxs,
+            } => {
                 let i = seps.partition_point(|&s| s <= start);
                 let removed = Self::remove_in(&mut children[i], start)?;
                 maxs[i] = children[i].max_len();
@@ -456,7 +488,7 @@ impl ExtentBTree {
     pub fn check_invariants(&self) {
         let extents = self.iter();
         assert!(
-            extents.windows(2).all(|w| w[0].0 + w[0].1 < w[1].0 || w[0].0 + w[0].1 == w[1].0),
+            extents.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0),
             "extents out of order or overlapping: {extents:?}"
         );
         // Adjacent extents must have been coalesced by free().
@@ -467,7 +499,12 @@ impl ExtentBTree {
     }
 
     fn check_node(node: &Node) {
-        if let Node::Internal { seps, children, maxs } = node {
+        if let Node::Internal {
+            seps,
+            children,
+            maxs,
+        } = node
+        {
             assert_eq!(children.len(), seps.len() + 1);
             assert_eq!(children.len(), maxs.len());
             for (i, c) in children.iter().enumerate() {
@@ -479,7 +516,10 @@ impl ExtentBTree {
 }
 
 fn overlap_err(start: u64, len: u64) -> StoreError {
-    StoreError::Corrupt(format!("range [{start},{}) is not entirely free", start + len))
+    StoreError::Corrupt(format!(
+        "range [{start},{}) is not entirely free",
+        start + len
+    ))
 }
 
 #[cfg(test)]

@@ -95,9 +95,8 @@ impl PartGeometry {
             .checked_sub(SUPERBLOCK_BYTES)
             .ok_or_else(|| StoreError::InvalidArgument("device smaller than superblock".into()))?;
         let region_len = usable / count;
-        let meta = PART_HEADER_BYTES
-            + opts.onode_slots as u64 * ONODE_BYTES as u64
-            + opts.freetree_bytes;
+        let meta =
+            PART_HEADER_BYTES + opts.onode_slots as u64 * ONODE_BYTES as u64 + opts.freetree_bytes;
         if region_len < meta + BLOCK_BYTES {
             return Err(StoreError::InvalidArgument(format!(
                 "partition of {region_len} bytes cannot hold {meta} metadata bytes plus data"
@@ -126,7 +125,11 @@ impl PartGeometry {
 
     /// Device offset of data block `block`.
     pub fn block_off(&self, block: u64) -> u64 {
-        debug_assert!(block < self.data_blocks, "block {block} >= {}", self.data_blocks);
+        debug_assert!(
+            block < self.data_blocks,
+            "block {block} >= {}",
+            self.data_blocks
+        );
         self.freetree_off() + self.freetree_bytes + block * BLOCK_BYTES
     }
 }
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn geometry_partitions_are_disjoint_and_in_bounds() {
-        let opts = CosOptions { partitions: 4, ..CosOptions::tiny() };
+        let opts = CosOptions {
+            partitions: 4,
+            ..CosOptions::tiny()
+        };
         let cap = 64 << 20;
         let mut prev_end = SUPERBLOCK_BYTES;
         for i in 0..4 {

@@ -24,7 +24,12 @@ pub struct MetaCache {
 impl MetaCache {
     /// A cache that holds at most `capacity` dirty onodes in NVM.
     pub fn new(capacity: usize) -> Self {
-        MetaCache { capacity, lru: VecDeque::new(), nvm_bytes_written: 0, writebacks: 0 }
+        MetaCache {
+            capacity,
+            lru: VecDeque::new(),
+            nvm_bytes_written: 0,
+            writebacks: 0,
+        }
     }
 
     /// Records an onode update landing in NVM. Returns slots that must be

@@ -162,7 +162,10 @@ impl Onode {
 
     /// Reads an xattr.
     pub fn xattr(&self, key: &str) -> Option<&[u8]> {
-        self.xattrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_slice())
+        self.xattrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
     }
 
     /// Encodes into the fixed 512-byte record.
@@ -177,7 +180,13 @@ impl Onode {
     /// area, or if extents spill but `spill_block` is 0.
     pub fn encode(&self, spill_block: u64) -> Result<([u8; ONODE_BYTES], Vec<Extent>), StoreError> {
         let mut buf = [0u8; ONODE_BYTES];
-        let spilled: Vec<Extent> = self.extents.entries().iter().skip(INLINE_EXTENTS).copied().collect();
+        let spilled: Vec<Extent> = self
+            .extents
+            .entries()
+            .iter()
+            .skip(INLINE_EXTENTS)
+            .copied()
+            .collect();
         if !spilled.is_empty() && spill_block == 0 {
             return Err(StoreError::InvalidArgument(
                 "extent map spills but no spill block provided".into(),
@@ -262,7 +271,11 @@ impl Onode {
         let inline = (total_extents as usize).min(INLINE_EXTENTS);
         for i in 0..inline {
             let o = HEADER_BYTES + i * EXTENT_BYTES;
-            extents.insert(Extent { logical: rd_u64(o), phys: rd_u64(o + 8), count: rd_u32(o + 16) });
+            extents.insert(Extent {
+                logical: rd_u64(o),
+                phys: rd_u64(o + 8),
+                count: rd_u32(o + 16),
+            });
         }
         let xa_off = HEADER_BYTES + INLINE_EXTENTS * EXTENT_BYTES;
         let count = u16::from_le_bytes(buf[xa_off..xa_off + 2].try_into().expect("2 bytes"));
@@ -304,13 +317,25 @@ mod tests {
     #[test]
     fn extent_map_maps_and_merges() {
         let mut m = ExtentMap::new();
-        m.insert(Extent { logical: 0, phys: 100, count: 4 });
-        m.insert(Extent { logical: 4, phys: 104, count: 4 }); // contiguous both sides
+        m.insert(Extent {
+            logical: 0,
+            phys: 100,
+            count: 4,
+        });
+        m.insert(Extent {
+            logical: 4,
+            phys: 104,
+            count: 4,
+        }); // contiguous both sides
         assert_eq!(m.len(), 1, "merged into one run");
         assert_eq!(m.map(0), Some(100));
         assert_eq!(m.map(7), Some(107));
         assert_eq!(m.map(8), None);
-        m.insert(Extent { logical: 10, phys: 500, count: 2 });
+        m.insert(Extent {
+            logical: 10,
+            phys: 500,
+            count: 2,
+        });
         assert_eq!(m.len(), 2);
         assert_eq!(m.map(11), Some(501));
         assert_eq!(m.map(9), None);
@@ -320,8 +345,16 @@ mod tests {
     #[should_panic(expected = "double-mapped")]
     fn extent_double_map_panics() {
         let mut m = ExtentMap::new();
-        m.insert(Extent { logical: 0, phys: 0, count: 4 });
-        m.insert(Extent { logical: 2, phys: 50, count: 1 });
+        m.insert(Extent {
+            logical: 0,
+            phys: 0,
+            count: 4,
+        });
+        m.insert(Extent {
+            logical: 2,
+            phys: 50,
+            count: 1,
+        });
     }
 
     #[test]
@@ -331,7 +364,11 @@ mod tests {
         o.version = 17;
         o.mtime = 99;
         o.generation = 2;
-        o.extents.insert(Extent { logical: 0, phys: 4096, count: 1024 });
+        o.extents.insert(Extent {
+            logical: 0,
+            phys: 4096,
+            count: 1024,
+        });
         o.set_xattr("snapset", vec![1, 2, 3]);
         o.set_xattr("oi", vec![9; 40]);
         let (buf, spilled) = o.encode(0).unwrap();
@@ -359,7 +396,11 @@ mod tests {
         let mut o = Onode::new(1);
         // 20 non-mergeable extents.
         for i in 0..20u64 {
-            o.extents.insert(Extent { logical: i * 2, phys: 1000 + i * 10, count: 1 });
+            o.extents.insert(Extent {
+                logical: i * 2,
+                phys: 1000 + i * 10,
+                count: 1,
+            });
         }
         assert!(o.encode(0).is_err(), "spill requires a spill block");
         let (buf, spilled) = o.encode(777).unwrap();

@@ -89,7 +89,11 @@ impl Partition {
         let table_bytes = geom.onode_slots as u64 * ONODE_BYTES as u64;
         let mut table = vec![0u8; table_bytes as usize];
         dev.read_at(geom.onode_off(0), &mut table)?;
-        trace.push(TraceIo { kind: TraceKind::Read, bytes: table_bytes, category: IoCategory::Metadata });
+        trace.push(TraceIo {
+            kind: TraceKind::Read,
+            bytes: table_bytes,
+            category: IoCategory::Metadata,
+        });
         for slot in 0..geom.onode_slots {
             let rec = &table[slot as usize * ONODE_BYTES..(slot as usize + 1) * ONODE_BYTES];
             let Some((mut onode, spill, total_extents)) = Onode::decode(rec)? else {
@@ -213,7 +217,10 @@ impl Partition {
         trace: &mut Vec<TraceIo>,
     ) -> Result<(), StoreError> {
         let onode = self.onodes.get(&slot).expect("persisting a live onode");
-        let spill_count = onode.extents.len().saturating_sub(crate::onode::INLINE_EXTENTS);
+        let spill_count = onode
+            .extents
+            .len()
+            .saturating_sub(crate::onode::INLINE_EXTENTS);
         let spill_block = if spill_count > 0 {
             let need = spill_blocks_for(spill_count);
             match self.spills.get(&slot).copied() {
@@ -269,7 +276,11 @@ impl Partition {
         let record = vec![0u8; BLOCK_BYTES as usize];
         dev.write_at(self.geom.freetree_off() + slot * BLOCK_BYTES, &record)?;
         dev.flush()?;
-        trace.push(TraceIo { kind: TraceKind::Write, bytes: BLOCK_BYTES, category: IoCategory::Metadata });
+        trace.push(TraceIo {
+            kind: TraceKind::Write,
+            bytes: BLOCK_BYTES,
+            category: IoCategory::Metadata,
+        });
         Ok(())
     }
 
@@ -291,7 +302,11 @@ impl Partition {
         }
         dev.write_at(self.geom.freetree_off(), &raw)?;
         dev.flush()?;
-        trace.push(TraceIo { kind: TraceKind::Write, bytes: raw.len() as u64, category: IoCategory::Metadata });
+        trace.push(TraceIo {
+            kind: TraceKind::Write,
+            bytes: raw.len() as u64,
+            category: IoCategory::Metadata,
+        });
         self.freetree_dirty = false;
         Ok(())
     }
@@ -330,14 +345,22 @@ impl Partition {
         }
         if opts.pre_allocate {
             let want_blocks = size.div_ceil(BLOCK_BYTES);
-            let have_blocks: u64 =
-                self.onodes[&slot].extents.entries().iter().map(|e| e.count as u64).sum();
+            let have_blocks: u64 = self.onodes[&slot]
+                .extents
+                .entries()
+                .iter()
+                .map(|e| e.count as u64)
+                .sum();
             if want_blocks > have_blocks {
                 let runs = self.alloc_blocks(want_blocks - have_blocks)?;
                 let onode = self.onodes.get_mut(&slot).expect("live");
                 let mut logical = have_blocks;
                 for (start, len) in runs {
-                    onode.extents.insert(Extent { logical, phys: start, count: len as u32 });
+                    onode.extents.insert(Extent {
+                        logical,
+                        phys: start,
+                        count: len as u32,
+                    });
                     logical += len;
                 }
                 alloc_changed = true;
@@ -355,6 +378,7 @@ impl Partition {
     ///
     /// [`StoreError::NoSpace`] if block allocation fails (non-pre-allocated
     /// objects only).
+    #[allow(clippy::too_many_arguments)]
     pub fn write<D: BlockDevice>(
         &mut self,
         dev: &mut D,
@@ -373,7 +397,17 @@ impl Partition {
             None => {
                 // Implicit create (objects are normally pre-created by the
                 // block layer; bare object writes still work).
-                self.create(dev, oid, 0, seq, &CosOptions { pre_allocate: false, ..opts.clone() }, trace)?;
+                self.create(
+                    dev,
+                    oid,
+                    0,
+                    seq,
+                    &CosOptions {
+                        pre_allocate: false,
+                        ..opts.clone()
+                    },
+                    trace,
+                )?;
                 self.slot_of(oid).expect("created above")
             }
         };
@@ -381,7 +415,17 @@ impl Partition {
             // Reuse after delete: finish the deferred deallocation for this
             // object now and start clean.
             self.dealloc_slot(dev, slot, trace)?;
-            self.create(dev, oid, 0, seq, &CosOptions { pre_allocate: false, ..opts.clone() }, trace)?;
+            self.create(
+                dev,
+                oid,
+                0,
+                seq,
+                &CosOptions {
+                    pre_allocate: false,
+                    ..opts.clone()
+                },
+                trace,
+            )?;
         }
         let slot = self.slot_of(oid).expect("live object");
         let end = offset + data.len() as u64;
@@ -395,7 +439,11 @@ impl Partition {
             if self.onodes[&slot].extents.map(block).is_none() {
                 let runs = self.alloc_blocks(1)?;
                 let onode = self.onodes.get_mut(&slot).expect("live");
-                onode.extents.insert(Extent { logical: block, phys: runs[0].0, count: 1 });
+                onode.extents.insert(Extent {
+                    logical: block,
+                    phys: runs[0].0,
+                    count: 1,
+                });
                 fresh.push(block);
                 alloc_changed = true;
             }
@@ -419,15 +467,23 @@ impl Partition {
             let mut buf = vec![0u8; (run_len * BLOCK_BYTES) as usize];
             // RMW at partial edges of blocks that existed before this write
             // (fresh blocks read as zeroes by definition).
-            let head_partial = run_start_byte % BLOCK_BYTES != 0;
-            let tail_partial = run_end_byte % BLOCK_BYTES != 0;
-            let read_block = |b: u64, buf: &mut [u8], dev: &mut D, trace: &mut Vec<TraceIo>| -> Result<(), StoreError> {
+            let head_partial = !run_start_byte.is_multiple_of(BLOCK_BYTES);
+            let tail_partial = !run_end_byte.is_multiple_of(BLOCK_BYTES);
+            let read_block = |b: u64,
+                              buf: &mut [u8],
+                              dev: &mut D,
+                              trace: &mut Vec<TraceIo>|
+             -> Result<(), StoreError> {
                 let off_in_buf = ((b - block) * BLOCK_BYTES) as usize;
                 dev.read_at(
                     self.geom.block_off(phys + (b - block)),
                     &mut buf[off_in_buf..off_in_buf + BLOCK_BYTES as usize],
                 )?;
-                trace.push(TraceIo { kind: TraceKind::Read, bytes: BLOCK_BYTES, category: IoCategory::Data });
+                trace.push(TraceIo {
+                    kind: TraceKind::Read,
+                    bytes: BLOCK_BYTES,
+                    category: IoCategory::Data,
+                });
                 Ok(())
             };
             if head_partial && !fresh.contains(&block) {
@@ -481,7 +537,11 @@ impl Partition {
             return Err(StoreError::NotFound);
         }
         if offset + len > onode.size {
-            return Err(StoreError::OutOfBounds { offset, len, capacity: onode.size });
+            return Err(StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity: onode.size,
+            });
         }
         let mut out = vec![0u8; len as usize];
         if len == 0 {
@@ -505,8 +565,15 @@ impl Partition {
             let from = (block * BLOCK_BYTES).max(offset);
             let to = ((block + run_len) * BLOCK_BYTES).min(end);
             let dev_off = self.geom.block_off(phys) + (from - block * BLOCK_BYTES);
-            dev.read_at(dev_off, &mut out[(from - offset) as usize..(to - offset) as usize])?;
-            trace.push(TraceIo { kind: TraceKind::Read, bytes: to - from, category: IoCategory::Data });
+            dev.read_at(
+                dev_off,
+                &mut out[(from - offset) as usize..(to - offset) as usize],
+            )?;
+            trace.push(TraceIo {
+                kind: TraceKind::Read,
+                bytes: to - from,
+                category: IoCategory::Data,
+            });
             block += run_len;
         }
         Ok(out)
@@ -518,6 +585,7 @@ impl Partition {
     ///
     /// [`StoreError::NotFound`] for missing objects; oversized xattrs are
     /// [`StoreError::InvalidArgument`].
+    #[allow(clippy::too_many_arguments)]
     pub fn set_xattr<D: BlockDevice>(
         &mut self,
         dev: &mut D,
@@ -547,7 +615,10 @@ impl Partition {
     #[allow(dead_code)] // symmetric API to set_xattr; exercised via the store
     pub fn xattr(&self, oid: ObjectId, key: &str) -> Option<Vec<u8>> {
         let slot = self.slot_of(oid)?;
-        self.onodes.get(&slot).and_then(|o| o.xattr(key)).map(<[u8]>::to_vec)
+        self.onodes
+            .get(&slot)
+            .and_then(|o| o.xattr(key))
+            .map(<[u8]>::to_vec)
     }
 
     /// Marks the object deleted; blocks are deallocated later by
@@ -592,14 +663,19 @@ impl Partition {
             self.free.free(spill, nblocks)?;
         }
         self.freetree_dirty = true;
-        self.radix.remove(radix_key(ObjectId::from_raw(onode.oid_raw)));
+        self.radix
+            .remove(radix_key(ObjectId::from_raw(onode.oid_raw)));
         self.cache.forget(slot);
         self.slot_used[slot as usize] = false;
         self.pending_dealloc.retain(|&s| s != slot);
         // Zero the slot on disk so mount does not resurrect it.
         dev.write_at(self.geom.onode_off(slot), &[0u8; ONODE_BYTES])?;
         dev.flush()?;
-        trace.push(TraceIo { kind: TraceKind::Write, bytes: ONODE_BYTES as u64, category: IoCategory::Metadata });
+        trace.push(TraceIo {
+            kind: TraceKind::Write,
+            bytes: ONODE_BYTES as u64,
+            category: IoCategory::Metadata,
+        });
         Ok(())
     }
 
@@ -652,7 +728,11 @@ impl Partition {
                 TraceKind::Flush => {}
             }
         }
-        Ok(MaintenanceReport { bytes_read: br, bytes_written: bw, did_work })
+        Ok(MaintenanceReport {
+            bytes_read: br,
+            bytes_written: bw,
+            did_work,
+        })
     }
 }
 

@@ -22,7 +22,11 @@ struct RadixNode {
 
 impl RadixNode {
     fn new() -> Self {
-        RadixNode { children: Default::default(), value: None, population: 0 }
+        RadixNode {
+            children: Default::default(),
+            value: None,
+            population: 0,
+        }
     }
 }
 

@@ -106,7 +106,14 @@ impl<D: BlockDevice> CosObjectStore<D> {
         for io in &trace {
             stats.record(*io);
         }
-        Ok(CosObjectStore { dev, opts, partitions, meta_kv: HashMap::new(), trace, stats })
+        Ok(CosObjectStore {
+            dev,
+            opts,
+            partitions,
+            meta_kv: HashMap::new(),
+            trace,
+            stats,
+        })
     }
 
     /// The configured options.
@@ -205,7 +212,11 @@ impl<D: BlockDevice> ObjectStore for CosObjectStore<D> {
 
     fn stat(&mut self, oid: ObjectId) -> Option<ObjectInfo> {
         let part = self.part_for(oid);
-        part.stat(oid).map(|(size, version, mtime)| ObjectInfo { size, version, mtime })
+        part.stat(oid).map(|(size, version, mtime)| ObjectInfo {
+            size,
+            version,
+            mtime,
+        })
     }
 
     fn get_meta(&mut self, key: &[u8]) -> Option<Vec<u8>> {
@@ -253,7 +264,14 @@ impl<D: BlockDevice> std::fmt::Debug for CosObjectStore<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CosObjectStore")
             .field("partitions", &self.partitions.len())
-            .field("objects", &self.partitions.iter().map(Partition::object_count).sum::<usize>())
+            .field(
+                "objects",
+                &self
+                    .partitions
+                    .iter()
+                    .map(Partition::object_count)
+                    .sum::<usize>(),
+            )
             .field("transactions", &self.stats.transactions)
             .finish()
     }
@@ -269,7 +287,15 @@ mod tests {
     }
 
     fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
-        Transaction::new(o.group(), seq, vec![Op::Write { oid: o, offset, data }])
+        Transaction::new(
+            o.group(),
+            seq,
+            vec![Op::Write {
+                oid: o,
+                offset,
+                data,
+            }],
+        )
     }
 
     fn fresh(opts: CosOptions) -> CosObjectStore<MemDisk> {
@@ -280,10 +306,22 @@ mod tests {
     fn aligned_write_read_round_trip() {
         let mut s = fresh(CosOptions::tiny());
         let o = oid(0, 1);
-        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 64 << 10 }])).unwrap();
+        s.submit(Transaction::new(
+            o.group(),
+            1,
+            vec![Op::Create {
+                oid: o,
+                size: 64 << 10,
+            }],
+        ))
+        .unwrap();
         s.submit(write_txn(2, o, 8192, vec![0xAB; 4096])).unwrap();
         assert_eq!(s.read(o, 8192, 4096).unwrap(), vec![0xAB; 4096]);
-        assert_eq!(s.read(o, 0, 4096).unwrap(), vec![0u8; 4096], "untouched blocks read zero");
+        assert_eq!(
+            s.read(o, 0, 4096).unwrap(),
+            vec![0u8; 4096],
+            "untouched blocks read zero"
+        );
     }
 
     #[test]
@@ -300,32 +338,61 @@ mod tests {
 
     #[test]
     fn preallocated_object_is_single_extent_and_stable_waf() {
-        let mut s = fresh(CosOptions { metadata_cache: false, ..CosOptions::tiny() });
+        let mut s = fresh(CosOptions {
+            metadata_cache: false,
+            ..CosOptions::tiny()
+        });
         let o = oid(0, 3);
-        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 1 << 20 }])).unwrap();
+        s.submit(Transaction::new(
+            o.group(),
+            1,
+            vec![Op::Create {
+                oid: o,
+                size: 1 << 20,
+            }],
+        ))
+        .unwrap();
         s.reset_stats();
         // Overwrite random 4 KiB blocks; with pre-allocation there is no
         // allocator churn, only the data write plus the onode write.
         for seq in 0..200u64 {
             let block = (seq * 37) % 256;
-            s.submit(write_txn(seq + 2, o, block * 4096, vec![seq as u8; 4096])).unwrap();
+            s.submit(write_txn(seq + 2, o, block * 4096, vec![seq as u8; 4096]))
+                .unwrap();
         }
         let st = s.stats();
         assert_eq!(st.user_bytes, 200 * 4096);
-        assert_eq!(st.data_bytes, 200 * 4096, "in-place: exactly one data write per write");
+        assert_eq!(
+            st.data_bytes,
+            200 * 4096,
+            "in-place: exactly one data write per write"
+        );
         let waf = st.waf();
         assert!(waf > 1.0 && waf < 1.5, "pre-alloc no-cache waf = {waf}");
     }
 
     #[test]
     fn metadata_cache_pushes_waf_to_one() {
-        let mut s = fresh(CosOptions { metadata_cache: true, meta_cache_entries: 4096, ..CosOptions::tiny() });
+        let mut s = fresh(CosOptions {
+            metadata_cache: true,
+            meta_cache_entries: 4096,
+            ..CosOptions::tiny()
+        });
         let o = oid(0, 4);
-        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 1 << 20 }])).unwrap();
+        s.submit(Transaction::new(
+            o.group(),
+            1,
+            vec![Op::Create {
+                oid: o,
+                size: 1 << 20,
+            }],
+        ))
+        .unwrap();
         s.reset_stats();
         for seq in 0..200u64 {
             let block = (seq * 37) % 256;
-            s.submit(write_txn(seq + 2, o, block * 4096, vec![seq as u8; 4096])).unwrap();
+            s.submit(write_txn(seq + 2, o, block * 4096, vec![seq as u8; 4096]))
+                .unwrap();
         }
         let waf = s.stats().waf();
         assert!((waf - 1.0).abs() < 0.05, "metadata-cache waf = {waf}");
@@ -334,11 +401,16 @@ mod tests {
 
     #[test]
     fn no_preallocation_costs_extra_metadata_writes() {
-        let mut s = fresh(CosOptions { pre_allocate: false, metadata_cache: false, ..CosOptions::tiny() });
+        let mut s = fresh(CosOptions {
+            pre_allocate: false,
+            metadata_cache: false,
+            ..CosOptions::tiny()
+        });
         let o = oid(0, 5);
         s.reset_stats();
         for seq in 0..50u64 {
-            s.submit(write_txn(seq + 1, o, seq * 4096, vec![7u8; 4096])).unwrap();
+            s.submit(write_txn(seq + 1, o, seq * 4096, vec![7u8; 4096]))
+                .unwrap();
         }
         let st = s.stats();
         // Every write allocated fresh blocks: onode + free-tree info writes
@@ -352,10 +424,19 @@ mod tests {
         let mut s = fresh(CosOptions::tiny());
         let o = oid(0, 6);
         let free_before: u64 = s.free_blocks_per_partition().iter().sum();
-        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 256 << 10 }])).unwrap();
+        s.submit(Transaction::new(
+            o.group(),
+            1,
+            vec![Op::Create {
+                oid: o,
+                size: 256 << 10,
+            }],
+        ))
+        .unwrap();
         let free_mid: u64 = s.free_blocks_per_partition().iter().sum();
         assert!(free_mid < free_before);
-        s.submit(Transaction::new(o.group(), 2, vec![Op::Delete { oid: o }])).unwrap();
+        s.submit(Transaction::new(o.group(), 2, vec![Op::Delete { oid: o }]))
+            .unwrap();
         // Delayed deallocation: blocks come back only after maintenance.
         let free_after_delete: u64 = s.free_blocks_per_partition().iter().sum();
         assert_eq!(free_after_delete, free_mid);
@@ -368,7 +449,10 @@ mod tests {
 
     #[test]
     fn groups_shard_across_partitions() {
-        let s = fresh(CosOptions { partitions: 2, ..CosOptions::tiny() });
+        let s = fresh(CosOptions {
+            partitions: 2,
+            ..CosOptions::tiny()
+        });
         assert_eq!(s.partition_of(GroupId(0)), 0);
         assert_eq!(s.partition_of(GroupId(1)), 1);
         assert_eq!(s.partition_of(GroupId(2)), 0);
@@ -377,52 +461,92 @@ mod tests {
 
     #[test]
     fn mount_recovers_objects_and_allocator() {
-        let opts = CosOptions { metadata_cache: false, ..CosOptions::tiny() };
+        let opts = CosOptions {
+            metadata_cache: false,
+            ..CosOptions::tiny()
+        };
         let mut s = fresh(opts.clone());
         let a = oid(0, 10);
         let b = oid(1, 11);
-        s.submit(Transaction::new(a.group(), 1, vec![Op::Create { oid: a, size: 64 << 10 }])).unwrap();
+        s.submit(Transaction::new(
+            a.group(),
+            1,
+            vec![Op::Create {
+                oid: a,
+                size: 64 << 10,
+            }],
+        ))
+        .unwrap();
         s.submit(write_txn(2, a, 4096, vec![0x5A; 4096])).unwrap();
         s.submit(write_txn(3, b, 0, vec![0x66; 100])).unwrap();
         s.submit(Transaction::new(
             a.group(),
             4,
-            vec![Op::SetXattr { oid: a, key: "oi".into(), value: vec![9, 9] }],
-        )).unwrap();
+            vec![Op::SetXattr {
+                oid: a,
+                key: "oi".into(),
+                value: vec![9, 9],
+            }],
+        ))
+        .unwrap();
         let free_before: Vec<u64> = s.free_blocks_per_partition();
         let dev = s.into_device();
         let mut s2 = CosObjectStore::mount(dev, opts).unwrap();
         assert_eq!(s2.read(a, 4096, 4096).unwrap(), vec![0x5A; 4096]);
         assert_eq!(s2.read(b, 0, 100).unwrap(), vec![0x66; 100]);
         assert_eq!(s2.stat(a).unwrap().size, 64 << 10);
-        assert_eq!(s2.free_blocks_per_partition(), free_before, "allocator rebuilt exactly");
+        assert_eq!(
+            s2.free_blocks_per_partition(),
+            free_before,
+            "allocator rebuilt exactly"
+        );
     }
 
     #[test]
     fn mount_rejects_mismatched_geometry() {
         let s = fresh(CosOptions::tiny());
         let dev = s.into_device();
-        let wrong = CosOptions { partitions: 4, ..CosOptions::tiny() };
-        assert!(matches!(CosObjectStore::mount(dev, wrong), Err(StoreError::Corrupt(_))));
+        let wrong = CosOptions {
+            partitions: 4,
+            ..CosOptions::tiny()
+        };
+        assert!(matches!(
+            CosObjectStore::mount(dev, wrong),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn fragmented_object_survives_mount_via_spill() {
         // Force fragmentation: no pre-allocation, interleaved writes to two
         // objects so neither gets contiguous blocks.
-        let opts = CosOptions { pre_allocate: false, metadata_cache: false, ..CosOptions::tiny() };
+        let opts = CosOptions {
+            pre_allocate: false,
+            metadata_cache: false,
+            ..CosOptions::tiny()
+        };
         let mut s = fresh(opts.clone());
         let a = oid(0, 20);
         let b = oid(0, 21);
         for i in 0..40u64 {
-            s.submit(write_txn(i * 2 + 1, a, i * 8192, vec![1u8; 100])).unwrap();
-            s.submit(write_txn(i * 2 + 2, b, i * 8192, vec![2u8; 100])).unwrap();
+            s.submit(write_txn(i * 2 + 1, a, i * 8192, vec![1u8; 100]))
+                .unwrap();
+            s.submit(write_txn(i * 2 + 2, b, i * 8192, vec![2u8; 100]))
+                .unwrap();
         }
         let dev = s.into_device();
         let mut s2 = CosObjectStore::mount(dev, opts).unwrap();
         for i in 0..40u64 {
-            assert_eq!(s2.read(a, i * 8192, 100).unwrap(), vec![1u8; 100], "a block {i}");
-            assert_eq!(s2.read(b, i * 8192, 100).unwrap(), vec![2u8; 100], "b block {i}");
+            assert_eq!(
+                s2.read(a, i * 8192, 100).unwrap(),
+                vec![1u8; 100],
+                "a block {i}"
+            );
+            assert_eq!(
+                s2.read(b, i * 8192, 100).unwrap(),
+                vec![2u8; 100],
+                "b block {i}"
+            );
         }
     }
 
@@ -430,27 +554,51 @@ mod tests {
     fn meta_kv_lives_in_memory_not_on_device() {
         let mut s = fresh(CosOptions::tiny());
         let written_before = s.device().counters().bytes_written;
-        s.submit(Transaction::new(GroupId(0), 1, vec![
-            Op::MetaPut { key: b"pglog.1".to_vec(), value: vec![3; 100] },
-        ])).unwrap();
+        s.submit(Transaction::new(
+            GroupId(0),
+            1,
+            vec![Op::MetaPut {
+                key: b"pglog.1".to_vec(),
+                value: vec![3; 100],
+            }],
+        ))
+        .unwrap();
         assert_eq!(s.get_meta(b"pglog.1"), Some(vec![3; 100]));
-        assert_eq!(s.device().counters().bytes_written, written_before,
-            "pg log rides the NVM op log, not the device");
+        assert_eq!(
+            s.device().counters().bytes_written,
+            written_before,
+            "pg log rides the NVM op log, not the device"
+        );
     }
 
     #[test]
     fn large_write_coalesces_into_few_device_ios() {
         let mut s = fresh(CosOptions::tiny());
         let o = oid(0, 30);
-        s.submit(Transaction::new(o.group(), 1, vec![Op::Create { oid: o, size: 1 << 20 }])).unwrap();
+        s.submit(Transaction::new(
+            o.group(),
+            1,
+            vec![Op::Create {
+                oid: o,
+                size: 1 << 20,
+            }],
+        ))
+        .unwrap();
         s.take_trace();
         s.submit(write_txn(2, o, 0, vec![9u8; 128 << 10])).unwrap();
         let trace = s.take_trace();
         let data_writes: Vec<_> = trace
             .iter()
-            .filter(|t| matches!(t.kind, rablock_storage::TraceKind::Write) && t.category == rablock_storage::IoCategory::Data)
+            .filter(|t| {
+                matches!(t.kind, rablock_storage::TraceKind::Write)
+                    && t.category == rablock_storage::IoCategory::Data
+            })
             .collect();
-        assert_eq!(data_writes.len(), 1, "contiguous pre-allocated run = one 128 KiB write");
+        assert_eq!(
+            data_writes.len(),
+            1,
+            "contiguous pre-allocated run = one 128 KiB write"
+        );
         assert_eq!(data_writes[0].bytes, 128 << 10);
     }
 }

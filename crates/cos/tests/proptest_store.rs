@@ -10,9 +10,20 @@ const OBJECTS: u64 = 4;
 
 #[derive(Debug, Clone)]
 enum StoreOp {
-    Write { obj: u64, offset: u64, len: u64, fill: u8 },
-    Read { obj: u64, offset: u64, len: u64 },
-    Delete { obj: u64 },
+    Write {
+        obj: u64,
+        offset: u64,
+        len: u64,
+        fill: u8,
+    },
+    Read {
+        obj: u64,
+        offset: u64,
+        len: u64,
+    },
+    Delete {
+        obj: u64,
+    },
     Maintain,
 }
 
@@ -43,28 +54,42 @@ fn oid(i: u64) -> ObjectId {
 /// Model entry: `(logical_size, bytes)`; `None` = deleted.
 type ModelObj = Option<(u64, Vec<u8>)>;
 
-fn run_script(
-    opts: CosOptions,
-    script: Vec<StoreOp>,
-) -> (CosObjectStore<MemDisk>, Vec<ModelObj>) {
+fn run_script(opts: CosOptions, script: Vec<StoreOp>) -> (CosObjectStore<MemDisk>, Vec<ModelObj>) {
     let mut store = CosObjectStore::format(MemDisk::new(32 << 20), opts).unwrap();
-    let mut model: Vec<ModelObj> =
-        (0..OBJECTS).map(|_| Some((OBJ_BYTES, vec![0u8; OBJ_BYTES as usize]))).collect();
+    let mut model: Vec<ModelObj> = (0..OBJECTS)
+        .map(|_| Some((OBJ_BYTES, vec![0u8; OBJ_BYTES as usize])))
+        .collect();
     let mut seq = 0u64;
     for i in 0..OBJECTS {
         seq += 1;
         store
-            .submit(Transaction::new(oid(i).group(), seq, vec![Op::Create { oid: oid(i), size: OBJ_BYTES }]))
+            .submit(Transaction::new(
+                oid(i).group(),
+                seq,
+                vec![Op::Create {
+                    oid: oid(i),
+                    size: OBJ_BYTES,
+                }],
+            ))
             .unwrap();
     }
     for op in script {
         seq += 1;
         match op {
-            StoreOp::Write { obj, offset, len, fill } => {
+            StoreOp::Write {
+                obj,
+                offset,
+                len,
+                fill,
+            } => {
                 let txn = Transaction::new(
                     oid(obj).group(),
                     seq,
-                    vec![Op::Write { oid: oid(obj), offset, data: vec![fill; len as usize] }],
+                    vec![Op::Write {
+                        oid: oid(obj),
+                        offset,
+                        data: vec![fill; len as usize],
+                    }],
                 );
                 if model[obj as usize].is_none() {
                     // A write to a deleted object recreates it from zeroes,
@@ -80,13 +105,17 @@ fn run_script(
                 let got = store.read(oid(obj), offset, len);
                 match &model[obj as usize] {
                     Some((size, bytes)) if offset + len <= *size => {
-                        assert_eq!(got.unwrap(), bytes[offset as usize..(offset + len) as usize].to_vec());
+                        assert_eq!(
+                            got.unwrap(),
+                            bytes[offset as usize..(offset + len) as usize].to_vec()
+                        );
                     }
                     _ => assert!(got.is_err(), "read past size / of deleted object must fail"),
                 }
             }
             StoreOp::Delete { obj } => {
-                let txn = Transaction::new(oid(obj).group(), seq, vec![Op::Delete { oid: oid(obj) }]);
+                let txn =
+                    Transaction::new(oid(obj).group(), seq, vec![Op::Delete { oid: oid(obj) }]);
                 match &model[obj as usize] {
                     Some(_) => {
                         store.submit(txn).unwrap();
@@ -114,7 +143,10 @@ fn check_all(store: &mut CosObjectStore<MemDisk>, model: &[ModelObj]) {
                     assert_eq!(&got, &bytes[..*size as usize], "object {i}");
                 }
             }
-            None => assert!(store.read(oid(i as u64), 0, 1).is_err(), "object {i} deleted"),
+            None => assert!(
+                store.read(oid(i as u64), 0, 1).is_err(),
+                "object {i} deleted"
+            ),
         }
     }
 }

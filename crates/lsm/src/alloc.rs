@@ -18,7 +18,11 @@ pub struct SegAlloc {
 impl SegAlloc {
     /// Creates an allocator with all `count` segments free.
     pub fn new(count: usize) -> Self {
-        SegAlloc { used: vec![false; count], free: count, cursor: 0 }
+        SegAlloc {
+            used: vec![false; count],
+            free: count,
+            cursor: 0,
+        }
     }
 
     /// Number of free segments.
@@ -73,7 +77,10 @@ impl SegAlloc {
     /// Panics if the segment is already marked used.
     pub fn mark_used(&mut self, seg: u32) {
         let idx = seg as usize;
-        assert!(!self.used[idx], "segment {seg} claimed twice during recovery");
+        assert!(
+            !self.used[idx],
+            "segment {seg} claimed twice during recovery"
+        );
         self.used[idx] = true;
         self.free -= 1;
     }

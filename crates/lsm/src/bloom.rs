@@ -29,10 +29,17 @@ fn hash128(key: &[u8]) -> (u64, u64) {
 impl Bloom {
     /// Builds a filter for `keys` with `bits_per_key` bits each (10 is the
     /// classic ~1% FPR point).
-    pub fn build<'a, I: IntoIterator<Item = &'a [u8]>>(keys: I, n: usize, bits_per_key: usize) -> Self {
+    pub fn build<'a, I: IntoIterator<Item = &'a [u8]>>(
+        keys: I,
+        n: usize,
+        bits_per_key: usize,
+    ) -> Self {
         let nbits = (n.max(1) * bits_per_key).next_multiple_of(64).max(64);
         let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 12);
-        let mut bloom = Bloom { bits: vec![0u64; nbits / 64], k };
+        let mut bloom = Bloom {
+            bits: vec![0u64; nbits / 64],
+            k,
+        };
         for key in keys {
             bloom.insert(key);
         }
@@ -72,7 +79,7 @@ impl Bloom {
     /// Deserializes from [`Bloom::encode`]'s format; `None` on malformed
     /// input.
     pub fn decode(raw: &[u8]) -> Option<Self> {
-        if raw.len() < 4 + 8 || (raw.len() - 4) % 8 != 0 {
+        if raw.len() < 4 + 8 || !(raw.len() - 4).is_multiple_of(8) {
             return None;
         }
         let k = u32::from_le_bytes(raw[..4].try_into().ok()?);

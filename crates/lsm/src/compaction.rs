@@ -41,8 +41,16 @@ impl<D: BlockDevice> Db<D> {
         };
 
         // Key range of the inputs → overlapping files in the target level.
-        let min = upper.iter().map(|s| s.min_key.clone()).min().expect("nonempty inputs");
-        let max = upper.iter().map(|s| s.max_key.clone()).max().expect("nonempty inputs");
+        let min = upper
+            .iter()
+            .map(|s| s.min_key.clone())
+            .min()
+            .expect("nonempty inputs");
+        let max = upper
+            .iter()
+            .map(|s| s.max_key.clone())
+            .max()
+            .expect("nonempty inputs");
         let mut lower: Vec<Sst> = Vec::new();
         let target = &mut self.levels[target_level];
         let mut i = 0;
@@ -83,8 +91,7 @@ impl<D: BlockDevice> Db<D> {
         let outputs = self.build_output_ssts(merged)?;
         let bytes_written: u64 = outputs.iter().map(|s| s.len).sum();
         for sst in outputs {
-            let pos = self.levels[target_level]
-                .partition_point(|s| s.min_key < sst.min_key);
+            let pos = self.levels[target_level].partition_point(|s| s.min_key < sst.min_key);
             self.levels[target_level].insert(pos, sst);
         }
         debug_assert!(self.level_is_sorted_nonoverlapping(target_level));
@@ -96,7 +103,11 @@ impl<D: BlockDevice> Db<D> {
             self.free_sst(sst);
         }
 
-        Ok(MaintenanceReport { bytes_read, bytes_written, did_work: true })
+        Ok(MaintenanceReport {
+            bytes_read,
+            bytes_written,
+            did_work: true,
+        })
     }
 
     pub(crate) fn level_is_sorted_nonoverlapping(&self, level: usize) -> bool {
@@ -113,7 +124,10 @@ mod tests {
     use rablock_storage::MemDisk;
 
     fn kv(i: u64) -> crate::db::BatchEntry {
-        (format!("key{:08}", i).into_bytes(), Some(vec![(i % 251) as u8; 64]))
+        (
+            format!("key{:08}", i).into_bytes(),
+            Some(vec![(i % 251) as u8; 64]),
+        )
     }
 
     fn filled_db(n: u64) -> Db<MemDisk> {
@@ -141,8 +155,14 @@ mod tests {
     fn compaction_moves_data_below_l0() {
         let db = filled_db(3_000);
         let counts = db.level_file_counts();
-        assert!(counts[0] < db.options().l0_trigger, "L0 drained: {counts:?}");
-        assert!(counts[1..].iter().sum::<usize>() > 0, "deeper levels populated: {counts:?}");
+        assert!(
+            counts[0] < db.options().l0_trigger,
+            "L0 drained: {counts:?}"
+        );
+        assert!(
+            counts[1..].iter().sum::<usize>() > 0,
+            "deeper levels populated: {counts:?}"
+        );
     }
 
     #[test]

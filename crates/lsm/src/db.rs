@@ -83,7 +83,10 @@ impl<D: BlockDevice> Db<D> {
         }
         let seg_region_off = fixed;
         let seg_count = ((dev.capacity() - seg_region_off) / opts.segment_bytes) as usize;
-        let geom = SegGeometry { region_off: seg_region_off, segment_bytes: opts.segment_bytes };
+        let geom = SegGeometry {
+            region_off: seg_region_off,
+            segment_bytes: opts.segment_bytes,
+        };
         let mut db = Db {
             dev,
             geom,
@@ -159,8 +162,16 @@ impl<D: BlockDevice> Db<D> {
             }
             Err(e) => return Err(e),
         };
-        self.record(TraceIo { kind: TraceKind::Write, bytes: written, category: IoCategory::Wal });
-        self.record(TraceIo { kind: TraceKind::Flush, bytes: 0, category: IoCategory::Wal });
+        self.record(TraceIo {
+            kind: TraceKind::Write,
+            bytes: written,
+            category: IoCategory::Wal,
+        });
+        self.record(TraceIo {
+            kind: TraceKind::Flush,
+            bytes: 0,
+            category: IoCategory::Wal,
+        });
         for (k, v) in batch {
             self.mem.insert(k.clone(), v.clone());
         }
@@ -322,29 +333,30 @@ impl<D: BlockDevice> Db<D> {
         let mut outputs = Vec::new();
         let mut run: Vec<BatchEntry> = Vec::new();
         let mut run_bytes = 0u64;
-        let flush_run = |db: &mut Self, run: &mut Vec<BatchEntry>| -> Result<Option<Sst>, StoreError> {
-            if run.is_empty() {
-                return Ok(None);
-            }
-            let id = db.next_sst_id;
-            db.next_sst_id += 1;
-            let mut trace = Vec::new();
-            let sst = build_sst(
-                &mut db.dev,
-                &mut db.alloc,
-                db.geom,
-                id,
-                run,
-                db.opts.block_bytes,
-                IoCategory::Compaction,
-                &mut trace,
-            )?;
-            for io in trace {
-                db.record(io);
-            }
-            run.clear();
-            Ok(Some(sst))
-        };
+        let flush_run =
+            |db: &mut Self, run: &mut Vec<BatchEntry>| -> Result<Option<Sst>, StoreError> {
+                if run.is_empty() {
+                    return Ok(None);
+                }
+                let id = db.next_sst_id;
+                db.next_sst_id += 1;
+                let mut trace = Vec::new();
+                let sst = build_sst(
+                    &mut db.dev,
+                    &mut db.alloc,
+                    db.geom,
+                    id,
+                    run,
+                    db.opts.block_bytes,
+                    IoCategory::Compaction,
+                    &mut trace,
+                )?;
+                for io in trace {
+                    db.record(io);
+                }
+                run.clear();
+                Ok(Some(sst))
+            };
         for (k, v) in merged {
             run_bytes += (k.len() + v.as_ref().map_or(0, Vec::len) + 16) as u64;
             run.push((k, v));
@@ -425,13 +437,19 @@ impl<D: BlockDevice> Db<D> {
             bytes: framed.len() as u64,
             category: IoCategory::Superblock,
         });
-        self.record(TraceIo { kind: TraceKind::Flush, bytes: 0, category: IoCategory::Superblock });
+        self.record(TraceIo {
+            kind: TraceKind::Flush,
+            bytes: 0,
+            category: IoCategory::Superblock,
+        });
         Ok(())
     }
 
     fn read_manifest_slot(&mut self, slot: u64) -> Option<Vec<u8>> {
         let mut framed = vec![0u8; self.opts.manifest_slot_bytes as usize];
-        self.dev.read_at(slot * self.opts.manifest_slot_bytes, &mut framed).ok()?;
+        self.dev
+            .read_at(slot * self.opts.manifest_slot_bytes, &mut framed)
+            .ok()?;
         let mut cur = Cursor::new(&framed);
         let len = cur.get_u32()? as usize;
         let stored_crc = cur.get_u32()?;
@@ -458,7 +476,11 @@ impl<D: BlockDevice> Db<D> {
             c.get_u64().unwrap_or(0)
         };
         let chosen = match (a, b) {
-            (Some(x), Some(y)) => Some(if version_of(&x) >= version_of(&y) { x } else { y }),
+            (Some(x), Some(y)) => Some(if version_of(&x) >= version_of(&y) {
+                x
+            } else {
+                y
+            }),
             (Some(x), None) => Some(x),
             (None, Some(y)) => Some(y),
             (None, None) => None,
@@ -474,7 +496,11 @@ impl<D: BlockDevice> Db<D> {
         let base_epoch = cur.get_u64().ok_or_else(trunc)?;
         let current_epoch = cur.get_u64().ok_or_else(trunc)?;
         self.replay_from = cur.get_u64().ok_or_else(trunc)?;
-        self.wal = Wal::new(self.opts.manifest_slot_bytes * 2, self.opts.wal_bytes, base_epoch);
+        self.wal = Wal::new(
+            self.opts.manifest_slot_bytes * 2,
+            self.opts.wal_bytes,
+            base_epoch,
+        );
         let levels = cur.get_u32().ok_or_else(trunc)? as usize;
         if levels != self.opts.levels {
             return Err(StoreError::Corrupt(format!(
@@ -533,12 +559,20 @@ impl<D: BlockDevice> Db<D> {
             for _ in 0..n {
                 let flag = c.get_bytes_raw(1).ok_or_else(trunc)?[0];
                 let key = c.get_bytes().ok_or_else(trunc)?.to_vec();
-                let value = if flag == 0 { Some(c.get_bytes().ok_or_else(trunc)?.to_vec()) } else { None };
+                let value = if flag == 0 {
+                    Some(c.get_bytes().ok_or_else(trunc)?.to_vec())
+                } else {
+                    None
+                };
                 self.mem.insert(key, value);
             }
         }
         let _ = replay_bytes;
-        self.record(TraceIo { kind: TraceKind::Read, bytes: self.opts.wal_bytes, category: IoCategory::Wal });
+        self.record(TraceIo {
+            kind: TraceKind::Read,
+            bytes: self.opts.wal_bytes,
+            category: IoCategory::Wal,
+        });
         // Recovery policy: flush the replayed data straight to an SST and
         // restart the WAL from a clean slate. Recovery is rare, so trading a
         // small flush for a much simpler "resume appending mid-region"
@@ -546,7 +580,8 @@ impl<D: BlockDevice> Db<D> {
         self.wal.current_epoch = max_epoch;
         self.mem_epoch = max_epoch;
         if !self.mem.is_empty() {
-            self.immutables.push_back((self.mem_epoch, std::mem::take(&mut self.mem)));
+            self.immutables
+                .push_back((self.mem_epoch, std::mem::take(&mut self.mem)));
             self.wal.advance_epoch();
             self.mem_epoch = self.wal.current_epoch;
             self.flush_oldest()?;
@@ -592,7 +627,10 @@ impl<D: BlockDevice> Db<D> {
     ///
     /// Panics on double free.
     pub fn free_segment(&mut self, seg: u32) -> Result<(), StoreError> {
-        assert!(self.raw_segments.remove(&seg), "freeing a non-raw segment {seg}");
+        assert!(
+            self.raw_segments.remove(&seg),
+            "freeing a non-raw segment {seg}"
+        );
         self.alloc.free(seg);
         self.write_manifest()
     }
@@ -619,8 +657,16 @@ impl<D: BlockDevice> Db<D> {
         let dev_off = self.geom.region_off + seg as u64 * self.opts.segment_bytes + offset;
         self.dev.write_at(dev_off, data)?;
         self.dev.flush()?;
-        self.record(TraceIo { kind: TraceKind::Write, bytes: data.len() as u64, category: IoCategory::Data });
-        self.record(TraceIo { kind: TraceKind::Flush, bytes: 0, category: IoCategory::Data });
+        self.record(TraceIo {
+            kind: TraceKind::Write,
+            bytes: data.len() as u64,
+            category: IoCategory::Data,
+        });
+        self.record(TraceIo {
+            kind: TraceKind::Flush,
+            bytes: 0,
+            category: IoCategory::Data,
+        });
         Ok(())
     }
 
@@ -631,12 +677,20 @@ impl<D: BlockDevice> Db<D> {
     /// Propagates device errors; the range must fit in the segment.
     pub fn raw_read(&mut self, seg: u32, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
         if offset + len > self.opts.segment_bytes {
-            return Err(StoreError::OutOfBounds { offset, len, capacity: self.opts.segment_bytes });
+            return Err(StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.opts.segment_bytes,
+            });
         }
         let mut out = vec![0u8; len as usize];
         let dev_off = self.geom.region_off + seg as u64 * self.opts.segment_bytes + offset;
         self.dev.read_at(dev_off, &mut out)?;
-        self.record(TraceIo { kind: TraceKind::Read, bytes: len, category: IoCategory::Data });
+        self.record(TraceIo {
+            kind: TraceKind::Read,
+            bytes: len,
+            category: IoCategory::Data,
+        });
         Ok(out)
     }
 
@@ -646,6 +700,7 @@ impl<D: BlockDevice> Db<D> {
     /// # Errors
     ///
     /// Propagates device errors.
+    #[allow(clippy::type_complexity)]
     pub fn scan_prefix(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, StoreError> {
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         // Oldest to newest: deep levels, then L1.., then L0 back-to-front,
@@ -678,7 +733,10 @@ impl<D: BlockDevice> Db<D> {
                 merged.insert(k.clone(), v.clone());
             }
         }
-        Ok(merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect())
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
     }
 
     /// Drains traced device I/Os since the previous call.

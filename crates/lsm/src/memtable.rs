@@ -19,9 +19,7 @@ impl Memtable {
     pub fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
         let add = key.len() + value.as_ref().map_or(0, Vec::len) + 24;
         if let Some(old) = self.entries.insert(key, value) {
-            self.approx_bytes = self
-                .approx_bytes
-                .saturating_sub(old.map_or(0, |v| v.len()));
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(0, |v| v.len()));
             self.approx_bytes += add - 24; // key re-counted above; drop the fixed part once
         } else {
             self.approx_bytes += add;

@@ -139,15 +139,16 @@ fn encode_file(
     let mut block_first: Option<Vec<u8>> = None;
     let mut entries = 0u64;
 
-    let close_block = |file: &mut Vec<u8>, start: usize, first: Option<Vec<u8>>, index: &mut Vec<IndexEntry>| {
-        if let Some(first_key) = first {
-            index.push(IndexEntry {
-                first_key,
-                offset: start as u64,
-                len: (file.len() - start) as u32,
-            });
-        }
-    };
+    let close_block =
+        |file: &mut Vec<u8>, start: usize, first: Option<Vec<u8>>, index: &mut Vec<IndexEntry>| {
+            if let Some(first_key) = first {
+                index.push(IndexEntry {
+                    first_key,
+                    offset: start as u64,
+                    len: (file.len() - start) as u32,
+                });
+            }
+        };
 
     for (key, value) in records {
         if block_first.is_none() {
@@ -220,7 +221,10 @@ pub fn build_sst<D: BlockDevice>(
     trace: &mut Vec<TraceIo>,
 ) -> Result<Sst, StoreError> {
     assert!(!records.is_empty(), "building an empty SST");
-    debug_assert!(records.windows(2).all(|w| w[0].0 < w[1].0), "records must be strictly sorted");
+    debug_assert!(
+        records.windows(2).all(|w| w[0].0 < w[1].0),
+        "records must be strictly sorted"
+    );
 
     let (mut file, index, entries) = encode_file(records, block_bytes);
     let bloom = Bloom::build(records.iter().map(|(k, _)| k.as_slice()), records.len(), 10);
@@ -266,10 +270,18 @@ pub fn build_sst<D: BlockDevice>(
     let mut remaining = len;
     while remaining > 0 {
         let chunk = remaining.min(geom.segment_bytes);
-        trace.push(TraceIo { kind: TraceKind::Write, bytes: chunk, category });
+        trace.push(TraceIo {
+            kind: TraceKind::Write,
+            bytes: chunk,
+            category,
+        });
         remaining -= chunk;
     }
-    trace.push(TraceIo { kind: TraceKind::Flush, bytes: 0, category });
+    trace.push(TraceIo {
+        kind: TraceKind::Flush,
+        bytes: 0,
+        category,
+    });
 
     Ok(Sst {
         id,
@@ -306,7 +318,11 @@ pub fn sst_get<D: BlockDevice>(
     };
     let entry = &sst.index[block_idx];
     let block = geom.read_range(dev, &sst.segments, entry.offset, entry.len as u64)?;
-    trace.push(TraceIo { kind: TraceKind::Read, bytes: entry.len as u64, category: IoCategory::Data });
+    trace.push(TraceIo {
+        kind: TraceKind::Read,
+        bytes: entry.len as u64,
+        category: IoCategory::Data,
+    });
     for (k, v) in decode_block(&block) {
         if k == key {
             return Ok(Some(v));
@@ -320,6 +336,7 @@ pub fn sst_get<D: BlockDevice>(
 /// # Errors
 ///
 /// Propagates device errors.
+#[allow(clippy::type_complexity)]
 pub fn sst_scan<D: BlockDevice>(
     dev: &mut D,
     geom: SegGeometry,
@@ -331,7 +348,11 @@ pub fn sst_scan<D: BlockDevice>(
     let mut remaining = data_len;
     while remaining > 0 {
         let chunk = remaining.min(geom.segment_bytes);
-        trace.push(TraceIo { kind: TraceKind::Read, bytes: chunk, category: IoCategory::Compaction });
+        trace.push(TraceIo {
+            kind: TraceKind::Read,
+            bytes: chunk,
+            category: IoCategory::Compaction,
+        });
         remaining -= chunk;
     }
     Ok(decode_block(&raw))
@@ -348,7 +369,10 @@ pub fn load_index<D: BlockDevice>(
     sst: &mut Sst,
 ) -> Result<(), StoreError> {
     if sst.len < FOOTER_BYTES {
-        return Err(StoreError::Corrupt(format!("sst {} shorter than footer", sst.id)));
+        return Err(StoreError::Corrupt(format!(
+            "sst {} shorter than footer",
+            sst.id
+        )));
     }
     let footer = geom.read_range(dev, &sst.segments, sst.len - FOOTER_BYTES, FOOTER_BYTES)?;
     let mut cur = Cursor::new(&footer);
@@ -359,11 +383,22 @@ pub fn load_index<D: BlockDevice>(
     let stored_crc = cur.get_u32().expect("footer sized");
     let magic = cur.get_u32().expect("footer sized");
     if magic != MAGIC {
-        return Err(StoreError::Corrupt(format!("sst {} bad magic {magic:#x}", sst.id)));
+        return Err(StoreError::Corrupt(format!(
+            "sst {} bad magic {magic:#x}",
+            sst.id
+        )));
     }
-    let meta = geom.read_range(dev, &sst.segments, index_off, (index_len + bloom_len) as u64)?;
+    let meta = geom.read_range(
+        dev,
+        &sst.segments,
+        index_off,
+        (index_len + bloom_len) as u64,
+    )?;
     if crc32(&meta) != stored_crc {
-        return Err(StoreError::Corrupt(format!("sst {} metadata crc mismatch", sst.id)));
+        return Err(StoreError::Corrupt(format!(
+            "sst {} metadata crc mismatch",
+            sst.id
+        )));
     }
     let index_block = &meta[..index_len as usize];
     sst.bloom = Bloom::decode(&meta[index_len as usize..])
@@ -384,7 +419,11 @@ pub fn load_index<D: BlockDevice>(
         let len = cur
             .get_u32()
             .ok_or_else(|| StoreError::Corrupt("truncated index entry".into()))?;
-        index.push(IndexEntry { first_key, offset, len });
+        index.push(IndexEntry {
+            first_key,
+            offset,
+            len,
+        });
     }
     sst.entries = entries;
     sst.index = index;
@@ -397,7 +436,10 @@ mod tests {
     use rablock_storage::MemDisk;
 
     fn geom() -> SegGeometry {
-        SegGeometry { region_off: 0, segment_bytes: 4096 }
+        SegGeometry {
+            region_off: 0,
+            segment_bytes: 4096,
+        }
     }
 
     fn records(n: u64) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
@@ -418,8 +460,17 @@ mod tests {
         let mut alloc = SegAlloc::new(1 << 10);
         let mut trace = Vec::new();
         let recs = records(n);
-        let sst = build_sst(&mut dev, &mut alloc, geom(), 1, &recs, 512, IoCategory::MemtableFlush, &mut trace)
-            .unwrap();
+        let sst = build_sst(
+            &mut dev,
+            &mut alloc,
+            geom(),
+            1,
+            &recs,
+            512,
+            IoCategory::MemtableFlush,
+            &mut trace,
+        )
+        .unwrap();
         (dev, alloc, sst, trace)
     }
 
@@ -437,9 +488,18 @@ mod tests {
     fn absent_keys_return_none() {
         let (mut dev, _a, sst, _t) = build(50);
         let mut trace = Vec::new();
-        assert_eq!(sst_get(&mut dev, geom(), &sst, b"aaa", &mut trace).unwrap(), None);
-        assert_eq!(sst_get(&mut dev, geom(), &sst, b"zzz", &mut trace).unwrap(), None);
-        assert_eq!(sst_get(&mut dev, geom(), &sst, b"key000000x", &mut trace).unwrap(), None);
+        assert_eq!(
+            sst_get(&mut dev, geom(), &sst, b"aaa", &mut trace).unwrap(),
+            None
+        );
+        assert_eq!(
+            sst_get(&mut dev, geom(), &sst, b"zzz", &mut trace).unwrap(),
+            None
+        );
+        assert_eq!(
+            sst_get(&mut dev, geom(), &sst, b"key000000x", &mut trace).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -453,7 +513,11 @@ mod tests {
     #[test]
     fn index_reload_matches_built_index() {
         let (mut dev, _a, sst, _t) = build(120);
-        let mut reloaded = Sst { index: Vec::new(), entries: 0, ..sst.clone() };
+        let mut reloaded = Sst {
+            index: Vec::new(),
+            entries: 0,
+            ..sst.clone()
+        };
         load_index(&mut dev, geom(), &mut reloaded).unwrap();
         assert_eq!(reloaded.index, sst.index);
         assert_eq!(reloaded.entries, sst.entries);
@@ -466,8 +530,14 @@ mod tests {
         let geom = geom();
         let dev_off = geom.device_offset(&sst.segments, sst.len - 1);
         dev.write_at(dev_off, &[0x00]).unwrap();
-        let mut reloaded = Sst { index: Vec::new(), ..sst };
-        assert!(matches!(load_index(&mut dev, geom, &mut reloaded), Err(StoreError::Corrupt(_))));
+        let mut reloaded = Sst {
+            index: Vec::new(),
+            ..sst
+        };
+        assert!(matches!(
+            load_index(&mut dev, geom, &mut reloaded),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -488,9 +558,22 @@ mod tests {
         let mut alloc = SegAlloc::new(2); // deliberately too small
         let mut trace = Vec::new();
         let recs = records(2000);
-        let err = build_sst(&mut dev, &mut alloc, geom(), 1, &recs, 512, IoCategory::MemtableFlush, &mut trace);
+        let err = build_sst(
+            &mut dev,
+            &mut alloc,
+            geom(),
+            1,
+            &recs,
+            512,
+            IoCategory::MemtableFlush,
+            &mut trace,
+        );
         assert_eq!(err.err(), Some(StoreError::NoSpace));
-        assert_eq!(alloc.free_segments(), 2, "partial allocation must roll back");
+        assert_eq!(
+            alloc.free_segments(),
+            2,
+            "partial allocation must roll back"
+        );
     }
 
     #[test]

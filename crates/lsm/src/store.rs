@@ -82,9 +82,17 @@ impl StoredInfo {
         let version = c.get_u64().ok_or_else(bad_info)?;
         let mtime = c.get_u64().ok_or_else(bad_info)?;
         let generation = u32::from_le_bytes(
-            c.get_bytes_raw(4).ok_or_else(bad_info)?.try_into().expect("4 bytes"),
+            c.get_bytes_raw(4)
+                .ok_or_else(bad_info)?
+                .try_into()
+                .expect("4 bytes"),
         );
-        Ok(StoredInfo { size, version, mtime, generation })
+        Ok(StoredInfo {
+            size,
+            version,
+            mtime,
+            generation,
+        })
     }
 }
 
@@ -145,7 +153,13 @@ impl<D: BlockDevice> LsmObjectStore<D> {
             raw_chunks.insert((oid, generation, chunk), seg);
         }
         let cache = BlockCache::new(db.options().block_cache_bytes);
-        Ok(LsmObjectStore { db, raw_chunks, cache, user_bytes: 0, transactions: 0 })
+        Ok(LsmObjectStore {
+            db,
+            raw_chunks,
+            cache,
+            user_bytes: 0,
+            transactions: 0,
+        })
     }
 
     /// The embedded LSM database (diagnostics).
@@ -216,7 +230,10 @@ impl<D: BlockDevice> LsmObjectStore<D> {
                 let seg = self.db.alloc_segments(1)?[0];
                 self.db.raw_write(seg, 0, &merged)?;
                 self.raw_chunks.insert(key, seg);
-                batch.push((raw_key(oid, info.generation, chunk), Some(seg.to_le_bytes().to_vec())));
+                batch.push((
+                    raw_key(oid, info.generation, chunk),
+                    Some(seg.to_le_bytes().to_vec()),
+                ));
             } else {
                 kv_ranges.push((p_start, p_end));
             }
@@ -254,13 +271,12 @@ impl<D: BlockDevice> LsmObjectStore<D> {
             } else {
                 // Unaligned: read-modify-write the block (the paper calls
                 // this out in the YCSB analysis, §V-E).
-                let mut existing = match self.db.get(&key)? {
-                    Some(v) => v,
-                    None => Vec::new(),
-                };
+                let mut existing = self.db.get(&key)?.unwrap_or_default();
                 existing.resize(LSM_BLOCK_BYTES as usize, 0);
                 existing[(copy_start - block_start) as usize..(copy_end - block_start) as usize]
-                    .copy_from_slice(&data[(copy_start - offset) as usize..(copy_end - offset) as usize]);
+                    .copy_from_slice(
+                        &data[(copy_start - offset) as usize..(copy_end - offset) as usize],
+                    );
                 existing
             };
             self.cache.put(key.clone(), value.clone());
@@ -319,9 +335,9 @@ impl<D: BlockDevice> ObjectStore for LsmObjectStore<D> {
         // Info updates are coalesced per object within the transaction.
         let mut infos: Vec<(ObjectId, StoredInfo)> = Vec::new();
         let info_of = |store: &mut Self,
-                           infos: &mut Vec<(ObjectId, StoredInfo)>,
-                           oid: ObjectId,
-                           create: bool|
+                       infos: &mut Vec<(ObjectId, StoredInfo)>,
+                       oid: ObjectId,
+                       create: bool|
          -> Result<Option<usize>, StoreError> {
             if let Some(pos) = infos.iter().position(|(o, _)| *o == oid) {
                 return Ok(Some(pos));
@@ -332,7 +348,15 @@ impl<D: BlockDevice> ObjectStore for LsmObjectStore<D> {
                     Ok(Some(infos.len() - 1))
                 }
                 None if create => {
-                    infos.push((oid, StoredInfo { size: 0, version: 0, mtime: 0, generation: 0 }));
+                    infos.push((
+                        oid,
+                        StoredInfo {
+                            size: 0,
+                            version: 0,
+                            mtime: 0,
+                            generation: 0,
+                        },
+                    ));
                     Ok(Some(infos.len() - 1))
                 }
                 None => Ok(None),
@@ -342,7 +366,8 @@ impl<D: BlockDevice> ObjectStore for LsmObjectStore<D> {
         for op in &txn.ops {
             match op {
                 Op::Create { oid, size } => {
-                    let idx = info_of(self, &mut infos, *oid, true)?.expect("create always yields info");
+                    let idx =
+                        info_of(self, &mut infos, *oid, true)?.expect("create always yields info");
                     let info = &mut infos[idx].1;
                     info.size = info.size.max(*size);
                     info.version += 1;
@@ -407,7 +432,11 @@ impl<D: BlockDevice> ObjectStore for LsmObjectStore<D> {
     fn read(&mut self, oid: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
         let info = self.load_info(oid)?.ok_or(StoreError::NotFound)?;
         if offset + len > info.size {
-            return Err(StoreError::OutOfBounds { offset, len, capacity: info.size });
+            return Err(StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity: info.size,
+            });
         }
         if len == 0 {
             return Ok(Vec::new());
@@ -494,7 +523,15 @@ mod tests {
     }
 
     fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
-        Transaction::new(GroupId(0), seq, vec![Op::Write { oid: o, offset, data }])
+        Transaction::new(
+            GroupId(0),
+            seq,
+            vec![Op::Write {
+                oid: o,
+                offset,
+                data,
+            }],
+        )
     }
 
     #[test]
@@ -518,7 +555,8 @@ mod tests {
     #[test]
     fn write_spanning_blocks() {
         let mut s = store();
-        s.submit(write_txn(1, oid(1), 4000, vec![9u8; 200])).unwrap();
+        s.submit(write_txn(1, oid(1), 4000, vec![9u8; 200]))
+            .unwrap();
         let got = s.read(oid(1), 4000, 200).unwrap();
         assert_eq!(got, vec![9u8; 200]);
         // Sparse prefix reads as zeroes.
@@ -539,8 +577,15 @@ mod tests {
     #[test]
     fn create_preallocates_size() {
         let mut s = store();
-        s.submit(Transaction::new(GroupId(0), 1, vec![Op::Create { oid: oid(2), size: 1 << 16 }]))
-            .unwrap();
+        s.submit(Transaction::new(
+            GroupId(0),
+            1,
+            vec![Op::Create {
+                oid: oid(2),
+                size: 1 << 16,
+            }],
+        ))
+        .unwrap();
         assert_eq!(s.stat(oid(2)).unwrap().size, 1 << 16);
         assert_eq!(s.read(oid(2), 65_000, 100).unwrap(), vec![0u8; 100]);
     }
@@ -549,11 +594,20 @@ mod tests {
     fn delete_removes_object_and_read_fails() {
         let mut s = store();
         s.submit(write_txn(1, oid(3), 0, vec![1u8; 128])).unwrap();
-        s.submit(Transaction::new(GroupId(0), 2, vec![Op::Delete { oid: oid(3) }])).unwrap();
+        s.submit(Transaction::new(
+            GroupId(0),
+            2,
+            vec![Op::Delete { oid: oid(3) }],
+        ))
+        .unwrap();
         assert_eq!(s.read(oid(3), 0, 1), Err(StoreError::NotFound));
         assert!(s.stat(oid(3)).is_none());
         // Deleting again reports NotFound.
-        let err = s.submit(Transaction::new(GroupId(0), 3, vec![Op::Delete { oid: oid(3) }]));
+        let err = s.submit(Transaction::new(
+            GroupId(0),
+            3,
+            vec![Op::Delete { oid: oid(3) }],
+        ));
         assert_eq!(err, Err(StoreError::NotFound));
     }
 
@@ -564,14 +618,27 @@ mod tests {
             GroupId(0),
             1,
             vec![
-                Op::MetaPut { key: b"pglog.0.42".to_vec(), value: vec![1, 2, 3] },
-                Op::Write { oid: oid(1), offset: 0, data: vec![0u8; 64] },
+                Op::MetaPut {
+                    key: b"pglog.0.42".to_vec(),
+                    value: vec![1, 2, 3],
+                },
+                Op::Write {
+                    oid: oid(1),
+                    offset: 0,
+                    data: vec![0u8; 64],
+                },
             ],
         ))
         .unwrap();
         assert_eq!(s.get_meta(b"pglog.0.42"), Some(vec![1, 2, 3]));
-        s.submit(Transaction::new(GroupId(0), 2, vec![Op::MetaDelete { key: b"pglog.0.42".to_vec() }]))
-            .unwrap();
+        s.submit(Transaction::new(
+            GroupId(0),
+            2,
+            vec![Op::MetaDelete {
+                key: b"pglog.0.42".to_vec(),
+            }],
+        ))
+        .unwrap();
         assert_eq!(s.get_meta(b"pglog.0.42"), None);
     }
 
@@ -580,10 +647,18 @@ mod tests {
         let mut s = store();
         let mut x = 0x12345u64;
         for seq in 0..4_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let o = oid(x % 16);
             let block = (x >> 16) % 64;
-            s.submit(write_txn(seq, o, block * 4096, vec![(seq % 251) as u8; 4096])).unwrap();
+            s.submit(write_txn(
+                seq,
+                o,
+                block * 4096,
+                vec![(seq % 251) as u8; 4096],
+            ))
+            .unwrap();
             while s.needs_maintenance() {
                 s.maintenance();
             }
@@ -599,7 +674,10 @@ mod tests {
     fn out_of_bounds_read_rejected() {
         let mut s = store();
         s.submit(write_txn(1, oid(1), 0, vec![1u8; 100])).unwrap();
-        assert!(matches!(s.read(oid(1), 50, 100), Err(StoreError::OutOfBounds { .. })));
+        assert!(matches!(
+            s.read(oid(1), 50, 100),
+            Err(StoreError::OutOfBounds { .. })
+        ));
     }
 }
 
@@ -618,19 +696,35 @@ mod raw_path_tests {
     }
 
     fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
-        Transaction::new(GroupId(0), seq, vec![Op::Write { oid: o, offset, data }])
+        Transaction::new(
+            GroupId(0),
+            seq,
+            vec![Op::Write {
+                oid: o,
+                offset,
+                data,
+            }],
+        )
     }
 
     #[test]
     fn large_write_takes_raw_path_and_reads_back() {
         let mut s = store();
         let chunk = s.db().segment_bytes();
-        s.submit(write_txn(1, oid(1), 0, vec![0x7E; (chunk * 2) as usize])).unwrap();
+        s.submit(write_txn(1, oid(1), 0, vec![0x7E; (chunk * 2) as usize]))
+            .unwrap();
         assert_eq!(s.raw_chunks.len(), 2, "two chunks promoted");
-        assert_eq!(s.read(oid(1), 0, chunk * 2).unwrap(), vec![0x7E; (chunk * 2) as usize]);
+        assert_eq!(
+            s.read(oid(1), 0, chunk * 2).unwrap(),
+            vec![0x7E; (chunk * 2) as usize]
+        );
         // Raw-path writes must not ride the WAL (that is the whole point).
         let stats = s.stats();
-        assert!(stats.wal_bytes < chunk, "wal bytes {} stay small", stats.wal_bytes);
+        assert!(
+            stats.wal_bytes < chunk,
+            "wal bytes {} stay small",
+            stats.wal_bytes
+        );
         assert!(stats.data_bytes >= chunk * 2, "data written raw");
     }
 
@@ -638,7 +732,8 @@ mod raw_path_tests {
     fn small_write_onto_raw_chunk_overwrites_in_place() {
         let mut s = store();
         let chunk = s.db().segment_bytes();
-        s.submit(write_txn(1, oid(1), 0, vec![0x11; chunk as usize])).unwrap();
+        s.submit(write_txn(1, oid(1), 0, vec![0x11; chunk as usize]))
+            .unwrap();
         s.submit(write_txn(2, oid(1), 100, vec![0x22; 50])).unwrap();
         let got = s.read(oid(1), 0, chunk).unwrap();
         assert_eq!(&got[..100], &vec![0x11; 100][..]);
@@ -653,9 +748,19 @@ mod raw_path_tests {
         let chunk = s.db().segment_bytes();
         // Small write first (KV path), then a big write over the same chunk.
         s.submit(write_txn(1, oid(1), 0, vec![0x33; 4096])).unwrap();
-        s.submit(write_txn(2, oid(1), 4096, vec![0x44; (chunk - 4096) as usize])).unwrap();
+        s.submit(write_txn(
+            2,
+            oid(1),
+            4096,
+            vec![0x44; (chunk - 4096) as usize],
+        ))
+        .unwrap();
         let got = s.read(oid(1), 0, chunk).unwrap();
-        assert_eq!(&got[..4096], &vec![0x33; 4096][..], "old KV data survives promotion");
+        assert_eq!(
+            &got[..4096],
+            &vec![0x33; 4096][..],
+            "old KV data survives promotion"
+        );
         assert_eq!(&got[4096..], &vec![0x44; (chunk - 4096) as usize][..]);
     }
 
@@ -663,25 +768,39 @@ mod raw_path_tests {
     fn raw_chunks_survive_reopen() {
         let mut s = store();
         let chunk = s.db().segment_bytes();
-        s.submit(write_txn(1, oid(1), 0, vec![0x55; chunk as usize])).unwrap();
+        s.submit(write_txn(1, oid(1), 0, vec![0x55; chunk as usize]))
+            .unwrap();
         s.submit(write_txn(2, oid(2), 0, vec![0x66; 1000])).unwrap();
         let dev = s.into_device();
         let mut s2 = LsmObjectStore::open(dev, LsmOptions::tiny()).unwrap();
         assert_eq!(s2.raw_chunks.len(), 1, "raw map rebuilt from LSM records");
-        assert_eq!(s2.read(oid(1), 0, chunk).unwrap(), vec![0x55; chunk as usize]);
+        assert_eq!(
+            s2.read(oid(1), 0, chunk).unwrap(),
+            vec![0x55; chunk as usize]
+        );
         assert_eq!(s2.read(oid(2), 0, 1000).unwrap(), vec![0x66; 1000]);
         // New allocations must not collide with the recovered raw segment.
-        s2.submit(write_txn(3, oid(3), 0, vec![0x77; chunk as usize])).unwrap();
-        assert_eq!(s2.read(oid(1), 0, chunk).unwrap(), vec![0x55; chunk as usize]);
+        s2.submit(write_txn(3, oid(3), 0, vec![0x77; chunk as usize]))
+            .unwrap();
+        assert_eq!(
+            s2.read(oid(1), 0, chunk).unwrap(),
+            vec![0x55; chunk as usize]
+        );
     }
 
     #[test]
     fn delete_frees_raw_segments() {
         let mut s = store();
         let chunk = s.db().segment_bytes();
-        s.submit(write_txn(1, oid(1), 0, vec![0x88; (chunk * 3) as usize])).unwrap();
+        s.submit(write_txn(1, oid(1), 0, vec![0x88; (chunk * 3) as usize]))
+            .unwrap();
         assert_eq!(s.raw_chunks.len(), 3);
-        s.submit(Transaction::new(GroupId(0), 2, vec![Op::Delete { oid: oid(1) }])).unwrap();
+        s.submit(Transaction::new(
+            GroupId(0),
+            2,
+            vec![Op::Delete { oid: oid(1) }],
+        ))
+        .unwrap();
         assert!(s.raw_chunks.is_empty());
         assert_eq!(s.read(oid(1), 0, 1), Err(StoreError::NotFound));
     }
@@ -699,7 +818,11 @@ mod cache_tests {
         s.submit(Transaction::new(
             GroupId(0),
             1,
-            vec![Op::Write { oid, offset: 0, data: vec![9u8; 4096] }],
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![9u8; 4096],
+            }],
         ))
         .unwrap();
         // Force the block out of the memtable onto the device, then drop
@@ -739,10 +862,18 @@ mod cache_tests {
             s.submit(Transaction::new(
                 GroupId(0),
                 round as u64 + 1,
-                vec![Op::Write { oid, offset: 0, data: vec![round; 4096] }],
+                vec![Op::Write {
+                    oid,
+                    offset: 0,
+                    data: vec![round; 4096],
+                }],
             ))
             .unwrap();
-            assert_eq!(s.read(oid, 0, 4096).unwrap(), vec![round; 4096], "round {round}");
+            assert_eq!(
+                s.read(oid, 0, 4096).unwrap(),
+                vec![round; 4096],
+                "round {round}"
+            );
         }
     }
 }

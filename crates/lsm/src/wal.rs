@@ -33,7 +33,13 @@ pub struct Wal {
 impl Wal {
     /// Creates a WAL manager over `[region_off, region_off+region_len)`.
     pub fn new(region_off: u64, region_len: u64, base_epoch: u64) -> Self {
-        Wal { region_off, region_len, head: 0, base_epoch, current_epoch: base_epoch }
+        Wal {
+            region_off,
+            region_len,
+            head: 0,
+            base_epoch,
+            current_epoch: base_epoch,
+        }
     }
 
     /// Bytes already appended in this cycle.
@@ -56,7 +62,11 @@ impl Wal {
     ///
     /// [`StoreError::NoSpace`] if the region cannot hold the record; the
     /// caller must flush all memtables and [`Wal::reset`].
-    pub fn append<D: BlockDevice>(&mut self, dev: &mut D, payload: &[u8]) -> Result<u64, StoreError> {
+    pub fn append<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        payload: &[u8],
+    ) -> Result<u64, StoreError> {
         let total = HEADER_BYTES + payload.len() as u64;
         if self.head + total > self.region_len {
             return Err(StoreError::NoSpace);
@@ -102,7 +112,9 @@ impl Wal {
         loop {
             let mut cur = Cursor::new(&raw[pos..]);
             let Some(len) = cur.get_u32() else { break };
-            let Some(stored_crc) = cur.get_u32() else { break };
+            let Some(stored_crc) = cur.get_u32() else {
+                break;
+            };
             let body_len = 8 + len as usize;
             if body_len > cur.remaining() {
                 break;
@@ -135,7 +147,10 @@ mod tests {
         wal.append(&mut dev, b"first").unwrap();
         wal.append(&mut dev, b"second").unwrap();
         let recs = wal.scan(&mut dev).unwrap();
-        assert_eq!(recs, vec![(1, b"first".to_vec()), (2 - 1, b"second".to_vec())]);
+        assert_eq!(
+            recs,
+            vec![(1, b"first".to_vec()), (2 - 1, b"second".to_vec())]
+        );
     }
 
     #[test]

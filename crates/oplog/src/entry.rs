@@ -163,7 +163,9 @@ impl LogRecord {
         }
         let body = &raw[r.pos..r.pos + len];
         if crc32(body) != stored_crc {
-            return Err(StoreError::Corrupt("operation-log record crc mismatch".into()));
+            return Err(StoreError::Corrupt(
+                "operation-log record crc mismatch".into(),
+            ));
         }
         let mut b = Reader { data: body, pos: 0 };
         let version = b.u64()?;
@@ -175,7 +177,10 @@ impl LogRecord {
         for _ in 0..nops {
             let tag = b.byte()?;
             ops.push(match tag {
-                0 => Op::Create { oid: ObjectId::from_raw(b.u64()?), size: b.u64()? },
+                0 => Op::Create {
+                    oid: ObjectId::from_raw(b.u64()?),
+                    size: b.u64()?,
+                },
                 1 => {
                     let oid = ObjectId::from_raw(b.u64()?);
                     let offset = b.u64()?;
@@ -189,14 +194,25 @@ impl LogRecord {
                     let value = b.bytes()?.to_vec();
                     Op::SetXattr { oid, key, value }
                 }
-                3 => Op::MetaPut { key: b.bytes()?.to_vec(), value: b.bytes()?.to_vec() },
-                4 => Op::MetaDelete { key: b.bytes()?.to_vec() },
-                5 => Op::Delete { oid: ObjectId::from_raw(b.u64()?) },
+                3 => Op::MetaPut {
+                    key: b.bytes()?.to_vec(),
+                    value: b.bytes()?.to_vec(),
+                },
+                4 => Op::MetaDelete {
+                    key: b.bytes()?.to_vec(),
+                },
+                5 => Op::Delete {
+                    oid: ObjectId::from_raw(b.u64()?),
+                },
                 t => return Err(StoreError::Corrupt(format!("unknown op tag {t}"))),
             });
         }
         Ok((
-            LogRecord { version, seq, txn: Transaction::new(group, txn_seq, ops) },
+            LogRecord {
+                version,
+                seq,
+                txn: Transaction::new(group, txn_seq, ops),
+            },
             8 + len,
         ))
     }
@@ -216,10 +232,23 @@ mod tests {
                 1001,
                 vec![
                     Op::Create { oid, size: 4 << 20 },
-                    Op::Write { oid, offset: 8192, data: vec![0xCD; 4096] },
-                    Op::SetXattr { oid, key: "oi".into(), value: vec![1, 2] },
-                    Op::MetaPut { key: b"pglog.3.7".to_vec(), value: vec![5; 30] },
-                    Op::MetaDelete { key: b"pglog.3.1".to_vec() },
+                    Op::Write {
+                        oid,
+                        offset: 8192,
+                        data: vec![0xCD; 4096],
+                    },
+                    Op::SetXattr {
+                        oid,
+                        key: "oi".into(),
+                        value: vec![1, 2],
+                    },
+                    Op::MetaPut {
+                        key: b"pglog.3.7".to_vec(),
+                        value: vec![5; 30],
+                    },
+                    Op::MetaDelete {
+                        key: b"pglog.3.1".to_vec(),
+                    },
                     Op::Delete { oid },
                 ],
             ),
@@ -251,7 +280,10 @@ mod tests {
         let mut raw = sample().encode();
         let mid = raw.len() / 2;
         raw[mid] ^= 0x01;
-        assert!(matches!(LogRecord::decode(&raw), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            LogRecord::decode(&raw),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -140,9 +140,86 @@ impl GroupLog {
         Ok(g)
     }
 
+    /// Recovers like [`GroupLog::recover`], but a record that fails its CRC
+    /// mid-scan is treated as a torn tail: the scan stops there, the ring
+    /// head is truncated to the last valid record, and the number of
+    /// discarded bytes is returned alongside the log.
+    ///
+    /// A torn record was by construction never acknowledged (the log is
+    /// persisted before the ack), so dropping it is safe; recovering the
+    /// intact prefix preserves every acknowledged write.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] only if the ring *header* is damaged — then
+    /// nothing can be salvaged.
+    pub fn recover_truncating(
+        nvm: &mut NvmRegion,
+        group: GroupId,
+        base: u64,
+        len: u64,
+        flush_threshold: usize,
+    ) -> Result<(Self, u64), StoreError> {
+        let mut ring = NvmRing::open(nvm, base, len)?;
+        let raw = ring.queued_bytes(nvm)?;
+        let mut g = GroupLog {
+            group,
+            ring: ring.clone(),
+            records: Vec::new(),
+            index: HashMap::new(),
+            flush_threshold,
+            version: 0,
+        };
+        let mut pos = 0usize;
+        while pos < raw.len() {
+            match LogRecord::decode(&raw[pos..]) {
+                Ok((rec, consumed)) => {
+                    g.version = g.version.max(rec.version);
+                    g.index_record(&rec);
+                    g.records.push((rec, consumed as u64));
+                    pos += consumed;
+                }
+                Err(_) => break, // torn tail: keep the valid prefix
+            }
+        }
+        let discarded = (raw.len() - pos) as u64;
+        if discarded > 0 {
+            ring.truncate_head(nvm, pos as u64)?;
+            g.ring = ring;
+        }
+        Ok((g, discarded))
+    }
+
+    /// Fault injection: tears the tail of the newest record in place (flips
+    /// the bits of its second half in NVM), simulating a crash mid-append.
+    /// Returns `false` if the log is empty. The in-memory state is left
+    /// untouched — callers model a crash by dropping it and re-running
+    /// recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM access errors.
+    pub fn tear_tail(&self, nvm: &mut NvmRegion) -> Result<bool, StoreError> {
+        let Some((_, encoded_len)) = self.records.last() else {
+            return Ok(false);
+        };
+        self.ring.corrupt_suffix(nvm, encoded_len / 2)?;
+        Ok(true)
+    }
+
     /// The group this log belongs to.
     pub fn group(&self) -> GroupId {
         self.group
+    }
+
+    /// Base offset of the log's ring within its NVM region.
+    pub fn nvm_base(&self) -> u64 {
+        self.ring.base()
+    }
+
+    /// Total NVM region length reserved for the log (header plus data).
+    pub fn nvm_region_len(&self) -> u64 {
+        self.ring.region_len()
     }
 
     /// Pending (unflushed) records.
@@ -195,7 +272,11 @@ impl GroupLog {
     ) -> Result<AppendOutcome, StoreError> {
         debug_assert_eq!(txn.group, self.group, "transaction routed to wrong group");
         self.version += 1;
-        let rec = LogRecord { version: self.version, seq: txn.seq, txn };
+        let rec = LogRecord {
+            version: self.version,
+            seq: txn.seq,
+            txn,
+        };
         let raw = rec.encode();
         match self.ring.append(nvm, &raw) {
             Ok(()) => {}
@@ -226,11 +307,16 @@ impl GroupLog {
         }
         // Pending deletes or creates change object existence/size: always
         // flush before reading. Xattr updates never affect data reads.
-        if entries.iter().any(|e| matches!(e.kind, IndexKind::Delete | IndexKind::Create)) {
+        if entries
+            .iter()
+            .any(|e| matches!(e.kind, IndexKind::Delete | IndexKind::Create))
+        {
             return ReadPath::FlushThenStore;
         }
-        let writes: Vec<&IndexEntry> =
-            entries.iter().filter(|e| e.kind == IndexKind::Write).collect();
+        let writes: Vec<&IndexEntry> = entries
+            .iter()
+            .filter(|e| e.kind == IndexKind::Write)
+            .collect();
         let Some(newest) = writes.last() else {
             return ReadPath::Store; // only xattr updates pending
         };
@@ -245,7 +331,10 @@ impl GroupLog {
                 .iter()
                 .find(|(r, _)| r.seq == newest.seq)
                 .expect("index entry references live record");
-            if let Op::Write { offset: woff, data, .. } = &rec.txn.ops[newest.op_index] {
+            if let Op::Write {
+                offset: woff, data, ..
+            } = &rec.txn.ops[newest.op_index]
+            {
                 let from = (offset - woff) as usize;
                 return ReadPath::FromLog(data[from..from + len as usize].to_vec());
             }
@@ -332,7 +421,15 @@ mod tests {
     }
 
     fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
-        Transaction::new(GroupId(1), seq, vec![Op::Write { oid: o, offset, data }])
+        Transaction::new(
+            GroupId(1),
+            seq,
+            vec![Op::Write {
+                oid: o,
+                offset,
+                data,
+            }],
+        )
     }
 
     fn fresh() -> (NvmRegion, GroupLog) {
@@ -345,10 +442,14 @@ mod tests {
     fn append_until_threshold_requests_flush() {
         let (mut nvm, mut g) = fresh();
         for seq in 0..15 {
-            let out = g.append(&mut nvm, write_txn(seq, oid(seq), 0, vec![1; 64])).unwrap();
+            let out = g
+                .append(&mut nvm, write_txn(seq, oid(seq), 0, vec![1; 64]))
+                .unwrap();
             assert!(!out.needs_flush, "seq {seq}");
         }
-        let out = g.append(&mut nvm, write_txn(15, oid(15), 0, vec![1; 64])).unwrap();
+        let out = g
+            .append(&mut nvm, write_txn(15, oid(15), 0, vec![1; 64]))
+            .unwrap();
         assert!(out.needs_flush);
         assert_eq!(g.pending(), 16);
     }
@@ -356,7 +457,8 @@ mod tests {
     #[test]
     fn read_served_from_log_when_covered() {
         let (mut nvm, mut g) = fresh();
-        g.append(&mut nvm, write_txn(1, oid(7), 100, (0..50u8).collect())).unwrap();
+        g.append(&mut nvm, write_txn(1, oid(7), 100, (0..50u8).collect()))
+            .unwrap();
         match g.read_path(oid(7), 110, 20) {
             ReadPath::FromLog(data) => assert_eq!(data, (10..30u8).collect::<Vec<_>>()),
             other => panic!("expected FromLog, got {other:?}"),
@@ -366,7 +468,8 @@ mod tests {
     #[test]
     fn uncovered_read_flushes_first() {
         let (mut nvm, mut g) = fresh();
-        g.append(&mut nvm, write_txn(1, oid(7), 100, vec![1; 50])).unwrap();
+        g.append(&mut nvm, write_txn(1, oid(7), 100, vec![1; 50]))
+            .unwrap();
         // Larger than the log entry (paper's R3).
         assert_eq!(g.read_path(oid(7), 100, 200), ReadPath::FlushThenStore);
         // Outside the entry.
@@ -376,15 +479,18 @@ mod tests {
     #[test]
     fn read_of_untouched_object_goes_to_store() {
         let (mut nvm, mut g) = fresh();
-        g.append(&mut nvm, write_txn(1, oid(7), 0, vec![1; 10])).unwrap();
+        g.append(&mut nvm, write_txn(1, oid(7), 0, vec![1; 10]))
+            .unwrap();
         assert_eq!(g.read_path(oid(8), 0, 10), ReadPath::Store);
     }
 
     #[test]
     fn multiple_pending_writes_force_flush_on_read() {
         let (mut nvm, mut g) = fresh();
-        g.append(&mut nvm, write_txn(1, oid(7), 0, vec![1; 100])).unwrap();
-        g.append(&mut nvm, write_txn(2, oid(7), 50, vec![2; 100])).unwrap();
+        g.append(&mut nvm, write_txn(1, oid(7), 0, vec![1; 100]))
+            .unwrap();
+        g.append(&mut nvm, write_txn(2, oid(7), 50, vec![2; 100]))
+            .unwrap();
         // Two entries for the object: the single-entry fast path refuses.
         assert_eq!(g.read_path(oid(7), 60, 10), ReadPath::FlushThenStore);
     }
@@ -393,7 +499,8 @@ mod tests {
     fn drain_releases_nvm_and_index() {
         let (mut nvm, mut g) = fresh();
         for seq in 0..8 {
-            g.append(&mut nvm, write_txn(seq, oid(seq % 2), 0, vec![3; 128])).unwrap();
+            g.append(&mut nvm, write_txn(seq, oid(seq % 2), 0, vec![3; 128]))
+                .unwrap();
         }
         let used_before = g.nvm_used();
         let txns = g.drain_for_flush(&mut nvm, 8).unwrap();
@@ -407,7 +514,8 @@ mod tests {
     fn drain_is_fifo() {
         let (mut nvm, mut g) = fresh();
         for seq in 0..5 {
-            g.append(&mut nvm, write_txn(seq, oid(seq), 0, vec![seq as u8; 16])).unwrap();
+            g.append(&mut nvm, write_txn(seq, oid(seq), 0, vec![seq as u8; 16]))
+                .unwrap();
         }
         let txns = g.drain_for_flush(&mut nvm, 3).unwrap();
         let seqs: Vec<u64> = txns.iter().map(|t| t.seq).collect();
@@ -420,7 +528,11 @@ mod tests {
         let mut nvm = NvmRegion::new(1 << 20);
         let mut g = GroupLog::format(&mut nvm, GroupId(1), 0, 1 << 20, 16).unwrap();
         for seq in 0..6 {
-            g.append(&mut nvm, write_txn(seq, oid(seq % 3), seq * 10, vec![seq as u8; 40])).unwrap();
+            g.append(
+                &mut nvm,
+                write_txn(seq, oid(seq % 3), seq * 10, vec![seq as u8; 40]),
+            )
+            .unwrap();
         }
         g.drain_for_flush(&mut nvm, 2).unwrap();
         let exported = g.export_records();
@@ -438,6 +550,59 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_rejected_by_strict_recovery() {
+        let mut nvm = NvmRegion::new(1 << 20);
+        let mut g = GroupLog::format(&mut nvm, GroupId(1), 0, 1 << 20, 16).unwrap();
+        for seq in 0..4 {
+            g.append(&mut nvm, write_txn(seq, oid(seq), 0, vec![seq as u8; 64]))
+                .unwrap();
+        }
+        assert!(g.tear_tail(&mut nvm).unwrap());
+        nvm.reboot();
+        // Strict recovery sees the CRC mismatch and refuses the whole log.
+        assert!(matches!(
+            GroupLog::recover(&mut nvm, GroupId(1), 0, 1 << 20, 16),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn torn_tail_truncated_by_lossy_recovery() {
+        let mut nvm = NvmRegion::new(1 << 20);
+        let mut g = GroupLog::format(&mut nvm, GroupId(1), 0, 1 << 20, 16).unwrap();
+        for seq in 0..4 {
+            g.append(&mut nvm, write_txn(seq, oid(seq), 0, vec![seq as u8; 64]))
+                .unwrap();
+        }
+        assert!(g.tear_tail(&mut nvm).unwrap());
+        nvm.reboot();
+        let (g2, discarded) =
+            GroupLog::recover_truncating(&mut nvm, GroupId(1), 0, 1 << 20, 16).unwrap();
+        assert!(discarded > 0, "the torn record is discarded");
+        assert_eq!(g2.pending(), 3, "the intact prefix survives");
+        for seq in 0..3u64 {
+            match g2.read_path(oid(seq), 0, 64) {
+                ReadPath::FromLog(d) => assert_eq!(d, vec![seq as u8; 64]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The truncated ring accepts fresh appends and re-recovers cleanly.
+        let mut g2 = g2;
+        g2.append(&mut nvm, write_txn(9, oid(9), 0, vec![9u8; 64]))
+            .unwrap();
+        nvm.reboot();
+        let (g3, d3) = GroupLog::recover_truncating(&mut nvm, GroupId(1), 0, 1 << 20, 16).unwrap();
+        assert_eq!(d3, 0);
+        assert_eq!(g3.pending(), 4);
+    }
+
+    #[test]
+    fn empty_log_tear_is_a_noop() {
+        let (mut nvm, g) = fresh();
+        assert!(!g.tear_tail(&mut nvm).unwrap());
+    }
+
+    #[test]
     fn nvm_exhaustion_surfaces_no_space() {
         let mut nvm = NvmRegion::new(4096);
         let mut g = GroupLog::format(&mut nvm, GroupId(1), 0, 4096, 1000).unwrap();
@@ -452,20 +617,25 @@ mod tests {
         assert!(filled > 5, "filled {filled} records first");
         // Draining makes room again.
         g.drain_for_flush(&mut nvm, 2).unwrap();
-        g.append(&mut nvm, write_txn(999, oid(0), 0, vec![0; 256])).unwrap();
+        g.append(&mut nvm, write_txn(999, oid(0), 0, vec![0; 256]))
+            .unwrap();
     }
 
     #[test]
     fn peer_import_replicates_state() {
         let (mut nvm_a, mut a) = fresh();
         for seq in 0..5 {
-            a.append(&mut nvm_a, write_txn(seq, oid(seq), 0, vec![9; 64])).unwrap();
+            a.append(&mut nvm_a, write_txn(seq, oid(seq), 0, vec![9; 64]))
+                .unwrap();
         }
         let mut nvm_b = NvmRegion::new(1 << 20);
         let mut b = GroupLog::format(&mut nvm_b, GroupId(1), 0, 1 << 20, 16).unwrap();
         b.import_records(&mut nvm_b, a.export_records()).unwrap();
         assert_eq!(b.pending(), 5);
         assert_eq!(b.export_records(), a.export_records());
-        assert!(b.import_records(&mut nvm_b, a.export_records()).is_err(), "non-empty import rejected");
+        assert!(
+            b.import_records(&mut nvm_b, a.export_records()).is_err(),
+            "non-empty import rejected"
+        );
     }
 }

@@ -6,7 +6,12 @@ use rablock_storage::{GroupId, NvmRegion, ObjectId, Op, StoreError, Transaction}
 
 #[derive(Debug, Clone)]
 enum LogOp {
-    Append { obj: u64, offset: u64, len: u16, fill: u8 },
+    Append {
+        obj: u64,
+        offset: u64,
+        len: u16,
+        fill: u8,
+    },
     Drain(u8),
     Reboot,
 }

@@ -35,15 +35,24 @@ pub struct IoRequest {
 impl IoRequest {
     /// A read of `len` bytes.
     pub fn read(len: u64) -> Self {
-        IoRequest { kind: IoKind::Read, len }
+        IoRequest {
+            kind: IoKind::Read,
+            len,
+        }
     }
     /// A write of `len` bytes.
     pub fn write(len: u64) -> Self {
-        IoRequest { kind: IoKind::Write, len }
+        IoRequest {
+            kind: IoKind::Write,
+            len,
+        }
     }
     /// A flush barrier.
     pub fn flush() -> Self {
-        IoRequest { kind: IoKind::Flush, len: 0 }
+        IoRequest {
+            kind: IoKind::Flush,
+            len: 0,
+        }
     }
 }
 
@@ -145,11 +154,7 @@ impl DeviceStats {
     /// Mean device latency over all commands.
     pub fn mean_latency(&self) -> SimDuration {
         let n = self.reads + self.writes + self.flushes;
-        if n == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::nanos(self.total_latency_ns / n)
-        }
+        SimDuration::nanos(self.total_latency_ns.checked_div(n).unwrap_or(0))
     }
 }
 
@@ -161,6 +166,9 @@ pub struct Device {
     ways: Vec<SimTime>,
     stats: DeviceStats,
     name: String,
+    /// Service-time scale factor; > 1.0 models a gray (slow-but-alive)
+    /// device, 1.0 is healthy.
+    service_multiplier: f64,
 }
 
 impl Device {
@@ -171,6 +179,7 @@ impl Device {
             profile,
             stats: DeviceStats::default(),
             name: name.into(),
+            service_multiplier: 1.0,
         }
     }
 
@@ -182,6 +191,23 @@ impl Device {
     /// The device's timing profile.
     pub fn profile(&self) -> &DeviceProfile {
         &self.profile
+    }
+
+    /// Current service-time multiplier (1.0 when healthy).
+    pub fn service_multiplier(&self) -> f64 {
+        self.service_multiplier
+    }
+
+    /// Scales every subsequent service time by `multiplier`.
+    ///
+    /// Used by fault injection to model gray failures: the device keeps
+    /// completing I/O, only slower. `1.0` restores healthy timing.
+    pub fn set_service_multiplier(&mut self, multiplier: f64) {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "service multiplier must be positive and finite, got {multiplier}"
+        );
+        self.service_multiplier = multiplier;
     }
 
     /// Submits a request at time `now`; returns the completion time.
@@ -196,7 +222,13 @@ impl Device {
             .min_by_key(|(_, t)| **t)
             .expect("device has at least one way");
         let start = now.max(free_at);
-        let done = start + self.profile.service(req);
+        let svc = self.profile.service(req);
+        let svc = if self.service_multiplier == 1.0 {
+            svc
+        } else {
+            SimDuration::nanos((svc.as_nanos() as f64 * self.service_multiplier) as u64)
+        };
+        let done = start + svc;
         self.ways[idx] = done;
         match req.kind {
             IoKind::Read => {
@@ -274,6 +306,29 @@ mod tests {
         let t = dev.submit(SimTime::ZERO, IoRequest::read(4096));
         let svc = dev.profile().service(IoRequest::read(4096));
         assert_eq!(t, SimTime::ZERO + svc);
+    }
+
+    #[test]
+    fn gray_multiplier_slows_service_and_restores() {
+        let mut dev = Device::new("ssd", DeviceProfile::nvme_pm1725a(SsdState::Steady));
+        let healthy = dev.submit(SimTime::ZERO, IoRequest::read(4096));
+        let mut gray = Device::new("ssd", DeviceProfile::nvme_pm1725a(SsdState::Steady));
+        gray.set_service_multiplier(10.0);
+        let slow = gray.submit(SimTime::ZERO, IoRequest::read(4096));
+        assert!(
+            slow.duration_since(SimTime::ZERO).as_nanos()
+                >= 9 * healthy.duration_since(SimTime::ZERO).as_nanos(),
+            "gray device should be ~10x slower: {healthy:?} vs {slow:?}"
+        );
+        gray.set_service_multiplier(1.0);
+        let mut fresh = Device::new("ssd", DeviceProfile::nvme_pm1725a(SsdState::Steady));
+        let recovered = gray.submit(slow, IoRequest::read(4096));
+        let expect = fresh.submit(SimTime::ZERO, IoRequest::read(4096));
+        assert_eq!(
+            recovered.duration_since(slow),
+            expect.duration_since(SimTime::ZERO),
+            "restored multiplier returns to healthy service time"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub struct ThreadCfg {
 impl ThreadCfg {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, affinity: Vec<CoreId>, priority: Priority) -> Self {
-        ThreadCfg { name: name.into(), affinity, priority }
+        ThreadCfg {
+            name: name.into(),
+            affinity,
+            priority,
+        }
     }
 }
 
@@ -85,8 +89,21 @@ impl<M, F: FnMut(ThreadId, M, &mut Ctx<'_, M>)> Handler<M> for F {
 }
 
 enum Effect<M> {
-    Send { to: ThreadId, msg: M, delay: SimDuration },
-    Io { dev: DeviceId, req: IoRequest, notify: ThreadId, msg: M },
+    Send {
+        to: ThreadId,
+        msg: M,
+        delay: SimDuration,
+    },
+    Io {
+        dev: DeviceId,
+        req: IoRequest,
+        notify: ThreadId,
+        msg: M,
+    },
+    DeviceMultiplier {
+        dev: DeviceId,
+        multiplier: f64,
+    },
 }
 
 /// Execution context handed to [`Handler::handle`] for one work item.
@@ -130,7 +147,24 @@ impl<'a, M> Ctx<'a, M> {
     /// Submits `req` to device `dev` when this item completes; `msg` is
     /// delivered to `notify` at I/O completion.
     pub fn submit_io(&mut self, dev: DeviceId, req: IoRequest, notify: ThreadId, msg: M) {
-        self.effects.push(Effect::Io { dev, req, notify, msg });
+        self.effects.push(Effect::Io {
+            dev,
+            req,
+            notify,
+            msg,
+        });
+    }
+
+    /// Retunes device `dev`'s service-time multiplier when this item
+    /// completes (fault injection: gray failures slow a device without
+    /// killing it; `1.0` restores healthy timing).
+    ///
+    /// Handlers cannot touch [`Device`](crate::Device) state directly —
+    /// devices are owned by the simulation — so the change is applied as an
+    /// effect at item end, like sends and I/O submissions.
+    pub fn set_device_service_multiplier(&mut self, dev: DeviceId, multiplier: f64) {
+        self.effects
+            .push(Effect::DeviceMultiplier { dev, multiplier });
     }
 
     /// Requests the simulation to halt after this item.
@@ -248,7 +282,12 @@ impl<M> Simulation<M> {
     /// Adds one core; returns its id.
     pub fn add_core(&mut self) -> CoreId {
         let id = self.cores.len();
-        self.cores.push(CoreState { running: None, last: None, candidates: Vec::new(), rr_cursor: 0 });
+        self.cores.push(CoreState {
+            running: None,
+            last: None,
+            candidates: Vec::new(),
+            rr_cursor: 0,
+        });
         self.metrics.grow(self.threads.len(), self.cores.len());
         id
     }
@@ -268,20 +307,33 @@ impl<M> Simulation<M> {
     ///
     /// Panics if the affinity set is empty or references unknown cores.
     pub fn add_thread(&mut self, cfg: ThreadCfg) -> ThreadId {
-        assert!(!cfg.affinity.is_empty(), "thread {:?} has empty affinity", cfg.name);
+        assert!(
+            !cfg.affinity.is_empty(),
+            "thread {:?} has empty affinity",
+            cfg.name
+        );
         for &c in &cfg.affinity {
-            assert!(c < self.cores.len(), "thread {:?} affinity references unknown core {c}", cfg.name);
+            assert!(
+                c < self.cores.len(),
+                "thread {:?} affinity references unknown core {c}",
+                cfg.name
+            );
         }
         let id = self.threads.len();
         for &c in &cfg.affinity {
             let cand = &mut self.cores[c].candidates;
             cand.push(id);
         }
-        self.threads.push(ThreadState { cfg, queue: VecDeque::new(), running: false });
+        self.threads.push(ThreadState {
+            cfg,
+            queue: VecDeque::new(),
+            running: false,
+        });
         // Keep candidate lists sorted by (priority, id) so tier scans are cheap.
         for core in &mut self.cores {
             let threads = &self.threads;
-            core.candidates.sort_by_key(|&t| (threads[t].cfg.priority, t));
+            core.candidates
+                .sort_by_key(|&t| (threads[t].cfg.priority, t));
         }
         self.metrics.grow(self.threads.len(), self.cores.len());
         id
@@ -468,7 +520,11 @@ impl<M> Simulation<M> {
             .expect("run_item on thread with empty queue");
 
         let switching = self.cores[core].last != Some(thread);
-        let cs = if switching { self.ctx_switch_cost } else { SimDuration::ZERO };
+        let cs = if switching {
+            self.ctx_switch_cost
+        } else {
+            SimDuration::ZERO
+        };
 
         let mut rng = std::mem::replace(&mut self.rng, SimRng::seed(0));
         let mut ctx = Ctx {
@@ -480,7 +536,13 @@ impl<M> Simulation<M> {
             stop: false,
         };
         handler.handle(thread, msg, &mut ctx);
-        let Ctx { spent, charges, effects, stop, .. } = ctx;
+        let Ctx {
+            spent,
+            charges,
+            effects,
+            stop,
+            ..
+        } = ctx;
         self.rng = rng;
 
         let total = cs + spent;
@@ -508,9 +570,23 @@ impl<M> Simulation<M> {
                 Effect::Send { to, msg, delay } => {
                     self.push_event(end + delay, EventKind::Deliver { thread: to, msg });
                 }
-                Effect::Io { dev, req, notify, msg } => {
+                Effect::Io {
+                    dev,
+                    req,
+                    notify,
+                    msg,
+                } => {
                     let done = self.devices[dev].submit(end, req);
-                    self.push_event(done, EventKind::Deliver { thread: notify, msg });
+                    self.push_event(
+                        done,
+                        EventKind::Deliver {
+                            thread: notify,
+                            msg,
+                        },
+                    );
+                }
+                Effect::DeviceMultiplier { dev, multiplier } => {
+                    self.devices[dev].set_service_multiplier(multiplier);
                 }
             }
         }
@@ -566,7 +642,10 @@ mod tests {
             ctx.spend("w", SimDuration::micros(10));
         });
         // First item pays one context switch (core cold), rest are same-thread.
-        assert_eq!(end, SimTime::ZERO + SimDuration::micros(30) + SimDuration::nanos(1_200));
+        assert_eq!(
+            end,
+            SimTime::ZERO + SimDuration::micros(30) + SimDuration::nanos(1_200)
+        );
         assert_eq!(sim.metrics().context_switches, 1);
     }
 
@@ -605,10 +684,12 @@ mod tests {
         sim.schedule(SimTime::from_nanos(10), lo, "lo");
         sim.schedule(SimTime::from_nanos(20), hi, "hi");
         let mut order = Vec::new();
-        sim.run_to_completion(&mut |_t: usize, m: &'static str, ctx: &mut Ctx<'_, &'static str>| {
-            ctx.spend("w", SimDuration::micros(100));
-            order.push(m);
-        });
+        sim.run_to_completion(
+            &mut |_t: usize, m: &'static str, ctx: &mut Ctx<'_, &'static str>| {
+                ctx.spend("w", SimDuration::micros(100));
+                order.push(m);
+            },
+        );
         assert_eq!(order, vec!["busy", "hi", "lo"]);
     }
 
@@ -619,7 +700,11 @@ mod tests {
         let affinity: Vec<_> = cores.clone().collect();
         let mut threads = Vec::new();
         for i in 0..4 {
-            threads.push(sim.add_thread(ThreadCfg::new(format!("w{i}"), affinity.clone(), Priority::Normal)));
+            threads.push(sim.add_thread(ThreadCfg::new(
+                format!("w{i}"),
+                affinity.clone(),
+                Priority::Normal,
+            )));
         }
         for (i, &t) in threads.iter().enumerate() {
             sim.schedule(SimTime::ZERO, t, i as u32);
@@ -636,18 +721,26 @@ mod tests {
         let mut sim: Simulation<&'static str> = Simulation::new(1);
         let c = sim.add_core();
         let t = sim.add_thread(ThreadCfg::new("t", vec![c], Priority::Normal));
-        let dev = sim.add_device(Device::new("ssd", DeviceProfile::nvme_pm1725a(SsdState::Steady)));
+        let dev = sim.add_device(Device::new(
+            "ssd",
+            DeviceProfile::nvme_pm1725a(SsdState::Steady),
+        ));
         sim.schedule(SimTime::ZERO, t, "submit");
         let mut completed_at = SimTime::ZERO;
-        sim.run_to_completion(&mut |_t: usize, m: &'static str, ctx: &mut Ctx<'_, &'static str>| match m {
-            "submit" => {
-                ctx.spend("OS", SimDuration::micros(2));
-                ctx.submit_io(dev, IoRequest::write(4096), 0, "done");
-            }
-            "done" => completed_at = ctx.now(),
-            _ => unreachable!(),
-        });
-        assert!(completed_at > SimTime::ZERO + SimDuration::micros(40), "at {completed_at}");
+        sim.run_to_completion(
+            &mut |_t: usize, m: &'static str, ctx: &mut Ctx<'_, &'static str>| match m {
+                "submit" => {
+                    ctx.spend("OS", SimDuration::micros(2));
+                    ctx.submit_io(dev, IoRequest::write(4096), 0, "done");
+                }
+                "done" => completed_at = ctx.now(),
+                _ => unreachable!(),
+            },
+        );
+        assert!(
+            completed_at > SimTime::ZERO + SimDuration::micros(40),
+            "at {completed_at}"
+        );
         assert_eq!(sim.device(dev).stats().writes, 1);
     }
 
@@ -660,7 +753,11 @@ mod tests {
             let t0 = sim.add_thread(ThreadCfg::new("a", aff.clone(), Priority::Normal));
             let t1 = sim.add_thread(ThreadCfg::new("b", aff, Priority::Normal));
             for i in 0..100 {
-                sim.schedule(SimTime::from_nanos(i * 10), if i % 2 == 0 { t0 } else { t1 }, i as u32);
+                sim.schedule(
+                    SimTime::from_nanos(i * 10),
+                    if i % 2 == 0 { t0 } else { t1 },
+                    i as u32,
+                );
             }
             let end = sim.run_to_completion(&mut |_t: usize, _m: u32, ctx: &mut Ctx<'_, u32>| {
                 let jitter = ctx.rng().below(500);

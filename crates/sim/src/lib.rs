@@ -49,6 +49,7 @@
 
 mod device;
 mod engine;
+mod faults;
 mod link;
 mod metrics;
 mod rng;
@@ -56,6 +57,9 @@ mod time;
 
 pub use device::{Device, DeviceProfile, DeviceStats, IoKind, IoRequest, SsdState};
 pub use engine::{CoreId, Ctx, DeviceId, Handler, Priority, Simulation, ThreadCfg, ThreadId};
+pub use faults::{
+    CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, MessageFate, Partition,
+};
 pub use link::Link;
 pub use metrics::{Metrics, StageTag};
 pub use rng::SimRng;

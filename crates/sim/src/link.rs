@@ -93,6 +93,9 @@ mod tests {
         // Much later, no residual queueing.
         let t = SimTime::from_nanos(10_000_000);
         let arrive = l.transfer(t, 1000);
-        assert_eq!(arrive, t + SimDuration::nanos(1_000) + SimDuration::micros(5));
+        assert_eq!(
+            arrive,
+            t + SimDuration::nanos(1_000) + SimDuration::micros(5)
+        );
     }
 }

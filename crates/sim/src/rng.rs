@@ -25,7 +25,9 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed)),
+            inner: SmallRng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed),
+            ),
         }
     }
 

@@ -103,7 +103,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -198,7 +201,10 @@ impl Mul<u64> for SimDuration {
 impl Mul<f64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: f64) -> SimDuration {
-        assert!(rhs.is_finite() && rhs >= 0.0, "scale must be finite and non-negative");
+        assert!(
+            rhs.is_finite() && rhs >= 0.0,
+            "scale must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * rhs).round() as u64)
     }
 }

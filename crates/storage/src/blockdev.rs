@@ -89,8 +89,15 @@ impl MemDisk {
     }
 
     fn check(&self, offset: u64, len: u64) -> Result<(), StoreError> {
-        if offset.checked_add(len).map_or(true, |end| end > self.data.len() as u64) {
-            return Err(StoreError::OutOfBounds { offset, len, capacity: self.data.len() as u64 });
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len() as u64)
+        {
+            return Err(StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.data.len() as u64,
+            });
         }
         Ok(())
     }
@@ -187,7 +194,13 @@ mod tests {
         d.flush().unwrap();
         assert_eq!(
             d.counters(),
-            DevCounters { reads: 1, writes: 1, flushes: 1, bytes_read: 2, bytes_written: 3 }
+            DevCounters {
+                reads: 1,
+                writes: 1,
+                flushes: 1,
+                bytes_read: 2,
+                bytes_written: 3
+            }
         );
         d.reset_counters();
         assert_eq!(d.counters(), DevCounters::default());

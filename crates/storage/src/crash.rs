@@ -19,23 +19,49 @@ pub struct CrashPlan {
     pub surviving_writes: usize,
     /// If true, the last surviving write is torn: only its first half lands.
     pub tear_last: bool,
+    /// If true (and `tear_last`), the landed half of the torn write is also
+    /// bit-flipped mid-way — the media committed garbage, not just a clean
+    /// prefix. Recovery must catch this by checksum, not by length.
+    pub corrupt_tear: bool,
 }
 
 impl CrashPlan {
     /// Everything unflushed is lost (the harshest plan a flush-correct store
     /// must survive).
     pub fn lose_all() -> Self {
-        CrashPlan { surviving_writes: 0, tear_last: false }
+        CrashPlan {
+            surviving_writes: 0,
+            tear_last: false,
+            corrupt_tear: false,
+        }
     }
 
     /// A prefix of `n` unflushed writes survives.
     pub fn keep(n: usize) -> Self {
-        CrashPlan { surviving_writes: n, tear_last: false }
+        CrashPlan {
+            surviving_writes: n,
+            tear_last: false,
+            corrupt_tear: false,
+        }
     }
 
     /// A prefix of `n` unflushed writes survives and the `n`-th is torn.
     pub fn keep_torn(n: usize) -> Self {
-        CrashPlan { surviving_writes: n, tear_last: true }
+        CrashPlan {
+            surviving_writes: n,
+            tear_last: true,
+            corrupt_tear: false,
+        }
+    }
+
+    /// A prefix of `n` unflushed writes survives; the `n`-th is torn *and*
+    /// its surviving half carries a bit flip.
+    pub fn keep_torn_corrupt(n: usize) -> Self {
+        CrashPlan {
+            surviving_writes: n,
+            tear_last: true,
+            corrupt_tear: true,
+        }
     }
 }
 
@@ -92,8 +118,14 @@ impl CrashDisk {
     pub fn crash_with(&mut self, plan: CrashPlan) {
         let keep = plan.surviving_writes.min(self.pending.len());
         for (i, (offset, data)) in self.pending.iter().take(keep).enumerate() {
+            let mut torn_half;
             let effective: &[u8] = if plan.tear_last && i + 1 == keep {
-                &data[..data.len() / 2]
+                torn_half = data[..data.len() / 2].to_vec();
+                if plan.corrupt_tear && !torn_half.is_empty() {
+                    let mid = torn_half.len() / 2;
+                    torn_half[mid] ^= 0x10;
+                }
+                &torn_half
             } else {
                 data
             };
@@ -104,7 +136,9 @@ impl CrashDisk {
         let counters_before = self.volatile.counters();
         self.volatile = MemDisk::new(self.persistent.len() as u64);
         // Restore the media image into the fresh volatile view.
-        self.volatile.write_at(0, &self.persistent.clone()).expect("image fits");
+        self.volatile
+            .write_at(0, &self.persistent.clone())
+            .expect("image fits");
         self.volatile.reset_counters();
         // Keep cumulative counters monotonic across the crash.
         let _ = counters_before;
@@ -188,6 +222,36 @@ mod tests {
         d.write_at(0, b"ABCDEFGH").unwrap();
         d.crash_with(CrashPlan::keep_torn(1));
         assert_eq!(read(&mut d, 0, 8), b"ABCD\0\0\0\0");
+    }
+
+    #[test]
+    fn corrupt_tear_flips_a_bit_in_the_surviving_half() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"ABCDEFGH").unwrap();
+        d.crash_with(CrashPlan::keep_torn_corrupt(1));
+        let got = read(&mut d, 0, 8);
+        // First half landed but one byte is damaged; second half never landed.
+        assert_eq!(&got[4..], &[0, 0, 0, 0]);
+        assert_ne!(&got[..4], b"ABCD", "bit flip damaged the landed half");
+        let diff: usize = got[..4].iter().zip(b"ABCD").filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1, "exactly one byte differs");
+    }
+
+    #[test]
+    fn corrupt_tear_without_tear_flag_is_clean() {
+        let mut d = CrashDisk::new(64);
+        d.write_at(0, b"ABCDEFGH").unwrap();
+        let plan = CrashPlan {
+            surviving_writes: 1,
+            tear_last: false,
+            corrupt_tear: true,
+        };
+        d.crash_with(plan);
+        assert_eq!(
+            read(&mut d, 0, 8),
+            b"ABCDEFGH",
+            "corruption only applies to a torn write"
+        );
     }
 
     #[test]

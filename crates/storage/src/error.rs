@@ -26,12 +26,19 @@ pub enum StoreError {
     Corrupt(String),
     /// The caller passed an argument that violates a documented invariant.
     InvalidArgument(String),
+    /// The operation did not complete within the client's retry budget
+    /// (timeouts and backoff exhausted without a reply).
+    Timeout,
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::OutOfBounds { offset, len, capacity } => write!(
+            StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "access of {len} bytes at offset {offset} exceeds capacity {capacity}"
             ),
@@ -40,6 +47,7 @@ impl fmt::Display for StoreError {
             StoreError::AlreadyExists => write!(f, "object already exists"),
             StoreError::Corrupt(why) => write!(f, "corrupt on-disk state: {why}"),
             StoreError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
+            StoreError::Timeout => write!(f, "operation timed out"),
         }
     }
 }
@@ -53,7 +61,12 @@ mod tests {
     #[test]
     fn errors_display_lowercase_without_trailing_period() {
         let msgs = [
-            StoreError::OutOfBounds { offset: 1, len: 2, capacity: 3 }.to_string(),
+            StoreError::OutOfBounds {
+                offset: 1,
+                len: 2,
+                capacity: 3,
+            }
+            .to_string(),
             StoreError::NoSpace.to_string(),
             StoreError::NotFound.to_string(),
             StoreError::AlreadyExists.to_string(),
@@ -62,7 +75,10 @@ mod tests {
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");
-            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("access"), "{m}");
+            assert!(
+                m.chars().next().unwrap().is_lowercase() || m.starts_with("access"),
+                "{m}"
+            );
         }
     }
 

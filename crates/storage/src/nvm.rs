@@ -33,7 +33,11 @@ pub struct NvmRegion {
 impl NvmRegion {
     /// Creates a zero-filled region of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        NvmRegion { data: vec![0; capacity as usize], bytes_written: 0, bytes_read: 0 }
+        NvmRegion {
+            data: vec![0; capacity as usize],
+            bytes_written: 0,
+            bytes_read: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -42,8 +46,15 @@ impl NvmRegion {
     }
 
     fn check(&self, offset: u64, len: u64) -> Result<(), StoreError> {
-        if offset.checked_add(len).map_or(true, |end| end > self.data.len() as u64) {
-            return Err(StoreError::OutOfBounds { offset, len, capacity: self.data.len() as u64 });
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len() as u64)
+        {
+            return Err(StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.data.len() as u64,
+            });
         }
         Ok(())
     }

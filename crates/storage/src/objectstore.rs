@@ -358,9 +358,20 @@ mod tests {
             GroupId(1),
             1,
             vec![
-                Op::Write { oid, offset: 0, data: vec![0; 4096] },
-                Op::MetaPut { key: b"pglog".to_vec(), value: vec![0; 200] },
-                Op::SetXattr { oid, key: "v".into(), value: vec![1] },
+                Op::Write {
+                    oid,
+                    offset: 0,
+                    data: vec![0; 4096],
+                },
+                Op::MetaPut {
+                    key: b"pglog".to_vec(),
+                    value: vec![0; 200],
+                },
+                Op::SetXattr {
+                    oid,
+                    key: "v".into(),
+                    value: vec![1],
+                },
             ],
         );
         assert_eq!(txn.user_bytes(), 4096);
@@ -368,12 +379,30 @@ mod tests {
 
     #[test]
     fn stats_record_and_waf() {
-        let mut s = StoreStats::default();
-        s.user_bytes = 1000;
-        s.record(TraceIo { kind: TraceKind::Write, bytes: 1000, category: IoCategory::Wal });
-        s.record(TraceIo { kind: TraceKind::Write, bytes: 2000, category: IoCategory::Compaction });
-        s.record(TraceIo { kind: TraceKind::Read, bytes: 500, category: IoCategory::Compaction });
-        s.record(TraceIo { kind: TraceKind::Flush, bytes: 0, category: IoCategory::Wal });
+        let mut s = StoreStats {
+            user_bytes: 1000,
+            ..StoreStats::default()
+        };
+        s.record(TraceIo {
+            kind: TraceKind::Write,
+            bytes: 1000,
+            category: IoCategory::Wal,
+        });
+        s.record(TraceIo {
+            kind: TraceKind::Write,
+            bytes: 2000,
+            category: IoCategory::Compaction,
+        });
+        s.record(TraceIo {
+            kind: TraceKind::Read,
+            bytes: 500,
+            category: IoCategory::Compaction,
+        });
+        s.record(TraceIo {
+            kind: TraceKind::Flush,
+            bytes: 0,
+            category: IoCategory::Wal,
+        });
         assert_eq!(s.total_written(), 3000);
         assert_eq!(s.read_bytes, 500);
         assert!((s.waf() - 3.0).abs() < 1e-9);

@@ -78,7 +78,14 @@ impl FioJob {
     pub fn new(pattern: AccessPattern, block_size: u64, range: u64) -> Self {
         assert!(block_size > 0, "zero block size");
         assert!(block_size <= range, "block larger than range");
-        FioJob { pattern, block_size, range, cursor: 0, issued: 0, op_limit: None }
+        FioJob {
+            pattern,
+            block_size,
+            range,
+            cursor: 0,
+            issued: 0,
+            op_limit: None,
+        }
     }
 
     /// The block size.
@@ -109,7 +116,11 @@ impl FioJob {
             AccessPattern::RandWrite => (WlKind::Write, rng.gen_range(0..blocks) * self.block_size),
             AccessPattern::RandRead => (WlKind::Read, rng.gen_range(0..blocks) * self.block_size),
             AccessPattern::RandRw { read_pct } => {
-                let kind = if rng.gen_range(0..100u8) < read_pct { WlKind::Read } else { WlKind::Write };
+                let kind = if rng.gen_range(0..100u8) < read_pct {
+                    WlKind::Read
+                } else {
+                    WlKind::Write
+                };
                 (kind, rng.gen_range(0..blocks) * self.block_size)
             }
             AccessPattern::SeqWrite | AccessPattern::SeqRead => {
@@ -123,7 +134,11 @@ impl FioJob {
                 (kind, offset)
             }
         };
-        WlOp { kind, offset, len: self.block_size }
+        WlOp {
+            kind,
+            offset,
+            len: self.block_size,
+        }
     }
 }
 
@@ -162,7 +177,9 @@ mod tests {
         let mut j = FioJob::new(AccessPattern::RandRw { read_pct: 80 }, 4096, 1 << 20);
         let mut r = rng();
         let n = 10_000;
-        let reads = (0..n).filter(|_| j.next_op(&mut r).kind == WlKind::Read).count();
+        let reads = (0..n)
+            .filter(|_| j.next_op(&mut r).kind == WlKind::Read)
+            .count();
         let pct = reads as f64 / n as f64;
         assert!((0.77..0.83).contains(&pct), "read ratio {pct}");
     }

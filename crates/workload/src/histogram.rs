@@ -74,11 +74,7 @@ impl LogHistogram {
 
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// Largest recorded value.
@@ -177,8 +173,14 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         assert!(p99 <= h.max());
         // ~6% relative accuracy.
-        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07, "p50={p50}");
-        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07, "p99={p99}");
+        assert!(
+            (p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07,
+            "p50={p50}"
+        );
+        assert!(
+            (p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07,
+            "p99={p99}"
+        );
     }
 
     #[test]

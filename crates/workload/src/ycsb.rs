@@ -29,7 +29,13 @@ pub enum YcsbKind {
 
 impl YcsbKind {
     /// All kinds the paper evaluates.
-    pub const ALL: [YcsbKind; 5] = [YcsbKind::A, YcsbKind::B, YcsbKind::C, YcsbKind::D, YcsbKind::F];
+    pub const ALL: [YcsbKind; 5] = [
+        YcsbKind::A,
+        YcsbKind::B,
+        YcsbKind::C,
+        YcsbKind::D,
+        YcsbKind::F,
+    ];
 }
 
 impl std::fmt::Display for YcsbKind {
@@ -65,9 +71,17 @@ impl YcsbWorkload {
     /// # Panics
     ///
     /// Panics on a zero record size/count or capacity below the count.
-    pub fn new(kind: YcsbKind, record_count: u64, record_bytes: u64, capacity_records: u64) -> Self {
+    pub fn new(
+        kind: YcsbKind,
+        record_count: u64,
+        record_bytes: u64,
+        capacity_records: u64,
+    ) -> Self {
         assert!(record_bytes > 0 && record_count > 0, "empty dataset");
-        assert!(capacity_records >= record_count, "capacity below record count");
+        assert!(
+            capacity_records >= record_count,
+            "capacity below record count"
+        );
         YcsbWorkload {
             kind,
             record_bytes,
@@ -89,7 +103,11 @@ impl YcsbWorkload {
     }
 
     fn record_op(&self, key: u64, kind: WlKind) -> WlOp {
-        WlOp { kind, offset: key * self.record_bytes, len: self.record_bytes }
+        WlOp {
+            kind,
+            offset: key * self.record_bytes,
+            len: self.record_bytes,
+        }
     }
 
     /// Generates the next step.
@@ -98,32 +116,53 @@ impl YcsbWorkload {
             YcsbKind::A => {
                 let key = self.zipf.next(rng);
                 if rng.gen_range(0..100u8) < 50 {
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Write)], insert: false }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Write)],
+                        insert: false,
+                    }
                 } else {
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Read)],
+                        insert: false,
+                    }
                 }
             }
             YcsbKind::B => {
                 let key = self.zipf.next(rng);
                 if rng.gen_range(0..100u8) < 5 {
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Write)], insert: false }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Write)],
+                        insert: false,
+                    }
                 } else {
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Read)],
+                        insert: false,
+                    }
                 }
             }
             YcsbKind::C => {
                 let key = self.zipf.next(rng);
-                YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                YcsbOp {
+                    ops: vec![self.record_op(key, WlKind::Read)],
+                    insert: false,
+                }
             }
             YcsbKind::D => {
                 if rng.gen_range(0..100u8) < 5 && self.record_count < self.capacity_records {
                     let key = self.record_count;
                     self.record_count += 1;
                     self.latest.inserted();
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Write)], insert: true }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Write)],
+                        insert: true,
+                    }
                 } else {
                     let key = self.latest.next(rng).min(self.record_count - 1);
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Read)],
+                        insert: false,
+                    }
                 }
             }
             YcsbKind::F => {
@@ -138,7 +177,10 @@ impl YcsbWorkload {
                         insert: false,
                     }
                 } else {
-                    YcsbOp { ops: vec![self.record_op(key, WlKind::Read)], insert: false }
+                    YcsbOp {
+                        ops: vec![self.record_op(key, WlKind::Read)],
+                        insert: false,
+                    }
                 }
             }
         }

@@ -30,7 +30,8 @@ fn zeta(n: u64, theta: f64) -> f64 {
         (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
     } else {
         let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-        let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
+        let tail =
+            ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
         head + tail
     }
 }
@@ -115,7 +116,10 @@ impl Latest {
     ///
     /// Panics if `initial == 0`.
     pub fn new(initial: u64) -> Self {
-        Latest { zipf: Zipfian::with_theta(initial, YCSB_THETA, false), max_key: initial }
+        Latest {
+            zipf: Zipfian::with_theta(initial, YCSB_THETA, false),
+            max_key: initial,
+        }
     }
 
     /// Notes that a new record was inserted (shifts the hot spot).
@@ -153,7 +157,11 @@ mod tests {
         let n = 50_000;
         let hot = (0..n).filter(|_| z.next(&mut rng) < 100).count();
         // Top 1% of keys should draw far more than 1% of accesses.
-        assert!(hot as f64 / n as f64 > 0.2, "hot share {}", hot as f64 / n as f64);
+        assert!(
+            hot as f64 / n as f64 > 0.2,
+            "hot share {}",
+            hot as f64 / n as f64
+        );
     }
 
     #[test]
@@ -167,7 +175,11 @@ mod tests {
         // Hot keys exist but are spread across the keyspace, not clustered
         // at the low end.
         let low = seen.iter().filter(|&&k| k < 100).count();
-        assert!(low < seen.len() / 4, "low-end clustering: {low}/{}", seen.len());
+        assert!(
+            low < seen.len() / 4,
+            "low-end clustering: {low}/{}",
+            seen.len()
+        );
     }
 
     #[test]
@@ -188,8 +200,14 @@ mod tests {
         }
         let mut rng = SmallRng::seed_from_u64(9);
         let n = 20_000;
-        let recent = (0..n).filter(|_| l.next(&mut rng) >= l.record_count() - 100).count();
-        assert!(recent as f64 / n as f64 > 0.3, "recent share {}", recent as f64 / n as f64);
+        let recent = (0..n)
+            .filter(|_| l.next(&mut rng) >= l.record_count() - 100)
+            .count();
+        assert!(
+            recent as f64 / n as f64 > 0.3,
+            "recent share {}",
+            recent as f64 / n as f64
+        );
     }
 
     #[test]

@@ -10,10 +10,10 @@
 //! cargo run --example failure_recovery
 //! ```
 
+use rablock_cluster::msg::MonMsg;
 use rablock_cluster::msg::{ClientId, ClientReply, ClientReq, OpId};
 use rablock_cluster::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PipelineMode};
 use rablock_cluster::placement::{Monitor, OsdId, OsdMap};
-use rablock_cluster::msg::MonMsg;
 use rablock_cos::CosOptions;
 use rablock_lsm::LsmOptions;
 use rablock_storage::{GroupId, ObjectId};
@@ -31,7 +31,9 @@ fn pump(osds: &mut [Osd], from: usize, effects: Vec<OsdEffect>) -> Vec<ClientRep
                     queue.push((to.0 as usize, out));
                 }
                 OsdEffect::Reply { msg, .. } => replies.push(msg),
-                OsdEffect::StoreIo { token, wait: true, .. } => {
+                OsdEffect::StoreIo {
+                    token, wait: true, ..
+                } => {
                     let out = osds[at].handle(OsdInput::StoreDurable { token });
                     queue.push((at, out));
                 }
@@ -64,15 +66,20 @@ fn main() {
         flush_threshold: 16,
         lsm: LsmOptions::tiny(),
         cos: CosOptions::tiny(),
+        ..OsdConfig::default()
     };
-    let mut osds: Vec<Osd> =
-        (0..3).map(|i| Osd::new(OsdId(i), cfg.clone(), map.clone())).collect();
+    let mut osds: Vec<Osd> = (0..3)
+        .map(|i| Osd::new(OsdId(i), cfg.clone(), map.clone()))
+        .collect();
     let mut monitor = Monitor::new(map.clone());
 
     let group = GroupId(0);
     let set = map.acting_set(group);
     let (primary, secondary) = (set[0], set[1]);
-    let spare = (0..3).map(OsdId).find(|o| !set.contains(o)).expect("one spare node");
+    let spare = (0..3)
+        .map(OsdId)
+        .find(|o| !set.contains(o))
+        .expect("one spare node");
     println!("pg0 acting set: primary={primary}, secondary={secondary}; spare={spare}\n");
 
     // ① Writes are replicated to the replicas' operation logs in NVM.
@@ -92,15 +99,23 @@ fn main() {
         let replies = pump(&mut osds, p, fx);
         assert!(matches!(replies[..], [ClientReply::Done { .. }]));
     }
-    println!("   primary log: {} pending entries", osds[primary.0 as usize].log_pending(group));
-    println!("   secondary log: {} pending entries\n", osds[secondary.0 as usize].log_pending(group));
+    println!(
+        "   primary log: {} pending entries",
+        osds[primary.0 as usize].log_pending(group)
+    );
+    println!(
+        "   secondary log: {} pending entries\n",
+        osds[secondary.0 as usize].log_pending(group)
+    );
 
     // ② One of the storage nodes crashes. ③ The failure is reported.
     println!("② {secondary} crashes; ③ failure reported to the monitor…");
     let update = monitor
         .handle(MonMsg::ReportFailure { osd: secondary })
         .expect("monitor publishes a new map");
-    let MonMsg::MapUpdate { map: new_map } = update else { unreachable!() };
+    let MonMsg::MapUpdate { map: new_map } = update else {
+        unreachable!()
+    };
     println!("   new map epoch {} (was {})", new_map.epoch, map.epoch);
     let new_set = new_map.acting_set(group);
     println!("   pg0 acting set is now {:?}\n", new_set);
@@ -118,15 +133,24 @@ fn main() {
         3,
         "survivor kept its log for peer sync"
     );
-    println!("   primary still holds {} log entries for synchronization\n",
-        osds[primary.0 as usize].log_pending(group));
+    println!(
+        "   primary still holds {} log entries for synchronization\n",
+        osds[primary.0 as usize].log_pending(group)
+    );
 
     // ⑥ The replacement node was assigned; ⑦ it synchronized the log
     //    (the MapUpdate handler emitted the PullLog; pump routed the
     //    records back).
     println!("⑥+⑦ {spare} pulled the operation log from {primary}…");
-    assert_eq!(osds[spare.0 as usize].log_pending(group), 3, "log replicated to the spare");
-    println!("   spare log: {} pending entries\n", osds[spare.0 as usize].log_pending(group));
+    assert_eq!(
+        osds[spare.0 as usize].log_pending(group),
+        3,
+        "log replicated to the spare"
+    );
+    println!(
+        "   spare log: {} pending entries\n",
+        osds[spare.0 as usize].log_pending(group)
+    );
 
     // Strong consistency survives: the new member serves the latest data.
     println!("reading all three blocks from the new acting set…");
@@ -134,13 +158,26 @@ fn main() {
     for i in 0..3u64 {
         let fx = osds[reader].handle(OsdInput::Client {
             from: ClientId(2),
-            req: ClientReq::Read { op: OpId(100 + i), oid, offset: i * 4096, len: 4096 },
+            req: ClientReq::Read {
+                op: OpId(100 + i),
+                oid,
+                offset: i * 4096,
+                len: 4096,
+            },
         });
         let replies = pump(&mut osds, reader, fx);
         match &replies[..] {
             [ClientReply::Data { data, .. }] => {
-                assert_eq!(data, &vec![i as u8 + 1; 4096], "block {i} is the latest write");
-                println!("   block {i}: OK ({} bytes, fill 0x{:02X})", data.len(), i + 1);
+                assert_eq!(
+                    data,
+                    &vec![i as u8 + 1; 4096],
+                    "block {i} is the latest write"
+                );
+                println!(
+                    "   block {i}: OK ({} bytes, fill 0x{:02X})",
+                    data.len(),
+                    i + 1
+                );
             }
             other => panic!("unexpected replies: {other:?}"),
         }

@@ -37,19 +37,21 @@ fn run(mode: PipelineMode) -> Result<(), StoreError> {
             &cluster,
             ImageSpec::with_object_size(w as u8 + 1, IMAGE_BYTES, 32, 1 << 20),
         )?;
-        handles.push(std::thread::spawn(move || -> Result<LogHistogram, StoreError> {
-            let mut hist = LogHistogram::new();
-            let mut job = FioJob::new(AccessPattern::RandWrite, 4096, IMAGE_BYTES);
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF10 + w as u64);
-            for i in 0..OPS_PER_WORKER {
-                let op = job.next_op(&mut rng);
-                assert_eq!(op.kind, WlKind::Write);
-                let t0 = Instant::now();
-                image.write(op.offset, &vec![(i % 251) as u8; op.len as usize])?;
-                hist.record(t0.elapsed().as_nanos() as u64);
-            }
-            Ok(hist)
-        }));
+        handles.push(std::thread::spawn(
+            move || -> Result<LogHistogram, StoreError> {
+                let mut hist = LogHistogram::new();
+                let mut job = FioJob::new(AccessPattern::RandWrite, 4096, IMAGE_BYTES);
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF10 + w as u64);
+                for i in 0..OPS_PER_WORKER {
+                    let op = job.next_op(&mut rng);
+                    assert_eq!(op.kind, WlKind::Write);
+                    let t0 = Instant::now();
+                    image.write(op.offset, &vec![(i % 251) as u8; op.len as usize])?;
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                }
+                Ok(hist)
+            },
+        ));
     }
     let mut hist = LogHistogram::new();
     for h in handles {

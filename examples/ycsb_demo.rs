@@ -9,9 +9,9 @@
 //! cargo run --release --example ycsb_demo
 //! ```
 
-use rand::SeedableRng;
 use rablock::{BlockImage, ClusterBuilder, ImageSpec, PipelineMode, StoreError};
 use rablock_workload::{WlKind, YcsbKind, YcsbWorkload};
+use rand::SeedableRng;
 
 const RECORDS: u64 = 4_000;
 const RECORD_BYTES: u64 = 1_000;

@@ -30,12 +30,14 @@ fn random_ops(mode: PipelineMode, seed: u64, ops: usize) {
     let mut rng = SmallRng::seed_from_u64(seed);
     for i in 0..ops {
         let len = *[1u64, 100, 512, 4096, 10_000, 70_000]
-            .get(rng.gen_range(0..6))
+            .get(rng.gen_range(0..6usize))
             .unwrap();
         let offset = rng.gen_range(0..IMAGE_BYTES - len);
         if rng.gen_bool(0.6) {
             let fill = (i % 251) as u8;
-            model.write(&image, offset, &vec![fill; len as usize]).unwrap();
+            model
+                .write(&image, offset, &vec![fill; len as usize])
+                .unwrap();
         } else {
             model.read_check(&image, offset, len).unwrap();
         }
@@ -83,7 +85,9 @@ fn concurrent_images_are_isolated() {
                 if i % 3 == 0 {
                     model.read_check(&image, offset, len).unwrap();
                 } else {
-                    model.write(&image, offset, &vec![w.wrapping_mul(37); len as usize]).unwrap();
+                    model
+                        .write(&image, offset, &vec![w.wrapping_mul(37); len as usize])
+                        .unwrap();
                 }
             }
             model.full_check(&image).unwrap();
@@ -106,7 +110,8 @@ fn write_heavy_flush_churn_stays_consistent() {
         .flush_threshold(4)
         .device_bytes(64 << 20)
         .start_live();
-    let image = BlockImage::create(&c, ImageSpec::with_object_size(1, 1 << 20, 8, 1 << 20)).unwrap();
+    let image =
+        BlockImage::create(&c, ImageSpec::with_object_size(1, 1 << 20, 8, 1 << 20)).unwrap();
     let mut model = ModelChecker::new(1 << 20);
     let mut rng = SmallRng::seed_from_u64(99);
     for i in 0..800u64 {
@@ -114,7 +119,9 @@ fn write_heavy_flush_churn_stays_consistent() {
         if i % 4 == 3 {
             model.read_check(&image, block * 4096, 4096).unwrap();
         } else {
-            model.write(&image, block * 4096, &vec![(i % 251) as u8; 4096]).unwrap();
+            model
+                .write(&image, block * 4096, &vec![(i % 251) as u8; 4096])
+                .unwrap();
         }
     }
     model.full_check(&image).unwrap();

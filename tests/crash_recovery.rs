@@ -19,7 +19,15 @@ fn oid(i: u64) -> ObjectId {
 }
 
 fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
-    Transaction::new(GroupId(0), seq, vec![Op::Write { oid: o, offset, data }])
+    Transaction::new(
+        GroupId(0),
+        seq,
+        vec![Op::Write {
+            oid: o,
+            offset,
+            data,
+        }],
+    )
 }
 
 #[test]
@@ -41,23 +49,27 @@ fn lsm_crash_loses_nothing_acknowledged() {
         let k = format!("key{:04}", i).into_bytes();
         // The newest value for key i%100 is from the last round that wrote it.
         let newest = (0..500u64).rev().find(|j| j % 100 == i).unwrap();
-        assert_eq!(db2.get(&k).unwrap(), Some(vec![newest as u8; 64]), "key {i}");
+        assert_eq!(
+            db2.get(&k).unwrap(),
+            Some(vec![newest as u8; 64]),
+            "key {i}"
+        );
     }
 }
 
 #[test]
 fn lsm_torn_wal_tail_is_dropped_cleanly() {
     let mut db = Db::open(CrashDisk::new(16 << 20), LsmOptions::tiny()).unwrap();
-    db.apply(&[(b"committed".to_vec(), Some(b"yes".to_vec()))]).unwrap();
+    db.apply(&[(b"committed".to_vec(), Some(b"yes".to_vec()))])
+        .unwrap();
     let mut dev = db.into_device();
     // Tear the very last write (the most recent WAL record).
     let pending = dev.pending_writes();
     dev.crash_with(CrashPlan::keep_torn(pending));
     let mut db2 = Db::open(dev, LsmOptions::tiny()).unwrap();
     // Either the record survived its CRC or was dropped — never garbage.
-    match db2.get(b"committed").unwrap() {
-        Some(v) => assert_eq!(v, b"yes"),
-        None => {}
+    if let Some(v) = db2.get(b"committed").unwrap() {
+        assert_eq!(v, b"yes");
     }
 }
 
@@ -67,13 +79,23 @@ fn cos_mount_replays_to_acknowledged_state_via_oplog() {
     // first; some are flushed to the store; the node crashes losing
     // unflushed DEVICE writes (NVM survives). Recovery = mount the store
     // (rebuild allocator/index from onodes) + REDO the operation log.
-    let opts = CosOptions { metadata_cache: false, ..CosOptions::tiny() };
+    let opts = CosOptions {
+        metadata_cache: false,
+        ..CosOptions::tiny()
+    };
     let mut store = CosObjectStore::format(CrashDisk::new(64 << 20), opts.clone()).unwrap();
     let mut nvm = NvmRegion::new(1 << 20);
     let mut log = GroupLog::format(&mut nvm, GroupId(0), 0, 1 << 20, 16).unwrap();
 
     store
-        .submit(Transaction::new(GroupId(0), 0, vec![Op::Create { oid: oid(1), size: 1 << 20 }]))
+        .submit(Transaction::new(
+            GroupId(0),
+            0,
+            vec![Op::Create {
+                oid: oid(1),
+                size: 1 << 20,
+            }],
+        ))
         .unwrap();
     // 20 acknowledged writes: all logged; only the first 10 flushed.
     for seq in 1..=20u64 {
@@ -119,7 +141,8 @@ fn cos_recovers_even_when_everything_unflushed_is_lost() {
     let mut nvm = NvmRegion::new(1 << 20);
     let mut log = GroupLog::format(&mut nvm, GroupId(0), 0, 1 << 20, 16).unwrap();
     for seq in 1..=5u64 {
-        log.append(&mut nvm, write_txn(seq, oid(2), 0, vec![seq as u8; 128])).unwrap();
+        log.append(&mut nvm, write_txn(seq, oid(2), 0, vec![seq as u8; 128]))
+            .unwrap();
     }
     // Crash before ANY flush reached the device.
     dev.crash_with(CrashPlan::lose_all());
@@ -137,7 +160,13 @@ fn cos_recovers_even_when_everything_unflushed_is_lost() {
 fn lsm_store_recovers_objects_after_crash() {
     let mut s = LsmObjectStore::open(CrashDisk::new(32 << 20), LsmOptions::tiny()).unwrap();
     for seq in 1..=50u64 {
-        s.submit(write_txn(seq, oid(seq % 5), (seq % 4) * 4096, vec![seq as u8; 4096])).unwrap();
+        s.submit(write_txn(
+            seq,
+            oid(seq % 5),
+            (seq % 4) * 4096,
+            vec![seq as u8; 4096],
+        ))
+        .unwrap();
         while s.needs_maintenance() {
             s.maintenance();
         }
@@ -166,7 +195,8 @@ fn oplog_partial_nvm_record_is_detected() {
     // append: recovery must fail loudly (CRC), not return garbage.
     let mut nvm = NvmRegion::new(64 << 10);
     let mut log = GroupLog::format(&mut nvm, GroupId(0), 0, 64 << 10, 16).unwrap();
-    log.append(&mut nvm, write_txn(1, oid(1), 0, vec![1; 256])).unwrap();
+    log.append(&mut nvm, write_txn(1, oid(1), 0, vec![1; 256]))
+        .unwrap();
     let used = log.nvm_used();
     // Smash a byte in the middle of the (only) record.
     let probe = 48 + used / 2;
@@ -195,7 +225,10 @@ fn replication_plus_recovery_preserves_acknowledged_writes_cluster_wide() {
         replica_log.append(&mut replica_nvm, txn).unwrap();
     }
     // Primary vanishes. The replica flushes its log and serves reads.
-    for txn in replica_log.drain_for_flush(&mut replica_nvm, usize::MAX).unwrap() {
+    for txn in replica_log
+        .drain_for_flush(&mut replica_nvm, usize::MAX)
+        .unwrap()
+    {
         replica_store.submit(txn).unwrap();
     }
     for block in 0..4u64 {

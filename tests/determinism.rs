@@ -26,6 +26,7 @@ fn config(mode: PipelineMode, seed: u64) -> ClusterSimConfig {
         flush_threshold: 8,
         lsm: LsmOptions::tiny(),
         cos: CosOptions::tiny(),
+        ..OsdConfig::default()
     };
     cfg
 }
@@ -35,7 +36,9 @@ fn workloads(conns: usize) -> Vec<Box<dyn ConnWorkload>> {
         .map(|c| {
             let mut x = 0xABCDu64.wrapping_add(c as u64);
             Box::new(move |_rng: &mut SimRng| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let i = (x >> 8) % 16;
                 Some(WorkItem::Write {
                     oid: ObjectId::new(GroupId((i % 16) as u32), i),
@@ -56,7 +59,12 @@ fn fingerprint(mode: PipelineMode, seed: u64) -> (u64, u64, u64, u64) {
             .collect::<Vec<_>>(),
     );
     let r = sim.run(SimDuration::millis(10), SimDuration::millis(40));
-    (r.writes_done, r.context_switches, r.nvm_bytes, r.device.bytes_written)
+    (
+        r.writes_done,
+        r.context_switches,
+        r.nvm_bytes,
+        r.device.bytes_written,
+    )
 }
 
 #[test]
@@ -70,7 +78,10 @@ fn identical_seeds_give_identical_runs() {
 fn different_seeds_still_complete_work() {
     let a = fingerprint(PipelineMode::Dop, 1);
     let b = fingerprint(PipelineMode::Dop, 2);
-    assert!(a.0 > 100 && b.0 > 100, "both seeds make progress: {a:?} {b:?}");
+    assert!(
+        a.0 > 100 && b.0 > 100,
+        "both seeds make progress: {a:?} {b:?}"
+    );
 }
 
 #[test]

@@ -20,7 +20,9 @@ fn ops() -> Vec<(bool, ObjectId, u64, u8)> {
     let mut out = Vec::new();
     let mut x = 42u64;
     for _ in 0..200 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let o = oid((x >> 8) % 16);
         let block = (x >> 32) % 32;
         out.push((true, o, block * 4096, (x % 251) as u8));
@@ -48,9 +50,18 @@ impl ConnWorkload for Scripted {
         let (is_write, o, off, fill) = *self.script.get(self.at)?;
         self.at += 1;
         Some(if is_write {
-            WorkItem::Write { oid: o, offset: off, len: 4096, fill }
+            WorkItem::Write {
+                oid: o,
+                offset: off,
+                len: 4096,
+                fill,
+            }
         } else {
-            WorkItem::Read { oid: o, offset: off, len: 4096 }
+            WorkItem::Read {
+                oid: o,
+                offset: off,
+                len: 4096,
+            }
         })
     }
 }
@@ -64,6 +75,7 @@ fn osd_config(mode: PipelineMode) -> OsdConfig {
         flush_threshold: 8,
         lsm: LsmOptions::tiny(),
         cos: CosOptions::tiny(),
+        ..OsdConfig::default()
     }
 }
 
@@ -100,7 +112,10 @@ fn run_sim(mode: PipelineMode) -> (u64, u64) {
     cfg.pg_count = PGS;
     cfg.osd = osd_config(mode);
     cfg.queue_depth = 1; // strict sequential order, like the live client
-    let wl: Vec<Box<dyn ConnWorkload>> = vec![Box::new(Scripted { script: ops(), at: 0 })];
+    let wl: Vec<Box<dyn ConnWorkload>> = vec![Box::new(Scripted {
+        script: ops(),
+        at: 0,
+    })];
     let mut sim = ClusterSim::new(cfg, wl);
     sim.prefill(&(0..16u64).map(|i| (oid(i), 1 << 20)).collect::<Vec<_>>());
     let report = sim.run(SimDuration::ZERO, SimDuration::secs(10));

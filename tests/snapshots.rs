@@ -11,15 +11,14 @@ fn snapshot_then_rollback_restores_exact_contents() {
         .device_bytes(96 << 20)
         .start_live();
     let size = 4u64 << 20;
-    let image = BlockImage::create(
-        &cluster,
-        ImageSpec::with_object_size(1, size, 16, 1 << 20),
-    )
-    .unwrap();
+    let image =
+        BlockImage::create(&cluster, ImageSpec::with_object_size(1, size, 16, 1 << 20)).unwrap();
 
     // Baseline contents.
     for block in 0..16u64 {
-        image.write(block * 4096, &vec![(block + 1) as u8; 4096]).unwrap();
+        image
+            .write(block * 4096, &vec![(block + 1) as u8; 4096])
+            .unwrap();
     }
     // Snapshot "v1" under its own object namespace (image id 2).
     let snap = image
@@ -55,7 +54,13 @@ fn mismatched_snapshot_sizes_rejected() {
         .pg_count(8)
         .device_bytes(64 << 20)
         .start_live();
-    let image =
-        BlockImage::create(&cluster, ImageSpec::with_object_size(1, 2 << 20, 8, 1 << 20)).unwrap();
-    let _ = image.snapshot_to(&cluster, ImageSpec::with_object_size(2, 4 << 20, 8, 1 << 20));
+    let image = BlockImage::create(
+        &cluster,
+        ImageSpec::with_object_size(1, 2 << 20, 8, 1 << 20),
+    )
+    .unwrap();
+    let _ = image.snapshot_to(
+        &cluster,
+        ImageSpec::with_object_size(2, 4 << 20, 8, 1 << 20),
+    );
 }
