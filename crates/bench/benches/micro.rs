@@ -17,7 +17,7 @@ fn write_txn(seq: u64, oid: ObjectId, block: u64) -> Transaction {
         vec![Op::Write {
             oid,
             offset: block * 4096,
-            data: vec![seq as u8; 4096],
+            data: vec![seq as u8; 4096].into(),
         }],
     )
 }

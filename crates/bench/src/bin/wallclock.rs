@@ -1,0 +1,410 @@
+//! Wall-clock throughput harness for the simulator itself.
+//!
+//! Every figure harness drives the sans-io OSD core through the DES engine,
+//! so the wall-clock speed of that loop bounds how much of the parameter
+//! space a sweep can cover. This binary measures it directly: it runs the
+//! fig7 4 KiB random-write scenario and a chaos (fault-injection) scenario
+//! under `std::time::Instant` and reports
+//!
+//! * **events/sec** — scheduler work items executed per wall-clock second
+//!   (`SimReport::events_processed` over the timed `run` call), and
+//! * **sim-ops/sec** — completed simulated client operations per wall-clock
+//!   second.
+//!
+//! Each scenario is also run twice with the same seed as a determinism
+//! guard: the full metric fingerprint (counters, latency percentiles, CPU%
+//! per stage, HistoryChecker verdicts) must be byte-identical, so a perf
+//! change that altered simulated results would fail here first.
+//!
+//! Usage:
+//!
+//! ```text
+//! wallclock [--label before|after] [--iters N] [--smoke]
+//! ```
+//!
+//! With `--label`, results are merged into `BENCH_pr2.json` at the
+//! workspace root (runs with the same label are replaced, other labels are
+//! kept, so "before" and "after" from the same machine live side by side).
+//! `--smoke` runs a seconds-scale sweep and writes nothing.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rablock::sim::{
+    ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow, LinkFault,
+    Partition, RetryPolicy, SimDuration, SimReport, SimRng, SimTime, WorkItem,
+};
+use rablock::{GroupId, ObjectId, PipelineMode};
+use rablock_bench::{banner, paper_cluster, randwrite_conns, Dataset};
+use rablock_cluster::osd::OsdConfig;
+use rablock_cos::CosOptions;
+use rablock_lsm::LsmOptions;
+
+/// One timed scenario run.
+struct Sample {
+    wall_secs: f64,
+    events: u64,
+    sim_writes: u64,
+    sim_reads: u64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+
+    fn sim_ops_per_sec(&self) -> f64 {
+        (self.sim_writes + self.sim_reads) as f64 / self.wall_secs
+    }
+}
+
+/// Everything the simulation is allowed to vary by: nothing. Two runs of
+/// the same scenario must produce identical fingerprints.
+fn fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
+    let mut v = vec![
+        r.duration.as_nanos(),
+        r.writes_done,
+        r.reads_done,
+        r.write_iops.to_bits(),
+        r.read_iops.to_bits(),
+        r.context_switches,
+        r.events_processed,
+        r.nvm_bytes,
+        r.nvm_full_stalls,
+        r.client_errors,
+    ];
+    v.extend(
+        r.write_lat
+            .iter()
+            .chain(r.read_lat.iter())
+            .map(|d| d.as_nanos()),
+    );
+    v.extend(r.node_cpu_pct.iter().map(|p| p.to_bits()));
+    v.extend(r.tag_cpu_pct.values().map(|p| p.to_bits()));
+    v.extend(r.class_cpu_pct.values().map(|p| p.to_bits()));
+    v.extend([
+        r.store.user_bytes,
+        r.store.wal_bytes,
+        r.store.flush_bytes,
+        r.store.compaction_bytes,
+        r.store.data_bytes,
+        r.store.metadata_bytes,
+        r.store.superblock_bytes,
+        r.store.read_bytes,
+        r.store.transactions,
+    ]);
+    v.extend([
+        r.device.reads,
+        r.device.writes,
+        r.device.flushes,
+        r.device.bytes_read,
+        r.device.bytes_written,
+        r.device.total_latency_ns,
+    ]);
+    if let Some((acked, checked)) = checker {
+        v.extend([acked, checked]);
+    }
+    v
+}
+
+/// The fig7 4 KiB random-write scenario at the paper-cluster scale.
+fn run_fig7(measure: SimDuration) -> (Sample, Vec<u64>) {
+    const CONNS: usize = 16;
+    let dataset = Dataset::default_for(CONNS);
+    let mut sim = ClusterSim::new(
+        paper_cluster(PipelineMode::Dop),
+        randwrite_conns(dataset, CONNS),
+    );
+    sim.prefill(&dataset.all_objects());
+    let t = Instant::now();
+    let report = sim.run(SimDuration::ZERO, measure);
+    let wall_secs = t.elapsed().as_secs_f64();
+    let fp = fingerprint(&report, None);
+    (
+        Sample {
+            wall_secs,
+            events: report.events_processed,
+            sim_writes: report.writes_done,
+            sim_reads: report.reads_done,
+        },
+        fp,
+    )
+}
+
+const CHAOS_PGS: u32 = 8;
+const CHAOS_CONNS: u64 = 4;
+const CHAOS_WRITES_PER_CONN: u64 = 400;
+const CHAOS_READS_PER_CONN: u64 = 100;
+
+fn chaos_oid(conn: u64, k: u64) -> ObjectId {
+    let i = conn * 100 + k;
+    ObjectId::new(GroupId((i % CHAOS_PGS as u64) as u32), i)
+}
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_nanos(n * 1_000_000)
+}
+
+struct ChaosConn {
+    conn: u64,
+    cursor: u64,
+}
+
+impl ConnWorkload for ChaosConn {
+    fn next(&mut self, _rng: &mut SimRng) -> Option<WorkItem> {
+        let i = self.cursor;
+        self.cursor += 1;
+        if i < CHAOS_WRITES_PER_CONN {
+            let k = i % 8;
+            let block = (i / 8) % 16;
+            Some(WorkItem::Write {
+                oid: chaos_oid(self.conn, k),
+                offset: block * 4096,
+                len: 4096,
+                fill: ((self.conn * 97 + k * 31 + block) % 251) as u8,
+            })
+        } else if i < CHAOS_WRITES_PER_CONN + CHAOS_READS_PER_CONN {
+            let j = i - CHAOS_WRITES_PER_CONN;
+            Some(WorkItem::Read {
+                oid: chaos_oid(self.conn, j % 8),
+                offset: (j / 8) * 4096,
+                len: 4096,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// A fixed chaos scenario: drops, duplicates, reordering, a partition, a
+/// gray device, and a crash/restart with a torn NVM tail — with client
+/// retries, heartbeat failure detection, and the history checker armed.
+fn chaos_config() -> ClusterSimConfig {
+    let mut cfg = ClusterSimConfig::defaults(PipelineMode::Dop);
+    cfg.nodes = 3;
+    cfg.osds_per_node = 1;
+    cfg.cores_per_node = 8;
+    cfg.priority_threads = 2;
+    cfg.non_priority_threads = 3;
+    cfg.pg_count = CHAOS_PGS;
+    cfg.queue_depth = 4;
+    cfg.seed = 0xC0FFEE;
+    cfg.osd = OsdConfig {
+        mode: PipelineMode::Dop,
+        device_bytes: 64 << 20,
+        nvm_bytes: 8 << 20,
+        ring_bytes: 256 << 10,
+        flush_threshold: 8,
+        lsm: LsmOptions::tiny(),
+        cos: CosOptions::tiny(),
+        ..OsdConfig::default()
+    };
+    cfg.faults = FaultPlan::none()
+        .with_link_fault(LinkFault {
+            link: None,
+            from: SimTime::ZERO,
+            until: ms(10_000),
+            drop_p: 0.01,
+            dup_p: 0.005,
+            reorder_p: 0.05,
+            reorder_max: SimDuration::nanos(200_000),
+            spike_p: 0.02,
+            spike: SimDuration::nanos(500_000),
+        })
+        .with_partition(Partition {
+            a: 0,
+            b: 1,
+            from: ms(8),
+            until: ms(18),
+        })
+        .with_gray_window(GrayWindow {
+            device: 1,
+            from: ms(2),
+            until: ms(25),
+            multiplier: 8.0,
+        })
+        .with_crash(CrashSchedule {
+            process: 0,
+            at: ms(6),
+            restart_at: Some(ms(40)),
+            torn_tail: true,
+        });
+    cfg.heartbeat_period = Some(SimDuration::millis(1));
+    cfg.heartbeat_grace = SimDuration::millis(5);
+    cfg.retry = Some(RetryPolicy {
+        timeout_nanos: 10_000_000,
+        backoff_base_nanos: 1_000_000,
+        backoff_multiplier: 2.0,
+        jitter_frac: 0.2,
+        max_attempts: 8,
+    });
+    cfg.check_history = true;
+    cfg
+}
+
+fn run_chaos(measure: SimDuration) -> (Sample, Vec<u64>) {
+    let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
+        .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
+        .collect();
+    let mut sim = ClusterSim::new(chaos_config(), wl);
+    let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
+        .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
+        .collect();
+    sim.prefill(&objects);
+    let t = Instant::now();
+    let report = sim.run(SimDuration::ZERO, measure);
+    let wall_secs = t.elapsed().as_secs_f64();
+    let checker = sim.checker().expect("history checking enabled");
+    let fp = fingerprint(
+        &report,
+        Some((checker.writes_acked(), checker.reads_checked())),
+    );
+    (
+        Sample {
+            wall_secs,
+            events: report.events_processed,
+            sim_writes: report.writes_done,
+            sim_reads: report.reads_done,
+        },
+        fp,
+    )
+}
+
+/// Runs one scenario `iters` times (plus a determinism re-run of the first
+/// iteration) and returns the best sample by events/sec.
+fn measure_scenario(name: &str, iters: usize, run: impl Fn() -> (Sample, Vec<u64>)) -> Sample {
+    let (first, fp_a) = run();
+    let (_, fp_b) = run();
+    assert_eq!(
+        fp_a, fp_b,
+        "{name}: same seed must replay a byte-identical metric fingerprint"
+    );
+    println!(
+        "  [{name}] determinism guard: OK ({} counters identical)",
+        fp_a.len()
+    );
+    let mut best = first;
+    for _ in 1..iters.max(1) {
+        let (s, _) = run();
+        if s.events_per_sec() > best.events_per_sec() {
+            best = s;
+        }
+    }
+    println!(
+        "  [{name}] wall {:.3}s  events {}  events/sec {:.0}  sim-ops/sec {:.0}",
+        best.wall_secs,
+        best.events,
+        best.events_per_sec(),
+        best.sim_ops_per_sec(),
+    );
+    best
+}
+
+fn workspace_root() -> PathBuf {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path
+}
+
+fn run_json(label: &str, scenario: &str, s: &Sample) -> String {
+    format!(
+        "    {{\"label\": \"{label}\", \"scenario\": \"{scenario}\", \
+         \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
+         \"sim_writes\": {}, \"sim_reads\": {}, \"sim_ops_per_sec\": {:.1}}}",
+        s.wall_secs,
+        s.events,
+        s.events_per_sec(),
+        s.sim_writes,
+        s.sim_reads,
+        s.sim_ops_per_sec(),
+    )
+}
+
+/// Merges this invocation's runs into `BENCH_pr2.json`: existing runs with
+/// a different label are kept (one run object per line), runs with the same
+/// label are replaced.
+fn write_bench_json(label: &str, runs: &[String]) {
+    let path = workspace_root().join("BENCH_pr2.json");
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let t = line.trim();
+            if t.starts_with("{\"label\": ") && !t.starts_with(&format!("{{\"label\": \"{label}\""))
+            {
+                kept.push(format!("    {}", t.trim_end_matches(',')));
+            }
+        }
+    }
+    kept.extend(runs.iter().cloned());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"pr2-wallclock\",\n");
+    out.push_str(
+        "  \"metric\": \"DES events/sec and simulated client ops/sec per wall-clock second\",\n",
+    );
+    out.push_str("  \"runs\": [\n");
+    out.push_str(&kept.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(&path, out).expect("write BENCH_pr2.json");
+    println!("[json] {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label: Option<String> = None;
+    let mut smoke = false;
+    let mut iters = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = Some(args.get(i + 1).expect("--label needs a value").clone());
+                i += 2;
+            }
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters takes a number");
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (expected --label/--iters/--smoke)"),
+        }
+    }
+
+    banner(
+        "wallclock",
+        "wall-clock throughput of the simulator (events/sec, sim-ops/sec)",
+    );
+    let (fig7_measure, chaos_measure) = if smoke {
+        (SimDuration::millis(20), SimDuration::millis(100))
+    } else {
+        (SimDuration::millis(160), SimDuration::secs(2))
+    };
+    if smoke {
+        iters = 1;
+    }
+
+    println!("fig7 4 KiB randwrite (DOP, 4 nodes x 2 OSDs, 16 conns):");
+    let fig7 = measure_scenario("fig7", iters, || run_fig7(fig7_measure));
+    println!("chaos (3 nodes, faults + retries + history checker):");
+    let chaos = measure_scenario("chaos", iters, || run_chaos(chaos_measure));
+
+    if smoke {
+        println!("smoke sweep complete (nothing written)");
+        return;
+    }
+    if let Some(label) = label {
+        let runs = vec![
+            run_json(&label, "fig7", &fig7),
+            run_json(&label, "chaos", &chaos),
+        ];
+        write_bench_json(&label, &runs);
+    }
+}

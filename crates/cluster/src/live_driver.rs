@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use rablock_storage::{ObjectId, StoreError};
+use rablock_storage::{ObjectId, Payload, StoreError};
 
 use crate::msg::{ClientId, ClientReply, ClientReq, OpId};
 use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput};
@@ -280,12 +280,17 @@ impl LiveClient {
     /// # Errors
     ///
     /// Propagates backend errors.
-    pub fn write(&self, oid: ObjectId, offset: u64, data: Vec<u8>) -> Result<(), StoreError> {
+    pub fn write(
+        &self,
+        oid: ObjectId,
+        offset: u64,
+        data: impl Into<Payload>,
+    ) -> Result<(), StoreError> {
         match self.submit(ClientReq::Write {
             op: self.op(),
             oid,
             offset,
-            data,
+            data: data.into(),
         }) {
             ClientReply::Done { .. } => Ok(()),
             ClientReply::Error { error, .. } => Err(error),
@@ -305,7 +310,7 @@ impl LiveClient {
             offset,
             len,
         }) {
-            ClientReply::Data { data, .. } => Ok(data),
+            ClientReply::Data { data, .. } => Ok(data.to_vec()),
             ClientReply::Error { error, .. } => Err(error),
             ClientReply::Done { .. } => unreachable!("read always returns data"),
         }

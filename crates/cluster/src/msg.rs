@@ -5,7 +5,7 @@
 //! and each knows its approximate wire size so network serialization and
 //! per-message CPU can be charged faithfully.
 
-use rablock_storage::{GroupId, ObjectId, StoreError, Transaction};
+use rablock_storage::{GroupId, ObjectId, Payload, StoreError, Transaction};
 
 use crate::placement::{OsdId, OsdMap};
 
@@ -31,8 +31,8 @@ pub enum ClientReq {
         oid: ObjectId,
         /// Byte offset within the object.
         offset: u64,
-        /// Payload.
-        data: Vec<u8>,
+        /// Payload (refcounted: a retry's clone shares the bytes).
+        data: Payload,
     },
     /// Read `len` bytes at `offset` of `oid`.
     Read {
@@ -97,8 +97,8 @@ pub enum ClientReply {
     Data {
         /// Echoed operation id.
         op: OpId,
-        /// The bytes read.
-        data: Vec<u8>,
+        /// The bytes read (refcounted: a dedup re-ack shares the bytes).
+        data: Payload,
     },
     /// The operation failed.
     Error {
@@ -250,7 +250,7 @@ mod tests {
             op: OpId(1),
             oid,
             offset: 0,
-            data: vec![0; 4096],
+            data: vec![0; 4096].into(),
         };
         let r = ClientReq::Read {
             op: OpId(2),
@@ -262,7 +262,7 @@ mod tests {
         assert_eq!(r.wire_bytes(), MSG_HEADER_BYTES);
         let reply = ClientReply::Data {
             op: OpId(2),
-            data: vec![0; 4096],
+            data: vec![0; 4096].into(),
         };
         assert_eq!(reply.wire_bytes(), MSG_HEADER_BYTES + 4096);
     }
@@ -276,7 +276,7 @@ mod tests {
             vec![Op::Write {
                 oid,
                 offset: 0,
-                data: vec![1; 4096],
+                data: vec![1; 4096].into(),
             }],
         );
         let m = PeerMsg::Repop {

@@ -20,8 +20,8 @@ use rablock_cos::{CosObjectStore, CosOptions};
 use rablock_lsm::{LsmObjectStore, LsmOptions};
 use rablock_oplog::{GroupLog, LogRecord, ReadPath};
 use rablock_storage::{
-    GroupId, MemDisk, NvmRegion, ObjectId, ObjectStore, Op, StoreError, StoreStats, TraceIo,
-    Transaction,
+    GroupId, MemDisk, NvmRegion, ObjectId, ObjectStore, Op, Payload, StoreError, StoreStats,
+    TraceIo, Transaction,
 };
 
 use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg};
@@ -554,7 +554,7 @@ impl Osd {
         seq: u64,
         oid: ObjectId,
         offset: u64,
-        data: Vec<u8>,
+        data: Payload,
     ) -> Transaction {
         let pglog_key = format!("pglog.{}.{seq}", group.0).into_bytes();
         Transaction::new(
@@ -971,7 +971,7 @@ impl Osd {
                 to: from,
                 msg: ClientReply::Data {
                     op,
-                    data: vec![0; len as usize],
+                    data: vec![0; len as usize].into(),
                 },
             });
             return;
@@ -1086,7 +1086,10 @@ impl Osd {
                 } else {
                     fx.push(OsdEffect::Reply {
                         to: dr.client,
-                        msg: ClientReply::Data { op: dr.op, data },
+                        msg: ClientReply::Data {
+                            op: dr.op,
+                            data: data.into(),
+                        },
                     });
                 }
             }
@@ -1309,7 +1312,7 @@ impl Osd {
                             Op::Write {
                                 oid,
                                 offset: 0,
-                                data,
+                                data: data.into(),
                             },
                         ],
                     );
@@ -1389,7 +1392,10 @@ impl Osd {
             StoreCtx::Read { client, op, data } => {
                 fx.push(OsdEffect::Reply {
                     to: client,
-                    msg: ClientReply::Data { op, data },
+                    msg: ClientReply::Data {
+                        op,
+                        data: data.into(),
+                    },
                 });
             }
             StoreCtx::Flush {
@@ -1714,7 +1720,7 @@ mod tests {
             op: OpId(op),
             oid,
             offset: 0,
-            data: vec![7; 4096],
+            data: vec![7; 4096].into(),
         }
     }
 
@@ -1784,7 +1790,7 @@ mod tests {
             vec![Op::Write {
                 oid,
                 offset: 0,
-                data: vec![1; 4096],
+                data: vec![1; 4096].into(),
             }],
         );
         let fx = o.handle(OsdInput::Peer {
@@ -1864,7 +1870,7 @@ mod tests {
             vec![Op::Write {
                 oid,
                 offset: 0,
-                data: vec![1; 4096],
+                data: vec![1; 4096].into(),
             }],
         );
         let fx = o.handle(OsdInput::Peer {
@@ -1938,7 +1944,7 @@ mod tests {
         });
         assert_eq!(
             reply,
-            Some(vec![7u8; 200]),
+            Some(vec![7u8; 200].into()),
             "read served from the operation log"
         );
     }
@@ -1985,7 +1991,7 @@ mod tests {
             } => Some(data.clone()),
             _ => None,
         });
-        assert_eq!(reply, Some(vec![7u8; 4096]));
+        assert_eq!(reply, Some(vec![7u8; 4096].into()));
     }
 
     #[test]
@@ -2157,7 +2163,7 @@ mod tests {
             vec![Op::Write {
                 oid,
                 offset: 0,
-                data: vec![1; 4096],
+                data: vec![1; 4096].into(),
             }],
         );
         o.handle(OsdInput::Peer {
@@ -2236,7 +2242,7 @@ mod tests {
             } => Some(data.clone()),
             _ => None,
         });
-        assert_eq!(reply, Some(vec![7u8; 4096]));
+        assert_eq!(reply, Some(vec![7u8; 4096].into()));
     }
 
     #[test]

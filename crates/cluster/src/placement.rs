@@ -6,6 +6,9 @@
 //! weight) hashing. When an OSD goes down only the groups it served move —
 //! the property CRUSH provides that simple modulo hashing does not.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use crate::msg::MonMsg;
 
 /// Identifies one OSD daemon in the cluster.
@@ -33,8 +36,13 @@ pub struct OsdInfo {
     pub up: bool,
 }
 
+/// Shard count of the acting-set cache: small enough to stay cheap, enough
+/// to keep live-driver threads resolving different groups off one lock.
+const CACHE_SHARDS: usize = 8;
+
+type ActingSetCache = [Mutex<HashMap<u32, (u64, Vec<OsdId>)>>; CACHE_SHARDS];
+
 /// The versioned cluster map.
-#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct OsdMap {
     /// Monotonic epoch; bumped by the monitor on every change.
     pub epoch: u64,
@@ -44,6 +52,49 @@ pub struct OsdMap {
     pub pg_count: u32,
     /// Replication factor (2 in the paper's evaluation).
     pub replication: usize,
+    /// Memoized acting sets per group, each tagged with the epoch it was
+    /// computed at; an epoch bump (mark_down/mark_up) lazily invalidates.
+    /// Purely a lookup accelerator — excluded from equality, ignored by
+    /// `Debug`, and reset to empty on `Clone`. Boxed so the map stays small
+    /// when moved by value through messages and event queues.
+    cache: Box<ActingSetCache>,
+}
+
+fn empty_cache() -> Box<ActingSetCache> {
+    Box::new(std::array::from_fn(|_| Mutex::new(HashMap::new())))
+}
+
+impl Clone for OsdMap {
+    fn clone(&self) -> Self {
+        OsdMap {
+            epoch: self.epoch,
+            osds: self.osds.clone(),
+            pg_count: self.pg_count,
+            replication: self.replication,
+            cache: empty_cache(),
+        }
+    }
+}
+
+impl PartialEq for OsdMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.osds == other.osds
+            && self.pg_count == other.pg_count
+            && self.replication == other.replication
+    }
+}
+impl Eq for OsdMap {}
+
+impl std::fmt::Debug for OsdMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsdMap")
+            .field("epoch", &self.epoch)
+            .field("osds", &self.osds)
+            .field("pg_count", &self.pg_count)
+            .field("replication", &self.replication)
+            .finish()
+    }
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -72,6 +123,7 @@ impl OsdMap {
             osds,
             pg_count,
             replication,
+            cache: empty_cache(),
         }
     }
 
@@ -93,6 +145,25 @@ impl OsdMap {
     /// Panics if fewer distinct up nodes exist than the replication factor —
     /// the cluster cannot place data safely at that point.
     pub fn acting_set(&self, group: rablock_storage::GroupId) -> Vec<OsdId> {
+        let shard = &self.cache[group.0 as usize % CACHE_SHARDS];
+        {
+            let guard = shard.lock().expect("acting-set cache poisoned");
+            if let Some((epoch, set)) = guard.get(&group.0) {
+                if *epoch == self.epoch {
+                    return set.clone();
+                }
+            }
+        }
+        let set = self.compute_acting_set(group);
+        shard
+            .lock()
+            .expect("acting-set cache poisoned")
+            .insert(group.0, (self.epoch, set.clone()));
+        set
+    }
+
+    /// Rendezvous-hash ranking behind [`OsdMap::acting_set`]'s cache.
+    fn compute_acting_set(&self, group: rablock_storage::GroupId) -> Vec<OsdId> {
         let mut ranked: Vec<(u64, OsdId, NodeId)> = self
             .up_osds()
             .map(|o| (mix((group.0 as u64) << 32 | o.id.0 as u64), o.id, o.node))

@@ -327,6 +327,9 @@ pub struct SimReport {
     pub class_cpu_pct: BTreeMap<&'static str, f64>,
     /// Context switches charged in the window.
     pub context_switches: u64,
+    /// Scheduler work items executed in the window (DES events that ran a
+    /// handler) — the denominator for wall-clock events/sec.
+    pub events_processed: u64,
     /// Aggregated backend store statistics (WAF).
     pub store: StoreStats,
     /// Aggregated device statistics.
@@ -839,7 +842,7 @@ impl World {
                             op,
                             oid,
                             offset,
-                            data: vec![fill; len as usize],
+                            data: vec![fill; len as usize].into(),
                         },
                         true,
                     ),
@@ -1695,6 +1698,7 @@ impl ClusterSim {
             tag_cpu_pct,
             class_cpu_pct,
             context_switches: metrics.context_switches,
+            events_processed: metrics.items_run,
             store,
             device,
             nvm_bytes: w.osds.iter().map(Osd::nvm_bytes_written).sum(),

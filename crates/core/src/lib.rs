@@ -61,7 +61,7 @@ pub use verify::ModelChecker;
 
 pub use rablock_cluster::live_driver::{LiveClient, LiveCluster};
 pub use rablock_cluster::osd::PipelineMode;
-pub use rablock_storage::{GroupId, ObjectId, StoreError};
+pub use rablock_storage::{GroupId, ObjectId, Payload, StoreError};
 
 /// Deterministic cluster simulation (re-exported from `rablock-cluster`).
 pub mod sim {

@@ -31,7 +31,7 @@ const SB_MAGIC: u32 = 0x434F_5331; // "COS1"
 /// let oid = ObjectId::new(GroupId(0), 1);
 /// store.submit(Transaction::new(GroupId(0), 1, vec![
 ///     Op::Create { oid, size: 4 << 20 },
-///     Op::Write { oid, offset: 0, data: b"hello".to_vec() },
+///     Op::Write { oid, offset: 0, data: b"hello".to_vec().into() },
 /// ]))?;
 /// assert_eq!(store.read(oid, 0, 5)?, b"hello");
 /// # Ok(())
@@ -293,7 +293,7 @@ mod tests {
             vec![Op::Write {
                 oid: o,
                 offset,
-                data,
+                data: data.into(),
             }],
         )
     }

@@ -88,7 +88,7 @@ fn run_script(opts: CosOptions, script: Vec<StoreOp>) -> (CosObjectStore<MemDisk
                     vec![Op::Write {
                         oid: oid(obj),
                         offset,
-                        data: vec![fill; len as usize],
+                        data: vec![fill; len as usize].into(),
                     }],
                 );
                 if model[obj as usize].is_none() {

@@ -137,7 +137,12 @@ impl<D: BlockDevice> Db<D> {
     /// Propagates device errors; allocation exhaustion surfaces as
     /// [`StoreError::NoSpace`].
     pub fn apply(&mut self, batch: &[BatchEntry]) -> Result<(), StoreError> {
-        let mut payload = Vec::new();
+        let cap: usize = batch
+            .iter()
+            .map(|(k, v)| 9 + k.len() + v.as_ref().map_or(0, |v| 4 + v.len()))
+            .sum::<usize>()
+            + 4;
+        let mut payload = Vec::with_capacity(cap);
         put_u32(&mut payload, batch.len() as u32);
         for (k, v) in batch {
             match v {

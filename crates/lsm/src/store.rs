@@ -109,7 +109,7 @@ fn bad_info() -> StoreError {
 /// let mut store = LsmObjectStore::open(MemDisk::new(16 << 20), LsmOptions::tiny())?;
 /// let oid = ObjectId::new(GroupId(0), 1);
 /// store.submit(Transaction::new(GroupId(0), 1, vec![
-///     Op::Write { oid, offset: 0, data: b"hello".to_vec() },
+///     Op::Write { oid, offset: 0, data: b"hello".to_vec().into() },
 /// ]))?;
 /// assert_eq!(store.read(oid, 0, 5)?, b"hello");
 /// # Ok(())
@@ -529,7 +529,7 @@ mod tests {
             vec![Op::Write {
                 oid: o,
                 offset,
-                data,
+                data: data.into(),
             }],
         )
     }
@@ -625,7 +625,7 @@ mod tests {
                 Op::Write {
                     oid: oid(1),
                     offset: 0,
-                    data: vec![0u8; 64],
+                    data: vec![0u8; 64].into(),
                 },
             ],
         ))
@@ -702,7 +702,7 @@ mod raw_path_tests {
             vec![Op::Write {
                 oid: o,
                 offset,
-                data,
+                data: data.into(),
             }],
         )
     }
@@ -821,7 +821,7 @@ mod cache_tests {
             vec![Op::Write {
                 oid,
                 offset: 0,
-                data: vec![9u8; 4096],
+                data: vec![9u8; 4096].into(),
             }],
         ))
         .unwrap();
@@ -865,7 +865,7 @@ mod cache_tests {
                 vec![Op::Write {
                     oid,
                     offset: 0,
-                    data: vec![round; 4096],
+                    data: vec![round; 4096].into(),
                 }],
             ))
             .unwrap();

@@ -71,13 +71,15 @@ impl Wal {
         if self.head + total > self.region_len {
             return Err(StoreError::NoSpace);
         }
+        // Single buffer: frame + epoch + payload, with the CRC (over
+        // epoch + payload) backpatched — avoids a second full-payload copy.
         let mut rec = Vec::with_capacity(total as usize);
-        let mut body = Vec::with_capacity(8 + payload.len());
-        body.extend_from_slice(&self.current_epoch.to_le_bytes());
-        body.extend_from_slice(payload);
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&crc32(&body).to_le_bytes());
-        rec.extend_from_slice(&body);
+        rec.extend_from_slice(&[0u8; 4]);
+        rec.extend_from_slice(&self.current_epoch.to_le_bytes());
+        rec.extend_from_slice(payload);
+        let crc = crc32(&rec[8..]);
+        rec[4..8].copy_from_slice(&crc.to_le_bytes());
         dev.write_at(self.region_off + self.head, &rec)?;
         dev.flush()?;
         self.head += total;

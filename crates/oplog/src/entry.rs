@@ -19,21 +19,44 @@ pub struct LogRecord {
 
 pub(crate) fn crc32(data: &[u8]) -> u32 {
     const POLY: u32 = 0xEDB8_8320;
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+    // Slice-by-8: eight derived tables let the hot loop fold 8 input bytes
+    // per iteration instead of one. Identical output to the classic
+    // byte-at-a-time form (same polynomial, same reflection).
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    let t = TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, e) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             }
             *e = c;
         }
+        for i in 0..256usize {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
         t
     });
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -100,7 +123,12 @@ fn trunc() -> StoreError {
 impl LogRecord {
     /// Serializes the record (header + ops + trailing CRC).
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::new();
+        // One allocation, sized for the common case (a few ops dominated by
+        // write payloads); the 8-byte frame (length + CRC) is reserved up
+        // front and backpatched, avoiding a second full-record copy.
+        let cap = 8 + 32 + self.txn.user_bytes() as usize + self.txn.ops.len() * 64;
+        let mut body = Vec::with_capacity(cap);
+        body.extend_from_slice(&[0u8; 8]);
         put_u64(&mut body, self.version);
         put_u64(&mut body, self.seq);
         put_u32(&mut body, self.txn.group.0);
@@ -140,11 +168,11 @@ impl LogRecord {
                 }
             }
         }
-        let mut rec = Vec::with_capacity(body.len() + 8);
-        put_u32(&mut rec, body.len() as u32);
-        put_u32(&mut rec, crc32(&body));
-        rec.extend_from_slice(&body);
-        rec
+        let body_len = (body.len() - 8) as u32;
+        let crc = crc32(&body[8..]);
+        body[0..4].copy_from_slice(&body_len.to_le_bytes());
+        body[4..8].copy_from_slice(&crc.to_le_bytes());
+        body
     }
 
     /// Decodes one record from the start of `raw`; returns the record and
@@ -184,7 +212,7 @@ impl LogRecord {
                 1 => {
                     let oid = ObjectId::from_raw(b.u64()?);
                     let offset = b.u64()?;
-                    let data = b.bytes()?.to_vec();
+                    let data = b.bytes()?.into();
                     Op::Write { oid, offset, data }
                 }
                 2 => {
@@ -235,7 +263,7 @@ mod tests {
                     Op::Write {
                         oid,
                         offset: 8192,
-                        data: vec![0xCD; 4096],
+                        data: vec![0xCD; 4096].into(),
                     },
                     Op::SetXattr {
                         oid,

@@ -7,9 +7,9 @@
 //! are never overwritten — each one tracks one operation in the log
 //! (paper: "We do not overwrite them").
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use rablock_storage::{GroupId, NvmRegion, ObjectId, Op, StoreError, Transaction};
+use rablock_storage::{GroupId, NvmRegion, ObjectId, Op, Payload, StoreError, Transaction};
 
 use crate::entry::LogRecord;
 use crate::ring::NvmRing;
@@ -48,8 +48,9 @@ pub struct IndexEntry {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReadPath {
     /// R1: a single logged write covers the request — served straight from
-    /// the operation log by the priority thread.
-    FromLog(Vec<u8>),
+    /// the operation log by the priority thread. The payload is a zero-copy
+    /// slice of the logged record's data (refcount bump, no allocation).
+    FromLog(Payload),
     /// R2/R3: the object has pending log entries that do not cover the
     /// request; the group must flush, then read from the backend store.
     FlushThenStore,
@@ -72,7 +73,8 @@ pub struct GroupLog {
     group: GroupId,
     ring: NvmRing,
     /// Decoded mirror of the ring: `(record, encoded_len)` in log order.
-    records: Vec<(LogRecord, u64)>,
+    /// A deque so the flush path's FIFO drain is O(1) per record.
+    records: VecDeque<(LogRecord, u64)>,
     /// Recent operations per object (never overwritten, only appended).
     index: HashMap<u64, Vec<IndexEntry>>,
     /// Flush once this many records are pending (paper default: 16).
@@ -97,7 +99,7 @@ impl GroupLog {
         Ok(GroupLog {
             group,
             ring: NvmRing::format(nvm, base, len)?,
-            records: Vec::new(),
+            records: VecDeque::new(),
             index: HashMap::new(),
             flush_threshold,
             version: 0,
@@ -124,7 +126,7 @@ impl GroupLog {
         let mut g = GroupLog {
             group,
             ring,
-            records: Vec::new(),
+            records: VecDeque::new(),
             index: HashMap::new(),
             flush_threshold,
             version: 0,
@@ -134,7 +136,7 @@ impl GroupLog {
             let (rec, consumed) = LogRecord::decode(&raw[pos..])?;
             g.version = g.version.max(rec.version);
             g.index_record(&rec);
-            g.records.push((rec, consumed as u64));
+            g.records.push_back((rec, consumed as u64));
             pos += consumed;
         }
         Ok(g)
@@ -165,7 +167,7 @@ impl GroupLog {
         let mut g = GroupLog {
             group,
             ring: ring.clone(),
-            records: Vec::new(),
+            records: VecDeque::new(),
             index: HashMap::new(),
             flush_threshold,
             version: 0,
@@ -176,7 +178,7 @@ impl GroupLog {
                 Ok((rec, consumed)) => {
                     g.version = g.version.max(rec.version);
                     g.index_record(&rec);
-                    g.records.push((rec, consumed as u64));
+                    g.records.push_back((rec, consumed as u64));
                     pos += consumed;
                 }
                 Err(_) => break, // torn tail: keep the valid prefix
@@ -200,7 +202,7 @@ impl GroupLog {
     ///
     /// Propagates NVM access errors.
     pub fn tear_tail(&self, nvm: &mut NvmRegion) -> Result<bool, StoreError> {
-        let Some((_, encoded_len)) = self.records.last() else {
+        let Some((_, encoded_len)) = self.records.back() else {
             return Ok(false);
         };
         self.ring.corrupt_suffix(nvm, encoded_len / 2)?;
@@ -286,7 +288,7 @@ impl GroupLog {
             }
         }
         self.index_record(&rec);
-        self.records.push((rec, raw.len() as u64));
+        self.records.push_back((rec, raw.len() as u64));
         Ok(AppendOutcome {
             needs_flush: self.records.len() >= self.flush_threshold,
             nvm_bytes: raw.len() as u64,
@@ -336,7 +338,7 @@ impl GroupLog {
             } = &rec.txn.ops[newest.op_index]
             {
                 let from = (offset - woff) as usize;
-                return ReadPath::FromLog(data[from..from + len as usize].to_vec());
+                return ReadPath::FromLog(data.slice(from, len as usize));
             }
         }
         ReadPath::FlushThenStore
@@ -355,10 +357,14 @@ impl GroupLog {
         max: usize,
     ) -> Result<Vec<Transaction>, StoreError> {
         let n = max.min(self.records.len());
+        if n == 0 {
+            return Ok(Vec::new());
+        }
         let mut out = Vec::with_capacity(n);
+        let mut drained = 0u64;
         for _ in 0..n {
-            let (rec, encoded_len) = self.records.remove(0);
-            self.ring.consume(nvm, encoded_len)?;
+            let (rec, encoded_len) = self.records.pop_front().expect("n <= records.len()");
+            drained += encoded_len;
             for op in &rec.txn.ops {
                 let oid = match op {
                     Op::Write { oid, .. }
@@ -376,6 +382,9 @@ impl GroupLog {
             }
             out.push(rec.txn);
         }
+        // One tail advance (and one persisted header write) for the whole
+        // batch — group commit on the consume side.
+        self.ring.consume(nvm, drained)?;
         Ok(out)
     }
 
@@ -401,12 +410,14 @@ impl GroupLog {
                 "importing into a non-empty operation log".into(),
             ));
         }
-        for rec in records {
-            let raw = rec.encode();
-            self.ring.append(nvm, &raw)?;
+        // All-or-nothing batch append: one persisted header write covers the
+        // whole import, and a NoSpace failure leaves the log untouched.
+        let encoded: Vec<Vec<u8>> = records.iter().map(LogRecord::encode).collect();
+        self.ring.append_batch(nvm, &encoded)?;
+        for (rec, raw) in records.into_iter().zip(encoded) {
             self.version = self.version.max(rec.version);
             self.index_record(&rec);
-            self.records.push((rec, raw.len() as u64));
+            self.records.push_back((rec, raw.len() as u64));
         }
         Ok(())
     }
@@ -427,7 +438,7 @@ mod tests {
             vec![Op::Write {
                 oid: o,
                 offset,
-                data,
+                data: data.into(),
             }],
         )
     }

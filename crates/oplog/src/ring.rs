@@ -112,6 +112,35 @@ impl NvmRing {
     /// caller must flush synchronously first (paper §IV-A: when NVM is full
     /// the logging degenerates to synchronous flushing).
     pub fn append(&mut self, nvm: &mut NvmRegion, record: &[u8]) -> Result<(), StoreError> {
+        self.write_record(nvm, record)?;
+        self.write_header(nvm)
+    }
+
+    /// Appends a batch of encoded records with a single header update at the
+    /// end (group-commit admission: one persisted head advance covers the
+    /// whole batch). All-or-nothing: space for the entire batch is checked up
+    /// front, so a [`StoreError::NoSpace`] leaves the persisted state
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSpace`] when the ring cannot take the whole batch.
+    pub fn append_batch(
+        &mut self,
+        nvm: &mut NvmRegion,
+        records: &[Vec<u8>],
+    ) -> Result<(), StoreError> {
+        let total: u64 = records.iter().map(|r| r.len() as u64).sum();
+        if total > self.available() {
+            return Err(StoreError::NoSpace);
+        }
+        for record in records {
+            self.write_record(nvm, record)?;
+        }
+        self.write_header(nvm)
+    }
+
+    fn write_record(&mut self, nvm: &mut NvmRegion, record: &[u8]) -> Result<(), StoreError> {
         let len = record.len() as u64;
         assert!(len < self.data_cap, "record larger than the whole ring");
         if len > self.available() {
@@ -128,10 +157,11 @@ impl NvmRing {
             written += chunk;
         }
         self.head += len;
-        self.write_header(nvm)
+        Ok(())
     }
 
-    /// Consumes `len` bytes from the tail (a record was flushed).
+    /// Consumes `len` bytes from the tail (one or more records were flushed;
+    /// a drained batch advances the tail once for the whole batch).
     pub fn consume(&mut self, nvm: &mut NvmRegion, len: u64) -> Result<(), StoreError> {
         debug_assert!(self.tail + len <= self.head, "consuming past the head");
         self.tail += len;
@@ -291,7 +321,7 @@ mod tests {
                         vec![Op::Write {
                             oid,
                             offset: 0,
-                            data: vec![seq as u8; 128],
+                            data: vec![seq as u8; 128].into(),
                         }],
                     ),
                 }

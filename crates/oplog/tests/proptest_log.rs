@@ -51,7 +51,7 @@ proptest! {
                     let txn = Transaction::new(
                         GroupId(3),
                         seq,
-                        vec![Op::Write { oid: oid(obj), offset, data: vec![fill; len as usize] }],
+                        vec![Op::Write { oid: oid(obj), offset, data: vec![fill; len as usize].into() }],
                     );
                     match log.append(&mut nvm, txn.clone()) {
                         Ok(_) => pending.push(txn),
@@ -97,7 +97,7 @@ proptest! {
             let txn = Transaction::new(
                 GroupId(3),
                 i as u64 + 1,
-                vec![Op::Write { oid: oid(*obj), offset: *offset, data: vec![*fill; *len as usize] }],
+                vec![Op::Write { oid: oid(*obj), offset: *offset, data: vec![*fill; *len as usize].into() }],
             );
             log.append(&mut nvm, txn).unwrap();
             newest.insert(*obj, (*offset, *len as u64, *fill));

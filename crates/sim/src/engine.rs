@@ -251,6 +251,10 @@ pub struct Simulation<M> {
     rng: SimRng,
     ctx_switch_cost: SimDuration,
     stopped: bool,
+    /// Scratch buffers lent to each work item's [`Ctx`] and reclaimed when
+    /// the item completes, so the hot dispatch path allocates nothing.
+    scratch_charges: Vec<(StageTag, SimDuration)>,
+    scratch_effects: Vec<Effect<M>>,
 }
 
 impl<M> Simulation<M> {
@@ -263,7 +267,7 @@ impl<M> Simulation<M> {
         Simulation {
             now: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: BinaryHeap::with_capacity(4096),
             threads: Vec::new(),
             cores: Vec::new(),
             devices: Vec::new(),
@@ -271,6 +275,8 @@ impl<M> Simulation<M> {
             rng: SimRng::seed(seed),
             ctx_switch_cost: SimDuration::nanos(1_200),
             stopped: false,
+            scratch_charges: Vec::with_capacity(16),
+            scratch_effects: Vec::with_capacity(16),
         }
     }
 
@@ -481,34 +487,51 @@ impl<M> Simulation<M> {
 
     /// Picks the next thread to run on `core`: highest-priority tier with a
     /// runnable member, round-robin within the tier.
+    ///
+    /// Two passes over the (priority-sorted) candidate list instead of
+    /// collecting the runnable tier into a Vec: this runs once per work item,
+    /// so keeping it allocation-free matters for wall-clock throughput.
     fn pick_for_core(&mut self, core: CoreId) -> Option<ThreadId> {
         let state = &self.cores[core];
         let mut tier: Option<Priority> = None;
-        let mut members: Vec<ThreadId> = Vec::new();
+        let mut count = 0usize;
         for &t in &state.candidates {
             let th = &self.threads[t];
-            let runnable = !th.running && !th.queue.is_empty();
-            if !runnable {
+            if th.running || th.queue.is_empty() {
                 continue;
             }
             match tier {
                 None => {
                     tier = Some(th.cfg.priority);
-                    members.push(t);
+                    count = 1;
                 }
-                Some(p) if th.cfg.priority == p => members.push(t),
+                Some(p) if th.cfg.priority == p => count += 1,
                 // Candidates are sorted by priority, so a worse tier means
                 // we have seen the whole best tier already.
                 Some(_) => break,
             }
         }
-        if members.is_empty() {
-            return None;
+        let tier = tier?;
+        let idx = self.cores[core].rr_cursor % count;
+        let mut seen = 0usize;
+        let mut pick = None;
+        for &t in &self.cores[core].candidates {
+            let th = &self.threads[t];
+            if th.running || th.queue.is_empty() {
+                continue;
+            }
+            if th.cfg.priority != tier {
+                break;
+            }
+            if seen == idx {
+                pick = Some(t);
+                break;
+            }
+            seen += 1;
         }
         let state = &mut self.cores[core];
-        let pick = members[state.rr_cursor % members.len()];
         state.rr_cursor = state.rr_cursor.wrapping_add(1);
-        Some(pick)
+        pick
     }
 
     fn run_item<H: Handler<M>>(&mut self, handler: &mut H, core: CoreId, thread: ThreadId) {
@@ -530,16 +553,16 @@ impl<M> Simulation<M> {
         let mut ctx = Ctx {
             now: self.now,
             spent: SimDuration::ZERO,
-            charges: Vec::new(),
-            effects: Vec::new(),
+            charges: std::mem::take(&mut self.scratch_charges),
+            effects: std::mem::take(&mut self.scratch_effects),
             rng: &mut rng,
             stop: false,
         };
         handler.handle(thread, msg, &mut ctx);
         let Ctx {
             spent,
-            charges,
-            effects,
+            mut charges,
+            mut effects,
             stop,
             ..
         } = ctx;
@@ -554,9 +577,10 @@ impl<M> Simulation<M> {
         }
         self.metrics.charge_core(core, total);
         self.metrics.charge_thread(thread, total);
-        for (tag, d) in charges {
+        for (tag, d) in charges.drain(..) {
             self.metrics.charge_tag(tag, d);
         }
+        self.scratch_charges = charges;
         self.metrics.items_run += 1;
 
         self.cores[core].running = Some(thread);
@@ -565,7 +589,7 @@ impl<M> Simulation<M> {
             self.stopped = true;
         }
 
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg, delay } => {
                     self.push_event(end + delay, EventKind::Deliver { thread: to, msg });
@@ -590,6 +614,7 @@ impl<M> Simulation<M> {
                 }
             }
         }
+        self.scratch_effects = effects;
         self.push_event(end, EventKind::CoreFree { core });
     }
 }

@@ -29,6 +29,7 @@ mod crash;
 mod error;
 mod nvm;
 mod objectstore;
+mod payload;
 
 pub use blockdev::{BlockDevice, DevCounters, MemDisk};
 pub use crash::{CrashDisk, CrashPlan};
@@ -38,3 +39,4 @@ pub use objectstore::{
     GroupId, IoCategory, MaintenanceReport, ObjectId, ObjectInfo, ObjectStore, Op, StoreStats,
     TraceIo, TraceKind, Transaction,
 };
+pub use payload::Payload;

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use crate::error::StoreError;
+use crate::payload::Payload;
 
 /// Identifier of an object within the cluster.
 ///
@@ -103,8 +104,8 @@ pub enum Op {
         oid: ObjectId,
         /// Byte offset within the object.
         offset: u64,
-        /// Payload.
-        data: Vec<u8>,
+        /// Payload (refcounted: cloning the op shares the bytes).
+        data: Payload,
     },
     /// Sets an extended attribute on the object.
     SetXattr {
@@ -361,7 +362,7 @@ mod tests {
                 Op::Write {
                     oid,
                     offset: 0,
-                    data: vec![0; 4096],
+                    data: vec![0; 4096].into(),
                 },
                 Op::MetaPut {
                     key: b"pglog".to_vec(),

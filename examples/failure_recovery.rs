@@ -93,7 +93,7 @@ fn main() {
                 op: OpId(i),
                 oid,
                 offset: i * 4096,
-                data: vec![i as u8 + 1; 4096],
+                data: vec![i as u8 + 1; 4096].into(),
             },
         });
         let replies = pump(&mut osds, p, fx);

@@ -25,7 +25,7 @@ fn write_txn(seq: u64, o: ObjectId, offset: u64, data: Vec<u8>) -> Transaction {
         vec![Op::Write {
             oid: o,
             offset,
-            data,
+            data: data.into(),
         }],
     )
 }

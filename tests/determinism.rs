@@ -4,8 +4,12 @@
 //! same IOPS, same context-switch count, same byte counters. These tests
 //! pin that property across pipeline modes and config dimensions.
 
-use rablock::sim::{ClusterSim, ClusterSimConfig, ConnWorkload, SimDuration, SimRng, WorkItem};
+use rablock::sim::{
+    ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow, LinkFault,
+    Partition, RetryPolicy, SimDuration, SimReport, SimRng, SimTime, WorkItem,
+};
 use rablock::{GroupId, ObjectId, PipelineMode};
+use rablock_bench::{paper_cluster, randwrite_conns, Dataset};
 use rablock_cluster::osd::OsdConfig;
 use rablock_cos::CosOptions;
 use rablock_lsm::LsmOptions;
@@ -89,4 +93,213 @@ fn repeated_triple_runs_are_stable() {
     let runs: Vec<_> = (0..3).map(|_| fingerprint(PipelineMode::Dop, 99)).collect();
     assert_eq!(runs[0], runs[1]);
     assert_eq!(runs[1], runs[2]);
+}
+
+/// Every observable metric of a run, flattened to integers so equality is
+/// byte-for-byte: raw counters, latency percentiles in nanoseconds, CPU
+/// percentages as IEEE-754 bit patterns, store/device accounting, and (when
+/// history checking is on) the checker's verdict counts.
+fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
+    let mut v = vec![
+        r.duration.as_nanos(),
+        r.writes_done,
+        r.reads_done,
+        r.write_iops.to_bits(),
+        r.read_iops.to_bits(),
+        r.context_switches,
+        r.events_processed,
+        r.nvm_bytes,
+        r.nvm_full_stalls,
+        r.client_errors,
+    ];
+    v.extend(
+        r.write_lat
+            .iter()
+            .chain(r.read_lat.iter())
+            .map(|d| d.as_nanos()),
+    );
+    v.extend(r.node_cpu_pct.iter().map(|p| p.to_bits()));
+    v.extend(r.tag_cpu_pct.values().map(|p| p.to_bits()));
+    v.extend(r.class_cpu_pct.values().map(|p| p.to_bits()));
+    v.extend([
+        r.store.user_bytes,
+        r.store.wal_bytes,
+        r.store.flush_bytes,
+        r.store.compaction_bytes,
+        r.store.data_bytes,
+        r.store.metadata_bytes,
+        r.store.superblock_bytes,
+        r.store.read_bytes,
+        r.store.transactions,
+    ]);
+    v.extend([
+        r.device.reads,
+        r.device.writes,
+        r.device.flushes,
+        r.device.bytes_read,
+        r.device.bytes_written,
+        r.device.total_latency_ns,
+    ]);
+    if let Some((acked, checked)) = checker {
+        v.extend([acked, checked]);
+    }
+    v
+}
+
+/// One fig7-style run (the paper-cluster 4 KiB random-write scenario the
+/// wall-clock harness times), with its full metric fingerprint.
+fn fig7_fingerprint() -> Vec<u64> {
+    const CONNS: usize = 16;
+    let dataset = Dataset::default_for(CONNS);
+    let mut sim = ClusterSim::new(
+        paper_cluster(PipelineMode::Dop),
+        randwrite_conns(dataset, CONNS),
+    );
+    sim.prefill(&dataset.all_objects());
+    let r = sim.run(SimDuration::ZERO, SimDuration::millis(20));
+    assert!(r.writes_done > 0, "fig7 run must make progress");
+    full_fingerprint(&r, None)
+}
+
+#[test]
+fn fig7_double_run_is_byte_identical() {
+    let a = fig7_fingerprint();
+    let b = fig7_fingerprint();
+    assert!(a.len() > 20, "fingerprint covers the full report");
+    assert_eq!(a, b, "fig7: same seed must replay identical metrics");
+}
+
+const CHAOS_PGS: u32 = 8;
+const CHAOS_CONNS: u64 = 4;
+
+fn chaos_oid(conn: u64, k: u64) -> ObjectId {
+    let i = conn * 100 + k;
+    ObjectId::new(GroupId((i % CHAOS_PGS as u64) as u32), i)
+}
+
+fn ms(n: u64) -> SimTime {
+    SimTime::from_nanos(n * 1_000_000)
+}
+
+struct ChaosConn {
+    conn: u64,
+    cursor: u64,
+}
+
+impl ConnWorkload for ChaosConn {
+    fn next(&mut self, _rng: &mut SimRng) -> Option<WorkItem> {
+        let i = self.cursor;
+        self.cursor += 1;
+        if i < 400 {
+            let k = i % 8;
+            let block = (i / 8) % 16;
+            Some(WorkItem::Write {
+                oid: chaos_oid(self.conn, k),
+                offset: block * 4096,
+                len: 4096,
+                fill: ((self.conn * 97 + k * 31 + block) % 251) as u8,
+            })
+        } else if i < 500 {
+            let j = i - 400;
+            Some(WorkItem::Read {
+                oid: chaos_oid(self.conn, j % 8),
+                offset: (j / 8) * 4096,
+                len: 4096,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// The wall-clock harness's chaos seed: drops, duplicates, reordering, a
+/// partition, a gray device, and a crash/restart — with retries, heartbeat
+/// failure detection, and the history checker armed.
+fn chaos_config() -> ClusterSimConfig {
+    let mut cfg = ClusterSimConfig::defaults(PipelineMode::Dop);
+    cfg.nodes = 3;
+    cfg.osds_per_node = 1;
+    cfg.cores_per_node = 8;
+    cfg.priority_threads = 2;
+    cfg.non_priority_threads = 3;
+    cfg.pg_count = CHAOS_PGS;
+    cfg.queue_depth = 4;
+    cfg.seed = 0xC0FFEE;
+    cfg.osd = OsdConfig {
+        mode: PipelineMode::Dop,
+        device_bytes: 64 << 20,
+        nvm_bytes: 8 << 20,
+        ring_bytes: 256 << 10,
+        flush_threshold: 8,
+        lsm: LsmOptions::tiny(),
+        cos: CosOptions::tiny(),
+        ..OsdConfig::default()
+    };
+    cfg.faults = FaultPlan::none()
+        .with_link_fault(LinkFault {
+            link: None,
+            from: SimTime::ZERO,
+            until: ms(10_000),
+            drop_p: 0.01,
+            dup_p: 0.005,
+            reorder_p: 0.05,
+            reorder_max: SimDuration::nanos(200_000),
+            spike_p: 0.02,
+            spike: SimDuration::nanos(500_000),
+        })
+        .with_partition(Partition {
+            a: 0,
+            b: 1,
+            from: ms(8),
+            until: ms(18),
+        })
+        .with_gray_window(GrayWindow {
+            device: 1,
+            from: ms(2),
+            until: ms(25),
+            multiplier: 8.0,
+        })
+        .with_crash(CrashSchedule {
+            process: 0,
+            at: ms(6),
+            restart_at: Some(ms(40)),
+            torn_tail: true,
+        });
+    cfg.heartbeat_period = Some(SimDuration::millis(1));
+    cfg.heartbeat_grace = SimDuration::millis(5);
+    cfg.retry = Some(RetryPolicy {
+        timeout_nanos: 10_000_000,
+        backoff_base_nanos: 1_000_000,
+        backoff_multiplier: 2.0,
+        jitter_frac: 0.2,
+        max_attempts: 8,
+    });
+    cfg.check_history = true;
+    cfg
+}
+
+fn chaos_fingerprint() -> Vec<u64> {
+    let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
+        .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
+        .collect();
+    let mut sim = ClusterSim::new(chaos_config(), wl);
+    let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
+        .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
+        .collect();
+    sim.prefill(&objects);
+    let r = sim.run(SimDuration::ZERO, SimDuration::millis(100));
+    assert!(r.writes_done > 0, "chaos run must make progress");
+    let checker = sim.checker().expect("history checking enabled");
+    full_fingerprint(&r, Some((checker.writes_acked(), checker.reads_checked())))
+}
+
+#[test]
+fn chaos_seed_double_run_is_byte_identical() {
+    let a = chaos_fingerprint();
+    let b = chaos_fingerprint();
+    assert!(a.len() > 20, "fingerprint covers the full report");
+    assert_eq!(
+        a, b,
+        "chaos: faults, retries, and checker verdicts must replay identically"
+    );
 }
