@@ -220,22 +220,33 @@ impl LiveClient {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let primary = self.map.read().primary(req.oid().group());
-            let _ = self.osd_txs[primary.0 as usize].send(LiveMsg::Input(OsdInput::Client {
-                from: self.id,
-                req: req.clone(),
-            }));
-            // Wait out this attempt's timeout window. Replies for other op
-            // ids (duplicates of an earlier attempt, or replies that beat a
-            // previous timeout) are drained and ignored without burning the
-            // attempt budget.
-            let deadline = Instant::now() + Duration::from_nanos(self.retry.timeout_nanos);
-            loop {
-                let left = deadline.saturating_duration_since(Instant::now());
-                match self.rx.recv_timeout(left) {
-                    Ok(reply) if reply.op() == want => return reply,
-                    Ok(_) => continue, // stale or duplicate reply: ignore
-                    Err(_) => break,   // this attempt timed out
+            // `try_primary` rather than `primary`: a group with nobody up
+            // has no target yet — back off and re-resolve once the monitor
+            // republishes the map.
+            let primary = self.map.read().try_primary(req.oid().group());
+            if let Some(primary) = primary {
+                let _ = self.osd_txs[primary.0 as usize].send(LiveMsg::Input(OsdInput::Client {
+                    from: self.id,
+                    req: req.clone(),
+                }));
+                // Wait out this attempt's timeout window. Replies for other
+                // op ids (duplicates of an earlier attempt, or replies that
+                // beat a previous timeout) are drained and ignored without
+                // burning the attempt budget. A `Degraded` rejection burns
+                // the attempt like a timeout: the write quorum may return
+                // after recovery.
+                let deadline = Instant::now() + Duration::from_nanos(self.retry.timeout_nanos);
+                loop {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match self.rx.recv_timeout(left) {
+                        Ok(ClientReply::Error {
+                            op,
+                            error: StoreError::Degraded,
+                        }) if op == want => break,
+                        Ok(reply) if reply.op() == want => return reply,
+                        Ok(_) => continue, // stale or duplicate reply: ignore
+                        Err(_) => break,   // this attempt timed out
+                    }
                 }
             }
             if !self.retry.should_retry(attempt) {

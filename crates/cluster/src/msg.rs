@@ -129,6 +129,30 @@ impl ClientReply {
     }
 }
 
+/// One entry of a group's bounded write log (pg_log), Ceph-style: enough to
+/// compare replica histories during peering and decide what data must move.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PgLogEntry {
+    /// Map epoch at which the op was applied.
+    pub epoch: u64,
+    /// Primary-assigned version (the replication sequence of the op).
+    pub version: u64,
+    /// Object the op touched.
+    pub oid: ObjectId,
+    /// Digest of the op's payload bytes (FNV-1a), so entries from different
+    /// primaries that happen to share a version never silently match.
+    pub digest: u64,
+}
+
+impl PgLogEntry {
+    /// Membership key used when diffing two replicas' logs: epoch is kept
+    /// out because a replica may tag the same op with a slightly older map
+    /// epoch than the primary did.
+    pub fn key(&self) -> (u64, u64, u64) {
+        (self.version, self.oid.raw(), self.digest)
+    }
+}
+
 /// OSD-to-OSD messages.
 #[derive(Clone, Debug)]
 pub enum PeerMsg {
@@ -182,12 +206,108 @@ pub enum PeerMsg {
     Backfill {
         /// Group being synchronized.
         group: GroupId,
-        /// `(object, full content)` pairs read from the sender's backend.
+        /// `(object, full content)` pairs: the sender's complete state,
+        /// read after syncing its backend with pending log records.
         objects: Vec<(ObjectId, Vec<u8>)>,
+    },
+    /// Peering: the new primary asks an acting-set peer for its pg_log so it
+    /// can compute the peer's missing set.
+    PgQuery {
+        /// Group being peered.
+        group: GroupId,
+        /// Map epoch the primary is peering at (stale replies are ignored).
+        epoch: u64,
+        /// The querying primary.
+        from: OsdId,
+    },
+    /// Peering: a peer's pg_log, in reply to [`PeerMsg::PgQuery`].
+    PgInfo {
+        /// Group being peered.
+        group: GroupId,
+        /// Echoed peering epoch.
+        epoch: u64,
+        /// The replying peer.
+        from: OsdId,
+        /// The peer's full (bounded) pg_log for the group.
+        entries: Vec<PgLogEntry>,
+    },
+    /// Recovery/backfill: the primary pushes an object's authoritative
+    /// content to a peer whose log diff (or empty log) showed it missing.
+    PushObject {
+        /// Group being recovered.
+        group: GroupId,
+        /// Peering epoch the push belongs to.
+        epoch: u64,
+        /// The primary's newest log entry for the object (`version` 0 for a
+        /// backfill push of an object that fell off the log tail); the
+        /// receiver skips the apply if it already holds something newer.
+        entry: PgLogEntry,
+        /// Full object content as served by the primary.
+        data: Vec<u8>,
+        /// FNV-1a digest of `data`; the receiver verifies before applying.
+        content_digest: u64,
+    },
+    /// Recovery/backfill: a peer acknowledges one applied (or already-newer)
+    /// [`PeerMsg::PushObject`].
+    PushAck {
+        /// Group being recovered.
+        group: GroupId,
+        /// Echoed peering epoch.
+        epoch: u64,
+        /// The acked object.
+        oid: ObjectId,
+        /// Which peer acks.
+        from: OsdId,
+    },
+    /// A replica failed to apply a replicated transaction: negative ack so
+    /// the primary can mark the peer missing and re-drive recovery instead
+    /// of the replica panicking.
+    RepNack {
+        /// Group.
+        group: GroupId,
+        /// Nacked sequence.
+        seq: u64,
+        /// Which replica failed.
+        from: OsdId,
+        /// Why the apply failed.
+        error: StoreError,
     },
 }
 
 impl PeerMsg {
+    /// The group the message concerns.
+    pub fn group(&self) -> GroupId {
+        match self {
+            PeerMsg::Repop { group, .. }
+            | PeerMsg::RepopNvm { group, .. }
+            | PeerMsg::RepAck { group, .. }
+            | PeerMsg::PullLog { group, .. }
+            | PeerMsg::LogRecords { group, .. }
+            | PeerMsg::Backfill { group, .. }
+            | PeerMsg::PgQuery { group, .. }
+            | PeerMsg::PgInfo { group, .. }
+            | PeerMsg::PushObject { group, .. }
+            | PeerMsg::PushAck { group, .. }
+            | PeerMsg::RepNack { group, .. } => *group,
+        }
+    }
+
+    /// Whether this is recovery/peering traffic (as opposed to foreground
+    /// replication): drivers schedule it on the low-priority lane so repair
+    /// degrades client IOPS gracefully.
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            PeerMsg::PullLog { .. }
+                | PeerMsg::LogRecords { .. }
+                | PeerMsg::Backfill { .. }
+                | PeerMsg::PgQuery { .. }
+                | PeerMsg::PgInfo { .. }
+                | PeerMsg::PushObject { .. }
+                | PeerMsg::PushAck { .. }
+        )
+    }
+
     /// Approximate wire size.
     pub fn wire_bytes(&self) -> u64 {
         MSG_HEADER_BYTES
@@ -201,6 +321,12 @@ impl PeerMsg {
                 PeerMsg::Backfill { objects, .. } => {
                     objects.iter().map(|(_, data)| 16 + data.len() as u64).sum()
                 }
+                PeerMsg::PgQuery { .. } => 0,
+                // 32 bytes per serialized pg_log entry.
+                PeerMsg::PgInfo { entries, .. } => 32 * entries.len() as u64,
+                PeerMsg::PushObject { data, .. } => 48 + data.len() as u64,
+                PeerMsg::PushAck { .. } => 0,
+                PeerMsg::RepNack { .. } => 16,
             }
     }
 }

@@ -14,7 +14,7 @@
 //! ablations (`Cos`, `Ptc`), the full proposed system (`Dop`), or the
 //! no-storage-processing upper bound (`Ideal`).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use rablock_cos::{CosObjectStore, CosOptions};
 use rablock_lsm::{LsmObjectStore, LsmOptions};
@@ -24,8 +24,33 @@ use rablock_storage::{
     TraceIo, Transaction,
 };
 
-use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg};
+use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg, PgLogEntry};
 use crate::placement::{OsdId, OsdMap};
+
+/// FNV-1a over a byte slice: the checksum recovery pushes are verified with
+/// and the unit replica contents are compared by. Deterministic and cheap.
+pub fn digest_bytes(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Digest of one log-worthy op (offset + payload for writes, size for
+/// creates) so pg_log entries from different primaries never falsely match.
+fn digest_op(op: &Op) -> Option<(ObjectId, u64)> {
+    match op {
+        Op::Create { oid, size } => Some((*oid, digest_bytes(&size.to_le_bytes()) ^ 0x5EED)),
+        Op::Write { oid, offset, data } => {
+            let mut h = digest_bytes(&offset.to_le_bytes());
+            h ^= digest_bytes(data.as_slice()).rotate_left(17);
+            Some((*oid, h))
+        }
+        _ => None,
+    }
+}
 
 /// Which of the paper's systems an OSD runs as.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -114,6 +139,10 @@ pub struct OsdConfig {
     /// a retried write whose original already completed re-acks without
     /// re-applying (exactly-once under client retries).
     pub dedup_window: usize,
+    /// Entries retained per group in the versioned write log (pg_log) used
+    /// by peering. A peer whose history fell off this bounded tail is healed
+    /// by full-object backfill instead of log replay.
+    pub pg_log_limit: usize,
     /// LSM backend options (LSM modes).
     pub lsm: LsmOptions,
     /// COS backend options (COS modes).
@@ -129,6 +158,7 @@ impl Default for OsdConfig {
             ring_bytes: 256 << 10,
             flush_threshold: 16,
             dedup_window: 128,
+            pg_log_limit: 512,
             lsm: LsmOptions::default(),
             cos: CosOptions::default(),
         }
@@ -316,8 +346,15 @@ pub enum OsdEffect {
 struct WriteOp {
     client: ClientId,
     op: OpId,
+    group: GroupId,
+    /// The replicated transaction, kept so the primary itself can retransmit
+    /// to laggard replicas from the heartbeat timer (payloads are refcounted,
+    /// so this clone shares the data bytes).
+    txn: Transaction,
     waiting_acks: Vec<OsdId>,
     local_done: bool,
+    /// Heartbeat ticks this op has been waiting on replica acks.
+    ticks: u32,
 }
 
 enum StoreCtx {
@@ -335,10 +372,13 @@ enum StoreCtx {
         op: OpId,
         data: Vec<u8>,
     },
-    /// A batch flush of `group`; drain `records` log records when durable.
+    /// A batch flush of `group`; when durable, drain the log records whose
+    /// version is at most `through_version` (the newest record exported
+    /// when the batch was submitted — a plain count would mis-drain records
+    /// appended or drained by another path while the flush was in flight).
     Flush {
         group: GroupId,
-        records: usize,
+        through_version: u64,
         keep: bool,
     },
     /// Background I/O nobody waits for.
@@ -363,6 +403,40 @@ struct GroupRuntime {
     flushing: bool,
     /// Reads waiting for the in-flight flush to become durable.
     waiting_reads: Vec<DeferredRead>,
+}
+
+/// Externally visible state of one placement group at its primary.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PgState {
+    /// Fully replicated; no recovery in flight.
+    Active,
+    /// Serving I/O with fewer than `replication` members (above `min_size`).
+    Degraded,
+    /// The primary is collecting pg_log infos from the acting set.
+    Peering,
+    /// Log-replay recovery: pushing individually missing objects to peers
+    /// whose logs overlap the primary's.
+    Recovering,
+    /// Full-object backfill: at least one peer fell off the log tail and is
+    /// receiving every object of the group.
+    Backfilling,
+}
+
+/// Per-group recovery bookkeeping at the primary, created on a map-epoch
+/// change and dropped once every peer acked its last push.
+struct PgRecovery {
+    /// Map epoch this peering round belongs to; stale replies are ignored.
+    epoch: u64,
+    /// Peering, Recovering, or Backfilling.
+    state: PgState,
+    /// Peers whose [`PeerMsg::PgInfo`] has not arrived yet.
+    awaiting_infos: BTreeSet<OsdId>,
+    /// Collected peer logs (by peer), kept until the missing sets are cut.
+    infos: BTreeMap<OsdId, Vec<PgLogEntry>>,
+    /// Outstanding pushes per peer, keyed by raw object id for stable order.
+    missing: BTreeMap<OsdId, BTreeMap<u64, ObjectId>>,
+    /// Peers being healed by full backfill rather than log replay.
+    backfill_peers: BTreeSet<OsdId>,
 }
 
 /// One OSD daemon (sans-io core).
@@ -404,6 +478,16 @@ pub struct Osd {
     maint_scheduled: bool,
     /// Forced synchronous flushes because NVM filled up (paper §IV-A).
     pub nvm_full_stalls: u64,
+    /// Bounded versioned write log per group (`(epoch, version, oid,
+    /// digest)` per applied op): the peering currency. Volatile — rebuilt
+    /// from the recovered NVM log on restart.
+    pg_log: HashMap<GroupId, VecDeque<PgLogEntry>>,
+    /// Active peering/recovery rounds for groups this OSD leads.
+    recovery: BTreeMap<GroupId, PgRecovery>,
+    /// Recovery pushes sent (log-replay and backfill object transfers).
+    pub recovery_pushes: u64,
+    /// Object bytes shipped to peers undergoing full backfill.
+    pub backfill_bytes: u64,
 }
 
 impl Osd {
@@ -450,6 +534,10 @@ impl Osd {
             deferred_submits: HashMap::new(),
             maint_scheduled: false,
             nvm_full_stalls: 0,
+            pg_log: HashMap::new(),
+            recovery: BTreeMap::new(),
+            recovery_pushes: 0,
+            backfill_bytes: 0,
         }
     }
 
@@ -623,6 +711,22 @@ impl Osd {
             .is_some_and(|w| w.contains(&seq))
     }
 
+    /// Forgets a provisionally noted replication seq after a failed apply,
+    /// so a primary retransmit is applied for real instead of re-acked.
+    fn unnote_replica_applied(&mut self, group: GroupId, seq: u64) {
+        if let Some(w) = self.replica_applied.get_mut(&group) {
+            w.retain(|&s| s != seq);
+        }
+    }
+
+    /// Drops the pg_log entries of a version whose apply failed: claiming
+    /// history we do not hold would make peering skip a push we need.
+    fn pg_log_unnote(&mut self, group: GroupId, version: u64) {
+        if let Some(log) = self.pg_log.get_mut(&group) {
+            log.retain(|e| e.version != version);
+        }
+    }
+
     fn note_replica_applied(&mut self, group: GroupId, seq: u64) {
         let win = self.replica_applied.entry(group).or_default();
         win.push_back(seq);
@@ -643,6 +747,403 @@ impl Osd {
             };
             let e = extents.entry(oid).or_insert(0);
             *e = (*e).max(end);
+        }
+    }
+
+    /// Appends one pg_log entry per log-worthy op of `txn` (version =
+    /// primary-assigned replication seq), trimming to the configured bound.
+    fn pg_log_note(&mut self, group: GroupId, version: u64, txn: &Transaction) {
+        let epoch = self.map.epoch;
+        let log = self.pg_log.entry(group).or_default();
+        for op in &txn.ops {
+            let Some((oid, digest)) = digest_op(op) else {
+                continue;
+            };
+            log.push_back(PgLogEntry {
+                epoch,
+                version,
+                oid,
+                digest,
+            });
+            while log.len() > self.cfg.pg_log_limit {
+                log.pop_front();
+            }
+        }
+    }
+
+    /// The newest `(epoch, version)` this OSD's pg_log holds for an object,
+    /// or `(0, 0)` if the object never appears (fell off the tail or never
+    /// written here). Recovery pushes are applied only when they beat this.
+    fn pg_latest(&self, group: GroupId, oid: ObjectId) -> (u64, u64) {
+        self.pg_log
+            .get(&group)
+            .map(|log| {
+                log.iter()
+                    .filter(|e| e.oid == oid)
+                    .map(|e| (e.epoch, e.version))
+                    .max()
+                    .unwrap_or((0, 0))
+            })
+            .unwrap_or((0, 0))
+    }
+
+    /// The newest pg_log entry this OSD holds for an object, or an epoch-0 /
+    /// version-0 sentinel when none survives (fell off the tail or never
+    /// written here). The sentinel never beats a real entry, so receivers
+    /// apply such contents only over objects with no history at all, and do
+    /// not log them.
+    fn newest_entry(&self, group: GroupId, oid: ObjectId) -> PgLogEntry {
+        self.pg_log
+            .get(&group)
+            .and_then(|log| {
+                log.iter()
+                    .filter(|e| e.oid == oid)
+                    .max_by_key(|e| (e.epoch, e.version))
+                    .copied()
+            })
+            .unwrap_or(PgLogEntry {
+                epoch: 0,
+                version: 0,
+                oid,
+                digest: 0,
+            })
+    }
+
+    /// The state of one group as seen by this OSD (meaningful at the
+    /// group's primary): an active recovery round reports its phase,
+    /// otherwise the acting-set size decides Active vs Degraded.
+    pub fn pg_state(&self, group: GroupId) -> PgState {
+        if let Some(rec) = self.recovery.get(&group) {
+            return rec.state;
+        }
+        if self.map.acting_set(group).len() < self.map.replication {
+            PgState::Degraded
+        } else {
+            PgState::Active
+        }
+    }
+
+    /// Objects this primary knows to be missing on some acting-set peer
+    /// (outstanding recovery pushes). Zero once the cluster has healed.
+    pub fn degraded_objects(&self) -> u64 {
+        self.recovery
+            .values()
+            .map(|r| r.missing.values().map(|m| m.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Applies every pending log record to the backend without draining the
+    /// log, so backend reads observe the newest bytes. Used before recovery
+    /// pushes (the pushed content must be authoritative) and by post-quiesce
+    /// replica-equality checks. Re-applying a record is idempotent — the log
+    /// always holds the newest bytes for the ranges it covers.
+    pub fn sync_backend_with_log(&mut self) {
+        let mut groups: Vec<GroupId> = self.logs.keys().copied().collect();
+        groups.sort();
+        for group in groups {
+            self.sync_group_log(group);
+        }
+    }
+
+    /// Digest of an object's first `len` bytes as stored in the backend
+    /// (`None` if the backend cannot serve the range). Quiesce diagnostics.
+    pub fn object_digest(&mut self, oid: ObjectId, len: u64) -> Option<u64> {
+        self.sync_group_log(oid.group());
+        let r = self.backend.read(oid, 0, len);
+        let _ = self.backend.take_trace();
+        r.ok().map(|data| digest_bytes(&data))
+    }
+
+    /// Raw backend bytes of an object's first `len` bytes (diagnostics).
+    pub fn debug_read(&mut self, oid: ObjectId, len: u64) -> Option<Vec<u8>> {
+        self.sync_group_log(oid.group());
+        let r = self.backend.read(oid, 0, len);
+        let _ = self.backend.take_trace();
+        r.ok()
+    }
+
+    /// Re-applies the group's pending (NVM-durable, unflushed) log records
+    /// to the backend so a direct backend read observes every acked write.
+    /// The records stay pending — re-applying them again later is
+    /// idempotent — so this never races the count-based flush completion.
+    fn sync_group_log(&mut self, group: GroupId) {
+        if self.logs.get(&group).is_some_and(|l| l.pending() > 0) {
+            let txns: Vec<Transaction> = self.logs[&group]
+                .export_records()
+                .into_iter()
+                .map(|r| r.txn)
+                .collect();
+            for txn in txns {
+                self.backend.submit(txn).expect("log re-apply for read");
+            }
+            let _ = self.backend.take_trace();
+        }
+    }
+
+    /// The byte extents this OSD tracks for one group, sorted by object.
+    pub fn group_extent_map(&self, group: GroupId) -> Vec<(ObjectId, u64)> {
+        let mut v: Vec<(ObjectId, u64)> = self
+            .group_extents
+            .get(&group)
+            .map(|m| m.iter().map(|(o, l)| (*o, *l)).collect())
+            .unwrap_or_default();
+        v.sort_by_key(|(o, _)| o.raw());
+        v
+    }
+
+    /// Reads the authoritative content of `oid` for a recovery push: the
+    /// backend is first brought up to date with the group's pending log
+    /// records (reads prefer the log, so the backend alone may be stale).
+    fn authoritative_object(&mut self, group: GroupId, oid: ObjectId) -> Option<Vec<u8>> {
+        let len = *self.group_extents.get(&group)?.get(&oid)?;
+        self.sync_group_log(group);
+        let r = self.backend.read(oid, 0, len);
+        let _ = self.backend.take_trace();
+        r.ok()
+    }
+
+    /// Sends one recovery push for `oid` to `peer`: the full authoritative
+    /// content plus the primary's newest log entry for the object, so the
+    /// receiver can refuse stale pushes and verify the checksum.
+    fn push_object_to(
+        &mut self,
+        group: GroupId,
+        epoch: u64,
+        peer: OsdId,
+        oid: ObjectId,
+        backfilling: bool,
+        fx: &mut Vec<OsdEffect>,
+    ) {
+        let Some(data) = self.authoritative_object(group, oid) else {
+            // Nothing readable to push (extent unknown): drop the claim so
+            // recovery can finish instead of retrying forever.
+            if let Some(rec) = self.recovery.get_mut(&group) {
+                if let Some(m) = rec.missing.get_mut(&peer) {
+                    m.remove(&oid.raw());
+                }
+            }
+            return;
+        };
+        let entry = self.newest_entry(group, oid);
+        let content_digest = digest_bytes(&data);
+        self.recovery_pushes += 1;
+        if backfilling {
+            self.backfill_bytes += data.len() as u64;
+        }
+        fx.push(OsdEffect::SendPeer {
+            to: peer,
+            msg: PeerMsg::PushObject {
+                group,
+                epoch,
+                entry,
+                data,
+                content_digest,
+            },
+        });
+    }
+
+    /// Enters Peering for every group this OSD now leads: drops rounds for
+    /// groups it no longer leads and queries each acting-set peer for its
+    /// pg_log. Solo groups (no peers up) have nobody to heal and skip it.
+    fn start_peering(&mut self, fx: &mut Vec<OsdEffect>) {
+        let epoch = self.map.epoch;
+        let stale: Vec<GroupId> = self
+            .recovery
+            .keys()
+            .copied()
+            .filter(|&g| self.map.try_primary(g) != Some(self.id))
+            .collect();
+        for g in stale {
+            self.recovery.remove(&g);
+        }
+        for g in 0..self.map.pg_count {
+            let group = GroupId(g);
+            let set = self.map.acting_set(group);
+            if set.first() != Some(&self.id) || set.len() < 2 {
+                continue;
+            }
+            let peers: BTreeSet<OsdId> = set.into_iter().filter(|&o| o != self.id).collect();
+            for &peer in &peers {
+                fx.push(OsdEffect::SendPeer {
+                    to: peer,
+                    msg: PeerMsg::PgQuery {
+                        group,
+                        epoch,
+                        from: self.id,
+                    },
+                });
+            }
+            self.recovery.insert(
+                group,
+                PgRecovery {
+                    epoch,
+                    state: PgState::Peering,
+                    awaiting_infos: peers,
+                    infos: BTreeMap::new(),
+                    missing: BTreeMap::new(),
+                    backfill_peers: BTreeSet::new(),
+                },
+            );
+        }
+    }
+
+    /// All peer infos arrived: diff each peer's log against ours, cut the
+    /// per-peer missing sets, and start pushing. A peer whose log shares no
+    /// history with ours (empty while we have entries) fell off the log tail
+    /// and gets a full backfill of every object we track for the group.
+    fn finish_peering(&mut self, group: GroupId, fx: &mut Vec<OsdEffect>) {
+        let Some(epoch) = self.recovery.get(&group).map(|r| r.epoch) else {
+            return;
+        };
+        let my_log: Vec<PgLogEntry> = self
+            .pg_log
+            .get(&group)
+            .map(|l| l.iter().copied().collect())
+            .unwrap_or_default();
+        // Newest entry per object on our side.
+        let mut latest: BTreeMap<u64, PgLogEntry> = BTreeMap::new();
+        for e in &my_log {
+            let slot = latest.entry(e.oid.raw()).or_insert(*e);
+            if (e.epoch, e.version) > (slot.epoch, slot.version) {
+                *slot = *e;
+            }
+        }
+        let all_extents = self.group_extent_map(group);
+        let Some(rec) = self.recovery.get_mut(&group) else {
+            return;
+        };
+        let infos = std::mem::take(&mut rec.infos);
+        let mut any_backfill = false;
+        let mut any_missing = false;
+        for (peer, entries) in infos {
+            let peer_keys: BTreeSet<(u64, u64, u64)> =
+                entries.iter().map(PgLogEntry::key).collect();
+            let mut need: BTreeMap<u64, ObjectId> = BTreeMap::new();
+            if entries.is_empty() && !my_log.is_empty() {
+                // No shared history: backfill everything we track.
+                for &(oid, _) in &all_extents {
+                    need.insert(oid.raw(), oid);
+                }
+                rec.backfill_peers.insert(peer);
+                any_backfill = true;
+            } else {
+                // Log replay: push the objects whose newest entry the peer
+                // lacks. Entries the peer has that *we* lack (e.g. a write
+                // we lost to a torn NVM tail while down) are deliberately
+                // left alone: overwriting them could destroy an acked write
+                // the peer is authoritative for — the joiner pull on our own
+                // rejoin is what heals us from the peer, never the reverse.
+                for e in latest.values() {
+                    if !peer_keys.contains(&e.key()) {
+                        need.insert(e.oid.raw(), e.oid);
+                    }
+                }
+            }
+            if !need.is_empty() {
+                any_missing = true;
+                rec.missing.insert(peer, need);
+            }
+        }
+        if !any_missing {
+            self.recovery.remove(&group);
+            return;
+        }
+        rec.state = if any_backfill {
+            PgState::Backfilling
+        } else {
+            PgState::Recovering
+        };
+        let work: Vec<(OsdId, Vec<ObjectId>, bool)> = self
+            .recovery
+            .get(&group)
+            .map(|r| {
+                r.missing
+                    .iter()
+                    .map(|(p, m)| {
+                        (
+                            *p,
+                            m.values().copied().collect(),
+                            r.backfill_peers.contains(p),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (peer, oids, backfilling) in work {
+            for oid in oids {
+                self.push_object_to(group, epoch, peer, oid, backfilling, fx);
+            }
+        }
+    }
+
+    /// Heartbeat-driven recovery retries: lost queries are re-asked and
+    /// outstanding pushes re-sent, so a dropped message can never wedge a
+    /// peering round.
+    fn retry_recovery(&mut self, fx: &mut Vec<OsdEffect>) {
+        let rounds: Vec<(GroupId, u64, PgState)> = self
+            .recovery
+            .iter()
+            .map(|(g, r)| (*g, r.epoch, r.state))
+            .collect();
+        for (group, epoch, state) in rounds {
+            if state == PgState::Peering {
+                let waiting: Vec<OsdId> = self.recovery[&group]
+                    .awaiting_infos
+                    .iter()
+                    .copied()
+                    .collect();
+                for peer in waiting {
+                    fx.push(OsdEffect::SendPeer {
+                        to: peer,
+                        msg: PeerMsg::PgQuery {
+                            group,
+                            epoch,
+                            from: self.id,
+                        },
+                    });
+                }
+            } else {
+                let work: Vec<(OsdId, Vec<ObjectId>, bool)> = self.recovery[&group]
+                    .missing
+                    .iter()
+                    .map(|(p, m)| {
+                        (
+                            *p,
+                            m.values().copied().collect(),
+                            self.recovery[&group].backfill_peers.contains(p),
+                        )
+                    })
+                    .collect();
+                for (peer, oids, backfilling) in work {
+                    for oid in oids {
+                        self.push_object_to(group, epoch, peer, oid, backfilling, fx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heartbeat-driven replication retransmit: an in-flight write still
+    /// waiting on replica acks after two ticks has very likely lost either
+    /// the repop or the ack; re-send to the laggards. This is what guarantees
+    /// replicas converge even when the *client* has given up on the op.
+    fn retransmit_stale_inflight(&mut self, fx: &mut Vec<OsdEffect>) {
+        let mut seqs: Vec<u64> = self.inflight.keys().copied().collect();
+        seqs.sort_unstable();
+        let mut stale: Vec<(u64, GroupId, Transaction)> = Vec::new();
+        for seq in seqs {
+            let w = self.inflight.get_mut(&seq).expect("listed");
+            if w.waiting_acks.is_empty() {
+                continue;
+            }
+            w.ticks += 1;
+            if w.ticks >= 2 {
+                w.ticks = 0;
+                stale.push((seq, w.group, w.txn.clone()));
+            }
+        }
+        for (seq, group, txn) in stale {
+            self.retransmit_pending(seq, group, txn, fx);
         }
     }
 
@@ -689,6 +1190,10 @@ impl Osd {
                 // lost PullLog/LogRecords/Backfill would otherwise wedge the
                 // join forever.
                 self.retry_pulls(&mut fx);
+                // Same for lost peering queries and recovery pushes, and for
+                // replication messages of writes stuck on laggard replicas.
+                self.retry_recovery(&mut fx);
+                self.retransmit_stale_inflight(&mut fx);
             }
             OsdInput::MapUpdate(map) => self.on_map_update(map, &mut fx),
         }
@@ -719,10 +1224,14 @@ impl Osd {
                     self.retransmit_pending(seq, group, txn, fx);
                     return;
                 }
+                if self.below_write_quorum(group, from, op, fx) {
+                    return;
+                }
                 self.seq += 1;
                 let seq = self.seq;
                 let txn = self.build_write_txn(group, seq, oid, offset, data);
                 self.note_txn(&txn);
+                self.pg_log_note(group, seq, &txn);
                 if self.cfg.mode.decoupled() {
                     self.write_decoupled(from, op, group, seq, txn, fx);
                 } else {
@@ -743,10 +1252,14 @@ impl Osd {
                     self.retransmit_pending(seq, group, txn, fx);
                     return;
                 }
+                if self.below_write_quorum(group, from, op, fx) {
+                    return;
+                }
                 self.seq += 1;
                 let seq = self.seq;
                 let txn = Transaction::new(group, seq, vec![Op::Create { oid, size }]);
                 self.note_txn(&txn);
+                self.pg_log_note(group, seq, &txn);
                 if self.cfg.mode.decoupled() {
                     self.write_decoupled(from, op, group, seq, txn, fx);
                 } else {
@@ -762,6 +1275,30 @@ impl Osd {
                 self.on_client_read(from, op, oid, offset, len, fx);
             }
         }
+    }
+
+    /// The `min_size` quorum gate (Ceph semantics): mutations are refused
+    /// with a retryable [`StoreError::Degraded`] while too few acting-set
+    /// members are up to accept the write safely. Never panics — losing
+    /// nodes degrades service instead of crashing placement.
+    fn below_write_quorum(
+        &mut self,
+        group: GroupId,
+        from: ClientId,
+        op: OpId,
+        fx: &mut Vec<OsdEffect>,
+    ) -> bool {
+        if self.map.acting_set(group).len() >= self.map.min_size {
+            return false;
+        }
+        fx.push(OsdEffect::Reply {
+            to: from,
+            msg: ClientReply::Error {
+                op,
+                error: StoreError::Degraded,
+            },
+        });
+        true
     }
 
     /// Stock write path: replicate and persist before acking (Fig. 3-a).
@@ -791,8 +1328,11 @@ impl Osd {
             WriteOp {
                 client: from,
                 op,
+                group,
+                txn: txn.clone(),
                 waiting_acks: replicas,
                 local_done,
+                ticks: 0,
             },
         );
         self.inflight_ops.insert((from, op), seq);
@@ -857,7 +1397,7 @@ impl Osd {
                 },
             });
         }
-        let (bytes, stall) = self.log_append_with_fallback(group, txn, fx);
+        let (bytes, stall) = self.log_append_with_fallback(group, txn.clone(), fx);
         fx.push(OsdEffect::NvmWritten { bytes });
         let local_done = match stall {
             None => true,
@@ -874,8 +1414,11 @@ impl Osd {
             WriteOp {
                 client: from,
                 op,
+                group,
+                txn,
                 waiting_acks: replicas,
                 local_done,
+                ticks: 0,
             },
         );
         self.inflight_ops.insert((from, op), seq);
@@ -1130,6 +1673,7 @@ impl Osd {
                     return;
                 }
                 self.note_txn(&txn);
+                self.pg_log_note(group, seq, &txn);
                 let ctx = StoreCtx::ReplicaPersist {
                     primary: from,
                     group,
@@ -1154,7 +1698,22 @@ impl Osd {
                         });
                         self.kick_maintenance(fx);
                     }
-                    Err(e) => panic!("{}: replica apply failed: {e}", self.id),
+                    Err(error) => {
+                        // A failed apply must not kill the OSD: withdraw the
+                        // provisional bookkeeping and NACK so the primary
+                        // can mark this peer missing and re-drive recovery.
+                        self.unnote_replica_applied(group, seq);
+                        self.pg_log_unnote(group, seq);
+                        fx.push(OsdEffect::SendPeer {
+                            to: from,
+                            msg: PeerMsg::RepNack {
+                                group,
+                                seq,
+                                from: self.id,
+                                error,
+                            },
+                        });
+                    }
                 }
             }
             PeerMsg::RepopNvm { group, seq, txn } => {
@@ -1171,6 +1730,7 @@ impl Osd {
                 }
                 self.note_replica_applied(group, seq);
                 self.note_txn(&txn);
+                self.pg_log_note(group, seq, &txn);
                 let (bytes, stall) = self.log_append_with_fallback(group, txn, fx);
                 fx.push(OsdEffect::NvmWritten { bytes });
                 match stall {
@@ -1215,10 +1775,14 @@ impl Osd {
                 group,
                 from: requester,
             } => {
-                // Backfill first: full object contents from the backend, so
-                // the joiner catches up on everything flushed before the
-                // failure. The joiner applies these before importing the
-                // (newer) pending records below.
+                // Bring the backend up to date with the group's pending
+                // records first, so the shipped contents include every
+                // write this survivor has acked.
+                self.sync_group_log(group);
+                // Backfill first: full object contents, so the joiner
+                // catches up on everything flushed before the failure. The
+                // joiner applies these before importing the pending records
+                // below.
                 let mut extents: Vec<(ObjectId, u64)> = self
                     .group_extents
                     .get(&group)
@@ -1341,6 +1905,272 @@ impl Osd {
                     fx.push(OsdEffect::WakeFlush { group });
                 }
             }
+            PeerMsg::PgQuery {
+                group,
+                epoch,
+                from: requester,
+            } => {
+                let entries: Vec<PgLogEntry> = self
+                    .pg_log
+                    .get(&group)
+                    .map(|l| l.iter().copied().collect())
+                    .unwrap_or_default();
+                fx.push(OsdEffect::SendPeer {
+                    to: requester,
+                    msg: PeerMsg::PgInfo {
+                        group,
+                        epoch,
+                        from: self.id,
+                        entries,
+                    },
+                });
+            }
+            PeerMsg::PgInfo {
+                group,
+                epoch,
+                from: peer,
+                entries,
+            } => {
+                let finish = match self.recovery.get_mut(&group) {
+                    Some(rec) if rec.epoch == epoch && rec.state == PgState::Peering => {
+                        if rec.awaiting_infos.remove(&peer) {
+                            rec.infos.insert(peer, entries);
+                        }
+                        rec.awaiting_infos.is_empty()
+                    }
+                    // Stale epoch or no round in flight: a retransmitted
+                    // reply from a superseded peering; drop it.
+                    _ => false,
+                };
+                if finish {
+                    self.finish_peering(group, fx);
+                }
+            }
+            PeerMsg::PushObject {
+                group,
+                epoch,
+                entry,
+                data,
+                content_digest,
+            } => {
+                if digest_bytes(&data) != content_digest {
+                    // Corrupted in flight; the primary re-pushes on its next
+                    // heartbeat because no ack will arrive.
+                    return;
+                }
+                if self.awaiting_backfill.contains(&group) || self.awaiting_log.contains(&group) {
+                    // A full-state pull is in flight for this group; its
+                    // responses apply straight to the backend and would roll
+                    // back anything this push lands first. Stay silent — the
+                    // primary re-pushes on its next heartbeat, after the
+                    // pull has settled.
+                    return;
+                }
+                let oid = entry.oid;
+                let latest = self.pg_latest(group, oid);
+                let pushed = (entry.epoch, entry.version);
+                if latest != (0, 0) {
+                    if pushed == (0, 0) {
+                        // Synthesized backfill push against real logged
+                        // history: our entries postdate anything off the
+                        // primary's log tail. Ack so the primary stops
+                        // counting us missing.
+                        fx.push(OsdEffect::SendPeer {
+                            to: from,
+                            msg: PeerMsg::PushAck {
+                                group,
+                                epoch,
+                                oid,
+                                from: self.id,
+                            },
+                        });
+                        return;
+                    }
+                    if latest > pushed {
+                        // We logged a write newer than this snapshot, so
+                        // applying it would roll that write back — but we
+                        // can't blindly ack either: holding newer entries
+                        // doesn't prove we hold the *older* block this push
+                        // carries (the dropped write that made the primary
+                        // push may be exactly the one we're missing). If
+                        // our bytes already match the pushed content there
+                        // is nothing to heal: ack so the push loop ends —
+                        // without this, a primary that lost its log tail to
+                        // a torn NVM write keeps pushing forever, because
+                        // its newest entry can never catch up to ours.
+                        // Otherwise stay silent; the heartbeat retry
+                        // re-reads the primary's content, and once the
+                        // refreshed snapshot covers our history it applies
+                        // below.
+                        let matches = self
+                            .authoritative_object(group, oid)
+                            .is_some_and(|local| digest_bytes(&local) == content_digest);
+                        if matches {
+                            fx.push(OsdEffect::SendPeer {
+                                to: from,
+                                msg: PeerMsg::PushAck {
+                                    group,
+                                    epoch,
+                                    oid,
+                                    from: self.id,
+                                },
+                            });
+                        }
+                        return;
+                    }
+                    // latest <= pushed: the snapshot was read after every
+                    // write we hold, so applying it can only heal.
+                }
+                if self.cfg.mode.decoupled() && self.rt(group).flushing {
+                    // A flush is mid-air for this group: completion will
+                    // remove a *count* of oldest records, so draining the
+                    // log inline here would make it discard newer ones.
+                    // Stay silent; the primary re-pushes on its next
+                    // heartbeat and flush windows are short.
+                    return;
+                }
+                if self.logs.get(&group).is_some_and(|l| l.pending() > 0) {
+                    // Pending (older, per the guard above) records for this
+                    // group would otherwise flush over the pushed bytes
+                    // later — and a full-object push is far too large for
+                    // the NVM ring to ride behind them in log order. Drain
+                    // them to the backend first, then apply the push on top.
+                    let mut log = self.logs.remove(&group).expect("checked above");
+                    let drained = log
+                        .drain_for_flush(&mut self.nvm, usize::MAX)
+                        .expect("drain before push apply");
+                    for t in drained {
+                        self.backend.submit(t).expect("pre-push flush submit");
+                    }
+                    self.logs.insert(group, log);
+                }
+                self.seq += 1;
+                let size = data.len() as u64;
+                let txn = Transaction::new(
+                    group,
+                    self.seq,
+                    vec![
+                        Op::Create { oid, size },
+                        Op::Write {
+                            oid,
+                            offset: 0,
+                            data: data.into(),
+                        },
+                    ],
+                );
+                self.note_txn(&txn);
+                if entry.version != 0 {
+                    // Adopt the pushed history so a later peering round sees
+                    // this object as up to date. Backfill pushes (version 0)
+                    // carry no real log entry and are deliberately not
+                    // logged.
+                    let log = self.pg_log.entry(group).or_default();
+                    log.push_back(entry);
+                    while log.len() > self.cfg.pg_log_limit {
+                        log.pop_front();
+                    }
+                }
+                match self.backend.submit(txn) {
+                    Ok(()) => {
+                        let trace = self.backend.take_trace();
+                        if !trace.is_empty() {
+                            let token = self.token();
+                            self.pending_store.insert(token, StoreCtx::Background);
+                            fx.push(OsdEffect::StoreIo {
+                                token,
+                                trace,
+                                wait: false,
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        // Could not apply (e.g. no space): stay silent so
+                        // the primary keeps counting us missing and
+                        // retries.
+                        let _ = self.backend.take_trace();
+                        self.pg_log_unnote(group, entry.version);
+                        return;
+                    }
+                }
+                fx.push(OsdEffect::SendPeer {
+                    to: from,
+                    msg: PeerMsg::PushAck {
+                        group,
+                        epoch,
+                        oid,
+                        from: self.id,
+                    },
+                });
+            }
+            PeerMsg::PushAck {
+                group,
+                epoch,
+                oid,
+                from: peer,
+            } => {
+                let done = match self.recovery.get_mut(&group) {
+                    Some(rec) if rec.epoch == epoch => {
+                        if let Some(m) = rec.missing.get_mut(&peer) {
+                            m.remove(&oid.raw());
+                            if m.is_empty() {
+                                rec.missing.remove(&peer);
+                                rec.backfill_peers.remove(&peer);
+                            }
+                        }
+                        rec.missing.is_empty()
+                    }
+                    _ => false,
+                };
+                if done {
+                    // Every peer acked its last push: the group is healed.
+                    self.recovery.remove(&group);
+                }
+            }
+            PeerMsg::RepNack {
+                group,
+                seq,
+                from: replica,
+                error: _,
+            } => {
+                // The replica could not apply our repop. Stop waiting for its
+                // ack (the write completes degraded) and schedule a recovery
+                // push of the affected objects so it converges later.
+                let oids: Vec<ObjectId> = self
+                    .inflight
+                    .get(&seq)
+                    .map(|w| {
+                        w.txn
+                            .ops
+                            .iter()
+                            .filter_map(|op| digest_op(op).map(|(o, _)| o))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if let Some(wop) = self.inflight.get_mut(&seq) {
+                    wop.waiting_acks.retain(|&o| o != replica);
+                }
+                self.try_complete_write(seq, fx);
+                if oids.is_empty() || self.map.try_primary(group) != Some(self.id) {
+                    return;
+                }
+                let epoch = self.map.epoch;
+                let rec = self.recovery.entry(group).or_insert_with(|| PgRecovery {
+                    epoch,
+                    state: PgState::Recovering,
+                    awaiting_infos: BTreeSet::new(),
+                    infos: BTreeMap::new(),
+                    missing: BTreeMap::new(),
+                    backfill_peers: BTreeSet::new(),
+                });
+                let slot = rec.missing.entry(replica).or_default();
+                for oid in &oids {
+                    slot.insert(oid.raw(), *oid);
+                }
+                let epoch = rec.epoch;
+                for oid in oids {
+                    self.push_object_to(group, epoch, replica, oid, false, fx);
+                }
+            }
         }
     }
 
@@ -1400,16 +2230,21 @@ impl Osd {
             }
             StoreCtx::Flush {
                 group,
-                records,
+                through_version,
                 keep,
             } => {
-                if !keep {
-                    self.log_for(group);
-                    let mut log = self.logs.remove(&group).expect("ensured");
-                    log.drain_for_flush(&mut self.nvm, records)
-                        .expect("drain flushed records");
-                    self.logs.insert(group, log);
+                if keep {
+                    // Map-change safety flush: the records stay in the log
+                    // for peer synchronization, and no flush window was
+                    // opened — clearing `flushing` here would let a second
+                    // window overlap one still in flight.
+                    return;
                 }
+                self.log_for(group);
+                let mut log = self.logs.remove(&group).expect("ensured");
+                log.drain_through_version(&mut self.nvm, through_version)
+                    .expect("drain flushed records");
+                self.logs.insert(group, log);
                 self.rt(group).flushing = false;
                 // Serve reads that were blocked behind the flush.
                 let waiting = std::mem::take(&mut self.rt(group).waiting_reads);
@@ -1460,13 +2295,14 @@ impl Osd {
         for txn in txns {
             self.backend.submit(txn).expect("flush submit");
         }
+        let through_version = self.logs[&group].version();
         let token = self.token();
         let trace = self.backend.take_trace();
         self.pending_store.insert(
             token,
             StoreCtx::Flush {
                 group,
-                records,
+                through_version,
                 keep: false,
             },
         );
@@ -1483,7 +2319,45 @@ impl Osd {
         let Some(DeferredSubmit { txn, ctx }) = self.deferred_submits.remove(&token) else {
             return;
         };
-        self.backend.submit(txn).expect("deferred submit");
+        if let Err(error) = self.backend.submit(txn) {
+            let _ = self.backend.take_trace();
+            match ctx {
+                StoreCtx::ReplicaPersist {
+                    primary,
+                    group,
+                    seq,
+                } => {
+                    // Same contract as the inline replica path: withdraw the
+                    // provisional bookkeeping and NACK so the primary marks
+                    // us missing instead of the OSD dying.
+                    self.unnote_replica_applied(group, seq);
+                    self.pg_log_unnote(group, seq);
+                    fx.push(OsdEffect::SendPeer {
+                        to: primary,
+                        msg: PeerMsg::RepNack {
+                            group,
+                            seq,
+                            from: self.id,
+                            error,
+                        },
+                    });
+                }
+                StoreCtx::WriteLocal { seq } => {
+                    // Primary-side apply failure: fail the op back to the
+                    // client instead of leaving it in flight forever.
+                    if let Some(w) = self.inflight.remove(&seq) {
+                        self.inflight_ops.remove(&(w.client, w.op));
+                        self.pg_log_unnote(w.group, seq);
+                        fx.push(OsdEffect::Reply {
+                            to: w.client,
+                            msg: ClientReply::Error { op: w.op, error },
+                        });
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
         let io_token = self.token();
         let trace = self.backend.take_trace();
         self.pending_store.insert(io_token, ctx);
@@ -1558,6 +2432,10 @@ impl Osd {
         self.deferred_submits.clear();
         self.group_rt.clear();
         self.maint_scheduled = false;
+        // Volatile recovery state dies with the process; the pg_log is
+        // rebuilt below from whatever survived in the durable NVM ring.
+        self.recovery.clear();
+        self.pg_log.clear();
         self.nvm.reboot();
         let mut groups: Vec<GroupId> = self.logs.keys().copied().collect();
         groups.sort();
@@ -1583,6 +2461,7 @@ impl Osd {
                     .expect("restart drain");
                 for txn in txns {
                     self.note_txn(&txn);
+                    self.pg_log_note(group, txn.seq, &txn);
                     self.backend.submit(txn).expect("restart drain submit");
                 }
                 let _ = self.backend.take_trace();
@@ -1600,6 +2479,11 @@ impl Osd {
             return;
         }
         let old = std::mem::replace(&mut self.map, map);
+        if !self.cfg.mode.null_transaction() && !self.cfg.mode.null_store() {
+            // Every epoch change re-peers the groups this OSD now leads;
+            // stale rounds for groups it lost are dropped inside.
+            self.start_peering(fx);
+        }
         if !self.cfg.mode.decoupled() {
             return;
         }
@@ -1625,14 +2509,14 @@ impl Osd {
                 for txn in txns {
                     self.backend.submit(txn).expect("recovery flush");
                 }
-                let records = self.logs[&group].pending();
+                let through_version = self.logs[&group].version();
                 let token = self.token();
                 let trace = self.backend.take_trace();
                 self.pending_store.insert(
                     token,
                     StoreCtx::Flush {
                         group,
-                        records,
+                        through_version,
                         keep: true,
                     },
                 );
@@ -2348,5 +3232,460 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn replica_apply_failure_nacks_instead_of_panicking() {
+        let mut o = osd(PipelineMode::Original, 1);
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
+        let oid = oid_in(g, 1);
+        // A zero-length write is rejected by every backend.
+        let bad = Transaction::new(
+            g,
+            5,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: Vec::new().into(),
+            }],
+        );
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::Repop {
+                group: g,
+                seq: 5,
+                txn: bad,
+            },
+        });
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                OsdEffect::SendPeer {
+                    to: OsdId(0),
+                    msg: PeerMsg::RepNack { seq: 5, .. },
+                }
+            )),
+            "failed apply NACKs back to the primary: {fx:?}"
+        );
+        // The failed seq was un-noted: a retransmit with a good payload is
+        // applied for real (store I/O), not re-acked from the dedup window.
+        let good = Transaction::new(
+            g,
+            5,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![3; 4096].into(),
+            }],
+        );
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::Repop {
+                group: g,
+                seq: 5,
+                txn: good,
+            },
+        });
+        assert_eq!(tokens_of(&fx).len(), 1, "retransmit applied: {fx:?}");
+    }
+
+    #[test]
+    fn rep_nack_completes_write_degraded_and_pushes_recovery() {
+        let mut o = osd(PipelineMode::Original, 0);
+        let g = a_group_with_primary(&o);
+        let oid = oid_in(g, 1);
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid),
+        });
+        let toks = tokens_of(&fx);
+        o.handle(OsdInput::StoreDurable { token: toks[0] });
+        // Replica refuses the repop: the write completes without it and the
+        // primary immediately pushes the object to heal the divergence.
+        let replica = o.map().acting_set(g)[1];
+        let fx = o.handle(OsdInput::Peer {
+            from: replica,
+            msg: PeerMsg::RepNack {
+                group: g,
+                seq: 1,
+                from: replica,
+                error: StoreError::NoSpace,
+            },
+        });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            OsdEffect::Reply {
+                msg: ClientReply::Done { .. },
+                ..
+            }
+        )));
+        let push = fx.iter().find_map(|e| match e {
+            OsdEffect::SendPeer {
+                to,
+                msg: PeerMsg::PushObject { entry, .. },
+            } => Some((*to, *entry)),
+            _ => None,
+        });
+        let (to, entry) = push.expect("recovery push follows the NACK");
+        assert_eq!(to, replica);
+        assert_eq!(entry.oid, oid);
+        assert!(o.degraded_objects() > 0);
+        // The replica's ack for the push clears the recovery round.
+        let fx = o.handle(OsdInput::Peer {
+            from: replica,
+            msg: PeerMsg::PushAck {
+                group: g,
+                epoch: o.map().epoch,
+                oid,
+                from: replica,
+            },
+        });
+        assert!(fx.is_empty(), "{fx:?}");
+        assert_eq!(o.degraded_objects(), 0);
+        assert_eq!(o.pg_state(g), PgState::Active);
+    }
+
+    #[test]
+    fn peering_backfills_a_peer_with_no_shared_history() {
+        let map3 = OsdMap::new(3, 1, 8, 2);
+        let cfg = OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 32 << 20,
+            nvm_bytes: 4 << 20,
+            ring_bytes: 128 << 10,
+            flush_threshold: 16,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+            ..OsdConfig::default()
+        };
+        let g = GroupId(0);
+        let set = map3.acting_set(g);
+        let (primary, secondary) = (set[0], set[1]);
+        let spare = (0..3).map(OsdId).find(|o| !set.contains(o)).unwrap();
+        let mut prim = Osd::new(primary, cfg.clone(), map3.clone());
+        let mut peer = Osd::new(secondary, cfg, map3.clone());
+        for i in 0..3 {
+            prim.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i)),
+            });
+        }
+        // Epoch bump that keeps the acting set: the primary re-peers.
+        let mut new_map = map3.clone();
+        new_map.mark_down(spare);
+        let fx = prim.handle(OsdInput::MapUpdate(new_map.clone()));
+        let query = fx.iter().find_map(|e| match e {
+            OsdEffect::SendPeer {
+                to,
+                msg: PeerMsg::PgQuery { group, epoch, .. },
+            } if *group == g => Some((*to, *epoch)),
+            _ => None,
+        });
+        let (to, epoch) = query.expect("primary queries the acting set");
+        assert_eq!(to, secondary);
+        assert_eq!(epoch, new_map.epoch);
+        assert_eq!(prim.pg_state(g), PgState::Peering);
+        // The secondary answers with an empty log (it has nothing): the
+        // primary backfills every object it tracks.
+        let fx = prim.handle(OsdInput::Peer {
+            from: secondary,
+            msg: PeerMsg::PgInfo {
+                group: g,
+                epoch,
+                from: secondary,
+                entries: Vec::new(),
+            },
+        });
+        assert_eq!(prim.pg_state(g), PgState::Backfilling);
+        let pushes: Vec<PeerMsg> = fx
+            .iter()
+            .filter_map(|e| match e {
+                OsdEffect::SendPeer {
+                    to,
+                    msg: msg @ PeerMsg::PushObject { .. },
+                } if *to == secondary => Some(msg.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pushes.len(), 3, "all three objects pushed: {fx:?}");
+        assert!(prim.backfill_bytes > 0);
+        // Applying the pushes at the peer acks each one back; feeding the
+        // acks to the primary ends the round.
+        peer.handle(OsdInput::MapUpdate(new_map));
+        for push in pushes {
+            let fx = peer.handle(OsdInput::Peer {
+                from: primary,
+                msg: push,
+            });
+            let ack = fx
+                .into_iter()
+                .find_map(|e| match e {
+                    OsdEffect::SendPeer {
+                        msg: msg @ PeerMsg::PushAck { .. },
+                        ..
+                    } => Some(msg),
+                    _ => None,
+                })
+                .expect("peer acks an applied push");
+            prim.handle(OsdInput::Peer {
+                from: secondary,
+                msg: ack,
+            });
+        }
+        assert_eq!(prim.pg_state(g), PgState::Active);
+        assert_eq!(prim.degraded_objects(), 0);
+        // The pushed bytes are now readable at the peer.
+        assert_eq!(
+            peer.object_digest(oid_in(g, 1), 4096),
+            prim.object_digest(oid_in(g, 1), 4096),
+        );
+    }
+
+    #[test]
+    fn push_with_bad_checksum_is_dropped() {
+        let mut o = osd(PipelineMode::Dop, 1);
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
+        let oid = oid_in(g, 1);
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::PushObject {
+                group: g,
+                epoch: 1,
+                entry: PgLogEntry {
+                    epoch: 1,
+                    version: 4,
+                    oid,
+                    digest: 9,
+                },
+                data: vec![5; 4096],
+                content_digest: 0xDEAD, // wrong
+            },
+        });
+        assert!(fx.is_empty(), "corrupt push ignored: {fx:?}");
+        assert_eq!(o.object_digest(oid, 4096), None, "nothing applied");
+    }
+
+    #[test]
+    fn stale_push_with_divergent_content_is_dropped_not_acked() {
+        let mut o = osd(PipelineMode::Dop, 1);
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
+        let oid = oid_in(g, 1);
+        // The replica applies a current write at (epoch 1, version 7)...
+        let txn = Transaction::new(
+            g,
+            7,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![9; 4096].into(),
+            }],
+        );
+        o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::RepopNvm {
+                group: g,
+                seq: 7,
+                txn,
+            },
+        });
+        // ...then an older push with *different* bytes arrives. Acking it
+        // would clear the primary's missing mark while the replicas still
+        // diverge, so it must be dropped silently — the primary's heartbeat
+        // retry re-reads fresh content and pushes again.
+        let stale = vec![1u8; 4096];
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::PushObject {
+                group: g,
+                epoch: 1,
+                entry: PgLogEntry {
+                    epoch: 1,
+                    version: 3,
+                    oid,
+                    digest: 1,
+                },
+                content_digest: digest_bytes(&stale),
+                data: stale,
+            },
+        });
+        assert!(fx.is_empty(), "divergent stale push dropped: {fx:?}");
+        // The newer log record survives: reads serve fill 9, not fill 1.
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(2),
+            req: ClientReq::Read {
+                op: OpId(1),
+                oid,
+                offset: 0,
+                len: 4096,
+            },
+        });
+        let data = fx.iter().find_map(|e| match e {
+            OsdEffect::Reply {
+                msg: ClientReply::Data { data, .. },
+                ..
+            } => Some(data.clone()),
+            _ => None,
+        });
+        assert_eq!(data, Some(vec![9u8; 4096].into()));
+    }
+
+    #[test]
+    fn stale_push_with_matching_content_is_acked_but_not_applied() {
+        let mut o = osd(PipelineMode::Dop, 1);
+        let g = (0..8)
+            .map(GroupId)
+            .find(|&g| o.map().primary(g) != o.id)
+            .unwrap();
+        let oid = oid_in(g, 1);
+        // The replica holds (epoch 1, version 7) with fill 9.
+        let txn = Transaction::new(
+            g,
+            7,
+            vec![Op::Write {
+                oid,
+                offset: 0,
+                data: vec![9; 4096].into(),
+            }],
+        );
+        o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::RepopNvm {
+                group: g,
+                seq: 7,
+                txn,
+            },
+        });
+        // An older-versioned push whose bytes already match the local object
+        // (a torn-tail-restarted primary can never out-version the replica
+        // even when content agrees). It must be acked — without the ack the
+        // primary retries forever and the PG wedges in Recovering — but the
+        // newer local record must not be rolled back.
+        let same = vec![9u8; 4096];
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::PushObject {
+                group: g,
+                epoch: 1,
+                entry: PgLogEntry {
+                    epoch: 1,
+                    version: 3,
+                    oid,
+                    digest: digest_bytes(&same),
+                },
+                content_digest: digest_bytes(&same),
+                data: same,
+            },
+        });
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                OsdEffect::SendPeer {
+                    msg: PeerMsg::PushAck { .. },
+                    ..
+                }
+            )),
+            "matching stale push acked: {fx:?}"
+        );
+        // Version 7 stays newest: a later same-object push at version 5
+        // with divergent bytes is still rejected.
+        let stale = vec![1u8; 4096];
+        let fx = o.handle(OsdInput::Peer {
+            from: OsdId(0),
+            msg: PeerMsg::PushObject {
+                group: g,
+                epoch: 1,
+                entry: PgLogEntry {
+                    epoch: 1,
+                    version: 5,
+                    oid,
+                    digest: 1,
+                },
+                content_digest: digest_bytes(&stale),
+                data: stale,
+            },
+        });
+        assert!(fx.is_empty(), "divergent push after ack dropped: {fx:?}");
+    }
+
+    #[test]
+    fn writes_below_min_size_quorum_return_degraded() {
+        // Replication 3 => min_size 2.
+        let mut map3 = OsdMap::new(3, 1, 8, 3);
+        assert_eq!(map3.min_size, 2);
+        let cfg = OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 32 << 20,
+            nvm_bytes: 4 << 20,
+            ring_bytes: 128 << 10,
+            flush_threshold: 16,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+            ..OsdConfig::default()
+        };
+        map3.mark_down(OsdId(1));
+        map3.mark_down(OsdId(2));
+        let mut o = Osd::new(OsdId(0), cfg, map3);
+        let g = GroupId(0);
+        assert_eq!(o.pg_state(g), PgState::Degraded);
+        let fx = o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid_in(g, 1)),
+        });
+        let err = fx.iter().find_map(|e| match e {
+            OsdEffect::Reply {
+                msg: ClientReply::Error { error, .. },
+                ..
+            } => Some(error.clone()),
+            _ => None,
+        });
+        assert_eq!(err, Some(StoreError::Degraded));
+        assert!(
+            !fx.iter()
+                .any(|e| matches!(e, OsdEffect::SendPeer { .. } | OsdEffect::NvmWritten { .. })),
+            "rejected write neither logged nor replicated: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn heartbeat_retransmits_stale_inflight_writes() {
+        let mut o = osd(PipelineMode::Dop, 0);
+        let g = a_group_with_primary(&o);
+        o.handle(OsdInput::Client {
+            from: ClientId(1),
+            req: write_req(1, oid_in(g, 1)),
+        });
+        // The repop (or its ack) was lost; after two heartbeat ticks the
+        // primary re-sends it on its own, without any client retry.
+        let fx = o.handle(OsdInput::HeartbeatTick);
+        assert!(
+            !fx.iter().any(|e| matches!(
+                e,
+                OsdEffect::SendPeer {
+                    msg: PeerMsg::RepopNvm { .. },
+                    ..
+                }
+            )),
+            "first tick only ages the op"
+        );
+        let fx = o.handle(OsdInput::HeartbeatTick);
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                OsdEffect::SendPeer {
+                    msg: PeerMsg::RepopNvm { seq: 1, .. },
+                    ..
+                }
+            )),
+            "second tick retransmits: {fx:?}"
+        );
     }
 }

@@ -52,6 +52,14 @@ pub struct OsdMap {
     pub pg_count: u32,
     /// Replication factor (2 in the paper's evaluation).
     pub replication: usize,
+    /// Write quorum: a group accepts writes only while its acting set holds
+    /// at least this many members. Defaults to a Ceph-style majority floor
+    /// (`replication - replication / 2`, i.e. 1 for 2×, 2 for 3×); below it
+    /// the primary returns a retryable [`StoreError::Degraded`] instead of
+    /// acknowledging under-replicated data.
+    ///
+    /// [`StoreError::Degraded`]: rablock_storage::StoreError::Degraded
+    pub min_size: usize,
     /// Memoized acting sets per group, each tagged with the epoch it was
     /// computed at; an epoch bump (mark_down/mark_up) lazily invalidates.
     /// Purely a lookup accelerator — excluded from equality, ignored by
@@ -71,6 +79,7 @@ impl Clone for OsdMap {
             osds: self.osds.clone(),
             pg_count: self.pg_count,
             replication: self.replication,
+            min_size: self.min_size,
             cache: empty_cache(),
         }
     }
@@ -82,6 +91,7 @@ impl PartialEq for OsdMap {
             && self.osds == other.osds
             && self.pg_count == other.pg_count
             && self.replication == other.replication
+            && self.min_size == other.min_size
     }
 }
 impl Eq for OsdMap {}
@@ -93,6 +103,7 @@ impl std::fmt::Debug for OsdMap {
             .field("osds", &self.osds)
             .field("pg_count", &self.pg_count)
             .field("replication", &self.replication)
+            .field("min_size", &self.min_size)
             .finish()
     }
 }
@@ -123,6 +134,7 @@ impl OsdMap {
             osds,
             pg_count,
             replication,
+            min_size: (replication - replication / 2).max(1),
             cache: empty_cache(),
         }
     }
@@ -137,13 +149,14 @@ impl OsdMap {
         self.osds.iter().filter(|o| o.up)
     }
 
-    /// The acting set of a group: `replication` up OSDs ranked by
+    /// The acting set of a group: up to `replication` up OSDs ranked by
     /// rendezvous hash, at most one per node. The first entry is primary.
     ///
-    /// # Panics
-    ///
-    /// Panics if fewer distinct up nodes exist than the replication factor —
-    /// the cluster cannot place data safely at that point.
+    /// When fewer distinct up nodes exist than the replication factor the
+    /// set is *degraded*: the survivors are returned (possibly none when
+    /// every OSD is down) and it is the caller's job to gate writes on
+    /// [`OsdMap::min_size`]. Placement itself never panics — losing nodes
+    /// must degrade service, not crash it.
     pub fn acting_set(&self, group: rablock_storage::GroupId) -> Vec<OsdId> {
         let shard = &self.cache[group.0 as usize % CACHE_SHARDS];
         {
@@ -181,14 +194,29 @@ impl OsdMap {
                 return set;
             }
         }
-        panic!(
-            "cannot place {group}: only {} distinct up nodes for replication {}",
-            used_nodes.len(),
-            self.replication
-        );
+        // Degraded placement: fewer distinct up nodes than the replication
+        // factor. Return the survivors; writes are gated on `min_size`.
+        set
+    }
+
+    /// Whether a group's acting set currently holds fewer members than the
+    /// replication factor (some replicas are missing).
+    pub fn is_degraded(&self, group: rablock_storage::GroupId) -> bool {
+        self.acting_set(group).len() < self.replication
+    }
+
+    /// The primary OSD of a group, or `None` when every OSD that could
+    /// serve it is down.
+    pub fn try_primary(&self, group: rablock_storage::GroupId) -> Option<OsdId> {
+        self.acting_set(group).first().copied()
     }
 
     /// The primary OSD of a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the acting set is empty (no OSD up at all); callers that
+    /// must survive total outage use [`OsdMap::try_primary`].
     pub fn primary(&self, group: rablock_storage::GroupId) -> OsdId {
         self.acting_set(group)[0]
     }
@@ -421,10 +449,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot place")]
-    fn under_replication_panics() {
+    fn under_replication_returns_survivors() {
         let mut m = OsdMap::new(2, 1, 8, 2);
         m.mark_down(OsdId(0));
-        let _ = m.acting_set(GroupId(0));
+        for pg in 0..8 {
+            let set = m.acting_set(GroupId(pg));
+            assert_eq!(set, vec![OsdId(1)], "pg{pg} degrades to the survivor");
+            assert!(m.is_degraded(GroupId(pg)));
+            assert_eq!(m.try_primary(GroupId(pg)), Some(OsdId(1)));
+        }
+        // One survivor still satisfies the 2× majority floor (min_size 1).
+        assert_eq!(m.min_size, 1);
+        assert!(m.acting_set(GroupId(0)).len() >= m.min_size);
+    }
+
+    #[test]
+    fn total_outage_yields_empty_sets_without_panicking() {
+        let mut m = OsdMap::new(2, 1, 8, 2);
+        m.mark_down(OsdId(0));
+        m.mark_down(OsdId(1));
+        assert!(m.acting_set(GroupId(3)).is_empty());
+        assert!(m.try_primary(GroupId(3)).is_none());
+        assert!(m.acting_set(GroupId(3)).len() < m.min_size, "below quorum");
+    }
+
+    #[test]
+    fn min_size_is_a_majority_floor() {
+        assert_eq!(OsdMap::new(2, 1, 8, 1).min_size, 1);
+        assert_eq!(OsdMap::new(2, 1, 8, 2).min_size, 1);
+        assert_eq!(OsdMap::new(3, 1, 8, 3).min_size, 2);
     }
 }

@@ -21,12 +21,12 @@ use rablock_sim::{
     Ctx, Device, DeviceProfile, DeviceStats, FaultEvent, FaultPlan, IoRequest, Link, Priority,
     SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
 };
-use rablock_storage::{GroupId, ObjectId, StoreStats, TraceKind};
+use rablock_storage::{GroupId, ObjectId, StoreError, StoreStats, TraceKind};
 
 use crate::costs::{CostModel, CLIENT, MP, MT, OS, RP, TP};
-use crate::invariants::HistoryChecker;
+use crate::invariants::{HistoryChecker, ReplicaListing};
 use crate::msg::{ClientId, ClientReply, ClientReq, MonMsg, OpId, PeerMsg};
-use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PipelineMode};
+use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PgState, PipelineMode};
 use crate::placement::{Monitor, OsdId, OsdMap};
 use crate::retry::RetryPolicy;
 
@@ -341,6 +341,13 @@ pub struct SimReport {
     /// Client operations surfaced as errors (retry budget exhausted or an
     /// error reply under fault injection).
     pub client_errors: u64,
+    /// Recovery pushes sent by all OSDs (log replay and backfill).
+    pub recovery_pushes: u64,
+    /// Bytes pushed by full-object backfill across all OSDs.
+    pub backfill_bytes: u64,
+    /// Objects still known missing on some peer at the end of the window
+    /// (outstanding recovery work; zero once the cluster healed).
+    pub degraded_objects: u64,
 }
 
 impl SimReport {
@@ -502,18 +509,41 @@ impl World {
         );
     }
 
+    /// Dispatches an incoming peer message to the right lane: recovery
+    /// traffic (peering, pushes, backfill) rides the low-priority flusher
+    /// threads under PTC so foreground IOPS degrade gracefully, everything
+    /// else goes to the group's logic thread.
+    fn dispatch_peer(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        osd: usize,
+        from: OsdId,
+        msg: PeerMsg,
+        charge_mp: Option<u64>,
+        delay: SimDuration,
+    ) {
+        let group = msg.group();
+        let thread = if self.mode.prioritized() && msg.is_recovery() {
+            self.flusher_thread(osd, group.0 as u64)
+        } else {
+            self.logic_thread(osd, group)
+        };
+        ctx.send_after(
+            thread,
+            Ev::OsdIn {
+                osd,
+                input: OsdInput::Peer { from, msg },
+                charge_mp,
+            },
+            delay,
+        );
+    }
+
     #[allow(dead_code)] // kept: useful for future routing policies
     fn group_of_input(input: &OsdInput) -> GroupId {
         match input {
             OsdInput::Client { req, .. } => req.oid().group(),
-            OsdInput::Peer { msg, .. } => match msg {
-                PeerMsg::Repop { group, .. }
-                | PeerMsg::RepopNvm { group, .. }
-                | PeerMsg::RepAck { group, .. }
-                | PeerMsg::PullLog { group, .. }
-                | PeerMsg::LogRecords { group, .. }
-                | PeerMsg::Backfill { group, .. } => *group,
-            },
+            OsdInput::Peer { msg, .. } => msg.group(),
             OsdInput::FlushGroup { group } => *group,
             _ => GroupId(0),
         }
@@ -582,10 +612,14 @@ impl World {
                     ctx.spend(RP, c.rp_replica);
                     ctx.spend(RP, c.nvm_append);
                 }
-                PeerMsg::RepAck { .. } => ctx.spend(RP, c.tp_complete),
-                PeerMsg::PullLog { .. } | PeerMsg::LogRecords { .. } | PeerMsg::Backfill { .. } => {
-                    ctx.spend(TP, c.tp)
-                }
+                PeerMsg::RepAck { .. } | PeerMsg::RepNack { .. } => ctx.spend(RP, c.tp_complete),
+                PeerMsg::PullLog { .. }
+                | PeerMsg::LogRecords { .. }
+                | PeerMsg::Backfill { .. }
+                | PeerMsg::PgQuery { .. }
+                | PeerMsg::PgInfo { .. }
+                | PeerMsg::PushObject { .. }
+                | PeerMsg::PushAck { .. } => ctx.spend(TP, c.tp),
             },
             OsdInput::StoreDurable { .. } => ctx.spend(TP, c.tp_complete),
             OsdInput::FlushGroup { .. } => {
@@ -636,29 +670,17 @@ impl World {
                         let bytes = msg.wire_bytes();
                         let delay = self.net_delay(node, ctx.now(), bytes) + extra;
                         let from = self.osds[osd].id;
-                        let group = match &msg {
-                            PeerMsg::Repop { group, .. }
-                            | PeerMsg::RepopNvm { group, .. }
-                            | PeerMsg::RepAck { group, .. }
-                            | PeerMsg::PullLog { group, .. }
-                            | PeerMsg::LogRecords { group, .. }
-                            | PeerMsg::Backfill { group, .. } => *group,
-                        };
                         if let Some(gap) = dup {
-                            let input = OsdInput::Peer {
+                            self.dispatch_peer(
+                                ctx,
+                                dest,
                                 from,
-                                msg: msg.clone(),
-                            };
-                            self.dispatch_logic(ctx, dest, group, input, Some(bytes), delay + gap);
+                                msg.clone(),
+                                Some(bytes),
+                                delay + gap,
+                            );
                         }
-                        self.dispatch_logic(
-                            ctx,
-                            dest,
-                            group,
-                            OsdInput::Peer { from, msg },
-                            Some(bytes),
-                            delay,
-                        );
+                        self.dispatch_peer(ctx, dest, from, msg, Some(bytes), delay);
                     }
                 }
                 OsdEffect::Reply { to, msg } => {
@@ -982,6 +1004,14 @@ impl rablock_sim::Handler<Ev> for World {
                 let id = self.conns[conn].id;
                 match &reply {
                     ClientReply::Error { error, .. } => {
+                        if matches!(error, StoreError::Degraded) && self.retry.is_some() {
+                            // Retryable degraded-quorum rejection: put the op
+                            // back; its already-armed timeout retransmits
+                            // with backoff until quorum returns (or the
+                            // budget runs out and surfaces the error).
+                            self.conns[conn].outstanding.insert(op, p);
+                            return;
+                        }
                         if self.faults.is_empty() && self.retry.is_none() {
                             panic!("client observed error: {error}");
                         }
@@ -1032,22 +1062,7 @@ impl rablock_sim::Handler<Ev> for World {
             }
             Ev::MsgrPeerIn { osd, from, msg } => {
                 ctx.spend(MP, self.costs.recv(msg.wire_bytes(), self.lean));
-                let group = match &msg {
-                    PeerMsg::Repop { group, .. }
-                    | PeerMsg::RepopNvm { group, .. }
-                    | PeerMsg::RepAck { group, .. }
-                    | PeerMsg::PullLog { group, .. }
-                    | PeerMsg::LogRecords { group, .. }
-                    | PeerMsg::Backfill { group, .. } => *group,
-                };
-                self.dispatch_logic(
-                    ctx,
-                    osd,
-                    group,
-                    OsdInput::Peer { from, msg },
-                    None,
-                    SimDuration::ZERO,
-                );
+                self.dispatch_peer(ctx, osd, from, msg, None, SimDuration::ZERO);
             }
             Ev::MsgrReplyOut { osd, to, reply } => {
                 ctx.spend(MP, self.costs.send(reply.wire_bytes(), self.lean));
@@ -1607,6 +1622,119 @@ impl ClusterSim {
         self.world.osds[osd.0 as usize].log_pending(group)
     }
 
+    /// True when no live primary has recovery in flight and every group
+    /// with a live primary reports [`PgState::Active`]. Post-quiesce chaos
+    /// runs assert this: all peering rounds finished and every peer acked
+    /// its last push.
+    pub fn all_pgs_active(&self) -> bool {
+        let live: Vec<usize> = (0..self.world.osds.len())
+            .filter(|&i| !self.world.dead[i])
+            .collect();
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+            return true;
+        };
+        let map = self.world.osds[holder].map().clone();
+        (0..map.pg_count).all(|g| {
+            let group = GroupId(g);
+            match map.try_primary(group) {
+                Some(p) if !self.world.dead[p.0 as usize] => {
+                    self.world.osds[p.0 as usize].pg_state(group) == PgState::Active
+                }
+                _ => true,
+            }
+        })
+    }
+
+    /// Flushes every live OSD's pending log records into its backend, then
+    /// compares replica contents object by object: for each group, every
+    /// live acting-set member must serve byte-identical data. Returns
+    /// human-readable mismatch descriptions; empty means the replicas
+    /// converged. Mutates backends (log re-apply), so call only after the
+    /// run finished.
+    pub fn replica_divergence(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        let live: Vec<usize> = (0..self.world.osds.len())
+            .filter(|&i| !self.world.dead[i])
+            .collect();
+        for &i in &live {
+            self.world.osds[i].sync_backend_with_log();
+        }
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+            return out;
+        };
+        let map = self.world.osds[holder].map().clone();
+        for g in 0..map.pg_count {
+            let group = GroupId(g);
+            let members: Vec<usize> = map
+                .acting_set(group)
+                .into_iter()
+                .map(|o| o.0 as usize)
+                .filter(|&i| !self.world.dead[i])
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+            // Union of the extents any member tracks for the group.
+            let mut extents: BTreeMap<u64, (ObjectId, u64)> = BTreeMap::new();
+            for &m in &members {
+                for (oid, len) in self.world.osds[m].group_extent_map(group) {
+                    let e = extents.entry(oid.raw()).or_insert((oid, len));
+                    e.1 = e.1.max(len);
+                }
+            }
+            let extents: Vec<(ObjectId, u64)> = extents.into_values().collect();
+            let listings: Vec<ReplicaListing> = members
+                .iter()
+                .map(|&m| {
+                    let entries = extents
+                        .iter()
+                        .map(|&(oid, len)| (oid.raw(), self.world.osds[m].object_digest(oid, len)))
+                        .collect();
+                    (format!("osd{m}"), entries)
+                })
+                .collect();
+            for d in crate::invariants::diff_replica_digests(&listings) {
+                out.push(format!("group {}: {d}", group.0));
+            }
+        }
+        out
+    }
+
+    /// Raw object bytes as served by one OSD's backend (diagnostics; call
+    /// after [`ClusterSim::replica_divergence`] so logs are synced).
+    pub fn object_bytes(&mut self, osd: usize, oid: ObjectId, len: u64) -> Option<Vec<u8>> {
+        self.world.osds[osd].debug_read(oid, len)
+    }
+
+    /// One line per non-Active PG at its current primary, plus its count of
+    /// outstanding recovery pushes (diagnostics for stuck recovery).
+    pub fn stuck_pgs(&self) -> Vec<String> {
+        let live: Vec<usize> = (0..self.world.osds.len())
+            .filter(|&i| !self.world.dead[i])
+            .collect();
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+            return Vec::new();
+        };
+        let map = self.world.osds[holder].map().clone();
+        let mut out = Vec::new();
+        for g in 0..map.pg_count {
+            let group = GroupId(g);
+            if let Some(p) = map.try_primary(group) {
+                let i = p.0 as usize;
+                if !self.world.dead[i] {
+                    let state = self.world.osds[i].pg_state(group);
+                    if state != PgState::Active {
+                        out.push(format!(
+                            "group {g}: {state:?} at osd{i}, {} objects outstanding",
+                            self.world.osds[i].degraded_objects(),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Runs for `warmup`, discards all statistics, then runs for `measure`
     /// and reports.
     pub fn run(&mut self, warmup: SimDuration, measure: SimDuration) -> SimReport {
@@ -1704,6 +1832,9 @@ impl ClusterSim {
             nvm_bytes: w.osds.iter().map(Osd::nvm_bytes_written).sum(),
             nvm_full_stalls: w.osds.iter().map(|o| o.nvm_full_stalls).sum(),
             client_errors: w.client_errors,
+            recovery_pushes: w.osds.iter().map(|o| o.recovery_pushes).sum(),
+            backfill_bytes: w.osds.iter().map(|o| o.backfill_bytes).sum(),
+            degraded_objects: w.osds.iter().map(Osd::degraded_objects).sum(),
         }
     }
 }

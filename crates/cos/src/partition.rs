@@ -345,23 +345,29 @@ impl Partition {
         }
         if opts.pre_allocate {
             let want_blocks = size.div_ceil(BLOCK_BYTES);
-            let have_blocks: u64 = self.onodes[&slot]
-                .extents
-                .entries()
-                .iter()
-                .map(|e| e.count as u64)
-                .sum();
-            if want_blocks > have_blocks {
-                let runs = self.alloc_blocks(want_blocks - have_blocks)?;
+            // The existing map can be a sparse subset, not a contiguous
+            // prefix: bare writes to a never-created object map only the
+            // written blocks, and a later create (recovery backfill) must
+            // fill the holes without touching what is already mapped.
+            let holes: Vec<u64> = {
+                let onode = &self.onodes[&slot];
+                (0..want_blocks)
+                    .filter(|&b| onode.extents.map(b).is_none())
+                    .collect()
+            };
+            if !holes.is_empty() {
+                let runs = self.alloc_blocks(holes.len() as u64)?;
                 let onode = self.onodes.get_mut(&slot).expect("live");
-                let mut logical = have_blocks;
+                let mut next_hole = holes.into_iter();
                 for (start, len) in runs {
-                    onode.extents.insert(Extent {
-                        logical,
-                        phys: start,
-                        count: len as u32,
-                    });
-                    logical += len;
+                    for i in 0..len {
+                        let logical = next_hole.next().expect("one block per hole");
+                        onode.extents.insert(Extent {
+                            logical,
+                            phys: start + i,
+                            count: 1,
+                        });
+                    }
                 }
                 alloc_changed = true;
             }

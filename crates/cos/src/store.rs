@@ -325,6 +325,35 @@ mod tests {
     }
 
     #[test]
+    fn create_after_sparse_bare_write_fills_holes() {
+        // A bare write to a never-created object maps only the written
+        // blocks; a later pre-allocating create (the recovery backfill path
+        // sends Create+Write unconditionally) must fill the unmapped holes
+        // rather than assume the extents form a contiguous prefix.
+        let mut s = fresh(CosOptions::tiny());
+        let o = oid(0, 40);
+        s.submit(write_txn(1, o, 4096, vec![0x7E; 4096])).unwrap();
+        s.submit(Transaction::new(
+            o.group(),
+            2,
+            vec![Op::Create {
+                oid: o,
+                size: 16 << 10,
+            }],
+        ))
+        .unwrap();
+        assert_eq!(
+            s.read(o, 4096, 4096).unwrap(),
+            vec![0x7E; 4096],
+            "pre-existing block survives the create"
+        );
+        s.submit(write_txn(3, o, 0, vec![0x11; 4096])).unwrap();
+        s.submit(write_txn(4, o, 12288, vec![0x22; 4096])).unwrap();
+        assert_eq!(s.read(o, 0, 4096).unwrap(), vec![0x11; 4096]);
+        assert_eq!(s.read(o, 12288, 4096).unwrap(), vec![0x22; 4096]);
+    }
+
+    #[test]
     fn unaligned_write_preserves_neighbours() {
         let mut s = fresh(CosOptions::tiny());
         let o = oid(0, 2);

@@ -357,6 +357,36 @@ impl GroupLog {
         max: usize,
     ) -> Result<Vec<Transaction>, StoreError> {
         let n = max.min(self.records.len());
+        self.drain_front(nvm, n)
+    }
+
+    /// Drains every record whose log version is at most `version` (records
+    /// are version-ordered, oldest first). A flush completion uses this
+    /// with the version observed when the batch was exported, so records
+    /// appended — or drained by another path — while the flush was in
+    /// flight are never discarded by mistake; a count would be.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM header-update errors.
+    pub fn drain_through_version(
+        &mut self,
+        nvm: &mut NvmRegion,
+        version: u64,
+    ) -> Result<Vec<Transaction>, StoreError> {
+        let n = self
+            .records
+            .iter()
+            .take_while(|(r, _)| r.version <= version)
+            .count();
+        self.drain_front(nvm, n)
+    }
+
+    fn drain_front(
+        &mut self,
+        nvm: &mut NvmRegion,
+        n: usize,
+    ) -> Result<Vec<Transaction>, StoreError> {
         if n == 0 {
             return Ok(Vec::new());
         }

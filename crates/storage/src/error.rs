@@ -29,6 +29,10 @@ pub enum StoreError {
     /// The operation did not complete within the client's retry budget
     /// (timeouts and backoff exhausted without a reply).
     Timeout,
+    /// The target group is below its `min_size` write quorum — too many
+    /// replicas are down to accept the write safely. `EAGAIN`-style:
+    /// retryable once recovery restores quorum.
+    Degraded,
 }
 
 impl fmt::Display for StoreError {
@@ -48,6 +52,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(why) => write!(f, "corrupt on-disk state: {why}"),
             StoreError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
             StoreError::Timeout => write!(f, "operation timed out"),
+            StoreError::Degraded => write!(f, "group below write quorum; retry after recovery"),
         }
     }
 }
@@ -72,6 +77,8 @@ mod tests {
             StoreError::AlreadyExists.to_string(),
             StoreError::Corrupt("bad magic".into()).to_string(),
             StoreError::InvalidArgument("zero length".into()).to_string(),
+            StoreError::Timeout.to_string(),
+            StoreError::Degraded.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

@@ -20,6 +20,7 @@ use rablock::sim::{
 };
 use rablock::{GroupId, ObjectId, PipelineMode};
 use rablock_cluster::osd::OsdConfig;
+use rablock_cluster::placement::OsdMap;
 use rablock_cos::CosOptions;
 use rablock_lsm::LsmOptions;
 
@@ -38,6 +39,16 @@ fn oid(conn: u64, k: u64) -> ObjectId {
 
 fn ms(n: u64) -> SimTime {
     SimTime::from_nanos(n * 1_000_000)
+}
+
+/// Case count, honoring `PROPTEST_CASES` — an explicit `with_cases` value
+/// otherwise shadows the environment variable, and the extended-chaos CI
+/// job relies on it to dial intensity up without a code change.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Everything one chaos case is derived from.
@@ -131,7 +142,7 @@ fn plan(s: &Scenario) -> FaultPlan {
         })
 }
 
-fn config(s: &Scenario) -> ClusterSimConfig {
+fn base_config(seed: u64, faults: FaultPlan) -> ClusterSimConfig {
     let mut cfg = ClusterSimConfig::defaults(PipelineMode::Dop);
     cfg.nodes = NODES as u32;
     cfg.osds_per_node = 1;
@@ -140,7 +151,7 @@ fn config(s: &Scenario) -> ClusterSimConfig {
     cfg.non_priority_threads = 3;
     cfg.pg_count = PGS;
     cfg.queue_depth = 4;
-    cfg.seed = s.seed;
+    cfg.seed = seed;
     cfg.osd = OsdConfig {
         mode: PipelineMode::Dop,
         device_bytes: 64 << 20,
@@ -151,7 +162,7 @@ fn config(s: &Scenario) -> ClusterSimConfig {
         cos: CosOptions::tiny(),
         ..OsdConfig::default()
     };
-    cfg.faults = plan(s);
+    cfg.faults = faults;
     cfg.heartbeat_period = Some(SimDuration::millis(1));
     cfg.heartbeat_grace = SimDuration::millis(5);
     cfg.retry = Some(RetryPolicy {
@@ -163,6 +174,10 @@ fn config(s: &Scenario) -> ClusterSimConfig {
     });
     cfg.check_history = true;
     cfg
+}
+
+fn config(s: &Scenario) -> ClusterSimConfig {
+    base_config(s.seed, plan(s))
 }
 
 struct ChaosConn {
@@ -219,8 +234,168 @@ fn run(s: &Scenario) -> (u64, u64, u64, u64, u64, u64, u64) {
     )
 }
 
+/// Everything a convergence case is derived from. Unlike [`Scenario`],
+/// faults here all end by 60 ms so the long fault-free tail of the run must
+/// leave the cluster fully healed: every PG Active, replicas byte-identical.
+#[derive(Debug, Clone, Copy)]
+struct Convergence {
+    seed: u64,
+    drop_p: f64,
+    crash_at_ms: u64,
+    down_for_ms: u64,
+    torn_tail: bool,
+}
+
+fn convergence_scenarios() -> impl Strategy<Value = Convergence> {
+    (
+        any::<u64>(),
+        0.002f64..0.02,
+        1u64..6,
+        8u64..25,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, drop_p, crash_at_ms, down_for_ms, torn_tail)| Convergence {
+                seed,
+                drop_p,
+                crash_at_ms,
+                down_for_ms,
+                torn_tail,
+            },
+        )
+}
+
+/// Background message chaos confined to the first 60 ms of the run.
+fn converging_link_fault(drop_p: f64) -> LinkFault {
+    LinkFault {
+        link: None,
+        from: SimTime::ZERO,
+        until: ms(60),
+        drop_p,
+        dup_p: drop_p / 2.0,
+        reorder_p: 0.05,
+        reorder_max: SimDuration::nanos(200_000),
+        spike_p: 0.02,
+        spike: SimDuration::nanos(500_000),
+    }
+}
+
+/// Outcome of a convergence run: reproducible counters, any PGs still not
+/// Active after quiesce, and any replica content divergence.
+type ConvergenceOutcome = (
+    (u64, u64, u64, u64, u64, u64, u64),
+    Vec<String>,
+    Vec<String>,
+);
+
+/// One full run followed by post-quiesce health checks.
+fn run_to_convergence(cfg: ClusterSimConfig) -> ConvergenceOutcome {
+    let wl: Vec<Box<dyn ConnWorkload>> = (0..CONNS)
+        .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
+        .collect();
+    let mut sim = ClusterSim::new(cfg, wl);
+    let objects: Vec<(ObjectId, u64)> = (0..CONNS)
+        .flat_map(|c| (0..8).map(move |k| (oid(c, k), 1 << 20)))
+        .collect();
+    sim.prefill(&objects);
+    let report = sim.run(SimDuration::ZERO, SimDuration::secs(5));
+    let checker = sim.checker().expect("history checking enabled");
+    let counters = (
+        report.writes_done,
+        report.reads_done,
+        report.client_errors,
+        report.recovery_pushes,
+        report.backfill_bytes,
+        checker.writes_acked(),
+        checker.reads_checked(),
+    );
+    let stuck = sim.stuck_pgs();
+    let divergence = sim.replica_divergence();
+    (counters, stuck, divergence)
+}
+
+/// Shared assertions for a convergence outcome.
+fn assert_converged(outcome: &ConvergenceOutcome) -> Result<(), TestCaseError> {
+    let ((writes, reads, errors, pushes, _, acked, checked), stuck, divergence) = outcome;
+    let total_ops = CONNS * (WRITES_PER_CONN + READS_PER_CONN);
+    prop_assert!(
+        writes + reads + errors >= total_ops,
+        "all ops resolved: {writes}+{reads}+{errors} of {total_ops}"
+    );
+    prop_assert!(
+        *writes >= CONNS * WRITES_PER_CONN / 2,
+        "most writes completed: {writes}"
+    );
+    prop_assert!(acked >= writes, "every counted write was vetted");
+    prop_assert!(checked >= reads, "every read was vetted");
+    prop_assert!(*pushes >= 1, "recovery actually ran: {pushes} pushes");
+    prop_assert!(
+        stuck.is_empty(),
+        "every PG is Active after quiesce: {stuck:?}"
+    );
+    prop_assert!(
+        divergence.is_empty(),
+        "replicas byte-identical after recovery: {divergence:?}"
+    );
+    Ok(())
+}
+
+/// Crash-and-restart faults for the primary of group 0 (the kill-primary
+/// convergence scenario, shared with the pinned regressions below).
+fn primary_crash_faults(c: &Convergence) -> FaultPlan {
+    let primary = OsdMap::new(NODES as u32, 1, PGS, 2)
+        .try_primary(GroupId(0))
+        .expect("a full map always has a primary")
+        .0 as usize;
+    FaultPlan::none()
+        .with_link_fault(converging_link_fault(c.drop_p))
+        .with_crash(CrashSchedule {
+            process: primary,
+            at: ms(c.crash_at_ms),
+            restart_at: Some(ms(c.crash_at_ms + c.down_for_ms)),
+            torn_tail: c.torn_tail,
+        })
+}
+
+/// Historical chaos cases that exposed real healing bugs, pinned so they
+/// cannot regress silently:
+///
+/// * The first lost acked tail writes on surviving replicas: a map-change
+///   safety flush cleared the in-flight flush window's `flushing` flag, two
+///   windows overlapped, and the count-based completion drain discarded
+///   records it had never submitted (fixed by version-watermark drains). It
+///   also left per-block holes that the old per-object push guard then
+///   ack'd away instead of healing.
+/// * The second wedged a PG in `Recovering` forever: a primary that lost
+///   its log tail to a torn NVM write could never out-version the replica's
+///   newest entry, and the replica silently refused every (byte-identical)
+///   push.
+#[test]
+fn healed_cluster_regressions() {
+    let cases = [
+        Convergence {
+            seed: 1004802654027966023,
+            drop_p: 0.016139760121552025,
+            crash_at_ms: 5,
+            down_for_ms: 9,
+            torn_tail: false,
+        },
+        Convergence {
+            seed: 13176095356723387667,
+            drop_p: 0.009078494301908317,
+            crash_at_ms: 1,
+            down_for_ms: 18,
+            torn_tail: true,
+        },
+    ];
+    for c in cases {
+        let outcome = run_to_convergence(base_config(c.seed, primary_crash_faults(&c)));
+        assert_converged(&outcome).unwrap_or_else(|e| panic!("case {c:?}: {e}"));
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    #![proptest_config(ProptestConfig::with_cases(cases(6)))]
 
     /// Under a randomized mix of drops, duplicates, reordering, a partition,
     /// a gray device, and a crash/restart: no acked write is lost, every
@@ -243,5 +418,45 @@ proptest! {
         // Determinism: an identical configuration replays byte-identically.
         let second = run(&s);
         prop_assert_eq!(first, second, "same seed, same fault history, same outcome");
+    }
+
+    /// Crash the primary of group 0 while client writes are replicating
+    /// through it, restart it later, and require full healing: the surviving
+    /// peers re-peer and push what the new member lacks, the restarted node
+    /// pulls what it missed, and after quiesce every PG is Active with
+    /// byte-identical replicas. The whole history is seed-reproducible.
+    #[test]
+    fn kill_primary_mid_replication_converges(c in convergence_scenarios()) {
+        let first = run_to_convergence(base_config(c.seed, primary_crash_faults(&c)));
+        assert_converged(&first)?;
+        let second = run_to_convergence(base_config(c.seed, primary_crash_faults(&c)));
+        prop_assert_eq!(first, second, "same seed, same recovery history");
+    }
+
+    /// Restart every node in sequence (one down at a time) and require the
+    /// cluster to re-peer and heal after each membership change: after
+    /// quiesce every PG is Active, replicas are byte-identical, and no
+    /// acked write was lost across any of the three restarts.
+    #[test]
+    fn rolling_restart_converges(c in convergence_scenarios()) {
+        let faults = || {
+            let mut f = FaultPlan::none().with_link_fault(converging_link_fault(c.drop_p));
+            for n in 0..NODES {
+                // Staggered so each node is back (and re-peered) well before
+                // the next one goes down.
+                let at = 3 + n as u64 * 15;
+                f = f.with_crash(CrashSchedule {
+                    process: n,
+                    at: ms(at),
+                    restart_at: Some(ms(at + c.down_for_ms.min(10))),
+                    torn_tail: c.torn_tail,
+                });
+            }
+            f
+        };
+        let first = run_to_convergence(base_config(c.seed, faults()));
+        assert_converged(&first)?;
+        let second = run_to_convergence(base_config(c.seed, faults()));
+        prop_assert_eq!(first, second, "same seed, same recovery history");
     }
 }

@@ -111,6 +111,9 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.nvm_bytes,
         r.nvm_full_stalls,
         r.client_errors,
+        r.recovery_pushes,
+        r.backfill_bytes,
+        r.degraded_objects,
     ];
     v.extend(
         r.write_lat
