@@ -10,45 +10,10 @@
 //! * Proposed ≈ Original here: with large transfers, CPU is not the
 //!   bottleneck and the backends move the same bytes.
 
-use rablock::sim::{ConnWorkload, SimRng, WorkItem};
+use rablock::sim::ConnWorkload;
 use rablock::PipelineMode;
 use rablock_bench::*;
-use rablock_workload::{AccessPattern, FioJob, Table, WlKind, WlOp};
-
-/// For the read experiment: write the whole image once (so reads hit the
-/// device, not a sparse hole or a memtable), then read sequentially forever.
-struct WriteThenRead {
-    dataset: Dataset,
-    image: u64,
-    cursor: u64,
-    queue: Vec<WorkItem>,
-}
-
-impl ConnWorkload for WriteThenRead {
-    fn next(&mut self, _rng: &mut SimRng) -> Option<WorkItem> {
-        if let Some(item) = self.queue.pop() {
-            return Some(item);
-        }
-        let blocks = self.dataset.image_bytes / (128 << 10);
-        let phase_writes = blocks; // one full pass of writes first
-        let (kind, block) = if self.cursor < phase_writes {
-            (WlKind::Write, self.cursor)
-        } else {
-            (WlKind::Read, (self.cursor - phase_writes) % blocks)
-        };
-        self.cursor += 1;
-        let op = WlOp {
-            kind,
-            offset: block * (128 << 10),
-            len: 128 << 10,
-        };
-        let mut items = self.dataset.work_items(self.image, op);
-        items.reverse();
-        let first = items.pop()?;
-        self.queue = items;
-        Some(first)
-    }
-}
+use rablock_workload::{AccessPattern, FioJob, Table};
 
 fn main() {
     banner(
@@ -88,12 +53,8 @@ fn main() {
                 let workloads: Vec<Box<dyn ConnWorkload>> = (0..threads)
                     .map(|c| {
                         if matches!(pattern, AccessPattern::SeqRead) {
-                            Box::new(WriteThenRead {
-                                dataset,
-                                image: c as u64,
-                                cursor: 0,
-                                queue: Vec::new(),
-                            }) as Box<dyn ConnWorkload>
+                            Box::new(SeqWriteThenRead::new(dataset, c as u64))
+                                as Box<dyn ConnWorkload>
                         } else {
                             let job = FioJob::new(pattern, 128 << 10, dataset.image_bytes);
                             Box::new(FioConn::new(dataset, c as u64, job)) as Box<dyn ConnWorkload>

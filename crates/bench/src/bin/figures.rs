@@ -1,0 +1,109 @@
+//! Reproduce every figure of the paper in one parallel sweep.
+//!
+//! The standalone `benches/*.rs` harnesses regenerate one figure each,
+//! sequentially. This binary enumerates the same (figure, configuration)
+//! grid as independent cells and fans them across worker threads; results
+//! merge in key order, so the data output is byte-identical for any
+//! `--jobs` value (each cell is a seeded, single-threaded simulation —
+//! see DESIGN.md §11).
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--jobs N] [--smoke] [--only PREFIX] [--out PATH]
+//! ```
+//!
+//! `--jobs` defaults to all cores. `--smoke` shrinks measurement windows
+//! ~8× for CI. `--only fig09/` runs one figure's cells. The merged data
+//! lines (timing-free, deterministic) go to `--out` (default
+//! `results/figures_sweep.txt` at the workspace root) and to stdout.
+
+use std::path::PathBuf;
+
+use rablock_bench::banner;
+use rablock_bench::sweep::{figure_cells, run_sweep};
+
+fn workspace_root() -> PathBuf {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut smoke = false;
+    let mut only: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                jobs = args
+                    .get(i + 1)
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("--jobs takes a number");
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--only" => {
+                only = Some(args.get(i + 1).expect("--only needs a value").clone());
+                i += 2;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.get(i + 1).expect("--out needs a value")));
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?} (expected --jobs/--smoke/--only/--out)"),
+        }
+    }
+
+    banner(
+        "figures",
+        "all paper figures + ablation grids as one parallel sweep",
+    );
+    let cells = figure_cells(smoke, only.as_deref());
+    let n = cells.len();
+    println!(
+        "{n} cells, {jobs} jobs{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let outcome = run_sweep(cells, jobs);
+
+    let merged = outcome.merged_lines();
+    print!("{merged}");
+    println!(
+        "sweep: {} cells in {:.2}s wall ({} events, {:.0} events/sec aggregate)",
+        outcome.results.len(),
+        outcome.wall_secs,
+        outcome.events,
+        outcome.events as f64 / outcome.wall_secs,
+    );
+    let slowest = outcome
+        .results
+        .iter()
+        .max_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
+    if let Some(s) = slowest {
+        println!("slowest cell: {} ({:.2}s)", s.key, s.wall_secs);
+    }
+
+    let path = out.unwrap_or_else(|| {
+        let mut p = workspace_root();
+        p.push("results");
+        let _ = std::fs::create_dir_all(&p);
+        p.push("figures_sweep.txt");
+        p
+    });
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &merged).expect("write merged sweep output");
+    println!("[out] {}", path.display());
+}

@@ -19,22 +19,29 @@
 //! Usage:
 //!
 //! ```text
-//! wallclock [--label before|after] [--iters N] [--smoke]
+//! wallclock [--label before|after] [--iters N] [--smoke] [--only NAME]
+//!           [--sched wheel|heap] [--sweep] [--jobs N]
 //! ```
 //!
-//! With `--label`, results are merged into `BENCH_pr2.json` at the
+//! With `--label`, results are merged into `BENCH_pr5.json` at the
 //! workspace root (runs with the same label are replaced, other labels are
 //! kept, so "before" and "after" from the same machine live side by side).
-//! `--smoke` runs a seconds-scale sweep and writes nothing.
+//! `--smoke` runs a seconds-scale sweep and writes nothing. `--sched`
+//! overrides the event-queue implementation at runtime (the compile-time
+//! `heap-sched` feature only flips the default); each scenario prints its
+//! scheduler and a fingerprint hash so CI can diff the two. `--sweep`
+//! replaces the fig7/chaos pair with the full figure grid run on `--jobs`
+//! worker threads (see the `figures` binary for the figure-facing variant).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use rablock::sim::{
     ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow, LinkFault,
-    Partition, RetryPolicy, SimDuration, SimReport, SimRng, SimTime, WorkItem,
+    Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime, WorkItem,
 };
 use rablock::{GroupId, ObjectId, PipelineMode};
+use rablock_bench::sweep::{figure_cells, run_sweep};
 use rablock_bench::{banner, paper_cluster, randwrite_conns, Dataset};
 use rablock_cluster::osd::OsdConfig;
 use rablock_cos::CosOptions;
@@ -72,6 +79,7 @@ fn fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.nvm_bytes,
         r.nvm_full_stalls,
         r.client_errors,
+        r.queue_high_water,
     ];
     v.extend(
         r.write_lat
@@ -107,14 +115,26 @@ fn fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
     v
 }
 
+/// FNV-1a over the fingerprint words: a single hash line CI can diff
+/// between scheduler implementations and feature builds.
+fn fp_hash(fp: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in fp {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    h
+}
+
 /// The fig7 4 KiB random-write scenario at the paper-cluster scale.
-fn run_fig7(measure: SimDuration) -> (Sample, Vec<u64>) {
+fn run_fig7(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
     const CONNS: usize = 16;
     let dataset = Dataset::default_for(CONNS);
-    let mut sim = ClusterSim::new(
-        paper_cluster(PipelineMode::Dop),
-        randwrite_conns(dataset, CONNS),
-    );
+    let mut cfg = paper_cluster(PipelineMode::Dop);
+    cfg.scheduler = sched;
+    let mut sim = ClusterSim::new(cfg, randwrite_conns(dataset, CONNS));
     sim.prefill(&dataset.all_objects());
     let t = Instant::now();
     let report = sim.run(SimDuration::ZERO, measure);
@@ -242,11 +262,13 @@ fn chaos_config() -> ClusterSimConfig {
     cfg
 }
 
-fn run_chaos(measure: SimDuration) -> (Sample, Vec<u64>) {
+fn run_chaos(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
         .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
-    let mut sim = ClusterSim::new(chaos_config(), wl);
+    let mut cfg = chaos_config();
+    cfg.scheduler = sched;
+    let mut sim = ClusterSim::new(cfg, wl);
     let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
         .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
         .collect();
@@ -283,6 +305,7 @@ fn measure_scenario(name: &str, iters: usize, run: impl Fn() -> (Sample, Vec<u64
         "  [{name}] determinism guard: OK ({} counters identical)",
         fp_a.len()
     );
+    println!("  [{name}] fingerprint {:#018x}", fp_hash(&fp_a));
     let mut best = first;
     for _ in 1..iters.max(1) {
         let (s, _) = run();
@@ -321,11 +344,11 @@ fn run_json(label: &str, scenario: &str, s: &Sample) -> String {
     )
 }
 
-/// Merges this invocation's runs into `BENCH_pr2.json`: existing runs with
+/// Merges this invocation's runs into `BENCH_pr5.json`: existing runs with
 /// a different label are kept (one run object per line), runs with the same
 /// label are replaced.
 fn write_bench_json(label: &str, runs: &[String]) {
-    let path = workspace_root().join("BENCH_pr2.json");
+    let path = workspace_root().join("BENCH_pr5.json");
     let mut kept: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
         for line in existing.lines() {
@@ -339,7 +362,7 @@ fn write_bench_json(label: &str, runs: &[String]) {
     kept.extend(runs.iter().cloned());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"pr2-wallclock\",\n");
+    out.push_str("  \"bench\": \"pr5-wallclock\",\n");
     out.push_str(
         "  \"metric\": \"DES events/sec and simulated client ops/sec per wall-clock second\",\n",
     );
@@ -350,11 +373,49 @@ fn write_bench_json(label: &str, runs: &[String]) {
     println!("[json] {}", path.display());
 }
 
+/// Runs the full figure grid (`--sweep`) and returns it as one Sample.
+fn run_figure_sweep(smoke: bool, jobs: usize) -> Sample {
+    let cells = figure_cells(smoke, None);
+    println!(
+        "figure sweep: {} cells on {jobs} jobs{}",
+        cells.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+    let outcome = run_sweep(cells, jobs);
+    let merged = outcome.merged_lines();
+    let merged_hash = fp_hash(&merged.bytes().map(u64::from).collect::<Vec<u64>>());
+    let mut writes = 0;
+    let mut reads = 0;
+    for r in &outcome.results {
+        writes += r.out.writes;
+        reads += r.out.reads;
+    }
+    println!("  [sweep] merged output hash {merged_hash:#018x}");
+    println!(
+        "  [sweep] wall {:.3}s  events {}  events/sec {:.0}",
+        outcome.wall_secs,
+        outcome.events,
+        outcome.events as f64 / outcome.wall_secs,
+    );
+    Sample {
+        wall_secs: outcome.wall_secs,
+        events: outcome.events,
+        sim_writes: writes,
+        sim_reads: reads,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut label: Option<String> = None;
     let mut smoke = false;
+    let mut sweep = false;
     let mut iters = 3usize;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut only: Option<String> = None;
+    let mut sched = SchedulerKind::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -370,11 +431,38 @@ fn main() {
                     .expect("--iters takes a number");
                 i += 2;
             }
+            "--jobs" => {
+                jobs = args
+                    .get(i + 1)
+                    .expect("--jobs needs a value")
+                    .parse()
+                    .expect("--jobs takes a number");
+                i += 2;
+            }
             "--smoke" => {
                 smoke = true;
                 i += 1;
             }
-            other => panic!("unknown argument {other:?} (expected --label/--iters/--smoke)"),
+            "--sweep" => {
+                sweep = true;
+                i += 1;
+            }
+            "--only" => {
+                only = Some(args.get(i + 1).expect("--only needs a value").clone());
+                i += 2;
+            }
+            "--sched" => {
+                sched = match args.get(i + 1).expect("--sched needs a value").as_str() {
+                    "wheel" => SchedulerKind::Wheel,
+                    "heap" => SchedulerKind::Heap,
+                    other => panic!("--sched takes wheel|heap, got {other:?}"),
+                };
+                i += 2;
+            }
+            other => panic!(
+                "unknown argument {other:?} \
+                 (expected --label/--iters/--jobs/--smoke/--sweep/--only/--sched)"
+            ),
         }
     }
 
@@ -382,6 +470,19 @@ fn main() {
         "wallclock",
         "wall-clock throughput of the simulator (events/sec, sim-ops/sec)",
     );
+
+    if sweep {
+        let sample = run_figure_sweep(smoke, jobs);
+        if smoke {
+            println!("smoke sweep complete (nothing written)");
+        } else if let Some(label) = label {
+            let runs = vec![run_json(&label, "figure-sweep", &sample)];
+            write_bench_json(&label, &runs);
+        }
+        return;
+    }
+
+    println!("scheduler: {sched:?}");
     let (fig7_measure, chaos_measure) = if smoke {
         (SimDuration::millis(20), SimDuration::millis(100))
     } else {
@@ -391,20 +492,28 @@ fn main() {
         iters = 1;
     }
 
-    println!("fig7 4 KiB randwrite (DOP, 4 nodes x 2 OSDs, 16 conns):");
-    let fig7 = measure_scenario("fig7", iters, || run_fig7(fig7_measure));
-    println!("chaos (3 nodes, faults + retries + history checker):");
-    let chaos = measure_scenario("chaos", iters, || run_chaos(chaos_measure));
+    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    let mut runs = Vec::new();
+    if want("fig7") {
+        println!("fig7 4 KiB randwrite (DOP, 4 nodes x 2 OSDs, 16 conns):");
+        let fig7 = measure_scenario("fig7", iters, || run_fig7(fig7_measure, sched));
+        runs.push(("fig7", fig7));
+    }
+    if want("chaos") {
+        println!("chaos (3 nodes, faults + retries + history checker):");
+        let chaos = measure_scenario("chaos", iters, || run_chaos(chaos_measure, sched));
+        runs.push(("chaos", chaos));
+    }
 
     if smoke {
         println!("smoke sweep complete (nothing written)");
         return;
     }
     if let Some(label) = label {
-        let runs = vec![
-            run_json(&label, "fig7", &fig7),
-            run_json(&label, "chaos", &chaos),
-        ];
+        let runs: Vec<String> = runs
+            .iter()
+            .map(|(name, s)| run_json(&label, name, s))
+            .collect();
         write_bench_json(&label, &runs);
     }
 }

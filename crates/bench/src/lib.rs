@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -226,6 +228,54 @@ impl ConnWorkload for YcsbConn {
             .iter()
             .flat_map(|op| self.dataset.work_items(self.image, *op))
             .collect();
+        items.reverse();
+        let first = items.pop()?;
+        self.queue = items;
+        Some(first)
+    }
+}
+
+/// For sequential-read experiments (Fig. 9): write the whole image once
+/// (so reads hit the device, not a sparse hole or a memtable), then read
+/// 128 KiB blocks sequentially forever.
+pub struct SeqWriteThenRead {
+    dataset: Dataset,
+    image: u64,
+    cursor: u64,
+    queue: Vec<WorkItem>,
+}
+
+impl SeqWriteThenRead {
+    /// A connection priming `image` of `dataset` then reading it in a loop.
+    pub fn new(dataset: Dataset, image: u64) -> Self {
+        SeqWriteThenRead {
+            dataset,
+            image,
+            cursor: 0,
+            queue: Vec::new(),
+        }
+    }
+}
+
+impl ConnWorkload for SeqWriteThenRead {
+    fn next(&mut self, _rng: &mut SimRng) -> Option<WorkItem> {
+        if let Some(item) = self.queue.pop() {
+            return Some(item);
+        }
+        let blocks = self.dataset.image_bytes / (128 << 10);
+        let phase_writes = blocks; // one full pass of writes first
+        let (kind, block) = if self.cursor < phase_writes {
+            (WlKind::Write, self.cursor)
+        } else {
+            (WlKind::Read, (self.cursor - phase_writes) % blocks)
+        };
+        self.cursor += 1;
+        let op = WlOp {
+            kind,
+            offset: block * (128 << 10),
+            len: 128 << 10,
+        };
+        let mut items = self.dataset.work_items(self.image, op);
         items.reverse();
         let first = items.pop()?;
         self.queue = items;

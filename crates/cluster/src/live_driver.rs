@@ -154,8 +154,11 @@ fn osd_event_loop(
         // backends are durable on return, so StoreIo effects complete
         // immediately.
         let mut work = vec![input];
+        let mut fx = Vec::new();
         while let Some(input) = work.pop() {
-            for effect in osd.handle(input) {
+            fx.clear();
+            osd.handle_into(input, &mut fx);
+            for effect in fx.drain(..) {
                 match effect {
                     OsdEffect::SendPeer { to, msg } => {
                         let from = osd.id;

@@ -6,8 +6,9 @@
 //! weight) hashing. When an OSD goes down only the groups it served move —
 //! the property CRUSH provides that simple modulo hashing does not.
 
-use std::collections::HashMap;
 use std::sync::Mutex;
+
+use rablock_storage::{FxHashMap, SmallVec};
 
 use crate::msg::MonMsg;
 
@@ -40,7 +41,10 @@ pub struct OsdInfo {
 /// to keep live-driver threads resolving different groups off one lock.
 const CACHE_SHARDS: usize = 8;
 
-type ActingSetCache = [Mutex<HashMap<u32, (u64, Vec<OsdId>)>>; CACHE_SHARDS];
+/// An acting set: at most the replication factor of OSDs (inline up to 4).
+pub type ActingSet = SmallVec<OsdId, 4>;
+
+type ActingSetCache = [Mutex<FxHashMap<u32, (u64, ActingSet)>>; CACHE_SHARDS];
 
 /// The versioned cluster map.
 pub struct OsdMap {
@@ -69,7 +73,7 @@ pub struct OsdMap {
 }
 
 fn empty_cache() -> Box<ActingSetCache> {
-    Box::new(std::array::from_fn(|_| Mutex::new(HashMap::new())))
+    Box::new(std::array::from_fn(|_| Mutex::new(FxHashMap::default())))
 }
 
 impl Clone for OsdMap {
@@ -157,7 +161,7 @@ impl OsdMap {
     /// every OSD is down) and it is the caller's job to gate writes on
     /// [`OsdMap::min_size`]. Placement itself never panics — losing nodes
     /// must degrade service, not crash it.
-    pub fn acting_set(&self, group: rablock_storage::GroupId) -> Vec<OsdId> {
+    pub fn acting_set(&self, group: rablock_storage::GroupId) -> ActingSet {
         let shard = &self.cache[group.0 as usize % CACHE_SHARDS];
         {
             let guard = shard.lock().expect("acting-set cache poisoned");
@@ -176,14 +180,14 @@ impl OsdMap {
     }
 
     /// Rendezvous-hash ranking behind [`OsdMap::acting_set`]'s cache.
-    fn compute_acting_set(&self, group: rablock_storage::GroupId) -> Vec<OsdId> {
+    fn compute_acting_set(&self, group: rablock_storage::GroupId) -> ActingSet {
         let mut ranked: Vec<(u64, OsdId, NodeId)> = self
             .up_osds()
             .map(|o| (mix((group.0 as u64) << 32 | o.id.0 as u64), o.id, o.node))
             .collect();
         ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
-        let mut set = Vec::with_capacity(self.replication);
-        let mut used_nodes = Vec::new();
+        let mut set = ActingSet::new();
+        let mut used_nodes: SmallVec<NodeId, 4> = SmallVec::new();
         for (_, id, node) in ranked {
             if used_nodes.contains(&node) {
                 continue;
@@ -454,7 +458,11 @@ mod tests {
         m.mark_down(OsdId(0));
         for pg in 0..8 {
             let set = m.acting_set(GroupId(pg));
-            assert_eq!(set, vec![OsdId(1)], "pg{pg} degrades to the survivor");
+            assert_eq!(
+                set.as_slice(),
+                &[OsdId(1)],
+                "pg{pg} degrades to the survivor"
+            );
             assert!(m.is_degraded(GroupId(pg)));
             assert_eq!(m.try_primary(GroupId(pg)), Some(OsdId(1)));
         }

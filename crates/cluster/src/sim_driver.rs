@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use rablock_sim::{
     Ctx, Device, DeviceProfile, DeviceStats, FaultEvent, FaultPlan, IoRequest, Link, Priority,
-    SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
+    SchedulerKind, SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
 };
 use rablock_storage::{GroupId, ObjectId, StoreError, StoreStats, TraceKind};
 
@@ -129,6 +129,9 @@ pub struct ClusterSimConfig {
     /// Check the no-lost-acked-write / read-your-writes invariants on every
     /// completed operation (fault-injection runs).
     pub check_history: bool,
+    /// Event-queue implementation for the DES engine. Results are
+    /// bit-identical across kinds; only wall-clock speed differs.
+    pub scheduler: SchedulerKind,
 }
 
 impl ClusterSimConfig {
@@ -164,6 +167,7 @@ impl ClusterSimConfig {
             heartbeat_period: None,
             heartbeat_grace: SimDuration::millis(30),
             check_history: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -348,6 +352,9 @@ pub struct SimReport {
     /// Objects still known missing on some peer at the end of the window
     /// (outstanding recovery work; zero once the cluster healed).
     pub degraded_objects: u64,
+    /// Largest pending-event population the scheduler's queue reached over
+    /// the whole run (cold-start sizing signal for the timing wheel).
+    pub queue_high_water: u64,
 }
 
 impl SimReport {
@@ -405,9 +412,42 @@ struct World {
     /// Safety-invariant checker, when armed.
     checker: Option<HistoryChecker>,
     client_errors: u64,
+    /// Reusable effect buffer: `Osd::handle_into` appends here and
+    /// `apply_effects` drains it, so the per-event `Vec` allocation the
+    /// old `handle()` return paid is gone from the hot loop.
+    fx_scratch: Vec<OsdEffect>,
+    /// Interned write payloads keyed by `(fill, len)`. Workload generators
+    /// produce constant-fill buffers, so identical ops can share one
+    /// allocation (a `Payload` clone is a refcount bump) instead of paying
+    /// a fresh memset + copy per issued write.
+    payload_cache: HashMap<(u8, u64), rablock_storage::Payload>,
 }
 
 impl World {
+    /// Runs one OSD input through the reusable effect scratch buffer.
+    fn handle_with_scratch(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        thread: ThreadId,
+        osd: usize,
+        input: OsdInput,
+        flush_batch: bool,
+    ) {
+        let mut fx = std::mem::take(&mut self.fx_scratch);
+        fx.clear();
+        self.osds[osd].handle_into(input, &mut fx);
+        self.apply_effects(ctx, thread, osd, &mut fx, flush_batch);
+        self.fx_scratch = fx;
+    }
+
+    /// One shared allocation per distinct `(fill, len)` payload pattern.
+    fn intern_payload(&mut self, fill: u8, len: u64) -> rablock_storage::Payload {
+        self.payload_cache
+            .entry((fill, len))
+            .or_insert_with(|| vec![fill; len as usize].into())
+            .clone()
+    }
+
     fn frontend_thread(&self, osd: usize, conn_hint: u64) -> ThreadId {
         let t = &self.threads[osd].msgr;
         t[(conn_hint as usize) % t.len()]
@@ -646,11 +686,11 @@ impl World {
         ctx: &mut Ctx<'_, Ev>,
         thread: ThreadId,
         osd: usize,
-        effects: Vec<OsdEffect>,
+        effects: &mut Vec<OsdEffect>,
         flush_batch: bool,
     ) {
         let node = self.threads[osd].node;
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 OsdEffect::SendPeer { to, msg } => {
                     let off_priority =
@@ -849,35 +889,36 @@ impl World {
                 self.conns[conn].exhausted = true;
                 return;
             };
-            let (req, is_write) = {
+            let op = {
                 let c = &mut self.conns[conn];
                 let op = OpId(c.next_op);
                 c.next_op += 1;
-                match item {
-                    WorkItem::Write {
+                op
+            };
+            let (req, is_write) = match item {
+                WorkItem::Write {
+                    oid,
+                    offset,
+                    len,
+                    fill,
+                } => (
+                    ClientReq::Write {
+                        op,
+                        oid,
+                        offset,
+                        data: self.intern_payload(fill, len),
+                    },
+                    true,
+                ),
+                WorkItem::Read { oid, offset, len } => (
+                    ClientReq::Read {
+                        op,
                         oid,
                         offset,
                         len,
-                        fill,
-                    } => (
-                        ClientReq::Write {
-                            op,
-                            oid,
-                            offset,
-                            data: vec![fill; len as usize].into(),
-                        },
-                        true,
-                    ),
-                    WorkItem::Read { oid, offset, len } => (
-                        ClientReq::Read {
-                            op,
-                            oid,
-                            offset,
-                            len,
-                        },
-                        false,
-                    ),
-                }
+                    },
+                    false,
+                ),
             };
             let op_raw = req.op().0;
             if let Some(checker) = self.checker.as_mut() {
@@ -1136,8 +1177,7 @@ impl rablock_sim::Handler<Ev> for World {
                 }
                 self.charge_input(ctx, &input, charge_mp);
                 let flush_batch = matches!(input, OsdInput::FlushGroup { .. });
-                let effects = self.osds[osd].handle(input);
-                self.apply_effects(ctx, thread, osd, effects, flush_batch);
+                self.handle_with_scratch(ctx, thread, osd, input, flush_batch);
             }
             Ev::CrashOsd { osd, torn_tail } => {
                 // Process kill only: no oracle tells the monitor. Survivors
@@ -1183,8 +1223,7 @@ impl rablock_sim::Handler<Ev> for World {
                     return;
                 }
                 self.charge_input(ctx, &OsdInput::HeartbeatTick, None);
-                let effects = self.osds[osd].handle(OsdInput::HeartbeatTick);
-                self.apply_effects(ctx, thread, osd, effects, false);
+                self.handle_with_scratch(ctx, thread, osd, OsdInput::HeartbeatTick, false);
             }
             Ev::MonHeartbeat { osd } => {
                 let now = ctx.now().duration_since(SimTime::ZERO).as_nanos();
@@ -1256,8 +1295,13 @@ impl rablock_sim::Handler<Ev> for World {
                 if *remaining == 0 {
                     self.io_wait.remove(&(osd, token));
                     self.charge_input(ctx, &OsdInput::StoreDurable { token }, None);
-                    let effects = self.osds[osd].handle(OsdInput::StoreDurable { token });
-                    self.apply_effects(ctx, thread, osd, effects, false);
+                    self.handle_with_scratch(
+                        ctx,
+                        thread,
+                        osd,
+                        OsdInput::StoreDurable { token },
+                        false,
+                    );
                 }
             }
             Ev::BgIo { osd, ios, pos } => {
@@ -1296,8 +1340,13 @@ impl rablock_sim::Handler<Ev> for World {
                 }
                 let pending = self.osds[osd].pending_groups();
                 for group in pending {
-                    let effects = self.osds[osd].handle(OsdInput::FlushGroup { group });
-                    self.apply_effects(ctx, thread, osd, effects, true);
+                    self.handle_with_scratch(
+                        ctx,
+                        thread,
+                        osd,
+                        OsdInput::FlushGroup { group },
+                        true,
+                    );
                 }
             }
         }
@@ -1323,7 +1372,14 @@ impl ClusterSim {
     /// than cores, zero threads, …).
     pub fn new(cfg: ClusterSimConfig, workloads: Vec<Box<dyn ConnWorkload>>) -> Self {
         assert!(!workloads.is_empty(), "at least one connection required");
-        let mut sim: Simulation<Ev> = Simulation::new(cfg.seed);
+        // Steady-state event population: every in-flight client op keeps a
+        // handful of events live across its replica fan-out, plus one
+        // CoreFree per busy core. Sizing the wheel/heap up front avoids
+        // mid-run regrowth on paper-scale scenarios.
+        let queue_hint = workloads.len() * cfg.queue_depth * cfg.replication
+            + cfg.nodes as usize * cfg.cores_per_node;
+        let mut sim: Simulation<Ev> =
+            Simulation::with_scheduler(cfg.seed, cfg.scheduler, queue_hint);
         sim.set_context_switch_cost(cfg.ctx_switch);
         let map = OsdMap::new(cfg.nodes, cfg.osds_per_node, cfg.pg_count, cfg.replication);
 
@@ -1522,6 +1578,8 @@ impl ClusterSim {
             crash_torn: vec![false; (cfg.nodes * cfg.osds_per_node) as usize],
             checker: cfg.check_history.then(HistoryChecker::new),
             client_errors: 0,
+            fx_scratch: Vec::new(),
+            payload_cache: HashMap::new(),
         };
 
         let mut this = ClusterSim {
@@ -1835,6 +1893,7 @@ impl ClusterSim {
             recovery_pushes: w.osds.iter().map(|o| o.recovery_pushes).sum(),
             backfill_bytes: w.osds.iter().map(|o| o.backfill_bytes).sum(),
             degraded_objects: w.osds.iter().map(Osd::degraded_objects).sum(),
+            queue_high_water: self.sim.queue_high_water(),
         }
     }
 }

@@ -72,7 +72,7 @@ pub mod sim {
         ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem, MON_NODE,
     };
     pub use rablock_sim::{
-        CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, Partition, SimDuration,
-        SimRng, SimTime, SsdState,
+        CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, Partition, SchedulerKind,
+        SimDuration, SimRng, SimTime, SsdState,
     };
 }

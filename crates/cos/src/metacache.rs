@@ -6,8 +6,17 @@
 //! metadata area only under space pressure — pushing host-side write
 //! amplification to ~1.0 (Fig. 8-b). This cache tracks which onodes are
 //! dirty-in-NVM and decides when write-back is due, in LRU order.
+//!
+//! The LRU uses stamp-based lazy deletion: every `touch` appends a
+//! `(stamp, slot)` pair to the queue and records the slot's newest stamp in
+//! a map, so refreshing a hot slot is O(1) instead of an O(n) scan.
+//! Entries whose stamp no longer matches the map are stale and skipped
+//! when they surface at the front. Eviction order is identical to the
+//! scan-and-remove formulation: only the newest entry per slot counts.
 
 use std::collections::VecDeque;
+
+use rablock_storage::FxHashMap;
 
 use crate::onode::ONODE_BYTES;
 
@@ -15,8 +24,14 @@ use crate::onode::ONODE_BYTES;
 #[derive(Debug, Clone)]
 pub struct MetaCache {
     capacity: usize,
-    /// Dirty slots, least-recently-updated first.
-    lru: VecDeque<u32>,
+    /// Dirty slots, least-recently-updated first. Holds one live entry per
+    /// dirty slot plus stale entries from refreshes, pruned lazily.
+    lru: VecDeque<(u64, u32)>,
+    /// Current stamp per dirty slot; an `lru` entry is live iff its stamp
+    /// matches. Deterministic hashing, and never iterated.
+    stamps: FxHashMap<u32, u64>,
+    /// Monotonic touch counter (stamp source).
+    clock: u64,
     nvm_bytes_written: u64,
     writebacks: u64,
 }
@@ -27,6 +42,8 @@ impl MetaCache {
         MetaCache {
             capacity,
             lru: VecDeque::new(),
+            stamps: FxHashMap::default(),
+            clock: 0,
             nvm_bytes_written: 0,
             writebacks: 0,
         }
@@ -35,30 +52,30 @@ impl MetaCache {
     /// Records an onode update landing in NVM. Returns slots that must be
     /// written back to the device *now* to stay within capacity.
     pub fn touch(&mut self, slot: u32) -> Vec<u32> {
-        if let Some(pos) = self.lru.iter().position(|&s| s == slot) {
-            self.lru.remove(pos);
-        }
-        self.lru.push_back(slot);
+        self.clock += 1;
+        self.stamps.insert(slot, self.clock);
+        self.lru.push_back((self.clock, slot));
         self.nvm_bytes_written += ONODE_BYTES as u64;
         let mut evicted = Vec::new();
-        while self.lru.len() > self.capacity {
-            let victim = self.lru.pop_front().expect("len > capacity > 0");
+        while self.stamps.len() > self.capacity {
+            let victim = self.pop_oldest().expect("dirty count > capacity > 0");
             self.writebacks += 1;
             evicted.push(victim);
         }
+        self.prune_front();
         evicted
     }
 
-    /// Removes a slot without write-back (object deleted).
+    /// Removes a slot without write-back (object deleted). Its queue entry
+    /// goes stale and is skipped when it reaches the front.
     pub fn forget(&mut self, slot: u32) {
-        if let Some(pos) = self.lru.iter().position(|&s| s == slot) {
-            self.lru.remove(pos);
-        }
+        self.stamps.remove(&slot);
+        self.prune_front();
     }
 
     /// Dirty onodes currently parked in NVM.
     pub fn dirty_count(&self) -> usize {
-        self.lru.len()
+        self.stamps.len()
     }
 
     /// Configured capacity (max dirty onodes before forced write-back).
@@ -68,9 +85,13 @@ impl MetaCache {
 
     /// Drains up to `n` of the oldest dirty slots for background write-back.
     pub fn drain_oldest(&mut self, n: usize) -> Vec<u32> {
-        let n = n.min(self.lru.len());
+        let n = n.min(self.stamps.len());
         self.writebacks += n as u64;
-        self.lru.drain(..n).collect()
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            out.push(self.pop_oldest().expect("n bounded by dirty count"));
+        }
+        out
     }
 
     /// Total bytes of onode updates absorbed by NVM.
@@ -81,6 +102,29 @@ impl MetaCache {
     /// Total onode write-backs to the device this cache has demanded.
     pub fn writebacks(&self) -> u64 {
         self.writebacks
+    }
+
+    /// Pops the least-recently-touched live slot, discarding stale entries.
+    fn pop_oldest(&mut self) -> Option<u32> {
+        while let Some((stamp, slot)) = self.lru.pop_front() {
+            if self.stamps.get(&slot) == Some(&stamp) {
+                self.stamps.remove(&slot);
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Drops stale entries sitting at the front so the queue's length stays
+    /// proportional to the live count even under pathological re-touch
+    /// patterns.
+    fn prune_front(&mut self) {
+        while let Some(&(stamp, slot)) = self.lru.front() {
+            if self.stamps.get(&slot) == Some(&stamp) {
+                break;
+            }
+            self.lru.pop_front();
+        }
     }
 }
 
@@ -132,5 +176,48 @@ mod tests {
         c.touch(0);
         c.touch(1);
         assert_eq!(c.nvm_bytes_written(), 2 * ONODE_BYTES as u64);
+    }
+
+    #[test]
+    fn forget_then_drain_skips_stale_entries() {
+        let mut c = MetaCache::new(8);
+        for s in 0..4 {
+            c.touch(s);
+        }
+        // Refresh 0 (stale entry at front) and forget 1.
+        c.touch(0);
+        c.forget(1);
+        assert_eq!(c.drain_oldest(3), vec![2, 3, 0]);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn heavy_retouch_matches_scan_reference() {
+        // Differential check against the O(n) scan formulation.
+        let mut fast = MetaCache::new(3);
+        let mut slow: VecDeque<u32> = VecDeque::new();
+        let mut x = 0x1234_5678u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let slot = ((x >> 33) % 8) as u32;
+            if (x >> 20).is_multiple_of(10) {
+                fast.forget(slot);
+                if let Some(pos) = slow.iter().position(|&s| s == slot) {
+                    slow.remove(pos);
+                }
+                continue;
+            }
+            let evicted = fast.touch(slot);
+            if let Some(pos) = slow.iter().position(|&s| s == slot) {
+                slow.remove(pos);
+            }
+            slow.push_back(slot);
+            let mut expect = Vec::new();
+            while slow.len() > 3 {
+                expect.push(slow.pop_front().unwrap());
+            }
+            assert_eq!(evicted, expect);
+            assert_eq!(fast.dirty_count(), slow.len());
+        }
     }
 }

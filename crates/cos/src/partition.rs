@@ -470,11 +470,26 @@ impl Partition {
             let run_start_byte = (block * BLOCK_BYTES).max(offset);
             let run_end_byte = ((block + run_len) * BLOCK_BYTES).min(end);
             let last_run_block = block + run_len - 1;
+            let head_partial = !run_start_byte.is_multiple_of(BLOCK_BYTES);
+            let tail_partial = !run_end_byte.is_multiple_of(BLOCK_BYTES);
+            let src_from = (run_start_byte - offset) as usize;
+            let src_to = (run_end_byte - offset) as usize;
+            if !head_partial && !tail_partial {
+                // Fully block-aligned run: the caller's bytes cover every
+                // touched block, so write them straight through instead of
+                // staging into a zeroed scratch buffer.
+                dev.write_at(self.geom.block_off(phys), &data[src_from..src_to])?;
+                trace.push(TraceIo {
+                    kind: TraceKind::Write,
+                    bytes: run_len * BLOCK_BYTES,
+                    category: IoCategory::Data,
+                });
+                block += run_len;
+                continue;
+            }
             let mut buf = vec![0u8; (run_len * BLOCK_BYTES) as usize];
             // RMW at partial edges of blocks that existed before this write
             // (fresh blocks read as zeroes by definition).
-            let head_partial = !run_start_byte.is_multiple_of(BLOCK_BYTES);
-            let tail_partial = !run_end_byte.is_multiple_of(BLOCK_BYTES);
             let read_block = |b: u64,
                               buf: &mut [u8],
                               dev: &mut D,
@@ -501,8 +516,6 @@ impl Partition {
             {
                 read_block(last_run_block, &mut buf, dev, trace)?;
             }
-            let src_from = (run_start_byte - offset) as usize;
-            let src_to = (run_end_byte - offset) as usize;
             let dst_from = (run_start_byte - block * BLOCK_BYTES) as usize;
             buf[dst_from..dst_from + (src_to - src_from)].copy_from_slice(&data[src_from..src_to]);
             // In-place overwrite of the whole touched block range.

@@ -17,8 +17,17 @@ pub struct LogRecord {
     pub txn: Transaction,
 }
 
+const POLY: u32 = 0xEDB8_8320;
+
 pub(crate) fn crc32(data: &[u8]) -> u32 {
-    const POLY: u32 = 0xEDB8_8320;
+    !crc32_update(!0, data)
+}
+
+/// Streaming form: feeds `data` into a raw (pre-inversion) CRC state, so a
+/// record's checksum can be computed piecewise as its body is built.
+/// `crc32(d) == !crc32_update(!0, d)`, and resuming with more bytes extends
+/// the checksummed stream.
+fn crc32_update(state: u32, data: &[u8]) -> u32 {
     // Slice-by-8: eight derived tables let the hot loop fold 8 input bytes
     // per iteration instead of one. Identical output to the classic
     // byte-at-a-time form (same polynomial, same reflection).
@@ -41,7 +50,7 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
         }
         t
     });
-    let mut crc = 0xFFFF_FFFFu32;
+    let mut crc = state;
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
         let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
@@ -58,7 +67,112 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
     for &b in chunks.remainder() {
         crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
-    !crc
+    crc
+}
+
+/// `sum ^= mat * vec` over GF(2): `mat` is a 32×32 bit matrix stored as
+/// column vectors, `vec` a 32-bit vector.
+fn gf2_matrix_times(mat: &[u32; 32], mut vec: u32) -> u32 {
+    let mut sum = 0;
+    let mut i = 0;
+    while vec != 0 {
+        if vec & 1 != 0 {
+            sum ^= mat[i];
+        }
+        vec >>= 1;
+        i += 1;
+    }
+    sum
+}
+
+fn gf2_matrix_square(square: &mut [u32; 32], mat: &[u32; 32]) {
+    for n in 0..32 {
+        square[n] = gf2_matrix_times(mat, mat[n]);
+    }
+}
+
+/// The GF(2) operator that advances a finalized CRC-32 past `len` zero
+/// bytes — i.e. multiplication by `x^(8·len)` mod the CRC polynomial.
+/// Building it costs ~2·log₂(len) matrix squarings, so operators are
+/// memoized per distinct length (payload sizes cluster on a handful of
+/// values per workload).
+fn crc32_shift_op(len: u64) -> [u32; 32] {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static OPS: RefCell<HashMap<u64, [u32; 32]>> = RefCell::new(HashMap::new());
+    }
+    OPS.with(|ops| {
+        if let Some(op) = ops.borrow().get(&len) {
+            return *op;
+        }
+        // Operator for one zero byte (shift by 8 bits), as in zlib's
+        // crc32_combine: odd = poly operator, square twice per bit of len.
+        let mut odd = [0u32; 32];
+        odd[0] = POLY;
+        let mut row = 1u32;
+        for entry in odd.iter_mut().skip(1) {
+            *entry = row;
+            row <<= 1;
+        }
+        let mut even = [0u32; 32];
+        gf2_matrix_square(&mut even, &odd); // 2 bits
+        gf2_matrix_square(&mut odd, &even); // 4 bits
+
+        // Identity operator, then fold in a squaring per bit of `len`.
+        let mut acc = [0u32; 32];
+        for (n, entry) in acc.iter_mut().enumerate() {
+            *entry = 1 << n;
+        }
+        let mut remaining = len;
+        loop {
+            gf2_matrix_square(&mut even, &odd); // 8·2^k bits
+            if remaining & 1 != 0 {
+                acc = {
+                    let mut next = [0u32; 32];
+                    for (n, entry) in next.iter_mut().enumerate() {
+                        *entry = gf2_matrix_times(&even, acc[n]);
+                    }
+                    next
+                };
+            }
+            remaining >>= 1;
+            if remaining == 0 {
+                break;
+            }
+            gf2_matrix_square(&mut odd, &even);
+            if remaining & 1 != 0 {
+                acc = {
+                    let mut next = [0u32; 32];
+                    for (n, entry) in next.iter_mut().enumerate() {
+                        *entry = gf2_matrix_times(&odd, acc[n]);
+                    }
+                    next
+                };
+            }
+            remaining >>= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        ops.borrow_mut().insert(len, acc);
+        acc
+    })
+}
+
+/// Splices a precomputed block checksum into a streaming CRC: given the raw
+/// state after some prefix `A` and the finalized `crc32(B)`, returns the
+/// raw state after `A || B` without touching `B`'s bytes. Identical to
+/// feeding `B` through [`crc32_update`] (zlib's crc32_combine, restated on
+/// raw states).
+fn crc32_splice(state: u32, block_crc: u32, block_len: u64) -> u32 {
+    if block_len == 0 {
+        return state;
+    }
+    let op = crc32_shift_op(block_len);
+    // Finalized prefix CRC shifted past the block, xor the block's CRC,
+    // back to raw state.
+    !(gf2_matrix_times(&op, !state) ^ block_crc)
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -129,6 +243,15 @@ impl LogRecord {
         let cap = 8 + 32 + self.txn.user_bytes() as usize + self.txn.ops.len() * 64;
         let mut body = Vec::with_capacity(cap);
         body.extend_from_slice(&[0u8; 8]);
+        // The record CRC is computed streamingly as the body is built, so
+        // large write payloads can contribute a *memoized* block checksum
+        // (spliced in via the GF(2) shift operator) instead of being
+        // re-scanned for every replica's append of the same shared buffer.
+        // `crc_state` covers `body[8..crc_pos]`; the tail past `crc_pos` is
+        // folded in at the end.
+        const CRC_SPLICE_MIN: usize = 512;
+        let mut crc_state = !0u32;
+        let mut crc_pos = 8usize;
         put_u64(&mut body, self.version);
         put_u64(&mut body, self.seq);
         put_u32(&mut body, self.txn.group.0);
@@ -145,7 +268,16 @@ impl LogRecord {
                     body.push(1);
                     put_u64(&mut body, oid.raw());
                     put_u64(&mut body, *offset);
-                    put_bytes(&mut body, data);
+                    put_u32(&mut body, data.len() as u32);
+                    if data.len() >= CRC_SPLICE_MIN {
+                        crc_state = crc32_update(crc_state, &body[crc_pos..]);
+                        let block = data.cached_full_checksum(crc32);
+                        crc_state = crc32_splice(crc_state, block, data.len() as u64);
+                        body.extend_from_slice(data);
+                        crc_pos = body.len();
+                    } else {
+                        body.extend_from_slice(data);
+                    }
                 }
                 Op::SetXattr { oid, key, value } => {
                     body.push(2);
@@ -169,7 +301,7 @@ impl LogRecord {
             }
         }
         let body_len = (body.len() - 8) as u32;
-        let crc = crc32(&body[8..]);
+        let crc = !crc32_update(crc_state, &body[crc_pos..]);
         body[0..4].copy_from_slice(&body_len.to_le_bytes());
         body[4..8].copy_from_slice(&crc.to_le_bytes());
         body
@@ -281,6 +413,49 @@ mod tests {
                 ],
             ),
         }
+    }
+
+    #[test]
+    fn spliced_crc_matches_direct_scan() {
+        // The streaming + splice path must produce the exact CRC a flat
+        // scan of the body would, for any split of prefix/block/tail.
+        let a: Vec<u8> = (0u8..=255).cycle().take(733).collect();
+        let b: Vec<u8> = (0u8..=255).rev().cycle().take(4096).collect();
+        let c: Vec<u8> = vec![0xA5; 17];
+        let whole: Vec<u8> = [a.as_slice(), b.as_slice(), c.as_slice()].concat();
+        let mut state = crc32_update(!0, &a);
+        state = crc32_splice(state, crc32(&b), b.len() as u64);
+        state = crc32_update(state, &c);
+        assert_eq!(!state, crc32(&whole));
+        // Zero-length block is the identity.
+        assert_eq!(crc32_splice(state, crc32(&[]), 0), state);
+    }
+
+    #[test]
+    fn encode_crc_identical_with_and_without_splice() {
+        // A record whose payload crosses the splice threshold must encode
+        // byte-identically to the flat computation (decode re-checks the
+        // CRC over the raw bytes, so a mismatch would fail here).
+        let oid = ObjectId::new(GroupId(3), 9);
+        let rec = LogRecord {
+            version: 5,
+            seq: 11,
+            txn: Transaction::new(
+                GroupId(3),
+                11,
+                vec![Op::Write {
+                    oid,
+                    offset: 8192,
+                    data: vec![0x5A; 4096].into(),
+                }],
+            ),
+        };
+        let raw = rec.encode();
+        let stored = u32::from_le_bytes(raw[4..8].try_into().unwrap());
+        assert_eq!(stored, crc32(&raw[8..]));
+        let (back, used) = LogRecord::decode(&raw).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, raw.len());
     }
 
     #[test]

@@ -24,12 +24,12 @@
 //! *non-priority threads*; `Low` models background maintenance (compaction)
 //! threads that only soak up otherwise-idle cores.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::device::{Device, IoRequest};
 use crate::metrics::{Metrics, StageTag};
 use crate::rng::SimRng;
+use crate::sched::{EventQueue, SchedulerKind};
 use crate::time::{SimDuration, SimTime};
 
 /// Index of a simulated thread.
@@ -197,30 +197,6 @@ enum EventKind<M> {
     CoreFree { core: CoreId },
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// A deterministic discrete-event simulation of cores, threads and devices.
 ///
 /// ```
@@ -243,7 +219,7 @@ impl<M> Ord for Event<M> {
 pub struct Simulation<M> {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Event<M>>,
+    events: EventQueue<EventKind<M>>,
     threads: Vec<ThreadState<M>>,
     cores: Vec<CoreState>,
     devices: Vec<Device>,
@@ -264,10 +240,21 @@ impl<M> Simulation<M> {
     /// direct + indirect (cache pollution) cost on the paper's class of Xeon
     /// servers; override with [`Simulation::set_context_switch_cost`].
     pub fn new(seed: u64) -> Self {
+        Self::with_scheduler(seed, SchedulerKind::default(), 4096)
+    }
+
+    /// Creates an empty simulation with an explicit event-queue
+    /// implementation and sizing hint.
+    ///
+    /// `queue_hint` is the expected steady-state event population (e.g.
+    /// connections × replicas × pipeline depth); it sizes the timing wheel /
+    /// heap up front so paper-scale scenarios don't regrow the queue mid-run.
+    /// It affects performance only, never results.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind, queue_hint: usize) -> Self {
         Simulation {
             now: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::with_capacity(4096),
+            events: EventQueue::new(kind, queue_hint),
             threads: Vec::new(),
             cores: Vec::new(),
             devices: Vec::new(),
@@ -278,6 +265,17 @@ impl<M> Simulation<M> {
             scratch_charges: Vec::with_capacity(16),
             scratch_effects: Vec::with_capacity(16),
         }
+    }
+
+    /// Which event-queue implementation this simulation runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.events.kind()
+    }
+
+    /// Largest pending-event population reached so far (sizing signal for
+    /// [`Simulation::with_scheduler`]'s `queue_hint`).
+    pub fn queue_high_water(&self) -> u64 {
+        self.events.high_water() as u64
     }
 
     /// Overrides the cost charged when a core switches between threads.
@@ -399,7 +397,7 @@ impl<M> Simulation<M> {
     fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Event { time, seq, kind });
+        self.events.push(time, seq, kind);
     }
 
     /// Runs until `deadline` (inclusive) or until a handler calls
@@ -423,14 +421,14 @@ impl<M> Simulation<M> {
 
     fn run_events<H: Handler<M>>(&mut self, handler: &mut H, deadline: SimTime) {
         while !self.stopped {
-            match self.events.peek() {
-                Some(ev) if ev.time <= deadline => {}
+            match self.events.peek_time() {
+                Some(t) if t <= deadline => {}
                 _ => break,
             }
-            let ev = self.events.pop().expect("peeked event exists");
-            debug_assert!(ev.time >= self.now, "event time regressed");
-            self.now = ev.time;
-            match ev.kind {
+            let (time, _seq, kind) = self.events.pop().expect("peeked event exists");
+            debug_assert!(time >= self.now, "event time regressed");
+            self.now = time;
+            match kind {
                 EventKind::Deliver { thread, msg } => self.on_deliver(handler, thread, msg),
                 EventKind::CoreFree { core } => self.on_core_free(handler, core),
             }

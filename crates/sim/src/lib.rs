@@ -53,6 +53,7 @@ mod faults;
 mod link;
 mod metrics;
 mod rng;
+mod sched;
 mod time;
 
 pub use device::{Device, DeviceProfile, DeviceStats, IoKind, IoRequest, SsdState};
@@ -63,4 +64,5 @@ pub use faults::{
 pub use link::Link;
 pub use metrics::{Metrics, StageTag};
 pub use rng::SimRng;
+pub use sched::SchedulerKind;
 pub use time::{SimDuration, SimTime};

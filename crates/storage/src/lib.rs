@@ -27,16 +27,20 @@
 mod blockdev;
 mod crash;
 mod error;
+mod fxhash;
 mod nvm;
 mod objectstore;
 mod payload;
+mod smallvec;
 
 pub use blockdev::{BlockDevice, DevCounters, MemDisk};
 pub use crash::{CrashDisk, CrashPlan};
 pub use error::StoreError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use nvm::NvmRegion;
 pub use objectstore::{
     GroupId, IoCategory, MaintenanceReport, ObjectId, ObjectInfo, ObjectStore, Op, StoreStats,
     TraceIo, TraceKind, Transaction,
 };
 pub use payload::Payload;
+pub use smallvec::SmallVec;

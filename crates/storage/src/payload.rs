@@ -13,7 +13,7 @@
 
 use std::fmt;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable, cheaply-cloneable, slice-able byte buffer.
 ///
@@ -25,6 +25,11 @@ pub struct Payload {
     buf: Arc<[u8]>,
     off: usize,
     len: usize,
+    /// Lazily computed checksum of the *full* backing buffer, shared by all
+    /// clones. Lets hot paths that checksum the same (interned, refcounted)
+    /// buffer over and over pay the scan once. See
+    /// [`Payload::cached_full_checksum`].
+    checksum: Arc<OnceLock<u32>>,
 }
 
 impl Payload {
@@ -34,6 +39,7 @@ impl Payload {
             buf: Arc::from([] as [u8; 0]),
             off: 0,
             len: 0,
+            checksum: Arc::new(OnceLock::new()),
         }
     }
 
@@ -67,6 +73,23 @@ impl Payload {
             buf: Arc::clone(&self.buf),
             off: self.off + offset,
             len,
+            checksum: Arc::clone(&self.checksum),
+        }
+    }
+
+    /// The checksum of this view under `compute`, memoized when the view
+    /// covers its whole backing buffer (the hot case: replication fans the
+    /// same full-buffer payload to every replica, and workload generators
+    /// intern their fill patterns). Partial views are computed directly —
+    /// the memo slot belongs to the full buffer's bytes.
+    ///
+    /// The caller must pass the *same* pure `compute` function every time;
+    /// the first one wins and later calls return its memoized result.
+    pub fn cached_full_checksum(&self, compute: impl Fn(&[u8]) -> u32) -> u32 {
+        if self.off == 0 && self.len == self.buf.len() {
+            *self.checksum.get_or_init(|| compute(&self.buf))
+        } else {
+            compute(self.as_slice())
         }
     }
 
@@ -103,6 +126,7 @@ impl From<Vec<u8>> for Payload {
             buf: Arc::from(v),
             off: 0,
             len,
+            checksum: Arc::new(OnceLock::new()),
         }
     }
 }
@@ -113,6 +137,7 @@ impl From<&[u8]> for Payload {
             buf: Arc::from(s),
             off: 0,
             len: s.len(),
+            checksum: Arc::new(OnceLock::new()),
         }
     }
 }

@@ -1,0 +1,294 @@
+//! An inline-first vector for small hot-path collections.
+//!
+//! Replica target lists, ack ledgers, and per-op effect batches are almost
+//! always a handful of elements (replication factor ≤ 4 in every paper
+//! configuration), yet `Vec` pays a heap allocation for each. [`SmallVec`]
+//! stores up to `N` elements inline on the stack and spills to a `Vec` only
+//! beyond that, so the common case allocates nothing while odd configs
+//! (wide fan-out experiments) still work.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+
+/// A vector holding up to `N` elements inline, spilling to the heap beyond.
+pub struct SmallVec<T, const N: usize> {
+    /// Number of initialized inline elements; ignored once spilled.
+    len: usize,
+    data: Data<T, N>,
+}
+
+enum Data<T, const N: usize> {
+    Inline([MaybeUninit<T>; N]),
+    Heap(Vec<T>),
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            data: Data::Inline([const { MaybeUninit::uninit() }; N]),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            Data::Inline(_) => self.len,
+            Data::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an element, spilling to the heap at the `N+1`-th push.
+    pub fn push(&mut self, value: T) {
+        match &mut self.data {
+            Data::Inline(buf) => {
+                if self.len < N {
+                    buf[self.len].write(value);
+                    self.len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    // Move the inline elements out; zero the length first so
+                    // Drop never sees half-moved storage.
+                    let len = std::mem::replace(&mut self.len, 0);
+                    for slot in buf.iter_mut().take(len) {
+                        // SAFETY: the first `len` slots were initialized by
+                        // `push` and are read exactly once here.
+                        v.push(unsafe { slot.assume_init_read() });
+                    }
+                    v.push(value);
+                    self.data = Data::Heap(v);
+                }
+            }
+            Data::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes all elements, keeping heap capacity if spilled.
+    pub fn clear(&mut self) {
+        match &mut self.data {
+            Data::Inline(buf) => {
+                let len = std::mem::replace(&mut self.len, 0);
+                for slot in buf.iter_mut().take(len) {
+                    // SAFETY: the first `len` slots were initialized.
+                    unsafe { slot.assume_init_drop() };
+                }
+            }
+            Data::Heap(v) => v.clear(),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.data {
+            // SAFETY: the first `len` inline slots are initialized.
+            Data::Inline(buf) => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr().cast::<T>(), self.len)
+            },
+            Data::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match &mut self.data {
+            // SAFETY: the first `len` inline slots are initialized.
+            Data::Inline(buf) => unsafe {
+                std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<T>(), self.len)
+            },
+            Data::Heap(v) => v.as_mut_slice(),
+        }
+    }
+
+    /// Iterates the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Converts into a plain `Vec`, allocating only if still inline.
+    pub fn into_vec(mut self) -> Vec<T> {
+        match &mut self.data {
+            Data::Heap(v) => std::mem::take(v),
+            Data::Inline(buf) => {
+                let len = std::mem::replace(&mut self.len, 0);
+                let mut v = Vec::with_capacity(len);
+                for slot in buf.iter_mut().take(len) {
+                    // SAFETY: the first `len` slots were initialized; the
+                    // length was zeroed above so Drop won't re-read them.
+                    v.push(unsafe { slot.assume_init_read() });
+                }
+                v
+            }
+        }
+    }
+
+    /// Keeps only the elements `f` accepts, preserving order.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        match &mut self.data {
+            Data::Heap(v) => v.retain(|t| f(t)),
+            Data::Inline(buf) => {
+                // Zero the length for the duration: if `f` panics the
+                // worst case is leaked elements, never a double drop.
+                let len = std::mem::replace(&mut self.len, 0);
+                let mut kept = 0;
+                for i in 0..len {
+                    // SAFETY: the first `len` slots were initialized; each
+                    // is read (moved or dropped) exactly once below.
+                    unsafe {
+                        if f(buf[i].assume_init_ref()) {
+                            if kept != i {
+                                let v = buf[i].assume_init_read();
+                                buf[kept].write(v);
+                            }
+                            kept += 1;
+                        } else {
+                            buf[i].assume_init_drop();
+                        }
+                    }
+                }
+                self.len = kept;
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Drop for SmallVec<T, N> {
+    fn drop(&mut self) {
+        if let Data::Inline(_) = self.data {
+            self.clear();
+        }
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for SmallVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = SmallVec::new();
+        for item in self.iter() {
+            out.push(item.clone());
+        }
+        out
+    }
+}
+
+impl<T, const N: usize> Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> DerefMut for SmallVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T, const N: usize> Extend<T> for SmallVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = SmallVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    /// By-value iteration goes through a `Vec` (allocates when inline);
+    /// hot paths should iterate by reference instead.
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_vec().into_iter()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(matches!(v.data, Data::Inline(_)));
+        v.push(4);
+        assert!(matches!(v.data, Data::Heap(_)));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_runs_for_inline_elements() {
+        use std::rc::Rc;
+        let tracker = Rc::new(());
+        {
+            let mut v: SmallVec<Rc<()>, 4> = SmallVec::new();
+            v.push(Rc::clone(&tracker));
+            v.push(Rc::clone(&tracker));
+            assert_eq!(Rc::strong_count(&tracker), 3);
+        }
+        assert_eq!(Rc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn clear_keeps_reuse_working() {
+        let mut v: SmallVec<String, 2> = SmallVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        v.push("c".into());
+        v.clear();
+        assert!(v.is_empty());
+        v.push("d".into());
+        assert_eq!(v.as_slice(), &["d".to_string()]);
+    }
+
+    #[test]
+    fn clone_and_eq_match_contents() {
+        let v: SmallVec<u8, 2> = [1u8, 2, 3].into_iter().collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(w.len(), 3);
+    }
+}

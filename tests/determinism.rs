@@ -4,9 +4,10 @@
 //! same IOPS, same context-switch count, same byte counters. These tests
 //! pin that property across pipeline modes and config dimensions.
 
+use proptest::prelude::*;
 use rablock::sim::{
     ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow, LinkFault,
-    Partition, RetryPolicy, SimDuration, SimReport, SimRng, SimTime, WorkItem,
+    Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime, WorkItem,
 };
 use rablock::{GroupId, ObjectId, PipelineMode};
 use rablock_bench::{paper_cluster, randwrite_conns, Dataset};
@@ -111,6 +112,7 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.nvm_bytes,
         r.nvm_full_stalls,
         r.client_errors,
+        r.queue_high_water,
         r.recovery_pushes,
         r.backfill_bytes,
         r.degraded_objects,
@@ -151,13 +153,12 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
 
 /// One fig7-style run (the paper-cluster 4 KiB random-write scenario the
 /// wall-clock harness times), with its full metric fingerprint.
-fn fig7_fingerprint() -> Vec<u64> {
+fn fig7_fingerprint(sched: SchedulerKind) -> Vec<u64> {
     const CONNS: usize = 16;
     let dataset = Dataset::default_for(CONNS);
-    let mut sim = ClusterSim::new(
-        paper_cluster(PipelineMode::Dop),
-        randwrite_conns(dataset, CONNS),
-    );
+    let mut cfg = paper_cluster(PipelineMode::Dop);
+    cfg.scheduler = sched;
+    let mut sim = ClusterSim::new(cfg, randwrite_conns(dataset, CONNS));
     sim.prefill(&dataset.all_objects());
     let r = sim.run(SimDuration::ZERO, SimDuration::millis(20));
     assert!(r.writes_done > 0, "fig7 run must make progress");
@@ -166,8 +167,8 @@ fn fig7_fingerprint() -> Vec<u64> {
 
 #[test]
 fn fig7_double_run_is_byte_identical() {
-    let a = fig7_fingerprint();
-    let b = fig7_fingerprint();
+    let a = fig7_fingerprint(SchedulerKind::default());
+    let b = fig7_fingerprint(SchedulerKind::default());
     assert!(a.len() > 20, "fingerprint covers the full report");
     assert_eq!(a, b, "fig7: same seed must replay identical metrics");
 }
@@ -281,11 +282,14 @@ fn chaos_config() -> ClusterSimConfig {
     cfg
 }
 
-fn chaos_fingerprint() -> Vec<u64> {
+fn chaos_fingerprint_with(seed: u64, sched: SchedulerKind) -> Vec<u64> {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
         .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
-    let mut sim = ClusterSim::new(chaos_config(), wl);
+    let mut cfg = chaos_config();
+    cfg.seed = seed;
+    cfg.scheduler = sched;
+    let mut sim = ClusterSim::new(cfg, wl);
     let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
         .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
         .collect();
@@ -298,11 +302,51 @@ fn chaos_fingerprint() -> Vec<u64> {
 
 #[test]
 fn chaos_seed_double_run_is_byte_identical() {
-    let a = chaos_fingerprint();
-    let b = chaos_fingerprint();
+    let a = chaos_fingerprint_with(0xC0FFEE, SchedulerKind::default());
+    let b = chaos_fingerprint_with(0xC0FFEE, SchedulerKind::default());
     assert!(a.len() > 20, "fingerprint covers the full report");
     assert_eq!(
         a, b,
         "chaos: faults, retries, and checker verdicts must replay identically"
     );
+}
+
+/// The timing wheel and the binary-heap oracle must produce the same event
+/// order, and therefore bit-identical metric fingerprints, on the clean
+/// fig7 scenario.
+#[test]
+fn wheel_matches_heap_fingerprint_fig7() {
+    let wheel = fig7_fingerprint(SchedulerKind::Wheel);
+    let heap = fig7_fingerprint(SchedulerKind::Heap);
+    assert_eq!(
+        wheel, heap,
+        "fig7: scheduler choice must be invisible to every metric"
+    );
+}
+
+/// Same, on the chaos scenario: faults, heartbeat failover, client retries,
+/// a crash/restart with log-based recovery, and the history checker — the
+/// paths most sensitive to event ordering.
+#[test]
+fn wheel_matches_heap_fingerprint_chaos() {
+    let wheel = chaos_fingerprint_with(0xC0FFEE, SchedulerKind::Wheel);
+    let heap = chaos_fingerprint_with(0xC0FFEE, SchedulerKind::Heap);
+    assert_eq!(
+        wheel, heap,
+        "chaos: scheduler choice must be invisible to every metric"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property form of the wheel-vs-heap differential: any seed drives the
+    /// chaos scenario (fault injection + crash recovery + history checking)
+    /// to the same full fingerprint under both schedulers.
+    #[test]
+    fn wheel_matches_heap_fingerprint(seed in 1u64..1_000_000) {
+        let wheel = chaos_fingerprint_with(seed, SchedulerKind::Wheel);
+        let heap = chaos_fingerprint_with(seed, SchedulerKind::Heap);
+        prop_assert_eq!(wheel, heap);
+    }
 }
