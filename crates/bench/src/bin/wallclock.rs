@@ -3,7 +3,8 @@
 //! Every figure harness drives the sans-io OSD core through the DES engine,
 //! so the wall-clock speed of that loop bounds how much of the parameter
 //! space a sweep can cover. This binary measures it directly: it runs the
-//! fig7 4 KiB random-write scenario and a chaos (fault-injection) scenario
+//! fig7 4 KiB random-write scenario, a chaos (fault-injection) scenario,
+//! and a grow-4->8->64 elastic-expansion scenario
 //! under `std::time::Instant` and reports
 //!
 //! * **events/sec** — scheduler work items executed per wall-clock second
@@ -23,7 +24,12 @@
 //!           [--sched wheel|heap] [--sweep] [--jobs N]
 //! ```
 //!
-//! With `--label`, results are merged into `BENCH_pr5.json` at the
+//! The grow scenario also reports the write-tail degradation window: its
+//! p99 write latency next to the p99 of a churn-free control run on the
+//! same 64-OSD topology, so a regression in rebalance interference shows
+//! up as a ratio change in the committed numbers.
+//!
+//! With `--label`, results are merged into `BENCH_pr6.json` at the
 //! workspace root (runs with the same label are replaced, other labels are
 //! kept, so "before" and "after" from the same machine live side by side).
 //! `--smoke` runs a seconds-scale sweep and writes nothing. `--sched`
@@ -37,13 +43,15 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rablock::sim::{
-    ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow, LinkFault,
-    Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime, WorkItem,
+    ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow,
+    LinkFault, Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime,
+    WorkItem,
 };
 use rablock::{GroupId, ObjectId, PipelineMode};
 use rablock_bench::sweep::{figure_cells, run_sweep};
 use rablock_bench::{banner, paper_cluster, randwrite_conns, Dataset};
 use rablock_cluster::osd::OsdConfig;
+use rablock_cluster::placement::DEFAULT_OSD_WEIGHT;
 use rablock_cos::CosOptions;
 use rablock_lsm::LsmOptions;
 
@@ -53,6 +61,11 @@ struct Sample {
     events: u64,
     sim_writes: u64,
     sim_reads: u64,
+    /// p99 write latency of the run, in simulated nanoseconds.
+    p99_write_ns: u64,
+    /// For the grow scenario: p99 of the churn-free control run on the
+    /// same topology, framing the expansion's tail-latency degradation.
+    baseline_p99_write_ns: Option<u64>,
 }
 
 impl Sample {
@@ -80,6 +93,11 @@ fn fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.nvm_full_stalls,
         r.client_errors,
         r.queue_high_water,
+        r.recovery_pushes,
+        r.backfill_bytes,
+        r.backfill_queued,
+        r.backfill_throttled_nanos,
+        r.flaps_damped,
     ];
     v.extend(
         r.write_lat
@@ -146,6 +164,8 @@ fn run_fig7(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
             events: report.events_processed,
             sim_writes: report.writes_done,
             sim_reads: report.reads_done,
+            p99_write_ns: report.write_lat[3].as_nanos(),
+            baseline_p99_write_ns: None,
         },
         fp,
     )
@@ -287,6 +307,150 @@ fn run_chaos(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
             events: report.events_processed,
             sim_writes: report.writes_done,
             sim_reads: report.reads_done,
+            p99_write_ns: report.write_lat[3].as_nanos(),
+            baseline_p99_write_ns: None,
+        },
+        fp,
+    )
+}
+
+// Grow scenario: 16 nodes x 4 OSDs pre-provisioned, 4 in service at start,
+// woven up to 8 and then all 64 by weight churn while the workload runs.
+const GROW_NODES: u32 = 16;
+const GROW_OSDS_PER_NODE: u32 = 4;
+const GROW_OSDS: u32 = GROW_NODES * GROW_OSDS_PER_NODE;
+const GROW_PGS: u32 = 32;
+const GROW_CONNS: u64 = 3;
+
+fn grow_oid(conn: u64, k: u64) -> ObjectId {
+    let i = conn * 100 + k;
+    ObjectId::new(GroupId((i % GROW_PGS as u64) as u32), i)
+}
+
+/// Endless 4 KiB writer over the connection's 8-object namespace: unlike
+/// the fixed-op correctness twin in `tests/chaos.rs`, the bench load never
+/// drains, so both expansion windows and the warmed-up control measure a
+/// cluster under constant pressure.
+struct GrowConn {
+    conn: u64,
+    cursor: u64,
+}
+
+impl ConnWorkload for GrowConn {
+    fn next(&mut self, _rng: &mut SimRng) -> Option<WorkItem> {
+        let i = self.cursor;
+        self.cursor += 1;
+        let k = i % 8;
+        let block = (i / 8) % 16;
+        Some(WorkItem::Write {
+            oid: grow_oid(self.conn, k),
+            offset: block * 4096,
+            len: 4096,
+            fill: ((self.conn * 97 + k * 31 + block) % 251) as u8,
+        })
+    }
+}
+
+/// The grow-4->8->64-under-load configuration. With `churn` false the same
+/// 64-OSD topology runs fully in service from the start — the control whose
+/// p99 frames the expansion's degradation window.
+fn grow_config(churn: bool) -> ClusterSimConfig {
+    let mut cfg = ClusterSimConfig::defaults(PipelineMode::Dop);
+    cfg.nodes = GROW_NODES;
+    cfg.osds_per_node = GROW_OSDS_PER_NODE;
+    cfg.cores_per_node = 6;
+    cfg.priority_threads = 1;
+    cfg.non_priority_threads = 2;
+    cfg.pg_count = GROW_PGS;
+    cfg.queue_depth = 4;
+    cfg.seed = 0xE1A5;
+    cfg.osd = OsdConfig {
+        mode: PipelineMode::Dop,
+        device_bytes: 32 << 20,
+        nvm_bytes: 4 << 20,
+        ring_bytes: 256 << 10,
+        flush_threshold: 8,
+        lsm: LsmOptions::tiny(),
+        cos: CosOptions::tiny(),
+        max_backfill_inflight: 2,
+        backfill_bytes_per_tick: 1 << 20,
+        ..OsdConfig::default()
+    };
+    // No link noise here, unlike the chaos.rs correctness twin: random
+    // drops put 10 ms retry timeouts in both tails and would swamp the
+    // expansion's own interference, which is the thing being measured.
+    cfg.faults = FaultPlan::none();
+    cfg.heartbeat_period = Some(SimDuration::millis(1));
+    cfg.heartbeat_grace = SimDuration::millis(5);
+    cfg.retry = Some(RetryPolicy {
+        timeout_nanos: 10_000_000,
+        backoff_base_nanos: 1_000_000,
+        backoff_multiplier: 2.0,
+        jitter_frac: 0.2,
+        max_attempts: 8,
+    });
+    cfg.check_history = true;
+    if churn {
+        let seed_osds = [0u32, 4, 8, 12];
+        let second = [16u32, 20, 24, 28];
+        cfg.initially_out = (0..GROW_OSDS)
+            .filter(|id| !seed_osds.contains(id))
+            .collect();
+        let mut ops: Vec<ChurnOp> = second
+            .iter()
+            .map(|&osd| ChurnOp {
+                at: ms(8),
+                osd,
+                weight: DEFAULT_OSD_WEIGHT,
+            })
+            .collect();
+        let rest = (0..GROW_OSDS).filter(|id| !seed_osds.contains(id) && !second.contains(id));
+        ops.extend(rest.enumerate().map(|(i, osd)| ChurnOp {
+            at: ms(20) + SimDuration::nanos(100_000) * i as u64,
+            osd,
+            weight: DEFAULT_OSD_WEIGHT,
+        }));
+        cfg.churn = ops;
+    }
+    cfg
+}
+
+fn run_grow(measure: SimDuration, sched: SchedulerKind, churn: bool) -> (Sample, Vec<u64>) {
+    let wl: Vec<Box<dyn ConnWorkload>> = (0..GROW_CONNS)
+        .map(|c| Box::new(GrowConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
+        .collect();
+    let mut cfg = grow_config(churn);
+    cfg.scheduler = sched;
+    let mut sim = ClusterSim::new(cfg, wl);
+    let objects: Vec<(ObjectId, u64)> = (0..GROW_CONNS)
+        .flat_map(|c| (0..8).map(move |k| (grow_oid(c, k), 256 << 10)))
+        .collect();
+    sim.prefill(&objects);
+    // The churn run measures from t0 so the expansion windows (8 ms and
+    // 20 ms) land inside the percentile frame. The control warms up past
+    // the 64-OSD heartbeat-staggering transient and measures steady state,
+    // making its p99 the clean baseline the degradation is judged against.
+    let warmup = if churn {
+        SimDuration::ZERO
+    } else {
+        SimDuration::millis(25)
+    };
+    let t = Instant::now();
+    let report = sim.run(warmup, measure);
+    let wall_secs = t.elapsed().as_secs_f64();
+    let checker = sim.checker().expect("history checking enabled");
+    let fp = fingerprint(
+        &report,
+        Some((checker.writes_acked(), checker.reads_checked())),
+    );
+    (
+        Sample {
+            wall_secs,
+            events: report.events_processed,
+            sim_writes: report.writes_done,
+            sim_reads: report.reads_done,
+            p99_write_ns: report.write_lat[3].as_nanos(),
+            baseline_p99_write_ns: None,
         },
         fp,
     )
@@ -331,24 +495,33 @@ fn workspace_root() -> PathBuf {
 }
 
 fn run_json(label: &str, scenario: &str, s: &Sample) -> String {
+    let degradation = match s.baseline_p99_write_ns {
+        Some(base) => format!(
+            ", \"baseline_p99_write_ns\": {base}, \"p99_degradation\": {:.3}",
+            s.p99_write_ns as f64 / base.max(1) as f64
+        ),
+        None => String::new(),
+    };
     format!(
         "    {{\"label\": \"{label}\", \"scenario\": \"{scenario}\", \
          \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
-         \"sim_writes\": {}, \"sim_reads\": {}, \"sim_ops_per_sec\": {:.1}}}",
+         \"sim_writes\": {}, \"sim_reads\": {}, \"sim_ops_per_sec\": {:.1}, \
+         \"p99_write_ns\": {}{degradation}}}",
         s.wall_secs,
         s.events,
         s.events_per_sec(),
         s.sim_writes,
         s.sim_reads,
         s.sim_ops_per_sec(),
+        s.p99_write_ns,
     )
 }
 
-/// Merges this invocation's runs into `BENCH_pr5.json`: existing runs with
+/// Merges this invocation's runs into `BENCH_pr6.json`: existing runs with
 /// a different label are kept (one run object per line), runs with the same
 /// label are replaced.
 fn write_bench_json(label: &str, runs: &[String]) {
-    let path = workspace_root().join("BENCH_pr5.json");
+    let path = workspace_root().join("BENCH_pr6.json");
     let mut kept: Vec<String> = Vec::new();
     if let Ok(existing) = std::fs::read_to_string(&path) {
         for line in existing.lines() {
@@ -362,14 +535,15 @@ fn write_bench_json(label: &str, runs: &[String]) {
     kept.extend(runs.iter().cloned());
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"bench\": \"pr5-wallclock\",\n");
+    out.push_str("  \"bench\": \"pr6-wallclock\",\n");
     out.push_str(
-        "  \"metric\": \"DES events/sec and simulated client ops/sec per wall-clock second\",\n",
+        "  \"metric\": \"DES events/sec, simulated client ops/sec per wall-clock second, \
+         and p99 write latency (grow cell: vs churn-free control)\",\n",
     );
     out.push_str("  \"runs\": [\n");
     out.push_str(&kept.join(",\n"));
     out.push_str("\n  ]\n}\n");
-    std::fs::write(&path, out).expect("write BENCH_pr2.json");
+    std::fs::write(&path, out).expect("write BENCH_pr6.json");
     println!("[json] {}", path.display());
 }
 
@@ -402,6 +576,8 @@ fn run_figure_sweep(smoke: bool, jobs: usize) -> Sample {
         events: outcome.events,
         sim_writes: writes,
         sim_reads: reads,
+        p99_write_ns: 0,
+        baseline_p99_write_ns: None,
     }
 }
 
@@ -483,10 +659,22 @@ fn main() {
     }
 
     println!("scheduler: {sched:?}");
-    let (fig7_measure, chaos_measure) = if smoke {
-        (SimDuration::millis(20), SimDuration::millis(100))
+    let (fig7_measure, chaos_measure, grow_measure) = if smoke {
+        (
+            SimDuration::millis(20),
+            SimDuration::millis(100),
+            SimDuration::millis(150),
+        )
     } else {
-        (SimDuration::millis(160), SimDuration::secs(2))
+        // The grow window intentionally matches smoke: the p99 degradation
+        // window is measured over the expansion itself (both churn waves
+        // plus backfill settle), and a longer steady-state tail only
+        // dilutes the churn-window tail back toward the control's.
+        (
+            SimDuration::millis(160),
+            SimDuration::secs(2),
+            SimDuration::millis(150),
+        )
     };
     if smoke {
         iters = 1;
@@ -503,6 +691,19 @@ fn main() {
         println!("chaos (3 nodes, faults + retries + history checker):");
         let chaos = measure_scenario("chaos", iters, || run_chaos(chaos_measure, sched));
         runs.push(("chaos", chaos));
+    }
+    if want("grow") {
+        println!("grow 4->8->64 OSDs under load (weight churn + throttled backfill):");
+        let (control, _) = run_grow(grow_measure, sched, false);
+        let mut grow = measure_scenario("grow", iters, || run_grow(grow_measure, sched, true));
+        grow.baseline_p99_write_ns = Some(control.p99_write_ns);
+        println!(
+            "  [grow] p99 write {} ns vs churn-free control {} ns ({:.2}x degradation window)",
+            grow.p99_write_ns,
+            control.p99_write_ns,
+            grow.p99_write_ns as f64 / control.p99_write_ns.max(1) as f64,
+        );
+        runs.push(("grow-4-8-64", grow));
     }
 
     if smoke {

@@ -19,8 +19,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use rablock::sim::{ConnWorkload, SimDuration, SimReport};
+use rablock::sim::{ChurnOp, ConnWorkload, SimDuration, SimReport, SimTime};
 use rablock::PipelineMode;
+use rablock_cluster::placement::DEFAULT_OSD_WEIGHT;
 use rablock_workload::{AccessPattern, FioJob, YcsbKind, YcsbWorkload};
 
 use crate::{
@@ -591,6 +592,50 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
         }
     }
 
+    // Elastic operations — grow 4→8 OSDs under random-write load. The
+    // spare OSDs start provisioned-but-out; an admin reweight at 8 ms
+    // weaves them in, so the cell's counters cover weighted rebalancing,
+    // throttled backfill, and map churn (DESIGN.md §12). Warmup is zero so
+    // the expansion lands inside the measured window in smoke and full
+    // runs alike.
+    cells.push(Cell::new("elastic/grow-4-8", move || {
+        let conns = 8;
+        let dataset = Dataset::default_for(conns);
+        let measure = scaled(SimDuration::millis(120), smoke);
+        let mut cfg = paper_cluster(PipelineMode::Dop);
+        cfg.retry = Some(Default::default());
+        cfg.heartbeat_period = Some(SimDuration::millis(1));
+        cfg.heartbeat_grace = SimDuration::millis(5);
+        cfg.osd.max_backfill_inflight = 2;
+        cfg.osd.backfill_bytes_per_tick = 1 << 20;
+        // Node-major ids: OSDs {0,2,4,6} seed the cluster, {1,3,5,7} join.
+        cfg.initially_out = (0..8).filter(|o| o % 2 == 1).collect();
+        cfg.churn = (0..8)
+            .filter(|o| o % 2 == 1)
+            .map(|o| ChurnOp {
+                at: SimTime::ZERO + SimDuration::millis(8) + SimDuration::micros(100) * o as u64,
+                osd: o,
+                weight: DEFAULT_OSD_WEIGHT,
+            })
+            .collect();
+        let r = run_sim(
+            cfg,
+            dataset,
+            randwrite_conns(dataset, conns),
+            SimDuration::ZERO,
+            measure,
+        );
+        CellOut::from_report(
+            &r,
+            vec![
+                ("pushes", r.recovery_pushes.to_string()),
+                ("backfill_bytes", r.backfill_bytes.to_string()),
+                ("backfill_queued", r.backfill_queued.to_string()),
+                ("throttled_ns", r.backfill_throttled_nanos.to_string()),
+            ],
+        )
+    }));
+
     if let Some(prefix) = only {
         cells.retain(|c| c.key.starts_with(prefix));
     }
@@ -606,7 +651,7 @@ mod tests {
         let cells = figure_cells(true, None);
         for prefix in [
             "fig01/", "fig07/", "fig08/", "fig09/", "fig10/", "fig11/", "fig12/", "table1/",
-            "table2/", "abl-nvm/", "abl-ctx/",
+            "table2/", "abl-nvm/", "abl-ctx/", "elastic/",
         ] {
             assert!(
                 cells.iter().any(|c| c.key.starts_with(prefix)),

@@ -186,6 +186,53 @@ pub fn diff_replica_digests(replicas: &[ReplicaListing]) -> Vec<String> {
     out
 }
 
+/// Relative capacity imbalance across a set of OSD fill levels: the largest
+/// deviation from the mean fill, as a fraction of the mean
+/// (`(max_fill - mean) / mean`). Returns 0.0 when the set is empty or holds
+/// no bytes at all (an empty cluster is perfectly balanced).
+///
+/// Pass the fill of *placement-eligible* OSDs only — drained and removed
+/// OSDs legitimately hold stale bytes while their groups hand off.
+pub fn capacity_imbalance(fills: &[u64]) -> f64 {
+    if fills.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = fills.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / fills.len() as f64;
+    let max = *fills.iter().max().expect("non-empty") as f64;
+    (max - mean) / mean
+}
+
+/// Asserts the capacity-imbalance invariant after quiesce: no OSD may
+/// exceed the mean fill by more than `tolerance` (e.g. 1.0 = 100% over
+/// mean). Returns one description per violation; empty means balanced.
+pub fn check_capacity_imbalance(fills: &[u64], tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    if fills.is_empty() {
+        return out;
+    }
+    let total: u64 = fills.iter().sum();
+    if total == 0 {
+        return out;
+    }
+    let mean = total as f64 / fills.len() as f64;
+    for (i, &fill) in fills.iter().enumerate() {
+        let dev = (fill as f64 - mean) / mean;
+        if dev > tolerance {
+            out.push(format!(
+                "osd index {i}: fill {fill} exceeds mean {mean:.0} by {:.0}% \
+                 (tolerance {:.0}%)",
+                dev * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +322,20 @@ mod tests {
             ("osd1".to_string(), vec![(1, None)]),
         ];
         assert!(diff_replica_digests(&replicas).is_empty());
+    }
+
+    #[test]
+    fn capacity_imbalance_measures_max_deviation_from_mean() {
+        assert_eq!(capacity_imbalance(&[]), 0.0);
+        assert_eq!(capacity_imbalance(&[0, 0, 0]), 0.0);
+        assert_eq!(capacity_imbalance(&[100, 100, 100]), 0.0);
+        // Mean 100, max 150 → 50% over mean.
+        let im = capacity_imbalance(&[50, 100, 150]);
+        assert!((im - 0.5).abs() < 1e-9, "{im}");
+        assert!(check_capacity_imbalance(&[50, 100, 150], 0.6).is_empty());
+        let violations = check_capacity_imbalance(&[50, 100, 150], 0.4);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("osd index 2"), "{violations:?}");
     }
 
     #[test]

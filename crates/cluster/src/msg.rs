@@ -358,8 +358,9 @@ impl MonMsg {
         MSG_HEADER_BYTES
             + match self {
                 MonMsg::ReportFailure { .. } | MonMsg::Heartbeat { .. } => 0,
-                // Per-OSD entries dominate an encoded map.
-                MonMsg::MapUpdate { map } => 16 * map.osds.len() as u64,
+                // Per-OSD entries dominate an encoded map (id, node, up,
+                // weight plus framing).
+                MonMsg::MapUpdate { map } => 20 * map.osds.len() as u64,
             }
     }
 }

@@ -176,6 +176,18 @@ pub struct OsdConfig {
     pub lsm: LsmOptions,
     /// COS backend options (COS modes).
     pub cos: CosOptions,
+    /// Backfill throttle: recovery pushes allowed in flight (sent, unacked)
+    /// per tick window. Deferred pushes stay in the missing set and are
+    /// retried next tick, so rebalancing degrades gracefully instead of
+    /// starving client I/O.
+    pub max_backfill_inflight: usize,
+    /// Backfill throttle: object bytes a primary may push per tick window
+    /// (the bytes/sec budget, denominated in ticks). A full budget always
+    /// admits at least one push so oversized objects cannot wedge recovery.
+    pub backfill_bytes_per_tick: u64,
+    /// Simulated nanoseconds represented by one heartbeat tick; converts
+    /// throttled tick windows into the `backfill_throttled_nanos` metric.
+    pub backfill_tick_nanos: u64,
 }
 
 impl Default for OsdConfig {
@@ -190,6 +202,9 @@ impl Default for OsdConfig {
             pg_log_limit: 512,
             lsm: LsmOptions::default(),
             cos: CosOptions::default(),
+            max_backfill_inflight: 16,
+            backfill_bytes_per_tick: 4 << 20,
+            backfill_tick_nanos: 1_000_000,
         }
     }
 }
@@ -501,6 +516,11 @@ pub struct Osd {
     /// Groups whose backfill has not arrived yet: flushes and cold store
     /// reads are held back so a late backfill cannot clobber newer data.
     awaiting_backfill: BTreeSet<GroupId>,
+    /// Chosen synchronization source per awaited group: a member of the
+    /// *previous* acting set, i.e. an OSD that actually holds the data.
+    /// After a weighted expansion an entire acting set can be fresh
+    /// joiners, so pulling from the new set would "succeed" with nothing.
+    pull_sources: BTreeMap<GroupId, OsdId>,
     pending_store: FxHashMap<u64, StoreCtx>,
     deferred_reads: FxHashMap<u64, DeferredRead>,
     deferred_submits: FxHashMap<u64, DeferredSubmit>,
@@ -517,6 +537,18 @@ pub struct Osd {
     pub recovery_pushes: u64,
     /// Object bytes shipped to peers undergoing full backfill.
     pub backfill_bytes: u64,
+    /// Recovery pushes deferred by the backfill throttle.
+    pub backfill_queued: u64,
+    /// Simulated time spent in tick windows where the throttle deferred at
+    /// least one push (`backfill_tick_nanos` per such window).
+    pub backfill_throttled_nanos: u64,
+    /// Pushes sent and not yet acked in the current tick window, keyed by
+    /// `(group, peer, raw oid)`.
+    backfill_inflight: BTreeSet<(GroupId, OsdId, u64)>,
+    /// Remaining push-byte budget in the current tick window.
+    backfill_budget: u64,
+    /// Whether the throttle deferred work since the last tick.
+    backfill_deferred: bool,
 }
 
 impl Osd {
@@ -540,6 +572,7 @@ impl Osd {
         } else {
             Backend::Null
         };
+        let initial_backfill_budget = cfg.backfill_bytes_per_tick;
         Osd {
             id,
             nvm: NvmRegion::new(cfg.nvm_bytes),
@@ -558,6 +591,7 @@ impl Osd {
             group_extents: FxHashMap::default(),
             awaiting_log: BTreeSet::new(),
             awaiting_backfill: BTreeSet::new(),
+            pull_sources: BTreeMap::new(),
             pending_store: FxHashMap::default(),
             deferred_reads: FxHashMap::default(),
             deferred_submits: FxHashMap::default(),
@@ -567,6 +601,11 @@ impl Osd {
             recovery: BTreeMap::new(),
             recovery_pushes: 0,
             backfill_bytes: 0,
+            backfill_queued: 0,
+            backfill_throttled_nanos: 0,
+            backfill_inflight: BTreeSet::new(),
+            backfill_budget: initial_backfill_budget,
+            backfill_deferred: false,
         }
     }
 
@@ -932,6 +971,11 @@ impl Osd {
     /// Sends one recovery push for `oid` to `peer`: the full authoritative
     /// content plus the primary's newest log entry for the object, so the
     /// receiver can refuse stale pushes and verify the checksum.
+    ///
+    /// Pushes ride the backfill throttle: at most `max_backfill_inflight`
+    /// unacked pushes and `backfill_bytes_per_tick` bytes per tick window.
+    /// A throttled push is deferred — it stays in the round's missing set
+    /// and the heartbeat-driven retry re-offers it next window.
     fn push_object_to(
         &mut self,
         group: GroupId,
@@ -941,6 +985,17 @@ impl Osd {
         backfilling: bool,
         fx: &mut Vec<OsdEffect>,
     ) {
+        let key = (group, peer, oid.raw());
+        if self.backfill_inflight.contains(&key) {
+            // Already pushed this window; wait for the ack or the next
+            // retransmit window instead of duplicating the transfer.
+            return;
+        }
+        if self.backfill_inflight.len() >= self.cfg.max_backfill_inflight {
+            self.backfill_queued += 1;
+            self.backfill_deferred = true;
+            return;
+        }
         let Some(data) = self.authoritative_object(group, oid) else {
             // Nothing readable to push (extent unknown): drop the claim so
             // recovery can finish instead of retrying forever.
@@ -951,6 +1006,17 @@ impl Osd {
             }
             return;
         };
+        // A full budget always admits at least one push, so an object larger
+        // than the per-tick budget cannot wedge recovery forever.
+        if (data.len() as u64) > self.backfill_budget
+            && self.backfill_budget < self.cfg.backfill_bytes_per_tick
+        {
+            self.backfill_queued += 1;
+            self.backfill_deferred = true;
+            return;
+        }
+        self.backfill_budget = self.backfill_budget.saturating_sub(data.len() as u64);
+        self.backfill_inflight.insert(key);
         let entry = self.newest_entry(group, oid);
         let content_digest = digest_bytes(&data);
         self.recovery_pushes += 1;
@@ -1183,12 +1249,21 @@ impl Osd {
         groups.sort();
         groups.dedup();
         for group in groups {
+            // Prefer the recorded data-holding source; fall back to a
+            // current acting-set peer only if the source has since died.
             let peer = self
-                .map
-                .acting_set(group)
-                .into_iter()
-                .find(|&o| o != self.id);
+                .pull_sources
+                .get(&group)
+                .copied()
+                .filter(|&o| self.map.osd(o).up)
+                .or_else(|| {
+                    self.map
+                        .acting_set(group)
+                        .into_iter()
+                        .find(|&o| o != self.id)
+                });
             if let Some(peer) = peer {
+                self.pull_sources.insert(group, peer);
                 fx.push(OsdEffect::SendPeer {
                     to: peer,
                     msg: PeerMsg::PullLog {
@@ -1221,6 +1296,15 @@ impl Osd {
             OsdInput::MaintStep => self.on_maint_step(fx),
             OsdInput::HeartbeatTick => {
                 fx.push(OsdEffect::Heartbeat);
+                // New throttle window: account the one that just closed,
+                // replenish the byte budget, and let unacked pushes
+                // retransmit (they re-enter the window via retry_recovery).
+                if self.backfill_deferred {
+                    self.backfill_throttled_nanos += self.cfg.backfill_tick_nanos;
+                    self.backfill_deferred = false;
+                }
+                self.backfill_budget = self.cfg.backfill_bytes_per_tick;
+                self.backfill_inflight.clear();
                 // Piggy-back peer-recovery retries on the liveness timer: a
                 // lost PullLog/LogRecords/Backfill would otherwise wedge the
                 // join forever.
@@ -1809,6 +1893,14 @@ impl Osd {
                 group,
                 from: requester,
             } => {
+                if self.awaiting_log.contains(&group) || self.awaiting_backfill.contains(&group) {
+                    // Not authoritative yet: this OSD is itself still
+                    // synchronizing the group. Answering now would hand the
+                    // requester an empty "complete" backfill. Stay silent —
+                    // the requester's pull retry re-drives the transfer once
+                    // our own synchronization lands.
+                    return;
+                }
                 // Bring the backend up to date with the group's pending
                 // records first, so the shipped contents include every
                 // write this survivor has acked.
@@ -1859,6 +1951,9 @@ impl Osd {
                     // won; re-importing could resurrect stale data.
                     return;
                 }
+                if !self.awaiting_backfill.contains(&group) {
+                    self.pull_sources.remove(&group);
+                }
                 let decoded: Vec<LogRecord> = records
                     .iter()
                     .map(|raw| LogRecord::decode(raw).expect("peer sends valid records").0)
@@ -1898,6 +1993,9 @@ impl Osd {
             PeerMsg::Backfill { group, objects } => {
                 if !self.awaiting_backfill.remove(&group) {
                     return; // duplicate or unsolicited
+                }
+                if !self.awaiting_log.contains(&group) {
+                    self.pull_sources.remove(&group);
                 }
                 for (oid, data) in objects {
                     self.seq += 1;
@@ -2142,6 +2240,7 @@ impl Osd {
                 oid,
                 from: peer,
             } => {
+                self.backfill_inflight.remove(&(group, peer, oid.raw()));
                 let done = match self.recovery.get_mut(&group) {
                     Some(rec) if rec.epoch == epoch => {
                         if let Some(m) = rec.missing.get_mut(&peer) {
@@ -2158,6 +2257,27 @@ impl Osd {
                 if done {
                     // Every peer acked its last push: the group is healed.
                     self.recovery.remove(&group);
+                } else if let Some(rec) = self.recovery.get(&group) {
+                    // The ack freed a throttle slot: offer the group's
+                    // remaining missing work into it right away instead of
+                    // waiting out the tick.
+                    let epoch = rec.epoch;
+                    let work: Vec<(OsdId, Vec<ObjectId>, bool)> = rec
+                        .missing
+                        .iter()
+                        .map(|(p, m)| {
+                            (
+                                *p,
+                                m.values().copied().collect(),
+                                rec.backfill_peers.contains(p),
+                            )
+                        })
+                        .collect();
+                    for (p, oids, backfilling) in work {
+                        for o in oids {
+                            self.push_object_to(group, epoch, p, o, backfilling, fx);
+                        }
+                    }
                 }
             }
             PeerMsg::RepNack {
@@ -2461,6 +2581,7 @@ impl Osd {
         self.replica_applied.clear();
         self.awaiting_log.clear();
         self.awaiting_backfill.clear();
+        self.pull_sources.clear();
         self.pending_store.clear();
         self.deferred_reads.clear();
         self.deferred_submits.clear();
@@ -2470,6 +2591,9 @@ impl Osd {
         // rebuilt below from whatever survived in the durable NVM ring.
         self.recovery.clear();
         self.pg_log.clear();
+        self.backfill_inflight.clear();
+        self.backfill_budget = self.cfg.backfill_bytes_per_tick;
+        self.backfill_deferred = false;
         self.nvm.reboot();
         let mut groups: Vec<GroupId> = self.logs.keys().copied().collect();
         groups.sort();
@@ -2568,15 +2692,25 @@ impl Osd {
             if !new_set.contains(&self.id) {
                 continue;
             }
+            let old_set = old.acting_set(group);
             if old.osds.get(self.id.0 as usize).map(|o| o.up) == Some(true)
-                && old.acting_set(group).contains(&self.id)
+                && old_set.contains(&self.id)
             {
                 continue; // already a member
             }
-            let peer = new_set.into_iter().find(|&o| o != self.id);
+            // Synchronize from an OSD that actually holds the group's data:
+            // a still-up member of the *previous* acting set (a drained OSD
+            // stays up exactly so it can serve as this handoff source).
+            // After a large expansion every new-set peer can be a fresh
+            // joiner with nothing, so the new set is only a fallback.
+            let peer = old_set
+                .into_iter()
+                .find(|&o| o != self.id && self.map.osd(o).up)
+                .or_else(|| new_set.into_iter().find(|&o| o != self.id));
             if let Some(peer) = peer {
                 self.awaiting_log.insert(group);
                 self.awaiting_backfill.insert(group);
+                self.pull_sources.insert(group, peer);
                 fx.push(OsdEffect::SendPeer {
                     to: peer,
                     msg: PeerMsg::PullLog {
@@ -3476,6 +3610,83 @@ mod tests {
             peer.object_digest(oid_in(g, 1), 4096),
             prim.object_digest(oid_in(g, 1), 4096),
         );
+    }
+
+    #[test]
+    fn backfill_throttle_caps_inflight_pushes_and_drains_on_ack() {
+        let map3 = OsdMap::new(3, 1, 8, 2);
+        let cfg = OsdConfig {
+            mode: PipelineMode::Dop,
+            device_bytes: 32 << 20,
+            nvm_bytes: 4 << 20,
+            ring_bytes: 128 << 10,
+            flush_threshold: 16,
+            lsm: LsmOptions::tiny(),
+            cos: CosOptions::tiny(),
+            max_backfill_inflight: 1,
+            ..OsdConfig::default()
+        };
+        let g = GroupId(0);
+        let set = map3.acting_set(g);
+        let (primary, secondary) = (set[0], set[1]);
+        let spare = (0..3).map(OsdId).find(|o| !set.contains(o)).unwrap();
+        let mut prim = Osd::new(primary, cfg, map3.clone());
+        for i in 0..3 {
+            prim.handle(OsdInput::Client {
+                from: ClientId(1),
+                req: write_req(i, oid_in(g, i)),
+            });
+        }
+        let mut new_map = map3.clone();
+        new_map.mark_down(spare);
+        prim.handle(OsdInput::MapUpdate(new_map));
+        let epoch = prim.map().epoch;
+        let count_pushes = |fx: &[OsdEffect]| {
+            fx.iter()
+                .filter_map(|e| match e {
+                    OsdEffect::SendPeer {
+                        msg: PeerMsg::PushObject { entry, .. },
+                        ..
+                    } => Some(entry.oid),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        // Empty peer log: three objects need backfill, but the throttle
+        // admits only one push into the window; the rest are queued.
+        let fx = prim.handle(OsdInput::Peer {
+            from: secondary,
+            msg: PeerMsg::PgInfo {
+                group: g,
+                epoch,
+                from: secondary,
+                entries: Vec::new(),
+            },
+        });
+        let first = count_pushes(&fx);
+        assert_eq!(first.len(), 1, "inflight cap of 1: {fx:?}");
+        assert!(prim.backfill_queued >= 2, "deferred work is counted");
+        assert_eq!(prim.pg_state(g), PgState::Backfilling);
+        // The tick closes the throttled window (accruing throttled time) and
+        // the retransmit sweep again offers everything — still one push.
+        let throttled_before = prim.backfill_throttled_nanos;
+        let fx = prim.handle(OsdInput::HeartbeatTick);
+        assert!(prim.backfill_throttled_nanos > throttled_before);
+        assert_eq!(count_pushes(&fx).len(), 1, "still capped after tick");
+        // An ack frees the slot mid-window: the next object goes out
+        // immediately without waiting for the tick.
+        let fx = prim.handle(OsdInput::Peer {
+            from: secondary,
+            msg: PeerMsg::PushAck {
+                group: g,
+                epoch,
+                oid: first[0],
+                from: secondary,
+            },
+        });
+        let next = count_pushes(&fx);
+        assert_eq!(next.len(), 1, "ack drains the queue: {fx:?}");
+        assert_ne!(next[0], first[0], "a different object rides the slot");
     }
 
     #[test]

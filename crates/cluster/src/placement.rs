@@ -35,7 +35,23 @@ pub struct OsdInfo {
     pub node: NodeId,
     /// Whether the monitor believes it is alive.
     pub up: bool,
+    /// Placement weight in 16.16 fixed point ([`DEFAULT_OSD_WEIGHT`] = 1.0).
+    /// Weight 0 takes the OSD *out* of placement without declaring it dead:
+    /// it still heartbeats and serves as a handoff source while draining,
+    /// but no acting set will select it. Distinct from `up`, which tracks
+    /// liveness.
+    pub weight: u32,
 }
+
+impl OsdInfo {
+    /// Whether this OSD participates in placement: alive *and* weighted in.
+    pub fn in_set(&self) -> bool {
+        self.up && self.weight > 0
+    }
+}
+
+/// Unit placement weight (1.0 in 16.16 fixed point).
+pub const DEFAULT_OSD_WEIGHT: u32 = 1 << 16;
 
 /// Shard count of the acting-set cache: small enough to stay cheap, enough
 /// to keep live-driver threads resolving different groups off one lock.
@@ -130,6 +146,7 @@ impl OsdMap {
                     id: OsdId(n * osds_per_node + i),
                     node: NodeId(n),
                     up: true,
+                    weight: DEFAULT_OSD_WEIGHT,
                 });
             }
         }
@@ -151,6 +168,11 @@ impl OsdMap {
     /// All currently-up OSDs.
     pub fn up_osds(&self) -> impl Iterator<Item = &OsdInfo> {
         self.osds.iter().filter(|o| o.up)
+    }
+
+    /// All OSDs eligible for placement: up *and* weight > 0.
+    pub fn in_osds(&self) -> impl Iterator<Item = &OsdInfo> {
+        self.osds.iter().filter(|o| o.in_set())
     }
 
     /// The acting set of a group: up to `replication` up OSDs ranked by
@@ -179,13 +201,21 @@ impl OsdMap {
         set
     }
 
-    /// Rendezvous-hash ranking behind [`OsdMap::acting_set`]'s cache.
+    /// Weighted rendezvous-hash ranking behind [`OsdMap::acting_set`]'s
+    /// cache. Each eligible OSD scores `mix(group, id) × weight` in 128-bit
+    /// space, so equal weights reproduce the unweighted ranking exactly (the
+    /// common factor preserves order) while a 2× weight draws ~2× the
+    /// groups. `mix` is a bijection on u64, so scores only collide across
+    /// different weights; ids break those ties deterministically.
     fn compute_acting_set(&self, group: rablock_storage::GroupId) -> ActingSet {
-        let mut ranked: Vec<(u64, OsdId, NodeId)> = self
-            .up_osds()
-            .map(|o| (mix((group.0 as u64) << 32 | o.id.0 as u64), o.id, o.node))
+        let mut ranked: Vec<(u128, OsdId, NodeId)> = self
+            .in_osds()
+            .map(|o| {
+                let h = mix((group.0 as u64) << 32 | o.id.0 as u64);
+                ((h as u128) * (o.weight as u128), o.id, o.node)
+            })
             .collect();
-        ranked.sort_by_key(|r| std::cmp::Reverse(r.0));
+        ranked.sort_by_key(|r| (std::cmp::Reverse(r.0), r.1));
         let mut set = ActingSet::new();
         let mut used_nodes: SmallVec<NodeId, 4> = SmallVec::new();
         for (_, id, node) in ranked {
@@ -236,6 +266,46 @@ impl OsdMap {
         self.osds[id.0 as usize].up = true;
         self.epoch += 1;
     }
+
+    /// Registers a new OSD on `node` with the given placement weight and
+    /// bumps the epoch. Ids are dense: the new OSD's id equals the previous
+    /// map length, so per-OSD driver state indexed by id stays valid.
+    pub fn add_osd(&mut self, node: NodeId, weight: u32) -> OsdId {
+        let id = OsdId(self.osds.len() as u32);
+        self.osds.push(OsdInfo {
+            id,
+            node,
+            up: true,
+            weight,
+        });
+        self.epoch += 1;
+        id
+    }
+
+    /// Removes an OSD from service and bumps the epoch. The entry is
+    /// tombstoned (down, weight 0) rather than deleted so ids stay dense;
+    /// drain first via [`OsdMap::set_weight`]`(id, 0)` so replicas hand off
+    /// while the OSD is still up.
+    pub fn remove_osd(&mut self, id: OsdId) {
+        let o = &mut self.osds[id.0 as usize];
+        o.up = false;
+        o.weight = 0;
+        self.epoch += 1;
+    }
+
+    /// Changes an OSD's placement weight, bumping the epoch when it actually
+    /// changed. Weight 0 drains the OSD: it leaves every acting set (handing
+    /// groups to the next-ranked member) while staying up as a push source.
+    /// Returns whether the map changed.
+    pub fn set_weight(&mut self, id: OsdId, weight: u32) -> bool {
+        let o = &mut self.osds[id.0 as usize];
+        if o.weight == weight {
+            return false;
+        }
+        o.weight = weight;
+        self.epoch += 1;
+        true
+    }
 }
 
 /// The monitor: owns the authoritative map, reacts to failure reports, and
@@ -252,11 +322,34 @@ pub struct Monitor {
     last_heartbeat: Vec<u64>,
     /// Declare an OSD down after this long without a heartbeat.
     grace_nanos: u64,
+    /// Rejoin (down→up) count per OSD within the current flap window.
+    flap_count: Vec<u32>,
+    /// Start of each OSD's current flap-counting window.
+    flap_window_start: Vec<u64>,
+    /// While `now < held_until[i]` a flapping OSD's rejoins are refused.
+    held_until: Vec<u64>,
+    /// Rejoining this many times within `flap_window_nanos` trips dampening.
+    flap_threshold: u32,
+    /// Width of the flap-counting window.
+    flap_window_nanos: u64,
+    /// How long a tripped OSD is held out before it may rejoin.
+    flap_holdout_nanos: u64,
+    /// Total rejoins refused by flap dampening (monitor metric).
+    flaps_damped: u64,
 }
 
 /// Default heartbeat grace window: generous enough that drivers which never
 /// feed heartbeats (report-only operation) do not spuriously mark OSDs down.
 pub const DEFAULT_HEARTBEAT_GRACE_NANOS: u64 = u64::MAX;
+
+/// Default flap-dampening policy: a 4th rejoin within a 100 ms window holds
+/// the OSD out for 20 ms. Generous against ordinary crash/restart cycles
+/// (which rejoin once), decisive against sub-window flapping storms.
+pub const DEFAULT_FLAP_THRESHOLD: u32 = 4;
+/// See [`DEFAULT_FLAP_THRESHOLD`].
+pub const DEFAULT_FLAP_WINDOW_NANOS: u64 = 100_000_000;
+/// See [`DEFAULT_FLAP_THRESHOLD`].
+pub const DEFAULT_FLAP_HOLDOUT_NANOS: u64 = 20_000_000;
 
 impl Monitor {
     /// Creates a monitor owning `map`. Heartbeat detection is effectively
@@ -267,6 +360,13 @@ impl Monitor {
             map,
             last_heartbeat: vec![0; n],
             grace_nanos: DEFAULT_HEARTBEAT_GRACE_NANOS,
+            flap_count: vec![0; n],
+            flap_window_start: vec![0; n],
+            held_until: vec![0; n],
+            flap_threshold: DEFAULT_FLAP_THRESHOLD,
+            flap_window_nanos: DEFAULT_FLAP_WINDOW_NANOS,
+            flap_holdout_nanos: DEFAULT_FLAP_HOLDOUT_NANOS,
+            flaps_damped: 0,
         }
     }
 
@@ -275,23 +375,107 @@ impl Monitor {
         self.grace_nanos = grace_nanos;
     }
 
+    /// Sets the flap-dampening policy: `threshold` rejoins within
+    /// `window_nanos` hold the OSD out for `holdout_nanos`. A threshold of 0
+    /// disables dampening.
+    pub fn set_flap_policy(&mut self, threshold: u32, window_nanos: u64, holdout_nanos: u64) {
+        self.flap_threshold = threshold;
+        self.flap_window_nanos = window_nanos;
+        self.flap_holdout_nanos = holdout_nanos;
+    }
+
     /// The current map.
     pub fn map(&self) -> &OsdMap {
         &self.map
     }
 
+    /// How many rejoins flap dampening has refused so far.
+    pub fn flaps_damped(&self) -> u64 {
+        self.flaps_damped
+    }
+
+    /// Whether `osd` is currently held out by flap dampening at `now_nanos`.
+    pub fn is_held_out(&self, osd: OsdId, now_nanos: u64) -> bool {
+        now_nanos < self.held_until[osd.0 as usize]
+    }
+
+    /// Grows per-OSD bookkeeping after the owned map gained OSDs (e.g. via
+    /// [`Monitor::admin_add_osd`]). New entries are "seen at `now_nanos`".
+    fn sync_osd_count(&mut self, now_nanos: u64) {
+        let n = self.map.osds.len();
+        self.last_heartbeat.resize(n, now_nanos);
+        self.flap_count.resize(n, 0);
+        self.flap_window_start.resize(n, now_nanos);
+        self.held_until.resize(n, 0);
+    }
+
     /// Records a heartbeat from `osd` at `now_nanos`. A heartbeat from an
     /// OSD currently marked down means it restarted: the monitor marks it up
-    /// and returns the map broadcast announcing the rejoin.
+    /// and returns the map broadcast announcing the rejoin — unless the OSD
+    /// has flapped [`Monitor::set_flap_policy`]-many times recently, in
+    /// which case the rejoin is refused until the holdout expires.
     pub fn heartbeat(&mut self, osd: OsdId, now_nanos: u64) -> Option<MonMsg> {
-        self.last_heartbeat[osd.0 as usize] = now_nanos;
+        let i = osd.0 as usize;
+        self.last_heartbeat[i] = now_nanos;
         if self.map.osd(osd).up {
             return None;
+        }
+        if now_nanos < self.held_until[i] {
+            // Dampened: the flapper keeps reporting in (so liveness state
+            // stays fresh) but is not woven back into placement yet.
+            self.flaps_damped += 1;
+            return None;
+        }
+        if self.flap_threshold > 0 {
+            if now_nanos.saturating_sub(self.flap_window_start[i]) > self.flap_window_nanos {
+                self.flap_window_start[i] = now_nanos;
+                self.flap_count[i] = 0;
+            }
+            self.flap_count[i] += 1;
+            if self.flap_count[i] >= self.flap_threshold {
+                // Tripped: refuse this rejoin and hold the OSD out until it
+                // has been stable for the holdout period.
+                self.held_until[i] = now_nanos + self.flap_holdout_nanos;
+                self.flap_count[i] = 0;
+                self.flap_window_start[i] = now_nanos;
+                self.flaps_damped += 1;
+                return None;
+            }
         }
         self.map.mark_up(osd);
         Some(MonMsg::MapUpdate {
             map: self.map.clone(),
         })
+    }
+
+    /// Admin: changes an OSD's placement weight and returns the map
+    /// broadcast if the map changed. Weight 0 drains; restoring a positive
+    /// weight weaves the OSD back in (grow).
+    pub fn admin_set_weight(&mut self, osd: OsdId, weight: u32) -> Option<MonMsg> {
+        self.map.set_weight(osd, weight).then(|| MonMsg::MapUpdate {
+            map: self.map.clone(),
+        })
+    }
+
+    /// Admin: registers a brand-new OSD and returns its id plus the map
+    /// broadcast announcing it.
+    pub fn admin_add_osd(&mut self, node: NodeId, weight: u32, now_nanos: u64) -> (OsdId, MonMsg) {
+        let id = self.map.add_osd(node, weight);
+        self.sync_osd_count(now_nanos);
+        (
+            id,
+            MonMsg::MapUpdate {
+                map: self.map.clone(),
+            },
+        )
+    }
+
+    /// Admin: removes an OSD (tombstones it) and returns the broadcast.
+    pub fn admin_remove_osd(&mut self, osd: OsdId) -> MonMsg {
+        self.map.remove_osd(osd);
+        MonMsg::MapUpdate {
+            map: self.map.clone(),
+        }
     }
 
     /// Sweeps for OSDs whose last heartbeat is older than the grace window,
@@ -339,6 +523,7 @@ impl Monitor {
             MonMsg::MapUpdate { map } => {
                 if map.epoch > self.map.epoch {
                     self.map = map;
+                    self.sync_osd_count(0);
                 }
                 None
             }
@@ -486,5 +671,136 @@ mod tests {
         assert_eq!(OsdMap::new(2, 1, 8, 1).min_size, 1);
         assert_eq!(OsdMap::new(2, 1, 8, 2).min_size, 1);
         assert_eq!(OsdMap::new(3, 1, 8, 3).min_size, 2);
+    }
+
+    #[test]
+    fn zero_weight_excludes_osd_from_placement() {
+        let mut m = map();
+        m.set_weight(OsdId(3), 0);
+        for pg in 0..256 {
+            assert!(
+                !m.acting_set(GroupId(pg)).contains(&OsdId(3)),
+                "drained osd must leave every acting set"
+            );
+        }
+        // Still up: a drained OSD serves as a handoff source.
+        assert!(m.osd(OsdId(3)).up);
+        assert!(!m.osd(OsdId(3)).in_set());
+    }
+
+    #[test]
+    fn drain_moves_only_affected_groups() {
+        let mut m = map();
+        let before: Vec<_> = (0..256).map(|pg| m.acting_set(GroupId(pg))).collect();
+        m.set_weight(OsdId(5), 0);
+        for (pg, old) in before.iter().enumerate() {
+            let new = m.acting_set(GroupId(pg as u32));
+            if !old.contains(&OsdId(5)) {
+                assert_eq!(&new, old, "pg{pg} moved needlessly on drain");
+            }
+        }
+    }
+
+    #[test]
+    fn add_osd_gets_dense_id_and_moves_few_groups() {
+        let mut m = map();
+        let before: Vec<_> = (0..256).map(|pg| m.acting_set(GroupId(pg))).collect();
+        let id = m.add_osd(NodeId(4), DEFAULT_OSD_WEIGHT);
+        assert_eq!(id, OsdId(8), "ids stay dense");
+        let mut moved = 0;
+        for (pg, old) in before.iter().enumerate() {
+            let new = m.acting_set(GroupId(pg as u32));
+            if &new != old {
+                assert!(new.contains(&id), "pg{pg} may only move onto the new osd");
+                moved += 1;
+            }
+        }
+        // Rendezvous: the newcomer captures ~replication/(n+1) of the groups.
+        assert!(moved > 0, "a unit-weight newcomer must attract some groups");
+        assert!(
+            moved <= 2 * 2 * 256 / 9 + 8,
+            "movement stays near the minimal share: {moved}"
+        );
+    }
+
+    #[test]
+    fn double_weight_attracts_roughly_double_share() {
+        let mut m = map();
+        m.set_weight(OsdId(0), 2 * DEFAULT_OSD_WEIGHT);
+        let mut counts = vec![0usize; 8];
+        for pg in 0..1024 {
+            for id in m.acting_set(GroupId(pg)) {
+                counts[id.0 as usize] += 1;
+            }
+        }
+        let others = counts[1..].iter().sum::<usize>() / 7;
+        assert!(
+            counts[0] > others * 3 / 2,
+            "2x-weight osd should hold well over its equal share: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn mutations_bump_epoch_monotonically() {
+        let mut m = map();
+        let mut last = m.epoch;
+        let id = m.add_osd(NodeId(4), DEFAULT_OSD_WEIGHT);
+        assert!(m.epoch > last);
+        last = m.epoch;
+        assert!(m.set_weight(id, 3 * DEFAULT_OSD_WEIGHT));
+        assert!(m.epoch > last);
+        last = m.epoch;
+        // No-op weight change leaves the epoch alone.
+        assert!(!m.set_weight(id, 3 * DEFAULT_OSD_WEIGHT));
+        assert_eq!(m.epoch, last);
+        m.remove_osd(id);
+        assert!(m.epoch > last);
+        assert!(!m.osd(id).up);
+        assert_eq!(m.osd(id).weight, 0);
+    }
+
+    #[test]
+    fn flapping_osd_is_held_out_until_stable() {
+        let ms = |n: u64| n * 1_000_000;
+        let mut mon = Monitor::new(map());
+        mon.set_grace_nanos(ms(10));
+        mon.set_flap_policy(3, ms(100), ms(50));
+        // Three down/up cycles in quick succession: the third rejoin trips
+        // the damper.
+        let mut rejoined = 0;
+        for cycle in 0..3u64 {
+            let t = ms(5 + cycle * 10);
+            mon.map.mark_down(OsdId(2));
+            if mon.heartbeat(OsdId(2), t).is_some() {
+                rejoined += 1;
+            }
+        }
+        assert_eq!(rejoined, 2, "third rejoin within the window is refused");
+        assert_eq!(mon.flaps_damped(), 1);
+        assert!(!mon.map().osd(OsdId(2)).up);
+        assert!(mon.is_held_out(OsdId(2), ms(30)));
+        // Still held: rejoin attempts during the holdout are counted and
+        // refused.
+        assert!(mon.heartbeat(OsdId(2), ms(40)).is_none());
+        assert_eq!(mon.flaps_damped(), 2);
+        // After the holdout the OSD is readmitted.
+        let update = mon.heartbeat(OsdId(2), ms(80));
+        assert!(matches!(update, Some(MonMsg::MapUpdate { .. })));
+        assert!(mon.map().osd(OsdId(2)).up);
+    }
+
+    #[test]
+    fn admin_mutations_broadcast_map_updates() {
+        let mut mon = Monitor::new(map());
+        let e0 = mon.map().epoch;
+        let update = mon.admin_set_weight(OsdId(1), 0);
+        assert!(matches!(update, Some(MonMsg::MapUpdate { .. })));
+        assert_eq!(mon.map().epoch, e0 + 1);
+        // Idempotent: re-applying the same weight is a no-op.
+        assert!(mon.admin_set_weight(OsdId(1), 0).is_none());
+        let (id, _) = mon.admin_add_osd(NodeId(9), DEFAULT_OSD_WEIGHT, 0);
+        assert_eq!(id, OsdId(8));
+        // The monitor's liveness bookkeeping grew with the map.
+        assert!(mon.heartbeat(id, 1).is_none());
     }
 }

@@ -132,6 +132,35 @@ pub struct ClusterSimConfig {
     /// Event-queue implementation for the DES engine. Results are
     /// bit-identical across kinds; only wall-clock speed differs.
     pub scheduler: SchedulerKind,
+    /// Scheduled cluster-map churn: admin weight changes applied at the
+    /// monitor at fixed times (grow-under-load, drains, rebalances). Empty
+    /// by default. The backfill/recovery throttle knobs themselves live on
+    /// the per-OSD template (`osd.max_backfill_inflight`,
+    /// `osd.backfill_bytes_per_tick`).
+    pub churn: Vec<ChurnOp>,
+    /// OSD ids that start weighted *out* of placement: fully provisioned
+    /// and heartbeating but holding no data until a churn op weaves them
+    /// in. This is how grow scenarios pre-provision their final topology.
+    pub initially_out: Vec<u32>,
+    /// Flap dampening: rejoining this many times within `flap_window`
+    /// holds an OSD out for `flap_holdout`. 0 disables dampening.
+    pub flap_threshold: u32,
+    /// See `flap_threshold`.
+    pub flap_window: SimDuration,
+    /// See `flap_threshold`.
+    pub flap_holdout: SimDuration,
+}
+
+/// One scheduled admin map mutation (elastic-operations churn).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnOp {
+    /// When the administrator applies the change.
+    pub at: SimTime,
+    /// Target OSD id.
+    pub osd: u32,
+    /// New placement weight: 0 drains the OSD,
+    /// [`crate::placement::DEFAULT_OSD_WEIGHT`] weaves it in at unit share.
+    pub weight: u32,
 }
 
 impl ClusterSimConfig {
@@ -168,6 +197,11 @@ impl ClusterSimConfig {
             heartbeat_grace: SimDuration::millis(30),
             check_history: false,
             scheduler: SchedulerKind::default(),
+            churn: Vec::new(),
+            initially_out: Vec::new(),
+            flap_threshold: crate::placement::DEFAULT_FLAP_THRESHOLD,
+            flap_window: SimDuration::nanos(crate::placement::DEFAULT_FLAP_WINDOW_NANOS),
+            flap_holdout: SimDuration::nanos(crate::placement::DEFAULT_FLAP_HOLDOUT_NANOS),
         }
     }
 }
@@ -234,6 +268,9 @@ enum Ev {
     MonSweep,
     /// (Client thread) the retry timer for an outstanding op fired.
     ClientTimeout { conn: usize, op: u64, attempt: u32 },
+    /// (Driver thread) a scheduled admin map mutation (grow/drain/reweight)
+    /// reaches the monitor. Index into the config's churn plan.
+    Churn { idx: usize },
 }
 
 struct OsdThreads {
@@ -349,6 +386,12 @@ pub struct SimReport {
     pub recovery_pushes: u64,
     /// Bytes pushed by full-object backfill across all OSDs.
     pub backfill_bytes: u64,
+    /// Recovery pushes deferred by the backfill throttle across all OSDs.
+    pub backfill_queued: u64,
+    /// Simulated time OSDs spent in throttled backfill windows (summed).
+    pub backfill_throttled_nanos: u64,
+    /// Rejoins the monitor's flap dampening refused.
+    pub flaps_damped: u64,
     /// Objects still known missing on some peer at the end of the window
     /// (outstanding recovery work; zero once the cluster healed).
     pub degraded_objects: u64,
@@ -409,6 +452,8 @@ struct World {
     heartbeat_period: Option<SimDuration>,
     /// Pending torn-tail flag per crashed OSD, applied at restart.
     crash_torn: Vec<bool>,
+    /// Scheduled admin map mutations, indexed by `Ev::Churn`.
+    churn: Vec<ChurnOp>,
     /// Safety-invariant checker, when armed.
     checker: Option<HistoryChecker>,
     client_errors: u64,
@@ -971,7 +1016,25 @@ impl World {
         hold: SimDuration,
     ) {
         let group = req.oid().group();
-        let osd = self.map.primary(group).0 as usize;
+        let Some(primary) = self.map.try_primary(group) else {
+            // Every OSD that could serve the group is down or weighted out:
+            // a send can race a map change, so this must not panic. Surface
+            // a retryable Degraded error — with a retry policy the op is
+            // re-queued until a survivor map arrives, without one it is
+            // accounted as a client error.
+            let reply = ClientReply::Error {
+                op: req.op(),
+                error: StoreError::Degraded,
+            };
+            let thread = self.conns[conn].thread;
+            ctx.send_after(
+                thread,
+                Ev::ClientDone { conn, reply },
+                hold + SimDuration::micros(1),
+            );
+            return;
+        };
+        let osd = primary.0 as usize;
         let bytes = req.wire_bytes();
         ctx.spend(CLIENT, SimDuration::micros(2));
         let client_link = self.client_link();
@@ -1243,6 +1306,17 @@ impl rablock_sim::Handler<Ev> for World {
                     self.install_map(ctx, map);
                 }
             }
+            Ev::Churn { idx } => {
+                // An administrator reweights an OSD at the monitor: grow
+                // (0 → w weaves a pre-provisioned spare in), drain (w → 0
+                // hands its groups off while it stays up), or rebalance.
+                let op = self.churn[idx];
+                if let Some(MonMsg::MapUpdate { map }) =
+                    self.monitor.admin_set_weight(OsdId(op.osd), op.weight)
+                {
+                    self.install_map(ctx, map);
+                }
+            }
             Ev::ClientTimeout { conn, op, attempt } => {
                 let Some(r) = self.retry else {
                     return;
@@ -1381,7 +1455,13 @@ impl ClusterSim {
         let mut sim: Simulation<Ev> =
             Simulation::with_scheduler(cfg.seed, cfg.scheduler, queue_hint);
         sim.set_context_switch_cost(cfg.ctx_switch);
-        let map = OsdMap::new(cfg.nodes, cfg.osds_per_node, cfg.pg_count, cfg.replication);
+        let mut map = OsdMap::new(cfg.nodes, cfg.osds_per_node, cfg.pg_count, cfg.replication);
+        // Spares for grow scenarios start weighted out of placement. Applied
+        // before any map is distributed, so no epoch bump is needed — every
+        // OSD and the monitor begin from this same epoch-1 map.
+        for &spare in &cfg.initially_out {
+            map.osds[spare as usize].weight = 0;
+        }
 
         let mut node_cores = Vec::new();
         let mut threads: Vec<OsdThreads> = Vec::new();
@@ -1516,8 +1596,15 @@ impl ClusterSim {
             t.device = dev;
         }
 
+        // Denominate the backfill throttle's per-tick byte budget in actual
+        // heartbeat periods when detection is armed, so throttled time is
+        // accounted in the same clock the retries run on.
+        let mut osd_cfg = cfg.osd.clone();
+        if let Some(period) = cfg.heartbeat_period {
+            osd_cfg.backfill_tick_nanos = period.as_nanos();
+        }
         for id in 0..(cfg.nodes * cfg.osds_per_node) {
-            osds.push(Osd::new(OsdId(id), cfg.osd.clone(), map.clone()));
+            osds.push(Osd::new(OsdId(id), osd_cfg.clone(), map.clone()));
         }
 
         // Client threads: one core per two connections on client "nodes".
@@ -1549,6 +1636,11 @@ impl ClusterSim {
 
         let mut monitor = Monitor::new(map.clone());
         monitor.set_grace_nanos(cfg.heartbeat_grace.as_nanos());
+        monitor.set_flap_policy(
+            cfg.flap_threshold,
+            cfg.flap_window.as_nanos(),
+            cfg.flap_holdout.as_nanos(),
+        );
 
         let world = World {
             mode: cfg.mode,
@@ -1576,6 +1668,7 @@ impl ClusterSim {
             retry: cfg.retry,
             heartbeat_period: cfg.heartbeat_period,
             crash_torn: vec![false; (cfg.nodes * cfg.osds_per_node) as usize],
+            churn: cfg.churn.clone(),
             checker: cfg.check_history.then(HistoryChecker::new),
             client_errors: 0,
             fx_scratch: Vec::new(),
@@ -1626,6 +1719,11 @@ impl ClusterSim {
             };
             this.sim.schedule(at, driver_thread, ev);
         }
+        // Scheduled admin churn (grow/drain/reweight) on the same driver
+        // thread; the handler only touches monitor + driver state.
+        for (idx, op) in cfg.churn.iter().enumerate() {
+            this.sim.schedule(op.at, driver_thread, Ev::Churn { idx });
+        }
         this
     }
 
@@ -1668,6 +1766,55 @@ impl ClusterSim {
     /// Client operations surfaced as errors so far (fault-injection runs).
     pub fn client_errors(&self) -> u64 {
         self.world.client_errors
+    }
+
+    /// Rejoins the monitor's flap dampening has refused so far.
+    pub fn flaps_damped(&self) -> u64 {
+        self.world.monitor.flaps_damped()
+    }
+
+    /// Per-OSD logical fill: the bytes of every extent a live,
+    /// placement-eligible OSD tracks for the groups it currently serves.
+    /// The input to the capacity-imbalance invariant after quiesce —
+    /// drained/dead OSDs are excluded (their stale extents are handoff
+    /// residue, not load).
+    pub fn osd_fill_bytes(&self) -> Vec<(OsdId, u64)> {
+        let live: Vec<usize> = (0..self.world.osds.len())
+            .filter(|&i| !self.world.dead[i])
+            .collect();
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+            return Vec::new();
+        };
+        let map = self.world.osds[holder].map().clone();
+        let mut fills = Vec::new();
+        for o in map.in_osds() {
+            let i = o.id.0 as usize;
+            if self.world.dead[i] {
+                continue;
+            }
+            let mut total = 0u64;
+            for g in 0..map.pg_count {
+                let group = GroupId(g);
+                if !map.acting_set(group).contains(&o.id) {
+                    continue;
+                }
+                total += self.world.osds[i]
+                    .group_extent_map(group)
+                    .iter()
+                    .map(|&(_, len)| len)
+                    .sum::<u64>();
+            }
+            fills.push((o.id, total));
+        }
+        fills
+    }
+
+    /// Relative capacity imbalance across eligible OSDs: the largest
+    /// deviation above the mean fill, as a fraction of the mean (see
+    /// [`crate::invariants::capacity_imbalance`]).
+    pub fn capacity_imbalance(&self) -> f64 {
+        let fills: Vec<u64> = self.osd_fill_bytes().into_iter().map(|(_, b)| b).collect();
+        crate::invariants::capacity_imbalance(&fills)
     }
 
     /// The history checker, when `check_history` armed it.
@@ -1892,6 +2039,9 @@ impl ClusterSim {
             client_errors: w.client_errors,
             recovery_pushes: w.osds.iter().map(|o| o.recovery_pushes).sum(),
             backfill_bytes: w.osds.iter().map(|o| o.backfill_bytes).sum(),
+            backfill_queued: w.osds.iter().map(|o| o.backfill_queued).sum(),
+            backfill_throttled_nanos: w.osds.iter().map(|o| o.backfill_throttled_nanos).sum(),
+            flaps_damped: w.monitor.flaps_damped(),
             degraded_objects: w.osds.iter().map(Osd::degraded_objects).sum(),
             queue_high_water: self.sim.queue_high_water(),
         }

@@ -69,7 +69,7 @@ pub mod sim {
     pub use rablock_cluster::invariants::HistoryChecker;
     pub use rablock_cluster::retry::RetryPolicy;
     pub use rablock_cluster::sim_driver::{
-        ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem, MON_NODE,
+        ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem, MON_NODE,
     };
     pub use rablock_sim::{
         CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, Partition, SchedulerKind,

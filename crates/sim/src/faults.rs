@@ -211,6 +211,58 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a flapping storm: `cycles` crash/restart pairs of one process,
+    /// the first crash at `start`, each cycle `period` long with the process
+    /// down for `downtime` of it. Models an OSD bouncing on a bad power
+    /// rail or OOM loop — the storm the monitor's flap dampening exists for.
+    pub fn with_flapping(
+        mut self,
+        process: usize,
+        start: SimTime,
+        cycles: usize,
+        period: SimDuration,
+        downtime: SimDuration,
+    ) -> Self {
+        assert!(cycles > 0, "a flap storm needs at least one cycle");
+        assert!(
+            downtime < period,
+            "downtime must leave time up within a cycle"
+        );
+        for c in 0..cycles {
+            let at = start + period * c as u64;
+            self = self.with_crash(CrashSchedule {
+                process,
+                at,
+                restart_at: Some(at + downtime),
+                torn_tail: false,
+            });
+        }
+        self
+    }
+
+    /// Adds a rolling upgrade: each listed process is crashed and restarted
+    /// in turn, `stagger` apart, down for `downtime`. With `stagger >=
+    /// downtime` at most one process is down at a time — the classic
+    /// one-failure-domain-at-a-time maintenance walk.
+    pub fn with_rolling_upgrade(
+        mut self,
+        processes: impl IntoIterator<Item = usize>,
+        start: SimTime,
+        downtime: SimDuration,
+        stagger: SimDuration,
+    ) -> Self {
+        for (i, process) in processes.into_iter().enumerate() {
+            let at = start + stagger * i as u64;
+            self = self.with_crash(CrashSchedule {
+                process,
+                at,
+                restart_at: Some(at + downtime),
+                torn_tail: false,
+            });
+        }
+        self
+    }
+
     /// Adds a gray-failure window.
     pub fn with_gray_window(mut self, window: GrayWindow) -> Self {
         assert!(

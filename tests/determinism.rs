@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use rablock::sim::{
-    ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow, LinkFault,
-    Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime, WorkItem,
+    ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow,
+    LinkFault, Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime,
+    WorkItem,
 };
 use rablock::{GroupId, ObjectId, PipelineMode};
 use rablock_bench::{paper_cluster, randwrite_conns, Dataset};
@@ -116,6 +117,9 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.recovery_pushes,
         r.backfill_bytes,
         r.degraded_objects,
+        r.backfill_queued,
+        r.backfill_throttled_nanos,
+        r.flaps_damped,
     ];
     v.extend(
         r.write_lat
@@ -349,4 +353,123 @@ proptest! {
         let heap = chaos_fingerprint_with(seed, SchedulerKind::Heap);
         prop_assert_eq!(wheel, heap);
     }
+}
+
+/// Elastic-operations scenario: a 4-node x 4-OSD topology starts with only
+/// the first OSD of each node in service, grows to 16 via two weight-churn
+/// waves, while one OSD flaps through 6 down/up cycles (tripping the
+/// monitor's dampening) and the backfill throttle is tightened enough to
+/// queue. Exercises every counter the elastic-operations work added.
+fn churn_config(seed: u64) -> ClusterSimConfig {
+    const W: u32 = rablock_cluster::placement::DEFAULT_OSD_WEIGHT;
+    let mut cfg = ClusterSimConfig::defaults(PipelineMode::Dop);
+    cfg.nodes = 4;
+    cfg.osds_per_node = 4;
+    cfg.cores_per_node = 6;
+    cfg.priority_threads = 1;
+    cfg.non_priority_threads = 2;
+    cfg.pg_count = CHAOS_PGS;
+    cfg.queue_depth = 4;
+    cfg.seed = seed;
+    cfg.osd = OsdConfig {
+        mode: PipelineMode::Dop,
+        device_bytes: 32 << 20,
+        nvm_bytes: 4 << 20,
+        ring_bytes: 256 << 10,
+        flush_threshold: 8,
+        lsm: LsmOptions::tiny(),
+        cos: CosOptions::tiny(),
+        max_backfill_inflight: 2,
+        backfill_bytes_per_tick: 1 << 20,
+        ..OsdConfig::default()
+    };
+    cfg.faults = FaultPlan::none()
+        .with_link_fault(LinkFault {
+            link: None,
+            from: SimTime::ZERO,
+            until: ms(10_000),
+            drop_p: 0.005,
+            dup_p: 0.002,
+            reorder_p: 0.05,
+            reorder_max: SimDuration::nanos(200_000),
+            spike_p: 0.02,
+            spike: SimDuration::nanos(500_000),
+        })
+        .with_flapping(0, ms(3), 6, SimDuration::millis(10), SimDuration::millis(7));
+    cfg.heartbeat_period = Some(SimDuration::millis(1));
+    cfg.heartbeat_grace = SimDuration::millis(5);
+    cfg.retry = Some(RetryPolicy {
+        timeout_nanos: 10_000_000,
+        backoff_base_nanos: 1_000_000,
+        backoff_multiplier: 2.0,
+        jitter_frac: 0.2,
+        max_attempts: 8,
+    });
+    cfg.check_history = true;
+    // Seed members: first OSD of each node (ids 0, 4, 8, 12).
+    let seed_osds = [0u32, 4, 8, 12];
+    cfg.initially_out = (0..16u32).filter(|id| !seed_osds.contains(id)).collect();
+    let mut churn: Vec<ChurnOp> = [1u32, 5, 9, 13]
+        .iter()
+        .map(|&osd| ChurnOp {
+            at: ms(8),
+            osd,
+            weight: W,
+        })
+        .collect();
+    churn.extend(
+        (0..16u32)
+            .filter(|id| id % 4 >= 2)
+            .enumerate()
+            .map(|(i, osd)| ChurnOp {
+                at: ms(20) + SimDuration::nanos(100_000) * i as u64,
+                osd,
+                weight: W,
+            }),
+    );
+    cfg.churn = churn;
+    cfg
+}
+
+fn churn_fingerprint_with(seed: u64, sched: SchedulerKind) -> Vec<u64> {
+    let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
+        .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
+        .collect();
+    let mut cfg = churn_config(seed);
+    cfg.scheduler = sched;
+    let mut sim = ClusterSim::new(cfg, wl);
+    let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
+        .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 256 << 10)))
+        .collect();
+    sim.prefill(&objects);
+    let r = sim.run(SimDuration::ZERO, SimDuration::millis(100));
+    assert!(r.writes_done > 0, "churn run must make progress");
+    let checker = sim.checker().expect("history checking enabled");
+    let mut fp = full_fingerprint(&r, Some((checker.writes_acked(), checker.reads_checked())));
+    fp.push(sim.capacity_imbalance().to_bits());
+    fp
+}
+
+#[test]
+fn churn_seed_double_run_is_byte_identical() {
+    let a = churn_fingerprint_with(0xE1A5, SchedulerKind::default());
+    let b = churn_fingerprint_with(0xE1A5, SchedulerKind::default());
+    assert!(a.len() > 20, "fingerprint covers the full report");
+    assert_eq!(
+        a, b,
+        "churn: weight churn, flap dampening, and throttle accounting must replay identically"
+    );
+}
+
+/// Wheel vs heap on the elastic-operations scenario: map churn, joiner
+/// backfill, throttle windows, and flap dampening are the newest paths
+/// sensitive to event ordering.
+#[test]
+fn wheel_matches_heap_fingerprint_churn() {
+    let wheel = churn_fingerprint_with(0xE1A5, SchedulerKind::Wheel);
+    let heap = churn_fingerprint_with(0xE1A5, SchedulerKind::Heap);
+    assert_eq!(
+        wheel, heap,
+        "churn: scheduler choice must be invisible to every metric"
+    );
 }
