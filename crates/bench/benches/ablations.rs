@@ -41,14 +41,14 @@ fn nvm_capacity_sweep() {
         table.row([
             format!("{} KiB", ring >> 10),
             fmt_iops(report.write_iops),
-            fmt_latency(report.write_lat[0].as_nanos()),
-            fmt_latency(report.write_lat[3].as_nanos()),
+            fmt_latency(report.write_lat.mean.as_nanos()),
+            fmt_latency(report.write_lat.p99.as_nanos()),
             report.nvm_full_stalls.to_string(),
         ]);
         csv.row([
             ring.to_string(),
             format!("{:.0}", report.write_iops),
-            report.write_lat[0].as_nanos().to_string(),
+            report.write_lat.mean.as_nanos().to_string(),
             report.nvm_full_stalls.to_string(),
         ]);
     }

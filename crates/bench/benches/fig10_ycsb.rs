@@ -59,9 +59,9 @@ fn main() {
                 kind.to_string(),
                 mode_name(mode).to_string(),
                 fmt_iops(throughput),
-                fmt_latency(report.read_lat[0].as_nanos()),
+                fmt_latency(report.read_lat.mean.as_nanos()),
                 if report.writes_done > 0 {
-                    fmt_latency(report.write_lat[0].as_nanos())
+                    fmt_latency(report.write_lat.mean.as_nanos())
                 } else {
                     "-".to_string()
                 },
@@ -70,8 +70,8 @@ fn main() {
                 kind.to_string(),
                 mode_name(mode).to_string(),
                 format!("{throughput:.0}"),
-                report.read_lat[0].as_nanos().to_string(),
-                report.write_lat[0].as_nanos().to_string(),
+                report.read_lat.mean.as_nanos().to_string(),
+                report.write_lat.mean.as_nanos().to_string(),
             ]);
         }
     }

@@ -41,13 +41,13 @@ fn main() {
             partitions.to_string(),
             conns.to_string(),
             fmt_iops(report.write_iops),
-            fmt_latency(report.write_lat[0].as_nanos()),
+            fmt_latency(report.write_lat.mean.as_nanos()),
         ]);
         csv.row([
             partitions.to_string(),
             conns.to_string(),
             format!("{:.0}", report.write_iops),
-            report.write_lat[0].as_nanos().to_string(),
+            report.write_lat.mean.as_nanos().to_string(),
         ]);
     }
     println!("{}", table.render());

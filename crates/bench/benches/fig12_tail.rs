@@ -63,16 +63,16 @@ fn main() {
             (report.writes_done + report.reads_done) as f64 / report.duration.as_secs_f64();
         table.row([
             threshold.to_string(),
-            rablock_workload::fmt_latency(report.write_lat[2].as_nanos()),
-            rablock_workload::fmt_latency(report.read_lat[2].as_nanos()),
-            rablock_workload::fmt_latency(report.write_lat[3].as_nanos()),
+            rablock_workload::fmt_latency(report.write_lat.p95.as_nanos()),
+            rablock_workload::fmt_latency(report.read_lat.p95.as_nanos()),
+            rablock_workload::fmt_latency(report.write_lat.p99.as_nanos()),
             format!("{offered:.0}"),
         ]);
         csv.row([
             threshold.to_string(),
-            report.write_lat[2].as_nanos().to_string(),
-            report.read_lat[2].as_nanos().to_string(),
-            report.write_lat[3].as_nanos().to_string(),
+            report.write_lat.p95.as_nanos().to_string(),
+            report.read_lat.p95.as_nanos().to_string(),
+            report.write_lat.p99.as_nanos().to_string(),
         ]);
     }
     println!("{}", table.render());

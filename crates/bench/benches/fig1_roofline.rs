@@ -71,8 +71,8 @@ fn main() {
         table.row([
             mode_name(mode).to_string(),
             fmt_iops(report.write_iops),
-            fmt_latency(report.write_lat[0].as_nanos()),
-            fmt_latency(report.write_lat[2].as_nanos()),
+            fmt_latency(report.write_lat.mean.as_nanos()),
+            fmt_latency(report.write_lat.p95.as_nanos()),
             format!("{cpu:.0}%"),
             format!("{:.0}%", np / cfg_nodes() as f64),
             format!("{:.0}%", sp / cfg_nodes() as f64),
@@ -82,7 +82,7 @@ fn main() {
         csv.row([
             mode_name(mode).to_string(),
             format!("{:.0}", report.write_iops),
-            report.write_lat[0].as_nanos().to_string(),
+            report.write_lat.mean.as_nanos().to_string(),
             format!("{cpu:.1}"),
             format!("{:.1}", np / cfg_nodes() as f64),
             format!("{:.1}", sp / cfg_nodes() as f64),

@@ -63,8 +63,8 @@ fn main() {
             table.row([
                 mode_name(mode).to_string(),
                 fmt_iops(iops),
-                fmt_latency(lat[0].as_nanos()),
-                fmt_latency(lat[2].as_nanos()),
+                fmt_latency(lat.mean.as_nanos()),
+                fmt_latency(lat.p95.as_nanos()),
                 format!("{:.0}%", report.mean_node_cpu()),
                 classes.join(" "),
             ]);
@@ -75,7 +75,7 @@ fn main() {
                     if is_write { "write" } else { "read" }
                 ),
                 format!("{iops:.0}"),
-                lat[0].as_nanos().to_string(),
+                lat.mean.as_nanos().to_string(),
                 format!("{:.1}", report.mean_node_cpu()),
             ]);
         }

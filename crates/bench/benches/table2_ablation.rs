@@ -69,13 +69,13 @@ fn main() {
             piops.to_string(),
             format!("{plat} ms"),
             fmt_iops(report.write_iops),
-            fmt_latency(report.write_lat[0].as_nanos()),
+            fmt_latency(report.write_lat.mean.as_nanos()),
             format!("{:.2}x", report.write_iops / base_iops),
         ]);
         csv.row([
             mode_name(mode).to_string(),
             format!("{:.0}", report.write_iops),
-            report.write_lat[0].as_nanos().to_string(),
+            report.write_lat.mean.as_nanos().to_string(),
         ]);
     }
     println!("{}", table.render());

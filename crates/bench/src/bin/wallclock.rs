@@ -21,8 +21,15 @@
 //!
 //! ```text
 //! wallclock [--label before|after] [--iters N] [--smoke] [--only NAME]
-//!           [--sched wheel|heap] [--sweep] [--jobs N]
+//!           [--sched wheel|heap] [--sweep] [--jobs N] [--trace-out PATH]
 //! ```
+//!
+//! `--trace-out PATH` re-runs each selected scenario with tracing and
+//! windowed telemetry armed, asserts the traced fingerprint is identical
+//! to the untraced one (tracing is passive by construction), and writes a
+//! Perfetto-loadable Chrome trace JSON plus `.telemetry.csv` /
+//! `.attribution.csv` siblings. With `--only NAME` the JSON lands at PATH
+//! exactly; otherwise each scenario gets a `-<name>` suffix.
 //!
 //! The grow scenario also reports the write-tail degradation window: its
 //! p99 write latency next to the p99 of a churn-free control run on the
@@ -63,9 +70,44 @@ struct Sample {
     sim_reads: u64,
     /// p99 write latency of the run, in simulated nanoseconds.
     p99_write_ns: u64,
+    /// p99.9 write latency — the deep 4 KiB random-write tail that churn
+    /// moves first (invisible at p99 until the storm is severe).
+    p999_write_ns: u64,
     /// For the grow scenario: p99 of the churn-free control run on the
     /// same topology, framing the expansion's tail-latency degradation.
     baseline_p99_write_ns: Option<u64>,
+}
+
+/// Deterministic per-run observability artifacts (`--trace-out`).
+struct TraceOut {
+    /// Chrome trace-event JSON (Perfetto-loadable): slow-op span trees
+    /// plus the telemetry counter tracks.
+    chrome_json: String,
+    /// Windowed telemetry time-series as CSV.
+    telemetry_csv: String,
+    /// Per-component latency attribution, pre-rendered as CSV rows.
+    attribution_csv: String,
+}
+
+/// Renders a report's attribution breakdown as CSV (component per row).
+fn attribution_csv(r: &SimReport) -> String {
+    let mut out = String::from("component,mean_ns,p50_ns,p95_ns,p99_ns,p999_ns,total_ns,share\n");
+    if let Some(att) = &r.attribution {
+        for (comp, lat, total) in &att.components {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.4}\n",
+                comp.name(),
+                lat.mean.as_nanos(),
+                lat.p50.as_nanos(),
+                lat.p95.as_nanos(),
+                lat.p99.as_nanos(),
+                lat.p999.as_nanos(),
+                total,
+                att.share(*comp),
+            ));
+        }
+    }
+    out
 }
 
 impl Sample {
@@ -99,12 +141,13 @@ fn fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.backfill_throttled_nanos,
         r.flaps_damped,
     ];
-    v.extend(
-        r.write_lat
-            .iter()
-            .chain(r.read_lat.iter())
-            .map(|d| d.as_nanos()),
-    );
+    // Named-field latency summaries, flattened in a fixed order. The
+    // attribution report is deliberately NOT part of the fingerprint: it
+    // only exists when tracing is on, and the fingerprint must be identical
+    // tracing on or off.
+    let wf = r.write_lat.fields();
+    let rf = r.read_lat.fields();
+    v.extend(wf.iter().chain(rf.iter()).map(|d| d.as_nanos()));
     v.extend(r.node_cpu_pct.iter().map(|p| p.to_bits()));
     v.extend(r.tag_cpu_pct.values().map(|p| p.to_bits()));
     v.extend(r.class_cpu_pct.values().map(|p| p.to_bits()));
@@ -146,28 +189,53 @@ fn fp_hash(fp: &[u64]) -> u64 {
     h
 }
 
+/// Arms tracing + windowed telemetry on a config (`--trace-out` runs).
+fn arm_trace(cfg: &mut ClusterSimConfig) {
+    cfg.trace = true;
+    cfg.telemetry_window = Some(SimDuration::millis(2));
+}
+
+/// Extracts the observability artifacts after a traced run.
+fn trace_out(sim: &ClusterSim, report: &SimReport) -> TraceOut {
+    TraceOut {
+        chrome_json: sim.trace_chrome_json().expect("tracing armed"),
+        telemetry_csv: sim.telemetry_csv(),
+        attribution_csv: attribution_csv(report),
+    }
+}
+
 /// The fig7 4 KiB random-write scenario at the paper-cluster scale.
-fn run_fig7(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
+fn run_fig7(
+    measure: SimDuration,
+    sched: SchedulerKind,
+    trace: bool,
+) -> (Sample, Vec<u64>, Option<TraceOut>) {
     const CONNS: usize = 16;
     let dataset = Dataset::default_for(CONNS);
     let mut cfg = paper_cluster(PipelineMode::Dop);
     cfg.scheduler = sched;
+    if trace {
+        arm_trace(&mut cfg);
+    }
     let mut sim = ClusterSim::new(cfg, randwrite_conns(dataset, CONNS));
     sim.prefill(&dataset.all_objects());
     let t = Instant::now();
     let report = sim.run(SimDuration::ZERO, measure);
     let wall_secs = t.elapsed().as_secs_f64();
     let fp = fingerprint(&report, None);
+    let out = trace.then(|| trace_out(&sim, &report));
     (
         Sample {
             wall_secs,
             events: report.events_processed,
             sim_writes: report.writes_done,
             sim_reads: report.reads_done,
-            p99_write_ns: report.write_lat[3].as_nanos(),
+            p99_write_ns: report.write_lat.p99.as_nanos(),
+            p999_write_ns: report.write_lat.p999.as_nanos(),
             baseline_p99_write_ns: None,
         },
         fp,
+        out,
     )
 }
 
@@ -282,12 +350,19 @@ fn chaos_config() -> ClusterSimConfig {
     cfg
 }
 
-fn run_chaos(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
+fn run_chaos(
+    measure: SimDuration,
+    sched: SchedulerKind,
+    trace: bool,
+) -> (Sample, Vec<u64>, Option<TraceOut>) {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
         .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
     let mut cfg = chaos_config();
     cfg.scheduler = sched;
+    if trace {
+        arm_trace(&mut cfg);
+    }
     let mut sim = ClusterSim::new(cfg, wl);
     let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
         .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
@@ -301,16 +376,19 @@ fn run_chaos(measure: SimDuration, sched: SchedulerKind) -> (Sample, Vec<u64>) {
         &report,
         Some((checker.writes_acked(), checker.reads_checked())),
     );
+    let out = trace.then(|| trace_out(&sim, &report));
     (
         Sample {
             wall_secs,
             events: report.events_processed,
             sim_writes: report.writes_done,
             sim_reads: report.reads_done,
-            p99_write_ns: report.write_lat[3].as_nanos(),
+            p99_write_ns: report.write_lat.p99.as_nanos(),
+            p999_write_ns: report.write_lat.p999.as_nanos(),
             baseline_p99_write_ns: None,
         },
         fp,
+        out,
     )
 }
 
@@ -415,12 +493,20 @@ fn grow_config(churn: bool) -> ClusterSimConfig {
     cfg
 }
 
-fn run_grow(measure: SimDuration, sched: SchedulerKind, churn: bool) -> (Sample, Vec<u64>) {
+fn run_grow(
+    measure: SimDuration,
+    sched: SchedulerKind,
+    churn: bool,
+    trace: bool,
+) -> (Sample, Vec<u64>, Option<TraceOut>) {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..GROW_CONNS)
         .map(|c| Box::new(GrowConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
     let mut cfg = grow_config(churn);
     cfg.scheduler = sched;
+    if trace {
+        arm_trace(&mut cfg);
+    }
     let mut sim = ClusterSim::new(cfg, wl);
     let objects: Vec<(ObjectId, u64)> = (0..GROW_CONNS)
         .flat_map(|c| (0..8).map(move |k| (grow_oid(c, k), 256 << 10)))
@@ -443,24 +529,32 @@ fn run_grow(measure: SimDuration, sched: SchedulerKind, churn: bool) -> (Sample,
         &report,
         Some((checker.writes_acked(), checker.reads_checked())),
     );
+    let out = trace.then(|| trace_out(&sim, &report));
     (
         Sample {
             wall_secs,
             events: report.events_processed,
             sim_writes: report.writes_done,
             sim_reads: report.reads_done,
-            p99_write_ns: report.write_lat[3].as_nanos(),
+            p99_write_ns: report.write_lat.p99.as_nanos(),
+            p999_write_ns: report.write_lat.p999.as_nanos(),
             baseline_p99_write_ns: None,
         },
         fp,
+        out,
     )
 }
 
 /// Runs one scenario `iters` times (plus a determinism re-run of the first
-/// iteration) and returns the best sample by events/sec.
-fn measure_scenario(name: &str, iters: usize, run: impl Fn() -> (Sample, Vec<u64>)) -> Sample {
-    let (first, fp_a) = run();
-    let (_, fp_b) = run();
+/// iteration) and returns the best sample by events/sec plus the first
+/// run's fingerprint (for traced-vs-untraced comparisons).
+fn measure_scenario(
+    name: &str,
+    iters: usize,
+    run: impl Fn() -> (Sample, Vec<u64>, Option<TraceOut>),
+) -> (Sample, Vec<u64>) {
+    let (first, fp_a, _) = run();
+    let (_, fp_b, _) = run();
     assert_eq!(
         fp_a, fp_b,
         "{name}: same seed must replay a byte-identical metric fingerprint"
@@ -472,7 +566,7 @@ fn measure_scenario(name: &str, iters: usize, run: impl Fn() -> (Sample, Vec<u64
     println!("  [{name}] fingerprint {:#018x}", fp_hash(&fp_a));
     let mut best = first;
     for _ in 1..iters.max(1) {
-        let (s, _) = run();
+        let (s, _, _) = run();
         if s.events_per_sec() > best.events_per_sec() {
             best = s;
         }
@@ -484,7 +578,53 @@ fn measure_scenario(name: &str, iters: usize, run: impl Fn() -> (Sample, Vec<u64
         best.events_per_sec(),
         best.sim_ops_per_sec(),
     );
-    best
+    (best, fp_a)
+}
+
+/// Runs a scenario once with tracing + telemetry armed, asserts the traced
+/// fingerprint matches the untraced one (tracing must be purely passive),
+/// and writes the artifacts next to `path`'s stem (`-<name>` suffix unless
+/// the caller narrowed the run to one scenario with `--only`).
+fn emit_trace_artifacts(
+    name: &str,
+    path: &str,
+    exclusive: bool,
+    untraced_fp: &[u64],
+    untraced_wall_secs: f64,
+    run: impl Fn() -> (Sample, Vec<u64>, Option<TraceOut>),
+) {
+    let (traced, fp, out) = run();
+    assert_eq!(
+        fp, untraced_fp,
+        "{name}: tracing must not change the simulation (fingerprint drift)"
+    );
+    println!("  [{name}] traced fingerprint identical: OK");
+    println!(
+        "  [{name}] traced wall {:.3}s  overhead {:+.1}% vs untraced {:.3}s",
+        traced.wall_secs,
+        (traced.wall_secs / untraced_wall_secs - 1.0) * 100.0,
+        untraced_wall_secs
+    );
+    let out = out.expect("traced run yields artifacts");
+    let dest = if exclusive {
+        PathBuf::from(path)
+    } else {
+        let p = PathBuf::from(path);
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("json");
+        p.with_file_name(format!("{stem}-{name}.{ext}"))
+    };
+    std::fs::write(&dest, &out.chrome_json).expect("write trace json");
+    println!("  [{name}] trace written: {}", dest.display());
+    let telemetry_dest = dest.with_extension("telemetry.csv");
+    std::fs::write(&telemetry_dest, &out.telemetry_csv).expect("write telemetry csv");
+    println!("  [{name}] telemetry written: {}", telemetry_dest.display());
+    let attribution_dest = dest.with_extension("attribution.csv");
+    std::fs::write(&attribution_dest, &out.attribution_csv).expect("write attribution csv");
+    println!(
+        "  [{name}] attribution written: {}",
+        attribution_dest.display()
+    );
 }
 
 fn workspace_root() -> PathBuf {
@@ -506,7 +646,7 @@ fn run_json(label: &str, scenario: &str, s: &Sample) -> String {
         "    {{\"label\": \"{label}\", \"scenario\": \"{scenario}\", \
          \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}, \
          \"sim_writes\": {}, \"sim_reads\": {}, \"sim_ops_per_sec\": {:.1}, \
-         \"p99_write_ns\": {}{degradation}}}",
+         \"p99_write_ns\": {}, \"p999_write_ns\": {}{degradation}}}",
         s.wall_secs,
         s.events,
         s.events_per_sec(),
@@ -514,6 +654,7 @@ fn run_json(label: &str, scenario: &str, s: &Sample) -> String {
         s.sim_reads,
         s.sim_ops_per_sec(),
         s.p99_write_ns,
+        s.p999_write_ns,
     )
 }
 
@@ -577,6 +718,7 @@ fn run_figure_sweep(smoke: bool, jobs: usize) -> Sample {
         sim_writes: writes,
         sim_reads: reads,
         p99_write_ns: 0,
+        p999_write_ns: 0,
         baseline_p99_write_ns: None,
     }
 }
@@ -592,9 +734,14 @@ fn main() {
         .unwrap_or(1);
     let mut only: Option<String> = None;
     let mut sched = SchedulerKind::default();
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace-out" => {
+                trace_path = Some(args.get(i + 1).expect("--trace-out needs a path").clone());
+                i += 2;
+            }
             "--label" => {
                 label = Some(args.get(i + 1).expect("--label needs a value").clone());
                 i += 2;
@@ -637,7 +784,7 @@ fn main() {
             }
             other => panic!(
                 "unknown argument {other:?} \
-                 (expected --label/--iters/--jobs/--smoke/--sweep/--only/--sched)"
+                 (expected --label/--iters/--jobs/--smoke/--sweep/--only/--sched/--trace-out)"
             ),
         }
     }
@@ -681,21 +828,39 @@ fn main() {
     }
 
     let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    let exclusive = only.is_some();
     let mut runs = Vec::new();
     if want("fig7") {
         println!("fig7 4 KiB randwrite (DOP, 4 nodes x 2 OSDs, 16 conns):");
-        let fig7 = measure_scenario("fig7", iters, || run_fig7(fig7_measure, sched));
+        let (fig7, fp) = measure_scenario("fig7", iters, || run_fig7(fig7_measure, sched, false));
+        if let Some(path) = &trace_path {
+            emit_trace_artifacts("fig7", path, exclusive, &fp, fig7.wall_secs, || {
+                run_fig7(fig7_measure, sched, true)
+            });
+        }
         runs.push(("fig7", fig7));
     }
     if want("chaos") {
         println!("chaos (3 nodes, faults + retries + history checker):");
-        let chaos = measure_scenario("chaos", iters, || run_chaos(chaos_measure, sched));
+        let (chaos, fp) =
+            measure_scenario("chaos", iters, || run_chaos(chaos_measure, sched, false));
+        if let Some(path) = &trace_path {
+            emit_trace_artifacts("chaos", path, exclusive, &fp, chaos.wall_secs, || {
+                run_chaos(chaos_measure, sched, true)
+            });
+        }
         runs.push(("chaos", chaos));
     }
     if want("grow") {
         println!("grow 4->8->64 OSDs under load (weight churn + throttled backfill):");
-        let (control, _) = run_grow(grow_measure, sched, false);
-        let mut grow = measure_scenario("grow", iters, || run_grow(grow_measure, sched, true));
+        let (control, _, _) = run_grow(grow_measure, sched, false, false);
+        let (mut grow, fp) =
+            measure_scenario("grow", iters, || run_grow(grow_measure, sched, true, false));
+        if let Some(path) = &trace_path {
+            emit_trace_artifacts("grow", path, exclusive, &fp, grow.wall_secs, || {
+                run_grow(grow_measure, sched, true, true)
+            });
+        }
         grow.baseline_p99_write_ns = Some(control.p99_write_ns);
         println!(
             "  [grow] p99 write {} ns vs churn-free control {} ns ({:.2}x degradation window)",

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use rablock::sim::{ChurnOp, ConnWorkload, SimDuration, SimReport, SimTime};
+use rablock::sim::{ChurnOp, Component, ConnWorkload, SimDuration, SimReport, SimTime};
 use rablock::PipelineMode;
 use rablock_cluster::placement::DEFAULT_OSD_WEIGHT;
 use rablock_workload::{AccessPattern, FioJob, YcsbKind, YcsbWorkload};
@@ -236,7 +236,7 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                 &r,
                 vec![
                     ("iops", format!("{:.0}", r.write_iops)),
-                    ("lat_ns", ns(r.write_lat[0])),
+                    ("lat_ns", ns(r.write_lat.mean)),
                     ("cpu_pct", format!("{:.1}", r.mean_node_cpu())),
                     ("ctx", r.context_switches.to_string()),
                 ],
@@ -301,8 +301,8 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                         &r,
                         vec![
                             ("iops", format!("{iops:.0}")),
-                            ("lat_ns", ns(lat[0])),
-                            ("p95_ns", ns(lat[2])),
+                            ("lat_ns", ns(lat.mean)),
+                            ("p95_ns", ns(lat.p95)),
                             ("cpu_pct", format!("{:.1}", r.mean_node_cpu())),
                         ],
                     )
@@ -335,7 +335,7 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                     &r,
                     vec![
                         ("iops", format!("{:.0}", r.write_iops)),
-                        ("lat_ns", ns(r.write_lat[0])),
+                        ("lat_ns", ns(r.write_lat.mean)),
                     ],
                 )
             },
@@ -455,8 +455,8 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                         &r,
                         vec![
                             ("ops_s", format!("{tput:.0}")),
-                            ("read_lat_ns", ns(r.read_lat[0])),
-                            ("update_lat_ns", ns(r.write_lat[0])),
+                            ("read_lat_ns", ns(r.read_lat.mean)),
+                            ("update_lat_ns", ns(r.write_lat.mean)),
                         ],
                     )
                 },
@@ -485,7 +485,7 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                 vec![
                     ("conns", conns.to_string()),
                     ("iops", format!("{:.0}", r.write_iops)),
-                    ("lat_ns", ns(r.write_lat[0])),
+                    ("lat_ns", ns(r.write_lat.mean)),
                 ],
             )
         }));
@@ -519,9 +519,10 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
             CellOut::from_report(
                 &r,
                 vec![
-                    ("write_p95_ns", ns(r.write_lat[2])),
-                    ("read_p95_ns", ns(r.read_lat[2])),
-                    ("write_p99_ns", ns(r.write_lat[3])),
+                    ("write_p95_ns", ns(r.write_lat.p95)),
+                    ("read_p95_ns", ns(r.read_lat.p95)),
+                    ("write_p99_ns", ns(r.write_lat.p99)),
+                    ("write_p999_ns", ns(r.write_lat.p999)),
                 ],
             )
         }));
@@ -548,7 +549,7 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                     &r,
                     vec![
                         ("iops", format!("{:.0}", r.write_iops)),
-                        ("p99_ns", ns(r.write_lat[3])),
+                        ("p99_ns", ns(r.write_lat.p99)),
                         ("stalls", r.nvm_full_stalls.to_string()),
                     ],
                 )
@@ -610,6 +611,10 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
         cfg.osd.backfill_bytes_per_tick = 1 << 20;
         // Node-major ids: OSDs {0,2,4,6} seed the cluster, {1,3,5,7} join.
         cfg.initially_out = (0..8).filter(|o| o % 2 == 1).collect();
+        // Attribution on: the cell reports where the churn window's tail
+        // goes (and doubles as CI coverage that tracing never shifts the
+        // schedule — the counters must match the untraced baselines).
+        cfg.trace = true;
         cfg.churn = (0..8)
             .filter(|o| o % 2 == 1)
             .map(|o| ChurnOp {
@@ -625,6 +630,8 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
             SimDuration::ZERO,
             measure,
         );
+        let att = r.attribution.as_ref().expect("tracing enabled");
+        let comp_p99 = |c: Component| ns(att.components[c.idx()].1.p99);
         CellOut::from_report(
             &r,
             vec![
@@ -632,6 +639,12 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
                 ("backfill_bytes", r.backfill_bytes.to_string()),
                 ("backfill_queued", r.backfill_queued.to_string()),
                 ("throttled_ns", r.backfill_throttled_nanos.to_string()),
+                ("write_p99_ns", ns(r.write_lat.p99)),
+                ("write_p999_ns", ns(r.write_lat.p999)),
+                ("queue_p99_ns", comp_p99(Component::Queue)),
+                ("service_p99_ns", comp_p99(Component::Service)),
+                ("device_p99_ns", comp_p99(Component::Device)),
+                ("retry_p99_ns", comp_p99(Component::Retry)),
             ],
         )
     }));

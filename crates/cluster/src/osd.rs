@@ -387,6 +387,39 @@ pub enum OsdEffect {
     },
 }
 
+/// What a pending store token is serving, as seen by the tracing layer.
+///
+/// A read-only classification of the OSD's internal [`StoreCtx`]; the driver
+/// uses it to map device completions back to the client op they serve.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StoreTokenOp {
+    /// Local persist of an in-flight primary write.
+    PrimaryWrite {
+        /// Issuing client.
+        client: ClientId,
+        /// Client op id.
+        op: OpId,
+    },
+    /// Replica-side persist that will ack `seq` back to `primary`.
+    ReplicaPersist {
+        /// The primary that sent the replication op.
+        primary: OsdId,
+        /// Replication sequence number.
+        seq: u64,
+    },
+    /// A client read waiting for its device I/O.
+    Read {
+        /// Issuing client.
+        client: ClientId,
+        /// Client op id.
+        op: OpId,
+    },
+    /// A batch flush (background from any single op's perspective).
+    Flush,
+    /// Background I/O nobody waits for.
+    Background,
+}
+
 struct WriteOp {
     client: ClientId,
     op: OpId,
@@ -737,6 +770,54 @@ impl Osd {
 
     fn inflight_seq(&self, client: ClientId, op: OpId) -> Option<u64> {
         self.inflight_ops.get(&(client, op)).copied()
+    }
+
+    /// The client op behind an in-flight primary write `seq`, if any.
+    /// Read-only probe for the tracing layer.
+    pub fn inflight_client_op(&self, seq: u64) -> Option<(ClientId, OpId)> {
+        self.inflight.get(&seq).map(|w| (w.client, w.op))
+    }
+
+    /// Classifies what a pending store-completion `token` is serving.
+    /// Read-only probe for the tracing layer; never mutates OSD state.
+    pub fn store_token_op(&self, token: u64) -> Option<StoreTokenOp> {
+        let ctx = self.pending_store.get(&token)?;
+        Some(match *ctx {
+            StoreCtx::WriteLocal { seq } => match self.inflight_client_op(seq) {
+                Some((client, op)) => StoreTokenOp::PrimaryWrite { client, op },
+                None => StoreTokenOp::Background,
+            },
+            StoreCtx::ReplicaPersist { primary, seq, .. } => {
+                StoreTokenOp::ReplicaPersist { primary, seq }
+            }
+            StoreCtx::Read { client, op, .. } => StoreTokenOp::Read { client, op },
+            StoreCtx::Flush { .. } => StoreTokenOp::Flush,
+            StoreCtx::Background => StoreTokenOp::Background,
+        })
+    }
+
+    /// The client op behind a deferred store read `token`, if any.
+    /// Read-only probe for the tracing layer.
+    pub fn deferred_read_op(&self, token: u64) -> Option<(ClientId, OpId)> {
+        self.deferred_reads.get(&token).map(|d| (d.client, d.op))
+    }
+
+    /// Classifies the op behind a deferred store submit `token`, if any.
+    /// Read-only probe for the tracing layer.
+    pub fn deferred_submit_op(&self, token: u64) -> Option<StoreTokenOp> {
+        let d = self.deferred_submits.get(&token)?;
+        Some(match d.ctx {
+            StoreCtx::WriteLocal { seq } => match self.inflight_client_op(seq) {
+                Some((client, op)) => StoreTokenOp::PrimaryWrite { client, op },
+                None => StoreTokenOp::Background,
+            },
+            StoreCtx::ReplicaPersist { primary, seq, .. } => {
+                StoreTokenOp::ReplicaPersist { primary, seq }
+            }
+            StoreCtx::Read { client, op, .. } => StoreTokenOp::Read { client, op },
+            StoreCtx::Flush { .. } => StoreTokenOp::Flush,
+            StoreCtx::Background => StoreTokenOp::Background,
+        })
     }
 
     /// Re-sends the replication message for an in-flight write to every

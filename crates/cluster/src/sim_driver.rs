@@ -18,15 +18,17 @@
 use std::collections::{BTreeMap, HashMap};
 
 use rablock_sim::{
-    Ctx, Device, DeviceProfile, DeviceStats, FaultEvent, FaultPlan, IoRequest, Link, Priority,
-    SchedulerKind, SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
+    chrome_trace_json, AttributionReport, Component, Ctx, Device, DeviceProfile, DeviceStats,
+    FaultEvent, FaultPlan, IoRequest, LatSummary, Link, Priority, Recorder, SchedulerKind,
+    SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId, TimeSeries, TraceId,
+    Track,
 };
 use rablock_storage::{GroupId, ObjectId, StoreError, StoreStats, TraceKind};
 
 use crate::costs::{CostModel, CLIENT, MP, MT, OS, RP, TP};
 use crate::invariants::{HistoryChecker, ReplicaListing};
 use crate::msg::{ClientId, ClientReply, ClientReq, MonMsg, OpId, PeerMsg};
-use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PgState, PipelineMode};
+use crate::osd::{Osd, OsdConfig, OsdEffect, OsdInput, PgState, PipelineMode, StoreTokenOp};
 use crate::placement::{Monitor, OsdId, OsdMap};
 use crate::retry::RetryPolicy;
 
@@ -149,6 +151,16 @@ pub struct ClusterSimConfig {
     pub flap_window: SimDuration,
     /// See `flap_threshold`.
     pub flap_holdout: SimDuration,
+    /// Per-op span tracing + latency attribution. Purely observational:
+    /// fingerprints are byte-identical with tracing on or off.
+    pub trace: bool,
+    /// How many worst ops the slow-op ring keeps (with full span trees)
+    /// when tracing is on.
+    pub slow_op_ring: usize,
+    /// Windowed time-series sampling cadence. `None` disables the sampler.
+    /// Sampling happens *between* engine slices, never through events, so it
+    /// cannot perturb the run.
+    pub telemetry_window: Option<SimDuration>,
 }
 
 /// One scheduled admin map mutation (elastic-operations churn).
@@ -202,6 +214,9 @@ impl ClusterSimConfig {
             flap_threshold: crate::placement::DEFAULT_FLAP_THRESHOLD,
             flap_window: SimDuration::nanos(crate::placement::DEFAULT_FLAP_WINDOW_NANOS),
             flap_holdout: SimDuration::nanos(crate::placement::DEFAULT_FLAP_HOLDOUT_NANOS),
+            trace: false,
+            slow_op_ring: 32,
+            telemetry_window: None,
         }
     }
 }
@@ -299,21 +314,34 @@ impl LatencyRecorder {
         }
     }
 
-    fn percentile(&self, p: f64) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let mut s = self.samples.clone();
-        s.sort_unstable();
-        let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
-        SimDuration::nanos(s[idx])
+    fn summary(&self) -> LatSummary {
+        LatSummary::from_samples(&self.samples)
     }
+}
 
-    fn mean(&self) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
+/// Driver-side tracing state: the kernel [`Recorder`] plus the lookup maps
+/// that tie protocol identities (replication seqs, store tokens) back to
+/// trace ids. Boxed behind an `Option` — a disabled run allocates nothing.
+struct Tracing {
+    rec: Recorder,
+    /// `(primary_osd, seq)` → trace id, registered when the primary sends
+    /// its replication ops and consulted by replica-side handlers and acks.
+    rep_trace: HashMap<(u32, u64), TraceId>,
+    /// `(osd, token)` → (trace id, submit time) for in-flight store I/O.
+    io_trace: HashMap<(usize, u64), (TraceId, SimTime)>,
+    /// NVM nanoseconds charged by effects of the item being handled
+    /// (split out of the service span).
+    pending_nvm: u64,
+}
+
+impl Tracing {
+    fn new(slow_cap: usize) -> Tracing {
+        Tracing {
+            rec: Recorder::new(slow_cap),
+            rep_trace: HashMap::new(),
+            io_trace: HashMap::new(),
+            pending_nvm: 0,
         }
-        SimDuration::nanos(self.samples.iter().sum::<u64>() / self.samples.len() as u64)
     }
 }
 
@@ -356,10 +384,10 @@ pub struct SimReport {
     pub write_iops: f64,
     /// Read IOPS.
     pub read_iops: f64,
-    /// Mean / p50 / p95 / p99 write latency.
-    pub write_lat: [SimDuration; 4],
-    /// Mean / p50 / p95 / p99 read latency.
-    pub read_lat: [SimDuration; 4],
+    /// Write latency summary (mean / p50 / p95 / p99 / p99.9).
+    pub write_lat: LatSummary,
+    /// Read latency summary (mean / p50 / p95 / p99 / p99.9).
+    pub read_lat: LatSummary,
     /// CPU usage per storage node (% of one core, paper convention).
     pub node_cpu_pct: Vec<f64>,
     /// CPU usage per stage tag across the cluster.
@@ -398,6 +426,10 @@ pub struct SimReport {
     /// Largest pending-event population the scheduler's queue reached over
     /// the whole run (cold-start sizing signal for the timing wheel).
     pub queue_high_water: u64,
+    /// Per-component latency attribution (present when tracing is on).
+    /// Excluded from determinism fingerprints: it is derived observational
+    /// data, not simulation state.
+    pub attribution: Option<AttributionReport>,
 }
 
 impl SimReport {
@@ -466,10 +498,14 @@ struct World {
     /// allocation (a `Payload` clone is a refcount bump) instead of paying
     /// a fresh memset + copy per issued write.
     payload_cache: HashMap<(u8, u64), rablock_storage::Payload>,
+    /// Per-op span tracing; `None` when disabled (the common case).
+    trace: Option<Box<Tracing>>,
 }
 
 impl World {
     /// Runs one OSD input through the reusable effect scratch buffer.
+    /// `cur` is the trace id the input belongs to (span attribution for
+    /// the effects it emits); `None` when untraced or tracing is off.
     fn handle_with_scratch(
         &mut self,
         ctx: &mut Ctx<'_, Ev>,
@@ -477,12 +513,214 @@ impl World {
         osd: usize,
         input: OsdInput,
         flush_batch: bool,
+        cur: Option<TraceId>,
     ) {
         let mut fx = std::mem::take(&mut self.fx_scratch);
         fx.clear();
         self.osds[osd].handle_into(input, &mut fx);
-        self.apply_effects(ctx, thread, osd, &mut fx, flush_batch);
+        self.apply_effects(ctx, thread, osd, &mut fx, flush_batch, cur);
         self.fx_scratch = fx;
+    }
+
+    // ---- tracing helpers ---------------------------------------------
+    //
+    // Everything below is purely observational: trace ids are derived
+    // from message content the handlers already carry (client id + op id
+    // pack into a `TraceId`; replication sub-operations are joined back
+    // to their parent op through driver-side maps keyed by
+    // `(primary, seq)`). No wire format changes, no extra events, no RNG
+    // draws — with `self.trace == None` every helper is a cheap no-op,
+    // which is what keeps fingerprints byte-identical tracing on or off.
+
+    /// Trace id of a client op: connections map 1:1 to `ClientId`.
+    fn tid_of(client: ClientId, op: OpId) -> TraceId {
+        TraceId::from_conn_op(client.0, op.0)
+    }
+
+    /// Resolves the trace id a replicated-write sub-message belongs to.
+    /// `Repop`/`RepopNvm` are keyed by the *sender* (the primary);
+    /// acks are keyed by the *receiver* (also the primary).
+    fn trace_of_peer_msg(&self, primary_osd: u32, from: OsdId, msg: &PeerMsg) -> Option<TraceId> {
+        let tr = self.trace.as_ref()?;
+        match msg {
+            PeerMsg::Repop { seq, .. } | PeerMsg::RepopNvm { seq, .. } => {
+                tr.rep_trace.get(&(from.0, *seq)).copied()
+            }
+            PeerMsg::RepAck { seq, .. } | PeerMsg::RepNack { seq, .. } => {
+                tr.rep_trace.get(&(primary_osd, *seq)).copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// Classifies a store token back to the client op it serves.
+    fn trace_of_store_op(&self, op: StoreTokenOp) -> Option<TraceId> {
+        match op {
+            StoreTokenOp::PrimaryWrite { client, op } | StoreTokenOp::Read { client, op } => {
+                Some(Self::tid_of(client, op))
+            }
+            StoreTokenOp::ReplicaPersist { primary, seq } => self
+                .trace
+                .as_ref()?
+                .rep_trace
+                .get(&(primary.0, seq))
+                .copied(),
+            StoreTokenOp::Flush | StoreTokenOp::Background => None,
+        }
+    }
+
+    /// Trace id of the op behind a pending store I/O token, if any.
+    fn trace_of_token(&self, osd: usize, token: u64) -> Option<TraceId> {
+        self.osds[osd]
+            .store_token_op(token)
+            .and_then(|op| self.trace_of_store_op(op))
+    }
+
+    /// Resolves the trace id an OSD input belongs to, *before* the input
+    /// is handled (the lookups consult OSD state the handler consumes).
+    fn trace_of_input(&self, osd: usize, input: &OsdInput) -> Option<TraceId> {
+        self.trace.as_ref()?;
+        match input {
+            OsdInput::Client { from, req } => Some(Self::tid_of(*from, req.op())),
+            OsdInput::Peer { from, msg } => self.trace_of_peer_msg(self.osds[osd].id.0, *from, msg),
+            OsdInput::StoreDurable { token } => self.trace_of_token(osd, *token),
+            OsdInput::ReadFromStore { token } => self.osds[osd]
+                .deferred_read_op(*token)
+                .map(|(c, o)| Self::tid_of(c, o)),
+            OsdInput::SubmitDeferred { token } => self.osds[osd]
+                .deferred_submit_op(*token)
+                .and_then(|op| self.trace_of_store_op(op)),
+            _ => None,
+        }
+    }
+
+    /// Span label for the stage an input runs in (mirrors `charge_input`).
+    fn input_span_name(input: &OsdInput) -> &'static str {
+        match input {
+            OsdInput::Client { req, .. } => match req {
+                ClientReq::Read { .. } => "rp.read",
+                _ => "rp.primary",
+            },
+            OsdInput::Peer { msg, .. } => match msg {
+                PeerMsg::Repop { .. } => "rp.replica",
+                PeerMsg::RepopNvm { .. } => "rp.replica_nvm",
+                PeerMsg::RepAck { .. } | PeerMsg::RepNack { .. } => "rp.ack",
+                _ => "tp.recovery",
+            },
+            OsdInput::StoreDurable { .. } => "tp.complete",
+            OsdInput::ReadFromStore { .. } => "os.read",
+            OsdInput::SubmitDeferred { .. } => "os.submit",
+            OsdInput::FlushGroup { .. } => "os.flush",
+            _ => "osd",
+        }
+    }
+
+    /// The fixed NVM-append CPU `charge_input` folds into this input, in
+    /// nanoseconds (attributed to `Component::Nvm`, not `Service`).
+    fn nvm_charge_of(&self, input: &OsdInput) -> u64 {
+        match input {
+            OsdInput::Client { req, .. }
+                if matches!(req, ClientReq::Write { .. } | ClientReq::Create { .. })
+                    && self.mode.decoupled() =>
+            {
+                self.costs.nvm_append.as_nanos()
+            }
+            OsdInput::Peer {
+                msg: PeerMsg::RepopNvm { .. },
+                ..
+            } => self.costs.nvm_append.as_nanos(),
+            _ => 0,
+        }
+    }
+
+    /// Records the queue-wait / stage-service / NVM spans for one handled
+    /// OSD input. Called after the handler ran, so `ctx.spent_so_far()`
+    /// covers the item's full CPU charge.
+    fn trace_osd_work(
+        &mut self,
+        ctx: &Ctx<'_, Ev>,
+        osd: usize,
+        id: TraceId,
+        name: &'static str,
+        nvm_static_ns: u64,
+    ) {
+        let Some(tr) = self.trace.as_mut() else {
+            return;
+        };
+        let now = ctx.now();
+        let track = Track::Osd(osd as u32);
+        let queued = ctx.queued_for();
+        if !queued.is_zero() {
+            let start = SimTime::from_nanos(now.nanos().saturating_sub(queued.as_nanos()));
+            tr.rec
+                .span(id, "queue", track, start, queued, Component::Queue);
+        }
+        let nvm_ns = nvm_static_ns + std::mem::take(&mut tr.pending_nvm);
+        let service = ctx.spent_so_far().as_nanos().saturating_sub(nvm_ns);
+        tr.rec.span(
+            id,
+            name,
+            track,
+            now,
+            SimDuration::nanos(service),
+            Component::Service,
+        );
+        if nvm_ns > 0 {
+            tr.rec.span(
+                id,
+                "nvm.append",
+                track,
+                now,
+                SimDuration::nanos(nvm_ns),
+                Component::Nvm,
+            );
+        }
+    }
+
+    /// Records queue-wait plus messenger CPU for a relay-thread hop.
+    fn trace_relay_work(&mut self, ctx: &Ctx<'_, Ev>, osd: usize, id: TraceId, name: &'static str) {
+        let Some(tr) = self.trace.as_mut() else {
+            return;
+        };
+        let now = ctx.now();
+        let track = Track::Osd(osd as u32);
+        let queued = ctx.queued_for();
+        if !queued.is_zero() {
+            let start = SimTime::from_nanos(now.nanos().saturating_sub(queued.as_nanos()));
+            tr.rec
+                .span(id, "queue", track, start, queued, Component::Queue);
+        }
+        tr.rec
+            .span(id, name, track, now, ctx.spent_so_far(), Component::Service);
+    }
+
+    /// Records a network-hop span (message in flight for `delay`).
+    fn trace_net(
+        &mut self,
+        id: TraceId,
+        name: &'static str,
+        track: Track,
+        at: SimTime,
+        delay: SimDuration,
+    ) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.rec.span(id, name, track, at, delay, Component::Network);
+        }
+    }
+
+    /// Joins an outgoing `Repop`/`RepopNvm` to its parent op so the
+    /// replica-side and ack-side handlers can find the trace again.
+    fn trace_register_rep(&mut self, osd: usize, msg: &PeerMsg, cur: Option<TraceId>) {
+        let primary = self.osds[osd].id.0;
+        let (Some(id), Some(tr)) = (cur, self.trace.as_mut()) else {
+            return;
+        };
+        if let PeerMsg::Repop { seq, .. } | PeerMsg::RepopNvm { seq, .. } = msg {
+            let key = (primary, *seq);
+            if tr.rep_trace.insert(key, id).is_none() {
+                tr.rec.note_rep_key(id, key.0, key.1);
+            }
+        }
     }
 
     /// One shared allocation per distinct `(fill, len)` payload pattern.
@@ -733,11 +971,16 @@ impl World {
         osd: usize,
         effects: &mut Vec<OsdEffect>,
         flush_batch: bool,
+        cur: Option<TraceId>,
     ) {
         let node = self.threads[osd].node;
         for effect in effects.drain(..) {
             match effect {
                 OsdEffect::SendPeer { to, msg } => {
+                    // Register replication sub-ops while the originating
+                    // op's trace id is in hand (both branches need it: the
+                    // relay path re-resolves the id at MsgrPeerOut time).
+                    self.trace_register_rep(osd, &msg, cur);
                     let off_priority =
                         self.mode.prioritized() && !self.threads[osd].msgr.contains(&thread);
                     if self.relay || off_priority {
@@ -754,6 +997,11 @@ impl World {
                         };
                         let bytes = msg.wire_bytes();
                         let delay = self.net_delay(node, ctx.now(), bytes) + extra;
+                        // Outgoing direction: replication ops key on the
+                        // sender (this OSD), acks on the receiver (`to`).
+                        if let Some(id) = self.trace_of_peer_msg(to.0, self.osds[osd].id, &msg) {
+                            self.trace_net(id, "net.peer", Track::Osd(to.0), ctx.now(), delay);
+                        }
                         let from = self.osds[osd].id;
                         if let Some(gap) = dup {
                             self.dispatch_peer(
@@ -797,6 +1045,13 @@ impl World {
                         };
                         let delay = self.net_delay(node, ctx.now(), msg.wire_bytes()) + extra;
                         let conn = to.0 as usize;
+                        self.trace_net(
+                            Self::tid_of(to, msg.op()),
+                            "net.reply",
+                            Track::Client(to.0),
+                            ctx.now(),
+                            delay,
+                        );
                         let ct = self.conns[conn].thread;
                         if let Some(gap) = dup {
                             let reply = msg.clone();
@@ -806,6 +1061,20 @@ impl World {
                     }
                 }
                 OsdEffect::StoreIo { token, trace, wait } => {
+                    // Stamp the device-queue span open: closed by the last
+                    // `IoDone` for the token. The estimate charges device
+                    // time from the moment the submitting item's CPU is
+                    // spent (I/O overlaps any later CPU in the same item).
+                    if self.trace.is_some() && wait {
+                        if let Some(id) = self.trace_of_token(osd, token) {
+                            let at = SimTime::from_nanos(
+                                ctx.now().nanos() + ctx.spent_so_far().as_nanos(),
+                            );
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.io_trace.insert((osd, token), (id, at));
+                            }
+                        }
+                    }
                     let dev = self.threads[osd].device;
                     if !wait {
                         // Background work (compaction, write-back): throttle
@@ -842,7 +1111,13 @@ impl World {
                     }
                 }
                 OsdEffect::NvmWritten { bytes } => {
-                    ctx.spend(RP, self.costs.nvm_per_byte * bytes);
+                    let cost = self.costs.nvm_per_byte * bytes;
+                    ctx.spend(RP, cost);
+                    if let Some(tr) = self.trace.as_mut() {
+                        // Folded out of the item's service span into the
+                        // Nvm component by `trace_osd_work`.
+                        tr.pending_nvm += cost.as_nanos();
+                    }
                 }
                 OsdEffect::WakeFlush { group } => {
                     ctx.spend(RP, self.costs.wake);
@@ -984,6 +1259,10 @@ impl World {
                 req: keep_req.then(|| req.clone()),
             };
             self.conns[conn].outstanding.insert(op_raw, pending);
+            if let Some(tr) = self.trace.as_mut() {
+                let id = Self::tid_of(ClientId(conn as u32), OpId(op_raw));
+                tr.rec.begin(id, is_write, ctx.now());
+            }
             if let Some(r) = self.retry {
                 let thread = self.conns[conn].thread;
                 let ev = Ev::ClientTimeout {
@@ -1049,6 +1328,31 @@ impl World {
         } + hold
             + extra;
         let from = self.conns[conn].id;
+        if self.trace.is_some() {
+            let id = Self::tid_of(from, req.op());
+            let track = Track::Client(from.0);
+            if !hold.is_zero() {
+                // Retry backoff: the op sits on the client before the
+                // retransmission leaves.
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.rec.span(
+                        id,
+                        "retry.backoff",
+                        track,
+                        ctx.now(),
+                        hold,
+                        Component::Retry,
+                    );
+                }
+            }
+            self.trace_net(
+                id,
+                "net.request",
+                track,
+                SimTime::from_nanos(ctx.now().nanos() + hold.as_nanos()),
+                delay.saturating_sub(hold),
+            );
+        }
         if self.relay {
             let t = self.frontend_thread(osd, conn as u64);
             if let Some(gap) = dup {
@@ -1120,6 +1424,15 @@ impl rablock_sim::Handler<Ev> for World {
                             panic!("client observed error: {error}");
                         }
                         self.client_errors += 1;
+                        if let Some(tr) = self.trace.as_mut() {
+                            // Failed op: drop the trace without folding it
+                            // into the attribution histograms.
+                            if let Some(keys) = tr.rec.abandon(Self::tid_of(id, OpId(op))) {
+                                for k in keys {
+                                    tr.rep_trace.remove(&k);
+                                }
+                            }
+                        }
                     }
                     ok => {
                         let lat = ctx.now().duration_since(p.issued);
@@ -1129,6 +1442,14 @@ impl rablock_sim::Handler<Ev> for World {
                         } else {
                             self.read_lat.record(lat);
                             self.reads_done += 1;
+                        }
+                        if let Some(tr) = self.trace.as_mut() {
+                            if let Some(fin) = tr.rec.finish(Self::tid_of(id, OpId(op)), ctx.now())
+                            {
+                                for k in fin.rep_keys {
+                                    tr.rep_trace.remove(&k);
+                                }
+                            }
                         }
                         if let Some(checker) = self.checker.as_mut() {
                             match (ok, &p.req) {
@@ -1154,6 +1475,9 @@ impl rablock_sim::Handler<Ev> for World {
             }
             Ev::MsgrClientIn { osd, from, req } => {
                 ctx.spend(MP, self.costs.recv(req.wire_bytes(), self.lean));
+                if self.trace.is_some() {
+                    self.trace_relay_work(ctx, osd, Self::tid_of(from, req.op()), "mp.recv");
+                }
                 let group = req.oid().group();
                 self.dispatch_logic(
                     ctx,
@@ -1166,6 +1490,9 @@ impl rablock_sim::Handler<Ev> for World {
             }
             Ev::MsgrPeerIn { osd, from, msg } => {
                 ctx.spend(MP, self.costs.recv(msg.wire_bytes(), self.lean));
+                if let Some(id) = self.trace_of_peer_msg(self.osds[osd].id.0, from, &msg) {
+                    self.trace_relay_work(ctx, osd, id, "mp.recv");
+                }
                 self.dispatch_peer(ctx, osd, from, msg, None, SimDuration::ZERO);
             }
             Ev::MsgrReplyOut { osd, to, reply } => {
@@ -1176,6 +1503,11 @@ impl rablock_sim::Handler<Ev> for World {
                     return;
                 };
                 let delay = self.net_delay(node, ctx.now(), reply.wire_bytes()) + extra;
+                if self.trace.is_some() {
+                    let id = Self::tid_of(to, reply.op());
+                    self.trace_relay_work(ctx, osd, id, "mp.send");
+                    self.trace_net(id, "net.reply", Track::Client(to.0), ctx.now(), delay);
+                }
                 let conn = to.0 as usize;
                 let ct = self.conns[conn].thread;
                 if let Some(gap) = dup {
@@ -1194,6 +1526,10 @@ impl rablock_sim::Handler<Ev> for World {
                 };
                 let bytes = msg.wire_bytes();
                 let delay = self.net_delay(node, ctx.now(), bytes) + extra;
+                if let Some(id) = self.trace_of_peer_msg(to.0, self.osds[osd].id, &msg) {
+                    self.trace_relay_work(ctx, osd, id, "mp.send");
+                    self.trace_net(id, "net.peer", Track::Osd(to.0), ctx.now(), delay);
+                }
                 let t = self.frontend_thread(dest, self.osds[osd].id.0 as u64);
                 let from = self.osds[osd].id;
                 if let Some(gap) = dup {
@@ -1238,9 +1574,22 @@ impl rablock_sim::Handler<Ev> for World {
                     }
                     gate.busy = true;
                 }
+                let cur = self.trace_of_input(osd, &input);
+                let span_name = Self::input_span_name(&input);
+                let nvm_static = if cur.is_some() {
+                    self.nvm_charge_of(&input)
+                } else {
+                    0
+                };
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.pending_nvm = 0;
+                }
                 self.charge_input(ctx, &input, charge_mp);
                 let flush_batch = matches!(input, OsdInput::FlushGroup { .. });
-                self.handle_with_scratch(ctx, thread, osd, input, flush_batch);
+                self.handle_with_scratch(ctx, thread, osd, input, flush_batch, cur);
+                if let Some(id) = cur {
+                    self.trace_osd_work(ctx, osd, id, span_name, nvm_static);
+                }
             }
             Ev::CrashOsd { osd, torn_tail } => {
                 // Process kill only: no oracle tells the monitor. Survivors
@@ -1286,7 +1635,7 @@ impl rablock_sim::Handler<Ev> for World {
                     return;
                 }
                 self.charge_input(ctx, &OsdInput::HeartbeatTick, None);
-                self.handle_with_scratch(ctx, thread, osd, OsdInput::HeartbeatTick, false);
+                self.handle_with_scratch(ctx, thread, osd, OsdInput::HeartbeatTick, false, None);
             }
             Ev::MonHeartbeat { osd } => {
                 let now = ctx.now().duration_since(SimTime::ZERO).as_nanos();
@@ -1331,6 +1680,14 @@ impl rablock_sim::Handler<Ev> for World {
                             // Budget exhausted: surface the failure.
                             self.conns[conn].outstanding.remove(&op);
                             self.client_errors += 1;
+                            if let Some(tr) = self.trace.as_mut() {
+                                let id = Self::tid_of(ClientId(conn as u32), OpId(op));
+                                if let Some(keys) = tr.rec.abandon(id) {
+                                    for k in keys {
+                                        tr.rep_trace.remove(&k);
+                                    }
+                                }
+                            }
                             if self.pacing.is_none() {
                                 self.issue_client_ops(ctx, conn);
                             }
@@ -1341,6 +1698,9 @@ impl rablock_sim::Handler<Ev> for World {
                 }
                 let p = &self.conns[conn].outstanding[&op];
                 let req = p.req.clone().expect("retrying client stores the request");
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.rec.retry(Self::tid_of(ClientId(conn as u32), OpId(op)));
+                }
                 let next = attempt + 1;
                 let jitter = ctx.rng().unit_f64();
                 let backoff = SimDuration::nanos(r.backoff_nanos(attempt, jitter));
@@ -1368,6 +1728,25 @@ impl rablock_sim::Handler<Ev> for World {
                 *remaining -= 1;
                 if *remaining == 0 {
                     self.io_wait.remove(&(osd, token));
+                    // Close the device-queue span: submit → last completion.
+                    let cur = if let Some(tr) = self.trace.as_mut() {
+                        tr.pending_nvm = 0;
+                        if let Some((id, submitted)) = tr.io_trace.remove(&(osd, token)) {
+                            tr.rec.span(
+                                id,
+                                "device",
+                                Track::Osd(osd as u32),
+                                submitted,
+                                ctx.now().saturating_since(submitted),
+                                Component::Device,
+                            );
+                            Some(id)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
                     self.charge_input(ctx, &OsdInput::StoreDurable { token }, None);
                     self.handle_with_scratch(
                         ctx,
@@ -1375,7 +1754,11 @@ impl rablock_sim::Handler<Ev> for World {
                         osd,
                         OsdInput::StoreDurable { token },
                         false,
+                        cur,
                     );
+                    if let Some(id) = cur {
+                        self.trace_osd_work(ctx, osd, id, "tp.complete", 0);
+                    }
                 }
             }
             Ev::BgIo { osd, ios, pos } => {
@@ -1420,6 +1803,7 @@ impl rablock_sim::Handler<Ev> for World {
                         osd,
                         OsdInput::FlushGroup { group },
                         true,
+                        None,
                     );
                 }
             }
@@ -1434,6 +1818,25 @@ pub struct ClusterSim {
     node_cores: Vec<std::ops::Range<usize>>,
     class_threads: BTreeMap<&'static str, Vec<ThreadId>>,
     conn_count: usize,
+    /// Sampling cadence for the telemetry time-series (`None`: disabled).
+    telemetry_window: Option<SimDuration>,
+    /// Windowed samples collected during the measured phase.
+    timeseries: TimeSeries,
+    /// Threads belonging to each OSD (deduped), for per-OSD CPU% columns.
+    osd_threads: Vec<Vec<ThreadId>>,
+    /// Counter snapshots at the previous sample instant.
+    sampler: SamplerState,
+}
+
+/// Snapshot of cumulative counters at the last telemetry sample, so each
+/// window reports deltas. Sampling happens *between* `run_until` slices —
+/// never inside the event loop — so it cannot perturb event order.
+struct SamplerState {
+    last: SimTime,
+    writes: u64,
+    reads: u64,
+    throttled: u64,
+    osd_busy: Vec<u64>,
 }
 
 impl ClusterSim {
@@ -1673,7 +2076,41 @@ impl ClusterSim {
             client_errors: 0,
             fx_scratch: Vec::new(),
             payload_cache: HashMap::new(),
+            trace: cfg.trace.then(|| Box::new(Tracing::new(cfg.slow_op_ring))),
         };
+
+        // Telemetry bookkeeping: which threads belong to each OSD (CPU%
+        // columns) and the column schema. Thread classes and OSD count are
+        // fixed at construction, so the schema is stable for the run.
+        let osd_threads: Vec<Vec<ThreadId>> = world
+            .threads
+            .iter()
+            .map(|t| {
+                let mut set: std::collections::BTreeSet<ThreadId> =
+                    std::collections::BTreeSet::new();
+                set.extend(&t.msgr);
+                set.extend(&t.logic);
+                set.extend(&t.flusher);
+                set.insert(t.maint);
+                set.into_iter().collect()
+            })
+            .collect();
+        let mut cols: Vec<String> = [
+            "write_iops",
+            "read_iops",
+            "outstanding",
+            "degraded",
+            "backfill_throttle_ms",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for class in class_threads.keys() {
+            cols.push(format!("q_{}", class.replace('-', "_")));
+        }
+        for i in 0..osd_threads.len() {
+            cols.push(format!("cpu_osd{i}"));
+        }
 
         let mut this = ClusterSim {
             sim,
@@ -1681,7 +2118,18 @@ impl ClusterSim {
             node_cores,
             class_threads,
             conn_count,
+            telemetry_window: cfg.telemetry_window,
+            timeseries: TimeSeries::new(cols),
+            osd_threads,
+            sampler: SamplerState {
+                last: SimTime::ZERO,
+                writes: 0,
+                reads: 0,
+                throttled: 0,
+                osd_busy: Vec::new(),
+            },
         };
+        this.sampler.osd_busy = vec![0; this.osd_threads.len()];
         // Kick every connection at t=0 and start flush sweeps.
         for conn in 0..this.conn_count {
             let t = this.world.conns[conn].thread;
@@ -1941,7 +2389,11 @@ impl ClusterSim {
     }
 
     /// Runs for `warmup`, discards all statistics, then runs for `measure`
-    /// and reports.
+    /// and reports. With `telemetry_window` configured, the measured phase
+    /// is executed as a sequence of `run_until` slices with one telemetry
+    /// sample between consecutive slices — the engine sees the exact same
+    /// event sequence as a single uninterrupted run, so the schedule (and
+    /// every fingerprint) is unchanged.
     pub fn run(&mut self, warmup: SimDuration, measure: SimDuration) -> SimReport {
         let t0 = SimTime::ZERO + warmup;
         self.sim.run_until(&mut self.world, t0);
@@ -1957,10 +2409,104 @@ impl ClusterSim {
         self.world.read_lat = LatencyRecorder::default();
         self.world.writes_done = 0;
         self.world.reads_done = 0;
+        if let Some(tr) = self.world.trace.as_mut() {
+            // Drop warmup aggregates; in-flight op traces stay open.
+            tr.rec.reset_window();
+        }
+        self.timeseries.clear();
+        self.rebaseline_sampler();
 
         let t1 = t0 + measure;
-        self.sim.run_until(&mut self.world, t1);
+        if let Some(win) = self.telemetry_window {
+            let mut next = t0 + win;
+            while next < t1 {
+                self.sim.run_until(&mut self.world, next);
+                self.sample_window();
+                next += win;
+            }
+            self.sim.run_until(&mut self.world, t1);
+            self.sample_window();
+        } else {
+            self.sim.run_until(&mut self.world, t1);
+        }
         self.report(measure)
+    }
+
+    /// Re-anchors the sampler's counter snapshots to "now" (post-reset).
+    fn rebaseline_sampler(&mut self) {
+        self.sampler.last = self.sim.now();
+        self.sampler.writes = self.world.writes_done;
+        self.sampler.reads = self.world.reads_done;
+        self.sampler.throttled = self
+            .world
+            .osds
+            .iter()
+            .map(|o| o.backfill_throttled_nanos)
+            .sum();
+        let metrics = self.sim.metrics();
+        for (i, ts) in self.osd_threads.iter().enumerate() {
+            self.sampler.osd_busy[i] = ts.iter().map(|&t| metrics.thread_busy(t)).sum();
+        }
+    }
+
+    /// Takes one telemetry sample covering the window since the last one.
+    /// Reads counters only — called between event-loop slices, it cannot
+    /// change simulation behavior.
+    fn sample_window(&mut self) {
+        let now = self.sim.now();
+        let dt = now.saturating_since(self.sampler.last);
+        if dt.is_zero() {
+            return;
+        }
+        let secs = dt.as_secs_f64();
+        let w = &self.world;
+        let outstanding: usize = w.conns.iter().map(|c| c.outstanding.len()).sum();
+        let degraded: u64 = w.osds.iter().map(Osd::degraded_objects).sum();
+        let throttled: u64 = w.osds.iter().map(|o| o.backfill_throttled_nanos).sum();
+        let mut vals = vec![
+            (w.writes_done - self.sampler.writes) as f64 / secs,
+            (w.reads_done - self.sampler.reads) as f64 / secs,
+            outstanding as f64,
+            degraded as f64,
+            throttled.saturating_sub(self.sampler.throttled) as f64 / 1e6,
+        ];
+        for ids in self.class_threads.values() {
+            let depth: usize = ids.iter().map(|&t| self.sim.thread_queue_len(t)).sum();
+            vals.push(depth as f64);
+        }
+        let metrics = self.sim.metrics();
+        for (i, ts) in self.osd_threads.iter().enumerate() {
+            let busy: u64 = ts.iter().map(|&t| metrics.thread_busy(t)).sum();
+            let delta = busy.saturating_sub(self.sampler.osd_busy[i]);
+            self.sampler.osd_busy[i] = busy;
+            vals.push(delta as f64 / dt.as_nanos() as f64 * 100.0);
+        }
+        self.sampler.last = now;
+        self.sampler.writes = self.world.writes_done;
+        self.sampler.reads = self.world.reads_done;
+        self.sampler.throttled = throttled;
+        self.timeseries.push(now, vals);
+    }
+
+    /// The telemetry time-series sampled during the measured phase (empty
+    /// unless [`ClusterSimConfig::telemetry_window`] was set).
+    pub fn telemetry(&self) -> &TimeSeries {
+        &self.timeseries
+    }
+
+    /// The telemetry series rendered as CSV (header + one row per window).
+    pub fn telemetry_csv(&self) -> String {
+        self.timeseries.to_csv()
+    }
+
+    /// Chrome trace-event JSON (Perfetto-loadable) of the slow-op ring
+    /// plus the telemetry counter tracks; `None` when tracing is off.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        let tr = self.world.trace.as_ref()?;
+        Some(chrome_trace_json(
+            &tr.rec.report().slow_ops,
+            Some(&self.timeseries),
+        ))
     }
 
     fn report(&self, duration: SimDuration) -> SimReport {
@@ -2015,18 +2561,9 @@ impl ClusterSim {
             reads_done: w.reads_done,
             write_iops: w.writes_done as f64 / secs,
             read_iops: w.reads_done as f64 / secs,
-            write_lat: [
-                w.write_lat.mean(),
-                w.write_lat.percentile(0.50),
-                w.write_lat.percentile(0.95),
-                w.write_lat.percentile(0.99),
-            ],
-            read_lat: [
-                w.read_lat.mean(),
-                w.read_lat.percentile(0.50),
-                w.read_lat.percentile(0.95),
-                w.read_lat.percentile(0.99),
-            ],
+            write_lat: w.write_lat.summary(),
+            read_lat: w.read_lat.summary(),
+            attribution: w.trace.as_ref().map(|t| t.rec.report()),
             node_cpu_pct,
             tag_cpu_pct,
             class_cpu_pct,
@@ -2165,10 +2702,10 @@ pub(crate) mod tests {
             orig.write_iops
         );
         assert!(
-            dop.write_lat[0] < orig.write_lat[0],
+            dop.write_lat.mean < orig.write_lat.mean,
             "proposed latency {} vs original {}",
-            dop.write_lat[0],
-            orig.write_lat[0]
+            dop.write_lat.mean,
+            orig.write_lat.mean
         );
     }
 
@@ -2249,22 +2786,57 @@ mod debug_tests {
     use super::tests::*;
     use super::*;
 
+    /// Unloaded (queue-depth-1, single-connection) write latency must sit in
+    /// a calibrated envelope per pipeline mode. At qd=1 there is no queueing,
+    /// so the latency distribution collapses (p95 ≈ p50), throughput is the
+    /// reciprocal of latency, and decoupled operation processing (Dop) must
+    /// ack well below the coupled Ptc pipeline because the device write is
+    /// off the ack path. Envelope centers were calibrated from the
+    /// deterministic run itself; ±10% leaves room for cost-model tuning
+    /// without letting a pipeline regression slip through.
     #[test]
-    #[ignore]
-    fn dump_unloaded_latency() {
+    fn unloaded_latency_envelope() {
         use super::tests::*;
-        for mode in [PipelineMode::Ptc, PipelineMode::Dop] {
+        let envelope_ns = [
+            (PipelineMode::Ptc, 204_521u64),
+            (PipelineMode::Dop, 130_337u64),
+        ];
+        let mut measured = Vec::new();
+        for (mode, center) in envelope_ns {
             let mut cfg = small_cfg_pub(mode);
             cfg.queue_depth = 1;
             let workloads: Vec<Box<dyn ConnWorkload>> = vec![randwrite_conn_pub(32, 0)];
             let mut sim = ClusterSim::new(cfg, workloads);
             sim.prefill(&objects_pub(32));
             let r = sim.run(SimDuration::millis(10), SimDuration::millis(50));
-            println!(
-                "== {mode:?} qd1: iops={:.0} lat_mean={} p50={} p95={}",
-                r.write_iops, r.write_lat[0], r.write_lat[1], r.write_lat[2]
+            let mean = r.write_lat.mean.as_nanos();
+            let (lo, hi) = (center * 9 / 10, center * 11 / 10);
+            assert!(
+                (lo..=hi).contains(&mean),
+                "{mode:?} qd1 mean {mean}ns outside calibrated envelope [{lo}, {hi}]"
             );
+            // No queueing at qd=1: the distribution collapses to a point.
+            let (p50, p95) = (r.write_lat.p50.as_nanos(), r.write_lat.p95.as_nanos());
+            assert!(
+                p95 <= p50 + p50 / 20,
+                "{mode:?} qd1: p95 {p95}ns should be within 5% of p50 {p50}ns"
+            );
+            // Closed loop at qd=1: throughput is the reciprocal of latency.
+            let expected_iops = 1e9 / mean as f64;
+            assert!(
+                (r.write_iops - expected_iops).abs() / expected_iops < 0.05,
+                "{mode:?} qd1: iops {:.0} should be ~1e9/mean = {expected_iops:.0}",
+                r.write_iops
+            );
+            measured.push(mean);
         }
+        assert!(
+            measured[1] < measured[0] * 4 / 5,
+            "Dop unloaded latency ({}) must undercut Ptc ({}) by >20%: the \
+             device write is off the ack path",
+            measured[1],
+            measured[0]
+        );
     }
 
     #[test]
@@ -2275,7 +2847,7 @@ mod debug_tests {
             println!(
                 "== conns={conns}: iops={:.0} lat={} prio_cpu={:?}",
                 r.write_iops,
-                r.write_lat[0],
+                r.write_lat.mean,
                 r.class_cpu_pct.get("priority")
             );
         }
@@ -2292,7 +2864,7 @@ mod debug_tests {
         ] {
             let r = run_mode_pub(mode, 6);
             println!("== {mode:?}: iops={:.0} lat_mean={} p95={} cpu/node={:?} tags={:?} classes={:?} ctx={} dev_writes={} dev_lat={} stalls={}",
-                r.write_iops, r.write_lat[0], r.write_lat[2], r.node_cpu_pct, r.tag_cpu_pct, r.class_cpu_pct, r.context_switches,
+                r.write_iops, r.write_lat.mean, r.write_lat.p95, r.node_cpu_pct, r.tag_cpu_pct, r.class_cpu_pct, r.context_switches,
                 r.device.writes, r.device.mean_latency(), r.nvm_full_stalls);
         }
     }

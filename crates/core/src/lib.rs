@@ -72,7 +72,8 @@ pub mod sim {
         ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem, MON_NODE,
     };
     pub use rablock_sim::{
-        CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, Partition, SchedulerKind,
-        SimDuration, SimRng, SimTime, SsdState,
+        chrome_trace_json, AttributionReport, Component, CrashSchedule, FaultEvent, FaultPlan,
+        GrayWindow, LatSummary, LinkFault, Partition, SchedulerKind, SimDuration, SimRng, SimTime,
+        SlowOp, SsdState, TimeSeries, TraceId, Track,
     };
 }

@@ -109,6 +109,7 @@ enum Effect<M> {
 /// Execution context handed to [`Handler::handle`] for one work item.
 pub struct Ctx<'a, M> {
     now: SimTime,
+    queued: SimDuration,
     spent: SimDuration,
     charges: Vec<(StageTag, SimDuration)>,
     effects: Vec<Effect<M>>,
@@ -120,6 +121,13 @@ impl<'a, M> Ctx<'a, M> {
     /// The simulated instant at which this work item was dispatched.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// How long the message sat in its thread's queue before this item was
+    /// dispatched (core contention + thread backlog). Purely observational —
+    /// reading it never perturbs scheduling.
+    pub fn queued_for(&self) -> SimDuration {
+        self.queued
     }
 
     /// Charges `d` of CPU time to this item, attributed to `tag`.
@@ -180,7 +188,9 @@ impl<'a, M> Ctx<'a, M> {
 
 struct ThreadState<M> {
     cfg: ThreadCfg,
-    queue: VecDeque<M>,
+    /// Pending messages, each stamped with its enqueue time so queue-wait
+    /// can be attributed exactly (the stamp is never read by the scheduler).
+    queue: VecDeque<(SimTime, M)>,
     running: bool,
 }
 
@@ -384,6 +394,12 @@ impl<M> Simulation<M> {
         &self.threads[t].cfg.name
     }
 
+    /// Number of messages currently waiting in `t`'s queue (telemetry probe;
+    /// does not count the item being executed).
+    pub fn thread_queue_len(&self, t: ThreadId) -> usize {
+        self.threads[t].queue.len()
+    }
+
     /// Injects a message for delivery at absolute time `at`.
     ///
     /// # Panics
@@ -441,7 +457,7 @@ impl<M> Simulation<M> {
     }
 
     fn on_deliver<H: Handler<M>>(&mut self, handler: &mut H, thread: ThreadId, msg: M) {
-        self.threads[thread].queue.push_back(msg);
+        self.threads[thread].queue.push_back((self.now, msg));
         if self.threads[thread].running {
             return;
         }
@@ -535,7 +551,7 @@ impl<M> Simulation<M> {
     fn run_item<H: Handler<M>>(&mut self, handler: &mut H, core: CoreId, thread: ThreadId) {
         debug_assert!(self.cores[core].running.is_none());
         debug_assert!(!self.threads[thread].running);
-        let msg = self.threads[thread]
+        let (enqueued_at, msg) = self.threads[thread]
             .queue
             .pop_front()
             .expect("run_item on thread with empty queue");
@@ -550,6 +566,7 @@ impl<M> Simulation<M> {
         let mut rng = std::mem::replace(&mut self.rng, SimRng::seed(0));
         let mut ctx = Ctx {
             now: self.now,
+            queued: self.now.saturating_since(enqueued_at),
             spent: SimDuration::ZERO,
             charges: std::mem::take(&mut self.scratch_charges),
             effects: std::mem::take(&mut self.scratch_effects),

@@ -55,6 +55,7 @@ mod metrics;
 mod rng;
 mod sched;
 mod time;
+pub mod trace;
 
 pub use device::{Device, DeviceProfile, DeviceStats, IoKind, IoRequest, SsdState};
 pub use engine::{CoreId, Ctx, DeviceId, Handler, Priority, Simulation, ThreadCfg, ThreadId};
@@ -66,3 +67,7 @@ pub use metrics::{Metrics, StageTag};
 pub use rng::SimRng;
 pub use sched::SchedulerKind;
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    chrome_trace_json, AttributionReport, Component, LatSummary, Recorder, SlowOp, Span,
+    TimeSeries, TraceId, Track,
+};

@@ -203,6 +203,84 @@ mod tests {
         assert_eq!(a.percentile(0.9), c.percentile(0.9));
     }
 
+    /// Exact percentile from a sorted sample, matching the histogram's
+    /// rank convention (`rank = ceil(count * p)`, 1-based).
+    fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+        let rank = ((sorted.len() as f64) * p).ceil() as usize;
+        sorted[rank.max(1).min(sorted.len()) - 1]
+    }
+
+    /// Differential check: every percentile the simulator reports (p50 up
+    /// to p99.9) must sit within the advertised ~6–7% relative error of the
+    /// exact sorted-sample answer.
+    fn assert_matches_exact(name: &str, values: &[u64]) {
+        let mut h = LogHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        for &p in &[0.5, 0.9, 0.95, 0.99, 0.999] {
+            let exact = exact_percentile(&sorted, p);
+            let approx = h.percentile(p);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err < 0.07,
+                "{name} p{p}: approx {approx} vs exact {exact} (err {err:.4})"
+            );
+        }
+        assert_eq!(h.max(), *sorted.last().unwrap(), "{name}: max is exact");
+        assert_eq!(h.min(), sorted[0], "{name}: min is exact");
+    }
+
+    /// Uniform latencies across four decades — the easy case.
+    #[test]
+    fn differential_uniform() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+        let values: Vec<u64> = (0..50_000)
+            .map(|_| rng.gen_range(1_000u64..10_000_000))
+            .collect();
+        assert_matches_exact("uniform", &values);
+    }
+
+    /// Zipfian-skewed latencies (YCSB theta): a huge mass of fast ops with a
+    /// long, thin tail — the shape that stresses log-bucket resolution at
+    /// high percentiles.
+    #[test]
+    fn differential_zipfian() {
+        use crate::Zipfian;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0002);
+        let zipf = Zipfian::new(1_000_000);
+        let values: Vec<u64> = (0..50_000)
+            .map(|_| 1_000 + zipf.next(&mut rng) * 17)
+            .collect();
+        assert_matches_exact("zipfian", &values);
+    }
+
+    /// Bimodal gray-device latencies: 90% of ops complete around the normal
+    /// device service time, 10% hit a gray device running ~8x slower — the
+    /// fault-injection shape whose second mode dominates p99/p99.9.
+    #[test]
+    fn differential_bimodal_gray_device() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0003);
+        let values: Vec<u64> = (0..50_000)
+            .map(|_| {
+                if rng.gen_range(0u32..10) == 0 {
+                    rng.gen_range(700_000u64..900_000) // gray mode, ~8x
+                } else {
+                    rng.gen_range(80_000u64..120_000) // healthy mode
+                }
+            })
+            .collect();
+        assert_matches_exact("bimodal", &values);
+    }
+
     proptest! {
         #[test]
         fn percentile_error_is_bounded(values in proptest::collection::vec(1u64..1_000_000_000, 1..500)) {

@@ -121,12 +121,11 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.backfill_throttled_nanos,
         r.flaps_damped,
     ];
-    v.extend(
-        r.write_lat
-            .iter()
-            .chain(r.read_lat.iter())
-            .map(|d| d.as_nanos()),
-    );
+    // Attribution is deliberately excluded: it only exists when tracing is
+    // armed, and the fingerprint must compare equal tracing off vs on.
+    let wf = r.write_lat.fields();
+    let rf = r.read_lat.fields();
+    v.extend(wf.iter().chain(rf.iter()).map(|d| d.as_nanos()));
     v.extend(r.node_cpu_pct.iter().map(|p| p.to_bits()));
     v.extend(r.tag_cpu_pct.values().map(|p| p.to_bits()));
     v.extend(r.class_cpu_pct.values().map(|p| p.to_bits()));
@@ -158,10 +157,18 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
 /// One fig7-style run (the paper-cluster 4 KiB random-write scenario the
 /// wall-clock harness times), with its full metric fingerprint.
 fn fig7_fingerprint(sched: SchedulerKind) -> Vec<u64> {
+    fig7_fingerprint_traced(sched, false)
+}
+
+fn fig7_fingerprint_traced(sched: SchedulerKind, trace: bool) -> Vec<u64> {
     const CONNS: usize = 16;
     let dataset = Dataset::default_for(CONNS);
     let mut cfg = paper_cluster(PipelineMode::Dop);
     cfg.scheduler = sched;
+    cfg.trace = trace;
+    if trace {
+        cfg.telemetry_window = Some(SimDuration::millis(2));
+    }
     let mut sim = ClusterSim::new(cfg, randwrite_conns(dataset, CONNS));
     sim.prefill(&dataset.all_objects());
     let r = sim.run(SimDuration::ZERO, SimDuration::millis(20));
@@ -287,12 +294,20 @@ fn chaos_config() -> ClusterSimConfig {
 }
 
 fn chaos_fingerprint_with(seed: u64, sched: SchedulerKind) -> Vec<u64> {
+    chaos_fingerprint_traced(seed, sched, false)
+}
+
+fn chaos_fingerprint_traced(seed: u64, sched: SchedulerKind, trace: bool) -> Vec<u64> {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
         .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
     let mut cfg = chaos_config();
     cfg.seed = seed;
     cfg.scheduler = sched;
+    cfg.trace = trace;
+    if trace {
+        cfg.telemetry_window = Some(SimDuration::millis(5));
+    }
     let mut sim = ClusterSim::new(cfg, wl);
     let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
         .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
@@ -331,6 +346,39 @@ fn wheel_matches_heap_fingerprint_fig7() {
 /// Same, on the chaos scenario: faults, heartbeat failover, client retries,
 /// a crash/restart with log-based recovery, and the history checker — the
 /// paths most sensitive to event ordering.
+/// Tracing must be purely passive: arming per-op spans, latency
+/// attribution, the slow-op ring, and the windowed telemetry sampler must
+/// not move a single event, so the full metric fingerprint is byte-identical
+/// tracing off vs on — under both schedulers, on both the clean fig7
+/// scenario and the fault-heavy chaos scenario.
+#[test]
+fn tracing_is_invisible_to_fingerprint_fig7_wheel() {
+    let off = fig7_fingerprint_traced(SchedulerKind::Wheel, false);
+    let on = fig7_fingerprint_traced(SchedulerKind::Wheel, true);
+    assert_eq!(off, on, "fig7/wheel: tracing must not perturb the run");
+}
+
+#[test]
+fn tracing_is_invisible_to_fingerprint_fig7_heap() {
+    let off = fig7_fingerprint_traced(SchedulerKind::Heap, false);
+    let on = fig7_fingerprint_traced(SchedulerKind::Heap, true);
+    assert_eq!(off, on, "fig7/heap: tracing must not perturb the run");
+}
+
+#[test]
+fn tracing_is_invisible_to_fingerprint_chaos_wheel() {
+    let off = chaos_fingerprint_traced(0xC0FFEE, SchedulerKind::Wheel, false);
+    let on = chaos_fingerprint_traced(0xC0FFEE, SchedulerKind::Wheel, true);
+    assert_eq!(off, on, "chaos/wheel: tracing must not perturb the run");
+}
+
+#[test]
+fn tracing_is_invisible_to_fingerprint_chaos_heap() {
+    let off = chaos_fingerprint_traced(0xC0FFEE, SchedulerKind::Heap, false);
+    let on = chaos_fingerprint_traced(0xC0FFEE, SchedulerKind::Heap, true);
+    assert_eq!(off, on, "chaos/heap: tracing must not perturb the run");
+}
+
 #[test]
 fn wheel_matches_heap_fingerprint_chaos() {
     let wheel = chaos_fingerprint_with(0xC0FFEE, SchedulerKind::Wheel);
