@@ -1,0 +1,57 @@
+//! Deterministic gzip/gunzip for committed artifacts.
+//!
+//! ```text
+//! gzpack <in> [out.gz]      # compress (default out: <in>.gz)
+//! gzpack -d <in.gz> [out]   # decompress (default out: strip .gz)
+//! ```
+//!
+//! Same input, same bytes: the codec pins every header field (see
+//! [`rablock_bench::gz`]), so CI can `cmp` compressed artifacts exactly
+//! like the raw files they replace. Decompression also reads streams from
+//! stock `gzip`.
+
+use rablock_bench::gz;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (decompress, rest) = match args.first().map(String::as_str) {
+        Some("-d") => (true, &args[1..]),
+        _ => (false, &args[..]),
+    };
+    let Some(input) = rest.first() else {
+        eprintln!("usage: gzpack [-d] <in> [out]");
+        std::process::exit(2);
+    };
+    let data = std::fs::read(input).unwrap_or_else(|e| {
+        eprintln!("gzpack: read {input}: {e}");
+        std::process::exit(1);
+    });
+    let (out_path, out_data) = if decompress {
+        let out = rest.get(1).cloned().unwrap_or_else(|| {
+            input
+                .strip_suffix(".gz")
+                .map(String::from)
+                .unwrap_or_else(|| format!("{input}.out"))
+        });
+        let decoded = gz::gunzip(&data).unwrap_or_else(|e| {
+            eprintln!("gzpack: {input}: {e}");
+            std::process::exit(1);
+        });
+        (out, decoded)
+    } else {
+        let out = rest
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| format!("{input}.gz"));
+        (out, gz::gzip(&data))
+    };
+    std::fs::write(&out_path, &out_data).unwrap_or_else(|e| {
+        eprintln!("gzpack: write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "gzpack: {input} ({} bytes) -> {out_path} ({} bytes)",
+        data.len(),
+        out_data.len()
+    );
+}

@@ -29,7 +29,9 @@
 //! to the untraced one (tracing is passive by construction), and writes a
 //! Perfetto-loadable Chrome trace JSON plus `.telemetry.csv` /
 //! `.attribution.csv` siblings. With `--only NAME` the JSON lands at PATH
-//! exactly; otherwise each scenario gets a `-<name>` suffix.
+//! exactly; otherwise each scenario gets a `-<name>` suffix. A PATH ending
+//! in `.gz` writes the JSON gzipped (deterministically — see the `gzpack`
+//! bin to unpack); the CSV siblings stay plain.
 //!
 //! The grow scenario also reports the write-tail degradation window: its
 //! p99 write latency next to the p99 of a churn-free control run on the
@@ -606,20 +608,37 @@ fn emit_trace_artifacts(
         untraced_wall_secs
     );
     let out = out.expect("traced run yields artifacts");
-    let dest = if exclusive {
-        PathBuf::from(path)
+    // A `.gz` suffix selects deterministic gzip output (same bytes for the
+    // same run — CI still compares artifacts with `cmp`); the CSV siblings
+    // stay plain either way and derive from the path without the suffix.
+    let gz = path.ends_with(".gz");
+    let trimmed = path.strip_suffix(".gz").unwrap_or(path);
+    let base = if exclusive {
+        PathBuf::from(trimmed)
     } else {
-        let p = PathBuf::from(path);
+        let p = PathBuf::from(trimmed);
         let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
         let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("json");
         p.with_file_name(format!("{stem}-{name}.{ext}"))
     };
-    std::fs::write(&dest, &out.chrome_json).expect("write trace json");
+    let dest = if gz {
+        let mut name = base.as_os_str().to_owned();
+        name.push(".gz");
+        PathBuf::from(name)
+    } else {
+        base.clone()
+    };
+    if gz {
+        std::fs::write(&dest, rablock_bench::gz::gzip(out.chrome_json.as_bytes()))
+            .expect("write trace json.gz");
+    } else {
+        std::fs::write(&dest, &out.chrome_json).expect("write trace json");
+    }
     println!("  [{name}] trace written: {}", dest.display());
-    let telemetry_dest = dest.with_extension("telemetry.csv");
+    let telemetry_dest = base.with_extension("telemetry.csv");
     std::fs::write(&telemetry_dest, &out.telemetry_csv).expect("write telemetry csv");
     println!("  [{name}] telemetry written: {}", telemetry_dest.display());
-    let attribution_dest = dest.with_extension("attribution.csv");
+    let attribution_dest = base.with_extension("attribution.csv");
     std::fs::write(&attribution_dest, &out.attribution_csv).expect("write attribution csv");
     println!(
         "  [{name}] attribution written: {}",

@@ -1,0 +1,714 @@
+//! Minimal gzip (RFC 1952) + DEFLATE (RFC 1951), implemented by hand.
+//!
+//! The build environment is offline and the workspace vendors no
+//! compression crate, yet committed trace artifacts (hundreds of KiB of
+//! Perfetto JSON) bloat every checkout. This module is just enough codec to
+//! fix that: a fixed-Huffman greedy-LZ77 compressor for writing artifacts,
+//! and a full inflater (stored, fixed and dynamic blocks) so artifacts
+//! written by stock `gzip` read back too.
+//!
+//! Determinism matters more than ratio here: the emitted stream depends
+//! only on the input bytes (header MTIME is pinned to zero, no OS byte
+//! leakage, greedy matching has no tie-breaking randomness), so CI can
+//! `cmp` two compressed artifacts the same way it compares the raw JSON.
+
+/// CRC-32/ISO-HDLC (the gzip checksum), bitwise-reflected, table-driven.
+fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut n = 0;
+        while n < 256 {
+            let mut c = n as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[n] = c;
+            n += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// --------------------------------------------------------------------------
+// Bit I/O. DEFLATE packs bits LSB-first within bytes; Huffman codes go in
+// MSB-first (reversed), everything else LSB-first.
+// --------------------------------------------------------------------------
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Append `n` bits of `v`, LSB-first.
+    fn bits(&mut self, v: u32, n: u32) {
+        self.acc |= (v as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Append a Huffman code: `n`-bit `code` given MSB-first, as DEFLATE
+    /// specifies code transmission.
+    fn huff(&mut self, code: u32, n: u32) {
+        let mut rev = 0u32;
+        for i in 0..n {
+            rev |= ((code >> i) & 1) << (n - 1 - i);
+        }
+        self.bits(rev, n);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u32, String> {
+        while self.nbits < n {
+            let b = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| "deflate stream truncated".to_string())?;
+            self.pos += 1;
+            self.acc |= (b as u64) << self.nbits;
+            self.nbits += 8;
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Discard partial-byte state (stored-block alignment).
+    fn align(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Bytes consumed so far (only meaningful when byte-aligned).
+    fn byte_pos(&self) -> usize {
+        self.pos - (self.nbits / 8) as usize
+    }
+
+    fn skip_bytes(&mut self, n: usize) -> Result<(), String> {
+        debug_assert_eq!(self.nbits, 0);
+        if self.pos + n > self.data.len() {
+            return Err("deflate stream truncated".into());
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// RFC 1951 symbol tables.
+// --------------------------------------------------------------------------
+
+/// Length code N (257-285): (base length, extra bits).
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// Distance code N (0-29): (base distance, extra bits).
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Order in which code-length-code lengths are transmitted (dynamic blocks).
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn length_code(len: u16) -> (u16, u16, u8) {
+    debug_assert!((3..=258).contains(&len));
+    for (i, &(base, extra)) in LEN_TABLE.iter().enumerate().rev() {
+        if len >= base {
+            return (257 + i as u16, len - base, extra);
+        }
+    }
+    unreachable!("length below 3");
+}
+
+fn dist_code(dist: u16) -> (u16, u16, u8) {
+    debug_assert!(dist >= 1);
+    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate().rev() {
+        if dist >= base {
+            return (i as u16, dist - base, extra);
+        }
+    }
+    unreachable!("distance below 1");
+}
+
+/// Fixed-Huffman litlen code for symbol `s` (RFC 1951 §3.2.6).
+fn fixed_litlen(s: u16) -> (u32, u32) {
+    match s {
+        0..=143 => (0x30 + s as u32, 8),
+        144..=255 => (0x190 + (s - 144) as u32, 9),
+        256..=279 => ((s - 256) as u32, 7),
+        _ => (0xC0 + (s - 280) as u32, 8),
+    }
+}
+
+// --------------------------------------------------------------------------
+// Compressor: greedy hash-chain LZ77 into one fixed-Huffman block.
+// --------------------------------------------------------------------------
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Hash-chain probe bound: enough for good ratios on JSON/CSV text without
+/// quadratic blowup on highly repetitive inputs.
+const MAX_CHAIN: usize = 64;
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(0x9E37)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(0x79B9))
+        .wrapping_add((data[i + 2] as u32).wrapping_mul(0x7F4A));
+    (h as usize) & (HASH_SLOTS - 1)
+}
+
+const HASH_SLOTS: usize = 1 << 15;
+
+fn deflate_fixed(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.bits(1, 1); // BFINAL
+    w.bits(1, 2); // BTYPE=01 fixed Huffman
+
+    let mut head = vec![usize::MAX; HASH_SLOTS];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            let (lcode, lextra, lbits) = length_code(best_len as u16);
+            let (code, bits) = fixed_litlen(lcode);
+            w.huff(code, bits);
+            if lbits > 0 {
+                w.bits(lextra as u32, lbits as u32);
+            }
+            let (dcode, dextra, dbits) = dist_code(best_dist as u16);
+            w.huff(dcode as u32, 5);
+            if dbits > 0 {
+                w.bits(dextra as u32, dbits as u32);
+            }
+            // Insert every position of the match into the chains so later
+            // occurrences can still find them.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash3(data, i);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            let (code, bits) = fixed_litlen(data[i] as u16);
+            w.huff(code, bits);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    let (eob, eob_bits) = fixed_litlen(256);
+    w.huff(eob, eob_bits);
+    w.finish()
+}
+
+// --------------------------------------------------------------------------
+// Inflater: canonical-Huffman decode (puff-style), all three block types.
+// --------------------------------------------------------------------------
+
+/// Canonical Huffman decoding table: symbol counts per code length plus
+/// symbols sorted by (length, symbol order).
+struct Huffman {
+    count: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn build(lengths: &[u8]) -> Result<Huffman, String> {
+        let mut count = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(format!("code length {l} out of range"));
+            }
+            count[l as usize] += 1;
+        }
+        // Over-subscribed codes are invalid; incomplete ones are tolerated
+        // (single-symbol distance codes appear in real streams).
+        let mut left = 1i32;
+        for &n in &count[1..] {
+            left = (left << 1) - n as i32;
+            if left < 0 {
+                return Err("over-subscribed Huffman code".into());
+            }
+        }
+        let mut offs = [0u16; 16];
+        for len in 1..15 {
+            offs[len + 1] = offs[len] + count[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[offs[l as usize] as usize] = sym as u16;
+                offs[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { count, symbols })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, String> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= r.take(1)? as i32;
+            let n = self.count[len] as i32;
+            if code - first < n {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += n;
+            first = (first + n) << 1;
+            code <<= 1;
+        }
+        Err("invalid Huffman code".into())
+    }
+}
+
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut litlen = [0u8; 288];
+    for (s, l) in litlen.iter_mut().enumerate() {
+        *l = match s {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist = [5u8; 30];
+    (
+        Huffman::build(&litlen).expect("fixed litlen table"),
+        Huffman::build(&dist).expect("fixed dist table"),
+    )
+}
+
+fn inflate(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.take(1)?;
+        let btype = r.take(2)?;
+        match btype {
+            0 => {
+                r.align();
+                let start = r.byte_pos();
+                if start + 4 > data.len() {
+                    return Err("stored block header truncated".into());
+                }
+                let len = u16::from_le_bytes([data[start], data[start + 1]]) as usize;
+                let nlen = u16::from_le_bytes([data[start + 2], data[start + 3]]);
+                if nlen != !(len as u16) {
+                    return Err("stored block LEN/NLEN mismatch".into());
+                }
+                // Re-sync the reader past the header + payload.
+                r = BitReader::new(data);
+                r.pos = start + 4;
+                if r.pos + len > data.len() {
+                    return Err("stored block truncated".into());
+                }
+                out.extend_from_slice(&data[r.pos..r.pos + len]);
+                r.skip_bytes(len)?;
+            }
+            1 | 2 => {
+                let (litlen, dist) = if btype == 1 {
+                    fixed_tables()
+                } else {
+                    read_dynamic_tables(&mut r)?
+                };
+                loop {
+                    let sym = litlen.decode(&mut r)?;
+                    match sym {
+                        0..=255 => out.push(sym as u8),
+                        256 => break,
+                        257..=285 => {
+                            let (base, extra) = LEN_TABLE[(sym - 257) as usize];
+                            let len = base as usize + r.take(extra as u32)? as usize;
+                            let dsym = dist.decode(&mut r)? as usize;
+                            if dsym >= 30 {
+                                return Err("invalid distance symbol".into());
+                            }
+                            let (dbase, dextra) = DIST_TABLE[dsym];
+                            let d = dbase as usize + r.take(dextra as u32)? as usize;
+                            if d > out.len() {
+                                return Err("distance past output start".into());
+                            }
+                            let from = out.len() - d;
+                            for k in 0..len {
+                                let b = out[from + k];
+                                out.push(b);
+                            }
+                        }
+                        _ => return Err(format!("invalid litlen symbol {sym}")),
+                    }
+                }
+            }
+            _ => return Err("reserved block type".into()),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), String> {
+    let hlit = r.take(5)? as usize + 257;
+    let hdist = r.take(5)? as usize + 1;
+    let hclen = r.take(4)? as usize + 4;
+    let mut clc_lengths = [0u8; 19];
+    for &slot in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[slot] = r.take(3)? as u8;
+    }
+    let clc = Huffman::build(&clc_lengths)?;
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = clc.decode(r)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err("repeat with no previous length".into());
+                }
+                let prev = lengths[i - 1];
+                let n = 3 + r.take(2)? as usize;
+                for _ in 0..n {
+                    if i >= lengths.len() {
+                        return Err("length repeat overflows table".into());
+                    }
+                    lengths[i] = prev;
+                    i += 1;
+                }
+            }
+            17 | 18 => {
+                let n = if sym == 17 {
+                    3 + r.take(3)? as usize
+                } else {
+                    11 + r.take(7)? as usize
+                };
+                if i + n > lengths.len() {
+                    return Err("zero-run overflows table".into());
+                }
+                i += n;
+            }
+            _ => return Err(format!("invalid code-length symbol {sym}")),
+        }
+    }
+    if lengths[256] == 0 {
+        return Err("dynamic block without end-of-block code".into());
+    }
+    let litlen = Huffman::build(&lengths[..hlit])?;
+    let dist = Huffman::build(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+// --------------------------------------------------------------------------
+// RFC 1952 container.
+// --------------------------------------------------------------------------
+
+/// Compress `data` into a deterministic gzip member (MTIME pinned to 0,
+/// OS byte 255 "unknown") — same input, same bytes, forever.
+pub fn gzip(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 3 + 32);
+    out.extend_from_slice(&[0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 0xFF]);
+    out.extend_from_slice(&deflate_fixed(data));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompress one gzip member, verifying the trailer CRC32 and length.
+/// Handles streams from this module and from stock `gzip` (dynamic-Huffman
+/// blocks, FNAME/FEXTRA/FCOMMENT/FHCRC header fields).
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, String> {
+    if data.len() < 18 {
+        return Err("gzip stream too short".into());
+    }
+    if data[0] != 0x1F || data[1] != 0x8B {
+        return Err("bad gzip magic".into());
+    }
+    if data[2] != 8 {
+        return Err(format!("unsupported compression method {}", data[2]));
+    }
+    let flags = data[3];
+    let mut pos = 10;
+    if flags & 0x04 != 0 {
+        // FEXTRA
+        if pos + 2 > data.len() {
+            return Err("gzip FEXTRA truncated".into());
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for mask in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings.
+        if flags & mask != 0 {
+            while *data.get(pos).ok_or("gzip header truncated")? != 0 {
+                pos += 1;
+            }
+            pos += 1;
+        }
+    }
+    if flags & 0x02 != 0 {
+        pos += 2; // FHCRC
+    }
+    if pos + 8 > data.len() {
+        return Err("gzip stream truncated".into());
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body)?;
+    let tail = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    let want_len = u32::from_le_bytes([tail[4], tail[5], tail[6], tail[7]]);
+    if crc32(&out) != want_crc {
+        return Err("gzip CRC mismatch".into());
+    }
+    if out.len() as u32 != want_len {
+        return Err("gzip length mismatch".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn crc32_check_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_assorted_inputs() {
+        let mut inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"hello, hello, hello".to_vec(),
+            vec![0u8; 100_000],
+            (0..=255u8).cycle().take(70_000).collect(),
+        ];
+        // JSON-ish text: the actual artifact shape this module exists for.
+        let mut json = String::from("{\"traceEvents\":[");
+        for i in 0..2000 {
+            json.push_str(&format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"name\":\"op{i}\",\"ts\":{},\"dur\":{}}},",
+                i * 17,
+                i % 97
+            ));
+        }
+        json.push_str("{}]}");
+        inputs.push(json.into_bytes());
+        // Incompressible noise must survive too (expands slightly; fine).
+        let mut s = 7u64;
+        inputs.push(
+            (0..50_000)
+                .map(|_| (splitmix(&mut s) & 0xFF) as u8)
+                .collect(),
+        );
+
+        for input in &mut inputs {
+            let packed = gzip(input);
+            let back = gunzip(&packed).expect("roundtrip");
+            assert_eq!(&back, input, "len {}", input.len());
+        }
+    }
+
+    #[test]
+    fn compresses_repetitive_text() {
+        let data = b"the quick brown fox ".repeat(5000);
+        let packed = gzip(&data);
+        assert!(
+            packed.len() < data.len() / 10,
+            "repetitive text compresses hard: {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let data = b"determinism is the whole point".repeat(100);
+        assert_eq!(gzip(&data), gzip(&data));
+    }
+
+    #[test]
+    fn rejects_corruption_and_truncation() {
+        let data = b"some payload worth protecting".repeat(50);
+        let packed = gzip(&data);
+        // Flip one payload bit: CRC (or the decode itself) must reject.
+        for &at in &[12usize, packed.len() / 2, packed.len() - 5] {
+            let mut bad = packed.clone();
+            bad[at] ^= 0x40;
+            assert!(gunzip(&bad).is_err(), "bit flip at {at} must not decode");
+        }
+        assert!(gunzip(&packed[..packed.len() - 3]).is_err());
+        assert!(gunzip(&packed[..5]).is_err());
+        let mut wrong_magic = packed;
+        wrong_magic[0] = 0x1E;
+        assert!(gunzip(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn decodes_stored_blocks() {
+        // Hand-assembled gzip member with one stored block.
+        let payload = b"stored block payload";
+        let mut raw = vec![0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 0xFF];
+        raw.push(0x01); // BFINAL=1, BTYPE=00
+        raw.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        raw.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        raw.extend_from_slice(payload);
+        raw.extend_from_slice(&crc32(payload).to_le_bytes());
+        raw.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gunzip(&raw).unwrap(), payload);
+    }
+}

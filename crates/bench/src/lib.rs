@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gz;
 pub mod sweep;
 
 use std::io::Write as _;

@@ -649,6 +649,54 @@ pub fn figure_cells(smoke: bool, only: Option<&str>) -> Vec<Cell> {
         )
     }));
 
+    // Integrity overhead — fig7-style 4 KiB random write with background
+    // deep scrub on vs off (DESIGN.md §14). Block checksums are on in both
+    // cells so the delta isolates the scrub pass itself; the interval puts
+    // exactly one whole-store deep pass inside the measured window, and the
+    // shared recovery throttle is what bounds its read-back against client
+    // traffic (BENCH_pr9.json states the resulting p99 budget). Heartbeats
+    // are armed in both cells (the throttle replenishes on ticks) to keep
+    // the comparison fair.
+    for scrub_on in [false, true] {
+        let key = if scrub_on {
+            "scrub/deep-on"
+        } else {
+            "scrub/off"
+        };
+        cells.push(Cell::new(key, move || {
+            let conns = 16;
+            let dataset = Dataset::default_for(conns);
+            let (warmup, measure) = wins(smoke);
+            let mut cfg = paper_cluster(PipelineMode::Dop);
+            cfg.osd.cos.checksums = true;
+            cfg.heartbeat_period = Some(SimDuration::millis(1));
+            cfg.heartbeat_grace = SimDuration::millis(5);
+            if scrub_on {
+                cfg.scrub_interval = Some(scaled(SimDuration::millis(90), smoke));
+                cfg.scrub_deep_every = 1;
+            }
+            let r = run_sim(
+                cfg,
+                dataset,
+                randwrite_conns(dataset, conns),
+                warmup,
+                measure,
+            );
+            CellOut::from_report(
+                &r,
+                vec![
+                    ("iops", format!("{:.0}", r.write_iops)),
+                    ("write_p99_ns", ns(r.write_lat.p99)),
+                    ("write_p999_ns", ns(r.write_lat.p999)),
+                    ("scrubs", r.scrubs_completed.to_string()),
+                    ("scrub_bytes", r.scrub_bytes.to_string()),
+                    ("errors_found", r.scrub_errors_found.to_string()),
+                    ("throttled_ns", r.scrub_throttled_nanos.to_string()),
+                ],
+            )
+        }));
+    }
+
     if let Some(prefix) = only {
         cells.retain(|c| c.key.starts_with(prefix));
     }
@@ -664,7 +712,7 @@ mod tests {
         let cells = figure_cells(true, None);
         for prefix in [
             "fig01/", "fig07/", "fig08/", "fig09/", "fig10/", "fig11/", "fig12/", "table1/",
-            "table2/", "abl-nvm/", "abl-ctx/", "elastic/",
+            "table2/", "abl-nvm/", "abl-ctx/", "elastic/", "scrub/",
         ] {
             assert!(
                 cells.iter().any(|c| c.key.starts_with(prefix)),

@@ -186,6 +186,54 @@ pub fn diff_replica_digests(replicas: &[ReplicaListing]) -> Vec<String> {
     out
 }
 
+/// One replica's persistent-checksum listing for consistency checking: a
+/// display label plus `(raw object id, size, checksum-vector digest)`
+/// triples as reported by the backend's light-scrub metadata (no data
+/// blocks are read to produce one).
+pub type DigestListing = (String, Vec<(u64, u64, u64)>);
+
+/// Replica digest consistency: every acting-set member must persist the
+/// same `(size, checksum-vector digest)` for every object of the group.
+/// Returns one description per disagreeing object; empty means the
+/// persistent checksum metadata is identical across replicas.
+///
+/// This is the *metadata* companion to [`diff_replica_digests`]: it
+/// compares what the checksums say the content is, without reading any
+/// data, so it is cheap enough to assert at quiesce in every chaos and
+/// churn property test. Note the deliberate blind spot: bit rot under a
+/// correct checksum vector is invisible here (the checksums still describe
+/// the originally-written bytes) — that is exactly the gap deep scrub
+/// closes by re-reading data.
+pub fn replica_digest_consistency(replicas: &[DigestListing]) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some((ref_label, _)) = replicas.first() else {
+        return out;
+    };
+    let maps: Vec<HashMap<u64, (u64, u64)>> = replicas
+        .iter()
+        .map(|(_, entries)| entries.iter().map(|&(o, s, d)| (o, (s, d))).collect())
+        .collect();
+    let mut oids: Vec<u64> = replicas
+        .iter()
+        .flat_map(|(_, entries)| entries.iter().map(|(o, _, _)| *o))
+        .collect();
+    oids.sort_unstable();
+    oids.dedup();
+    for oid in oids {
+        let reference = maps[0].get(&oid).copied();
+        for ((label, _), map) in replicas.iter().zip(&maps).skip(1) {
+            let got = map.get(&oid).copied();
+            if got != reference {
+                out.push(format!(
+                    "object {oid:#x}: {label} persists (size, csum digest) {got:?}, \
+                     {ref_label} persists {reference:?}"
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Relative capacity imbalance across a set of OSD fill levels: the largest
 /// deviation from the mean fill, as a fraction of the mean
 /// (`(max_fill - mean) / mean`). Returns 0.0 when the set is empty or holds
@@ -322,6 +370,26 @@ mod tests {
             ("osd1".to_string(), vec![(1, None)]),
         ];
         assert!(diff_replica_digests(&replicas).is_empty());
+    }
+
+    #[test]
+    fn digest_consistency_flags_size_and_digest_drift() {
+        let replicas = vec![
+            ("osd0".to_string(), vec![(1, 4096, 10), (2, 8192, 20)]),
+            ("osd1".to_string(), vec![(1, 4096, 10), (2, 8192, 20)]),
+        ];
+        assert!(replica_digest_consistency(&replicas).is_empty());
+        let replicas = vec![
+            ("osd0".to_string(), vec![(1, 4096, 10), (2, 8192, 20)]),
+            ("osd1".to_string(), vec![(1, 8192, 10), (2, 8192, 21)]),
+        ];
+        let diffs = replica_digest_consistency(&replicas);
+        assert_eq!(diffs.len(), 2, "{diffs:?}");
+        let replicas = vec![
+            ("osd0".to_string(), vec![(1, 4096, 10)]),
+            ("osd1".to_string(), Vec::new()),
+        ];
+        assert_eq!(replica_digest_consistency(&replicas).len(), 1);
     }
 
     #[test]

@@ -153,6 +153,29 @@ impl PgLogEntry {
     }
 }
 
+/// One row of a scrub map: a replica's summary of one object.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ScrubEntry {
+    /// Raw object id.
+    pub oid_raw: u64,
+    /// Object size in bytes on this replica.
+    pub size: u64,
+    /// Content digest (FNV-1a over the object bytes, or over the per-block
+    /// checksum run on a light scrub of a checksumming store).
+    pub digest: u64,
+    /// True when a deep read of the object tripped a block checksum — this
+    /// replica's copy is rotten regardless of what the digest claims.
+    pub damaged: bool,
+    /// Newest pg_log `(epoch, version)` for the object when the map was
+    /// built. Replica maps are collected at different instants, so a write
+    /// landing mid-round makes digests diverge without any corruption; the
+    /// comparison skips objects whose copies disagree on this stamp instead
+    /// of flagging them (the next round re-checks them at rest).
+    pub epoch: u64,
+    /// See `epoch`.
+    pub version: u64,
+}
+
 /// OSD-to-OSD messages.
 #[derive(Clone, Debug)]
 pub enum PeerMsg {
@@ -259,6 +282,44 @@ pub enum PeerMsg {
         /// Which peer acks.
         from: OsdId,
     },
+    /// Scrub: the primary asks an acting-set peer for a scrub map of a
+    /// group — per-object sizes and digests (plus, on a deep scrub, a full
+    /// data read that verifies block checksums).
+    ScrubRequest {
+        /// Group being scrubbed.
+        group: GroupId,
+        /// Map epoch the scrub round belongs to (stale replies are ignored).
+        epoch: u64,
+        /// Whether to deep-scrub (read and checksum-verify every byte).
+        deep: bool,
+        /// The requesting primary.
+        from: OsdId,
+    },
+    /// Scrub: one replica's view of a group, in reply to
+    /// [`PeerMsg::ScrubRequest`] (the primary also builds one locally).
+    ScrubMap {
+        /// Group being scrubbed.
+        group: GroupId,
+        /// Echoed scrub epoch.
+        epoch: u64,
+        /// The replying peer.
+        from: OsdId,
+        /// Per-object `(raw oid, size, content digest, damaged)` rows.
+        /// `damaged` is set when a deep read tripped a block checksum.
+        entries: Vec<ScrubEntry>,
+    },
+    /// Scrub/read-repair: an OSD that found one of its own replicas rotten
+    /// asks a peer holding a good copy to push the object back to it.
+    ScrubFetch {
+        /// Group the object belongs to.
+        group: GroupId,
+        /// Map epoch of the request.
+        epoch: u64,
+        /// The damaged object.
+        oid: ObjectId,
+        /// The requesting (damaged) OSD.
+        from: OsdId,
+    },
     /// A replica failed to apply a replicated transaction: negative ack so
     /// the primary can mark the peer missing and re-drive recovery instead
     /// of the replica panicking.
@@ -288,6 +349,9 @@ impl PeerMsg {
             | PeerMsg::PgInfo { group, .. }
             | PeerMsg::PushObject { group, .. }
             | PeerMsg::PushAck { group, .. }
+            | PeerMsg::ScrubRequest { group, .. }
+            | PeerMsg::ScrubMap { group, .. }
+            | PeerMsg::ScrubFetch { group, .. }
             | PeerMsg::RepNack { group, .. } => *group,
         }
     }
@@ -305,6 +369,9 @@ impl PeerMsg {
                 | PeerMsg::PgInfo { .. }
                 | PeerMsg::PushObject { .. }
                 | PeerMsg::PushAck { .. }
+                | PeerMsg::ScrubRequest { .. }
+                | PeerMsg::ScrubMap { .. }
+                | PeerMsg::ScrubFetch { .. }
         )
     }
 
@@ -326,6 +393,10 @@ impl PeerMsg {
                 PeerMsg::PgInfo { entries, .. } => 32 * entries.len() as u64,
                 PeerMsg::PushObject { data, .. } => 48 + data.len() as u64,
                 PeerMsg::PushAck { .. } => 0,
+                PeerMsg::ScrubRequest { .. } => 8,
+                // 32 bytes per serialized scrub-map row.
+                PeerMsg::ScrubMap { entries, .. } => 32 * entries.len() as u64,
+                PeerMsg::ScrubFetch { .. } => 16,
                 PeerMsg::RepNack { .. } => 16,
             }
     }

@@ -24,8 +24,19 @@ use rablock_storage::{
     StoreStats, TraceIo, Transaction,
 };
 
-use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg, PgLogEntry};
+use crate::msg::{ClientId, ClientReply, ClientReq, OpId, PeerMsg, PgLogEntry, ScrubEntry};
 use crate::placement::{ActingSet, OsdId, OsdMap};
+
+/// splitmix64 step: the deterministic stream fault injection draws rot
+/// targets from. Self-contained (no scheduler RNG) so the same seed rots
+/// the same bits under the wheel and heap schedulers alike.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// FNV-style digest over a byte slice: the checksum recovery pushes are
 /// verified with and the unit replica contents are compared by.
@@ -201,7 +212,13 @@ impl Default for OsdConfig {
             dedup_window: 128,
             pg_log_limit: 512,
             lsm: LsmOptions::default(),
-            cos: CosOptions::default(),
+            // Clusters checksum their data blocks: a read of rotted bytes
+            // must fail retryably instead of serving garbage. (The WAF
+            // benchmarks construct CosOptions directly and keep them off.)
+            cos: CosOptions {
+                checksums: true,
+                ..CosOptions::default()
+            },
             max_backfill_inflight: 16,
             backfill_bytes_per_tick: 4 << 20,
             backfill_tick_nanos: 1_000_000,
@@ -258,6 +275,33 @@ impl Backend {
             Backend::Lsm(s) => s.maintenance(),
             Backend::Cos(s) => s.maintenance(),
             Backend::Null => rablock_storage::MaintenanceReport::default(),
+        }
+    }
+
+    /// Light-scrub digest from checksum metadata alone (COS with checksums
+    /// on); `None` tells the scrubber to fall back to reading the bytes.
+    fn csum_digest(&self, oid: ObjectId) -> Option<(u64, u64)> {
+        match self {
+            Backend::Cos(s) => s.csum_digest(oid),
+            _ => None,
+        }
+    }
+
+    /// Fault injection: flips one stored data bit of `oid`, bypassing
+    /// checksum bookkeeping. `false` when the backend cannot rot (no real
+    /// device, unmapped block, or the store does not expose injection).
+    fn corrupt_data_bit(&mut self, oid: ObjectId, block: u64, byte: u64, bit: u8) -> bool {
+        match self {
+            Backend::Cos(s) => s.corrupt_data_bit(oid, block, byte, bit).unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    /// Data blocks mapped for `oid` (rot targeting); 0 when unknown.
+    fn mapped_blocks(&self, oid: ObjectId) -> u64 {
+        match self {
+            Backend::Cos(s) => s.mapped_blocks(oid),
+            _ => 0,
         }
     }
 
@@ -320,6 +364,16 @@ pub enum OsdInput {
     },
     /// The maintenance thread ticked.
     MaintStep,
+    /// The scrub scheduler picked this OSD (as primary) to scrub a group:
+    /// collect per-replica object maps, compare, and repair inconsistent
+    /// copies through the recovery push machinery.
+    ScrubStart {
+        /// The group to scrub.
+        group: GroupId,
+        /// Deep scrub: read and checksum-verify every byte instead of
+        /// comparing metadata digests.
+        deep: bool,
+    },
     /// The heartbeat timer fired: emit a liveness beacon to the monitor.
     HeartbeatTick,
     /// A new cluster map arrived.
@@ -497,6 +551,31 @@ pub enum PgState {
     /// Full-object backfill: at least one peer fell off the log tail and is
     /// receiving every object of the group.
     Backfilling,
+    /// A scrub found replicas that disagree (or failed their checksums);
+    /// repair pushes/fetches are in flight. Clears back to Active once
+    /// every damaged copy is healed.
+    Inconsistent,
+}
+
+/// One scrub round at a group's primary: collect a [`ScrubEntry`] map from
+/// every acting-set member (self included), compare, then repair.
+struct ScrubRound {
+    /// Map epoch the round runs at; stale replies are ignored and a map
+    /// change aborts the round (peering supersedes it).
+    epoch: u64,
+    /// Deep (read everything) vs light (metadata digests only).
+    deep: bool,
+    /// Peers whose [`PeerMsg::ScrubMap`] has not arrived yet.
+    awaiting: BTreeSet<OsdId>,
+    /// Collected maps by member (the primary's own map included).
+    maps: BTreeMap<OsdId, Vec<ScrubEntry>>,
+    /// Maps compared, repairs cut; the round now only tracks repairs.
+    compared: bool,
+    /// Local damaged objects awaiting a [`PeerMsg::ScrubFetch`] heal.
+    self_wait: BTreeMap<u64, ObjectId>,
+    /// Objects to push to damaged/divergent peers (deferred while the
+    /// object is still in `self_wait` — never push bytes we hold rotten).
+    peer_repairs: BTreeMap<u64, (ObjectId, BTreeSet<OsdId>)>,
 }
 
 /// Per-group recovery bookkeeping at the primary, created on a map-epoch
@@ -582,6 +661,30 @@ pub struct Osd {
     backfill_budget: u64,
     /// Whether the throttle deferred work since the last tick.
     backfill_deferred: bool,
+    /// Active scrub rounds for groups this OSD leads.
+    scrubs: BTreeMap<GroupId, ScrubRound>,
+    /// Scrub starts deferred by the throttle or a recovery in flight,
+    /// retried on the heartbeat; `true` = deep (deep wins over light).
+    scrub_queue: BTreeMap<GroupId, bool>,
+    /// Whether the throttle deferred a scrub since the last tick.
+    scrub_deferred: bool,
+    /// Outstanding self-heal fetches (`(group, raw oid)` → object + the
+    /// peer currently asked), fed by scrub rounds and read-path checksum
+    /// failures; retried with source rotation on the heartbeat.
+    fetches: BTreeMap<(GroupId, u64), (ObjectId, OsdId)>,
+    /// Damaged/divergent replica copies found by scrub comparisons.
+    pub scrub_errors_found: u64,
+    /// Copies healed by scrub repair pushes and fetches.
+    pub scrub_errors_repaired: u64,
+    /// Object bytes read by deep scrubs on this OSD.
+    pub scrub_bytes: u64,
+    /// Simulated time scrub starts spent deferred by the throttle.
+    pub scrub_throttled_nanos: u64,
+    /// Scrub rounds finished (repairs, if any, all acked).
+    pub scrubs_completed: u64,
+    /// Client/store reads that tripped a block checksum (each also triggers
+    /// a self-heal fetch).
+    pub read_checksum_errors: u64,
 }
 
 impl Osd {
@@ -639,6 +742,16 @@ impl Osd {
             backfill_inflight: BTreeSet::new(),
             backfill_budget: initial_backfill_budget,
             backfill_deferred: false,
+            scrubs: BTreeMap::new(),
+            scrub_queue: BTreeMap::new(),
+            scrub_deferred: false,
+            fetches: BTreeMap::new(),
+            scrub_errors_found: 0,
+            scrub_errors_repaired: 0,
+            scrub_bytes: 0,
+            scrub_throttled_nanos: 0,
+            scrubs_completed: 0,
+            read_checksum_errors: 0,
         }
     }
 
@@ -963,6 +1076,13 @@ impl Osd {
         if let Some(rec) = self.recovery.get(&group) {
             return rec.state;
         }
+        let scrub_repairing = self
+            .scrubs
+            .get(&group)
+            .is_some_and(|r| r.compared && (!r.self_wait.is_empty() || !r.peer_repairs.is_empty()));
+        if scrub_repairing || self.fetches.keys().any(|&(g, _)| g == group) {
+            return PgState::Inconsistent;
+        }
         if self.map.acting_set(group).len() < self.map.replication {
             PgState::Degraded
         } else {
@@ -999,6 +1119,16 @@ impl Osd {
         let r = self.backend.read(oid, 0, len);
         let _ = self.backend.take_trace();
         r.ok().map(|data| digest_bytes(&data))
+    }
+
+    /// The backend's *persistent* light-scrub digest of `oid`: its size
+    /// plus an FNV over the per-block checksum vector, read from metadata
+    /// without touching any data block. `None` when the backend does not
+    /// persist checksums (LSM/null modes, checksums disabled) or does not
+    /// hold the object. Sync the group log first
+    /// ([`Osd::sync_backend_with_log`]) so unflushed writes are covered.
+    pub fn object_csum_digest(&self, oid: ObjectId) -> Option<(u64, u64)> {
+        self.backend.csum_digest(oid)
     }
 
     /// Raw backend bytes of an object's first `len` bytes (diagnostics).
@@ -1356,6 +1486,393 @@ impl Osd {
         }
     }
 
+    /// Starts a scrub round for `group` (primary only). A round already
+    /// running keeps running; starts blocked by an active recovery, an
+    /// unfinished join, or the deep-read throttle are queued and retried on
+    /// the heartbeat.
+    fn on_scrub_start(&mut self, group: GroupId, deep: bool, fx: &mut Vec<OsdEffect>) {
+        if self.cfg.mode.null_transaction() || self.cfg.mode.null_store() {
+            return; // no data to scrub
+        }
+        if self.map.try_primary(group) != Some(self.id) {
+            return;
+        }
+        if let Some(rec) = self.scrubs.get(&group) {
+            if !rec.deep && deep {
+                // Upgrade request while a light round runs: queue the deep
+                // pass instead of losing it.
+                self.scrub_queue.insert(group, true);
+            }
+            return;
+        }
+        if self.recovery.contains_key(&group)
+            || self.awaiting_log.contains(&group)
+            || self.awaiting_backfill.contains(&group)
+        {
+            // Recovery owns the group right now; scrub once it settles.
+            let slot = self.scrub_queue.entry(group).or_insert(deep);
+            *slot |= deep;
+            return;
+        }
+        if deep {
+            // Deep scrubs read every tracked byte; charge the shared
+            // recovery byte budget so scrub and backfill together stay
+            // under the same ceiling. A full budget always admits one
+            // group, so oversized groups cannot starve forever.
+            let total: u64 = self
+                .group_extents
+                .get(&group)
+                .map(|m| m.values().sum())
+                .unwrap_or(0);
+            if total > self.backfill_budget
+                && self.backfill_budget < self.cfg.backfill_bytes_per_tick
+            {
+                let slot = self.scrub_queue.entry(group).or_insert(deep);
+                *slot |= deep;
+                self.scrub_deferred = true;
+                return;
+            }
+            self.backfill_budget = self.backfill_budget.saturating_sub(total);
+        }
+        let epoch = self.map.epoch;
+        let peers: BTreeSet<OsdId> = self
+            .map
+            .acting_set(group)
+            .into_iter()
+            .filter(|&o| o != self.id)
+            .collect();
+        let local = self.scrub_local_map(group, deep, fx);
+        let mut maps = BTreeMap::new();
+        maps.insert(self.id, local);
+        for &peer in &peers {
+            fx.push(OsdEffect::SendPeer {
+                to: peer,
+                msg: PeerMsg::ScrubRequest {
+                    group,
+                    epoch,
+                    deep,
+                    from: self.id,
+                },
+            });
+        }
+        let done = peers.is_empty();
+        self.scrubs.insert(
+            group,
+            ScrubRound {
+                epoch,
+                deep,
+                awaiting: peers,
+                maps,
+                compared: false,
+                self_wait: BTreeMap::new(),
+                peer_repairs: BTreeMap::new(),
+            },
+        );
+        if done {
+            // Solo group: nothing to compare against; a deep pass still
+            // surfaces local rot through the read-repair fetch path.
+            self.finish_scrub(group, fx);
+        }
+    }
+
+    /// Builds this OSD's scrub map of `group`: one [`ScrubEntry`] per
+    /// tracked object. Light scrubs use checksum metadata where the backend
+    /// has it (no data reads) and fall back to digesting the bytes; deep
+    /// scrubs always read everything, so rotted blocks trip their checksum
+    /// and mark the entry damaged.
+    fn scrub_local_map(
+        &mut self,
+        group: GroupId,
+        deep: bool,
+        fx: &mut Vec<OsdEffect>,
+    ) -> Vec<ScrubEntry> {
+        self.sync_group_log(group);
+        let extents = self.group_extent_map(group);
+        let mut entries = Vec::with_capacity(extents.len());
+        for (oid, len) in extents {
+            if len == 0 {
+                continue;
+            }
+            let (epoch, version) = self.pg_latest(group, oid);
+            let entry = |size, digest, damaged| ScrubEntry {
+                oid_raw: oid.raw(),
+                size,
+                digest,
+                damaged,
+                epoch,
+                version,
+            };
+            let entry = if !deep {
+                match self.backend.csum_digest(oid) {
+                    Some((size, digest)) => entry(size, digest, false),
+                    // No checksum metadata (LSM backend): light degrades to
+                    // digesting the bytes, Err meaning the copy is gone.
+                    None => match self.backend.read(oid, 0, len) {
+                        Ok(data) => entry(len, digest_bytes(&data), false),
+                        Err(_) => entry(len, 0, true),
+                    },
+                }
+            } else {
+                self.scrub_bytes += len;
+                match self.backend.read(oid, 0, len) {
+                    Ok(data) => entry(len, digest_bytes(&data), false),
+                    Err(_) => entry(len, 0, true),
+                }
+            };
+            entries.push(entry);
+        }
+        let trace = self.backend.take_trace();
+        if !trace.is_empty() {
+            let token = self.token();
+            self.pending_store.insert(token, StoreCtx::Background);
+            fx.push(OsdEffect::StoreIo {
+                token,
+                trace,
+                wait: false,
+            });
+        }
+        entries
+    }
+
+    /// All scrub maps arrived: vote an authoritative `(size, digest)` per
+    /// object (majority of undamaged copies; ties go to the copy held by
+    /// the smallest OSD id) and cut the repair sets. Copies that are
+    /// damaged, missing, or divergent are errors; objects with no good copy
+    /// anywhere are counted but unrepairable and dropped so the group can
+    /// return to Active.
+    fn finish_scrub(&mut self, group: GroupId, fx: &mut Vec<OsdEffect>) {
+        let Some(rec) = self.scrubs.get_mut(&group) else {
+            return;
+        };
+        let maps = std::mem::take(&mut rec.maps);
+        rec.compared = true;
+        // Union of objects over every member's map.
+        let mut all: BTreeMap<u64, Vec<(OsdId, ScrubEntry)>> = BTreeMap::new();
+        for (&member, entries) in &maps {
+            for e in entries {
+                all.entry(e.oid_raw).or_default().push((member, *e));
+            }
+        }
+        let members: Vec<OsdId> = maps.keys().copied().collect();
+        let mut self_wait: BTreeMap<u64, ObjectId> = BTreeMap::new();
+        let mut peer_repairs: BTreeMap<u64, (ObjectId, BTreeSet<OsdId>)> = BTreeMap::new();
+        let mut errors = 0u64;
+        for (raw, copies) in &all {
+            let oid = ObjectId::from_raw(*raw);
+            // Maps are collected at different instants, so a client write
+            // landing mid-round leaves the copies at different pg_log
+            // versions with honestly different bytes. That is replication in
+            // progress, not damage: skip the object and let the next round
+            // see it at rest. Same-version divergence is the real thing.
+            let mut stamps = copies
+                .iter()
+                .filter(|(_, e)| !e.damaged)
+                .map(|(_, e)| (e.epoch, e.version));
+            let first = stamps.next();
+            if first.is_some() && !stamps.all(|s| Some(s) == first) {
+                continue;
+            }
+            // Vote among undamaged copies.
+            let mut votes: BTreeMap<(u64, u64), Vec<OsdId>> = BTreeMap::new();
+            for (member, e) in copies {
+                if !e.damaged {
+                    votes.entry((e.size, e.digest)).or_default().push(*member);
+                }
+            }
+            let authoritative = votes
+                .iter()
+                .max_by_key(|(_, holders)| {
+                    (
+                        holders.len(),
+                        // Tie → prefer the digest the smallest id holds
+                        // (Reverse of min id sorts it last = max).
+                        std::cmp::Reverse(holders.iter().min().copied()),
+                    )
+                })
+                .map(|(key, _)| *key);
+            let Some(auth) = authoritative else {
+                // Every copy is damaged: nothing to heal from. Count each
+                // bad copy and move on — re-writes recompute checksums and
+                // heal the object from above.
+                errors += copies.len() as u64;
+                continue;
+            };
+            for &member in &members {
+                let good = copies
+                    .iter()
+                    .any(|(m, e)| *m == member && !e.damaged && (e.size, e.digest) == auth);
+                if good {
+                    continue;
+                }
+                errors += 1;
+                if member == self.id {
+                    self_wait.insert(*raw, oid);
+                } else {
+                    peer_repairs
+                        .entry(*raw)
+                        .or_insert_with(|| (oid, BTreeSet::new()))
+                        .1
+                        .insert(member);
+                }
+            }
+        }
+        self.scrub_errors_found += errors;
+        let rec = self.scrubs.get_mut(&group).expect("round exists");
+        rec.self_wait = self_wait;
+        rec.peer_repairs = peer_repairs;
+        self.drive_scrub_repairs(group, fx);
+        self.scrub_maybe_done(group);
+    }
+
+    /// Issues the round's outstanding repairs: fetches for locally damaged
+    /// objects, pushes (through the throttled recovery push machinery) for
+    /// peers — but never of an object still awaiting its own heal, so
+    /// rotten bytes are never propagated.
+    fn drive_scrub_repairs(&mut self, group: GroupId, fx: &mut Vec<OsdEffect>) {
+        let Some(rec) = self.scrubs.get(&group) else {
+            return;
+        };
+        if !rec.compared {
+            return;
+        }
+        let epoch = rec.epoch;
+        let fetch: Vec<ObjectId> = rec.self_wait.values().copied().collect();
+        let push: Vec<(ObjectId, Vec<OsdId>)> = rec
+            .peer_repairs
+            .iter()
+            .filter(|(raw, _)| !rec.self_wait.contains_key(raw))
+            .map(|(_, (oid, peers))| (*oid, peers.iter().copied().collect()))
+            .collect();
+        for oid in fetch {
+            self.request_object_fetch(group, oid, fx);
+        }
+        for (oid, peers) in push {
+            for peer in peers {
+                self.push_object_to(group, epoch, peer, oid, false, fx);
+            }
+        }
+    }
+
+    /// Drops a finished scrub round (maps compared, no repairs left).
+    fn scrub_maybe_done(&mut self, group: GroupId) {
+        let done = self
+            .scrubs
+            .get(&group)
+            .is_some_and(|r| r.compared && r.self_wait.is_empty() && r.peer_repairs.is_empty());
+        if done {
+            self.scrubs.remove(&group);
+            self.scrubs_completed += 1;
+        }
+    }
+
+    /// Asks an acting-set peer to push `oid` back to this OSD (self-heal of
+    /// a copy that failed its checksum). Deduplicated per object; the
+    /// heartbeat retries with source rotation, so one rotten or dead peer
+    /// cannot wedge the heal.
+    fn request_object_fetch(&mut self, group: GroupId, oid: ObjectId, fx: &mut Vec<OsdEffect>) {
+        let key = (group, oid.raw());
+        if self.fetches.contains_key(&key) {
+            return;
+        }
+        let Some(src) = self
+            .map
+            .acting_set(group)
+            .into_iter()
+            .find(|&o| o != self.id)
+        else {
+            return; // nobody to heal from; a later map/scrub retries
+        };
+        self.fetches.insert(key, (oid, src));
+        fx.push(OsdEffect::SendPeer {
+            to: src,
+            msg: PeerMsg::ScrubFetch {
+                group,
+                epoch: self.map.epoch,
+                oid,
+                from: self.id,
+            },
+        });
+    }
+
+    /// A pushed object applied cleanly over a copy this OSD was trying to
+    /// heal: settle the fetch, credit the scrub round, and release any
+    /// peer repairs that were waiting on our own copy becoming good.
+    fn note_object_healed(&mut self, group: GroupId, oid: ObjectId, fx: &mut Vec<OsdEffect>) {
+        self.fetches.remove(&(group, oid.raw()));
+        let mut drive = false;
+        if let Some(rec) = self.scrubs.get_mut(&group) {
+            if rec.compared && rec.self_wait.remove(&oid.raw()).is_some() {
+                self.scrub_errors_repaired += 1;
+                drive = true;
+            }
+        }
+        if drive {
+            self.drive_scrub_repairs(group, fx);
+            self.scrub_maybe_done(group);
+        }
+    }
+
+    /// Heartbeat-driven scrub progress: queued starts re-attempted (budget
+    /// has replenished), un-replied map requests re-sent, repair pushes
+    /// re-offered into the new throttle window, and self-heal fetches
+    /// retried against the next acting-set member.
+    fn retry_scrubs(&mut self, fx: &mut Vec<OsdEffect>) {
+        let queued: Vec<(GroupId, bool)> =
+            std::mem::take(&mut self.scrub_queue).into_iter().collect();
+        for (group, deep) in queued {
+            self.on_scrub_start(group, deep, fx);
+        }
+        let groups: Vec<GroupId> = self.scrubs.keys().copied().collect();
+        for group in groups {
+            let rec = &self.scrubs[&group];
+            if !rec.compared {
+                let (epoch, deep) = (rec.epoch, rec.deep);
+                let waiting: Vec<OsdId> = rec.awaiting.iter().copied().collect();
+                for peer in waiting {
+                    fx.push(OsdEffect::SendPeer {
+                        to: peer,
+                        msg: PeerMsg::ScrubRequest {
+                            group,
+                            epoch,
+                            deep,
+                            from: self.id,
+                        },
+                    });
+                }
+            } else {
+                self.drive_scrub_repairs(group, fx);
+            }
+        }
+        let keys: Vec<(GroupId, u64)> = self.fetches.keys().copied().collect();
+        for key in keys {
+            let (oid, cur) = self.fetches[&key];
+            let group = key.0;
+            let set: Vec<OsdId> = self
+                .map
+                .acting_set(group)
+                .into_iter()
+                .filter(|&o| o != self.id)
+                .collect();
+            if set.is_empty() {
+                continue;
+            }
+            let next = match set.iter().position(|&o| o == cur) {
+                Some(i) => set[(i + 1) % set.len()],
+                None => set[0],
+            };
+            self.fetches.insert(key, (oid, next));
+            fx.push(OsdEffect::SendPeer {
+                to: next,
+                msg: PeerMsg::ScrubFetch {
+                    group,
+                    epoch: self.map.epoch,
+                    oid,
+                    from: self.id,
+                },
+            });
+        }
+    }
+
     /// Handles one input, returning the effects for the driver.
     pub fn handle(&mut self, input: OsdInput) -> Vec<OsdEffect> {
         let mut fx = Vec::new();
@@ -1375,6 +1892,7 @@ impl Osd {
             OsdInput::ReadFromStore { token } => self.on_read_from_store(token, fx),
             OsdInput::SubmitDeferred { token } => self.on_submit_deferred(token, fx),
             OsdInput::MaintStep => self.on_maint_step(fx),
+            OsdInput::ScrubStart { group, deep } => self.on_scrub_start(group, deep, fx),
             OsdInput::HeartbeatTick => {
                 fx.push(OsdEffect::Heartbeat);
                 // New throttle window: account the one that just closed,
@@ -1394,6 +1912,14 @@ impl Osd {
                 // replication messages of writes stuck on laggard replicas.
                 self.retry_recovery(fx);
                 self.retransmit_stale_inflight(fx);
+                // Scrub rides the same timer: account a throttled window,
+                // then re-drive queued starts, map requests, repairs and
+                // self-heal fetches into the replenished budget.
+                if self.scrub_deferred {
+                    self.scrub_throttled_nanos += self.cfg.backfill_tick_nanos;
+                    self.scrub_deferred = false;
+                }
+                self.retry_scrubs(fx);
             }
             OsdInput::MapUpdate(map) => self.on_map_update(map, fx),
         }
@@ -1836,6 +2362,16 @@ impl Osd {
                 }
             }
             Err(error) => {
+                // A failed read may still have touched the device (e.g. the
+                // block whose checksum tripped); drop the partial trace.
+                let _ = self.backend.take_trace();
+                if matches!(error, StoreError::ChecksumMismatch) {
+                    // Read-path verification caught rot: the client gets a
+                    // retryable error (and redirects to another replica);
+                    // this OSD heals itself in the background.
+                    self.read_checksum_errors += 1;
+                    self.request_object_fetch(dr.oid.group(), dr.oid, fx);
+                }
                 fx.push(OsdEffect::Reply {
                     to: dr.client,
                     msg: ClientReply::Error { op: dr.op, error },
@@ -2219,6 +2755,9 @@ impl Osd {
                             .authoritative_object(group, oid)
                             .is_some_and(|local| digest_bytes(&local) == content_digest);
                         if matches {
+                            // Our copy reads clean and matches: any heal we
+                            // were waiting on for it is moot.
+                            self.note_object_healed(group, oid, fx);
                             fx.push(OsdEffect::SendPeer {
                                 to: from,
                                 msg: PeerMsg::PushAck {
@@ -2305,6 +2844,10 @@ impl Osd {
                         return;
                     }
                 }
+                // A full-object apply rewrites every block (and its
+                // checksums): whatever heal was pending for this copy is
+                // complete.
+                self.note_object_healed(group, oid, fx);
                 fx.push(OsdEffect::SendPeer {
                     to: from,
                     msg: PeerMsg::PushAck {
@@ -2322,6 +2865,25 @@ impl Osd {
                 from: peer,
             } => {
                 self.backfill_inflight.remove(&(group, peer, oid.raw()));
+                // Scrub repairs ride the same push machinery: an ack from a
+                // peer we were repairing settles that copy.
+                let mut scrub_done = false;
+                if let Some(rec) = self.scrubs.get_mut(&group) {
+                    if rec.epoch == epoch && rec.compared {
+                        if let Some((_, peers)) = rec.peer_repairs.get_mut(&oid.raw()) {
+                            if peers.remove(&peer) {
+                                self.scrub_errors_repaired += 1;
+                                if peers.is_empty() {
+                                    rec.peer_repairs.remove(&oid.raw());
+                                }
+                                scrub_done = true;
+                            }
+                        }
+                    }
+                }
+                if scrub_done {
+                    self.scrub_maybe_done(group);
+                }
                 let done = match self.recovery.get_mut(&group) {
                     Some(rec) if rec.epoch == epoch => {
                         if let Some(m) = rec.missing.get_mut(&peer) {
@@ -2360,6 +2922,66 @@ impl Osd {
                         }
                     }
                 }
+            }
+            PeerMsg::ScrubRequest {
+                group,
+                epoch,
+                deep,
+                from: requester,
+            } => {
+                if self.cfg.mode.null_transaction() || self.cfg.mode.null_store() {
+                    return;
+                }
+                if self.awaiting_log.contains(&group) || self.awaiting_backfill.contains(&group) {
+                    // Mid-join: our map would be hollow and every absent
+                    // object would look damaged. Stay silent; the primary
+                    // re-requests on its heartbeat once we have the data.
+                    return;
+                }
+                let entries = self.scrub_local_map(group, deep, fx);
+                fx.push(OsdEffect::SendPeer {
+                    to: requester,
+                    msg: PeerMsg::ScrubMap {
+                        group,
+                        epoch,
+                        from: self.id,
+                        entries,
+                    },
+                });
+            }
+            PeerMsg::ScrubMap {
+                group,
+                epoch,
+                from: peer,
+                entries,
+            } => {
+                let finish = match self.scrubs.get_mut(&group) {
+                    Some(rec) if rec.epoch == epoch && !rec.compared => {
+                        if rec.awaiting.remove(&peer) {
+                            rec.maps.insert(peer, entries);
+                        }
+                        rec.awaiting.is_empty()
+                    }
+                    // Stale epoch, duplicate, or no round: drop it.
+                    _ => false,
+                };
+                if finish {
+                    self.finish_scrub(group, fx);
+                }
+            }
+            PeerMsg::ScrubFetch {
+                group,
+                epoch,
+                oid,
+                from: requester,
+            } => {
+                if self.awaiting_log.contains(&group) || self.awaiting_backfill.contains(&group) {
+                    return; // not authoritative; requester rotates sources
+                }
+                // Serve the heal through the throttled push machinery; if
+                // our own copy turns out rotten too, the push is silently
+                // skipped and the requester's rotation finds another peer.
+                self.push_object_to(group, epoch, requester, oid, false, fx);
             }
             PeerMsg::RepNack {
                 group,
@@ -2642,6 +3264,81 @@ impl Osd {
         }
     }
 
+    /// Fault injection: flips `flips` bits in committed backend data blocks
+    /// of objects whose raw id falls in `[lo, hi)`. Targets are drawn from
+    /// a self-contained splitmix64 stream over `seed`, so the damage is a
+    /// pure function of (state, seed) — identical on every scheduler.
+    /// Returns how many flips landed (0 when the backend holds nothing in
+    /// range or does not expose injection).
+    pub fn inject_data_rot(&mut self, lo: u64, hi: u64, flips: u32, seed: u64) -> u64 {
+        let mut groups: Vec<GroupId> = self.group_extents.keys().copied().collect();
+        groups.sort();
+        let mut candidates: Vec<(ObjectId, u64)> = Vec::new();
+        for g in groups {
+            let mut oids: Vec<ObjectId> = self.group_extents[&g]
+                .keys()
+                .copied()
+                .filter(|o| (lo..hi).contains(&o.raw()))
+                .collect();
+            oids.sort_by_key(|o| o.raw());
+            for oid in oids {
+                let blocks = self.backend.mapped_blocks(oid);
+                if blocks > 0 {
+                    candidates.push((oid, blocks));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return 0;
+        }
+        let mut s = seed;
+        let mut landed = 0;
+        for _ in 0..flips {
+            let (oid, blocks) = candidates[(splitmix64(&mut s) % candidates.len() as u64) as usize];
+            let block = splitmix64(&mut s) % blocks;
+            let r = splitmix64(&mut s);
+            if self
+                .backend
+                .corrupt_data_bit(oid, block, r >> 8, (r & 7) as u8)
+            {
+                landed += 1;
+            }
+        }
+        landed
+    }
+
+    /// Fault injection: flips `flips` bits in this OSD's NVM operation-log
+    /// rings (committed record bytes). The in-memory record mirror stays
+    /// clean, so the damage is latent until a crash makes recovery re-read
+    /// the ring — where the record CRC rejects the rotted suffix. Returns
+    /// how many flips landed (0 when no ring holds queued records).
+    pub fn inject_nvm_rot(&mut self, flips: u32, seed: u64) -> u64 {
+        let mut groups: Vec<GroupId> = self
+            .logs
+            .iter()
+            .filter(|(_, l)| l.nvm_used() > 0)
+            .map(|(g, _)| *g)
+            .collect();
+        groups.sort();
+        if groups.is_empty() {
+            return 0;
+        }
+        let mut s = seed;
+        let mut landed = 0;
+        for _ in 0..flips {
+            let g = groups[(splitmix64(&mut s) % groups.len() as u64) as usize];
+            let r = splitmix64(&mut s);
+            let log = self.logs.get(&g).expect("listed above");
+            if log
+                .rot_bit(&mut self.nvm, r >> 8, (r & 7) as u8)
+                .unwrap_or(false)
+            {
+                landed += 1;
+            }
+        }
+        landed
+    }
+
     /// Simulated crash-restart. All volatile state is dropped; the NVM
     /// region survives (counters reset, contents kept) and each group's
     /// operation log is recovered by the checksum-validating scan, cutting
@@ -2675,6 +3372,10 @@ impl Osd {
         self.backfill_inflight.clear();
         self.backfill_budget = self.cfg.backfill_bytes_per_tick;
         self.backfill_deferred = false;
+        self.scrubs.clear();
+        self.scrub_queue.clear();
+        self.scrub_deferred = false;
+        self.fetches.clear();
         self.nvm.reboot();
         let mut groups: Vec<GroupId> = self.logs.keys().copied().collect();
         groups.sort();
@@ -2718,6 +3419,18 @@ impl Osd {
             return;
         }
         let old = std::mem::replace(&mut self.map, map);
+        // A new epoch re-peers everything; in-flight scrub rounds are stale
+        // (their repairs would race recovery pushes) and abort here. Heals
+        // of our own copies stay queued when we still serve the group —
+        // rot does not go away with a map change.
+        self.scrubs.clear();
+        self.scrub_queue.clear();
+        let fetch_keys: Vec<(GroupId, u64)> = self.fetches.keys().copied().collect();
+        for key in fetch_keys {
+            if !self.map.acting_set(key.0).contains(&self.id) {
+                self.fetches.remove(&key);
+            }
+        }
         if !self.cfg.mode.null_transaction() && !self.cfg.mode.null_store() {
             // Every epoch change re-peers the groups this OSD now leads;
             // stale rounds for groups it lost are dropped inside.

@@ -19,9 +19,9 @@ use std::collections::{BTreeMap, HashMap};
 
 use rablock_sim::{
     chrome_trace_json, AttributionReport, Component, Ctx, Device, DeviceProfile, DeviceStats,
-    FaultEvent, FaultPlan, IoRequest, LatSummary, Link, Priority, Recorder, SchedulerKind,
-    SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId, TimeSeries, TraceId,
-    Track,
+    FaultEvent, FaultPlan, IoRequest, LatSummary, Link, Priority, Recorder, RotMedia,
+    SchedulerKind, SimDuration, SimRng, SimTime, Simulation, SsdState, ThreadCfg, ThreadId,
+    TimeSeries, TraceId, Track,
 };
 use rablock_storage::{GroupId, ObjectId, StoreError, StoreStats, TraceKind};
 
@@ -161,6 +161,13 @@ pub struct ClusterSimConfig {
     /// Sampling happens *between* engine slices, never through events, so it
     /// cannot perturb the run.
     pub telemetry_window: Option<SimDuration>,
+    /// Background scrub cadence: every interval, each group's primary is
+    /// asked to scrub. `None` disables scrubbing entirely.
+    pub scrub_interval: Option<SimDuration>,
+    /// Every Nth scrub round is a *deep* scrub (full data read + per-block
+    /// checksum verify); the others are light (metadata/digest compare).
+    /// 0 makes every round light.
+    pub scrub_deep_every: u64,
 }
 
 /// One scheduled admin map mutation (elastic-operations churn).
@@ -217,6 +224,8 @@ impl ClusterSimConfig {
             trace: false,
             slow_op_ring: 32,
             telemetry_window: None,
+            scrub_interval: None,
+            scrub_deep_every: 4,
         }
     }
 }
@@ -286,6 +295,21 @@ enum Ev {
     /// (Driver thread) a scheduled admin map mutation (grow/drain/reweight)
     /// reaches the monitor. Index into the config's churn plan.
     Churn { idx: usize },
+    /// (Driver thread) silent media corruption from the fault plan's
+    /// timeline: flip bits on one OSD's SSD data blocks or NVM log ring.
+    /// `seed` drives a self-contained target stream (never the scheduler
+    /// RNG), so wheel and heap runs rot the exact same bits.
+    BitRot {
+        osd: usize,
+        lo: u64,
+        hi: u64,
+        flips: u32,
+        media: RotMedia,
+        seed: u64,
+    },
+    /// (Driver thread) periodic scrub sweep: ask every group's live primary
+    /// to start a scrub round.
+    ScrubSweep { round: u64 },
 }
 
 struct OsdThreads {
@@ -360,6 +384,10 @@ struct Pending {
     attempt: u32,
     /// The request itself, kept when retries or history checking need it.
     req: Option<ClientReq>,
+    /// Checksum-mismatch replies seen for this op. A non-zero count makes
+    /// the retransmission rotate the read through the acting set instead of
+    /// re-hitting the primary's rotten copy (redirect-on-corruption).
+    csum_redirects: u32,
 }
 
 struct ConnState {
@@ -426,6 +454,20 @@ pub struct SimReport {
     /// Largest pending-event population the scheduler's queue reached over
     /// the whole run (cold-start sizing signal for the timing wheel).
     pub queue_high_water: u64,
+    /// Scrub rounds completed across all OSDs.
+    pub scrubs_completed: u64,
+    /// Replica inconsistencies scrub comparison flagged (bad copies).
+    pub scrub_errors_found: u64,
+    /// Flagged inconsistencies repaired (self-heal fetches + peer pushes).
+    pub scrub_errors_repaired: u64,
+    /// Bytes deep scrub read back and re-verified.
+    pub scrub_bytes: u64,
+    /// Simulated time deep-scrub starts spent throttled behind the shared
+    /// backfill byte budget (summed over OSDs).
+    pub scrub_throttled_nanos: u64,
+    /// Client reads the storage read path rejected with a checksum
+    /// mismatch (each one triggers read-repair on the serving OSD).
+    pub read_checksum_errors: u64,
     /// Per-component latency attribution (present when tracing is on).
     /// Excluded from determinism fingerprints: it is derived observational
     /// data, not simulation state.
@@ -500,6 +542,10 @@ struct World {
     payload_cache: HashMap<(u8, u64), rablock_storage::Payload>,
     /// Per-op span tracing; `None` when disabled (the common case).
     trace: Option<Box<Tracing>>,
+    /// Background scrub cadence (`None`: scrubbing off).
+    scrub_interval: Option<SimDuration>,
+    /// Every Nth scrub round reads and verifies data (0: never deep).
+    scrub_deep_every: u64,
 }
 
 impl World {
@@ -942,7 +988,10 @@ impl World {
                 | PeerMsg::PgQuery { .. }
                 | PeerMsg::PgInfo { .. }
                 | PeerMsg::PushObject { .. }
-                | PeerMsg::PushAck { .. } => ctx.spend(TP, c.tp),
+                | PeerMsg::PushAck { .. }
+                | PeerMsg::ScrubRequest { .. }
+                | PeerMsg::ScrubMap { .. }
+                | PeerMsg::ScrubFetch { .. } => ctx.spend(TP, c.tp),
             },
             OsdInput::StoreDurable { .. } => ctx.spend(TP, c.tp_complete),
             OsdInput::FlushGroup { .. } => {
@@ -958,6 +1007,7 @@ impl World {
                 };
                 ctx.spend(OS, submit);
             }
+            OsdInput::ScrubStart { .. } => ctx.spend(TP, c.tp),
             OsdInput::MaintStep => {}
             OsdInput::HeartbeatTick => ctx.spend(RP, c.wake),
             OsdInput::MapUpdate(_) => ctx.spend(TP, c.tp),
@@ -1257,6 +1307,7 @@ impl World {
                 issued: ctx.now(),
                 attempt: 1,
                 req: keep_req.then(|| req.clone()),
+                csum_redirects: 0,
             };
             self.conns[conn].outstanding.insert(op_raw, pending);
             if let Some(tr) = self.trace.as_mut() {
@@ -1272,7 +1323,7 @@ impl World {
                 };
                 ctx.send_after(thread, ev, SimDuration::nanos(r.timeout_nanos));
             }
-            self.send_client_req(ctx, conn, req, SimDuration::ZERO);
+            self.send_client_req(ctx, conn, req, SimDuration::ZERO, 0);
             if open_loop {
                 let pace = self.pacing.expect("open loop");
                 let thread = self.conns[conn].thread;
@@ -1293,9 +1344,19 @@ impl World {
         conn: usize,
         req: ClientReq,
         hold: SimDuration,
+        redirect: u32,
     ) {
         let group = req.oid().group();
-        let Some(primary) = self.map.try_primary(group) else {
+        // Reads that bounced off a rotten replica rotate through the acting
+        // set (redirect > 0) instead of re-reading the same damaged copy;
+        // writes and first transmissions always target the primary.
+        let target = if redirect > 0 && matches!(req, ClientReq::Read { .. }) {
+            let set = self.map.acting_set(group);
+            (!set.is_empty()).then(|| set[redirect as usize % set.len()])
+        } else {
+            self.map.try_primary(group)
+        };
+        let Some(primary) = target else {
             // Every OSD that could serve the group is down or weighted out:
             // a send can race a map change, so this must not panic. Surface
             // a retryable Degraded error — with a retry policy the op is
@@ -1412,11 +1473,21 @@ impl rablock_sim::Handler<Ev> for World {
                 let id = self.conns[conn].id;
                 match &reply {
                     ClientReply::Error { error, .. } => {
-                        if matches!(error, StoreError::Degraded) && self.retry.is_some() {
-                            // Retryable degraded-quorum rejection: put the op
-                            // back; its already-armed timeout retransmits
-                            // with backoff until quorum returns (or the
-                            // budget runs out and surfaces the error).
+                        if matches!(error, StoreError::Degraded | StoreError::ChecksumMismatch)
+                            && self.retry.is_some()
+                        {
+                            // Retryable rejection: put the op back; its
+                            // already-armed timeout retransmits with backoff
+                            // until quorum returns / a clean replica answers
+                            // (or the budget runs out and surfaces the
+                            // error). A checksum mismatch additionally bumps
+                            // the redirect cursor so the retry reads from
+                            // the next acting-set member while the rotten
+                            // copy read-repairs itself in the background.
+                            let mut p = p;
+                            if matches!(error, StoreError::ChecksumMismatch) {
+                                p.csum_redirects += 1;
+                            }
                             self.conns[conn].outstanding.insert(op, p);
                             return;
                         }
@@ -1666,6 +1737,58 @@ impl rablock_sim::Handler<Ev> for World {
                     self.install_map(ctx, map);
                 }
             }
+            Ev::BitRot {
+                osd,
+                lo,
+                hi,
+                flips,
+                media,
+                seed,
+            } => {
+                // Media rot is physical: it lands whether or not the OSD
+                // process is alive (a crashed OSD's SSD keeps decaying).
+                match media {
+                    RotMedia::CosData => {
+                        self.osds[osd].inject_data_rot(lo, hi, flips, seed);
+                    }
+                    RotMedia::NvmLog => {
+                        self.osds[osd].inject_nvm_rot(flips, seed);
+                    }
+                }
+            }
+            Ev::ScrubSweep { round } => {
+                let Some(every) = self.scrub_interval else {
+                    return;
+                };
+                ctx.send_after(thread, Ev::ScrubSweep { round: round + 1 }, every);
+                let deep = self.scrub_deep_every > 0
+                    && round % self.scrub_deep_every == self.scrub_deep_every - 1;
+                for g in 0..self.pg_count {
+                    let group = GroupId(g);
+                    let Some(p) = self.map.try_primary(group) else {
+                        continue;
+                    };
+                    let osd = p.0 as usize;
+                    if self.dead[osd] {
+                        continue;
+                    }
+                    // Scrub is maintenance traffic: under PTC it rides the
+                    // low-priority lane like the rest of recovery.
+                    let t = if self.mode.prioritized() {
+                        self.flusher_thread(osd, group.0 as u64)
+                    } else {
+                        self.logic_thread(osd, group)
+                    };
+                    ctx.send(
+                        t,
+                        Ev::OsdIn {
+                            osd,
+                            input: OsdInput::ScrubStart { group, deep },
+                            charge_mp: None,
+                        },
+                    );
+                }
+            }
             Ev::ClientTimeout { conn, op, attempt } => {
                 let Some(r) = self.retry else {
                     return;
@@ -1697,6 +1820,7 @@ impl rablock_sim::Handler<Ev> for World {
                     _ => return,
                 }
                 let p = &self.conns[conn].outstanding[&op];
+                let redirect = p.csum_redirects;
                 let req = p.req.clone().expect("retrying client stores the request");
                 if let Some(tr) = self.trace.as_mut() {
                     tr.rec.retry(Self::tid_of(ClientId(conn as u32), OpId(op)));
@@ -1707,7 +1831,7 @@ impl rablock_sim::Handler<Ev> for World {
                 // Retransmit after the backoff (re-routed by the map as of
                 // now — a published failover redirects the retry), then arm
                 // the next attempt's timer.
-                self.send_client_req(ctx, conn, req, backoff);
+                self.send_client_req(ctx, conn, req, backoff, redirect);
                 let thread = self.conns[conn].thread;
                 let ev = Ev::ClientTimeout {
                     conn,
@@ -1836,6 +1960,7 @@ struct SamplerState {
     writes: u64,
     reads: u64,
     throttled: u64,
+    scrub_errors: u64,
     osd_busy: Vec<u64>,
 }
 
@@ -2077,6 +2202,8 @@ impl ClusterSim {
             fx_scratch: Vec::new(),
             payload_cache: HashMap::new(),
             trace: cfg.trace.then(|| Box::new(Tracing::new(cfg.slow_op_ring))),
+            scrub_interval: cfg.scrub_interval,
+            scrub_deep_every: cfg.scrub_deep_every,
         };
 
         // Telemetry bookkeeping: which threads belong to each OSD (CPU%
@@ -2101,6 +2228,7 @@ impl ClusterSim {
             "outstanding",
             "degraded",
             "backfill_throttle_ms",
+            "scrub_errors",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -2126,6 +2254,7 @@ impl ClusterSim {
                 writes: 0,
                 reads: 0,
                 throttled: 0,
+                scrub_errors: 0,
                 osd_busy: Vec::new(),
             },
         };
@@ -2164,8 +2293,44 @@ impl ClusterSim {
                 },
                 FaultEvent::Restart { process } => Ev::RestartOsd { osd: process },
                 FaultEvent::GraySet { device, multiplier } => Ev::GraySet { device, multiplier },
+                FaultEvent::BitRot {
+                    process,
+                    object_lo,
+                    object_hi,
+                    flips,
+                    media,
+                } => {
+                    // Rot targets derive from their own seed stream, mixed
+                    // from run seed + strike coordinates — never from the
+                    // scheduler RNG — so wheel and heap runs rot the same
+                    // bits no matter how event order interleaves.
+                    let mut seed = cfg
+                        .seed
+                        .wrapping_add((process as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add(at.nanos().wrapping_mul(0xA24B_AED4_963E_E407));
+                    if media == RotMedia::NvmLog {
+                        seed = seed.wrapping_add(0x632B_E59B_D9B4_E019);
+                    }
+                    Ev::BitRot {
+                        osd: process,
+                        lo: object_lo,
+                        hi: object_hi,
+                        flips,
+                        media,
+                        seed,
+                    }
+                }
             };
             this.sim.schedule(at, driver_thread, ev);
+        }
+        // Background scrub cadence, staggered off t=0 so the first sweep
+        // never coincides with client kick-off.
+        if let Some(every) = cfg.scrub_interval {
+            this.sim.schedule(
+                SimTime::ZERO + every,
+                driver_thread,
+                Ev::ScrubSweep { round: 0 },
+            );
         }
         // Scheduled admin churn (grow/drain/reweight) on the same driver
         // thread; the handler only touches monitor + driver state.
@@ -2353,10 +2518,82 @@ impl ClusterSim {
         out
     }
 
+    /// Persistent-checksum consistency across live acting replicas: every
+    /// member of every group must persist the same `(size, checksum-vector
+    /// digest)` for every object it holds (see
+    /// [`crate::invariants::replica_digest_consistency`]). Metadata-only —
+    /// no data blocks are read — and vacuously clean for backends that do
+    /// not persist checksums. Mutates backends (log re-apply), so call only
+    /// after the run finished.
+    pub fn replica_digest_inconsistency(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        let live: Vec<usize> = (0..self.world.osds.len())
+            .filter(|&i| !self.world.dead[i])
+            .collect();
+        for &i in &live {
+            self.world.osds[i].sync_backend_with_log();
+        }
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+            return out;
+        };
+        let map = self.world.osds[holder].map().clone();
+        for g in 0..map.pg_count {
+            let group = GroupId(g);
+            let members: Vec<usize> = map
+                .acting_set(group)
+                .into_iter()
+                .map(|o| o.0 as usize)
+                .filter(|&i| !self.world.dead[i])
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+            let listings: Vec<crate::invariants::DigestListing> = members
+                .iter()
+                .map(|&m| {
+                    let entries = self.world.osds[m]
+                        .group_extent_map(group)
+                        .into_iter()
+                        .filter_map(|(oid, _)| {
+                            self.world.osds[m]
+                                .object_csum_digest(oid)
+                                .map(|(size, digest)| (oid.raw(), size, digest))
+                        })
+                        .collect();
+                    (format!("osd{m}"), entries)
+                })
+                .collect();
+            for d in crate::invariants::replica_digest_consistency(&listings) {
+                out.push(format!("group {}: {d}", group.0));
+            }
+        }
+        out
+    }
+
     /// Raw object bytes as served by one OSD's backend (diagnostics; call
     /// after [`ClusterSim::replica_divergence`] so logs are synced).
     pub fn object_bytes(&mut self, osd: usize, oid: ObjectId, len: u64) -> Option<Vec<u8>> {
         self.world.osds[osd].debug_read(oid, len)
+    }
+
+    /// Test hook: flip data bits on one OSD's backend right now, outside the
+    /// fault timeline. Same deterministic stream as [`Ev::BitRot`]; returns
+    /// how many flips landed on mapped blocks. Use fault-plan
+    /// [`rablock_sim::BitRotSchedule`] entries for scheduled rot — this is
+    /// for tests that need rot at a precise point between runs.
+    pub fn inject_data_rot(&mut self, osd: usize, lo: u64, hi: u64, flips: u32, seed: u64) -> u64 {
+        self.world.osds[osd].inject_data_rot(lo, hi, flips, seed)
+    }
+
+    /// Per-OSD scrub/read-verification counters `(errors_found,
+    /// errors_repaired, read_checksum_errors)` — test observability.
+    pub fn integrity_counters(&self, osd: usize) -> (u64, u64, u64) {
+        let o = &self.world.osds[osd];
+        (
+            o.scrub_errors_found,
+            o.scrub_errors_repaired,
+            o.read_checksum_errors,
+        )
     }
 
     /// One line per non-Active PG at its current primary, plus its count of
@@ -2443,6 +2680,7 @@ impl ClusterSim {
             .iter()
             .map(|o| o.backfill_throttled_nanos)
             .sum();
+        self.sampler.scrub_errors = self.world.osds.iter().map(|o| o.scrub_errors_found).sum();
         let metrics = self.sim.metrics();
         for (i, ts) in self.osd_threads.iter().enumerate() {
             self.sampler.osd_busy[i] = ts.iter().map(|&t| metrics.thread_busy(t)).sum();
@@ -2463,12 +2701,14 @@ impl ClusterSim {
         let outstanding: usize = w.conns.iter().map(|c| c.outstanding.len()).sum();
         let degraded: u64 = w.osds.iter().map(Osd::degraded_objects).sum();
         let throttled: u64 = w.osds.iter().map(|o| o.backfill_throttled_nanos).sum();
+        let scrub_errors: u64 = w.osds.iter().map(|o| o.scrub_errors_found).sum();
         let mut vals = vec![
             (w.writes_done - self.sampler.writes) as f64 / secs,
             (w.reads_done - self.sampler.reads) as f64 / secs,
             outstanding as f64,
             degraded as f64,
             throttled.saturating_sub(self.sampler.throttled) as f64 / 1e6,
+            scrub_errors.saturating_sub(self.sampler.scrub_errors) as f64,
         ];
         for ids in self.class_threads.values() {
             let depth: usize = ids.iter().map(|&t| self.sim.thread_queue_len(t)).sum();
@@ -2485,6 +2725,7 @@ impl ClusterSim {
         self.sampler.writes = self.world.writes_done;
         self.sampler.reads = self.world.reads_done;
         self.sampler.throttled = throttled;
+        self.sampler.scrub_errors = scrub_errors;
         self.timeseries.push(now, vals);
     }
 
@@ -2581,6 +2822,12 @@ impl ClusterSim {
             flaps_damped: w.monitor.flaps_damped(),
             degraded_objects: w.osds.iter().map(Osd::degraded_objects).sum(),
             queue_high_water: self.sim.queue_high_water(),
+            scrubs_completed: w.osds.iter().map(|o| o.scrubs_completed).sum(),
+            scrub_errors_found: w.osds.iter().map(|o| o.scrub_errors_found).sum(),
+            scrub_errors_repaired: w.osds.iter().map(|o| o.scrub_errors_repaired).sum(),
+            scrub_bytes: w.osds.iter().map(|o| o.scrub_bytes).sum(),
+            scrub_throttled_nanos: w.osds.iter().map(|o| o.scrub_throttled_nanos).sum(),
+            read_checksum_errors: w.osds.iter().map(|o| o.read_checksum_errors).sum(),
         }
     }
 }

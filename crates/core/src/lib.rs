@@ -72,8 +72,8 @@ pub mod sim {
         ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, SimReport, WorkItem, MON_NODE,
     };
     pub use rablock_sim::{
-        chrome_trace_json, AttributionReport, Component, CrashSchedule, FaultEvent, FaultPlan,
-        GrayWindow, LatSummary, LinkFault, Partition, SchedulerKind, SimDuration, SimRng, SimTime,
-        SlowOp, SsdState, TimeSeries, TraceId, Track,
+        chrome_trace_json, AttributionReport, BitRotSchedule, Component, CrashSchedule, FaultEvent,
+        FaultPlan, GrayWindow, LatSummary, LinkFault, Partition, RotMedia, SchedulerKind,
+        SimDuration, SimRng, SimTime, SlowOp, SsdState, TimeSeries, TraceId, Track,
     };
 }

@@ -33,6 +33,12 @@ pub struct CosOptions {
     pub meta_cache_entries: usize,
     /// Bytes reserved per partition for free-tree checkpoints.
     pub freetree_bytes: u64,
+    /// Keep a CRC32 per written data block and verify it on every read
+    /// path, so silent media corruption surfaces as
+    /// [`StoreError::ChecksumMismatch`](rablock_storage::StoreError)
+    /// instead of wrong bytes. Off by default: the WAF experiments model
+    /// the paper's store, which does not checksum data.
+    pub checksums: bool,
 }
 
 impl Default for CosOptions {
@@ -44,6 +50,7 @@ impl Default for CosOptions {
             metadata_cache: true,
             meta_cache_entries: 1024,
             freetree_bytes: 64 << 10,
+            checksums: false,
         }
     }
 }
@@ -58,6 +65,7 @@ impl CosOptions {
             metadata_cache: true,
             meta_cache_entries: 16,
             freetree_bytes: 16 << 10,
+            checksums: false,
         }
     }
 }

@@ -15,7 +15,9 @@ pub const ONODE_BYTES: usize = 512;
 pub const INLINE_EXTENTS: usize = 16;
 /// Bytes reserved for the inline xattr map.
 const XATTR_AREA: usize = ONODE_BYTES - HEADER_BYTES - INLINE_EXTENTS * EXTENT_BYTES - 4;
-const HEADER_BYTES: usize = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 8;
+// magic, oid, size, version, mtime, generation, flags, extent count,
+// spill block, csum block, csum count.
+const HEADER_BYTES: usize = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 8 + 8 + 4;
 const EXTENT_BYTES: usize = 8 + 8 + 4;
 const MAGIC: u32 = 0x4F4E_4F44; // "ONOD"
 
@@ -134,6 +136,10 @@ pub struct Onode {
     pub extents: ExtentMap,
     /// Extended attributes (small, inline).
     pub xattrs: Vec<(String, Vec<u8>)>,
+    /// First block of the per-block checksum run (0 = none persisted).
+    pub csum_block: u64,
+    /// Number of per-block checksums persisted in the run.
+    pub csum_count: u32,
 }
 
 impl Onode {
@@ -148,6 +154,8 @@ impl Onode {
             deleted: false,
             extents: ExtentMap::new(),
             xattrs: Vec::new(),
+            csum_block: 0,
+            csum_count: 0,
         }
     }
 
@@ -207,6 +215,8 @@ impl Onode {
         put(&mut buf, &flags.to_le_bytes(), &mut w);
         put(&mut buf, &(self.extents.len() as u32).to_le_bytes(), &mut w);
         put(&mut buf, &spill_block.to_le_bytes(), &mut w);
+        put(&mut buf, &self.csum_block.to_le_bytes(), &mut w);
+        put(&mut buf, &self.csum_count.to_le_bytes(), &mut w);
         for e in self.extents.entries().iter().take(INLINE_EXTENTS) {
             put(&mut buf, &e.logical.to_le_bytes(), &mut w);
             put(&mut buf, &e.phys.to_le_bytes(), &mut w);
@@ -267,6 +277,8 @@ impl Onode {
         let flags = rd_u32(40);
         let total_extents = rd_u32(44);
         let spill_block = rd_u64(48);
+        let csum_block = rd_u64(56);
+        let csum_count = rd_u32(64);
         let mut extents = ExtentMap::new();
         let inline = (total_extents as usize).min(INLINE_EXTENTS);
         for i in 0..inline {
@@ -303,6 +315,8 @@ impl Onode {
                 deleted: flags & 1 != 0,
                 extents,
                 xattrs,
+                csum_block,
+                csum_count,
             },
             spill_block,
             total_extents,
@@ -425,6 +439,18 @@ mod tests {
         o.set_xattr("k", vec![2]);
         assert_eq!(o.xattr("k"), Some(&[2u8][..]));
         assert_eq!(o.xattrs.len(), 1);
+    }
+
+    #[test]
+    fn csum_run_pointer_round_trips() {
+        let mut o = Onode::new(7);
+        o.csum_block = 1234;
+        o.csum_count = 256;
+        let (buf, _) = o.encode(0).unwrap();
+        let (d, _, _) = Onode::decode(&buf).unwrap().unwrap();
+        assert_eq!(d.csum_block, 1234);
+        assert_eq!(d.csum_count, 256);
+        assert_eq!(d, o);
     }
 
     #[test]

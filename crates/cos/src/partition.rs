@@ -40,6 +40,16 @@ pub struct Partition {
     /// Spill run (first physical block, block count) per slot, when the
     /// extent map overflows the onode's inline area.
     spills: HashMap<u32, (u64, u64)>,
+    /// Per-logical-block CRC32 per slot (checksum option only). Blocks a
+    /// write never touched carry the all-zeroes CRC, so the map is fully
+    /// content-determined: two replicas holding identical bytes always
+    /// hold identical checksum vectors regardless of write history.
+    csums: HashMap<u32, Vec<u32>>,
+    /// Checksum run (first physical block, block count) per slot, holding
+    /// the persisted form of `csums` (same allocation scheme as spills).
+    csum_runs: HashMap<u32, (u64, u64)>,
+    /// Verify data reads against `csums` and fail with `ChecksumMismatch`.
+    checksums: bool,
     slot_used: Vec<bool>,
     slot_cursor: u32,
     free: ExtentBTree,
@@ -59,6 +69,9 @@ impl Partition {
             radix: RadixTree::new(),
             onodes: HashMap::new(),
             spills: HashMap::new(),
+            csums: HashMap::new(),
+            csum_runs: HashMap::new(),
+            checksums: opts.checksums,
             slot_used: vec![false; geom.onode_slots as usize],
             slot_cursor: 0,
             free: ExtentBTree::new_free(0, geom.data_blocks),
@@ -115,6 +128,20 @@ impl Partition {
                 }
                 p.free.alloc_specific(spill, nblocks)?;
                 p.spills.insert(slot, (spill, nblocks));
+            }
+            if onode.csum_count > 0 {
+                let nblocks = csum_blocks_for(onode.csum_count as usize);
+                let mut raw = vec![0u8; (nblocks * BLOCK_BYTES) as usize];
+                dev.read_at(geom.block_off(onode.csum_block), &mut raw)?;
+                trace.push(TraceIo {
+                    kind: TraceKind::Read,
+                    bytes: nblocks * BLOCK_BYTES,
+                    category: IoCategory::Metadata,
+                });
+                let list = decode_csums(&raw, onode.csum_count as usize)?;
+                p.free.alloc_specific(onode.csum_block, nblocks)?;
+                p.csum_runs.insert(slot, (onode.csum_block, nblocks));
+                p.csums.insert(slot, list);
             }
             for e in onode.extents.entries() {
                 p.free.alloc_specific(e.phys, e.count as u64)?;
@@ -241,6 +268,39 @@ impl Partition {
         } else {
             0
         };
+        let csum_count = self.csums.get(&slot).map_or(0, Vec::len);
+        let csum_block = if csum_count > 0 {
+            let need = csum_blocks_for(csum_count);
+            match self.csum_runs.get(&slot).copied() {
+                Some((b, have)) if have >= need => b,
+                prev => {
+                    if let Some((old, old_n)) = prev {
+                        self.free.free(old, old_n)?;
+                    }
+                    let take = need.next_power_of_two();
+                    let b = self.free.alloc(take)?;
+                    self.freetree_dirty = true;
+                    self.csum_runs.insert(slot, (b, take));
+                    b
+                }
+            }
+        } else {
+            0
+        };
+        {
+            let onode = self.onodes.get_mut(&slot).expect("still live");
+            onode.csum_block = csum_block;
+            onode.csum_count = csum_count as u32;
+        }
+        if csum_count > 0 {
+            let raw = encode_csums(&self.csums[&slot]);
+            dev.write_at(self.geom.block_off(csum_block), &raw)?;
+            trace.push(TraceIo {
+                kind: TraceKind::Write,
+                bytes: raw.len() as u64,
+                category: IoCategory::Metadata,
+            });
+        }
         let onode = self.onodes.get(&slot).expect("still live");
         let (rec, spilled) = onode.encode(spill_block)?;
         if !spilled.is_empty() {
@@ -457,6 +517,7 @@ impl Partition {
 
         // Issue device writes per physically contiguous run, with RMW at
         // unaligned edges of pre-existing blocks.
+        let mut new_crcs: Vec<(u64, u32)> = Vec::new();
         let mut block = first_block;
         while block <= last_block {
             let phys = self.onodes[&slot].extents.map(block).expect("mapped above");
@@ -484,6 +545,13 @@ impl Partition {
                     bytes: run_len * BLOCK_BYTES,
                     category: IoCategory::Data,
                 });
+                if self.checksums {
+                    for i in 0..run_len {
+                        let s = src_from + (i * BLOCK_BYTES) as usize;
+                        new_crcs
+                            .push((block + i, crate::crc32(&data[s..s + BLOCK_BYTES as usize])));
+                    }
+                }
                 block += run_len;
                 continue;
             }
@@ -505,6 +573,19 @@ impl Partition {
                     bytes: BLOCK_BYTES,
                     category: IoCategory::Data,
                 });
+                if self.checksums {
+                    // An RMW edge folds old bytes into the new block; never
+                    // launder rotted bytes into a freshly valid checksum.
+                    let got = crate::crc32(&buf[off_in_buf..off_in_buf + BLOCK_BYTES as usize]);
+                    let want = self
+                        .csums
+                        .get(&slot)
+                        .and_then(|v| v.get(b as usize).copied())
+                        .unwrap_or_else(zero_block_crc);
+                    if got != want {
+                        return Err(StoreError::ChecksumMismatch);
+                    }
+                }
                 Ok(())
             };
             if head_partial && !fresh.contains(&block) {
@@ -525,9 +606,24 @@ impl Partition {
                 bytes: run_len * BLOCK_BYTES,
                 category: IoCategory::Data,
             });
+            if self.checksums {
+                for i in 0..run_len {
+                    let s = (i * BLOCK_BYTES) as usize;
+                    new_crcs.push((block + i, crate::crc32(&buf[s..s + BLOCK_BYTES as usize])));
+                }
+            }
             block += run_len;
         }
         dev.flush()?;
+        if self.checksums {
+            let v = self.csums.entry(slot).or_default();
+            for &(b, c) in &new_crcs {
+                if v.len() <= b as usize {
+                    v.resize(b as usize + 1, zero_block_crc());
+                }
+                v[b as usize] = c;
+            }
+        }
 
         let onode = self.onodes.get_mut(&slot).expect("live");
         onode.size = onode.size.max(end);
@@ -583,16 +679,43 @@ impl Partition {
             }
             let from = (block * BLOCK_BYTES).max(offset);
             let to = ((block + run_len) * BLOCK_BYTES).min(end);
-            let dev_off = self.geom.block_off(phys) + (from - block * BLOCK_BYTES);
-            dev.read_at(
-                dev_off,
-                &mut out[(from - offset) as usize..(to - offset) as usize],
-            )?;
-            trace.push(TraceIo {
-                kind: TraceKind::Read,
-                bytes: to - from,
-                category: IoCategory::Data,
-            });
+            if self.checksums {
+                // Verification is block-granular: read whole blocks, check
+                // each CRC, then copy out the requested byte range.
+                let mut blk = vec![0u8; (run_len * BLOCK_BYTES) as usize];
+                dev.read_at(self.geom.block_off(phys), &mut blk)?;
+                trace.push(TraceIo {
+                    kind: TraceKind::Read,
+                    bytes: run_len * BLOCK_BYTES,
+                    category: IoCategory::Data,
+                });
+                for i in 0..run_len {
+                    let s = (i * BLOCK_BYTES) as usize;
+                    let got = crate::crc32(&blk[s..s + BLOCK_BYTES as usize]);
+                    let want = self
+                        .csums
+                        .get(&slot)
+                        .and_then(|v| v.get((block + i) as usize).copied())
+                        .unwrap_or_else(zero_block_crc);
+                    if got != want {
+                        return Err(StoreError::ChecksumMismatch);
+                    }
+                }
+                let b0 = (from - block * BLOCK_BYTES) as usize;
+                out[(from - offset) as usize..(to - offset) as usize]
+                    .copy_from_slice(&blk[b0..b0 + (to - from) as usize]);
+            } else {
+                let dev_off = self.geom.block_off(phys) + (from - block * BLOCK_BYTES);
+                dev.read_at(
+                    dev_off,
+                    &mut out[(from - offset) as usize..(to - offset) as usize],
+                )?;
+                trace.push(TraceIo {
+                    kind: TraceKind::Read,
+                    bytes: to - from,
+                    category: IoCategory::Data,
+                });
+            }
             block += run_len;
         }
         Ok(out)
@@ -681,6 +804,10 @@ impl Partition {
         if let Some((spill, nblocks)) = self.spills.remove(&slot) {
             self.free.free(spill, nblocks)?;
         }
+        if let Some((run, nblocks)) = self.csum_runs.remove(&slot) {
+            self.free.free(run, nblocks)?;
+        }
+        self.csums.remove(&slot);
         self.freetree_dirty = true;
         self.radix
             .remove(radix_key(ObjectId::from_raw(onode.oid_raw)));
@@ -753,6 +880,115 @@ impl Partition {
             did_work,
         })
     }
+
+    /// Light-scrub digest: (size, FNV over the per-block checksum vector),
+    /// computed from metadata alone — no data blocks are read. Two replicas
+    /// holding identical bytes produce identical digests regardless of the
+    /// write history that got them there. `None` for missing/deleted
+    /// objects or when checksums are disabled.
+    pub fn csum_digest(&self, oid: ObjectId) -> Option<(u64, u64)> {
+        if !self.checksums {
+            return None;
+        }
+        let slot = self.slot_of(oid)?;
+        let o = self.onodes.get(&slot)?;
+        if o.deleted {
+            return None;
+        }
+        fn fnv(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x100_0000_01b3)
+        }
+        let v = self.csums.get(&slot);
+        let mut h = fnv(0xcbf2_9ce4_8422_2325, o.size);
+        for b in 0..o.size.div_ceil(BLOCK_BYTES) {
+            let c = v
+                .and_then(|v| v.get(b as usize).copied())
+                .unwrap_or_else(zero_block_crc);
+            h = fnv(h, c as u64);
+        }
+        Some((o.size, h))
+    }
+
+    /// Fault injection: flips one bit of the stored data of `oid` directly
+    /// on the device, bypassing the checksum bookkeeping — exactly what
+    /// silent media corruption does. Returns `false` when the target block
+    /// is not mapped (nothing to rot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn corrupt_data_bit<D: BlockDevice>(
+        &mut self,
+        dev: &mut D,
+        oid: ObjectId,
+        block: u64,
+        byte: u64,
+        bit: u8,
+    ) -> Result<bool, StoreError> {
+        let Some(slot) = self.slot_of(oid) else {
+            return Ok(false);
+        };
+        let onode = &self.onodes[&slot];
+        if onode.deleted {
+            return Ok(false);
+        }
+        let Some(phys) = onode.extents.map(block) else {
+            return Ok(false);
+        };
+        let off = self.geom.block_off(phys) + (byte % BLOCK_BYTES);
+        let mut b = [0u8; 1];
+        dev.read_at(off, &mut b)?;
+        b[0] ^= 1 << (bit % 8);
+        dev.write_at(off, &b)?;
+        Ok(true)
+    }
+
+    /// Number of data blocks currently mapped for `oid` (fault-injection
+    /// targeting helper).
+    pub fn mapped_blocks(&self, oid: ObjectId) -> u64 {
+        let Some(slot) = self.slot_of(oid) else {
+            return 0;
+        };
+        let o = &self.onodes[&slot];
+        if o.deleted {
+            return 0;
+        }
+        o.size.div_ceil(BLOCK_BYTES)
+    }
+}
+
+/// CRC32 of an all-zeroes 4 KiB block: the checksum of every block a write
+/// never touched (holes read as zeroes).
+fn zero_block_crc() -> u32 {
+    static Z: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *Z.get_or_init(|| crate::crc32(&[0u8; BLOCK_BYTES as usize]))
+}
+
+/// Blocks needed to hold `n` per-block checksums (4 bytes each + header).
+fn csum_blocks_for(n: usize) -> u64 {
+    ((4 + n * 4) as u64).div_ceil(BLOCK_BYTES)
+}
+
+fn encode_csums(list: &[u32]) -> Vec<u8> {
+    let nblocks = csum_blocks_for(list.len());
+    let mut raw = vec![0u8; (nblocks * BLOCK_BYTES) as usize];
+    raw[..4].copy_from_slice(&(list.len() as u32).to_le_bytes());
+    for (i, c) in list.iter().enumerate() {
+        raw[4 + i * 4..8 + i * 4].copy_from_slice(&c.to_le_bytes());
+    }
+    raw
+}
+
+fn decode_csums(raw: &[u8], expected: usize) -> Result<Vec<u32>, StoreError> {
+    let count = u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) as usize;
+    if count != expected {
+        return Err(StoreError::Corrupt(format!(
+            "checksum run holds {count} entries, onode expects {expected}"
+        )));
+    }
+    Ok((0..count)
+        .map(|i| u32::from_le_bytes(raw[4 + i * 4..8 + i * 4].try_into().expect("4 bytes")))
+        .collect())
 }
 
 /// Blocks needed to hold `n` spilled extents (20 bytes each + header).

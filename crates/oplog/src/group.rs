@@ -209,6 +209,19 @@ impl GroupLog {
         Ok(true)
     }
 
+    /// Fault injection: flips one bit of the `nth` queued NVM byte (modulo
+    /// the queued length), modelling silent bit rot in a committed log
+    /// record. The in-memory mirror stays clean, so the damage is latent
+    /// until a crash forces recovery to re-read NVM — exactly how real NVM
+    /// rot behaves. Returns `false` when nothing is queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM access errors.
+    pub fn rot_bit(&self, nvm: &mut NvmRegion, nth: u64, bit: u8) -> Result<bool, StoreError> {
+        self.ring.corrupt_bit(nvm, nth, bit)
+    }
+
     /// The group this log belongs to.
     pub fn group(&self) -> GroupId {
         self.group

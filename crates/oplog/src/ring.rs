@@ -207,6 +207,25 @@ impl NvmRing {
         Ok(())
     }
 
+    /// Fault injection: flips one bit of the `nth` queued byte (modulo the
+    /// queued length), modelling silent NVM bit rot inside a committed
+    /// record. Returns `false` on an empty ring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM access errors.
+    pub fn corrupt_bit(&self, nvm: &mut NvmRegion, nth: u64, bit: u8) -> Result<bool, StoreError> {
+        if self.used() == 0 {
+            return Ok(false);
+        }
+        let at = self.tail + nth % self.used();
+        let pos = at % self.data_cap;
+        let mut b = nvm.read(self.base + HEADER_BYTES + pos, 1)?;
+        b[0] ^= 1 << (bit % 8);
+        nvm.write(self.base + HEADER_BYTES + pos, &b)?;
+        Ok(true)
+    }
+
     /// Reads the queued bytes `[tail, head)` in order (recovery scan).
     ///
     /// # Errors

@@ -85,6 +85,60 @@ proptest! {
         prop_assert_eq!(txns, pending);
     }
 
+    /// Differential CRC-reject property: flipping any single bit of any
+    /// committed record makes crash recovery reject exactly the records
+    /// from the flipped one onward and keep every earlier one intact — no
+    /// rotted record is ever replayed as valid data, and rot never bleeds
+    /// backwards into its predecessors.
+    #[test]
+    fn single_bit_rot_rejects_exactly_the_damaged_suffix(
+        lens in proptest::collection::vec((1u16..512, any::<u8>()), 2..12),
+        victim_frac in 0.0f64..1.0,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut nvm = NvmRegion::new(1 << 20);
+        let mut log = GroupLog::format(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX).unwrap();
+        let mut txns = Vec::new();
+        let mut offsets = vec![0u64]; // queued-byte offset of each record
+        for (i, (len, fill)) in lens.iter().enumerate() {
+            let txn = Transaction::new(
+                GroupId(3),
+                i as u64 + 1,
+                vec![Op::Write { oid: oid(i as u64), offset: 0, data: vec![*fill; *len as usize].into() }],
+            );
+            let before = log.nvm_used();
+            log.append(&mut nvm, txn.clone()).unwrap();
+            offsets.push(offsets.last().unwrap() + (log.nvm_used() - before));
+            txns.push(txn);
+        }
+        // Pick a victim record and a byte within it.
+        let victim = ((victim_frac * txns.len() as f64) as usize).min(txns.len() - 1);
+        let rec_len = offsets[victim + 1] - offsets[victim];
+        let byte = offsets[victim] + ((byte_frac * rec_len as f64) as u64).min(rec_len - 1);
+        prop_assert!(log.rot_bit(&mut nvm, byte, bit).unwrap());
+
+        // The in-memory mirror is clean: rot stays latent until a crash.
+        prop_assert_eq!(log.pending(), txns.len());
+
+        // Strict recovery refuses the whole log instead of serving rot.
+        nvm.reboot();
+        prop_assert!(matches!(
+            GroupLog::recover(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Truncating recovery keeps exactly the clean prefix (and persists
+        // the truncation, which is why the strict check ran first).
+        let (recovered, discarded) =
+            GroupLog::recover_truncating(&mut nvm, GroupId(3), 0, 1 << 20, usize::MAX).unwrap();
+        let kept: Vec<Transaction> =
+            recovered.export_records().into_iter().map(|r| r.txn).collect();
+        prop_assert_eq!(&kept, &txns[..victim],
+            "exactly the records before the flipped one survive");
+        prop_assert_eq!(discarded, offsets[txns.len()] - offsets[victim],
+            "everything from the damaged record onward is discarded");
+    }
+
     /// read_path never returns stale data: a covering FromLog answer always
     /// matches the newest pending write for that range.
     #[test]

@@ -92,6 +92,37 @@ pub struct CrashSchedule {
     pub torn_tail: bool,
 }
 
+/// Which durable medium a bit-rot event damages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RotMedia {
+    /// Committed object data blocks on the backing object store.
+    CosData,
+    /// Records queued in the process's NVM operation log. The in-memory
+    /// mirror stays clean, so the damage is latent until crash recovery
+    /// replays the log from the device.
+    NvmLog,
+}
+
+/// A scheduled silent-corruption event: flip `flips` bits in one process's
+/// durable state without the process noticing. Models media bit rot, firmware
+/// bugs, and cosmic-ray upsets — the fault class scrub and read-path
+/// verification exist to catch.
+#[derive(Clone, Copy, Debug)]
+pub struct BitRotSchedule {
+    /// Index of the process (OSD) whose durable state rots.
+    pub process: usize,
+    /// When the corruption lands.
+    pub at: SimTime,
+    /// Lower bound (inclusive) of the raw object-id range eligible to rot.
+    pub object_lo: u64,
+    /// Upper bound (exclusive) of the raw object-id range eligible to rot.
+    pub object_hi: u64,
+    /// How many independent single-bit flips to apply.
+    pub flips: u32,
+    /// Which medium the flips land on.
+    pub media: RotMedia,
+}
+
 /// A gray-failure window: the device stays up but every service time is
 /// multiplied by `multiplier` for the duration.
 #[derive(Clone, Copy, Debug)]
@@ -128,6 +159,20 @@ pub enum FaultEvent {
         device: DeviceId,
         /// New service-time multiplier (1.0 = healthy).
         multiplier: f64,
+    },
+    /// Silently flip `flips` bits in `process`'s durable state, restricted
+    /// to objects whose raw id falls in `[object_lo, object_hi)`.
+    BitRot {
+        /// Index of the process whose durable state rots.
+        process: usize,
+        /// Lower bound (inclusive) of the eligible raw object-id range.
+        object_lo: u64,
+        /// Upper bound (exclusive) of the eligible raw object-id range.
+        object_hi: u64,
+        /// Number of independent single-bit flips.
+        flips: u32,
+        /// Which medium the flips land on.
+        media: RotMedia,
     },
 }
 
@@ -167,6 +212,8 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashSchedule>,
     /// Gray-failure windows.
     pub gray_windows: Vec<GrayWindow>,
+    /// Scheduled silent-corruption events.
+    pub bit_rot: Vec<BitRotSchedule>,
 }
 
 impl FaultPlan {
@@ -181,6 +228,7 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.crashes.is_empty()
             && self.gray_windows.is_empty()
+            && self.bit_rot.is_empty()
     }
 
     /// Adds a probabilistic link-fault window.
@@ -260,6 +308,17 @@ impl FaultPlan {
                 torn_tail: false,
             });
         }
+        self
+    }
+
+    /// Adds a scheduled bit-rot event.
+    pub fn with_bit_rot(mut self, rot: BitRotSchedule) -> Self {
+        assert!(
+            rot.object_lo < rot.object_hi,
+            "bit-rot object range must be non-empty"
+        );
+        assert!(rot.flips > 0, "bit rot must flip at least one bit");
+        self.bit_rot.push(rot);
         self
     }
 
@@ -366,6 +425,18 @@ impl FaultPlan {
                 FaultEvent::GraySet {
                     device: w.device,
                     multiplier: 1.0,
+                },
+            ));
+        }
+        for r in &self.bit_rot {
+            out.push((
+                r.at,
+                FaultEvent::BitRot {
+                    process: r.process,
+                    object_lo: r.object_lo,
+                    object_hi: r.object_hi,
+                    flips: r.flips,
+                    media: r.media,
                 },
             ));
         }
@@ -550,6 +621,45 @@ mod tests {
             )
         );
         assert_eq!(tl[3], (ms(60), FaultEvent::Restart { process: 1 }));
+    }
+
+    #[test]
+    fn bit_rot_lands_on_the_timeline() {
+        let plan = FaultPlan::none().with_bit_rot(BitRotSchedule {
+            process: 2,
+            at: ms(15),
+            object_lo: 4,
+            object_hi: 12,
+            flips: 3,
+            media: RotMedia::CosData,
+        });
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.timeline(),
+            vec![(
+                ms(15),
+                FaultEvent::BitRot {
+                    process: 2,
+                    object_lo: 4,
+                    object_hi: 12,
+                    flips: 3,
+                    media: RotMedia::CosData,
+                }
+            )]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-rot object range must be non-empty")]
+    fn empty_rot_range_rejected() {
+        let _ = FaultPlan::none().with_bit_rot(BitRotSchedule {
+            process: 0,
+            at: ms(1),
+            object_lo: 5,
+            object_hi: 5,
+            flips: 1,
+            media: RotMedia::NvmLog,
+        });
     }
 
     #[test]

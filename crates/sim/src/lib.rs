@@ -60,7 +60,8 @@ pub mod trace;
 pub use device::{Device, DeviceProfile, DeviceStats, IoKind, IoRequest, SsdState};
 pub use engine::{CoreId, Ctx, DeviceId, Handler, Priority, Simulation, ThreadCfg, ThreadId};
 pub use faults::{
-    CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, MessageFate, Partition,
+    BitRotSchedule, CrashSchedule, FaultEvent, FaultPlan, GrayWindow, LinkFault, MessageFate,
+    Partition, RotMedia,
 };
 pub use link::Link;
 pub use metrics::{Metrics, StageTag};

@@ -33,6 +33,11 @@ pub enum StoreError {
     /// replicas are down to accept the write safely. `EAGAIN`-style:
     /// retryable once recovery restores quorum.
     Degraded,
+    /// Stored data failed its block checksum on read: the bytes on the
+    /// device no longer match the digest recorded at write time (bit rot,
+    /// torn media write). Retryable against another replica; the damaged
+    /// replica repairs itself through scrub/read-repair.
+    ChecksumMismatch,
 }
 
 impl fmt::Display for StoreError {
@@ -53,6 +58,9 @@ impl fmt::Display for StoreError {
             StoreError::InvalidArgument(why) => write!(f, "invalid argument: {why}"),
             StoreError::Timeout => write!(f, "operation timed out"),
             StoreError::Degraded => write!(f, "group below write quorum; retry after recovery"),
+            StoreError::ChecksumMismatch => {
+                write!(f, "stored data failed its checksum; retry another replica")
+            }
         }
     }
 }
@@ -79,6 +87,7 @@ mod tests {
             StoreError::InvalidArgument("zero length".into()).to_string(),
             StoreError::Timeout.to_string(),
             StoreError::Degraded.to_string(),
+            StoreError::ChecksumMismatch.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

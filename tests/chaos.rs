@@ -159,7 +159,12 @@ fn base_config(seed: u64, faults: FaultPlan) -> ClusterSimConfig {
         ring_bytes: 256 << 10,
         flush_threshold: 8,
         lsm: LsmOptions::tiny(),
-        cos: CosOptions::tiny(),
+        // tiny() models the paper's store (no data checksums); keep the
+        // read-path CRCs on so the digest-consistency invariant has teeth.
+        cos: CosOptions {
+            checksums: true,
+            ..CosOptions::tiny()
+        },
         ..OsdConfig::default()
     };
     cfg.faults = faults;
@@ -281,9 +286,11 @@ fn converging_link_fault(drop_p: f64) -> LinkFault {
 }
 
 /// Outcome of a convergence run: reproducible counters, any PGs still not
-/// Active after quiesce, and any replica content divergence.
+/// Active after quiesce, any replica content divergence, and any replica
+/// checksum-metadata (size + csum digest) inconsistency.
 type ConvergenceOutcome = (
     (u64, u64, u64, u64, u64, u64, u64),
+    Vec<String>,
     Vec<String>,
     Vec<String>,
 );
@@ -311,12 +318,13 @@ fn run_to_convergence(cfg: ClusterSimConfig) -> ConvergenceOutcome {
     );
     let stuck = sim.stuck_pgs();
     let divergence = sim.replica_divergence();
-    (counters, stuck, divergence)
+    let digests = sim.replica_digest_inconsistency();
+    (counters, stuck, divergence, digests)
 }
 
 /// Shared assertions for a convergence outcome.
 fn assert_converged(outcome: &ConvergenceOutcome) -> Result<(), TestCaseError> {
-    let ((writes, reads, errors, pushes, _, acked, checked), stuck, divergence) = outcome;
+    let ((writes, reads, errors, pushes, _, acked, checked), stuck, divergence, digests) = outcome;
     let total_ops = CONNS * (WRITES_PER_CONN + READS_PER_CONN);
     prop_assert!(
         writes + reads + errors >= total_ops,
@@ -336,6 +344,10 @@ fn assert_converged(outcome: &ConvergenceOutcome) -> Result<(), TestCaseError> {
     prop_assert!(
         divergence.is_empty(),
         "replicas byte-identical after recovery: {divergence:?}"
+    );
+    prop_assert!(
+        digests.is_empty(),
+        "replica checksum metadata consistent after recovery: {digests:?}"
     );
     Ok(())
 }
@@ -486,6 +498,7 @@ struct ChurnOutcome {
     checked: u64,
     stuck: Vec<String>,
     divergence: Vec<String>,
+    digests: Vec<String>,
     imbalance_bits: u64,
     filled_osds: usize,
 }
@@ -512,6 +525,7 @@ fn run_churn(
     let flaps_damped = sim.flaps_damped();
     let stuck = sim.stuck_pgs();
     let divergence = sim.replica_divergence();
+    let digests = sim.replica_digest_inconsistency();
     ChurnOutcome {
         writes: report.writes_done,
         reads: report.reads_done,
@@ -525,6 +539,7 @@ fn run_churn(
         checked,
         stuck,
         divergence,
+        digests,
         imbalance_bits: imbalance.to_bits(),
         filled_osds,
     }
@@ -561,6 +576,11 @@ fn assert_churn_converged(
         o.divergence.is_empty(),
         "replicas byte-identical after rebalance: {:?}",
         o.divergence
+    );
+    prop_assert!(
+        o.digests.is_empty(),
+        "replica checksum metadata consistent after rebalance: {:?}",
+        o.digests
     );
     Ok(())
 }
@@ -657,7 +677,12 @@ fn grow_config(seed: u64, drop_p: f64) -> ClusterSimConfig {
         ring_bytes: 256 << 10,
         flush_threshold: 8,
         lsm: LsmOptions::tiny(),
-        cos: CosOptions::tiny(),
+        // tiny() models the paper's store (no data checksums); keep the
+        // read-path CRCs on so the digest-consistency invariant has teeth.
+        cos: CosOptions {
+            checksums: true,
+            ..CosOptions::tiny()
+        },
         max_backfill_inflight: 2,
         backfill_bytes_per_tick: 1 << 20,
         ..OsdConfig::default()
