@@ -10,13 +10,16 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--jobs N] [--smoke] [--only PREFIX] [--out PATH]
+//! figures [--jobs N] [--smoke] [--only PREFIX] [--out PATH] [--shards N]
 //! ```
 //!
 //! `--jobs` defaults to all cores. `--smoke` shrinks measurement windows
 //! ~8× for CI. `--only fig09/` runs one figure's cells. The merged data
 //! lines (timing-free, deterministic) go to `--out` (default
 //! `results/figures_sweep.txt` at the workspace root) and to stdout.
+//! `--shards N` runs every cell's simulation on N engine worker threads
+//! (space-parallel domains); like `--jobs`, it can only change wall-clock,
+//! never a data line.
 
 use std::path::PathBuf;
 
@@ -38,9 +41,18 @@ fn main() {
     let mut smoke = false;
     let mut only: Option<String> = None;
     let mut out: Option<PathBuf> = None;
+    let mut shards = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--shards" => {
+                shards = args
+                    .get(i + 1)
+                    .expect("--shards needs a value")
+                    .parse()
+                    .expect("--shards takes a number");
+                i += 2;
+            }
             "--jobs" => {
                 jobs = args
                     .get(i + 1)
@@ -61,7 +73,9 @@ fn main() {
                 out = Some(PathBuf::from(args.get(i + 1).expect("--out needs a value")));
                 i += 2;
             }
-            other => panic!("unknown argument {other:?} (expected --jobs/--smoke/--only/--out)"),
+            other => {
+                panic!("unknown argument {other:?} (expected --jobs/--smoke/--only/--out/--shards)")
+            }
         }
     }
 
@@ -69,10 +83,11 @@ fn main() {
         "figures",
         "all paper figures + ablation grids as one parallel sweep",
     );
+    rablock_bench::set_default_shards(shards);
     let cells = figure_cells(smoke, only.as_deref());
     let n = cells.len();
     println!(
-        "{n} cells, {jobs} jobs{}",
+        "{n} cells, {jobs} jobs, {shards} engine shards{}",
         if smoke { " (smoke)" } else { "" }
     );
     let outcome = run_sweep(cells, jobs);

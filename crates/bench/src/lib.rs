@@ -104,7 +104,10 @@ impl Dataset {
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;
         let group = GroupId((x % PG_COUNT as u64) as u32);
-        let index = (image << 20) | idx;
+        // COS radix keys carry the object index in 32 bits; a 12-bit idx
+        // field (4 GiB images) leaves 2^20 images for scale scenarios.
+        debug_assert!(idx < (1 << 12) && image < (1 << 20));
+        let index = (image << 12) | idx;
         (ObjectId::new(group, index), within)
     }
 
@@ -284,7 +287,27 @@ impl ConnWorkload for SeqWriteThenRead {
     }
 }
 
+/// Process-wide default worker-shard count for harness simulations (the
+/// `--shards N` flag). Shards only pick how many OS threads execute the
+/// engine's domains — results are byte-identical for every value — so a
+/// global default is safe: it can change wall-clock, never output.
+static DEFAULT_SHARDS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+/// Sets the default shard count every subsequent [`run_sim`] uses (first
+/// call wins; later calls are ignored). Harness `--shards N` flags call
+/// this once at startup.
+pub fn set_default_shards(shards: usize) {
+    let _ = DEFAULT_SHARDS.set(shards.max(1));
+}
+
+/// The current default shard count (1 unless [`set_default_shards`] ran).
+pub fn default_shards() -> usize {
+    *DEFAULT_SHARDS.get().unwrap_or(&1)
+}
+
 /// Builds a cluster, prefills the dataset, runs warmup + measurement.
+/// Configs that leave `shards` at 1 inherit the process default (the
+/// `--shards` flag); an explicit per-config override wins.
 pub fn run_sim(
     cfg: ClusterSimConfig,
     dataset: Dataset,
@@ -292,6 +315,10 @@ pub fn run_sim(
     warmup: SimDuration,
     measure: SimDuration,
 ) -> rablock::sim::SimReport {
+    let mut cfg = cfg;
+    if cfg.shards <= 1 {
+        cfg.shards = default_shards();
+    }
     let mut sim = ClusterSim::new(cfg, workloads);
     sim.prefill(&dataset.all_objects());
     sim.run(warmup, measure)

@@ -168,6 +168,17 @@ pub struct ClusterSimConfig {
     /// checksum verify); the others are light (metadata/digest compare).
     /// 0 makes every round light.
     pub scrub_deep_every: u64,
+    /// Worker threads driving the space-parallel engine. The simulation is
+    /// always partitioned into `nodes + 1` domains (clients + monitor in
+    /// domain 0, one domain per storage node); `shards` only chooses how
+    /// many OS threads execute those domains, so every metric is
+    /// byte-identical for any value — parallelism changes wall-clock only.
+    pub shards: usize,
+    /// Conservative-synchronization lookahead override for the LBTS window.
+    /// `None` uses the floor the network model guarantees: every
+    /// cross-domain message pays at least `link.lookahead()` of latency.
+    /// Tests force 1 ns here to maximize synchronization rounds.
+    pub lookahead: Option<SimDuration>,
 }
 
 /// One scheduled admin map mutation (elastic-operations churn).
@@ -226,6 +237,8 @@ impl ClusterSimConfig {
             telemetry_window: None,
             scrub_interval: None,
             scrub_deep_every: 4,
+            shards: 1,
+            lookahead: None,
         }
     }
 }
@@ -312,6 +325,7 @@ enum Ev {
     ScrubSweep { round: u64 },
 }
 
+#[derive(Clone)]
 struct OsdThreads {
     /// Frontend (messenger/RTC/priority) threads.
     msgr: Vec<ThreadId>,
@@ -343,26 +357,72 @@ impl LatencyRecorder {
     }
 }
 
-/// Driver-side tracing state: the kernel [`Recorder`] plus the lookup maps
-/// that tie protocol identities (replication seqs, store tokens) back to
-/// trace ids. Boxed behind an `Option` — a disabled run allocates nothing.
-struct Tracing {
-    rec: Recorder,
-    /// `(primary_osd, seq)` → trace id, registered when the primary sends
-    /// its replication ops and consulted by replica-side handlers and acks.
-    rep_trace: HashMap<(u32, u64), TraceId>,
-    /// `(osd, token)` → (trace id, submit time) for in-flight store I/O.
-    io_trace: HashMap<(usize, u64), (TraceId, SimTime)>,
+/// Identity of a traced op as known *locally* to one shard.
+///
+/// The client-side shard knows the real [`TraceId`] (connection + op). A
+/// replica shard only knows the replication key `(primary_osd, seq)` its
+/// message carried — the key→id join lives on the primary's shard and is
+/// resolved at replay time, never across shards at simulation time.
+#[derive(Copy, Clone, Debug)]
+enum TraceRef {
+    Tid(TraceId),
+    Rep(u32, u64),
+}
+
+/// One recorder call, logged shard-locally and replayed after the run.
+#[derive(Debug)]
+enum TraceOp {
+    Begin {
+        id: TraceId,
+        is_write: bool,
+    },
+    Span {
+        id: TraceRef,
+        name: &'static str,
+        track: Track,
+        start: SimTime,
+        dur: SimDuration,
+        comp: Component,
+    },
+    Retry {
+        id: TraceId,
+    },
+    RegisterRep {
+        primary: u32,
+        seq: u64,
+        id: TraceRef,
+    },
+    Finish {
+        id: TraceId,
+    },
+    Abandon {
+        id: TraceId,
+    },
+}
+
+/// Per-shard tracing state. Tracing is purely observational, so shards log
+/// recorder calls instead of sharing a recorder: each entry is stamped with
+/// the simulated instant it was emitted, and [`ClusterSim::replay_recorder`]
+/// merges the logs in `(time, shard, index)` order — a total order that is
+/// identical for any worker count — and replays them into one [`Recorder`].
+/// Cross-shard joins (replication key → trace id) resolve during replay:
+/// registration on the primary precedes any replica-side use by at least
+/// one network lookahead of simulated time, so the merge order is always
+/// registration-first.
+struct PartTrace {
+    log: Vec<(SimTime, TraceOp)>,
+    /// `(osd, token)` → (trace ref, submit time) for in-flight store I/O —
+    /// submitted and completed on the same shard.
+    io_trace: HashMap<(usize, u64), (TraceRef, SimTime)>,
     /// NVM nanoseconds charged by effects of the item being handled
     /// (split out of the service span).
     pending_nvm: u64,
 }
 
-impl Tracing {
-    fn new(slow_cap: usize) -> Tracing {
-        Tracing {
-            rec: Recorder::new(slow_cap),
-            rep_trace: HashMap::new(),
+impl PartTrace {
+    fn new() -> PartTrace {
+        PartTrace {
+            log: Vec::new(),
             io_trace: HashMap::new(),
             pending_nvm: 0,
         }
@@ -491,19 +551,39 @@ impl SimReport {
 }
 
 struct World {
+    /// Which domain this part handles: 0 = clients + monitor + driver,
+    /// `1 + n` = storage node `n`. The engine routes every event to the
+    /// part owning its target thread, so each part only ever touches the
+    /// state it owns; the remaining fields are immutable topology clones.
+    part: u32,
     mode: PipelineMode,
     relay: bool,
     /// Proposed-system event-driven messenger (cheaper MP).
     lean: bool,
     costs: CostModel,
+    /// This part's view of the cluster map. Part 0 (the monitor's part)
+    /// installs new epochs directly; storage parts converge through the
+    /// `MapUpdate` inputs the monitor broadcasts (monotone by epoch).
     map: OsdMap,
-    osds: Vec<Osd>,
+    /// Sparse, globally indexed: `Some` only for the OSDs this part owns.
+    osds: Vec<Option<Osd>>,
     threads: Vec<OsdThreads>,
+    /// Part 0 only (client events execute there); empty elsewhere.
     conns: Vec<ConnState>,
+    /// Client thread per connection, cloned into every part so storage
+    /// parts can address replies without touching part 0's `conns`.
+    conn_threads: Vec<ThreadId>,
     /// Egress link per storage node, plus one shared client-side link.
+    /// Every part holds the full vector but only drives its own entry
+    /// (node egress for storage parts, the client link for part 0).
     links: Vec<Link>,
+    /// Minimum latency a cross-domain control-plane send must pay so it
+    /// never lands inside the engine's conservative lookahead window
+    /// (equals the link latency the data plane already pays).
+    net_hold: SimDuration,
     io_wait: HashMap<(usize, u64), usize>,
-    /// OSDs that have failed (their events are dropped).
+    /// OSDs that have failed (their events are dropped). Globally indexed;
+    /// only the slots of this part's own OSDs are ever written.
     dead: Vec<bool>,
     /// Run-to-completion gating: a busy RTC thread defers new client
     /// requests until the in-flight operation replies (paper §III-B).
@@ -517,8 +597,10 @@ struct World {
     flush_sweep: SimDuration,
     pg_count: u32,
     /// The fault plan for this run (empty = clean run, zero overhead).
+    /// Stateless queries — cloning one per part changes nothing.
     faults: FaultPlan,
-    /// The monitor: authoritative map plus heartbeat bookkeeping.
+    /// The monitor: authoritative map plus heartbeat bookkeeping. Real on
+    /// part 0, an inert placeholder elsewhere.
     monitor: Monitor,
     /// Client retry policy; `None` = legacy wait-forever client.
     retry: Option<RetryPolicy>,
@@ -541,7 +623,7 @@ struct World {
     /// a fresh memset + copy per issued write.
     payload_cache: HashMap<(u8, u64), rablock_storage::Payload>,
     /// Per-op span tracing; `None` when disabled (the common case).
-    trace: Option<Box<Tracing>>,
+    trace: Option<Box<PartTrace>>,
     /// Background scrub cadence (`None`: scrubbing off).
     scrub_interval: Option<SimDuration>,
     /// Every Nth scrub round reads and verifies data (0: never deep).
@@ -549,8 +631,25 @@ struct World {
 }
 
 impl World {
+    /// The given OSD, which must be owned by this part.
+    fn osd(&self, i: usize) -> &Osd {
+        self.osds[i].as_ref().unwrap_or_else(|| {
+            panic!(
+                "osd{i} not owned by part {} (event routed to wrong domain)",
+                self.part
+            )
+        })
+    }
+
+    /// The given OSD, mutably; must be owned by this part.
+    fn osd_mut(&mut self, i: usize) -> &mut Osd {
+        self.osds[i]
+            .as_mut()
+            .expect("OSD not owned by this part (event routed to wrong domain)")
+    }
+
     /// Runs one OSD input through the reusable effect scratch buffer.
-    /// `cur` is the trace id the input belongs to (span attribution for
+    /// `cur` is the trace ref the input belongs to (span attribution for
     /// the effects it emits); `None` when untraced or tracing is off.
     fn handle_with_scratch(
         &mut self,
@@ -559,81 +658,89 @@ impl World {
         osd: usize,
         input: OsdInput,
         flush_batch: bool,
-        cur: Option<TraceId>,
+        cur: Option<TraceRef>,
     ) {
         let mut fx = std::mem::take(&mut self.fx_scratch);
         fx.clear();
-        self.osds[osd].handle_into(input, &mut fx);
+        self.osd_mut(osd).handle_into(input, &mut fx);
         self.apply_effects(ctx, thread, osd, &mut fx, flush_batch, cur);
         self.fx_scratch = fx;
     }
 
     // ---- tracing helpers ---------------------------------------------
     //
-    // Everything below is purely observational: trace ids are derived
+    // Everything below is purely observational: trace refs are derived
     // from message content the handlers already carry (client id + op id
-    // pack into a `TraceId`; replication sub-operations are joined back
-    // to their parent op through driver-side maps keyed by
-    // `(primary, seq)`). No wire format changes, no extra events, no RNG
-    // draws — with `self.trace == None` every helper is a cheap no-op,
-    // which is what keeps fingerprints byte-identical tracing on or off.
+    // pack into a `TraceId`; replication sub-operations keep their
+    // `(primary, seq)` wire key as a symbolic ref that the post-run
+    // replay joins back to the parent op). No wire format changes, no
+    // extra events, no RNG draws — with `self.trace == None` every
+    // helper is a cheap no-op, which is what keeps fingerprints
+    // byte-identical tracing on or off.
 
     /// Trace id of a client op: connections map 1:1 to `ClientId`.
     fn tid_of(client: ClientId, op: OpId) -> TraceId {
         TraceId::from_conn_op(client.0, op.0)
     }
 
-    /// Resolves the trace id a replicated-write sub-message belongs to.
+    /// Appends one op to this part's trace log (no-op when tracing is off).
+    fn trace_log(&mut self, at: SimTime, op: TraceOp) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.log.push((at, op));
+        }
+    }
+
+    /// The trace ref a replicated-write sub-message belongs to.
     /// `Repop`/`RepopNvm` are keyed by the *sender* (the primary);
-    /// acks are keyed by the *receiver* (also the primary).
-    fn trace_of_peer_msg(&self, primary_osd: u32, from: OsdId, msg: &PeerMsg) -> Option<TraceId> {
-        let tr = self.trace.as_ref()?;
+    /// acks are keyed by the *receiver* (also the primary). Replay
+    /// resolves the key; an unregistered key simply drops the span, the
+    /// same way the old inline lookup returned `None`.
+    fn trace_of_peer_msg(&self, primary_osd: u32, from: OsdId, msg: &PeerMsg) -> Option<TraceRef> {
+        self.trace.as_ref()?;
         match msg {
             PeerMsg::Repop { seq, .. } | PeerMsg::RepopNvm { seq, .. } => {
-                tr.rep_trace.get(&(from.0, *seq)).copied()
+                Some(TraceRef::Rep(from.0, *seq))
             }
             PeerMsg::RepAck { seq, .. } | PeerMsg::RepNack { seq, .. } => {
-                tr.rep_trace.get(&(primary_osd, *seq)).copied()
+                Some(TraceRef::Rep(primary_osd, *seq))
             }
             _ => None,
         }
     }
 
     /// Classifies a store token back to the client op it serves.
-    fn trace_of_store_op(&self, op: StoreTokenOp) -> Option<TraceId> {
+    fn trace_of_store_op(&self, op: StoreTokenOp) -> Option<TraceRef> {
+        self.trace.as_ref()?;
         match op {
             StoreTokenOp::PrimaryWrite { client, op } | StoreTokenOp::Read { client, op } => {
-                Some(Self::tid_of(client, op))
+                Some(TraceRef::Tid(Self::tid_of(client, op)))
             }
-            StoreTokenOp::ReplicaPersist { primary, seq } => self
-                .trace
-                .as_ref()?
-                .rep_trace
-                .get(&(primary.0, seq))
-                .copied(),
+            StoreTokenOp::ReplicaPersist { primary, seq } => Some(TraceRef::Rep(primary.0, seq)),
             StoreTokenOp::Flush | StoreTokenOp::Background => None,
         }
     }
 
-    /// Trace id of the op behind a pending store I/O token, if any.
-    fn trace_of_token(&self, osd: usize, token: u64) -> Option<TraceId> {
-        self.osds[osd]
+    /// Trace ref of the op behind a pending store I/O token, if any.
+    fn trace_of_token(&self, osd: usize, token: u64) -> Option<TraceRef> {
+        self.osd(osd)
             .store_token_op(token)
             .and_then(|op| self.trace_of_store_op(op))
     }
 
-    /// Resolves the trace id an OSD input belongs to, *before* the input
+    /// Resolves the trace ref an OSD input belongs to, *before* the input
     /// is handled (the lookups consult OSD state the handler consumes).
-    fn trace_of_input(&self, osd: usize, input: &OsdInput) -> Option<TraceId> {
+    fn trace_of_input(&self, osd: usize, input: &OsdInput) -> Option<TraceRef> {
         self.trace.as_ref()?;
         match input {
-            OsdInput::Client { from, req } => Some(Self::tid_of(*from, req.op())),
-            OsdInput::Peer { from, msg } => self.trace_of_peer_msg(self.osds[osd].id.0, *from, msg),
+            OsdInput::Client { from, req } => Some(TraceRef::Tid(Self::tid_of(*from, req.op()))),
+            OsdInput::Peer { from, msg } => self.trace_of_peer_msg(self.osd(osd).id.0, *from, msg),
             OsdInput::StoreDurable { token } => self.trace_of_token(osd, *token),
-            OsdInput::ReadFromStore { token } => self.osds[osd]
+            OsdInput::ReadFromStore { token } => self
+                .osd(osd)
                 .deferred_read_op(*token)
-                .map(|(c, o)| Self::tid_of(c, o)),
-            OsdInput::SubmitDeferred { token } => self.osds[osd]
+                .map(|(c, o)| TraceRef::Tid(Self::tid_of(c, o))),
+            OsdInput::SubmitDeferred { token } => self
+                .osd(osd)
                 .deferred_submit_op(*token)
                 .and_then(|op| self.trace_of_store_op(op)),
             _ => None,
@@ -686,7 +793,7 @@ impl World {
         &mut self,
         ctx: &Ctx<'_, Ev>,
         osd: usize,
-        id: TraceId,
+        id: TraceRef,
         name: &'static str,
         nvm_static_ns: u64,
     ) {
@@ -698,33 +805,54 @@ impl World {
         let queued = ctx.queued_for();
         if !queued.is_zero() {
             let start = SimTime::from_nanos(now.nanos().saturating_sub(queued.as_nanos()));
-            tr.rec
-                .span(id, "queue", track, start, queued, Component::Queue);
+            tr.log.push((
+                now,
+                TraceOp::Span {
+                    id,
+                    name: "queue",
+                    track,
+                    start,
+                    dur: queued,
+                    comp: Component::Queue,
+                },
+            ));
         }
         let nvm_ns = nvm_static_ns + std::mem::take(&mut tr.pending_nvm);
         let service = ctx.spent_so_far().as_nanos().saturating_sub(nvm_ns);
-        tr.rec.span(
-            id,
-            name,
-            track,
+        tr.log.push((
             now,
-            SimDuration::nanos(service),
-            Component::Service,
-        );
-        if nvm_ns > 0 {
-            tr.rec.span(
+            TraceOp::Span {
                 id,
-                "nvm.append",
+                name,
                 track,
+                start: now,
+                dur: SimDuration::nanos(service),
+                comp: Component::Service,
+            },
+        ));
+        if nvm_ns > 0 {
+            tr.log.push((
                 now,
-                SimDuration::nanos(nvm_ns),
-                Component::Nvm,
-            );
+                TraceOp::Span {
+                    id,
+                    name: "nvm.append",
+                    track,
+                    start: now,
+                    dur: SimDuration::nanos(nvm_ns),
+                    comp: Component::Nvm,
+                },
+            ));
         }
     }
 
     /// Records queue-wait plus messenger CPU for a relay-thread hop.
-    fn trace_relay_work(&mut self, ctx: &Ctx<'_, Ev>, osd: usize, id: TraceId, name: &'static str) {
+    fn trace_relay_work(
+        &mut self,
+        ctx: &Ctx<'_, Ev>,
+        osd: usize,
+        id: TraceRef,
+        name: &'static str,
+    ) {
         let Some(tr) = self.trace.as_mut() else {
             return;
         };
@@ -733,39 +861,84 @@ impl World {
         let queued = ctx.queued_for();
         if !queued.is_zero() {
             let start = SimTime::from_nanos(now.nanos().saturating_sub(queued.as_nanos()));
-            tr.rec
-                .span(id, "queue", track, start, queued, Component::Queue);
+            tr.log.push((
+                now,
+                TraceOp::Span {
+                    id,
+                    name: "queue",
+                    track,
+                    start,
+                    dur: queued,
+                    comp: Component::Queue,
+                },
+            ));
         }
-        tr.rec
-            .span(id, name, track, now, ctx.spent_so_far(), Component::Service);
+        tr.log.push((
+            now,
+            TraceOp::Span {
+                id,
+                name,
+                track,
+                start: now,
+                dur: ctx.spent_so_far(),
+                comp: Component::Service,
+            },
+        ));
     }
 
-    /// Records a network-hop span (message in flight for `delay`).
+    /// Records a network-hop span (message in flight for `delay` from
+    /// `at`); `log_at` is the emitting event's own instant, which orders
+    /// the entry in the replay merge.
     fn trace_net(
         &mut self,
-        id: TraceId,
+        id: TraceRef,
         name: &'static str,
         track: Track,
         at: SimTime,
         delay: SimDuration,
+        log_at: SimTime,
     ) {
-        if let Some(tr) = self.trace.as_mut() {
-            tr.rec.span(id, name, track, at, delay, Component::Network);
-        }
+        self.trace_log(
+            log_at,
+            TraceOp::Span {
+                id,
+                name,
+                track,
+                start: at,
+                dur: delay,
+                comp: Component::Network,
+            },
+        );
     }
 
     /// Joins an outgoing `Repop`/`RepopNvm` to its parent op so the
-    /// replica-side and ack-side handlers can find the trace again.
-    fn trace_register_rep(&mut self, osd: usize, msg: &PeerMsg, cur: Option<TraceId>) {
-        let primary = self.osds[osd].id.0;
-        let (Some(id), Some(tr)) = (cur, self.trace.as_mut()) else {
+    /// replay can resolve replica-side and ack-side refs. The sender's
+    /// part logs the registration at send time; any consumer of the key
+    /// runs at least one network lookahead later in simulated time, so
+    /// the replay merge always sees the registration first.
+    fn trace_register_rep(
+        &mut self,
+        ctx: &Ctx<'_, Ev>,
+        osd: usize,
+        msg: &PeerMsg,
+        cur: Option<TraceRef>,
+    ) {
+        if self.trace.is_none() {
+            return;
+        }
+        let primary = self.osd(osd).id.0;
+        let Some(id) = cur else {
             return;
         };
         if let PeerMsg::Repop { seq, .. } | PeerMsg::RepopNvm { seq, .. } = msg {
-            let key = (primary, *seq);
-            if tr.rep_trace.insert(key, id).is_none() {
-                tr.rec.note_rep_key(id, key.0, key.1);
-            }
+            self.trace_log(
+                ctx.now(),
+                TraceOp::RegisterRep {
+                    primary,
+                    seq: *seq,
+                    id,
+                },
+            );
         }
     }
 
@@ -833,25 +1006,26 @@ impl World {
         Some((f.extra_delay, f.duplicated.then_some(f.dup_gap)))
     }
 
-    /// Publishes a new map: the driver's routing view changes and every
-    /// live OSD receives a `MapUpdate`. Map distribution is the monitor's
-    /// control plane and is modelled as reliable (data-plane faults come
-    /// from the plan's link faults on OSD/client traffic).
+    /// Publishes a new map: the monitor part's routing view changes and
+    /// every OSD receives a `MapUpdate` one network hop later. Map
+    /// distribution is the monitor's control plane and is modelled as
+    /// reliable (data-plane faults come from the plan's link faults on
+    /// OSD/client traffic). Liveness is the *receiving* part's business:
+    /// a dead OSD's `OsdIn` handler drops the update, so the monitor
+    /// part never needs another part's `dead` flags.
     fn install_map(&mut self, ctx: &mut Ctx<'_, Ev>, map: OsdMap) {
         self.map = map;
         for peer in 0..self.osds.len() {
-            if self.dead[peer] {
-                continue;
-            }
             let t = self.logic_thread(peer, GroupId(0));
             let input = OsdInput::MapUpdate(self.map.clone());
-            ctx.send(
+            ctx.send_after(
                 t,
                 Ev::OsdIn {
                     osd: peer,
                     input,
                     charge_mp: None,
                 },
+                self.net_hold,
             );
         }
     }
@@ -1021,16 +1195,16 @@ impl World {
         osd: usize,
         effects: &mut Vec<OsdEffect>,
         flush_batch: bool,
-        cur: Option<TraceId>,
+        cur: Option<TraceRef>,
     ) {
         let node = self.threads[osd].node;
         for effect in effects.drain(..) {
             match effect {
                 OsdEffect::SendPeer { to, msg } => {
                     // Register replication sub-ops while the originating
-                    // op's trace id is in hand (both branches need it: the
-                    // relay path re-resolves the id at MsgrPeerOut time).
-                    self.trace_register_rep(osd, &msg, cur);
+                    // op's trace ref is in hand (both branches need it: the
+                    // relay path re-resolves the ref at MsgrPeerOut time).
+                    self.trace_register_rep(ctx, osd, &msg, cur);
                     let off_priority =
                         self.mode.prioritized() && !self.threads[osd].msgr.contains(&thread);
                     if self.relay || off_priority {
@@ -1049,10 +1223,17 @@ impl World {
                         let delay = self.net_delay(node, ctx.now(), bytes) + extra;
                         // Outgoing direction: replication ops key on the
                         // sender (this OSD), acks on the receiver (`to`).
-                        if let Some(id) = self.trace_of_peer_msg(to.0, self.osds[osd].id, &msg) {
-                            self.trace_net(id, "net.peer", Track::Osd(to.0), ctx.now(), delay);
+                        if let Some(id) = self.trace_of_peer_msg(to.0, self.osd(osd).id, &msg) {
+                            self.trace_net(
+                                id,
+                                "net.peer",
+                                Track::Osd(to.0),
+                                ctx.now(),
+                                delay,
+                                ctx.now(),
+                            );
                         }
-                        let from = self.osds[osd].id;
+                        let from = self.osd(osd).id;
                         if let Some(gap) = dup {
                             self.dispatch_peer(
                                 ctx,
@@ -1095,14 +1276,17 @@ impl World {
                         };
                         let delay = self.net_delay(node, ctx.now(), msg.wire_bytes()) + extra;
                         let conn = to.0 as usize;
-                        self.trace_net(
-                            Self::tid_of(to, msg.op()),
-                            "net.reply",
-                            Track::Client(to.0),
-                            ctx.now(),
-                            delay,
-                        );
-                        let ct = self.conns[conn].thread;
+                        if self.trace.is_some() {
+                            self.trace_net(
+                                TraceRef::Tid(Self::tid_of(to, msg.op())),
+                                "net.reply",
+                                Track::Client(to.0),
+                                ctx.now(),
+                                delay,
+                                ctx.now(),
+                            );
+                        }
+                        let ct = self.conn_threads[conn];
                         if let Some(gap) = dup {
                             let reply = msg.clone();
                             ctx.send_after(ct, Ev::ClientDone { conn, reply }, delay + gap);
@@ -1218,14 +1402,14 @@ impl World {
                 }
                 OsdEffect::Heartbeat => {
                     let beacon = MonMsg::Heartbeat {
-                        osd: self.osds[osd].id,
+                        osd: self.osd(osd).id,
                     };
                     ctx.spend(MP, self.costs.send(beacon.wire_bytes(), self.lean));
                     // Heartbeats cross the node's egress link and can be cut
                     // off from the monitor by a `MON_NODE` partition.
                     if let Some((extra, dup)) = self.fate(ctx, node, node, MON_NODE) {
                         let delay = self.net_delay(node, ctx.now(), beacon.wire_bytes()) + extra;
-                        let mt = self.conns[0].thread;
+                        let mt = self.conn_threads[0];
                         ctx.send_after(mt, Ev::MonHeartbeat { osd }, delay);
                         if let Some(gap) = dup {
                             ctx.send_after(mt, Ev::MonHeartbeat { osd }, delay + gap);
@@ -1310,10 +1494,14 @@ impl World {
                 csum_redirects: 0,
             };
             self.conns[conn].outstanding.insert(op_raw, pending);
-            if let Some(tr) = self.trace.as_mut() {
-                let id = Self::tid_of(ClientId(conn as u32), OpId(op_raw));
-                tr.rec.begin(id, is_write, ctx.now());
-            }
+            let begin_id = Self::tid_of(ClientId(conn as u32), OpId(op_raw));
+            self.trace_log(
+                ctx.now(),
+                TraceOp::Begin {
+                    id: begin_id,
+                    is_write,
+                },
+            );
             if let Some(r) = self.retry {
                 let thread = self.conns[conn].thread;
                 let ev = Ev::ClientTimeout {
@@ -1390,21 +1578,22 @@ impl World {
             + extra;
         let from = self.conns[conn].id;
         if self.trace.is_some() {
-            let id = Self::tid_of(from, req.op());
+            let id = TraceRef::Tid(Self::tid_of(from, req.op()));
             let track = Track::Client(from.0);
             if !hold.is_zero() {
                 // Retry backoff: the op sits on the client before the
                 // retransmission leaves.
-                if let Some(tr) = self.trace.as_mut() {
-                    tr.rec.span(
+                self.trace_log(
+                    ctx.now(),
+                    TraceOp::Span {
                         id,
-                        "retry.backoff",
+                        name: "retry.backoff",
                         track,
-                        ctx.now(),
-                        hold,
-                        Component::Retry,
-                    );
-                }
+                        start: ctx.now(),
+                        dur: hold,
+                        comp: Component::Retry,
+                    },
+                );
             }
             self.trace_net(
                 id,
@@ -1412,6 +1601,7 @@ impl World {
                 track,
                 SimTime::from_nanos(ctx.now().nanos() + hold.as_nanos()),
                 delay.saturating_sub(hold),
+                ctx.now(),
             );
         }
         if self.relay {
@@ -1495,15 +1685,14 @@ impl rablock_sim::Handler<Ev> for World {
                             panic!("client observed error: {error}");
                         }
                         self.client_errors += 1;
-                        if let Some(tr) = self.trace.as_mut() {
-                            // Failed op: drop the trace without folding it
-                            // into the attribution histograms.
-                            if let Some(keys) = tr.rec.abandon(Self::tid_of(id, OpId(op))) {
-                                for k in keys {
-                                    tr.rep_trace.remove(&k);
-                                }
-                            }
-                        }
+                        // Failed op: the replay drops the trace without
+                        // folding it into the attribution histograms.
+                        self.trace_log(
+                            ctx.now(),
+                            TraceOp::Abandon {
+                                id: Self::tid_of(id, OpId(op)),
+                            },
+                        );
                     }
                     ok => {
                         let lat = ctx.now().duration_since(p.issued);
@@ -1514,14 +1703,12 @@ impl rablock_sim::Handler<Ev> for World {
                             self.read_lat.record(lat);
                             self.reads_done += 1;
                         }
-                        if let Some(tr) = self.trace.as_mut() {
-                            if let Some(fin) = tr.rec.finish(Self::tid_of(id, OpId(op)), ctx.now())
-                            {
-                                for k in fin.rep_keys {
-                                    tr.rep_trace.remove(&k);
-                                }
-                            }
-                        }
+                        self.trace_log(
+                            ctx.now(),
+                            TraceOp::Finish {
+                                id: Self::tid_of(id, OpId(op)),
+                            },
+                        );
                         if let Some(checker) = self.checker.as_mut() {
                             match (ok, &p.req) {
                                 (ClientReply::Done { .. }, _) if p.is_write => {
@@ -1547,7 +1734,8 @@ impl rablock_sim::Handler<Ev> for World {
             Ev::MsgrClientIn { osd, from, req } => {
                 ctx.spend(MP, self.costs.recv(req.wire_bytes(), self.lean));
                 if self.trace.is_some() {
-                    self.trace_relay_work(ctx, osd, Self::tid_of(from, req.op()), "mp.recv");
+                    let id = TraceRef::Tid(Self::tid_of(from, req.op()));
+                    self.trace_relay_work(ctx, osd, id, "mp.recv");
                 }
                 let group = req.oid().group();
                 self.dispatch_logic(
@@ -1561,7 +1749,7 @@ impl rablock_sim::Handler<Ev> for World {
             }
             Ev::MsgrPeerIn { osd, from, msg } => {
                 ctx.spend(MP, self.costs.recv(msg.wire_bytes(), self.lean));
-                if let Some(id) = self.trace_of_peer_msg(self.osds[osd].id.0, from, &msg) {
+                if let Some(id) = self.trace_of_peer_msg(self.osd(osd).id.0, from, &msg) {
                     self.trace_relay_work(ctx, osd, id, "mp.recv");
                 }
                 self.dispatch_peer(ctx, osd, from, msg, None, SimDuration::ZERO);
@@ -1575,12 +1763,19 @@ impl rablock_sim::Handler<Ev> for World {
                 };
                 let delay = self.net_delay(node, ctx.now(), reply.wire_bytes()) + extra;
                 if self.trace.is_some() {
-                    let id = Self::tid_of(to, reply.op());
+                    let id = TraceRef::Tid(Self::tid_of(to, reply.op()));
                     self.trace_relay_work(ctx, osd, id, "mp.send");
-                    self.trace_net(id, "net.reply", Track::Client(to.0), ctx.now(), delay);
+                    self.trace_net(
+                        id,
+                        "net.reply",
+                        Track::Client(to.0),
+                        ctx.now(),
+                        delay,
+                        ctx.now(),
+                    );
                 }
                 let conn = to.0 as usize;
-                let ct = self.conns[conn].thread;
+                let ct = self.conn_threads[conn];
                 if let Some(gap) = dup {
                     let reply = reply.clone();
                     ctx.send_after(ct, Ev::ClientDone { conn, reply }, delay + gap);
@@ -1597,12 +1792,19 @@ impl rablock_sim::Handler<Ev> for World {
                 };
                 let bytes = msg.wire_bytes();
                 let delay = self.net_delay(node, ctx.now(), bytes) + extra;
-                if let Some(id) = self.trace_of_peer_msg(to.0, self.osds[osd].id, &msg) {
+                if let Some(id) = self.trace_of_peer_msg(to.0, self.osd(osd).id, &msg) {
                     self.trace_relay_work(ctx, osd, id, "mp.send");
-                    self.trace_net(id, "net.peer", Track::Osd(to.0), ctx.now(), delay);
+                    self.trace_net(
+                        id,
+                        "net.peer",
+                        Track::Osd(to.0),
+                        ctx.now(),
+                        delay,
+                        ctx.now(),
+                    );
                 }
-                let t = self.frontend_thread(dest, self.osds[osd].id.0 as u64);
-                let from = self.osds[osd].id;
+                let t = self.frontend_thread(dest, self.osd(osd).id.0 as u64);
+                let from = self.osd(osd).id;
                 if let Some(gap) = dup {
                     let msg = msg.clone();
                     ctx.send_after(
@@ -1630,6 +1832,15 @@ impl rablock_sim::Handler<Ev> for World {
                 input,
                 charge_mp,
             } => {
+                // Track the monitor's broadcasts in this part's own map
+                // view (monotone by epoch) — even for dead OSDs, since the
+                // part-level view stands in for "what the network knows"
+                // when a restarted OSD asks for the current map.
+                if let OsdInput::MapUpdate(m) = &input {
+                    if m.epoch > self.map.epoch {
+                        self.map = m.clone();
+                    }
+                }
                 if self.dead[osd] {
                     return; // failed OSDs process nothing
                 }
@@ -1677,7 +1888,7 @@ impl rablock_sim::Handler<Ev> for World {
                 }
                 self.dead[osd] = false;
                 let torn = std::mem::replace(&mut self.crash_torn[osd], false);
-                let _ = self.osds[osd].restart_after_crash(torn);
+                let _ = self.osd_mut(osd).restart_after_crash(torn);
                 // Hand the restarted OSD the monitor's current view — it is
                 // usually marked down in it, so the mark-up broadcast that
                 // follows its first heartbeat triggers its log pull.
@@ -1749,10 +1960,10 @@ impl rablock_sim::Handler<Ev> for World {
                 // process is alive (a crashed OSD's SSD keeps decaying).
                 match media {
                     RotMedia::CosData => {
-                        self.osds[osd].inject_data_rot(lo, hi, flips, seed);
+                        self.osd_mut(osd).inject_data_rot(lo, hi, flips, seed);
                     }
                     RotMedia::NvmLog => {
-                        self.osds[osd].inject_nvm_rot(flips, seed);
+                        self.osd_mut(osd).inject_nvm_rot(flips, seed);
                     }
                 }
             }
@@ -1769,23 +1980,23 @@ impl rablock_sim::Handler<Ev> for World {
                         continue;
                     };
                     let osd = p.0 as usize;
-                    if self.dead[osd] {
-                        continue;
-                    }
                     // Scrub is maintenance traffic: under PTC it rides the
-                    // low-priority lane like the rest of recovery.
+                    // low-priority lane like the rest of recovery. The
+                    // request crosses the network (the driver part does not
+                    // own OSD liveness — a dead primary just drops it).
                     let t = if self.mode.prioritized() {
                         self.flusher_thread(osd, group.0 as u64)
                     } else {
                         self.logic_thread(osd, group)
                     };
-                    ctx.send(
+                    ctx.send_after(
                         t,
                         Ev::OsdIn {
                             osd,
                             input: OsdInput::ScrubStart { group, deep },
                             charge_mp: None,
                         },
+                        self.net_hold,
                     );
                 }
             }
@@ -1803,14 +2014,12 @@ impl rablock_sim::Handler<Ev> for World {
                             // Budget exhausted: surface the failure.
                             self.conns[conn].outstanding.remove(&op);
                             self.client_errors += 1;
-                            if let Some(tr) = self.trace.as_mut() {
-                                let id = Self::tid_of(ClientId(conn as u32), OpId(op));
-                                if let Some(keys) = tr.rec.abandon(id) {
-                                    for k in keys {
-                                        tr.rep_trace.remove(&k);
-                                    }
-                                }
-                            }
+                            self.trace_log(
+                                ctx.now(),
+                                TraceOp::Abandon {
+                                    id: Self::tid_of(ClientId(conn as u32), OpId(op)),
+                                },
+                            );
                             if self.pacing.is_none() {
                                 self.issue_client_ops(ctx, conn);
                             }
@@ -1822,9 +2031,12 @@ impl rablock_sim::Handler<Ev> for World {
                 let p = &self.conns[conn].outstanding[&op];
                 let redirect = p.csum_redirects;
                 let req = p.req.clone().expect("retrying client stores the request");
-                if let Some(tr) = self.trace.as_mut() {
-                    tr.rec.retry(Self::tid_of(ClientId(conn as u32), OpId(op)));
-                }
+                self.trace_log(
+                    ctx.now(),
+                    TraceOp::Retry {
+                        id: Self::tid_of(ClientId(conn as u32), OpId(op)),
+                    },
+                );
                 let next = attempt + 1;
                 let jitter = ctx.rng().unit_f64();
                 let backoff = SimDuration::nanos(r.backoff_nanos(attempt, jitter));
@@ -1853,17 +2065,21 @@ impl rablock_sim::Handler<Ev> for World {
                 if *remaining == 0 {
                     self.io_wait.remove(&(osd, token));
                     // Close the device-queue span: submit → last completion.
+                    let now = ctx.now();
                     let cur = if let Some(tr) = self.trace.as_mut() {
                         tr.pending_nvm = 0;
                         if let Some((id, submitted)) = tr.io_trace.remove(&(osd, token)) {
-                            tr.rec.span(
-                                id,
-                                "device",
-                                Track::Osd(osd as u32),
-                                submitted,
-                                ctx.now().saturating_since(submitted),
-                                Component::Device,
-                            );
+                            tr.log.push((
+                                now,
+                                TraceOp::Span {
+                                    id,
+                                    name: "device",
+                                    track: Track::Osd(osd as u32),
+                                    start: submitted,
+                                    dur: now.saturating_since(submitted),
+                                    comp: Component::Device,
+                                },
+                            ));
                             Some(id)
                         } else {
                             None
@@ -1919,7 +2135,7 @@ impl rablock_sim::Handler<Ev> for World {
                 if self.dead[osd] {
                     return;
                 }
-                let pending = self.osds[osd].pending_groups();
+                let pending = self.osd(osd).pending_groups();
                 for group in pending {
                     self.handle_with_scratch(
                         ctx,
@@ -1936,12 +2152,27 @@ impl rablock_sim::Handler<Ev> for World {
 }
 
 /// A fully wired simulated cluster.
+///
+/// The simulation is partitioned into `nodes + 1` engine domains: domain 0
+/// holds the clients, the monitor and the driver's control events; domain
+/// `1 + n` holds storage node `n` (its cores, threads, NVMe device and
+/// OSDs). `parts[d]` is the handler state of domain `d`. The partition is
+/// fixed at construction — [`ClusterSimConfig::shards`] only picks how many
+/// OS threads execute the domains, so results are byte-identical for every
+/// shard count.
 pub struct ClusterSim {
     sim: Simulation<Ev>,
-    world: World,
+    /// One handler part per engine domain (see type-level docs).
+    parts: Vec<World>,
     node_cores: Vec<std::ops::Range<usize>>,
     class_threads: BTreeMap<&'static str, Vec<ThreadId>>,
-    conn_count: usize,
+    osds_per_node: usize,
+    osd_count: usize,
+    /// Slow-op ring capacity for the replayed trace recorder.
+    slow_op_ring: usize,
+    /// Measurement-window start for the trace replay: `run` sets it after
+    /// warmup so warmup spans do not pollute attribution.
+    trace_reset_at: Option<SimTime>,
     /// Sampling cadence for the telemetry time-series (`None`: disabled).
     telemetry_window: Option<SimDuration>,
     /// Windowed samples collected during the measured phase.
@@ -1983,6 +2214,16 @@ impl ClusterSim {
         let mut sim: Simulation<Ev> =
             Simulation::with_scheduler(cfg.seed, cfg.scheduler, queue_hint);
         sim.set_context_switch_cost(cfg.ctx_switch);
+        // Partition: domain 0 = clients + monitor + driver control, domain
+        // 1 + n = storage node n. Must happen before any entity is added.
+        sim.set_domains(cfg.nodes as usize + 1);
+        // Conservative lookahead: every cross-domain message rides a network
+        // link, so the one-way link latency bounds how far ahead any domain
+        // can safely run. Test overrides may shrink the window (torture
+        // tests force 1 ns) but never widen it past the physical floor.
+        let net_hold = cfg.link.lookahead();
+        sim.set_lookahead(cfg.lookahead.unwrap_or(net_hold).min(net_hold));
+        sim.set_workers(cfg.shards.max(1));
         let mut map = OsdMap::new(cfg.nodes, cfg.osds_per_node, cfg.pg_count, cfg.replication);
         // Spares for grow scenarios start weighted out of placement. Applied
         // before any map is distributed, so no epoch bump is needed — every
@@ -1997,7 +2238,7 @@ impl ClusterSim {
         let mut osds = Vec::new();
 
         for node in 0..cfg.nodes as usize {
-            let cores = sim.add_cores(cfg.cores_per_node);
+            let cores = sim.add_cores_in(1 + node, cfg.cores_per_node);
             node_cores.push(cores.clone());
             let all: Vec<_> = cores.clone().collect();
             // Dedicated cores for priority threads come off the front.
@@ -2008,20 +2249,26 @@ impl ClusterSim {
                     PipelineMode::Original | PipelineMode::Cos => {
                         let msgr: Vec<_> = (0..cfg.messenger_threads)
                             .map(|i| {
-                                sim.add_thread(ThreadCfg::new(
-                                    format!("n{node}.osd{osd_idx}.msgr{i}"),
-                                    all.clone(),
-                                    Priority::Normal,
-                                ))
+                                sim.add_thread_in(
+                                    1 + node,
+                                    ThreadCfg::new(
+                                        format!("n{node}.osd{osd_idx}.msgr{i}"),
+                                        all.clone(),
+                                        Priority::Normal,
+                                    ),
+                                )
                             })
                             .collect();
                         let logic: Vec<_> = (0..cfg.pg_threads)
                             .map(|i| {
-                                sim.add_thread(ThreadCfg::new(
-                                    format!("n{node}.osd{osd_idx}.pg{i}"),
-                                    all.clone(),
-                                    Priority::Normal,
-                                ))
+                                sim.add_thread_in(
+                                    1 + node,
+                                    ThreadCfg::new(
+                                        format!("n{node}.osd{osd_idx}.pg{i}"),
+                                        all.clone(),
+                                        Priority::Normal,
+                                    ),
+                                )
                             })
                             .collect();
                         class_threads.entry("msgr").or_default().extend(&msgr);
@@ -2031,11 +2278,14 @@ impl ClusterSim {
                     PipelineMode::RtcV1 | PipelineMode::RtcV2 | PipelineMode::RtcV3 => {
                         let rtc: Vec<_> = (0..cfg.rtc_threads)
                             .map(|i| {
-                                sim.add_thread(ThreadCfg::new(
-                                    format!("n{node}.osd{osd_idx}.rtc{i}"),
-                                    all.clone(),
-                                    Priority::Normal,
-                                ))
+                                sim.add_thread_in(
+                                    1 + node,
+                                    ThreadCfg::new(
+                                        format!("n{node}.osd{osd_idx}.rtc{i}"),
+                                        all.clone(),
+                                        Priority::Normal,
+                                    ),
+                                )
                             })
                             .collect();
                         class_threads.entry("rtc").or_default().extend(&rtc);
@@ -2050,11 +2300,14 @@ impl ClusterSim {
                                     core < cores.end,
                                     "not enough cores on node {node} to pin priority threads"
                                 );
-                                sim.add_thread(ThreadCfg::new(
-                                    format!("n{node}.osd{osd_idx}.prio{i}"),
-                                    vec![core],
-                                    Priority::High,
-                                ))
+                                sim.add_thread_in(
+                                    1 + node,
+                                    ThreadCfg::new(
+                                        format!("n{node}.osd{osd_idx}.prio{i}"),
+                                        vec![core],
+                                        Priority::High,
+                                    ),
+                                )
                             })
                             .collect();
                         class_threads.entry("priority").or_default().extend(&prio);
@@ -2086,11 +2339,14 @@ impl ClusterSim {
                     aff.extend(cores.start..next_dedicated);
                     let flusher: Vec<_> = (0..cfg.non_priority_threads)
                         .map(|i| {
-                            sim.add_thread(ThreadCfg::new(
-                                format!("n{node}.osd{osd_idx}.nprio{i}"),
-                                aff.clone(),
-                                Priority::Normal,
-                            ))
+                            sim.add_thread_in(
+                                1 + node,
+                                ThreadCfg::new(
+                                    format!("n{node}.osd{osd_idx}.nprio{i}"),
+                                    aff.clone(),
+                                    Priority::Normal,
+                                ),
+                            )
                         })
                         .collect();
                     class_threads
@@ -2103,11 +2359,14 @@ impl ClusterSim {
             // Maintenance threads: low priority on the node's shared cores.
             for local in 0..cfg.osds_per_node as usize {
                 let osd_idx = node * cfg.osds_per_node as usize + local;
-                let maint = sim.add_thread(ThreadCfg::new(
-                    format!("n{node}.osd{osd_idx}.maint"),
-                    all.clone(),
-                    Priority::Low,
-                ));
+                let maint = sim.add_thread_in(
+                    1 + node,
+                    ThreadCfg::new(
+                        format!("n{node}.osd{osd_idx}.maint"),
+                        all.clone(),
+                        Priority::Low,
+                    ),
+                );
                 class_threads.entry("maint").or_default().push(maint);
                 threads[osd_idx].maint = maint;
             }
@@ -2117,10 +2376,13 @@ impl ClusterSim {
         // physical SSD across OSDs; per-OSD devices with proportional
         // capability are equivalent for queueing purposes).
         for t in threads.iter_mut() {
-            let dev = sim.add_device(Device::new(
-                format!("nvme.osd{}", osds.len()),
-                DeviceProfile::nvme_pm1725a(cfg.ssd_state),
-            ));
+            let dev = sim.add_device_in(
+                1 + t.node,
+                Device::new(
+                    format!("nvme.osd{}", osds.len()),
+                    DeviceProfile::nvme_pm1725a(cfg.ssd_state),
+                ),
+            );
             t.device = dev;
         }
 
@@ -2158,7 +2420,7 @@ impl ClusterSim {
             });
         }
 
-        let links = (0..cfg.nodes as usize + 1)
+        let links: Vec<Link> = (0..cfg.nodes as usize + 1)
             .map(|_| cfg.link.clone())
             .collect();
 
@@ -2170,47 +2432,81 @@ impl ClusterSim {
             cfg.flap_holdout.as_nanos(),
         );
 
-        let world = World {
-            mode: cfg.mode,
-            relay: matches!(cfg.mode, PipelineMode::Original | PipelineMode::Cos),
-            lean: cfg.mode.prioritized(),
-            costs: cfg.costs.clone(),
-            map,
-            osds,
-            threads,
-            conns,
-            links,
-            io_wait: HashMap::new(),
-            dead: vec![false; (cfg.nodes * cfg.osds_per_node) as usize],
-            rtc_gate: HashMap::new(),
-            write_lat: LatencyRecorder::default(),
-            read_lat: LatencyRecorder::default(),
-            writes_done: 0,
-            reads_done: 0,
-            queue_depth: cfg.queue_depth,
-            pacing: cfg.pacing,
-            flush_sweep: cfg.flush_sweep,
-            pg_count: cfg.pg_count,
-            faults: cfg.faults.clone(),
-            monitor,
-            retry: cfg.retry,
-            heartbeat_period: cfg.heartbeat_period,
-            crash_torn: vec![false; (cfg.nodes * cfg.osds_per_node) as usize],
-            churn: cfg.churn.clone(),
-            checker: cfg.check_history.then(HistoryChecker::new),
-            client_errors: 0,
-            fx_scratch: Vec::new(),
-            payload_cache: HashMap::new(),
-            trace: cfg.trace.then(|| Box::new(Tracing::new(cfg.slow_op_ring))),
-            scrub_interval: cfg.scrub_interval,
-            scrub_deep_every: cfg.scrub_deep_every,
-        };
+        // One handler part per domain. Part 0 owns the connections, the real
+        // monitor, the checker and the client-side counters; part 1 + n owns
+        // node n's OSDs. Immutable wiring (threads, links, costs, fault
+        // plans) is cloned into every part so handlers never reach across.
+        let total_osds = (cfg.nodes * cfg.osds_per_node) as usize;
+        let osds_per_node = cfg.osds_per_node as usize;
+        let conn_threads: Vec<ThreadId> = conns.iter().map(|c| c.thread).collect();
+        let mut osd_slots: Vec<Option<Osd>> = osds.into_iter().map(Some).collect();
+        let mut conns_slot = Some(conns);
+        let mut monitor_slot = Some(monitor);
+        let parts: Vec<World> = (0..cfg.nodes as usize + 1)
+            .map(|part| World {
+                part: part as u32,
+                mode: cfg.mode,
+                relay: matches!(cfg.mode, PipelineMode::Original | PipelineMode::Cos),
+                lean: cfg.mode.prioritized(),
+                costs: cfg.costs.clone(),
+                map: map.clone(),
+                osds: (0..total_osds)
+                    .map(|i| {
+                        if part >= 1 && i / osds_per_node == part - 1 {
+                            osd_slots[i].take()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+                threads: threads.clone(),
+                conns: if part == 0 {
+                    conns_slot.take().unwrap()
+                } else {
+                    Vec::new()
+                },
+                conn_threads: conn_threads.clone(),
+                links: links.clone(),
+                net_hold,
+                io_wait: HashMap::new(),
+                dead: vec![false; total_osds],
+                rtc_gate: HashMap::new(),
+                write_lat: LatencyRecorder::default(),
+                read_lat: LatencyRecorder::default(),
+                writes_done: 0,
+                reads_done: 0,
+                queue_depth: cfg.queue_depth,
+                pacing: cfg.pacing,
+                flush_sweep: cfg.flush_sweep,
+                pg_count: cfg.pg_count,
+                faults: cfg.faults.clone(),
+                monitor: if part == 0 {
+                    monitor_slot.take().unwrap()
+                } else {
+                    Monitor::new(map.clone())
+                },
+                retry: cfg.retry,
+                heartbeat_period: cfg.heartbeat_period,
+                crash_torn: vec![false; total_osds],
+                churn: cfg.churn.clone(),
+                checker: if part == 0 {
+                    cfg.check_history.then(HistoryChecker::new)
+                } else {
+                    None
+                },
+                client_errors: 0,
+                fx_scratch: Vec::new(),
+                payload_cache: HashMap::new(),
+                trace: cfg.trace.then(|| Box::new(PartTrace::new())),
+                scrub_interval: cfg.scrub_interval,
+                scrub_deep_every: cfg.scrub_deep_every,
+            })
+            .collect();
 
         // Telemetry bookkeeping: which threads belong to each OSD (CPU%
         // columns) and the column schema. Thread classes and OSD count are
         // fixed at construction, so the schema is stable for the run.
-        let osd_threads: Vec<Vec<ThreadId>> = world
-            .threads
+        let osd_threads: Vec<Vec<ThreadId>> = threads
             .iter()
             .map(|t| {
                 let mut set: std::collections::BTreeSet<ThreadId> =
@@ -2242,10 +2538,13 @@ impl ClusterSim {
 
         let mut this = ClusterSim {
             sim,
-            world,
+            parts,
             node_cores,
             class_threads,
-            conn_count,
+            osds_per_node,
+            osd_count: total_osds,
+            slow_op_ring: cfg.slow_op_ring,
+            trace_reset_at: None,
             telemetry_window: cfg.telemetry_window,
             timeseries: TimeSeries::new(cols),
             osd_threads,
@@ -2260,13 +2559,12 @@ impl ClusterSim {
         };
         this.sampler.osd_busy = vec![0; this.osd_threads.len()];
         // Kick every connection at t=0 and start flush sweeps.
-        for conn in 0..this.conn_count {
-            let t = this.world.conns[conn].thread;
+        for (conn, &t) in conn_threads.iter().enumerate() {
             this.sim.schedule(SimTime::ZERO, t, Ev::ClientKick { conn });
         }
-        if this.world.mode.decoupled() {
-            for osd in 0..this.world.osds.len() {
-                let t = this.world.threads[osd].flusher[0];
+        if cfg.mode.decoupled() {
+            for (osd, th) in threads.iter().enumerate().take(total_osds) {
+                let t = th.flusher[0];
                 this.sim
                     .schedule(SimTime::ZERO + cfg.flush_sweep, t, Ev::FlushSweep { osd });
             }
@@ -2274,25 +2572,35 @@ impl ClusterSim {
         // Heartbeat detection: stagger the per-OSD beacons so they do not
         // synchronize, and sweep liveness on the monitor every period.
         if let Some(period) = cfg.heartbeat_period {
-            for osd in 0..this.world.osds.len() {
-                let t = this.world.threads[osd].msgr[0];
+            for (osd, th) in threads.iter().enumerate().take(total_osds) {
+                let t = th.msgr[0];
                 let stagger = SimDuration::nanos(1 + osd as u64 * period.as_nanos() / 7);
                 this.sim
                     .schedule(SimTime::ZERO + stagger, t, Ev::HeartbeatTick { osd });
             }
-            let mt = this.world.conns[0].thread;
+            let mt = conn_threads[0];
             this.sim.schedule(SimTime::ZERO + period, mt, Ev::MonSweep);
         }
         // Scheduled (non-probabilistic) faults from the plan's timeline.
-        let driver_thread = this.world.conns[0].thread;
+        // Crash/restart/rot events mutate OSD state, so they fire on the
+        // target OSD's own maintenance thread (its home domain); only the
+        // monitor/churn control events stay on the part-0 driver thread.
+        let driver_thread = conn_threads[0];
         for (at, fault) in cfg.faults.timeline() {
-            let ev = match fault {
-                FaultEvent::Crash { process, torn_tail } => Ev::CrashOsd {
-                    osd: process,
-                    torn_tail,
-                },
-                FaultEvent::Restart { process } => Ev::RestartOsd { osd: process },
-                FaultEvent::GraySet { device, multiplier } => Ev::GraySet { device, multiplier },
+            let (thread, ev) = match fault {
+                FaultEvent::Crash { process, torn_tail } => (
+                    threads[process].maint,
+                    Ev::CrashOsd {
+                        osd: process,
+                        torn_tail,
+                    },
+                ),
+                FaultEvent::Restart { process } => {
+                    (threads[process].maint, Ev::RestartOsd { osd: process })
+                }
+                FaultEvent::GraySet { device, multiplier } => {
+                    (threads[device].maint, Ev::GraySet { device, multiplier })
+                }
                 FaultEvent::BitRot {
                     process,
                     object_lo,
@@ -2311,17 +2619,20 @@ impl ClusterSim {
                     if media == RotMedia::NvmLog {
                         seed = seed.wrapping_add(0x632B_E59B_D9B4_E019);
                     }
-                    Ev::BitRot {
-                        osd: process,
-                        lo: object_lo,
-                        hi: object_hi,
-                        flips,
-                        media,
-                        seed,
-                    }
+                    (
+                        threads[process].maint,
+                        Ev::BitRot {
+                            osd: process,
+                            lo: object_lo,
+                            hi: object_hi,
+                            flips,
+                            media,
+                            seed,
+                        },
+                    )
                 }
             };
-            this.sim.schedule(at, driver_thread, ev);
+            this.sim.schedule(at, thread, ev);
         }
         // Background scrub cadence, staggered off t=0 so the first sweep
         // never coincides with client kick-off.
@@ -2340,21 +2651,46 @@ impl ClusterSim {
         this
     }
 
+    /// The part (domain) that owns OSD `osd`'s state.
+    fn part_of_osd(&self, osd: usize) -> usize {
+        1 + osd / self.osds_per_node
+    }
+
+    /// Immutable access to one OSD (inspection helpers; the hot path uses
+    /// `World::osd` inside the owning part).
+    fn osd_ref(&self, osd: usize) -> &Osd {
+        self.parts[self.part_of_osd(osd)].osds[osd]
+            .as_ref()
+            .expect("OSD missing from its home part")
+    }
+
+    fn osd_mut_ref(&mut self, osd: usize) -> &mut Osd {
+        let part = self.part_of_osd(osd);
+        self.parts[part].osds[osd]
+            .as_mut()
+            .expect("OSD missing from its home part")
+    }
+
+    /// Whether the owning part considers `osd` crashed.
+    fn is_dead(&self, osd: usize) -> bool {
+        self.parts[self.part_of_osd(osd)].dead[osd]
+    }
+
     /// Creates every object of `objects` on all replicas directly in the
     /// backends (instant provisioning, like creating RBD images before the
     /// measured run).
     pub fn prefill(&mut self, objects: &[(ObjectId, u64)]) {
         for &(oid, size) in objects {
-            let set = self.world.map.acting_set(oid.group());
+            let set = self.parts[0].map.acting_set(oid.group());
             for osd in set {
-                self.world.osds[osd.0 as usize].bootstrap_object(oid, size);
+                self.osd_mut_ref(osd.0 as usize).bootstrap_object(oid, size);
             }
         }
     }
 
     /// The cluster map (object routing in workload builders).
     pub fn map(&self) -> &OsdMap {
-        &self.world.map
+        &self.parts[0].map
     }
 
     /// Schedules an OSD process kill at absolute time `at` (§IV-A-4
@@ -2363,9 +2699,9 @@ impl ClusterSim {
     /// map distribution, survivor flush-but-keep, and replacement log-pull
     /// all run inside the simulation.
     pub fn fail_osd(&mut self, at: rablock_sim::SimTime, osd: OsdId) {
-        // Deliver on the first client thread — the handler only mutates
-        // driver state.
-        let t = self.world.conns[0].thread;
+        // Deliver on the victim's own maintenance thread — the handler
+        // mutates that OSD's part, so it must run in its home domain.
+        let t = self.parts[0].threads[osd.0 as usize].maint;
         self.sim.schedule(
             at,
             t,
@@ -2378,12 +2714,12 @@ impl ClusterSim {
 
     /// Client operations surfaced as errors so far (fault-injection runs).
     pub fn client_errors(&self) -> u64 {
-        self.world.client_errors
+        self.parts[0].client_errors
     }
 
     /// Rejoins the monitor's flap dampening has refused so far.
     pub fn flaps_damped(&self) -> u64 {
-        self.world.monitor.flaps_damped()
+        self.parts[0].monitor.flaps_damped()
     }
 
     /// Per-OSD logical fill: the bytes of every extent a live,
@@ -2392,17 +2728,15 @@ impl ClusterSim {
     /// drained/dead OSDs are excluded (their stale extents are handoff
     /// residue, not load).
     pub fn osd_fill_bytes(&self) -> Vec<(OsdId, u64)> {
-        let live: Vec<usize> = (0..self.world.osds.len())
-            .filter(|&i| !self.world.dead[i])
-            .collect();
-        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+        let live: Vec<usize> = (0..self.osd_count).filter(|&i| !self.is_dead(i)).collect();
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.osd_ref(i).map().epoch) else {
             return Vec::new();
         };
-        let map = self.world.osds[holder].map().clone();
+        let map = self.osd_ref(holder).map().clone();
         let mut fills = Vec::new();
         for o in map.in_osds() {
             let i = o.id.0 as usize;
-            if self.world.dead[i] {
+            if self.is_dead(i) {
                 continue;
             }
             let mut total = 0u64;
@@ -2411,7 +2745,8 @@ impl ClusterSim {
                 if !map.acting_set(group).contains(&o.id) {
                     continue;
                 }
-                total += self.world.osds[i]
+                total += self
+                    .osd_ref(i)
                     .group_extent_map(group)
                     .iter()
                     .map(|&(_, len)| len)
@@ -2432,12 +2767,12 @@ impl ClusterSim {
 
     /// The history checker, when `check_history` armed it.
     pub fn checker(&self) -> Option<&HistoryChecker> {
-        self.world.checker.as_ref()
+        self.parts[0].checker.as_ref()
     }
 
     /// Pending op-log entries of one group on one OSD (recovery tests).
     pub fn log_pending(&self, osd: OsdId, group: GroupId) -> usize {
-        self.world.osds[osd.0 as usize].log_pending(group)
+        self.osd_ref(osd.0 as usize).log_pending(group)
     }
 
     /// True when no live primary has recovery in flight and every group
@@ -2445,18 +2780,16 @@ impl ClusterSim {
     /// runs assert this: all peering rounds finished and every peer acked
     /// its last push.
     pub fn all_pgs_active(&self) -> bool {
-        let live: Vec<usize> = (0..self.world.osds.len())
-            .filter(|&i| !self.world.dead[i])
-            .collect();
-        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+        let live: Vec<usize> = (0..self.osd_count).filter(|&i| !self.is_dead(i)).collect();
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.osd_ref(i).map().epoch) else {
             return true;
         };
-        let map = self.world.osds[holder].map().clone();
+        let map = self.osd_ref(holder).map().clone();
         (0..map.pg_count).all(|g| {
             let group = GroupId(g);
             match map.try_primary(group) {
-                Some(p) if !self.world.dead[p.0 as usize] => {
-                    self.world.osds[p.0 as usize].pg_state(group) == PgState::Active
+                Some(p) if !self.is_dead(p.0 as usize) => {
+                    self.osd_ref(p.0 as usize).pg_state(group) == PgState::Active
                 }
                 _ => true,
             }
@@ -2471,23 +2804,21 @@ impl ClusterSim {
     /// run finished.
     pub fn replica_divergence(&mut self) -> Vec<String> {
         let mut out = Vec::new();
-        let live: Vec<usize> = (0..self.world.osds.len())
-            .filter(|&i| !self.world.dead[i])
-            .collect();
+        let live: Vec<usize> = (0..self.osd_count).filter(|&i| !self.is_dead(i)).collect();
         for &i in &live {
-            self.world.osds[i].sync_backend_with_log();
+            self.osd_mut_ref(i).sync_backend_with_log();
         }
-        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.osd_ref(i).map().epoch) else {
             return out;
         };
-        let map = self.world.osds[holder].map().clone();
+        let map = self.osd_ref(holder).map().clone();
         for g in 0..map.pg_count {
             let group = GroupId(g);
             let members: Vec<usize> = map
                 .acting_set(group)
                 .into_iter()
                 .map(|o| o.0 as usize)
-                .filter(|&i| !self.world.dead[i])
+                .filter(|&i| !self.is_dead(i))
                 .collect();
             if members.len() < 2 {
                 continue;
@@ -2495,22 +2826,21 @@ impl ClusterSim {
             // Union of the extents any member tracks for the group.
             let mut extents: BTreeMap<u64, (ObjectId, u64)> = BTreeMap::new();
             for &m in &members {
-                for (oid, len) in self.world.osds[m].group_extent_map(group) {
+                for (oid, len) in self.osd_ref(m).group_extent_map(group) {
                     let e = extents.entry(oid.raw()).or_insert((oid, len));
                     e.1 = e.1.max(len);
                 }
             }
             let extents: Vec<(ObjectId, u64)> = extents.into_values().collect();
-            let listings: Vec<ReplicaListing> = members
-                .iter()
-                .map(|&m| {
-                    let entries = extents
-                        .iter()
-                        .map(|&(oid, len)| (oid.raw(), self.world.osds[m].object_digest(oid, len)))
-                        .collect();
-                    (format!("osd{m}"), entries)
-                })
-                .collect();
+            let mut listings: Vec<ReplicaListing> = Vec::with_capacity(members.len());
+            for &m in &members {
+                let osd = self.osd_mut_ref(m);
+                let entries = extents
+                    .iter()
+                    .map(|&(oid, len)| (oid.raw(), osd.object_digest(oid, len)))
+                    .collect();
+                listings.push((format!("osd{m}"), entries));
+            }
             for d in crate::invariants::diff_replica_digests(&listings) {
                 out.push(format!("group {}: {d}", group.0));
             }
@@ -2527,23 +2857,21 @@ impl ClusterSim {
     /// after the run finished.
     pub fn replica_digest_inconsistency(&mut self) -> Vec<String> {
         let mut out = Vec::new();
-        let live: Vec<usize> = (0..self.world.osds.len())
-            .filter(|&i| !self.world.dead[i])
-            .collect();
+        let live: Vec<usize> = (0..self.osd_count).filter(|&i| !self.is_dead(i)).collect();
         for &i in &live {
-            self.world.osds[i].sync_backend_with_log();
+            self.osd_mut_ref(i).sync_backend_with_log();
         }
-        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.osd_ref(i).map().epoch) else {
             return out;
         };
-        let map = self.world.osds[holder].map().clone();
+        let map = self.osd_ref(holder).map().clone();
         for g in 0..map.pg_count {
             let group = GroupId(g);
             let members: Vec<usize> = map
                 .acting_set(group)
                 .into_iter()
                 .map(|o| o.0 as usize)
-                .filter(|&i| !self.world.dead[i])
+                .filter(|&i| !self.is_dead(i))
                 .collect();
             if members.len() < 2 {
                 continue;
@@ -2551,11 +2879,12 @@ impl ClusterSim {
             let listings: Vec<crate::invariants::DigestListing> = members
                 .iter()
                 .map(|&m| {
-                    let entries = self.world.osds[m]
+                    let entries = self
+                        .osd_ref(m)
                         .group_extent_map(group)
                         .into_iter()
                         .filter_map(|(oid, _)| {
-                            self.world.osds[m]
+                            self.osd_ref(m)
                                 .object_csum_digest(oid)
                                 .map(|(size, digest)| (oid.raw(), size, digest))
                         })
@@ -2573,7 +2902,7 @@ impl ClusterSim {
     /// Raw object bytes as served by one OSD's backend (diagnostics; call
     /// after [`ClusterSim::replica_divergence`] so logs are synced).
     pub fn object_bytes(&mut self, osd: usize, oid: ObjectId, len: u64) -> Option<Vec<u8>> {
-        self.world.osds[osd].debug_read(oid, len)
+        self.osd_mut_ref(osd).debug_read(oid, len)
     }
 
     /// Test hook: flip data bits on one OSD's backend right now, outside the
@@ -2582,13 +2911,13 @@ impl ClusterSim {
     /// [`rablock_sim::BitRotSchedule`] entries for scheduled rot — this is
     /// for tests that need rot at a precise point between runs.
     pub fn inject_data_rot(&mut self, osd: usize, lo: u64, hi: u64, flips: u32, seed: u64) -> u64 {
-        self.world.osds[osd].inject_data_rot(lo, hi, flips, seed)
+        self.osd_mut_ref(osd).inject_data_rot(lo, hi, flips, seed)
     }
 
     /// Per-OSD scrub/read-verification counters `(errors_found,
     /// errors_repaired, read_checksum_errors)` — test observability.
     pub fn integrity_counters(&self, osd: usize) -> (u64, u64, u64) {
-        let o = &self.world.osds[osd];
+        let o = self.osd_ref(osd);
         (
             o.scrub_errors_found,
             o.scrub_errors_repaired,
@@ -2599,24 +2928,22 @@ impl ClusterSim {
     /// One line per non-Active PG at its current primary, plus its count of
     /// outstanding recovery pushes (diagnostics for stuck recovery).
     pub fn stuck_pgs(&self) -> Vec<String> {
-        let live: Vec<usize> = (0..self.world.osds.len())
-            .filter(|&i| !self.world.dead[i])
-            .collect();
-        let Some(&holder) = live.iter().max_by_key(|&&i| self.world.osds[i].map().epoch) else {
+        let live: Vec<usize> = (0..self.osd_count).filter(|&i| !self.is_dead(i)).collect();
+        let Some(&holder) = live.iter().max_by_key(|&&i| self.osd_ref(i).map().epoch) else {
             return Vec::new();
         };
-        let map = self.world.osds[holder].map().clone();
+        let map = self.osd_ref(holder).map().clone();
         let mut out = Vec::new();
         for g in 0..map.pg_count {
             let group = GroupId(g);
             if let Some(p) = map.try_primary(group) {
                 let i = p.0 as usize;
-                if !self.world.dead[i] {
-                    let state = self.world.osds[i].pg_state(group);
+                if !self.is_dead(i) {
+                    let state = self.osd_ref(i).pg_state(group);
                     if state != PgState::Active {
                         out.push(format!(
                             "group {g}: {state:?} at osd{i}, {} objects outstanding",
-                            self.world.osds[i].degraded_objects(),
+                            self.osd_ref(i).degraded_objects(),
                         ));
                     }
                 }
@@ -2633,22 +2960,27 @@ impl ClusterSim {
     /// every fingerprint) is unchanged.
     pub fn run(&mut self, warmup: SimDuration, measure: SimDuration) -> SimReport {
         let t0 = SimTime::ZERO + warmup;
-        self.sim.run_until(&mut self.world, t0);
+        self.sim.run_until_parts(&mut self.parts, t0);
         // Reset every counter.
-        self.sim.metrics_mut().reset_window(t0);
+        self.sim.reset_metrics_window(t0);
         for i in 0..self.sim.device_count() {
             self.sim.device_mut(i).reset_stats();
         }
-        for osd in &mut self.world.osds {
-            osd.backend_mut().reset_stats();
+        for part in &mut self.parts {
+            for osd in part.osds.iter_mut().flatten() {
+                osd.backend_mut().reset_stats();
+            }
         }
-        self.world.write_lat = LatencyRecorder::default();
-        self.world.read_lat = LatencyRecorder::default();
-        self.world.writes_done = 0;
-        self.world.reads_done = 0;
-        if let Some(tr) = self.world.trace.as_mut() {
-            // Drop warmup aggregates; in-flight op traces stay open.
-            tr.rec.reset_window();
+        let w0 = &mut self.parts[0];
+        w0.write_lat = LatencyRecorder::default();
+        w0.read_lat = LatencyRecorder::default();
+        w0.writes_done = 0;
+        w0.reads_done = 0;
+        if w0.trace.is_some() {
+            // Warmup entries stay in the per-part logs; the replay resets
+            // its aggregation window when it crosses t0 instead (in-flight
+            // op traces stay open, matching the old inline recorder).
+            self.trace_reset_at = Some(t0);
         }
         self.timeseries.clear();
         self.rebaseline_sampler();
@@ -2657,14 +2989,14 @@ impl ClusterSim {
         if let Some(win) = self.telemetry_window {
             let mut next = t0 + win;
             while next < t1 {
-                self.sim.run_until(&mut self.world, next);
+                self.sim.run_until_parts(&mut self.parts, next);
                 self.sample_window();
                 next += win;
             }
-            self.sim.run_until(&mut self.world, t1);
+            self.sim.run_until_parts(&mut self.parts, t1);
             self.sample_window();
         } else {
-            self.sim.run_until(&mut self.world, t1);
+            self.sim.run_until_parts(&mut self.parts, t1);
         }
         self.report(measure)
     }
@@ -2672,15 +3004,14 @@ impl ClusterSim {
     /// Re-anchors the sampler's counter snapshots to "now" (post-reset).
     fn rebaseline_sampler(&mut self) {
         self.sampler.last = self.sim.now();
-        self.sampler.writes = self.world.writes_done;
-        self.sampler.reads = self.world.reads_done;
-        self.sampler.throttled = self
-            .world
-            .osds
-            .iter()
-            .map(|o| o.backfill_throttled_nanos)
+        self.sampler.writes = self.parts[0].writes_done;
+        self.sampler.reads = self.parts[0].reads_done;
+        self.sampler.throttled = (0..self.osd_count)
+            .map(|i| self.osd_ref(i).backfill_throttled_nanos)
             .sum();
-        self.sampler.scrub_errors = self.world.osds.iter().map(|o| o.scrub_errors_found).sum();
+        self.sampler.scrub_errors = (0..self.osd_count)
+            .map(|i| self.osd_ref(i).scrub_errors_found)
+            .sum();
         let metrics = self.sim.metrics();
         for (i, ts) in self.osd_threads.iter().enumerate() {
             self.sampler.osd_busy[i] = ts.iter().map(|&t| metrics.thread_busy(t)).sum();
@@ -2697,14 +3028,23 @@ impl ClusterSim {
             return;
         }
         let secs = dt.as_secs_f64();
-        let w = &self.world;
-        let outstanding: usize = w.conns.iter().map(|c| c.outstanding.len()).sum();
-        let degraded: u64 = w.osds.iter().map(Osd::degraded_objects).sum();
-        let throttled: u64 = w.osds.iter().map(|o| o.backfill_throttled_nanos).sum();
-        let scrub_errors: u64 = w.osds.iter().map(|o| o.scrub_errors_found).sum();
+        let outstanding: usize = self.parts[0]
+            .conns
+            .iter()
+            .map(|c| c.outstanding.len())
+            .sum();
+        let degraded: u64 = (0..self.osd_count)
+            .map(|i| self.osd_ref(i).degraded_objects())
+            .sum();
+        let throttled: u64 = (0..self.osd_count)
+            .map(|i| self.osd_ref(i).backfill_throttled_nanos)
+            .sum();
+        let scrub_errors: u64 = (0..self.osd_count)
+            .map(|i| self.osd_ref(i).scrub_errors_found)
+            .sum();
         let mut vals = vec![
-            (w.writes_done - self.sampler.writes) as f64 / secs,
-            (w.reads_done - self.sampler.reads) as f64 / secs,
+            (self.parts[0].writes_done - self.sampler.writes) as f64 / secs,
+            (self.parts[0].reads_done - self.sampler.reads) as f64 / secs,
             outstanding as f64,
             degraded as f64,
             throttled.saturating_sub(self.sampler.throttled) as f64 / 1e6,
@@ -2722,8 +3062,8 @@ impl ClusterSim {
             vals.push(delta as f64 / dt.as_nanos() as f64 * 100.0);
         }
         self.sampler.last = now;
-        self.sampler.writes = self.world.writes_done;
-        self.sampler.reads = self.world.reads_done;
+        self.sampler.writes = self.parts[0].writes_done;
+        self.sampler.reads = self.parts[0].reads_done;
         self.sampler.throttled = throttled;
         self.sampler.scrub_errors = scrub_errors;
         self.timeseries.push(now, vals);
@@ -2742,12 +3082,96 @@ impl ClusterSim {
 
     /// Chrome trace-event JSON (Perfetto-loadable) of the slow-op ring
     /// plus the telemetry counter tracks; `None` when tracing is off.
+    /// Each span carries the shard (domain) that executed it, and the
+    /// export includes a shard-topology process so Perfetto shows which
+    /// OSDs ran on which shard.
     pub fn trace_chrome_json(&self) -> Option<String> {
-        let tr = self.world.trace.as_ref()?;
+        let rec = self.replay_recorder()?;
+        let shard_of_osd: Vec<u32> = (0..self.osd_count)
+            .map(|i| self.part_of_osd(i) as u32)
+            .collect();
         Some(chrome_trace_json(
-            &tr.rec.report().slow_ops,
+            &rec.report().slow_ops,
             Some(&self.timeseries),
+            Some(&shard_of_osd),
         ))
+    }
+
+    /// Replays the per-part trace logs into one [`Recorder`].
+    ///
+    /// Each part logs `(time, op)` pairs while its domain executes; the
+    /// replay merges them in `(time, part, log-index)` order — a total
+    /// order that depends only on the partition (fixed at construction),
+    /// never on the worker count. Replica-side spans reference their op by
+    /// `(primary, seq)` and are resolved against the registrations the
+    /// primaries logged, which always precede them in merged order because
+    /// cross-domain messages travel at least one lookahead window apart.
+    /// `None` when tracing is off.
+    fn replay_recorder(&self) -> Option<Recorder> {
+        self.parts[0].trace.as_ref()?;
+        let mut entries: Vec<(SimTime, usize, usize, &TraceOp)> = Vec::new();
+        for (pi, part) in self.parts.iter().enumerate() {
+            if let Some(tr) = part.trace.as_deref() {
+                for (idx, (at, op)) in tr.log.iter().enumerate() {
+                    entries.push((*at, pi, idx, op));
+                }
+            }
+        }
+        entries.sort_by_key(|&(at, pi, idx, _)| (at, pi, idx));
+        let mut rec = Recorder::new(self.slow_op_ring);
+        let mut rep: HashMap<(u32, u64), TraceId> = HashMap::new();
+        let resolve = |rep: &HashMap<(u32, u64), TraceId>, r: TraceRef| match r {
+            TraceRef::Tid(id) => Some(id),
+            TraceRef::Rep(p, s) => rep.get(&(p, s)).copied(),
+        };
+        let mut pending_reset = self.trace_reset_at;
+        for (at, _, _, op) in entries {
+            // Drop warmup aggregates once the measured phase starts
+            // (warmup's run_until horizon is inclusive, so entries at
+            // exactly t0 still belong to warmup).
+            if pending_reset.is_some_and(|t0| at > t0) {
+                rec.reset_window();
+                pending_reset = None;
+            }
+            match *op {
+                TraceOp::Begin { id, is_write } => rec.begin(id, is_write, at),
+                TraceOp::Span {
+                    id,
+                    name,
+                    track,
+                    start,
+                    dur,
+                    comp,
+                } => {
+                    if let Some(id) = resolve(&rep, id) {
+                        rec.span(id, name, track, start, dur, comp);
+                    }
+                }
+                TraceOp::Retry { id } => rec.retry(id),
+                TraceOp::RegisterRep { primary, seq, id } => {
+                    if let Some(id) = resolve(&rep, id) {
+                        if rep.insert((primary, seq), id).is_none() {
+                            rec.note_rep_key(id, primary, seq);
+                        }
+                    }
+                }
+                TraceOp::Finish { id } => {
+                    if let Some(fin) = rec.finish(id, at) {
+                        for k in fin.rep_keys {
+                            rep.remove(&k);
+                        }
+                    }
+                }
+                TraceOp::Abandon { id } => {
+                    if let Some(keys) = rec.abandon(id) {
+                        for k in keys {
+                            rep.remove(&k);
+                        }
+                    }
+                }
+            }
+        }
+        Some(rec)
     }
 
     fn report(&self, duration: SimDuration) -> SimReport {
@@ -2772,7 +3196,7 @@ impl ClusterSim {
             class_cpu_pct.insert(*class, ns as f64 / win as f64 * 100.0);
         }
         let mut store = StoreStats::default();
-        for osd in &self.world.osds {
+        for osd in (0..self.osd_count).map(|i| self.osd_ref(i)) {
             let s = osd.backend().stats();
             store.user_bytes += s.user_bytes;
             store.wal_bytes += s.wal_bytes;
@@ -2795,16 +3219,17 @@ impl ClusterSim {
             device.total_latency_ns += d.total_latency_ns;
         }
         let secs = duration.as_secs_f64();
-        let w = &self.world;
+        let w0 = &self.parts[0];
+        let osds = || (0..self.osd_count).map(|i| self.osd_ref(i));
         SimReport {
             duration,
-            writes_done: w.writes_done,
-            reads_done: w.reads_done,
-            write_iops: w.writes_done as f64 / secs,
-            read_iops: w.reads_done as f64 / secs,
-            write_lat: w.write_lat.summary(),
-            read_lat: w.read_lat.summary(),
-            attribution: w.trace.as_ref().map(|t| t.rec.report()),
+            writes_done: w0.writes_done,
+            reads_done: w0.reads_done,
+            write_iops: w0.writes_done as f64 / secs,
+            read_iops: w0.reads_done as f64 / secs,
+            write_lat: w0.write_lat.summary(),
+            read_lat: w0.read_lat.summary(),
+            attribution: self.replay_recorder().map(|r| r.report()),
             node_cpu_pct,
             tag_cpu_pct,
             class_cpu_pct,
@@ -2812,22 +3237,22 @@ impl ClusterSim {
             events_processed: metrics.items_run,
             store,
             device,
-            nvm_bytes: w.osds.iter().map(Osd::nvm_bytes_written).sum(),
-            nvm_full_stalls: w.osds.iter().map(|o| o.nvm_full_stalls).sum(),
-            client_errors: w.client_errors,
-            recovery_pushes: w.osds.iter().map(|o| o.recovery_pushes).sum(),
-            backfill_bytes: w.osds.iter().map(|o| o.backfill_bytes).sum(),
-            backfill_queued: w.osds.iter().map(|o| o.backfill_queued).sum(),
-            backfill_throttled_nanos: w.osds.iter().map(|o| o.backfill_throttled_nanos).sum(),
-            flaps_damped: w.monitor.flaps_damped(),
-            degraded_objects: w.osds.iter().map(Osd::degraded_objects).sum(),
+            nvm_bytes: osds().map(Osd::nvm_bytes_written).sum(),
+            nvm_full_stalls: osds().map(|o| o.nvm_full_stalls).sum(),
+            client_errors: w0.client_errors,
+            recovery_pushes: osds().map(|o| o.recovery_pushes).sum(),
+            backfill_bytes: osds().map(|o| o.backfill_bytes).sum(),
+            backfill_queued: osds().map(|o| o.backfill_queued).sum(),
+            backfill_throttled_nanos: osds().map(|o| o.backfill_throttled_nanos).sum(),
+            flaps_damped: w0.monitor.flaps_damped(),
+            degraded_objects: osds().map(Osd::degraded_objects).sum(),
             queue_high_water: self.sim.queue_high_water(),
-            scrubs_completed: w.osds.iter().map(|o| o.scrubs_completed).sum(),
-            scrub_errors_found: w.osds.iter().map(|o| o.scrub_errors_found).sum(),
-            scrub_errors_repaired: w.osds.iter().map(|o| o.scrub_errors_repaired).sum(),
-            scrub_bytes: w.osds.iter().map(|o| o.scrub_bytes).sum(),
-            scrub_throttled_nanos: w.osds.iter().map(|o| o.scrub_throttled_nanos).sum(),
-            read_checksum_errors: w.osds.iter().map(|o| o.read_checksum_errors).sum(),
+            scrubs_completed: osds().map(|o| o.scrubs_completed).sum(),
+            scrub_errors_found: osds().map(|o| o.scrub_errors_found).sum(),
+            scrub_errors_repaired: osds().map(|o| o.scrub_errors_repaired).sum(),
+            scrub_bytes: osds().map(|o| o.scrub_bytes).sum(),
+            scrub_throttled_nanos: osds().map(|o| o.scrub_throttled_nanos).sum(),
+            read_checksum_errors: osds().map(|o| o.read_checksum_errors).sum(),
         }
     }
 }

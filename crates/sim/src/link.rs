@@ -51,6 +51,15 @@ impl Link {
         self.busy_until + self.latency
     }
 
+    /// The conservative-parallel lookahead bound this link provides: any
+    /// message crossing it arrives no earlier than `lookahead()` after it
+    /// was sent (serialization only adds to that). The sharded engine uses
+    /// the minimum lookahead over all cross-shard links as its LBTS window
+    /// (see `Simulation::set_lookahead`).
+    pub fn lookahead(&self) -> SimDuration {
+        self.latency
+    }
+
     /// Total bytes pushed through this direction.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent

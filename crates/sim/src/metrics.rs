@@ -81,6 +81,37 @@ impl Metrics {
         self.window_start
     }
 
+    /// Folds `other`'s counters into `self` (elementwise sums).
+    ///
+    /// Used by the sharded engine: each shard accumulates into its own
+    /// `Metrics` (thread/core vectors are globally indexed, so the busy
+    /// slots of different shards are disjoint) and the per-shard instances
+    /// are merged in shard-id order when a report is taken. Because every
+    /// operation here is an order-independent sum, the merged result is
+    /// identical for any shard count — the invariant the determinism suite
+    /// pins.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (tag, ns) in &other.tag_ns {
+            *self.tag_ns.entry(tag).or_insert(0) += ns;
+        }
+        if self.thread_busy_ns.len() < other.thread_busy_ns.len() {
+            self.thread_busy_ns.resize(other.thread_busy_ns.len(), 0);
+        }
+        for (i, ns) in other.thread_busy_ns.iter().enumerate() {
+            self.thread_busy_ns[i] += ns;
+        }
+        if self.core_busy_ns.len() < other.core_busy_ns.len() {
+            self.core_busy_ns.resize(other.core_busy_ns.len(), 0);
+        }
+        for (i, ns) in other.core_busy_ns.iter().enumerate() {
+            self.core_busy_ns[i] += ns;
+        }
+        self.context_switches += other.context_switches;
+        self.context_switch_ns += other.context_switch_ns;
+        self.items_run += other.items_run;
+        self.window_start = self.window_start.min(other.window_start);
+    }
+
     /// CPU nanoseconds charged to `tag` in the current window.
     pub fn tag_nanos(&self, tag: StageTag) -> u64 {
         self.tag_ns.get(tag).copied().unwrap_or(0)
@@ -149,6 +180,42 @@ mod tests {
         let m = Metrics::new(1, 1);
         assert_eq!(m.tag_nanos("nope"), 0);
         assert_eq!(m.tag_cpu_pct("nope", SimTime::from_nanos(10)), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_disjoint_shards_order_independently() {
+        // Shard 0 owns thread/core 0, shard 1 owns thread/core 2 (sparse,
+        // globally indexed, different vector lengths).
+        let mut a = Metrics::new(1, 1);
+        a.charge_tag("MP", SimDuration::nanos(100));
+        a.charge_thread(0, SimDuration::nanos(40));
+        a.charge_core(0, SimDuration::nanos(40));
+        a.items_run = 3;
+        let mut b = Metrics::new(3, 3);
+        b.charge_tag("MP", SimDuration::nanos(11));
+        b.charge_tag("OS", SimDuration::nanos(7));
+        b.charge_thread(2, SimDuration::nanos(5));
+        b.charge_core(2, SimDuration::nanos(5));
+        b.context_switches = 2;
+        b.context_switch_ns = 2_400;
+        b.items_run = 4;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        for m in [&ab, &ba] {
+            assert_eq!(m.tag_nanos("MP"), 111);
+            assert_eq!(m.tag_nanos("OS"), 7);
+            assert_eq!(m.thread_busy(0), 40);
+            assert_eq!(m.thread_busy(2), 5);
+            assert_eq!(m.core_busy(0), 40);
+            assert_eq!(m.core_busy(2), 5);
+            assert_eq!(m.context_switches, 2);
+            assert_eq!(m.context_switch_ns, 2_400);
+            assert_eq!(m.items_run, 7);
+        }
     }
 
     #[test]

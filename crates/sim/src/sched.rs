@@ -180,10 +180,30 @@ impl<T> Wheel<T> {
         }
     }
 
-    fn peek_time(&mut self) -> Option<SimTime> {
-        match self.advance() {
-            Some(idx) => self.buckets[idx].last().map(|e| e.0),
-            None => self.overflow.peek().map(|e| e.time),
+    /// Earliest pending event time *without* moving the cursor. The sharded
+    /// engine peeks every domain each LBTS round and only pops events inside
+    /// the horizon; events merged from other shards may still arrive between
+    /// the cursor and the slot scanned here, so committing the cursor on a
+    /// peek (as `advance` does) would strand them behind it. The cursor only
+    /// moves in `pop`, i.e. only up to slots whose events actually executed.
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.in_wheel == 0 {
+            // Overflow events are all >= window_end, so when the wheel tier
+            // is empty the overflow head is the global minimum.
+            return self.overflow.peek().map(|e| e.time);
+        }
+        let mut c = self.cursor;
+        loop {
+            let idx = (c & self.mask) as usize;
+            let bucket = &self.buckets[idx];
+            if !bucket.is_empty() {
+                if c == self.cursor && self.cur_sorted {
+                    // Mid-drain slot: sorted descending, minimum at the tail.
+                    return bucket.last().map(|e| e.0);
+                }
+                return bucket.iter().map(|e| e.0).min();
+            }
+            c += 1;
         }
     }
 
@@ -216,13 +236,6 @@ impl<T> EventQueue<T> {
             SchedulerKind::Heap => Imp::Heap(BinaryHeap::with_capacity(hint.max(16))),
         };
         EventQueue { imp, high_water: 0 }
-    }
-
-    pub fn kind(&self) -> SchedulerKind {
-        match self.imp {
-            Imp::Wheel(_) => SchedulerKind::Wheel,
-            Imp::Heap(_) => SchedulerKind::Heap,
-        }
     }
 
     pub fn len(&self) -> usize {

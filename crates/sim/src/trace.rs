@@ -512,9 +512,16 @@ fn us(ns: u64) -> String {
 /// trace-event JSON (loadable in Perfetto / `chrome://tracing`).
 ///
 /// Layout: pid 1 hosts one track per slow op (worst first); pid 0 hosts one
-/// counter track per time-series column. Output is deterministic: ops and
-/// spans are emitted in recorder order, counters in column order.
-pub fn chrome_trace_json(slow: &[SlowOp], series: Option<&TimeSeries>) -> String {
+/// counter track per time-series column. When `shard_of_osd` is given
+/// (`shard_of_osd[osd]` = the shard/domain that executed OSD `osd`), pid 2
+/// hosts one track per shard listing its OSDs, and every OSD-track span
+/// carries a `"shard"` arg. Output is deterministic: ops and spans are
+/// emitted in recorder order, counters in column order, shards ascending.
+pub fn chrome_trace_json(
+    slow: &[SlowOp],
+    series: Option<&TimeSeries>,
+    shard_of_osd: Option<&[u32]>,
+) -> String {
     let mut ev: Vec<String> = Vec::new();
     ev.push(
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
@@ -526,6 +533,26 @@ pub fn chrome_trace_json(slow: &[SlowOp], series: Option<&TimeSeries>) -> String
          \"args\":{\"name\":\"rablock telemetry\"}}"
             .to_string(),
     );
+    if let Some(shards) = shard_of_osd {
+        ev.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"rablock shards\"}}"
+                .to_string(),
+        );
+        let mut by_shard: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (osd, &shard) in shards.iter().enumerate() {
+            by_shard.entry(shard).or_default().push(osd as u32);
+        }
+        for (shard, osds) in &by_shard {
+            let list: Vec<String> = osds.iter().map(|o| format!("osd{o}")).collect();
+            ev.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{shard},\
+                 \"args\":{{\"name\":\"shard {shard}: {}\"}}}}",
+                list.join(" "),
+            ));
+        }
+    }
     for (rank, op) in slow.iter().enumerate() {
         let tid = rank + 1;
         let kind = if op.is_write { "write" } else { "read" };
@@ -552,10 +579,17 @@ pub fn chrome_trace_json(slow: &[SlowOp], series: Option<&TimeSeries>) -> String
                 Track::Client(c) => ("client", c),
                 Track::Osd(o) => ("osd", o),
             };
+            let shard_arg = match (s.track, shard_of_osd) {
+                (Track::Osd(o), Some(shards)) => shards
+                    .get(o as usize)
+                    .map(|s| format!(",\"shard\":{s}"))
+                    .unwrap_or_default(),
+                _ => String::new(),
+            };
             ev.push(format!(
                 "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\
                  \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid},\
-                 \"args\":{{\"{track_kind}\":{track_id}}}}}",
+                 \"args\":{{\"{track_kind}\":{track_id}{shard_arg}}}}}",
                 s.name,
                 s.comp.name(),
                 us(s.start.nanos()),
@@ -690,17 +724,28 @@ mod tests {
         r.finish(id, ms(4)).unwrap();
         let mut ts = TimeSeries::new(vec!["iops_w"]);
         ts.push(ms(1), vec![123.0]);
-        let a = chrome_trace_json(&r.report().slow_ops, Some(&ts));
-        let b = chrome_trace_json(&r.report().slow_ops, Some(&ts));
+        // OSDs 0-1 on shard 1, OSD 2 on shard 2.
+        let shards = [1u32, 1, 2];
+        let a = chrome_trace_json(&r.report().slow_ops, Some(&ts), Some(&shards));
+        let b = chrome_trace_json(&r.report().slow_ops, Some(&ts), Some(&shards));
         assert_eq!(a, b);
         assert!(a.starts_with('{') && a.trim_end().ends_with('}'));
         assert!(a.contains("\"traceEvents\""));
         assert!(a.contains("net.repop"));
         assert!(a.contains("iops_w"));
+        // Shard topology: the span on OSD 1 is tagged with its shard, and
+        // the shard process lists its members.
+        assert!(a.contains("\"osd\":1,\"shard\":1"));
+        assert!(a.contains("rablock shards"));
+        assert!(a.contains("shard 1: osd0 osd1"));
+        assert!(a.contains("shard 2: osd2"));
         // Balanced braces — cheap well-formedness check without a JSON dep.
         let open = a.matches('{').count();
         let close = a.matches('}').count();
         assert_eq!(open, close);
+        // Without a shard map the export stays shard-free.
+        let plain = chrome_trace_json(&r.report().slow_ops, Some(&ts), None);
+        assert!(!plain.contains("shard"));
     }
 
     #[test]

@@ -6,9 +6,9 @@
 
 use proptest::prelude::*;
 use rablock::sim::{
-    ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan, GrayWindow,
-    LinkFault, Partition, RetryPolicy, SchedulerKind, SimDuration, SimReport, SimRng, SimTime,
-    WorkItem,
+    BitRotSchedule, ChurnOp, ClusterSim, ClusterSimConfig, ConnWorkload, CrashSchedule, FaultPlan,
+    GrayWindow, LinkFault, Partition, RetryPolicy, RotMedia, SchedulerKind, SimDuration, SimReport,
+    SimRng, SimTime, WorkItem,
 };
 use rablock::{GroupId, ObjectId, PipelineMode};
 use rablock_bench::{paper_cluster, randwrite_conns, Dataset};
@@ -101,6 +101,15 @@ fn repeated_triple_runs_are_stable() {
 /// byte-for-byte: raw counters, latency percentiles in nanoseconds, CPU
 /// percentages as IEEE-754 bit patterns, store/device accounting, and (when
 /// history checking is on) the checker's verdict counts.
+/// Position of `queue_high_water` in [`full_fingerprint`]'s layout. It is
+/// the one observable that measures the *scheduler* rather than the
+/// simulation: how many events sit pending at once depends on when
+/// cross-domain events merge into the destination queue, which is exactly
+/// what the lookahead window batches. The lookahead-torture test masks
+/// this index when comparing across window sizes (and only then — across
+/// worker counts at a fixed window it must match like everything else).
+const QUEUE_HIGH_WATER_IDX: usize = 10;
+
 fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
     let mut v = vec![
         r.duration.as_nanos(),
@@ -120,6 +129,12 @@ fn full_fingerprint(r: &SimReport, checker: Option<(u64, u64)>) -> Vec<u64> {
         r.backfill_queued,
         r.backfill_throttled_nanos,
         r.flaps_damped,
+        r.scrubs_completed,
+        r.scrub_errors_found,
+        r.scrub_errors_repaired,
+        r.scrub_bytes,
+        r.scrub_throttled_nanos,
+        r.read_checksum_errors,
     ];
     // Attribution is deliberately excluded: it only exists when tracing is
     // armed, and the fingerprint must compare equal tracing off vs on.
@@ -161,11 +176,16 @@ fn fig7_fingerprint(sched: SchedulerKind) -> Vec<u64> {
 }
 
 fn fig7_fingerprint_traced(sched: SchedulerKind, trace: bool) -> Vec<u64> {
+    fig7_fingerprint_sharded(sched, trace, 1)
+}
+
+fn fig7_fingerprint_sharded(sched: SchedulerKind, trace: bool, shards: usize) -> Vec<u64> {
     const CONNS: usize = 16;
     let dataset = Dataset::default_for(CONNS);
     let mut cfg = paper_cluster(PipelineMode::Dop);
     cfg.scheduler = sched;
     cfg.trace = trace;
+    cfg.shards = shards;
     if trace {
         cfg.telemetry_window = Some(SimDuration::millis(2));
     }
@@ -298,6 +318,20 @@ fn chaos_fingerprint_with(seed: u64, sched: SchedulerKind) -> Vec<u64> {
 }
 
 fn chaos_fingerprint_traced(seed: u64, sched: SchedulerKind, trace: bool) -> Vec<u64> {
+    chaos_fingerprint_opts(seed, sched, trace, 1, None, 100)
+}
+
+/// The chaos fingerprint with the space-parallel knobs exposed: worker
+/// shard count, an optional lookahead override (the torture tests force
+/// 1 ns to maximize synchronization rounds), and the measure window.
+fn chaos_fingerprint_opts(
+    seed: u64,
+    sched: SchedulerKind,
+    trace: bool,
+    shards: usize,
+    lookahead: Option<SimDuration>,
+    measure_ms: u64,
+) -> Vec<u64> {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
         .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
@@ -305,6 +339,8 @@ fn chaos_fingerprint_traced(seed: u64, sched: SchedulerKind, trace: bool) -> Vec
     cfg.seed = seed;
     cfg.scheduler = sched;
     cfg.trace = trace;
+    cfg.shards = shards;
+    cfg.lookahead = lookahead;
     if trace {
         cfg.telemetry_window = Some(SimDuration::millis(5));
     }
@@ -313,7 +349,7 @@ fn chaos_fingerprint_traced(seed: u64, sched: SchedulerKind, trace: bool) -> Vec
         .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
         .collect();
     sim.prefill(&objects);
-    let r = sim.run(SimDuration::ZERO, SimDuration::millis(100));
+    let r = sim.run(SimDuration::ZERO, SimDuration::millis(measure_ms));
     assert!(r.writes_done > 0, "chaos run must make progress");
     let checker = sim.checker().expect("history checking enabled");
     full_fingerprint(&r, Some((checker.writes_acked(), checker.reads_checked())))
@@ -480,11 +516,16 @@ fn churn_config(seed: u64) -> ClusterSimConfig {
 }
 
 fn churn_fingerprint_with(seed: u64, sched: SchedulerKind) -> Vec<u64> {
+    churn_fingerprint_sharded(seed, sched, 1)
+}
+
+fn churn_fingerprint_sharded(seed: u64, sched: SchedulerKind, shards: usize) -> Vec<u64> {
     let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
         .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
         .collect();
     let mut cfg = churn_config(seed);
     cfg.scheduler = sched;
+    cfg.shards = shards;
     let mut sim = ClusterSim::new(cfg, wl);
     let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
         .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 256 << 10)))
@@ -520,4 +561,165 @@ fn wheel_matches_heap_fingerprint_churn() {
         wheel, heap,
         "churn: scheduler choice must be invisible to every metric"
     );
+}
+
+/// Integrity scenario for the shard-invariance suite: bit rot strikes one
+/// OSD mid-run with background deep scrub armed, so the fingerprint covers
+/// the scrub/repair counters on top of the usual metric set.
+fn scrub_config(seed: u64) -> ClusterSimConfig {
+    let mut cfg = chaos_config();
+    cfg.seed = seed;
+    cfg.faults = FaultPlan::none().with_bit_rot(BitRotSchedule {
+        process: 1,
+        at: ms(6),
+        object_lo: 0,
+        object_hi: 1 << 16,
+        flips: 32,
+        media: RotMedia::CosData,
+    });
+    cfg.osd.cos.checksums = true;
+    cfg.scrub_interval = Some(SimDuration::millis(10));
+    cfg.scrub_deep_every = 1;
+    cfg
+}
+
+fn scrub_fingerprint_sharded(seed: u64, shards: usize) -> Vec<u64> {
+    let wl: Vec<Box<dyn ConnWorkload>> = (0..CHAOS_CONNS)
+        .map(|c| Box::new(ChaosConn { conn: c, cursor: 0 }) as Box<dyn ConnWorkload>)
+        .collect();
+    let mut cfg = scrub_config(seed);
+    cfg.shards = shards;
+    let mut sim = ClusterSim::new(cfg, wl);
+    let objects: Vec<(ObjectId, u64)> = (0..CHAOS_CONNS)
+        .flat_map(|c| (0..8).map(move |k| (chaos_oid(c, k), 1 << 20)))
+        .collect();
+    sim.prefill(&objects);
+    let r = sim.run(SimDuration::ZERO, SimDuration::millis(100));
+    assert!(r.writes_done > 0, "scrub run must make progress");
+    assert!(r.scrubs_completed > 0, "scrub must actually run");
+    let checker = sim.checker().expect("history checking enabled");
+    full_fingerprint(&r, Some((checker.writes_acked(), checker.reads_checked())))
+}
+
+// ---------------------------------------------------------------------------
+// Space-parallel execution: `shards` picks how many worker threads run the
+// engine's per-node domains. The partition and the cross-domain merge order
+// are fixed at construction, so the full metric fingerprint must be
+// byte-identical for every worker count, on every scenario family the
+// workspace has: clean (fig7), fault-heavy (chaos), elastic (churn), and
+// integrity (bit rot + scrub).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shard_count_is_invisible_to_fingerprint_fig7() {
+    let base = fig7_fingerprint_sharded(SchedulerKind::default(), false, 1);
+    for shards in [2usize, 4] {
+        let sharded = fig7_fingerprint_sharded(SchedulerKind::default(), false, shards);
+        assert_eq!(
+            base, sharded,
+            "fig7: {shards} worker shards must replay the single-thread fingerprint"
+        );
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_to_fingerprint_chaos() {
+    let base = chaos_fingerprint_opts(0xC0FFEE, SchedulerKind::default(), false, 1, None, 100);
+    for shards in [2usize, 4] {
+        let sharded =
+            chaos_fingerprint_opts(0xC0FFEE, SchedulerKind::default(), false, shards, None, 100);
+        assert_eq!(
+            base, sharded,
+            "chaos: {shards} worker shards must replay the single-thread fingerprint"
+        );
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_to_fingerprint_churn() {
+    let base = churn_fingerprint_sharded(0xE1A5, SchedulerKind::default(), 1);
+    for shards in [2usize, 4] {
+        let sharded = churn_fingerprint_sharded(0xE1A5, SchedulerKind::default(), shards);
+        assert_eq!(
+            base, sharded,
+            "churn: {shards} worker shards must replay the single-thread fingerprint"
+        );
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_to_fingerprint_scrub() {
+    let base = scrub_fingerprint_sharded(0xD00D, 1);
+    for shards in [2usize, 4] {
+        let sharded = scrub_fingerprint_sharded(0xD00D, shards);
+        assert_eq!(
+            base, sharded,
+            "scrub: {shards} worker shards must replay the single-thread fingerprint"
+        );
+    }
+}
+
+/// Tracing must stay passive under parallel execution too: the per-part
+/// trace logs merge into one recorder in a total order, so arming them on
+/// a 4-shard run must not move a single event.
+#[test]
+fn tracing_is_invisible_to_fingerprint_sharded_chaos() {
+    let off = chaos_fingerprint_opts(0xC0FFEE, SchedulerKind::default(), false, 4, None, 100);
+    let on = chaos_fingerprint_opts(0xC0FFEE, SchedulerKind::default(), true, 4, None, 100);
+    assert_eq!(off, on, "chaos/4 shards: tracing must not perturb the run");
+}
+
+/// Torture variant: a 1 ns lookahead shrinks every LBTS window to a single
+/// timestamp, maximizing synchronization rounds and cross-shard merge
+/// traffic. Within that window size the worker count must still be fully
+/// invisible; and against the default-window run, every *simulation*
+/// metric must match — window size is pure batching, never semantics.
+/// The sole exception is `queue_high_water` (see its index constant):
+/// batching is precisely what a pending-population gauge measures, so it
+/// is masked in the cross-window comparison only. (The driver clamps the
+/// override to the network model's floor, so a config can only shrink
+/// windows, not widen them.)
+#[test]
+fn one_nanosecond_lookahead_is_pure_batching() {
+    let sched = SchedulerKind::default();
+    let torture_la = Some(SimDuration::nanos(1));
+    let base = chaos_fingerprint_opts(0xC0FFEE, sched, false, 1, torture_la, 20);
+    for shards in [2usize, 4] {
+        let tortured = chaos_fingerprint_opts(0xC0FFEE, sched, false, shards, torture_la, 20);
+        assert_eq!(
+            base, tortured,
+            "chaos: 1 ns lookahead at {shards} shards must replay the 1-shard fingerprint"
+        );
+    }
+    let mask = |mut v: Vec<u64>| {
+        v[QUEUE_HIGH_WATER_IDX] = 0;
+        v
+    };
+    let wide = chaos_fingerprint_opts(0xC0FFEE, sched, false, 1, None, 20);
+    assert_ne!(
+        base[QUEUE_HIGH_WATER_IDX], 0,
+        "high-water gauge populated (masking a live field, not a dead one)"
+    );
+    assert_eq!(
+        mask(wide),
+        mask(base),
+        "chaos: window size must change only merge batching, never a simulation metric"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property form of shard invariance: any seed drives the chaos
+    /// scenario (fault injection + crash recovery + history checking) to
+    /// the same full fingerprint at 1, 2, and 4 worker shards.
+    #[test]
+    fn sharded_chaos_matches_sequential(seed in 1u64..1_000_000) {
+        let sched = SchedulerKind::default();
+        let base = chaos_fingerprint_opts(seed, sched, false, 1, None, 40);
+        for shards in [2usize, 4] {
+            let sharded = chaos_fingerprint_opts(seed, sched, false, shards, None, 40);
+            prop_assert_eq!(&base, &sharded, "shards {}", shards);
+        }
+    }
 }
